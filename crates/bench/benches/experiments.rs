@@ -1,0 +1,159 @@
+//! Criterion benches, one group per paper artifact (E1–E10).
+//!
+//! Each group times the hot path of its experiment on a single dev item —
+//! the full regeneration lives in the `run_experiments` binary; these
+//! benches track the per-query cost of every pipeline configuration the
+//! paper compares.
+
+use bench::small_benchmark;
+use criterion::{criterion_group, criterion_main, Criterion};
+use dail_core::{C3Style, DailSql, DinSqlStyle, FewShot, PredictCtx, Predictor, ZeroShot};
+use promptkit::{
+    ExampleSelector, OrganizationStrategy, PromptConfig, QuestionRepr, ReprOptions,
+    SelectionStrategy,
+};
+use simllm::{PromptStyle, SimLlm};
+use std::hint::black_box;
+use textkit::Tokenizer;
+
+fn bench_experiments(c: &mut Criterion) {
+    let bench = small_benchmark();
+    let selector = ExampleSelector::new(&bench);
+    let tokenizer = Tokenizer::new();
+    let ctx = PredictCtx {
+        bench: &bench,
+        selector: &selector,
+        tokenizer: &tokenizer,
+        seed: 1,
+        realistic: false,
+    };
+    let ctx_realistic = PredictCtx { realistic: true, ..PredictCtx { bench: &bench, selector: &selector, tokenizer: &tokenizer, seed: 1, realistic: true } };
+    let item = &bench.dev[0];
+
+    // E1: zero-shot per representation.
+    {
+        let mut g = c.benchmark_group("e1_zero_shot_repr");
+        g.sample_size(20);
+        for repr in QuestionRepr::ALL {
+            let p = ZeroShot::new(SimLlm::new("gpt-4").unwrap(), repr);
+            g.bench_function(repr.as_str(), |b| {
+                b.iter(|| black_box(p.predict(&ctx, black_box(item))))
+            });
+        }
+        g.finish();
+    }
+
+    // E2: zero-shot on realistic questions.
+    {
+        let mut g = c.benchmark_group("e2_realistic");
+        g.sample_size(20);
+        let p = ZeroShot::new(SimLlm::new("gpt-4").unwrap(), QuestionRepr::CodeRepr);
+        g.bench_function("CR_P_realistic", |b| {
+            b.iter(|| black_box(p.predict(&ctx_realistic, black_box(item))))
+        });
+        g.finish();
+    }
+
+    // E3/E4: representation toggles.
+    {
+        let mut g = c.benchmark_group("e3_e4_toggles");
+        g.sample_size(20);
+        for (name, opts) in [
+            ("with_fk_rule", ReprOptions { foreign_keys: true, rule_implication: true, content_rows: 0 }),
+            ("no_fk", ReprOptions { foreign_keys: false, rule_implication: true, content_rows: 0 }),
+            ("no_rule", ReprOptions { foreign_keys: true, rule_implication: false, content_rows: 0 }),
+        ] {
+            let p = ZeroShot { model: SimLlm::new("gpt-4").unwrap(), repr: QuestionRepr::CodeRepr, opts };
+            g.bench_function(name, |b| b.iter(|| black_box(p.predict(&ctx, black_box(item)))));
+        }
+        g.finish();
+    }
+
+    // E5: example selection strategies (5-shot prediction).
+    {
+        let mut g = c.benchmark_group("e5_selection");
+        g.sample_size(10);
+        for strategy in SelectionStrategy::ALL {
+            let cfg = PromptConfig {
+                repr: QuestionRepr::CodeRepr,
+                opts: ReprOptions::default(),
+                selection: strategy,
+                organization: OrganizationStrategy::DailPairs,
+                shots: 5,
+                max_tokens: 8192,
+            };
+            let p = FewShot::new(SimLlm::new("gpt-4").unwrap(), cfg);
+            g.bench_function(strategy.as_str(), |b| {
+                b.iter(|| black_box(p.predict(&ctx, black_box(item))))
+            });
+        }
+        g.finish();
+    }
+
+    // E6/E7: example organizations (token cost differences dominate).
+    {
+        let mut g = c.benchmark_group("e6_e7_organization");
+        g.sample_size(10);
+        for org in OrganizationStrategy::ALL {
+            let cfg = PromptConfig {
+                repr: QuestionRepr::CodeRepr,
+                opts: ReprOptions::default(),
+                selection: SelectionStrategy::MaskedQuestionSimilarity,
+                organization: org,
+                shots: 5,
+                max_tokens: 8192,
+            };
+            let p = FewShot::new(SimLlm::new("gpt-4").unwrap(), cfg);
+            g.bench_function(org.as_str(), |b| {
+                b.iter(|| black_box(p.predict(&ctx, black_box(item))))
+            });
+        }
+        g.finish();
+    }
+
+    // E8: leaderboard pipelines.
+    {
+        let mut g = c.benchmark_group("e8_leaderboard");
+        g.sample_size(10);
+        let entries: Vec<(&str, Box<dyn Predictor>)> = vec![
+            ("dail_sql", Box::new(DailSql::new(SimLlm::new("gpt-4").unwrap()))),
+            ("dail_sql_sc", Box::new(DailSql::with_self_consistency(SimLlm::new("gpt-4").unwrap(), 5))),
+            ("din_style", Box::new(DinSqlStyle::new(SimLlm::new("gpt-4").unwrap()))),
+            ("c3_style", Box::new(C3Style::new(SimLlm::new("gpt-3.5-turbo").unwrap()))),
+        ];
+        for (name, p) in &entries {
+            g.bench_function(*name, |b| b.iter(|| black_box(p.predict(&ctx, black_box(item)))));
+        }
+        g.finish();
+    }
+
+    // E9: open-source zero-shot inference cost.
+    {
+        let mut g = c.benchmark_group("e9_open_source");
+        g.sample_size(20);
+        for model in ["llama-7b", "llama-33b", "vicuna-33b"] {
+            let p = ZeroShot::new(SimLlm::new(model).unwrap(), QuestionRepr::CodeRepr);
+            g.bench_function(model, |b| b.iter(|| black_box(p.predict(&ctx, black_box(item)))));
+        }
+        g.finish();
+    }
+
+    // E10: SFT'ed model inference (matched and mismatched style).
+    {
+        let mut g = c.benchmark_group("e10_sft");
+        g.sample_size(20);
+        let tuned = SimLlm::new("llama-13b").unwrap().finetune(PromptStyle::Ddl, 1000);
+        let matched = ZeroShot::new(tuned.clone(), QuestionRepr::CodeRepr);
+        let mismatched = ZeroShot::new(tuned, QuestionRepr::TextRepr);
+        g.bench_function("sft_matched_repr", |b| {
+            b.iter(|| black_box(matched.predict(&ctx, black_box(item))))
+        });
+        g.bench_function("sft_mismatched_repr", |b| {
+            b.iter(|| black_box(mismatched.predict(&ctx, black_box(item))))
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

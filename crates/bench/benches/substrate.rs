@@ -1,0 +1,56 @@
+//! Microbenches for the substrates: SQL parsing, execution, canonicalization,
+//! skeleton extraction, tokenization and embedding — the inner loops every
+//! experiment runs millions of times.
+
+use bench::small_benchmark;
+use criterion::{criterion_group, criterion_main, Criterion};
+use sqlkit::{exact_set_match, parse_query, Skeleton};
+use std::hint::black_box;
+use storage::execute_query;
+use textkit::{embed, Tokenizer};
+
+const SQL: &str = "SELECT T1.name, count(*) FROM singer AS T1 JOIN concert AS T2 ON T1.singer_id = T2.singer_id WHERE T2.year > 2015 GROUP BY T1.singer_id ORDER BY count(*) DESC LIMIT 3";
+
+fn substrate(c: &mut Criterion) {
+    let bench = small_benchmark();
+
+    c.bench_function("parse_query", |b| {
+        b.iter(|| black_box(parse_query(black_box(SQL)).unwrap()))
+    });
+
+    let q = parse_query(SQL).unwrap();
+    c.bench_function("print_query", |b| b.iter(|| black_box(q.to_string())));
+
+    c.bench_function("skeleton_extract", |b| b.iter(|| black_box(Skeleton::of(black_box(&q)))));
+
+    let q2 = parse_query(&SQL.replace("2015", "2016")).unwrap();
+    c.bench_function("exact_set_match", |b| {
+        b.iter(|| black_box(exact_set_match(black_box(&q), black_box(&q2))))
+    });
+
+    // Execute a real gold query on its database.
+    let item = &bench.dev[0];
+    let db = bench.db(item);
+    c.bench_function("execute_gold_query", |b| {
+        b.iter(|| black_box(execute_query(db, black_box(&item.gold)).unwrap()))
+    });
+
+    let tok = Tokenizer::new();
+    let prompt_text = promptkit::render_prompt(
+        promptkit::QuestionRepr::CodeRepr,
+        &db.schema,
+        Some(db),
+        &item.question,
+        promptkit::ReprOptions::default(),
+    );
+    c.bench_function("tokenize_prompt", |b| {
+        b.iter(|| black_box(tok.count(black_box(&prompt_text))))
+    });
+
+    c.bench_function("embed_question", |b| {
+        b.iter(|| black_box(embed(black_box(&item.question))))
+    });
+}
+
+criterion_group!(benches, substrate);
+criterion_main!(benches);

@@ -1,0 +1,196 @@
+//! `dail_sql_cli` — command-line front door to the library.
+//!
+//! ```text
+//! dail_sql_cli models                             list the simulated model zoo
+//! dail_sql_cli generate --out DIR [--seed N]      export a benchmark to files
+//! dail_sql_cli ask --question "..." [--model M]   one-off Text-to-SQL on a demo db
+//! dail_sql_cli eval [--pipeline P] [--model M]    evaluate a pipeline, print summary
+//! ```
+
+use dail_core::{C3Style, DailSql, DinSqlStyle, Predictor, ZeroShot};
+use eval::evaluate;
+use promptkit::{render_prompt, ExampleSelector, QuestionRepr, ReprOptions};
+use simllm::{extract_sql, GenOptions, SimLlm};
+use spider_gen::{export_benchmark, Benchmark, BenchmarkConfig};
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else {
+        usage();
+        return;
+    };
+    let flags = parse_flags(args);
+    match cmd.as_str() {
+        "models" => models(),
+        "generate" => generate(&flags),
+        "ask" => ask(&flags),
+        "eval" => run_eval(&flags),
+        "--help" | "-h" | "help" => usage(),
+        other => {
+            eprintln!("unknown command: {other}\n");
+            usage();
+            std::process::exit(2);
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "dail_sql_cli — DAIL-SQL reproduction CLI\n\n\
+         commands:\n\
+         \u{20}\u{20}models                                   list simulated models\n\
+         \u{20}\u{20}generate --out DIR [--seed N] [--train N] [--dev N]\n\
+         \u{20}\u{20}                                         export a benchmark (SQL dumps + JSONL)\n\
+         \u{20}\u{20}ask --question \"...\" [--model M] [--db DB_ID] [--seed N]\n\
+         \u{20}\u{20}                                         one-off Text-to-SQL against a generated db\n\
+         \u{20}\u{20}eval [--pipeline dail|dail-sc|din|c3|zero] [--model M] [--dev N] [--realistic]\n\
+         \u{20}\u{20}                                         evaluate a pipeline and print the summary"
+    );
+}
+
+fn parse_flags(args: impl Iterator<Item = String>) -> HashMap<String, String> {
+    let mut out = HashMap::new();
+    let mut args = args.peekable();
+    while let Some(a) = args.next() {
+        if let Some(key) = a.strip_prefix("--") {
+            let val = match args.peek() {
+                Some(v) if !v.starts_with("--") => args.next().unwrap(),
+                _ => "true".to_string(),
+            };
+            out.insert(key.to_string(), val);
+        }
+    }
+    out
+}
+
+fn flag<'a>(flags: &'a HashMap<String, String>, key: &str, default: &'a str) -> &'a str {
+    flags.get(key).map(String::as_str).unwrap_or(default)
+}
+
+fn models() {
+    println!(
+        "{:<18} {:>5} {:>6} {:>5} {:>8} {:>10} {:>6}",
+        "model", "tier", "align", "icl", "context", "$/1k in", "open"
+    );
+    for p in simllm::ZOO {
+        println!(
+            "{:<18} {:>5.2} {:>6.2} {:>5.2} {:>8} {:>10.4} {:>6}",
+            p.name, p.tier, p.alignment, p.icl_weight, p.context_window,
+            p.price_per_1k_prompt, p.open_source
+        );
+    }
+}
+
+fn bench_from_flags(flags: &HashMap<String, String>) -> Benchmark {
+    let cfg = BenchmarkConfig {
+        seed: flag(flags, "seed", "2023").parse().expect("--seed must be an integer"),
+        train_size: flag(flags, "train", "400").parse().expect("--train must be an integer"),
+        dev_size: flag(flags, "dev", "100").parse().expect("--dev must be an integer"),
+        dev_domains: 6, synthetic_domains: 0
+    };
+    Benchmark::generate(cfg)
+}
+
+fn generate(flags: &HashMap<String, String>) {
+    let Some(out) = flags.get("out") else {
+        eprintln!("generate requires --out DIR");
+        std::process::exit(2);
+    };
+    let bench = bench_from_flags(flags);
+    let dir = PathBuf::from(out);
+    export_benchmark(&bench, &dir).expect("export failed");
+    println!(
+        "exported {} databases, {} train and {} dev examples to {}",
+        bench.databases.len(),
+        bench.train.len(),
+        bench.dev.len(),
+        dir.display()
+    );
+}
+
+fn ask(flags: &HashMap<String, String>) {
+    let Some(question) = flags.get("question") else {
+        eprintln!("ask requires --question \"...\"");
+        std::process::exit(2);
+    };
+    let model_name = flag(flags, "model", "gpt-4");
+    let Some(model) = SimLlm::new(model_name) else {
+        eprintln!("unknown model {model_name}; try `dail_sql_cli models`");
+        std::process::exit(2);
+    };
+    let bench = bench_from_flags(flags);
+    let db_id = flag(flags, "db", "");
+    let db = if db_id.is_empty() {
+        bench.databases.values().next().expect("benchmark has databases")
+    } else {
+        match bench.databases.get(db_id) {
+            Some(db) => db,
+            None => {
+                eprintln!(
+                    "unknown db {db_id}; available: {}",
+                    bench.databases.keys().cloned().collect::<Vec<_>>().join(", ")
+                );
+                std::process::exit(2);
+            }
+        }
+    };
+    let seed: u64 = flag(flags, "seed", "1").parse().expect("--seed must be an integer");
+    let prompt = render_prompt(
+        QuestionRepr::CodeRepr,
+        &db.schema,
+        Some(db),
+        question,
+        ReprOptions::default(),
+    );
+    let out = model.complete(&prompt, &GenOptions { seed, ..Default::default() });
+    let sql = extract_sql(&out, prompt.trim_end().ends_with("SELECT"));
+    println!("db:  {}", db.schema.db_id);
+    println!("sql: {sql}");
+    match sqlkit::parse_query(&sql).map(|q| storage::execute_query(db, &q)) {
+        Ok(Ok(rs)) => {
+            println!("rows ({}):", rs.rows.len());
+            for row in rs.rows.iter().take(10) {
+                let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+                println!("  {}", cells.join(" | "));
+            }
+        }
+        Ok(Err(e)) => println!("execution error: {e}"),
+        Err(e) => println!("parse error: {e}"),
+    }
+}
+
+fn run_eval(flags: &HashMap<String, String>) {
+    let model_name = flag(flags, "model", "gpt-4");
+    let Some(model) = SimLlm::new(model_name) else {
+        eprintln!("unknown model {model_name}; try `dail_sql_cli models`");
+        std::process::exit(2);
+    };
+    let pipeline = flag(flags, "pipeline", "dail");
+    let predictor: Box<dyn Predictor + Sync> = match pipeline {
+        "dail" => Box::new(DailSql::new(model)),
+        "dail-sc" => Box::new(DailSql::with_self_consistency(model, 5)),
+        "din" => Box::new(DinSqlStyle::new(model)),
+        "c3" => Box::new(C3Style::new(model)),
+        "zero" => Box::new(ZeroShot::new(model, QuestionRepr::CodeRepr)),
+        other => {
+            eprintln!("unknown pipeline {other} (use dail|dail-sc|din|c3|zero)");
+            std::process::exit(2);
+        }
+    };
+    let realistic = flags.contains_key("realistic");
+    let bench = bench_from_flags(flags);
+    let selector = ExampleSelector::new(&bench);
+    let r = evaluate(&bench, &selector, predictor.as_ref(), &bench.dev, 2023, realistic);
+    println!("pipeline: {}", r.name);
+    println!("items:    {}", r.n);
+    println!("EX:       {}", r.ex_ci95(2023).render());
+    println!("EM:       {:.1}%", r.em_pct());
+    println!("valid:    {:.1}%", r.valid_pct());
+    println!("tokens:   {:.0} prompt + {:.0} completion per query", r.cost.avg_prompt_tokens(), r.cost.avg_completion_tokens());
+    println!("calls:    {:.1} per query", r.cost.avg_api_calls());
+    for (h, (c, n)) in &r.ex_by_hardness {
+        println!("  {:<7} {:>5.1}%  ({c}/{n})", h.as_str(), 100.0 * *c as f64 / (*n).max(1) as f64);
+    }
+}

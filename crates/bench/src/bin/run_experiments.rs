@@ -1,0 +1,67 @@
+//! Regenerate every table and figure of the paper.
+//!
+//! ```text
+//! cargo run --release -p bench --bin run_experiments            # all, full scale
+//! cargo run --release -p bench --bin run_experiments -- --quick # reduced grid
+//! cargo run --release -p bench --bin run_experiments -- e1 e8   # selected ids
+//! ```
+//!
+//! Reports land in `results/<id>.md` and `results/<id>.tsv`, and are echoed
+//! to stdout.
+
+use eval::{ExperimentRunner, Scale};
+use std::path::Path;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let ids: Vec<String> = args.into_iter().filter(|a| !a.starts_with("--")).collect();
+    let ids: Vec<&str> = if ids.is_empty() {
+        ExperimentRunner::ALL_IDS
+            .into_iter()
+            .chain(ExperimentRunner::ABLATION_IDS)
+            .collect()
+    } else {
+        ids.iter().map(String::as_str).collect()
+    };
+
+    let scale = if quick {
+        Scale { dev_cap: 60, full_grid: false }
+    } else {
+        Scale::full()
+    };
+
+    eprintln!("generating benchmark ...");
+    let t0 = Instant::now();
+    let bench = if quick {
+        spider_gen::Benchmark::generate(spider_gen::BenchmarkConfig {
+            seed: 2023,
+            train_size: 400,
+            dev_size: 80,
+            dev_domains: 6, synthetic_domains: 0
+        })
+    } else {
+        bench::paper_benchmark()
+    };
+    eprintln!(
+        "benchmark ready in {:.1}s: {} train / {} dev examples over {} databases",
+        t0.elapsed().as_secs_f64(),
+        bench.train.len(),
+        bench.dev.len(),
+        bench.databases.len()
+    );
+
+    let runner = ExperimentRunner::new(&bench, scale, 2023);
+    let outdir = Path::new("results");
+    for id in ids {
+        let t = Instant::now();
+        eprintln!("running {id} ...");
+        for table in runner.run_experiment(id) {
+            println!("{}", table.to_markdown());
+            table.save(outdir).expect("write results/");
+        }
+        eprintln!("{id} done in {:.1}s", t.elapsed().as_secs_f64());
+    }
+    eprintln!("reports written to {}", outdir.display());
+}

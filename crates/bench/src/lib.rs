@@ -1,0 +1,38 @@
+//! # bench — benchmark harness for the DAIL-SQL reproduction
+//!
+//! Hosts the `run_experiments` binary (regenerates every table/figure of the
+//! paper into `results/`) and the Criterion benches (one per experiment hot
+//! path plus the ablations called out in DESIGN.md).
+
+#![warn(missing_docs)]
+
+use spider_gen::{Benchmark, BenchmarkConfig};
+
+/// The benchmark configuration used for paper-scale experiment runs.
+pub fn paper_config() -> BenchmarkConfig {
+    BenchmarkConfig { seed: 2023, train_size: 1200, dev_size: 300, dev_domains: 6, synthetic_domains: 0 }
+}
+
+/// A smaller configuration for Criterion benches (kept light so `cargo
+/// bench` finishes quickly while still exercising the full pipeline).
+pub fn bench_config() -> BenchmarkConfig {
+    BenchmarkConfig { seed: 7, train_size: 200, dev_size: 40, dev_domains: 4, synthetic_domains: 0 }
+}
+
+/// Generate the paper-scale benchmark.
+pub fn paper_benchmark() -> Benchmark {
+    Benchmark::generate(paper_config())
+}
+
+/// Generate the bench-scale benchmark.
+pub fn small_benchmark() -> Benchmark {
+    Benchmark::generate(bench_config())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn configs_are_distinct_scales() {
+        assert!(super::paper_config().train_size > super::bench_config().train_size);
+    }
+}

@@ -1,0 +1,91 @@
+//! Integration tests for the `dail_sql_cli` binary.
+
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dail_sql_cli"))
+}
+
+#[test]
+fn models_lists_the_zoo() {
+    let out = cli().arg("models").output().expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("gpt-4"));
+    assert!(text.contains("llama-7b"));
+    assert!(text.contains("vicuna-33b"));
+}
+
+#[test]
+fn ask_answers_a_question() {
+    let out = cli()
+        .args([
+            "ask",
+            "--question",
+            "How many singers are there?",
+            "--db",
+            "concert_singer",
+            "--train",
+            "40",
+            "--dev",
+            "10",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("sql:"), "{text}");
+    assert!(text.to_lowercase().contains("singer"), "{text}");
+}
+
+#[test]
+fn eval_prints_a_summary() {
+    let out = cli()
+        .args(["eval", "--pipeline", "zero", "--model", "gpt-4", "--train", "60", "--dev", "15"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("EX:"), "{text}");
+    assert!(text.contains("valid:"), "{text}");
+}
+
+#[test]
+fn generate_exports_files() {
+    let dir = std::env::temp_dir().join("dail_cli_gen_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = cli()
+        .args([
+            "generate",
+            "--out",
+            dir.to_str().unwrap(),
+            "--train",
+            "40",
+            "--dev",
+            "10",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(dir.join("train.jsonl").exists());
+    assert!(dir.join("dev.jsonl").exists());
+    assert!(dir.join("databases").read_dir().unwrap().count() > 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = cli().arg("bogus").output().expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown command"));
+}
+
+#[test]
+fn unknown_model_fails() {
+    let out = cli()
+        .args(["eval", "--model", "gpt-99"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+}

@@ -1,0 +1,35 @@
+//! # dail-core — the DAIL-SQL solution and leaderboard baselines
+//!
+//! The paper's primary contribution as a library: the [`DailSql`] pipeline
+//! (code representation + skeleton-aware example selection + token-efficient
+//! question–SQL pair organization, with optional self-consistency), plus the
+//! baselines the Spider leaderboard comparison needs ([`ZeroShot`],
+//! [`DinSqlStyle`], [`C3Style`]) behind one [`Predictor`] trait.
+//!
+//! ```
+//! use dail_core::{DailSql, Predictor, PredictCtx};
+//! use promptkit::ExampleSelector;
+//! use simllm::SimLlm;
+//! use spider_gen::{Benchmark, BenchmarkConfig};
+//! use textkit::Tokenizer;
+//!
+//! let bench = Benchmark::generate(BenchmarkConfig::tiny());
+//! let selector = ExampleSelector::new(&bench);
+//! let tokenizer = Tokenizer::new();
+//! let ctx = PredictCtx { bench: &bench, selector: &selector, tokenizer: &tokenizer, seed: 1, realistic: false };
+//! let dail = DailSql::new(SimLlm::new("gpt-4").unwrap());
+//! let pred = dail.predict(&ctx, &bench.dev[0]);
+//! assert!(!pred.sql.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod dail;
+pub mod pipeline;
+pub mod self_consistency;
+
+pub use baselines::{C3Style, DinSqlStyle, FewShot, ZeroShot};
+pub use dail::DailSql;
+pub use pipeline::{PredictCtx, Prediction, Predictor};
+pub use self_consistency::{vote_by_execution, vote_by_sql};

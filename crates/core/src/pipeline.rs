@@ -1,0 +1,42 @@
+//! The prediction interface shared by DAIL-SQL and the baselines.
+
+use promptkit::ExampleSelector;
+use spider_gen::{Benchmark, ExampleItem};
+use textkit::Tokenizer;
+
+/// Shared context for one evaluation run.
+pub struct PredictCtx<'a> {
+    /// The benchmark (databases + splits).
+    pub bench: &'a Benchmark,
+    /// Precomputed example selector over the training pool.
+    pub selector: &'a ExampleSelector<'a>,
+    /// Tokenizer for prompt accounting.
+    pub tokenizer: &'a Tokenizer,
+    /// Run seed.
+    pub seed: u64,
+    /// Evaluate on Spider-Realistic questions instead of standard ones.
+    pub realistic: bool,
+}
+
+/// One prediction with its cost accounting.
+#[derive(Debug, Clone)]
+pub struct Prediction {
+    /// The predicted SQL text (post-extraction).
+    pub sql: String,
+    /// Total prompt tokens across all API calls made for this item.
+    pub prompt_tokens: usize,
+    /// Total completion tokens across all API calls.
+    pub completion_tokens: usize,
+    /// Number of model calls (preliminary passes, self-consistency samples,
+    /// correction rounds all count).
+    pub api_calls: usize,
+}
+
+/// A Text-to-SQL solution under benchmark.
+pub trait Predictor {
+    /// Display name for report tables.
+    fn name(&self) -> String;
+
+    /// Predict SQL for one dev item.
+    fn predict(&self, ctx: &PredictCtx<'_>, item: &ExampleItem) -> Prediction;
+}

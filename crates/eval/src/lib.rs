@@ -1,0 +1,35 @@
+//! # eval — metrics, cost accounting and the experiment harness
+//!
+//! Scores predictions with Spider's two metrics — **execution accuracy**
+//! (EX, via the `storage` engine) and **exact-set match** (EM, via
+//! `sqlkit`'s canonicalizer) — tracks token/dollar costs, and drives the
+//! paper's ten experiments (E1–E10), each regenerating one table or figure.
+//!
+//! ```no_run
+//! use eval::{ExperimentRunner, Scale};
+//! use spider_gen::{Benchmark, BenchmarkConfig};
+//!
+//! let bench = Benchmark::generate(BenchmarkConfig::default());
+//! let runner = ExperimentRunner::new(&bench, Scale::full(), 2023);
+//! for table in runner.run_experiment("e1") {
+//!     println!("{}", table.to_markdown());
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod errors;
+pub mod experiments;
+pub mod harness;
+pub mod metrics;
+pub mod report;
+pub mod stats;
+
+pub use cost::CostTally;
+pub use errors::{analyze_errors, classify_error, ErrorBreakdown, ErrorClass};
+pub use experiments::{ExperimentRunner, Scale};
+pub use harness::{evaluate, RunResult};
+pub use metrics::{score_item, ItemScore};
+pub use report::{f1, pct, usd, Table};
+pub use stats::{bootstrap_ci95, ConfidenceInterval};

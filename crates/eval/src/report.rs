@@ -1,0 +1,211 @@
+//! Report tables: Markdown and TSV emitters for every experiment.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::Path;
+
+/// A simple report table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table identifier (e.g. "E1").
+    pub id: String,
+    /// Human title (matching the paper artifact it regenerates).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(id: impl Into<String>, title: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            id: id.into(),
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match header arity).
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row arity mismatch in table {}",
+            self.id
+        );
+        self.rows.push(cells);
+    }
+
+    /// Render as GitHub-flavored Markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "### {} — {}\n", self.id, self.title);
+        let _ = writeln!(s, "| {} |", self.headers.join(" | "));
+        let _ = writeln!(
+            s,
+            "|{}|",
+            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(s, "| {} |", row.join(" | "));
+        }
+        s
+    }
+
+    /// Render as TSV (headers first).
+    pub fn to_tsv(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "{}", self.headers.join("\t"));
+        for row in &self.rows {
+            let _ = writeln!(s, "{}", row.join("\t"));
+        }
+        s
+    }
+
+    /// Write both `<dir>/<id>.md` and `<dir>/<id>.tsv`.
+    pub fn save(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let mut md = std::fs::File::create(dir.join(format!("{}.md", self.id)))?;
+        md.write_all(self.to_markdown().as_bytes())?;
+        let mut tsv = std::fs::File::create(dir.join(format!("{}.tsv", self.id)))?;
+        tsv.write_all(self.to_tsv().as_bytes())?;
+        Ok(())
+    }
+}
+
+/// Render an ASCII scatter plot (x → right, y → up) into a code block.
+///
+/// Each point is `(x, y, glyph)`; axes are annotated with min/max. Used to
+/// regenerate the paper's *figures* (e.g. the token-efficiency scatter) in a
+/// terminal-friendly form.
+pub fn ascii_scatter(
+    title: &str,
+    x_label: &str,
+    y_label: &str,
+    points: &[(f64, f64, char)],
+    width: usize,
+    height: usize,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    if points.is_empty() {
+        let _ = writeln!(out, "(no data)");
+        return out;
+    }
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y, _) in points {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    // Pad degenerate ranges.
+    if (x_max - x_min).abs() < 1e-9 {
+        x_max = x_min + 1.0;
+    }
+    if (y_max - y_min).abs() < 1e-9 {
+        y_max = y_min + 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for &(x, y, glyph) in points {
+        let cx = (((x - x_min) / (x_max - x_min)) * (width - 1) as f64).round() as usize;
+        let cy = (((y - y_min) / (y_max - y_min)) * (height - 1) as f64).round() as usize;
+        grid[height - 1 - cy][cx.min(width - 1)] = glyph;
+    }
+    let _ = writeln!(out, "{y_label}");
+    let _ = writeln!(out, "{y_max:8.1} ┐");
+    for row in &grid {
+        let line: String = row.iter().collect();
+        let _ = writeln!(out, "         │{line}");
+    }
+    let _ = writeln!(out, "{y_min:8.1} └{}", "─".repeat(width));
+    let _ = writeln!(out, "          {x_min:<12.0}{:>w$.0}", x_max, w = width.saturating_sub(12));
+    let _ = writeln!(out, "          {x_label}");
+    out
+}
+
+/// Format a ratio as a percentage with one decimal.
+pub fn pct(num: usize, den: usize) -> String {
+    if den == 0 {
+        "-".to_string()
+    } else {
+        format!("{:.1}", 100.0 * num as f64 / den as f64)
+    }
+}
+
+/// Format a float with one decimal.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Format a dollar amount with four decimals.
+pub fn usd(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_and_tsv_shapes() {
+        let mut t = Table::new("E0", "demo", &["a", "b"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 1 | 2 |"));
+        let tsv = t.to_tsv();
+        assert_eq!(tsv.lines().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new("E0", "demo", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn scatter_renders_points_and_axes() {
+        let s = ascii_scatter(
+            "demo",
+            "tokens",
+            "EX",
+            &[(100.0, 70.0, 'F'), (500.0, 85.0, 'D'), (900.0, 86.0, 'S')],
+            40,
+            10,
+        );
+        assert!(s.contains('F') && s.contains('D') && s.contains('S'));
+        assert!(s.contains("tokens"));
+        assert!(s.contains("EX"));
+        assert!(s.lines().count() > 10);
+    }
+
+    #[test]
+    fn scatter_handles_empty_and_degenerate() {
+        assert!(ascii_scatter("t", "x", "y", &[], 10, 5).contains("no data"));
+        let s = ascii_scatter("t", "x", "y", &[(1.0, 1.0, '*')], 10, 5);
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    fn pct_handles_zero_denominator() {
+        assert_eq!(pct(1, 0), "-");
+        assert_eq!(pct(1, 2), "50.0");
+    }
+
+    #[test]
+    fn save_writes_files() {
+        let dir = std::env::temp_dir().join("dail_sql_report_test");
+        let mut t = Table::new("E9TEST", "demo", &["a"]);
+        t.push_row(vec!["x".into()]);
+        t.save(&dir).unwrap();
+        assert!(dir.join("E9TEST.md").exists());
+        assert!(dir.join("E9TEST.tsv").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,97 @@
+//! Statistical utilities: seeded bootstrap confidence intervals for
+//! accuracy estimates, so report tables can carry uncertainty.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A bootstrap percentile confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Point estimate (mean of the observations).
+    pub mean: f64,
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+}
+
+impl ConfidenceInterval {
+    /// Render as `"mean [lo, hi]"` with one decimal (percent scale assumed).
+    pub fn render(&self) -> String {
+        format!("{:.1} [{:.1}, {:.1}]", self.mean, self.lo, self.hi)
+    }
+}
+
+/// 95% bootstrap percentile CI over per-item binary outcomes, reported on the
+/// 0–100 scale. Deterministic given `seed`.
+///
+/// Returns a degenerate interval at 0 for empty input.
+pub fn bootstrap_ci95(outcomes: &[bool], seed: u64) -> ConfidenceInterval {
+    const RESAMPLES: usize = 1000;
+    let n = outcomes.len();
+    if n == 0 {
+        return ConfidenceInterval { mean: 0.0, lo: 0.0, hi: 0.0 };
+    }
+    let mean = 100.0 * outcomes.iter().filter(|&&b| b).count() as f64 / n as f64;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xB007_57A9);
+    let mut means = Vec::with_capacity(RESAMPLES);
+    for _ in 0..RESAMPLES {
+        let mut hits = 0usize;
+        for _ in 0..n {
+            if outcomes[rng.gen_range(0..n)] {
+                hits += 1;
+            }
+        }
+        means.push(100.0 * hits as f64 / n as f64);
+    }
+    means.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let lo = means[(RESAMPLES as f64 * 0.025) as usize];
+    let hi = means[(RESAMPLES as f64 * 0.975) as usize - 1];
+    ConfidenceInterval { mean, lo, hi }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_degenerate() {
+        let ci = bootstrap_ci95(&[], 1);
+        assert_eq!((ci.mean, ci.lo, ci.hi), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn all_true_is_hundred() {
+        let ci = bootstrap_ci95(&[true; 50], 1);
+        assert_eq!(ci.mean, 100.0);
+        assert_eq!(ci.lo, 100.0);
+        assert_eq!(ci.hi, 100.0);
+    }
+
+    #[test]
+    fn interval_brackets_mean_and_is_deterministic() {
+        let outcomes: Vec<bool> = (0..200).map(|i| i % 3 != 0).collect();
+        let a = bootstrap_ci95(&outcomes, 7);
+        let b = bootstrap_ci95(&outcomes, 7);
+        assert_eq!(a, b);
+        assert!(a.lo <= a.mean && a.mean <= a.hi);
+        assert!((a.mean - 66.5).abs() < 1.0);
+        // 95% CI width for n=200, p≈2/3 should be roughly ±6-7 points.
+        assert!(a.hi - a.lo > 5.0 && a.hi - a.lo < 20.0);
+    }
+
+    #[test]
+    fn wider_interval_for_smaller_samples() {
+        let small: Vec<bool> = (0..20).map(|i| i % 2 == 0).collect();
+        let large: Vec<bool> = (0..2000).map(|i| i % 2 == 0).collect();
+        let cs = bootstrap_ci95(&small, 3);
+        let cl = bootstrap_ci95(&large, 3);
+        assert!(cs.hi - cs.lo > cl.hi - cl.lo);
+    }
+
+    #[test]
+    fn render_format() {
+        let ci = ConfidenceInterval { mean: 82.0, lo: 78.1, hi: 85.6 };
+        assert_eq!(ci.render(), "82.0 [78.1, 85.6]");
+    }
+}

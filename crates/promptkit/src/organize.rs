@@ -1,0 +1,201 @@
+//! Example organization strategies: how selected examples appear in the
+//! prompt.
+//!
+//! * `Full` — each example carries its full zero-shot representation
+//!   (instruction + schema + question + SQL). Maximal information, maximal
+//!   tokens.
+//! * `SqlOnly` — only the example SQL queries, no schema or question. The
+//!   cheapest option (Guo et al.), but drops the question→SQL mapping.
+//! * `DailPairs` — DAIL organization: question–SQL pairs without per-example
+//!   schema. Keeps the mapping the LLM learns from while saving the
+//!   (dominant) schema tokens.
+
+use crate::repr::{render_prompt, QuestionRepr, ReprOptions};
+use spider_gen::{Benchmark, ExampleItem};
+use std::fmt::Write as _;
+
+/// The three organization strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OrganizationStrategy {
+    /// Full information per example.
+    Full,
+    /// Example SQL queries only.
+    SqlOnly,
+    /// DAIL organization: question–SQL pairs.
+    DailPairs,
+}
+
+impl OrganizationStrategy {
+    /// Short label used in report tables.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            OrganizationStrategy::Full => "FULL",
+            OrganizationStrategy::SqlOnly => "SQLONLY",
+            OrganizationStrategy::DailPairs => "DAIL_O",
+        }
+    }
+
+    /// All strategies in the paper's order.
+    pub const ALL: [OrganizationStrategy; 3] = [
+        OrganizationStrategy::Full,
+        OrganizationStrategy::SqlOnly,
+        OrganizationStrategy::DailPairs,
+    ];
+}
+
+/// Render the examples section of a few-shot prompt.
+///
+/// `repr` matters only for `Full`, which embeds each example in the same
+/// representation the target question will use.
+pub fn render_examples(
+    organization: OrganizationStrategy,
+    repr: QuestionRepr,
+    bench: &Benchmark,
+    examples: &[&ExampleItem],
+    opts: ReprOptions,
+) -> String {
+    if examples.is_empty() {
+        return String::new();
+    }
+    let mut s = String::new();
+    match organization {
+        OrganizationStrategy::Full => {
+            for ex in examples {
+                let schema = &bench.db(ex).schema;
+                let prompt = render_prompt(repr, schema, None, &ex.question, opts);
+                // The zero-shot prompt ends with the decoding prefix
+                // ("SELECT "); complete it with the gold SQL to form a
+                // demonstration.
+                let body = prompt
+                    .strip_suffix("SELECT ")
+                    .map(str::to_string)
+                    .unwrap_or(prompt);
+                let _ = writeln!(s, "{body}{}\n", ex.gold_sql);
+            }
+        }
+        OrganizationStrategy::SqlOnly => {
+            let _ = writeln!(
+                s,
+                "/* Some SQL examples are provided based on similar problems: */"
+            );
+            for ex in examples {
+                let _ = writeln!(s, "{}", ex.gold_sql);
+            }
+            s.push('\n');
+        }
+        OrganizationStrategy::DailPairs => {
+            let _ = writeln!(
+                s,
+                "/* Some example questions and corresponding SQL queries are provided based on similar problems: */"
+            );
+            for ex in examples {
+                let _ = writeln!(s, "/* Answer the following: {} */", ex.question);
+                let _ = writeln!(s, "{}", ex.gold_sql);
+            }
+            s.push('\n');
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spider_gen::{Benchmark, BenchmarkConfig};
+    use textkit::Tokenizer;
+
+    fn bench() -> Benchmark {
+        Benchmark::generate(BenchmarkConfig::tiny())
+    }
+
+    #[test]
+    fn full_contains_schema_sql_and_question() {
+        let b = bench();
+        let ex: Vec<&_> = b.train.iter().take(2).collect();
+        let s = render_examples(
+            OrganizationStrategy::Full,
+            QuestionRepr::CodeRepr,
+            &b,
+            &ex,
+            ReprOptions::default(),
+        );
+        assert!(s.contains("CREATE TABLE"));
+        assert!(s.contains(&ex[0].gold_sql));
+        assert!(s.contains(&ex[0].question));
+    }
+
+    #[test]
+    fn sql_only_contains_no_questions() {
+        let b = bench();
+        let ex: Vec<&_> = b.train.iter().take(3).collect();
+        let s = render_examples(
+            OrganizationStrategy::SqlOnly,
+            QuestionRepr::CodeRepr,
+            &b,
+            &ex,
+            ReprOptions::default(),
+        );
+        assert!(s.contains(&ex[0].gold_sql));
+        assert!(!s.contains(&ex[0].question));
+        assert!(!s.contains("CREATE TABLE"));
+    }
+
+    #[test]
+    fn dail_pairs_contain_questions_but_no_schema() {
+        let b = bench();
+        let ex: Vec<&_> = b.train.iter().take(3).collect();
+        let s = render_examples(
+            OrganizationStrategy::DailPairs,
+            QuestionRepr::CodeRepr,
+            &b,
+            &ex,
+            ReprOptions::default(),
+        );
+        assert!(s.contains(&ex[0].question));
+        assert!(s.contains(&ex[0].gold_sql));
+        assert!(!s.contains("CREATE TABLE"));
+    }
+
+    #[test]
+    fn token_ordering_full_gt_dail_gt_sqlonly() {
+        let b = bench();
+        let ex: Vec<&_> = b.train.iter().take(5).collect();
+        let t = Tokenizer::new();
+        let full = t.count(&render_examples(
+            OrganizationStrategy::Full,
+            QuestionRepr::CodeRepr,
+            &b,
+            &ex,
+            ReprOptions::default(),
+        ));
+        let dail = t.count(&render_examples(
+            OrganizationStrategy::DailPairs,
+            QuestionRepr::CodeRepr,
+            &b,
+            &ex,
+            ReprOptions::default(),
+        ));
+        let sql_only = t.count(&render_examples(
+            OrganizationStrategy::SqlOnly,
+            QuestionRepr::CodeRepr,
+            &b,
+            &ex,
+            ReprOptions::default(),
+        ));
+        assert!(full > dail, "full {full} dail {dail}");
+        assert!(dail > sql_only, "dail {dail} sqlonly {sql_only}");
+    }
+
+    #[test]
+    fn empty_examples_render_empty() {
+        let b = bench();
+        let s = render_examples(
+            OrganizationStrategy::Full,
+            QuestionRepr::CodeRepr,
+            &b,
+            &[],
+            ReprOptions::default(),
+        );
+        assert!(s.is_empty());
+    }
+}

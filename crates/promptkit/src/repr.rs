@@ -1,0 +1,399 @@
+//! Question representations — the five prompt styles the paper compares.
+//!
+//! | id   | paper name        | schema encoding                    |
+//! |------|-------------------|------------------------------------|
+//! | BS_P | Basic Prompt      | bare `Table t, columns = [...]`    |
+//! | TR_P | Text Representation | prose schema + instruction       |
+//! | OD_P | OpenAI Demo       | `#`-commented schema listing       |
+//! | CR_P | Code Representation | `CREATE TABLE` DDL               |
+//! | AS_P | Alpaca SFT        | markdown instruction template      |
+//!
+//! All five support three toggles the paper ablates: foreign-key info,
+//! rule implication ("with no explanation"), and sampled table content.
+
+use std::fmt::Write as _;
+use storage::{Database, DbSchema};
+
+/// The five question representations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum QuestionRepr {
+    /// `BS_P` — minimal, no instruction.
+    BasicPrompt,
+    /// `TR_P` — natural-language schema plus instruction.
+    TextRepr,
+    /// `OD_P` — OpenAI demo style with `#` comments.
+    OpenAiDemo,
+    /// `CR_P` — `CREATE TABLE` statements (DAIL-SQL's choice).
+    CodeRepr,
+    /// `AS_P` — Alpaca fine-tuning template.
+    AlpacaSft,
+}
+
+impl QuestionRepr {
+    /// Paper abbreviation.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            QuestionRepr::BasicPrompt => "BS_P",
+            QuestionRepr::TextRepr => "TR_P",
+            QuestionRepr::OpenAiDemo => "OD_P",
+            QuestionRepr::CodeRepr => "CR_P",
+            QuestionRepr::AlpacaSft => "AS_P",
+        }
+    }
+
+    /// All representations, in the paper's order.
+    pub const ALL: [QuestionRepr; 5] = [
+        QuestionRepr::BasicPrompt,
+        QuestionRepr::TextRepr,
+        QuestionRepr::OpenAiDemo,
+        QuestionRepr::CodeRepr,
+        QuestionRepr::AlpacaSft,
+    ];
+}
+
+/// Ablation toggles for a representation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReprOptions {
+    /// Include foreign-key information.
+    pub foreign_keys: bool,
+    /// Include the rule implication ("with no explanation").
+    pub rule_implication: bool,
+    /// Number of sample content rows per table (0 = none).
+    pub content_rows: usize,
+}
+
+impl Default for ReprOptions {
+    fn default() -> Self {
+        // The paper's strongest zero-shot settings include FKs and the rule.
+        ReprOptions { foreign_keys: true, rule_implication: true, content_rows: 0 }
+    }
+}
+
+/// Render the full zero-shot prompt for a question under a representation.
+///
+/// `db` supplies sampled content rows when `opts.content_rows > 0`.
+pub fn render_prompt(
+    repr: QuestionRepr,
+    schema: &DbSchema,
+    db: Option<&Database>,
+    question: &str,
+    opts: ReprOptions,
+) -> String {
+    match repr {
+        QuestionRepr::BasicPrompt => basic_prompt(schema, db, question, opts),
+        QuestionRepr::TextRepr => text_repr(schema, db, question, opts),
+        QuestionRepr::OpenAiDemo => openai_demo(schema, db, question, opts),
+        QuestionRepr::CodeRepr => code_repr(schema, db, question, opts),
+        QuestionRepr::AlpacaSft => alpaca_sft(schema, db, question, opts),
+    }
+}
+
+/// Render only the schema section of a representation (used by few-shot FULL
+/// organization, which repeats schema per example).
+pub fn render_schema(repr: QuestionRepr, schema: &DbSchema, opts: ReprOptions) -> String {
+    match repr {
+        QuestionRepr::BasicPrompt => basic_schema(schema, opts),
+        QuestionRepr::TextRepr => text_schema(schema, opts),
+        QuestionRepr::OpenAiDemo => demo_schema(schema, opts),
+        QuestionRepr::CodeRepr => ddl_schema(schema, opts),
+        QuestionRepr::AlpacaSft => basic_schema(schema, opts),
+    }
+}
+
+const RULE: &str = "Complete sqlite SQL query only and with no explanation.";
+
+fn content_block(schema: &DbSchema, db: Option<&Database>, rows: usize, comment: bool) -> String {
+    let Some(db) = db else { return String::new() };
+    if rows == 0 {
+        return String::new();
+    }
+    let mut s = String::new();
+    for t in &schema.tables {
+        let sample = db.sample_rows(&t.name, rows);
+        if sample.is_empty() {
+            continue;
+        }
+        let prefix = if comment { "# " } else { "" };
+        let _ = writeln!(s, "{prefix}/* Sample rows from {}: */", t.name);
+        for row in sample {
+            let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            let _ = writeln!(s, "{prefix}/* {} */", cells.join(", "));
+        }
+    }
+    s
+}
+
+fn fk_lines(schema: &DbSchema) -> String {
+    if schema.foreign_keys.is_empty() {
+        return String::new();
+    }
+    let mut s = String::from("Foreign keys:\n");
+    for fk in &schema.foreign_keys {
+        let _ = writeln!(
+            s,
+            "{}.{} = {}.{}",
+            fk.from_table, fk.from_column, fk.to_table, fk.to_column
+        );
+    }
+    s
+}
+
+// ---- BS_P ----
+
+fn basic_schema(schema: &DbSchema, opts: ReprOptions) -> String {
+    let mut s = String::new();
+    for t in &schema.tables {
+        let cols: Vec<&str> = t.columns.iter().map(|c| c.name.as_str()).collect();
+        let _ = writeln!(s, "Table {}, columns = [ {} ]", t.name, cols.join(" , "));
+    }
+    if opts.foreign_keys {
+        s.push_str(&fk_lines(schema));
+    }
+    s
+}
+
+fn basic_prompt(schema: &DbSchema, db: Option<&Database>, question: &str, opts: ReprOptions) -> String {
+    let mut s = basic_schema(schema, opts);
+    s.push_str(&content_block(schema, db, opts.content_rows, false));
+    let _ = writeln!(s, "Q: {question}");
+    s.push_str("A: SELECT ");
+    s
+}
+
+// ---- TR_P ----
+
+fn text_schema(schema: &DbSchema, opts: ReprOptions) -> String {
+    let mut s = String::from("Given the following database schema:\n");
+    for t in &schema.tables {
+        let cols: Vec<&str> = t.columns.iter().map(|c| c.name.as_str()).collect();
+        let _ = writeln!(s, "{}: {}", t.name, cols.join(", "));
+    }
+    if opts.foreign_keys {
+        s.push_str(&fk_lines(schema));
+    }
+    s
+}
+
+fn text_repr(schema: &DbSchema, db: Option<&Database>, question: &str, opts: ReprOptions) -> String {
+    let mut s = String::new();
+    if opts.rule_implication {
+        let _ = writeln!(s, "{RULE}");
+    }
+    s.push_str(&text_schema(schema, opts));
+    s.push_str(&content_block(schema, db, opts.content_rows, false));
+    let _ = writeln!(s, "Answer the following: {question}");
+    s.push_str("SELECT ");
+    s
+}
+
+// ---- OD_P ----
+
+fn demo_schema(schema: &DbSchema, opts: ReprOptions) -> String {
+    let mut s = String::from("### SQLite SQL tables, with their properties:\n#\n");
+    for t in &schema.tables {
+        let cols: Vec<&str> = t.columns.iter().map(|c| c.name.as_str()).collect();
+        let _ = writeln!(s, "# {}({})", t.name, cols.join(", "));
+    }
+    if opts.foreign_keys {
+        s.push_str("#\n# Foreign keys:\n");
+        for fk in &schema.foreign_keys {
+            let _ = writeln!(
+                s,
+                "# {}.{} = {}.{}",
+                fk.from_table, fk.from_column, fk.to_table, fk.to_column
+            );
+        }
+    }
+    s.push_str("#\n");
+    s
+}
+
+fn openai_demo(schema: &DbSchema, db: Option<&Database>, question: &str, opts: ReprOptions) -> String {
+    let mut s = String::new();
+    if opts.rule_implication {
+        let _ = writeln!(s, "### {RULE}");
+    }
+    s.push_str(&demo_schema(schema, opts));
+    s.push_str(&content_block(schema, db, opts.content_rows, true));
+    let _ = writeln!(s, "### {question}");
+    s.push_str("SELECT ");
+    s
+}
+
+// ---- CR_P ----
+
+fn ddl_schema(schema: &DbSchema, opts: ReprOptions) -> String {
+    let mut s = String::new();
+    for t in &schema.tables {
+        let _ = writeln!(s, "CREATE TABLE {} (", t.name);
+        for (i, c) in t.columns.iter().enumerate() {
+            let comma = if i + 1 < t.columns.len() || !t.primary_key.is_empty() {
+                ","
+            } else {
+                ""
+            };
+            let _ = writeln!(s, "  {} {}{}", c.name, c.ctype.sql_name(), comma);
+        }
+        if let Some(&pk) = t.primary_key.first() {
+            let fk_in_table: Vec<_> = if opts.foreign_keys {
+                schema
+                    .foreign_keys
+                    .iter()
+                    .filter(|fk| fk.from_table.eq_ignore_ascii_case(&t.name))
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            let comma = if fk_in_table.is_empty() { "" } else { "," };
+            let _ = writeln!(s, "  PRIMARY KEY ({}){}", t.columns[pk].name, comma);
+            for (i, fk) in fk_in_table.iter().enumerate() {
+                let comma = if i + 1 < fk_in_table.len() { "," } else { "" };
+                let _ = writeln!(
+                    s,
+                    "  FOREIGN KEY ({}) REFERENCES {}({}){}",
+                    fk.from_column, fk.to_table, fk.to_column, comma
+                );
+            }
+        }
+        let _ = writeln!(s, ");");
+    }
+    s
+}
+
+fn code_repr(schema: &DbSchema, db: Option<&Database>, question: &str, opts: ReprOptions) -> String {
+    let mut s = ddl_schema(schema, opts);
+    s.push_str(&content_block(schema, db, opts.content_rows, false));
+    if opts.rule_implication {
+        let _ = writeln!(s, "/* {RULE} */");
+    }
+    let _ = writeln!(s, "/* Answer the following: {question} */");
+    s.push_str("SELECT ");
+    s
+}
+
+// ---- AS_P ----
+
+fn alpaca_sft(schema: &DbSchema, db: Option<&Database>, question: &str, opts: ReprOptions) -> String {
+    let mut s = String::from(
+        "Below is an instruction that describes a task, paired with an input that provides further context. Write a response that appropriately completes the request.\n\n",
+    );
+    let _ = writeln!(s, "### Instruction:");
+    let _ = writeln!(s, "Write a sql to answer the question \"{question}\"");
+    if opts.rule_implication {
+        let _ = writeln!(s, "{RULE}");
+    }
+    let _ = writeln!(s, "\n### Input:");
+    s.push_str(&basic_schema(schema, opts));
+    s.push_str(&content_block(schema, db, opts.content_rows, false));
+    let _ = writeln!(s, "\n### Response:");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spider_gen::all_domains;
+
+    fn schema() -> DbSchema {
+        all_domains()[0].to_schema()
+    }
+
+    #[test]
+    fn all_reprs_contain_question_and_tables() {
+        let s = schema();
+        for repr in QuestionRepr::ALL {
+            let p = render_prompt(repr, &s, None, "How many singers?", ReprOptions::default());
+            assert!(p.contains("How many singers?"), "{repr:?}");
+            assert!(p.to_lowercase().contains("singer"), "{repr:?}");
+            assert!(p.to_lowercase().contains("concert"), "{repr:?}");
+        }
+    }
+
+    #[test]
+    fn foreign_key_toggle_changes_prompt() {
+        let s = schema();
+        for repr in QuestionRepr::ALL {
+            let with = render_prompt(
+                repr,
+                &s,
+                None,
+                "q",
+                ReprOptions { foreign_keys: true, ..ReprOptions::default() },
+            );
+            let without = render_prompt(
+                repr,
+                &s,
+                None,
+                "q",
+                ReprOptions { foreign_keys: false, ..ReprOptions::default() },
+            );
+            assert!(with.len() > without.len(), "{repr:?}");
+        }
+    }
+
+    #[test]
+    fn rule_toggle_changes_instructed_reprs() {
+        let s = schema();
+        for repr in [QuestionRepr::TextRepr, QuestionRepr::OpenAiDemo, QuestionRepr::CodeRepr, QuestionRepr::AlpacaSft] {
+            let with = render_prompt(
+                repr,
+                &s,
+                None,
+                "q",
+                ReprOptions { rule_implication: true, ..ReprOptions::default() },
+            );
+            assert!(with.contains("no explanation"), "{repr:?}");
+            let without = render_prompt(
+                repr,
+                &s,
+                None,
+                "q",
+                ReprOptions { rule_implication: false, ..ReprOptions::default() },
+            );
+            assert!(!without.contains("no explanation"), "{repr:?}");
+        }
+    }
+
+    #[test]
+    fn code_repr_emits_ddl() {
+        let p = render_prompt(QuestionRepr::CodeRepr, &schema(), None, "q", ReprOptions::default());
+        assert!(p.contains("CREATE TABLE singer"));
+        assert!(p.contains("PRIMARY KEY"));
+        assert!(p.contains("FOREIGN KEY"));
+    }
+
+    #[test]
+    fn openai_demo_uses_pound_signs() {
+        let p = render_prompt(QuestionRepr::OpenAiDemo, &schema(), None, "q", ReprOptions::default());
+        assert!(p.lines().filter(|l| l.starts_with('#')).count() > 3);
+    }
+
+    #[test]
+    fn basic_prompt_has_no_instruction() {
+        let p = render_prompt(QuestionRepr::BasicPrompt, &schema(), None, "q", ReprOptions::default());
+        assert!(!p.contains("no explanation"));
+        assert!(p.ends_with("A: SELECT "));
+    }
+
+    #[test]
+    fn content_rows_add_sample_data() {
+        let d = &all_domains()[0];
+        let db = spider_gen::populate(d, 3);
+        let with = render_prompt(
+            QuestionRepr::CodeRepr,
+            &schema(),
+            Some(&db),
+            "q",
+            ReprOptions { content_rows: 3, ..ReprOptions::default() },
+        );
+        assert!(with.contains("Sample rows"));
+    }
+
+    #[test]
+    fn alpaca_has_markdown_sections() {
+        let p = render_prompt(QuestionRepr::AlpacaSft, &schema(), None, "q", ReprOptions::default());
+        assert!(p.contains("### Instruction:"));
+        assert!(p.contains("### Input:"));
+        assert!(p.contains("### Response:"));
+    }
+}

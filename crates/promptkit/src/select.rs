@@ -1,0 +1,363 @@
+//! Example selection strategies for few-shot prompting.
+//!
+//! The paper compares four strategies plus DAIL selection:
+//!
+//! * `Random` — uniform sample from the training pool;
+//! * `QTS` — question text similarity (embedding cosine);
+//! * `MQS` — *masked* question similarity (domain words masked first);
+//! * `QRS` — query similarity: rank by skeleton similarity between the
+//!   example's gold query and a *preliminary* predicted query for the target;
+//! * `Dail` — DAIL selection: masked-question similarity ranking, filtered
+//!   and re-ranked by query-skeleton similarity, capturing both the question
+//!   intent and the (estimated) target SQL shape.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use spider_gen::{Benchmark, ExampleItem};
+use sqlkit::{Query, Skeleton};
+use textkit::{embed, DomainMasker, Embedding};
+
+/// Remove mask placeholders before embedding: what remains is the
+/// question's intent scaffold.
+fn strip_masks(masked: &str) -> String {
+    masked.replace(textkit::MASK, " ")
+}
+
+/// The selection strategies of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SelectionStrategy {
+    /// Uniform random examples.
+    Random,
+    /// Question text similarity.
+    QuestionSimilarity,
+    /// Masked question similarity.
+    MaskedQuestionSimilarity,
+    /// Query (skeleton) similarity against a preliminary prediction.
+    QuerySimilarity,
+    /// DAIL selection: masked-question similarity ∧ skeleton similarity.
+    Dail,
+}
+
+impl SelectionStrategy {
+    /// Short label used in report tables.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SelectionStrategy::Random => "Random",
+            SelectionStrategy::QuestionSimilarity => "QTS",
+            SelectionStrategy::MaskedQuestionSimilarity => "MQS",
+            SelectionStrategy::QuerySimilarity => "QRS",
+            SelectionStrategy::Dail => "DAIL_S",
+        }
+    }
+
+    /// All strategies in the paper's order.
+    pub const ALL: [SelectionStrategy; 5] = [
+        SelectionStrategy::Random,
+        SelectionStrategy::QuestionSimilarity,
+        SelectionStrategy::MaskedQuestionSimilarity,
+        SelectionStrategy::QuerySimilarity,
+        SelectionStrategy::Dail,
+    ];
+}
+
+/// A training example with precomputed selection features.
+struct IndexedExample {
+    idx: usize,
+    embedding: Embedding,
+    masked_embedding: Embedding,
+    skeleton: Skeleton,
+}
+
+/// Precomputed selector over a benchmark's training pool.
+pub struct ExampleSelector<'a> {
+    pool: &'a [ExampleItem],
+    index: Vec<IndexedExample>,
+}
+
+impl<'a> ExampleSelector<'a> {
+    /// Build the selector: embeds every training question (raw and masked
+    /// with its own domain vocabulary) and extracts gold skeletons.
+    pub fn new(bench: &'a Benchmark) -> Self {
+        let index = bench
+            .train
+            .iter()
+            .enumerate()
+            .map(|(idx, ex)| {
+                let spec = &bench.specs[&ex.db_id];
+                let masker = DomainMasker::new(spec.domain_terms());
+                IndexedExample {
+                    idx,
+                    embedding: embed(&ex.question),
+                    // The mask token itself carries no intent information —
+                    // embedding it would add constant similarity between all
+                    // masked questions and wash out the signal.
+                    masked_embedding: embed(&strip_masks(&masker.mask(&ex.question))),
+                    skeleton: Skeleton::of(&ex.gold),
+                }
+            })
+            .collect();
+        ExampleSelector { pool: &bench.train, index }
+    }
+
+    /// Number of candidates in the pool.
+    pub fn pool_len(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Select `k` examples for a target question.
+    ///
+    /// * `masked_target` — the target question masked with *its* domain terms
+    ///   (callers build it via [`textkit::DomainMasker`]);
+    /// * `preliminary` — a draft prediction for the target, required by QRS
+    ///   and used by DAIL when present.
+    /// * `seed` — drives the Random strategy (and tie-breaking shuffles).
+    pub fn select(
+        &self,
+        strategy: SelectionStrategy,
+        target_question: &str,
+        masked_target: &str,
+        preliminary: Option<&Query>,
+        k: usize,
+        seed: u64,
+    ) -> Vec<&'a ExampleItem> {
+        if k == 0 || self.pool.is_empty() {
+            return Vec::new();
+        }
+        let k = k.min(self.pool.len());
+        match strategy {
+            SelectionStrategy::Random => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut ids: Vec<usize> = (0..self.pool.len()).collect();
+                ids.shuffle(&mut rng);
+                ids.truncate(k);
+                ids.into_iter().map(|i| &self.pool[i]).collect()
+            }
+            SelectionStrategy::QuestionSimilarity => {
+                let e = embed(target_question);
+                self.top_by(k, |ex| ex.embedding.cosine(&e))
+            }
+            SelectionStrategy::MaskedQuestionSimilarity => {
+                let e = embed(&strip_masks(masked_target));
+                self.top_by(k, |ex| ex.masked_embedding.cosine(&e))
+            }
+            SelectionStrategy::QuerySimilarity => {
+                let Some(pq) = preliminary else {
+                    // No draft available: degrade to question similarity,
+                    // which is what implementations fall back to in practice.
+                    return self.select(
+                        SelectionStrategy::QuestionSimilarity,
+                        target_question,
+                        masked_target,
+                        None,
+                        k,
+                        seed,
+                    );
+                };
+                let sk = Skeleton::of(pq);
+                self.top_by(k, |ex| ex.skeleton.similarity(&sk))
+            }
+            SelectionStrategy::Dail => {
+                let e = embed(&strip_masks(masked_target));
+                match preliminary {
+                    Some(pq) => {
+                        let sk = Skeleton::of(pq);
+                        // DAIL selection is two-staged: masked-question
+                        // similarity shortlists intent-relevant candidates,
+                        // then skeleton similarity to the preliminary
+                        // prediction re-ranks within the shortlist. A wrong
+                        // preliminary can therefore reorder but never
+                        // replace question-relevant demonstrations.
+                        let pool_k = (4 * k).max(16).min(self.index.len());
+                        let mut by_q: Vec<(f64, usize)> = self
+                            .index
+                            .iter()
+                            .map(|ex| (ex.masked_embedding.cosine(&e), ex.idx))
+                            .collect();
+                        by_q.sort_by(|a, b| {
+                            b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal)
+                        });
+                        let mut shortlist: Vec<(f64, f64, usize)> = by_q
+                            .into_iter()
+                            .take(pool_k)
+                            .map(|(q_sim, idx)| {
+                                let s_sim = self.index[self.pos_of(idx)].skeleton.similarity(&sk);
+                                (s_sim, q_sim, idx)
+                            })
+                            .collect();
+                        shortlist.sort_by(|a, b| {
+                            b.0.partial_cmp(&a.0)
+                                .unwrap_or(std::cmp::Ordering::Equal)
+                                .then(b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal))
+                        });
+                        shortlist
+                            .into_iter()
+                            .take(k)
+                            .map(|(_, _, i)| &self.pool[i])
+                            .collect()
+                    }
+                    None => self.top_by(k, |ex| ex.masked_embedding.cosine(&e)),
+                }
+            }
+        }
+    }
+
+    /// Position of a pool index inside `self.index` (identity by
+    /// construction, kept explicit for safety).
+    fn pos_of(&self, idx: usize) -> usize {
+        debug_assert_eq!(self.index[idx].idx, idx);
+        idx
+    }
+
+    fn top_by(&self, k: usize, score: impl Fn(&IndexedExample) -> f64) -> Vec<&'a ExampleItem> {
+        let mut scored: Vec<(f64, usize)> =
+            self.index.iter().map(|ex| (score(ex), ex.idx)).collect();
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        scored.into_iter().take(k).map(|(_, i)| &self.pool[i]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spider_gen::{Benchmark, BenchmarkConfig};
+
+    fn bench() -> Benchmark {
+        Benchmark::generate(BenchmarkConfig::tiny())
+    }
+
+    #[test]
+    fn selects_k_examples() {
+        let b = bench();
+        let sel = ExampleSelector::new(&b);
+        for strat in SelectionStrategy::ALL {
+            let picked = sel.select(strat, "how many things are there", "how many <mask> are there", None, 5, 1);
+            assert_eq!(picked.len(), 5, "{strat:?}");
+        }
+    }
+
+    #[test]
+    fn k_zero_returns_empty() {
+        let b = bench();
+        let sel = ExampleSelector::new(&b);
+        assert!(sel
+            .select(SelectionStrategy::Random, "q", "q", None, 0, 1)
+            .is_empty());
+    }
+
+    #[test]
+    fn random_is_seed_deterministic() {
+        let b = bench();
+        let sel = ExampleSelector::new(&b);
+        let a: Vec<usize> = sel
+            .select(SelectionStrategy::Random, "q", "q", None, 5, 42)
+            .iter()
+            .map(|e| e.id)
+            .collect();
+        let c: Vec<usize> = sel
+            .select(SelectionStrategy::Random, "q", "q", None, 5, 42)
+            .iter()
+            .map(|e| e.id)
+            .collect();
+        assert_eq!(a, c);
+        let d: Vec<usize> = sel
+            .select(SelectionStrategy::Random, "q", "q", None, 5, 43)
+            .iter()
+            .map(|e| e.id)
+            .collect();
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn question_similarity_finds_count_questions() {
+        let b = bench();
+        let sel = ExampleSelector::new(&b);
+        let picked = sel.select(
+            SelectionStrategy::QuestionSimilarity,
+            "How many gadgets are there?",
+            "how many <mask> are there",
+            None,
+            5,
+            1,
+        );
+        // At least one selected example should itself be a counting question.
+        let any_count = picked.iter().any(|e| e.gold_sql.to_lowercase().contains("count"));
+        assert!(any_count, "picked: {:?}", picked.iter().map(|e| &e.question).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn query_similarity_uses_preliminary_skeleton() {
+        let b = bench();
+        let sel = ExampleSelector::new(&b);
+        let draft = sqlkit::parse_query("SELECT count(*) FROM t").unwrap();
+        let sk = Skeleton::of(&draft);
+        let mean_sim = |picked: &[&spider_gen::ExampleItem]| {
+            picked
+                .iter()
+                .map(|e| Skeleton::of(&e.gold).similarity(&sk))
+                .sum::<f64>()
+                / picked.len() as f64
+        };
+        let qrs = sel.select(
+            SelectionStrategy::QuerySimilarity,
+            "irrelevant words entirely",
+            "irrelevant words entirely",
+            Some(&draft),
+            5,
+            1,
+        );
+        let random = sel.select(
+            SelectionStrategy::Random,
+            "irrelevant words entirely",
+            "irrelevant words entirely",
+            None,
+            5,
+            1,
+        );
+        assert!(
+            mean_sim(&qrs) > mean_sim(&random) + 0.1,
+            "qrs {:.3} vs random {:.3}",
+            mean_sim(&qrs),
+            mean_sim(&random)
+        );
+        assert!(mean_sim(&qrs) > 0.8, "qrs picks should be near-skeleton-identical");
+    }
+
+    #[test]
+    fn dail_skeleton_refinement_never_hurts_skeleton_match() {
+        let b = bench();
+        let sel = ExampleSelector::new(&b);
+        let draft = sqlkit::parse_query("SELECT count(*) FROM t").unwrap();
+        let sk = Skeleton::of(&draft);
+        let count_hits = |picked: &[&spider_gen::ExampleItem]| {
+            picked
+                .iter()
+                .map(|e| Skeleton::of(&e.gold).similarity(&sk))
+                .sum::<f64>()
+        };
+        let dail = sel.select(
+            SelectionStrategy::Dail,
+            "How many widgets are there?",
+            "how many <mask> are there",
+            Some(&draft),
+            5,
+            1,
+        );
+        let mqs = sel.select(
+            SelectionStrategy::MaskedQuestionSimilarity,
+            "How many widgets are there?",
+            "how many <mask> are there",
+            None,
+            5,
+            1,
+        );
+        // The skeleton term can only pull the selection toward the draft's
+        // shape relative to pure masked-question similarity.
+        assert!(
+            count_hits(&dail) >= count_hits(&mqs) - 1e-9,
+            "dail {} vs mqs {}",
+            count_hits(&dail),
+            count_hits(&mqs)
+        );
+    }
+}

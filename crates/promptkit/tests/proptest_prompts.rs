@@ -1,0 +1,106 @@
+//! Property tests for prompt assembly: budgets are respected, the question
+//! always survives, and selection never leaves the pool.
+
+use promptkit::{
+    build_prompt, ExampleSelector, OrganizationStrategy, PromptConfig, QuestionRepr,
+    ReprOptions, SelectionStrategy,
+};
+use proptest::prelude::*;
+use spider_gen::{Benchmark, BenchmarkConfig};
+use std::sync::OnceLock;
+use textkit::Tokenizer;
+
+fn bench() -> &'static Benchmark {
+    static BENCH: OnceLock<Benchmark> = OnceLock::new();
+    BENCH.get_or_init(|| Benchmark::generate(BenchmarkConfig::tiny()))
+}
+
+fn repr_strategy() -> impl Strategy<Value = QuestionRepr> {
+    prop_oneof![
+        Just(QuestionRepr::BasicPrompt),
+        Just(QuestionRepr::TextRepr),
+        Just(QuestionRepr::OpenAiDemo),
+        Just(QuestionRepr::CodeRepr),
+        Just(QuestionRepr::AlpacaSft),
+    ]
+}
+
+fn selection_strategy() -> impl Strategy<Value = SelectionStrategy> {
+    prop_oneof![
+        Just(SelectionStrategy::Random),
+        Just(SelectionStrategy::QuestionSimilarity),
+        Just(SelectionStrategy::MaskedQuestionSimilarity),
+        Just(SelectionStrategy::QuerySimilarity),
+        Just(SelectionStrategy::Dail),
+    ]
+}
+
+fn organization_strategy() -> impl Strategy<Value = OrganizationStrategy> {
+    prop_oneof![
+        Just(OrganizationStrategy::Full),
+        Just(OrganizationStrategy::SqlOnly),
+        Just(OrganizationStrategy::DailPairs),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The assembled prompt always contains the target question, never
+    /// exceeds a generous budget when examples can be dropped, and reports
+    /// a token count consistent with the tokenizer.
+    #[test]
+    fn prompt_invariants(
+        repr in repr_strategy(),
+        selection in selection_strategy(),
+        organization in organization_strategy(),
+        shots in 0usize..6,
+        budget in 200usize..4000,
+        item_idx in 0usize..10,
+        seed in 0u64..1000,
+    ) {
+        let b = bench();
+        let selector = ExampleSelector::new(b);
+        let tokenizer = Tokenizer::new();
+        let cfg = PromptConfig {
+            repr,
+            opts: ReprOptions::default(),
+            selection,
+            organization,
+            shots,
+            max_tokens: budget,
+        };
+        let item = &b.dev[item_idx % b.dev.len()];
+        let bundle = build_prompt(&cfg, b, &selector, item, None, false, &tokenizer, seed);
+
+        prop_assert!(bundle.text.contains(&item.question));
+        prop_assert_eq!(bundle.tokens, tokenizer.count(&bundle.text));
+        prop_assert!(bundle.example_ids.len() <= shots);
+        // Budget holds whenever at least the bare prompt fits.
+        if bundle.example_ids.is_empty() {
+            // Zero examples: bundle is the floor; nothing to check beyond it.
+        } else {
+            prop_assert!(bundle.tokens <= budget, "tokens {} > budget {}", bundle.tokens, budget);
+        }
+        // Selected examples come from the training pool.
+        let pool: std::collections::HashSet<usize> = b.train.iter().map(|e| e.id).collect();
+        prop_assert!(bundle.example_ids.iter().all(|i| pool.contains(i)));
+    }
+
+    /// Selection returns exactly k distinct items for every strategy.
+    #[test]
+    fn selection_returns_k_distinct(
+        selection in selection_strategy(),
+        k in 1usize..8,
+        seed in 0u64..500,
+        item_idx in 0usize..10,
+    ) {
+        let b = bench();
+        let selector = ExampleSelector::new(b);
+        let item = &b.dev[item_idx % b.dev.len()];
+        let picked = selector.select(selection, &item.question, &item.question, Some(&item.gold), k, seed);
+        prop_assert_eq!(picked.len(), k.min(b.train.len()));
+        let ids: std::collections::HashSet<usize> = picked.iter().map(|e| e.id).collect();
+        prop_assert_eq!(ids.len(), picked.len(), "duplicate selections");
+    }
+}

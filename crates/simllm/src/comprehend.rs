@@ -1,0 +1,455 @@
+//! Prompt comprehension: the simulated model re-parses the *prompt string*.
+//!
+//! This is the crux of the simulation's fairness: the model sees only the
+//! text the prompt layer produced. Whatever a representation leaves out
+//! (foreign keys, instructions, content) is genuinely unavailable downstream,
+//! which is exactly how the paper's ablations bite real LLMs.
+
+/// A table recovered from the prompt.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ParsedTable {
+    /// Table name as printed.
+    pub name: String,
+    /// Column names as printed.
+    pub columns: Vec<String>,
+    /// SQL type per column when the representation carried types (only
+    /// CR_P's DDL does) — this is one of the mechanisms behind CR_P's edge.
+    pub types: Vec<Option<String>>,
+}
+
+impl ParsedTable {
+    /// Whether a column is known to be numeric (requires type info).
+    pub fn is_numeric(&self, col_idx: usize) -> Option<bool> {
+        self.types.get(col_idx)?.as_ref().map(|t| {
+            let t = t.to_uppercase();
+            t.contains("INT") || t.contains("REAL") || t.contains("FLOAT") || t.contains("NUM")
+        })
+    }
+}
+
+/// A foreign-key edge recovered from the prompt.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedFk {
+    /// Referencing table.
+    pub from_table: String,
+    /// Referencing column.
+    pub from_column: String,
+    /// Referenced table.
+    pub to_table: String,
+    /// Referenced column.
+    pub to_column: String,
+}
+
+/// One in-context example recovered from the prompt.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedExample {
+    /// The example's question, when the organization included it.
+    pub question: Option<String>,
+    /// The example's SQL.
+    pub sql: String,
+}
+
+/// Everything the model could recover from the prompt.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedPrompt {
+    /// Tables of the *target* schema (the last schema block in the prompt).
+    pub tables: Vec<ParsedTable>,
+    /// Foreign keys of the target schema.
+    pub fks: Vec<ParsedFk>,
+    /// In-context examples, in prompt order.
+    pub examples: Vec<ParsedExample>,
+    /// The target question.
+    pub question: String,
+    /// Whether the "no explanation" rule was present.
+    pub has_rule: bool,
+    /// Whether the prompt ends with a `SELECT ` decoding prefix.
+    pub ends_with_select: bool,
+    /// Sampled content cell values seen in the prompt.
+    pub content_values: Vec<String>,
+}
+
+/// Parse a prompt.
+pub fn parse_prompt(prompt: &str) -> ParsedPrompt {
+    let mut out = ParsedPrompt {
+        ends_with_select: prompt.trim_end().ends_with("SELECT"),
+        has_rule: prompt.contains("no explanation"),
+        ..ParsedPrompt::default()
+    };
+
+    let mut tables: Vec<ParsedTable> = Vec::new();
+    let mut fks: Vec<ParsedFk> = Vec::new();
+    let mut pending_question: Option<String> = None;
+    let mut in_create: Option<ParsedTable> = None;
+    let mut expect_response_sql = false;
+    let mut in_fk_section = false;
+
+    let finish_example = |tables: &mut Vec<ParsedTable>,
+                              fks: &mut Vec<ParsedFk>,
+                              pending: &mut Option<String>,
+                              examples: &mut Vec<ParsedExample>,
+                              sql: String| {
+        examples.push(ParsedExample { question: pending.take(), sql });
+        // A completed example's schema belongs to that example (FULL
+        // organization); the target schema will be re-announced later.
+        tables.clear();
+        fks.clear();
+    };
+
+    for raw in prompt.lines() {
+        let line = raw.trim_end();
+        let trimmed = line.trim_start();
+
+        // --- CREATE TABLE blocks (CR_P) ---
+        if let Some(rest) = trimmed.strip_prefix("CREATE TABLE ") {
+            let name = rest.trim_end_matches('(').trim().to_string();
+            in_create = Some(ParsedTable { name, ..ParsedTable::default() });
+            in_fk_section = false;
+            continue;
+        }
+        if let Some(tbl) = &mut in_create {
+            if trimmed.starts_with(");") || trimmed == ")" {
+                tables.push(in_create.take().unwrap());
+                continue;
+            }
+            if let Some(rest) = trimmed.strip_prefix("FOREIGN KEY (") {
+                // FOREIGN KEY (col) REFERENCES table(col)
+                if let Some((col, rest2)) = rest.split_once(')') {
+                    if let Some(refpart) = rest2.trim().strip_prefix("REFERENCES ") {
+                        let refpart = refpart.trim_end_matches(',').trim_end_matches(';');
+                        if let Some((tname, colpart)) = refpart.split_once('(') {
+                            fks.push(ParsedFk {
+                                from_table: tbl.name.clone(),
+                                from_column: col.trim().to_string(),
+                                to_table: tname.trim().to_string(),
+                                to_column: colpart.trim_end_matches(')').trim().to_string(),
+                            });
+                        }
+                    }
+                }
+                continue;
+            }
+            if trimmed.starts_with("PRIMARY KEY") {
+                continue;
+            }
+            // "name TYPE," column line
+            let mut parts = trimmed.split_whitespace();
+            if let Some(first) = parts.next() {
+                if !first.is_empty() {
+                    tbl.columns.push(first.trim_end_matches(',').to_string());
+                    tbl.types
+                        .push(parts.next().map(|t| t.trim_end_matches(',').to_string()));
+                }
+            }
+            continue;
+        }
+
+        // --- content samples (any repr) ---
+        if trimmed.contains("Sample rows from") {
+            in_fk_section = false;
+            continue;
+        }
+        if (trimmed.starts_with("/*") || trimmed.starts_with("# /*")) && trimmed.ends_with("*/") {
+            let inner = trimmed
+                .trim_start_matches('#')
+                .trim()
+                .trim_start_matches("/*")
+                .trim_end_matches("*/")
+                .trim();
+            // Example-question markers handled below; everything else that is
+            // comma-separated is sampled content.
+            if !inner.starts_with("Answer the following:")
+                && !inner.starts_with("Some ")
+                && inner.contains(',')
+            {
+                for cell in inner.split(',') {
+                    let cell = cell.trim();
+                    if !cell.is_empty() && cell.parse::<f64>().is_err() && cell != "NULL" {
+                        out.content_values.push(cell.to_string());
+                    }
+                }
+                continue;
+            }
+        }
+
+        // --- question cues ---
+        if let Some(q) = trimmed
+            .strip_prefix("/* Answer the following: ")
+            .map(|r| r.trim_end_matches("*/").trim())
+        {
+            pending_question = Some(q.to_string());
+            in_fk_section = false;
+            continue;
+        }
+        if let Some(q) = trimmed.strip_prefix("Q: ") {
+            pending_question = Some(q.to_string());
+            continue;
+        }
+        if let Some(q) = trimmed.strip_prefix("Answer the following: ") {
+            pending_question = Some(q.to_string());
+            continue;
+        }
+        if trimmed.starts_with("### ")
+            && !trimmed.contains("SQL tables")
+            && !trimmed.contains("Complete sqlite")
+            && !trimmed.contains("Instruction:")
+            && !trimmed.contains("Input:")
+            && !trimmed.contains("Response:")
+            && !trimmed.contains("Foreign keys")
+        {
+            pending_question = Some(trimmed.trim_start_matches("### ").to_string());
+            continue;
+        }
+        if trimmed.contains("answer the question \"") {
+            if let Some(start) = trimmed.find('"') {
+                if let Some(end) = trimmed.rfind('"') {
+                    if end > start {
+                        pending_question = Some(trimmed[start + 1..end].to_string());
+                    }
+                }
+            }
+            continue;
+        }
+        if trimmed.starts_with("### Response:") {
+            expect_response_sql = true;
+            continue;
+        }
+
+        // --- SQL completions ---
+        let sql_body = if let Some(rest) = trimmed.strip_prefix("A: ") {
+            Some(rest)
+        } else if trimmed.starts_with("SELECT ") || trimmed == "SELECT" {
+            Some(trimmed)
+        } else {
+            None
+        };
+        if let Some(sql) = sql_body {
+            let sql = sql.trim();
+            if sql == "SELECT" || sql == "A: SELECT" || sql.is_empty() {
+                // Decoding prefix, not a completion.
+                continue;
+            }
+            if sql.starts_with("SELECT ") && sql.len() > 8 {
+                finish_example(
+                    &mut tables,
+                    &mut fks,
+                    &mut pending_question,
+                    &mut out.examples,
+                    sql.to_string(),
+                );
+                expect_response_sql = false;
+                continue;
+            }
+        }
+        if expect_response_sql && trimmed.starts_with("SELECT") && trimmed.len() > 7 {
+            finish_example(
+                &mut tables,
+                &mut fks,
+                &mut pending_question,
+                &mut out.examples,
+                trimmed.to_string(),
+            );
+            expect_response_sql = false;
+            continue;
+        }
+
+        // --- foreign keys sections (BS/TR "Foreign keys:"; OD "# Foreign keys:") ---
+        if trimmed.contains("Foreign keys") {
+            in_fk_section = true;
+            continue;
+        }
+        if in_fk_section {
+            let body = trimmed.trim_start_matches('#').trim();
+            if let Some((l, r)) = body.split_once('=') {
+                let parse_side = |s: &str| -> Option<(String, String)> {
+                    let (t, c) = s.trim().split_once('.')?;
+                    Some((t.trim().to_string(), c.trim().to_string()))
+                };
+                if let (Some((ft, fc)), Some((tt, tc))) = (parse_side(l), parse_side(r)) {
+                    fks.push(ParsedFk {
+                        from_table: ft,
+                        from_column: fc,
+                        to_table: tt,
+                        to_column: tc,
+                    });
+                    continue;
+                }
+            }
+            in_fk_section = false;
+        }
+
+        // --- schema lines ---
+        // BS_P / AS_P: "Table t, columns = [ a , b ]"
+        if let Some(rest) = trimmed.strip_prefix("Table ") {
+            if let Some((name, cols)) = rest.split_once(", columns = [") {
+                let columns = cols
+                    .trim_end_matches(']')
+                    .split(',')
+                    .map(|c| c.trim().to_string())
+                    .filter(|c| !c.is_empty())
+                    .collect();
+                let columns: Vec<String> = columns;
+                let types = vec![None; columns.len()];
+                tables.push(ParsedTable { name: name.trim().to_string(), columns, types });
+                continue;
+            }
+        }
+        // OD_P: "# t(a, b)"
+        if let Some(rest) = trimmed.strip_prefix("# ") {
+            if let Some((name, cols)) = rest.split_once('(') {
+                if rest.ends_with(')') && !name.trim().contains(' ') {
+                    let columns = cols
+                        .trim_end_matches(')')
+                        .split(',')
+                        .map(|c| c.trim().to_string())
+                        .filter(|c| !c.is_empty())
+                        .collect();
+                    let columns: Vec<String> = columns;
+                    let types = vec![None; columns.len()];
+                    tables.push(ParsedTable { name: name.trim().to_string(), columns, types });
+                    continue;
+                }
+            }
+        }
+        // TR_P: "t: a, b, c" (only plausible identifier heads).
+        if let Some((head, cols)) = trimmed.split_once(": ") {
+            let head = head.trim();
+            if !head.is_empty()
+                && head.chars().all(|c| c.is_alphanumeric() || c == '_')
+                && cols.contains(',')
+            {
+                let columns: Vec<String> = cols.split(',').map(|c| c.trim().to_string()).collect();
+                let types = vec![None; columns.len()];
+                tables.push(ParsedTable { name: head.to_string(), columns, types });
+                continue;
+            }
+        }
+    }
+
+    out.tables = tables;
+    out.fks = fks;
+    out.question = pending_question.unwrap_or_default();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use promptkit::{render_prompt, QuestionRepr, ReprOptions};
+    use spider_gen::all_domains;
+
+    fn roundtrip(repr: QuestionRepr, opts: ReprOptions) -> ParsedPrompt {
+        let schema = all_domains()[0].to_schema();
+        let p = render_prompt(repr, &schema, None, "How many singers are there?", opts);
+        parse_prompt(&p)
+    }
+
+    #[test]
+    fn recovers_schema_from_every_representation() {
+        for repr in QuestionRepr::ALL {
+            let parsed = roundtrip(repr, ReprOptions::default());
+            assert_eq!(parsed.tables.len(), 3, "{repr:?}: {:?}", parsed.tables);
+            let singer = parsed.tables.iter().find(|t| t.name == "singer").unwrap();
+            assert!(singer.columns.contains(&"age".to_string()), "{repr:?}");
+            assert_eq!(parsed.question, "How many singers are there?", "{repr:?}");
+        }
+    }
+
+    #[test]
+    fn recovers_foreign_keys_when_present() {
+        for repr in QuestionRepr::ALL {
+            let with = roundtrip(repr, ReprOptions { foreign_keys: true, ..Default::default() });
+            assert!(!with.fks.is_empty(), "{repr:?} should carry FKs");
+            let without = roundtrip(repr, ReprOptions { foreign_keys: false, ..Default::default() });
+            assert!(without.fks.is_empty(), "{repr:?} should drop FKs");
+        }
+    }
+
+    #[test]
+    fn detects_rule_implication() {
+        let with = roundtrip(QuestionRepr::CodeRepr, ReprOptions { rule_implication: true, ..Default::default() });
+        assert!(with.has_rule);
+        let without = roundtrip(QuestionRepr::CodeRepr, ReprOptions { rule_implication: false, ..Default::default() });
+        assert!(!without.has_rule);
+    }
+
+    #[test]
+    fn detects_select_prefix() {
+        for repr in [QuestionRepr::BasicPrompt, QuestionRepr::TextRepr, QuestionRepr::OpenAiDemo, QuestionRepr::CodeRepr] {
+            assert!(roundtrip(repr, ReprOptions::default()).ends_with_select, "{repr:?}");
+        }
+        assert!(!roundtrip(QuestionRepr::AlpacaSft, ReprOptions::default()).ends_with_select);
+    }
+
+    #[test]
+    fn parses_dail_organization_examples() {
+        let schema = all_domains()[0].to_schema();
+        let target = render_prompt(
+            QuestionRepr::CodeRepr,
+            &schema,
+            None,
+            "How many concerts are there?",
+            ReprOptions::default(),
+        );
+        let prompt = format!(
+            "/* Some example questions and corresponding SQL queries are provided based on similar problems: */\n\
+             /* Answer the following: How many pets are there? */\n\
+             SELECT count(*) FROM pet\n\
+             /* Answer the following: How many owners are there? */\n\
+             SELECT count(*) FROM owner\n\n{target}"
+        );
+        let parsed = parse_prompt(&prompt);
+        assert_eq!(parsed.examples.len(), 2);
+        assert_eq!(parsed.examples[0].question.as_deref(), Some("How many pets are there?"));
+        assert_eq!(parsed.examples[1].sql, "SELECT count(*) FROM owner");
+        assert_eq!(parsed.question, "How many concerts are there?");
+        assert_eq!(parsed.tables.len(), 3, "target schema intact");
+    }
+
+    #[test]
+    fn parses_sql_only_examples() {
+        let schema = all_domains()[0].to_schema();
+        let target = render_prompt(
+            QuestionRepr::CodeRepr,
+            &schema,
+            None,
+            "q?",
+            ReprOptions::default(),
+        );
+        let prompt = format!(
+            "/* Some SQL examples are provided based on similar problems: */\n\
+             SELECT count(*) FROM pet\nSELECT name FROM owner\n\n{target}"
+        );
+        let parsed = parse_prompt(&prompt);
+        assert_eq!(parsed.examples.len(), 2);
+        assert!(parsed.examples.iter().all(|e| e.question.is_none()));
+    }
+
+    #[test]
+    fn full_organization_keeps_target_schema_only() {
+        let schema0 = all_domains()[0].to_schema();
+        let schema1 = all_domains()[1].to_schema();
+        let ex = render_prompt(QuestionRepr::CodeRepr, &schema1, None, "How many pets?", ReprOptions::default());
+        let ex_full = format!("{}SELECT count(*) FROM pet\n", ex.strip_suffix("SELECT ").unwrap());
+        let target = render_prompt(QuestionRepr::CodeRepr, &schema0, None, "How many singers?", ReprOptions::default());
+        let parsed = parse_prompt(&format!("{ex_full}\n{target}"));
+        assert_eq!(parsed.examples.len(), 1);
+        assert_eq!(parsed.examples[0].question.as_deref(), Some("How many pets?"));
+        assert!(parsed.tables.iter().any(|t| t.name == "singer"));
+        assert!(!parsed.tables.iter().any(|t| t.name == "pet"), "example schema must not leak");
+    }
+
+    #[test]
+    fn content_values_recovered() {
+        let d = &all_domains()[0];
+        let db = spider_gen::populate(d, 3);
+        let p = render_prompt(
+            QuestionRepr::CodeRepr,
+            &d.to_schema(),
+            Some(&db),
+            "q?",
+            ReprOptions { content_rows: 2, ..Default::default() },
+        );
+        let parsed = parse_prompt(&p);
+        assert!(!parsed.content_values.is_empty());
+    }
+}

@@ -1,0 +1,156 @@
+//! Literal value extraction from questions.
+//!
+//! The generator's questions mention predicate values verbatim ("equal to
+//! Pop", "above 40", "starting with 'Gra'"), exactly as Spider questions do,
+//! so the simulated model extracts numbers, quoted strings, and mid-sentence
+//! capitalized phrases as predicate-value candidates.
+
+use sqlkit::Literal;
+
+/// Values found in a question.
+#[derive(Debug, Clone, Default)]
+pub struct ExtractedValues {
+    /// Numeric literals, in order of appearance.
+    pub numbers: Vec<Literal>,
+    /// String candidates (quoted substrings first, then capitalized
+    /// phrases), in order of appearance.
+    pub strings: Vec<String>,
+}
+
+/// Extract predicate-value candidates from a question.
+pub fn extract(question: &str) -> ExtractedValues {
+    let mut out = ExtractedValues::default();
+
+    // Quoted substrings.
+    let mut rest = question;
+    while let Some(start) = rest.find('\'') {
+        let after = &rest[start + 1..];
+        if let Some(end) = after.find('\'') {
+            let inner = &after[..end];
+            if !inner.is_empty() {
+                out.strings.push(inner.to_string());
+            }
+            rest = &after[end + 1..];
+        } else {
+            break;
+        }
+    }
+
+    // Tokens: numbers and capitalized phrases.
+    let tokens: Vec<&str> = question.split_whitespace().collect();
+    let ends_sentence = |tok: &str| tok.ends_with(|c: char| ".?!:;".contains(c)) || tok.ends_with('\u{2014}');
+    let mut i = 0;
+    let mut first_word = true;
+    while i < tokens.len() {
+        let raw = tokens[i];
+        let clean: String = raw
+            .chars()
+            .filter(|c| c.is_alphanumeric() || *c == '.' || *c == '-')
+            .collect();
+        // Numbers (also inside words like "40?"):
+        if !clean.is_empty()
+            && clean.chars().next().is_some_and(|c| c.is_ascii_digit() || c == '-')
+            && clean.chars().all(|c| c.is_ascii_digit() || c == '.' || c == '-')
+        {
+            if let Ok(v) = clean.parse::<i64>() {
+                out.numbers.push(Literal::Int(v));
+            } else if let Ok(v) = clean.trim_end_matches('.').parse::<f64>() {
+                out.numbers.push(Literal::Float(v));
+            }
+            first_word = ends_sentence(raw);
+            i += 1;
+            continue;
+        }
+        // Capitalized phrase, not sentence-initial: "New York", "Pop".
+        // Imperative/question openers never name values even mid-text.
+        const NEVER_VALUES: &[&str] = &[
+            "Give", "Show", "List", "Find", "Tell", "Which", "What", "Who", "How",
+            "Compare", "Report", "Across", "Summarize", "Break", "Per", "For",
+            "The", "Answer", "Return", "Count", "Display",
+        ];
+        let word = strip_punct(raw);
+        let is_cap = raw
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_uppercase() && c.is_alphabetic());
+        if is_cap && !first_word && !NEVER_VALUES.contains(&word.as_str()) {
+            let mut phrase = vec![word];
+            let mut j = i + 1;
+            while j < tokens.len() {
+                let next = tokens[j];
+                let next_cap = next
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_uppercase() && c.is_alphabetic());
+                // Stop extending at punctuation on the previous token.
+                let prev_ends_clause = tokens[j - 1].ends_with(|c: char| ",.?!;:".contains(c));
+                if next_cap && !prev_ends_clause && !NEVER_VALUES.contains(&strip_punct(next).as_str()) {
+                    phrase.push(strip_punct(next));
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            out.strings.push(phrase.join(" "));
+            first_word = ends_sentence(tokens[j - 1]);
+            i = j;
+            continue;
+        }
+        first_word = ends_sentence(raw);
+        i += 1;
+    }
+    out
+}
+
+fn strip_punct(s: &str) -> String {
+    s.trim_matches(|c: char| !c.is_alphanumeric()).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_integers_and_floats() {
+        let v = extract("Show singers older than 40 with rating above 3.5?");
+        assert_eq!(v.numbers.len(), 2);
+        assert_eq!(v.numbers[0], Literal::Int(40));
+        assert_eq!(v.numbers[1], Literal::Float(3.5));
+    }
+
+    #[test]
+    fn extracts_mid_sentence_capitalized_values() {
+        let v = extract("How many singers have country equal to France?");
+        assert_eq!(v.strings, vec!["France"]);
+    }
+
+    #[test]
+    fn multiword_capitalized_phrases() {
+        let v = extract("How many customers live in New York?");
+        assert_eq!(v.strings, vec!["New York"]);
+    }
+
+    #[test]
+    fn sentence_initial_words_are_not_values() {
+        let v = extract("Show the names. Which are from Spain?");
+        assert_eq!(v.strings, vec!["Spain"]);
+    }
+
+    #[test]
+    fn quoted_strings_take_priority() {
+        let v = extract("Which names start with 'Gra'?");
+        assert_eq!(v.strings[0], "Gra");
+    }
+
+    #[test]
+    fn trailing_question_mark_stripped() {
+        let v = extract("equal to Pop?");
+        assert_eq!(v.strings, vec!["Pop"]);
+    }
+
+    #[test]
+    fn empty_question() {
+        let v = extract("");
+        assert!(v.numbers.is_empty() && v.strings.is_empty());
+    }
+}

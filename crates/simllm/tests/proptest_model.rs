@@ -1,0 +1,65 @@
+//! Fuzz/property tests for the simulated model: no prompt — however
+//! malformed — may panic it, and its greedy output is a pure function of
+//! (prompt, seed).
+
+use proptest::prelude::*;
+use simllm::{extract_sql, parse_prompt, GenOptions, SimLlm};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// parse_prompt is total: any string parses into *something*.
+    #[test]
+    fn parse_prompt_never_panics(s in "\\PC{0,400}") {
+        let _ = parse_prompt(&s);
+    }
+
+    /// complete() is total over arbitrary prompt strings.
+    #[test]
+    fn complete_never_panics(s in "\\PC{0,300}", seed in 0u64..100) {
+        let m = SimLlm::new("llama-7b").unwrap();
+        let _ = m.complete(&s, &GenOptions { seed, ..Default::default() });
+    }
+
+    /// extract_sql is total and never grows the text unboundedly.
+    #[test]
+    fn extract_sql_never_panics(s in "\\PC{0,300}", prefix in any::<bool>()) {
+        let out = extract_sql(&s, prefix);
+        prop_assert!(out.len() <= s.len() + "SELECT ".len());
+    }
+
+    /// Greedy decoding is deterministic in (prompt, seed).
+    #[test]
+    fn greedy_is_deterministic(words in proptest::collection::vec("[a-z]{1,8}", 3..12), seed in 0u64..50) {
+        let question = words.join(" ");
+        let prompt = format!(
+            "CREATE TABLE widget (\n  widget_id INTEGER,\n  name TEXT,\n  size INTEGER,\n  PRIMARY KEY (widget_id)\n);\n/* Answer the following: {question} */\nSELECT "
+        );
+        let m = SimLlm::new("gpt-3.5-turbo").unwrap();
+        let a = m.complete(&prompt, &GenOptions { seed, ..Default::default() });
+        let b = m.complete(&prompt, &GenOptions { seed, ..Default::default() });
+        prop_assert_eq!(a, b);
+    }
+
+    /// Structured prompts over a valid schema yield SQL that mentions a real
+    /// table for strong models (well-formedness under fuzzer questions).
+    #[test]
+    fn answers_reference_schema_tables(words in proptest::collection::vec("[a-z]{2,7}", 2..8)) {
+        let question = format!("How many widgets have {}?", words.join(" "));
+        let prompt = format!(
+            "CREATE TABLE widget (\n  widget_id INTEGER,\n  name TEXT,\n  size INTEGER,\n  PRIMARY KEY (widget_id)\n);\nCREATE TABLE part (\n  part_id INTEGER,\n  widget_id INTEGER,\n  weight REAL,\n  PRIMARY KEY (part_id),\n  FOREIGN KEY (widget_id) REFERENCES widget(widget_id)\n);\n/* Answer the following: {question} */\nSELECT "
+        );
+        let m = SimLlm::new("gpt-4").unwrap();
+        let out = m.complete(&prompt, &GenOptions::default());
+        let sql = extract_sql(&out, true);
+        // Truncated outputs (the model's rare invalid-output path) are
+        // allowed — detectable as a missing/incomplete FROM clause or a
+        // parse failure. Complete answers must reference the schema.
+        let lower = sql.to_lowercase();
+        let truncated = sqlkit::parse_query(&sql).is_err() || !lower.contains(" from ");
+        prop_assert!(
+            truncated || lower.contains("widget") || lower.contains("part") || sql == "SELECT 1",
+            "{sql}"
+        );
+    }
+}

@@ -1,0 +1,994 @@
+//! The domain catalog: twenty-four cross-domain database specifications.
+//!
+//! Spider spans 200 databases over 138 domains; this catalog reproduces the
+//! *structure* of that diversity — entity/relation shapes, FK patterns,
+//! categorical vs measure columns — at a scale suitable for deterministic
+//! offline benchmarking. Train/dev splits draw disjoint subsets of these
+//! domains (cross-domain evaluation, as in Spider).
+
+use crate::spec::{col, DomainSpec, TableSpec, ValueKind as V};
+use crate::words;
+
+/// Build the full domain catalog.
+pub fn all_domains() -> Vec<DomainSpec> {
+    vec![
+        concert_singer(),
+        pets(),
+        flights(),
+        employees(),
+        movies(),
+        library(),
+        restaurants(),
+        sports_league(),
+        ecommerce(),
+        real_estate(),
+        university(),
+        hospital(),
+        museum(),
+        car_dealer(),
+        music_albums(),
+        hotels(),
+        farms(),
+        tv_network(),
+        conferences(),
+        gyms(),
+        banks(),
+        parks(),
+        news_agency(),
+        shipping(),
+    ]
+}
+
+fn concert_singer() -> DomainSpec {
+    DomainSpec {
+        db_id: "concert_singer",
+        topic: "concerts and singers",
+        tables: vec![
+            TableSpec {
+                name: "stadium",
+                nl_singular: "stadium",
+                nl_plural: "stadiums",
+                columns: vec![
+                    col("stadium_id", "id", "", V::Id),
+                    col("name", "name", "what it is called", V::VenueName),
+                    col("city", "city", "where it is", V::City),
+                    col("capacity", "capacity", "how many people fit", V::Int(5_000, 90_000)),
+                    col("opening_year", "opening year", "when it opened", V::Year(1950, 2020)),
+                ],
+                rows: 18,
+            },
+            TableSpec {
+                name: "singer",
+                nl_singular: "singer",
+                nl_plural: "singers",
+                columns: vec![
+                    col("singer_id", "id", "", V::Id),
+                    col("name", "name", "who they are", V::PersonName),
+                    col("country", "country", "where they come from", V::Country),
+                    col("age", "age", "how old they are", V::Int(18, 70)),
+                    col("genre", "genre", "what style they perform", V::Category(words::GENRES)),
+                ],
+                rows: 30,
+            },
+            TableSpec {
+                name: "concert",
+                nl_singular: "concert",
+                nl_plural: "concerts",
+                columns: vec![
+                    col("concert_id", "id", "", V::Id),
+                    col("singer_id", "singer", "", V::Ref("singer", "singer_id")),
+                    col("stadium_id", "stadium", "", V::Ref("stadium", "stadium_id")),
+                    col("year", "year", "when it took place", V::Year(2010, 2024)),
+                    col("attendance", "attendance", "how many attended", V::Int(1_000, 80_000)),
+                ],
+                rows: 45,
+            },
+        ],
+    }
+}
+
+fn pets() -> DomainSpec {
+    DomainSpec {
+        db_id: "pets_shelter",
+        topic: "an animal shelter",
+        tables: vec![
+            TableSpec {
+                name: "owner",
+                nl_singular: "owner",
+                nl_plural: "owners",
+                columns: vec![
+                    col("owner_id", "id", "", V::Id),
+                    col("name", "name", "who they are", V::PersonName),
+                    col("city", "city", "where they live", V::City),
+                    col("age", "age", "how old they are", V::Int(18, 85)),
+                ],
+                rows: 22,
+            },
+            TableSpec {
+                name: "pet",
+                nl_singular: "pet",
+                nl_plural: "pets",
+                columns: vec![
+                    col("pet_id", "id", "", V::Id),
+                    col("owner_id", "owner", "", V::Ref("owner", "owner_id")),
+                    col("species", "species", "what kind of animal", V::Category(words::SPECIES)),
+                    col("weight", "weight", "how heavy", V::Float(0.5, 60.0)),
+                    col("birth_year", "birth year", "when it was born", V::Year(2008, 2024)),
+                ],
+                rows: 40,
+            },
+        ],
+    }
+}
+
+fn flights() -> DomainSpec {
+    DomainSpec {
+        db_id: "flight_company",
+        topic: "airlines and flights",
+        tables: vec![
+            TableSpec {
+                name: "airline",
+                nl_singular: "airline",
+                nl_plural: "airlines",
+                columns: vec![
+                    col("airline_id", "id", "", V::Id),
+                    col("name", "name", "what it is called", V::Category(words::AIRLINES)),
+                    col("country", "country", "where it is based", V::Country),
+                    col("fleet_size", "fleet size", "how many aircraft it operates", V::Int(5, 400)),
+                ],
+                rows: 12,
+            },
+            TableSpec {
+                name: "airport",
+                nl_singular: "airport",
+                nl_plural: "airports",
+                columns: vec![
+                    col("airport_id", "id", "", V::Id),
+                    col("name", "name", "what it is called", V::VenueName),
+                    col("city", "city", "which city it serves", V::City),
+                    col("elevation", "elevation", "how high it sits", V::Int(0, 2400)),
+                ],
+                rows: 16,
+            },
+            TableSpec {
+                name: "flight",
+                nl_singular: "flight",
+                nl_plural: "flights",
+                columns: vec![
+                    col("flight_id", "id", "", V::Id),
+                    col("airline_id", "airline", "", V::Ref("airline", "airline_id")),
+                    col("origin_id", "origin airport", "", V::Ref("airport", "airport_id")),
+                    col("distance", "distance", "how far it travels", V::Int(120, 9_000)),
+                    col("price", "ticket price", "how much it costs", V::Float(49.0, 1_800.0)),
+                ],
+                rows: 60,
+            },
+        ],
+    }
+}
+
+fn employees() -> DomainSpec {
+    DomainSpec {
+        db_id: "company_employees",
+        topic: "a company and its staff",
+        tables: vec![
+            TableSpec {
+                name: "department",
+                nl_singular: "department",
+                nl_plural: "departments",
+                columns: vec![
+                    col("department_id", "id", "", V::Id),
+                    col("name", "name", "what it is called", V::Category(words::DEPARTMENTS)),
+                    col("budget", "budget", "how much it can spend", V::Float(100_000.0, 5_000_000.0)),
+                    col("city", "city", "where it is located", V::City),
+                ],
+                rows: 9,
+            },
+            TableSpec {
+                name: "employee",
+                nl_singular: "employee",
+                nl_plural: "employees",
+                columns: vec![
+                    col("employee_id", "id", "", V::Id),
+                    col("department_id", "department", "", V::Ref("department", "department_id")),
+                    col("name", "name", "who they are", V::PersonName),
+                    col("salary", "salary", "how much they earn", V::Float(28_000.0, 240_000.0)),
+                    col("hire_year", "hire year", "when they joined", V::Year(1995, 2024)),
+                ],
+                rows: 55,
+            },
+        ],
+    }
+}
+
+fn movies() -> DomainSpec {
+    DomainSpec {
+        db_id: "movie_studio",
+        topic: "films and directors",
+        tables: vec![
+            TableSpec {
+                name: "director",
+                nl_singular: "director",
+                nl_plural: "directors",
+                columns: vec![
+                    col("director_id", "id", "", V::Id),
+                    col("name", "name", "who they are", V::PersonName),
+                    col("country", "country", "where they are from", V::Country),
+                    col("debut_year", "debut year", "when they started", V::Year(1960, 2018)),
+                ],
+                rows: 15,
+            },
+            TableSpec {
+                name: "movie",
+                nl_singular: "movie",
+                nl_plural: "movies",
+                columns: vec![
+                    col("movie_id", "id", "", V::Id),
+                    col("director_id", "director", "", V::Ref("director", "director_id")),
+                    col("title", "title", "what it is called", V::Title),
+                    col("genre", "genre", "what kind of film", V::Category(words::FILM_GENRES)),
+                    col("gross", "gross", "how much it earned", V::Float(0.1, 900.0)),
+                    col("release_year", "release year", "when it came out", V::Year(1980, 2024)),
+                ],
+                rows: 48,
+            },
+        ],
+    }
+}
+
+fn library() -> DomainSpec {
+    DomainSpec {
+        db_id: "city_library",
+        topic: "a public library",
+        tables: vec![
+            TableSpec {
+                name: "author",
+                nl_singular: "author",
+                nl_plural: "authors",
+                columns: vec![
+                    col("author_id", "id", "", V::Id),
+                    col("name", "name", "who they are", V::PersonName),
+                    col("country", "country", "where they are from", V::Country),
+                ],
+                rows: 18,
+            },
+            TableSpec {
+                name: "book",
+                nl_singular: "book",
+                nl_plural: "books",
+                columns: vec![
+                    col("book_id", "id", "", V::Id),
+                    col("author_id", "author", "", V::Ref("author", "author_id")),
+                    col("title", "title", "what it is called", V::Title),
+                    col("pages", "number of pages", "how long it is", V::Int(60, 1200)),
+                    col("publish_year", "publication year", "when it was published", V::Year(1900, 2024)),
+                ],
+                rows: 50,
+            },
+            TableSpec {
+                name: "loan",
+                nl_singular: "loan",
+                nl_plural: "loans",
+                columns: vec![
+                    col("loan_id", "id", "", V::Id),
+                    col("book_id", "book", "", V::Ref("book", "book_id")),
+                    col("member_name", "member name", "who borrowed it", V::PersonName),
+                    col("days_kept", "days kept", "how long it was kept", V::Int(1, 90)),
+                ],
+                rows: 70,
+            },
+        ],
+    }
+}
+
+fn restaurants() -> DomainSpec {
+    DomainSpec {
+        db_id: "restaurant_guide",
+        topic: "restaurants and dishes",
+        tables: vec![
+            TableSpec {
+                name: "restaurant",
+                nl_singular: "restaurant",
+                nl_plural: "restaurants",
+                columns: vec![
+                    col("restaurant_id", "id", "", V::Id),
+                    col("name", "name", "what it is called", V::VenueName),
+                    col("cuisine", "cuisine", "what food it serves", V::Category(words::CUISINES)),
+                    col("city", "city", "where it is", V::City),
+                    col("rating", "rating", "how well it is rated", V::Float(1.0, 5.0)),
+                ],
+                rows: 25,
+            },
+            TableSpec {
+                name: "dish",
+                nl_singular: "dish",
+                nl_plural: "dishes",
+                columns: vec![
+                    col("dish_id", "id", "", V::Id),
+                    col("restaurant_id", "restaurant", "", V::Ref("restaurant", "restaurant_id")),
+                    col("name", "name", "what it is called", V::Title),
+                    col("price", "price", "how much it costs", V::Float(4.0, 95.0)),
+                    col("calories", "calories", "how filling it is", V::Int(120, 1900)),
+                ],
+                rows: 70,
+            },
+        ],
+    }
+}
+
+fn sports_league() -> DomainSpec {
+    DomainSpec {
+        db_id: "sports_league",
+        topic: "a sports league",
+        tables: vec![
+            TableSpec {
+                name: "team",
+                nl_singular: "team",
+                nl_plural: "teams",
+                columns: vec![
+                    col("team_id", "id", "", V::Id),
+                    col("name", "name", "what it is called", V::Category(words::TEAM_WORDS)),
+                    col("city", "city", "where it plays", V::City),
+                    col("founded_year", "founding year", "when it was founded", V::Year(1900, 2015)),
+                ],
+                rows: 14,
+            },
+            TableSpec {
+                name: "player",
+                nl_singular: "player",
+                nl_plural: "players",
+                columns: vec![
+                    col("player_id", "id", "", V::Id),
+                    col("team_id", "team", "", V::Ref("team", "team_id")),
+                    col("name", "name", "who they are", V::PersonName),
+                    col("age", "age", "how old they are", V::Int(17, 42)),
+                    col("goals", "number of goals", "how often they scored", V::Int(0, 60)),
+                ],
+                rows: 60,
+            },
+            TableSpec {
+                name: "match_game",
+                nl_singular: "match",
+                nl_plural: "matches",
+                columns: vec![
+                    col("match_id", "id", "", V::Id),
+                    col("home_team_id", "home team", "", V::Ref("team", "team_id")),
+                    col("season", "season", "which season it belongs to", V::Year(2015, 2024)),
+                    col("attendance", "attendance", "how many watched", V::Int(500, 70_000)),
+                ],
+                rows: 50,
+            },
+        ],
+    }
+}
+
+fn ecommerce() -> DomainSpec {
+    DomainSpec {
+        db_id: "online_store",
+        topic: "an online store",
+        tables: vec![
+            TableSpec {
+                name: "customer",
+                nl_singular: "customer",
+                nl_plural: "customers",
+                columns: vec![
+                    col("customer_id", "id", "", V::Id),
+                    col("name", "name", "who they are", V::PersonName),
+                    col("country", "country", "where they live", V::Country),
+                    col("signup_year", "signup year", "when they registered", V::Year(2012, 2024)),
+                ],
+                rows: 30,
+            },
+            TableSpec {
+                name: "product",
+                nl_singular: "product",
+                nl_plural: "products",
+                columns: vec![
+                    col("product_id", "id", "", V::Id),
+                    col("name", "name", "what it is called", V::Title),
+                    col("category", "category", "what kind of product", V::Category(words::PRODUCT_CATEGORIES)),
+                    col("price", "price", "how much it costs", V::Float(2.0, 2_500.0)),
+                    col("stock", "stock", "how many are available", V::Int(0, 500)),
+                ],
+                rows: 40,
+            },
+            TableSpec {
+                name: "purchase",
+                nl_singular: "purchase",
+                nl_plural: "purchases",
+                columns: vec![
+                    col("purchase_id", "id", "", V::Id),
+                    col("customer_id", "customer", "", V::Ref("customer", "customer_id")),
+                    col("product_id", "product", "", V::Ref("product", "product_id")),
+                    col("quantity", "quantity", "how many were bought", V::Int(1, 12)),
+                ],
+                rows: 80,
+            },
+        ],
+    }
+}
+
+fn real_estate() -> DomainSpec {
+    DomainSpec {
+        db_id: "real_estate",
+        topic: "property listings",
+        tables: vec![
+            TableSpec {
+                name: "agent",
+                nl_singular: "agent",
+                nl_plural: "agents",
+                columns: vec![
+                    col("agent_id", "id", "", V::Id),
+                    col("name", "name", "who they are", V::PersonName),
+                    col("experience_years", "years of experience", "how long they have worked", V::Int(0, 35)),
+                ],
+                rows: 12,
+            },
+            TableSpec {
+                name: "property",
+                nl_singular: "property",
+                nl_plural: "properties",
+                columns: vec![
+                    col("property_id", "id", "", V::Id),
+                    col("agent_id", "agent", "", V::Ref("agent", "agent_id")),
+                    col("address", "address", "where it is", V::Street),
+                    col("city", "city", "which city it is in", V::City),
+                    col("price", "asking price", "how much it costs", V::Float(80_000.0, 3_000_000.0)),
+                    col("bedrooms", "number of bedrooms", "how many can sleep there", V::Int(1, 7)),
+                ],
+                rows: 45,
+            },
+        ],
+    }
+}
+
+fn university() -> DomainSpec {
+    DomainSpec {
+        db_id: "university_courses",
+        topic: "a university",
+        tables: vec![
+            TableSpec {
+                name: "professor",
+                nl_singular: "professor",
+                nl_plural: "professors",
+                columns: vec![
+                    col("professor_id", "id", "", V::Id),
+                    col("name", "name", "who they are", V::PersonName),
+                    col("department", "department", "which field they teach", V::Category(words::DEPARTMENTS)),
+                    col("salary", "salary", "how much they earn", V::Float(50_000.0, 220_000.0)),
+                ],
+                rows: 20,
+            },
+            TableSpec {
+                name: "course",
+                nl_singular: "course",
+                nl_plural: "courses",
+                columns: vec![
+                    col("course_id", "id", "", V::Id),
+                    col("professor_id", "professor", "", V::Ref("professor", "professor_id")),
+                    col("title", "title", "what it is called", V::Title),
+                    col("credits", "credits", "how heavy the course is", V::Int(1, 6)),
+                    col("enrollment", "enrollment", "how many students take it", V::Int(5, 400)),
+                ],
+                rows: 45,
+            },
+        ],
+    }
+}
+
+fn hospital() -> DomainSpec {
+    DomainSpec {
+        db_id: "city_hospital",
+        topic: "a hospital",
+        tables: vec![
+            TableSpec {
+                name: "physician",
+                nl_singular: "physician",
+                nl_plural: "physicians",
+                columns: vec![
+                    col("physician_id", "id", "", V::Id),
+                    col("name", "name", "who they are", V::PersonName),
+                    col("specialty", "specialty", "what they treat", V::Category(words::CONDITIONS)),
+                    col("experience_years", "years of experience", "how long they have practiced", V::Int(1, 40)),
+                ],
+                rows: 16,
+            },
+            TableSpec {
+                name: "patient",
+                nl_singular: "patient",
+                nl_plural: "patients",
+                columns: vec![
+                    col("patient_id", "id", "", V::Id),
+                    col("physician_id", "physician", "", V::Ref("physician", "physician_id")),
+                    col("name", "name", "who they are", V::PersonName),
+                    col("age", "age", "how old they are", V::Int(0, 99)),
+                    col("condition", "condition", "what they suffer from", V::Category(words::CONDITIONS)),
+                ],
+                rows: 55,
+            },
+        ],
+    }
+}
+
+fn museum() -> DomainSpec {
+    DomainSpec {
+        db_id: "museum_visits",
+        topic: "museums and exhibitions",
+        tables: vec![
+            TableSpec {
+                name: "museum",
+                nl_singular: "museum",
+                nl_plural: "museums",
+                columns: vec![
+                    col("museum_id", "id", "", V::Id),
+                    col("name", "name", "what it is called", V::VenueName),
+                    col("city", "city", "where it is", V::City),
+                    col("founded_year", "founding year", "when it opened", V::Year(1800, 2015)),
+                ],
+                rows: 12,
+            },
+            TableSpec {
+                name: "exhibition",
+                nl_singular: "exhibition",
+                nl_plural: "exhibitions",
+                columns: vec![
+                    col("exhibition_id", "id", "", V::Id),
+                    col("museum_id", "museum", "", V::Ref("museum", "museum_id")),
+                    col("title", "title", "what it is called", V::Title),
+                    col("year", "year", "when it ran", V::Year(2005, 2024)),
+                    col("visitors", "number of visitors", "how many came", V::Int(500, 250_000)),
+                ],
+                rows: 40,
+            },
+        ],
+    }
+}
+
+fn car_dealer() -> DomainSpec {
+    DomainSpec {
+        db_id: "car_dealership",
+        topic: "a car dealership",
+        tables: vec![
+            TableSpec {
+                name: "model",
+                nl_singular: "car model",
+                nl_plural: "car models",
+                columns: vec![
+                    col("model_id", "id", "", V::Id),
+                    col("name", "name", "what it is called", V::Title),
+                    col("maker", "maker", "who builds it", V::Category(words::MAKERS)),
+                    col("horsepower", "horsepower", "how powerful it is", V::Int(60, 900)),
+                    col("msrp", "list price", "how much it costs", V::Float(14_000.0, 220_000.0)),
+                ],
+                rows: 22,
+            },
+            TableSpec {
+                name: "sale",
+                nl_singular: "sale",
+                nl_plural: "sales",
+                columns: vec![
+                    col("sale_id", "id", "", V::Id),
+                    col("model_id", "car model", "", V::Ref("model", "model_id")),
+                    col("buyer_name", "buyer name", "who bought it", V::PersonName),
+                    col("year", "year", "when it was sold", V::Year(2015, 2024)),
+                    col("discount", "discount", "how much was knocked off", V::Float(0.0, 9_000.0)),
+                ],
+                rows: 55,
+            },
+        ],
+    }
+}
+
+fn music_albums() -> DomainSpec {
+    DomainSpec {
+        db_id: "music_albums",
+        topic: "bands and albums",
+        tables: vec![
+            TableSpec {
+                name: "band",
+                nl_singular: "band",
+                nl_plural: "bands",
+                columns: vec![
+                    col("band_id", "id", "", V::Id),
+                    col("name", "name", "what they are called", V::Title),
+                    col("country", "country", "where they formed", V::Country),
+                    col("formed_year", "formation year", "when they formed", V::Year(1960, 2020)),
+                ],
+                rows: 16,
+            },
+            TableSpec {
+                name: "album",
+                nl_singular: "album",
+                nl_plural: "albums",
+                columns: vec![
+                    col("album_id", "id", "", V::Id),
+                    col("band_id", "band", "", V::Ref("band", "band_id")),
+                    col("title", "title", "what it is called", V::Title),
+                    col("sales", "sales", "how many copies sold", V::Int(1_000, 5_000_000)),
+                    col("release_year", "release year", "when it came out", V::Year(1965, 2024)),
+                ],
+                rows: 48,
+            },
+        ],
+    }
+}
+
+fn hotels() -> DomainSpec {
+    DomainSpec {
+        db_id: "hotel_bookings",
+        topic: "hotels and bookings",
+        tables: vec![
+            TableSpec {
+                name: "hotel",
+                nl_singular: "hotel",
+                nl_plural: "hotels",
+                columns: vec![
+                    col("hotel_id", "id", "", V::Id),
+                    col("name", "name", "what it is called", V::VenueName),
+                    col("city", "city", "where it is", V::City),
+                    col("stars", "star rating", "how luxurious it is", V::Int(1, 5)),
+                    col("rooms", "number of rooms", "how big it is", V::Int(10, 800)),
+                ],
+                rows: 18,
+            },
+            TableSpec {
+                name: "booking",
+                nl_singular: "booking",
+                nl_plural: "bookings",
+                columns: vec![
+                    col("booking_id", "id", "", V::Id),
+                    col("hotel_id", "hotel", "", V::Ref("hotel", "hotel_id")),
+                    col("guest_name", "guest name", "who is staying", V::PersonName),
+                    col("nights", "number of nights", "how long they stay", V::Int(1, 21)),
+                    col("total_price", "total price", "how much they pay", V::Float(60.0, 8_000.0)),
+                ],
+                rows: 60,
+            },
+        ],
+    }
+}
+
+fn farms() -> DomainSpec {
+    DomainSpec {
+        db_id: "county_farms",
+        topic: "farms and crops",
+        tables: vec![
+            TableSpec {
+                name: "farm",
+                nl_singular: "farm",
+                nl_plural: "farms",
+                columns: vec![
+                    col("farm_id", "id", "", V::Id),
+                    col("owner_name", "owner name", "who runs it", V::PersonName),
+                    col("hectares", "size in hectares", "how large it is", V::Float(2.0, 900.0)),
+                    col("established_year", "establishment year", "when it started", V::Year(1880, 2015)),
+                ],
+                rows: 15,
+            },
+            TableSpec {
+                name: "harvest",
+                nl_singular: "harvest",
+                nl_plural: "harvests",
+                columns: vec![
+                    col("harvest_id", "id", "", V::Id),
+                    col("farm_id", "farm", "", V::Ref("farm", "farm_id")),
+                    col("crop", "crop", "what was grown", V::Category(&["Wheat", "Corn", "Barley", "Soy", "Oats", "Rye"])),
+                    col("tons", "tons harvested", "how much was brought in", V::Float(1.0, 450.0)),
+                    col("year", "year", "when it happened", V::Year(2010, 2024)),
+                ],
+                rows: 55,
+            },
+        ],
+    }
+}
+
+fn tv_network() -> DomainSpec {
+    DomainSpec {
+        db_id: "tv_network",
+        topic: "television shows",
+        tables: vec![
+            TableSpec {
+                name: "channel",
+                nl_singular: "channel",
+                nl_plural: "channels",
+                columns: vec![
+                    col("channel_id", "id", "", V::Id),
+                    col("name", "name", "what it is called", V::Title),
+                    col("country", "country", "where it broadcasts", V::Country),
+                    col("launch_year", "launch year", "when it started", V::Year(1950, 2020)),
+                ],
+                rows: 10,
+            },
+            TableSpec {
+                name: "show",
+                nl_singular: "show",
+                nl_plural: "shows",
+                columns: vec![
+                    col("show_id", "id", "", V::Id),
+                    col("channel_id", "channel", "", V::Ref("channel", "channel_id")),
+                    col("title", "title", "what it is called", V::Title),
+                    col("genre", "genre", "what kind of show", V::Category(words::FILM_GENRES)),
+                    col("seasons", "number of seasons", "how long it ran", V::Int(1, 25)),
+                    col("viewers", "average viewers", "how popular it is", V::Int(10_000, 9_000_000)),
+                ],
+                rows: 45,
+            },
+        ],
+    }
+}
+
+fn conferences() -> DomainSpec {
+    DomainSpec {
+        db_id: "research_conferences",
+        topic: "academic conferences",
+        tables: vec![
+            TableSpec {
+                name: "conference",
+                nl_singular: "conference",
+                nl_plural: "conferences",
+                columns: vec![
+                    col("conference_id", "id", "", V::Id),
+                    col("name", "name", "what it is called", V::Title),
+                    col("field", "field", "what area it covers", V::Category(words::DEPARTMENTS)),
+                    col("year", "year", "when it takes place", V::Year(2010, 2024)),
+                    col("attendees", "number of attendees", "how many attend", V::Int(80, 12_000)),
+                ],
+                rows: 16,
+            },
+            TableSpec {
+                name: "paper",
+                nl_singular: "paper",
+                nl_plural: "papers",
+                columns: vec![
+                    col("paper_id", "id", "", V::Id),
+                    col("conference_id", "conference", "", V::Ref("conference", "conference_id")),
+                    col("title", "title", "what it is called", V::Title),
+                    col("citations", "number of citations", "how influential it is", V::Int(0, 4_000)),
+                    col("pages", "number of pages", "how long it is", V::Int(4, 40)),
+                ],
+                rows: 60,
+            },
+        ],
+    }
+}
+
+fn gyms() -> DomainSpec {
+    DomainSpec {
+        db_id: "fitness_gyms",
+        topic: "gyms and memberships",
+        tables: vec![
+            TableSpec {
+                name: "gym",
+                nl_singular: "gym",
+                nl_plural: "gyms",
+                columns: vec![
+                    col("gym_id", "id", "", V::Id),
+                    col("name", "name", "what it is called", V::VenueName),
+                    col("city", "city", "where it is", V::City),
+                    col("monthly_fee", "monthly fee", "how much it costs per month", V::Float(15.0, 220.0)),
+                ],
+                rows: 12,
+            },
+            TableSpec {
+                name: "member",
+                nl_singular: "member",
+                nl_plural: "members",
+                columns: vec![
+                    col("member_id", "id", "", V::Id),
+                    col("gym_id", "gym", "", V::Ref("gym", "gym_id")),
+                    col("name", "name", "who they are", V::PersonName),
+                    col("age", "age", "how old they are", V::Int(14, 80)),
+                    col("join_year", "join year", "when they joined", V::Year(2010, 2024)),
+                ],
+                rows: 55,
+            },
+        ],
+    }
+}
+
+fn banks() -> DomainSpec {
+    DomainSpec {
+        db_id: "retail_bank",
+        topic: "a retail bank",
+        tables: vec![
+            TableSpec {
+                name: "branch",
+                nl_singular: "branch",
+                nl_plural: "branches",
+                columns: vec![
+                    col("branch_id", "id", "", V::Id),
+                    col("name", "name", "what it is called", V::VenueName),
+                    col("city", "city", "where it is", V::City),
+                    col("opened_year", "opening year", "when it opened", V::Year(1950, 2020)),
+                ],
+                rows: 12,
+            },
+            TableSpec {
+                name: "account",
+                nl_singular: "account",
+                nl_plural: "accounts",
+                columns: vec![
+                    col("account_id", "id", "", V::Id),
+                    col("branch_id", "branch", "", V::Ref("branch", "branch_id")),
+                    col("holder_name", "holder name", "who owns it", V::PersonName),
+                    col("balance", "balance", "how much is in it", V::Float(-2_000.0, 250_000.0)),
+                    col("open_year", "opening year", "when it was opened", V::Year(2000, 2024)),
+                ],
+                rows: 60,
+            },
+        ],
+    }
+}
+
+fn parks() -> DomainSpec {
+    DomainSpec {
+        db_id: "city_parks",
+        topic: "city parks",
+        tables: vec![
+            TableSpec {
+                name: "park",
+                nl_singular: "park",
+                nl_plural: "parks",
+                columns: vec![
+                    col("park_id", "id", "", V::Id),
+                    col("name", "name", "what it is called", V::VenueName),
+                    col("city", "city", "where it is", V::City),
+                    col("area", "area in hectares", "how large it is", V::Float(0.5, 400.0)),
+                ],
+                rows: 14,
+            },
+            TableSpec {
+                name: "event",
+                nl_singular: "event",
+                nl_plural: "events",
+                columns: vec![
+                    col("event_id", "id", "", V::Id),
+                    col("park_id", "park", "", V::Ref("park", "park_id")),
+                    col("title", "title", "what it is called", V::Title),
+                    col("year", "year", "when it took place", V::Year(2012, 2024)),
+                    col("attendance", "attendance", "how many attended", V::Int(50, 40_000)),
+                ],
+                rows: 50,
+            },
+        ],
+    }
+}
+
+fn news_agency() -> DomainSpec {
+    DomainSpec {
+        db_id: "news_agency",
+        topic: "a news agency",
+        tables: vec![
+            TableSpec {
+                name: "journalist",
+                nl_singular: "journalist",
+                nl_plural: "journalists",
+                columns: vec![
+                    col("journalist_id", "id", "", V::Id),
+                    col("name", "name", "who they are", V::PersonName),
+                    col("country", "country", "where they report from", V::Country),
+                    col("experience_years", "years of experience", "how long they have reported", V::Int(0, 40)),
+                ],
+                rows: 18,
+            },
+            TableSpec {
+                name: "article",
+                nl_singular: "article",
+                nl_plural: "articles",
+                columns: vec![
+                    col("article_id", "id", "", V::Id),
+                    col("journalist_id", "journalist", "", V::Ref("journalist", "journalist_id")),
+                    col("title", "title", "what it is called", V::Title),
+                    col("words", "word count", "how long it is", V::Int(150, 12_000)),
+                    col("year", "year", "when it ran", V::Year(2010, 2024)),
+                ],
+                rows: 60,
+            },
+        ],
+    }
+}
+
+fn shipping() -> DomainSpec {
+    DomainSpec {
+        db_id: "cargo_port",
+        topic: "a cargo port",
+        tables: vec![
+            TableSpec {
+                name: "ship",
+                nl_singular: "ship",
+                nl_plural: "ships",
+                columns: vec![
+                    col("ship_id", "id", "", V::Id),
+                    col("name", "name", "what it is called", V::Title),
+                    col("flag", "flag country", "where it is registered", V::Country),
+                    col("tonnage", "tonnage", "how much it can carry", V::Int(900, 200_000)),
+                ],
+                rows: 16,
+            },
+            TableSpec {
+                name: "voyage",
+                nl_singular: "voyage",
+                nl_plural: "voyages",
+                columns: vec![
+                    col("voyage_id", "id", "", V::Id),
+                    col("ship_id", "ship", "", V::Ref("ship", "ship_id")),
+                    col("destination", "destination", "where it sails to", V::City),
+                    col("cargo_value", "cargo value", "how much the cargo is worth", V::Float(10_000.0, 9_000_000.0)),
+                    col("year", "year", "when it sailed", V::Year(2014, 2024)),
+                ],
+                rows: 55,
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn catalog_has_twenty_four_domains_with_unique_ids() {
+        let domains = all_domains();
+        assert_eq!(domains.len(), 24);
+        let ids: HashSet<&str> = domains.iter().map(|d| d.db_id).collect();
+        assert_eq!(ids.len(), 24);
+    }
+
+    #[test]
+    fn every_table_has_a_primary_key_and_rows() {
+        for d in all_domains() {
+            for t in &d.tables {
+                assert!(t.pk_index().is_some(), "{}.{} lacks pk", d.db_id, t.name);
+                assert!(t.rows > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn every_ref_targets_an_existing_pk() {
+        for d in all_domains() {
+            for t in &d.tables {
+                for c in &t.columns {
+                    if let crate::spec::ValueKind::Ref(tt, tc) = c.kind {
+                        let target = d.table(tt).unwrap_or_else(|| {
+                            panic!("{}.{} refs missing table {tt}", d.db_id, t.name)
+                        });
+                        assert!(
+                            target.column(tc).is_some(),
+                            "{}.{} refs missing column {tt}.{tc}",
+                            d.db_id,
+                            t.name
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn schemas_convert_with_foreign_keys() {
+        for d in all_domains() {
+            let s = d.to_schema();
+            let ref_cols: usize = d
+                .tables
+                .iter()
+                .flat_map(|t| &t.columns)
+                .filter(|c| matches!(c.kind, crate::spec::ValueKind::Ref(_, _)))
+                .count();
+            assert_eq!(s.foreign_keys.len(), ref_cols, "{}", d.db_id);
+        }
+    }
+
+    #[test]
+    fn every_domain_has_measure_and_categorical_or_text() {
+        for d in all_domains() {
+            let any_measure = d
+                .tables
+                .iter()
+                .flat_map(|t| &t.columns)
+                .any(|c| c.kind.is_measure());
+            assert!(any_measure, "{} lacks a measure column", d.db_id);
+        }
+    }
+}

@@ -1,0 +1,1170 @@
+//! Grammar-driven (question, SQL) pair generation.
+//!
+//! Twenty template families covering the Spider query distribution: plain
+//! projections, filters, counting, aggregation, superlatives, grouping,
+//! having, joins, nested subqueries, set operations, and combinations. Every
+//! template yields the gold SQL as an AST (guaranteed parseable/printable)
+//! plus two English surface forms: the standard question (mentions schema
+//! words, as in Spider) and a "realistic" paraphrase that avoids explicit
+//! column names (as in Spider-Realistic).
+
+use crate::spec::{ColumnSpec, DomainSpec, TableSpec, ValueKind};
+use rand::rngs::StdRng;
+use rand::Rng;
+use sqlkit::ast::*;
+use storage::{Database, Value};
+
+/// One generated benchmark example (pre-split).
+#[derive(Debug, Clone)]
+pub struct GeneratedExample {
+    /// English question (standard Spider style, mentions schema words).
+    pub question: String,
+    /// Spider-Realistic style paraphrase (column mentions removed).
+    pub question_realistic: String,
+    /// Gold query.
+    pub gold: Query,
+    /// Template family id (t1..t20), for analyses.
+    pub template: &'static str,
+}
+
+/// Try to generate one example from a random template.
+///
+/// Returns `None` when the drawn template does not fit the domain (e.g. no
+/// numeric measure for an aggregate template); callers retry.
+pub fn generate_example(
+    spec: &DomainSpec,
+    db: &Database,
+    rng: &mut StdRng,
+) -> Option<GeneratedExample> {
+    let template = rng.gen_range(0..22);
+    match template {
+        20 => t21_join_group_having_order(spec, rng),
+        21 => t22_or_nested(spec, db, rng),
+        0 => t1_list(spec, rng),
+        1 => t2_filter(spec, db, rng),
+        2 => t3_count_all(spec, rng),
+        3 => t4_count_where(spec, db, rng),
+        4 => t5_agg(spec, rng),
+        5 => t6_superlative(spec, rng),
+        6 => t7_group_count(spec, rng),
+        7 => t8_group_having(spec, rng),
+        8 => t9_join_filter(spec, db, rng),
+        9 => t10_join_group(spec, rng),
+        10 => t11_nested_in(spec, db, rng),
+        11 => t12_nested_not_in(spec, rng),
+        12 => t13_above_average(spec, rng),
+        13 => t14_set_op(spec, db, rng),
+        14 => t15_distinct(spec, rng),
+        15 => t16_between_like(spec, db, rng),
+        16 => t17_most_common(spec, rng),
+        17 => t18_multi_agg(spec, rng),
+        18 => t19_two_conditions(spec, db, rng),
+        19 => t20_join_superlative(spec, rng),
+        _ => unreachable!(),
+    }
+}
+
+// ---- small AST builders ----
+
+fn c(table: Option<&str>, name: &str) -> ColumnRef {
+    ColumnRef { table: table.map(str::to_string), column: name.to_string() }
+}
+
+fn col_expr(table: Option<&str>, name: &str) -> Expr {
+    Expr::Col(c(table, name))
+}
+
+fn item(expr: Expr) -> SelectItem {
+    SelectItem::bare(expr)
+}
+
+fn from_one(table: &str) -> FromClause {
+    FromClause {
+        base: TableRef::Named { name: table.to_string(), alias: None },
+        joins: vec![],
+    }
+}
+
+fn from_join(t1: &str, t2: &str, on_left: &str, on_right: &str) -> FromClause {
+    FromClause {
+        base: TableRef::Named { name: t1.to_string(), alias: Some("T1".into()) },
+        joins: vec![Join {
+            table: TableRef::Named { name: t2.to_string(), alias: Some("T2".into()) },
+            on: Some(Cond::Cmp {
+                left: col_expr(Some("T1"), on_left),
+                op: CmpOp::Eq,
+                right: Operand::Expr(col_expr(Some("T2"), on_right)),
+            }),
+        }],
+    }
+}
+
+fn agg(func: AggFunc, arg: Expr) -> Expr {
+    Expr::Agg { func, distinct: false, arg: Box::new(arg) }
+}
+
+fn count_star() -> Expr {
+    agg(AggFunc::Count, Expr::Star)
+}
+
+fn select(items: Vec<SelectItem>, from: FromClause) -> Select {
+    Select { items, from: Some(from), ..Select::default() }
+}
+
+// ---- column pickers ----
+
+fn pick<'a, T>(rng: &mut StdRng, xs: &'a [T]) -> &'a T {
+    &xs[rng.gen_range(0..xs.len())]
+}
+
+/// Text columns suitable for projecting, with name/title columns repeated
+/// so they dominate the draw (Spider questions overwhelmingly ask for
+/// names/titles).
+fn display_cols(t: &TableSpec) -> Vec<&ColumnSpec> {
+    let mut out: Vec<&ColumnSpec> = Vec::new();
+    for cs in t.columns.iter().filter(|cs| cs.kind.is_text()) {
+        out.push(cs);
+        if cs.name == "name" || cs.name == "title" || cs.name.ends_with("_name") {
+            // Triple weight for natural projections.
+            out.push(cs);
+            out.push(cs);
+        }
+    }
+    out
+}
+
+fn measure_cols(t: &TableSpec) -> Vec<&ColumnSpec> {
+    t.columns.iter().filter(|cs| cs.kind.is_measure()).collect()
+}
+
+fn categorical_cols(t: &TableSpec) -> Vec<&ColumnSpec> {
+    t.columns.iter().filter(|cs| cs.kind.is_categorical()).collect()
+}
+
+/// Phrase for a column: the explicit schema phrase, or the implicit
+/// paraphrase in realistic mode (falling back to a vague wording).
+fn phrase(cs: &ColumnSpec, realistic: bool) -> String {
+    if realistic {
+        if !cs.nl_implicit.is_empty() {
+            cs.nl_implicit.to_string()
+        } else {
+            // Vague fallback that avoids the schema word.
+            "that detail".to_string()
+        }
+    } else {
+        cs.nl.to_string()
+    }
+}
+
+/// A table with its FK child relation `(child, fk_col, parent_pk)`, if any.
+fn pick_fk_pair<'a>(
+    spec: &'a DomainSpec,
+    rng: &mut StdRng,
+) -> Option<(&'a TableSpec, &'a TableSpec, &'a str, &'a str)> {
+    let mut pairs = Vec::new();
+    for t in &spec.tables {
+        for cs in &t.columns {
+            if let ValueKind::Ref(parent, parent_col) = cs.kind {
+                if let Some(pt) = spec.table(parent) {
+                    pairs.push((pt, t, cs.name, parent_col));
+                }
+            }
+        }
+    }
+    if pairs.is_empty() {
+        return None;
+    }
+    let &(parent, child, fk_col, parent_col) = pick(rng, &pairs);
+    Some((parent, child, fk_col, parent_col))
+}
+
+/// Sample an actual value of a column, as a literal.
+fn sample_value(db: &Database, table: &str, column: &str, rng: &mut StdRng) -> Option<Literal> {
+    let vals = db.column_values(table, column);
+    if vals.is_empty() {
+        return None;
+    }
+    Some(match pick(rng, &vals) {
+        Value::Int(v) => Literal::Int(*v),
+        Value::Float(v) => Literal::Float(*v),
+        Value::Str(s) => Literal::Str(s.clone()),
+        Value::Null => return None,
+    })
+}
+
+/// A numeric threshold near the median of a column (so inequality predicates
+/// select a meaningful subset).
+fn sample_threshold(db: &Database, table: &str, column: &str, rng: &mut StdRng) -> Option<Literal> {
+    let mut nums: Vec<f64> = db
+        .column_values(table, column)
+        .iter()
+        .filter_map(Value::as_f64)
+        .collect();
+    if nums.is_empty() {
+        return None;
+    }
+    nums.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let lo = nums.len() / 4;
+    let hi = (nums.len() * 3 / 4).max(lo + 1).min(nums.len());
+    let v = nums[rng.gen_range(lo..hi)];
+    Some(if v.fract() == 0.0 && v.abs() < 1e12 {
+        Literal::Int(v as i64)
+    } else {
+        Literal::Float((v * 100.0).round() / 100.0)
+    })
+}
+
+fn lit_nl(l: &Literal) -> String {
+    match l {
+        Literal::Str(s) => s.clone(),
+        other => other.to_string(),
+    }
+}
+
+// ---- templates ----
+
+fn t1_list(spec: &DomainSpec, rng: &mut StdRng) -> Option<GeneratedExample> {
+    let t = pick(rng, &spec.tables);
+    let cols = display_cols(t);
+    if cols.is_empty() {
+        return None;
+    }
+    let cs = pick(rng, &cols);
+    let q = Query::Select(select(vec![item(col_expr(None, cs.name))], from_one(t.name)));
+    let question = match rng.gen_range(0..3) {
+        0 => format!("List the {} of all {}.", cs.nl, t.nl_plural),
+        1 => format!("What are the {}s of the {}?", cs.nl, t.nl_plural),
+        _ => format!("Show every {}'s {}.", t.nl_singular, cs.nl),
+    };
+    let question_realistic = format!("Tell me the {} for all {}.", phrase(cs, true), t.nl_plural);
+    Some(GeneratedExample { question, question_realistic, gold: q, template: "t1" })
+}
+
+fn t2_filter(spec: &DomainSpec, db: &Database, rng: &mut StdRng) -> Option<GeneratedExample> {
+    let t = pick(rng, &spec.tables);
+    let display = display_cols(t);
+    let measures = measure_cols(t);
+    if display.is_empty() || measures.is_empty() {
+        return None;
+    }
+    let proj = pick(rng, &display);
+    let cond_col = pick(rng, &measures);
+    let threshold = sample_threshold(db, t.name, cond_col.name, rng)?;
+    let op = *pick(rng, &[CmpOp::Gt, CmpOp::Lt, CmpOp::Ge, CmpOp::Le]);
+    let q = Query::Select(Select {
+        items: vec![item(col_expr(None, proj.name))],
+        from: Some(from_one(t.name)),
+        where_cond: Some(Cond::Cmp {
+            left: col_expr(None, cond_col.name),
+            op,
+            right: Operand::Expr(Expr::Lit(threshold.clone())),
+        }),
+        ..Select::default()
+    });
+    let op_nl = match op {
+        CmpOp::Gt => "greater than",
+        CmpOp::Lt => "less than",
+        CmpOp::Ge => "at least",
+        CmpOp::Le => "at most",
+        _ => unreachable!(),
+    };
+    let question = match rng.gen_range(0..3) {
+        0 => format!(
+            "What is the {} of the {} whose {} is {} {}?",
+            proj.nl,
+            t.nl_plural,
+            cond_col.nl,
+            op_nl,
+            lit_nl(&threshold)
+        ),
+        1 => format!(
+            "Show the {} of {} with {} {} {}.",
+            proj.nl,
+            t.nl_plural,
+            cond_col.nl,
+            op_nl,
+            lit_nl(&threshold)
+        ),
+        _ => format!(
+            "Find the {} for every {} whose {} is {} {}.",
+            proj.nl,
+            t.nl_singular,
+            cond_col.nl,
+            op_nl,
+            lit_nl(&threshold)
+        ),
+    };
+    let question_realistic = format!(
+        "Which {} have {} {} {}? Give their {}.",
+        t.nl_plural,
+        phrase(cond_col, true),
+        op_nl,
+        lit_nl(&threshold),
+        phrase(proj, true),
+    );
+    Some(GeneratedExample { question, question_realistic, gold: q, template: "t2" })
+}
+
+fn t3_count_all(spec: &DomainSpec, rng: &mut StdRng) -> Option<GeneratedExample> {
+    let t = pick(rng, &spec.tables);
+    let q = Query::Select(select(vec![item(count_star())], from_one(t.name)));
+    let question = match rng.gen_range(0..2) {
+        0 => format!("How many {} are there?", t.nl_plural),
+        _ => format!("Count the total number of {}.", t.nl_plural),
+    };
+    let question_realistic = format!("What is the size of the {} list?", t.nl_singular);
+    Some(GeneratedExample { question, question_realistic, gold: q, template: "t3" })
+}
+
+fn t4_count_where(spec: &DomainSpec, db: &Database, rng: &mut StdRng) -> Option<GeneratedExample> {
+    let t = pick(rng, &spec.tables);
+    let cats = categorical_cols(t);
+    if cats.is_empty() {
+        return None;
+    }
+    let cs = pick(rng, &cats);
+    let v = sample_value(db, t.name, cs.name, rng)?;
+    // Real users are sloppy about capitalization: a quarter of the questions
+    // mention the value in lowercase while the database stores it cased. The
+    // gold query keeps the true cell value — recovering it requires knowing
+    // the table content (the paper's content-rows toggle).
+    let sloppy = rng.gen_bool(0.45);
+    let q = Query::Select(Select {
+        items: vec![item(count_star())],
+        from: Some(from_one(t.name)),
+        where_cond: Some(Cond::Cmp {
+            left: col_expr(None, cs.name),
+            op: CmpOp::Eq,
+            right: Operand::Expr(Expr::Lit(v.clone())),
+        }),
+        ..Select::default()
+    });
+    let shown = if sloppy {
+        lit_nl(&v).to_lowercase()
+    } else {
+        lit_nl(&v)
+    };
+    let question = match rng.gen_range(0..3) {
+        0 => format!("How many {} have {} equal to {}?", t.nl_plural, cs.nl, shown),
+        1 => format!("Count the {} whose {} is {}.", t.nl_plural, cs.nl, shown),
+        _ => format!("How many {} have the {} {}?", t.nl_plural, cs.nl, shown),
+    };
+    let question_realistic =
+        format!("How many {} are associated with {}?", t.nl_plural, shown);
+    Some(GeneratedExample { question, question_realistic, gold: q, template: "t4" })
+}
+
+fn t5_agg(spec: &DomainSpec, rng: &mut StdRng) -> Option<GeneratedExample> {
+    let t = pick(rng, &spec.tables);
+    let measures = measure_cols(t);
+    if measures.is_empty() {
+        return None;
+    }
+    let cs = pick(rng, &measures);
+    let func = *pick(rng, &[AggFunc::Avg, AggFunc::Max, AggFunc::Min, AggFunc::Sum]);
+    let q = Query::Select(select(
+        vec![item(agg(func, col_expr(None, cs.name)))],
+        from_one(t.name),
+    ));
+    let func_nl = match func {
+        AggFunc::Avg => "average",
+        AggFunc::Max => "maximum",
+        AggFunc::Min => "minimum",
+        AggFunc::Sum => "total",
+        AggFunc::Count => unreachable!(),
+    };
+    let question = match rng.gen_range(0..3) {
+        0 => format!("What is the {} {} of all {}?", func_nl, cs.nl, t.nl_plural),
+        1 => format!("Give the {} {} over the {}.", func_nl, cs.nl, t.nl_plural),
+        _ => format!("Compute the {} {} across {}.", func_nl, cs.nl, t.nl_plural),
+    };
+    let question_realistic = format!(
+        "Across all {}, what is the {} for {}?",
+        t.nl_plural,
+        func_nl,
+        phrase(cs, true)
+    );
+    Some(GeneratedExample { question, question_realistic, gold: q, template: "t5" })
+}
+
+fn t6_superlative(spec: &DomainSpec, rng: &mut StdRng) -> Option<GeneratedExample> {
+    let t = pick(rng, &spec.tables);
+    let display = display_cols(t);
+    let measures = measure_cols(t);
+    if display.is_empty() || measures.is_empty() {
+        return None;
+    }
+    let proj = pick(rng, &display);
+    let key = pick(rng, &measures);
+    let dir = *pick(rng, &[SortDir::Desc, SortDir::Asc]);
+    let q = Query::Select(Select {
+        items: vec![item(col_expr(None, proj.name))],
+        from: Some(from_one(t.name)),
+        order_by: vec![OrderKey { expr: col_expr(None, key.name), dir }],
+        limit: Some(1),
+        ..Select::default()
+    });
+    let superl = match dir {
+        SortDir::Desc => "highest",
+        SortDir::Asc => "lowest",
+    };
+    let question = match rng.gen_range(0..3) {
+        0 => format!(
+            "What is the {} of the {} with the {} {}?",
+            proj.nl, t.nl_singular, superl, key.nl
+        ),
+        1 => format!(
+            "Show the {} of the {} having the {} {}.",
+            proj.nl, t.nl_singular, superl, key.nl
+        ),
+        _ => format!(
+            "Which {} has the {} {}? Give its {}.",
+            t.nl_singular, superl, key.nl, proj.nl
+        ),
+    };
+    let question_realistic = format!(
+        "Which {} ranks {} by {}? Show its {}.",
+        t.nl_singular,
+        if dir == SortDir::Desc { "first" } else { "last" },
+        phrase(key, true),
+        phrase(proj, true)
+    );
+    Some(GeneratedExample { question, question_realistic, gold: q, template: "t6" })
+}
+
+fn t7_group_count(spec: &DomainSpec, rng: &mut StdRng) -> Option<GeneratedExample> {
+    let t = pick(rng, &spec.tables);
+    let cats = categorical_cols(t);
+    if cats.is_empty() {
+        return None;
+    }
+    let cs = pick(rng, &cats);
+    let q = Query::Select(Select {
+        items: vec![item(col_expr(None, cs.name)), item(count_star())],
+        from: Some(from_one(t.name)),
+        group_by: vec![c(None, cs.name)],
+        ..Select::default()
+    });
+    let question = match rng.gen_range(0..3) {
+        0 => format!("Show the number of {} for each {}.", t.nl_plural, cs.nl),
+        1 => format!("For each {}, how many {} are there?", cs.nl, t.nl_plural),
+        _ => format!("Count the {} per {}.", t.nl_plural, cs.nl),
+    };
+    let question_realistic = format!("Break the {} down by {} with counts.", t.nl_plural, phrase(cs, true));
+    Some(GeneratedExample { question, question_realistic, gold: q, template: "t7" })
+}
+
+fn t8_group_having(spec: &DomainSpec, rng: &mut StdRng) -> Option<GeneratedExample> {
+    let t = pick(rng, &spec.tables);
+    let cats = categorical_cols(t);
+    if cats.is_empty() {
+        return None;
+    }
+    let cs = pick(rng, &cats);
+    let n = rng.gen_range(1..4);
+    let q = Query::Select(Select {
+        items: vec![item(col_expr(None, cs.name))],
+        from: Some(from_one(t.name)),
+        group_by: vec![c(None, cs.name)],
+        having: Some(Cond::Cmp {
+            left: count_star(),
+            op: CmpOp::Gt,
+            right: Operand::Expr(Expr::Lit(Literal::Int(n))),
+        }),
+        ..Select::default()
+    });
+    let question = format!(
+        "Which {} values appear in more than {} {}?",
+        cs.nl, n, t.nl_plural
+    );
+    let question_realistic = format!(
+        "For the {}, which {} occur more than {} times?",
+        t.nl_plural,
+        phrase(cs, true),
+        n
+    );
+    Some(GeneratedExample { question, question_realistic, gold: q, template: "t8" })
+}
+
+fn t9_join_filter(spec: &DomainSpec, db: &Database, rng: &mut StdRng) -> Option<GeneratedExample> {
+    let (parent, child, fk_col, parent_col) = pick_fk_pair(spec, rng)?;
+    let pdisplay = display_cols(parent);
+    if pdisplay.is_empty() {
+        return None;
+    }
+    let proj = pick(rng, &pdisplay);
+    // Condition on a child measure or category.
+    let cmeasures = measure_cols(child);
+    let (cond, cond_nl, cond_nl_realistic) = if !cmeasures.is_empty() && rng.gen_bool(0.6) {
+        let mc = pick(rng, &cmeasures);
+        let thr = sample_threshold(db, child.name, mc.name, rng)?;
+        (
+            Cond::Cmp {
+                left: col_expr(Some("T2"), mc.name),
+                op: CmpOp::Gt,
+                right: Operand::Expr(Expr::Lit(thr.clone())),
+            },
+            format!("{} greater than {}", mc.nl, lit_nl(&thr)),
+            format!("{} above {}", phrase(mc, true), lit_nl(&thr)),
+        )
+    } else {
+        let ccats = categorical_cols(child);
+        if ccats.is_empty() {
+            return None;
+        }
+        let cc = pick(rng, &ccats);
+        let v = sample_value(db, child.name, cc.name, rng)?;
+        (
+            Cond::Cmp {
+                left: col_expr(Some("T2"), cc.name),
+                op: CmpOp::Eq,
+                right: Operand::Expr(Expr::Lit(v.clone())),
+            },
+            format!("{} {}", cc.nl, lit_nl(&v)),
+            format!("a link to {}", lit_nl(&v)),
+        )
+    };
+    let q = Query::Select(Select {
+        items: vec![item(col_expr(Some("T1"), proj.name))],
+        from: Some(from_join(parent.name, child.name, parent_col, fk_col)),
+        where_cond: Some(cond),
+        ..Select::default()
+    });
+    let question = format!(
+        "Show the {} of {} that have a {} with {}.",
+        proj.nl, parent.nl_plural, child.nl_singular, cond_nl
+    );
+    let question_realistic = format!(
+        "Which {} are connected to a {} with {}? List {}.",
+        parent.nl_plural,
+        child.nl_singular,
+        cond_nl_realistic,
+        phrase(proj, true)
+    );
+    Some(GeneratedExample { question, question_realistic, gold: q, template: "t9" })
+}
+
+fn t10_join_group(spec: &DomainSpec, rng: &mut StdRng) -> Option<GeneratedExample> {
+    let (parent, child, fk_col, parent_col) = pick_fk_pair(spec, rng)?;
+    let pdisplay = display_cols(parent);
+    if pdisplay.is_empty() {
+        return None;
+    }
+    let proj = pick(rng, &pdisplay);
+    let q = Query::Select(Select {
+        items: vec![item(col_expr(Some("T1"), proj.name)), item(count_star())],
+        from: Some(from_join(parent.name, child.name, parent_col, fk_col)),
+        group_by: vec![c(Some("T1"), parent_col)],
+        ..Select::default()
+    });
+    let question = format!(
+        "How many {} does each {} have? Show the {} and the count.",
+        child.nl_plural, parent.nl_singular, proj.nl
+    );
+    let question_realistic = format!(
+        "For each {}, how many {} are linked?",
+        parent.nl_singular, child.nl_plural
+    );
+    Some(GeneratedExample { question, question_realistic, gold: q, template: "t10" })
+}
+
+fn t11_nested_in(spec: &DomainSpec, db: &Database, rng: &mut StdRng) -> Option<GeneratedExample> {
+    let (parent, child, fk_col, parent_col) = pick_fk_pair(spec, rng)?;
+    let pdisplay = display_cols(parent);
+    let cmeasures = measure_cols(child);
+    if pdisplay.is_empty() || cmeasures.is_empty() {
+        return None;
+    }
+    let proj = pick(rng, &pdisplay);
+    let mc = pick(rng, &cmeasures);
+    let thr = sample_threshold(db, child.name, mc.name, rng)?;
+    let sub = Query::Select(Select {
+        items: vec![item(col_expr(None, fk_col))],
+        from: Some(from_one(child.name)),
+        where_cond: Some(Cond::Cmp {
+            left: col_expr(None, mc.name),
+            op: CmpOp::Gt,
+            right: Operand::Expr(Expr::Lit(thr.clone())),
+        }),
+        ..Select::default()
+    });
+    let q = Query::Select(Select {
+        items: vec![item(col_expr(None, proj.name))],
+        from: Some(from_one(parent.name)),
+        where_cond: Some(Cond::In {
+            expr: col_expr(None, parent_col),
+            negated: false,
+            source: InSource::Subquery(Box::new(sub)),
+        }),
+        ..Select::default()
+    });
+    let question = match rng.gen_range(0..2) {
+        0 => format!(
+            "What are the {} of {} that have at least one {} whose {} exceeds {}?",
+            proj.nl,
+            parent.nl_plural,
+            child.nl_singular,
+            mc.nl,
+            lit_nl(&thr)
+        ),
+        _ => format!(
+            "Show the {} of {} having at least one {} with {} that exceeds {}.",
+            proj.nl,
+            parent.nl_plural,
+            child.nl_singular,
+            mc.nl,
+            lit_nl(&thr)
+        ),
+    };
+    let question_realistic = format!(
+        "Find {} linked to a {} going over {} — show {}.",
+        parent.nl_plural,
+        child.nl_singular,
+        lit_nl(&thr),
+        phrase(proj, true)
+    );
+    Some(GeneratedExample { question, question_realistic, gold: q, template: "t11" })
+}
+
+fn t12_nested_not_in(spec: &DomainSpec, rng: &mut StdRng) -> Option<GeneratedExample> {
+    let (parent, child, fk_col, parent_col) = pick_fk_pair(spec, rng)?;
+    let pdisplay = display_cols(parent);
+    if pdisplay.is_empty() {
+        return None;
+    }
+    let proj = pick(rng, &pdisplay);
+    let sub = Query::Select(select(
+        vec![item(col_expr(None, fk_col))],
+        from_one(child.name),
+    ));
+    let q = Query::Select(Select {
+        items: vec![item(col_expr(None, proj.name))],
+        from: Some(from_one(parent.name)),
+        where_cond: Some(Cond::In {
+            expr: col_expr(None, parent_col),
+            negated: true,
+            source: InSource::Subquery(Box::new(sub)),
+        }),
+        ..Select::default()
+    });
+    let question = format!(
+        "List the {} of {} that do not have any {}.",
+        proj.nl, parent.nl_plural, child.nl_plural
+    );
+    let question_realistic = format!(
+        "Which {} lack any associated {}?",
+        parent.nl_plural, child.nl_singular
+    );
+    Some(GeneratedExample { question, question_realistic, gold: q, template: "t12" })
+}
+
+fn t13_above_average(spec: &DomainSpec, rng: &mut StdRng) -> Option<GeneratedExample> {
+    let t = pick(rng, &spec.tables);
+    let display = display_cols(t);
+    let measures = measure_cols(t);
+    if display.is_empty() || measures.is_empty() {
+        return None;
+    }
+    let proj = pick(rng, &display);
+    let mc = pick(rng, &measures);
+    let sub = Query::Select(select(
+        vec![item(agg(AggFunc::Avg, col_expr(None, mc.name)))],
+        from_one(t.name),
+    ));
+    let q = Query::Select(Select {
+        items: vec![item(col_expr(None, proj.name))],
+        from: Some(from_one(t.name)),
+        where_cond: Some(Cond::Cmp {
+            left: col_expr(None, mc.name),
+            op: CmpOp::Gt,
+            right: Operand::Subquery(Box::new(sub)),
+        }),
+        ..Select::default()
+    });
+    let question = match rng.gen_range(0..2) {
+        0 => format!(
+            "Show the {} of {} whose {} is above the average {}.",
+            proj.nl, t.nl_plural, mc.nl, mc.nl
+        ),
+        _ => format!(
+            "List the {} for {} with {} above average.",
+            proj.nl, t.nl_plural, mc.nl
+        ),
+    };
+    let question_realistic = format!(
+        "Which {} are above average for {}? Show {}.",
+        t.nl_plural,
+        phrase(mc, true),
+        phrase(proj, true)
+    );
+    Some(GeneratedExample { question, question_realistic, gold: q, template: "t13" })
+}
+
+fn t14_set_op(spec: &DomainSpec, db: &Database, rng: &mut StdRng) -> Option<GeneratedExample> {
+    let t = pick(rng, &spec.tables);
+    let cats = categorical_cols(t);
+    let measures = measure_cols(t);
+    if cats.is_empty() || measures.is_empty() {
+        return None;
+    }
+    let proj = pick(rng, &cats);
+    let mc = pick(rng, &measures);
+    let thr = sample_threshold(db, t.name, mc.name, rng)?;
+    let op = *pick(rng, &[SetOp::Intersect, SetOp::Union, SetOp::Except]);
+    let left = Query::Select(Select {
+        items: vec![item(col_expr(None, proj.name))],
+        from: Some(from_one(t.name)),
+        where_cond: Some(Cond::Cmp {
+            left: col_expr(None, mc.name),
+            op: CmpOp::Gt,
+            right: Operand::Expr(Expr::Lit(thr.clone())),
+        }),
+        ..Select::default()
+    });
+    let right = Query::Select(Select {
+        items: vec![item(col_expr(None, proj.name))],
+        from: Some(from_one(t.name)),
+        where_cond: Some(Cond::Cmp {
+            left: col_expr(None, mc.name),
+            op: CmpOp::Lt,
+            right: Operand::Expr(Expr::Lit(thr.clone())),
+        }),
+        ..Select::default()
+    });
+    let q = Query::Compound { op, left: Box::new(left), right: Box::new(right) };
+    let (op_nl, op_nl2) = match op {
+        SetOp::Intersect => ("both", "and also"),
+        SetOp::Union => ("either", "or"),
+        SetOp::Except => ("only", "but not"),
+    };
+    let question = format!(
+        "Which {} values belong to {} {} with {} above {} {} below it?",
+        proj.nl,
+        op_nl,
+        t.nl_plural,
+        mc.nl,
+        lit_nl(&thr),
+        op_nl2
+    );
+    let question_realistic = format!(
+        "Compare {} over and under {}: report the {} groups that qualify ({}).",
+        t.nl_plural,
+        lit_nl(&thr),
+        phrase(proj, true),
+        op.as_str().to_lowercase()
+    );
+    Some(GeneratedExample { question, question_realistic, gold: q, template: "t14" })
+}
+
+fn t15_distinct(spec: &DomainSpec, rng: &mut StdRng) -> Option<GeneratedExample> {
+    let t = pick(rng, &spec.tables);
+    let cats = categorical_cols(t);
+    if cats.is_empty() {
+        return None;
+    }
+    let cs = pick(rng, &cats);
+    let q = Query::Select(Select {
+        distinct: true,
+        items: vec![item(col_expr(None, cs.name))],
+        from: Some(from_one(t.name)),
+        ..Select::default()
+    });
+    let question = format!("List the distinct {} of the {}.", cs.nl, t.nl_plural);
+    let question_realistic = format!("What different {} show up among the {}?", phrase(cs, true), t.nl_plural);
+    Some(GeneratedExample { question, question_realistic, gold: q, template: "t15" })
+}
+
+fn t16_between_like(spec: &DomainSpec, db: &Database, rng: &mut StdRng) -> Option<GeneratedExample> {
+    let t = pick(rng, &spec.tables);
+    if rng.gen_bool(0.5) {
+        // BETWEEN on a measure.
+        let measures = measure_cols(t);
+        let display = display_cols(t);
+        if measures.is_empty() || display.is_empty() {
+            return None;
+        }
+        let mc = pick(rng, &measures);
+        let proj = pick(rng, &display);
+        let lo = sample_threshold(db, t.name, mc.name, rng)?;
+        let (lo_v, hi_v) = match &lo {
+            Literal::Int(v) => (Literal::Int(*v), Literal::Int(v + (v / 4).max(10))),
+            Literal::Float(v) => (Literal::Float(*v), Literal::Float(v * 1.5 + 10.0)),
+            _ => return None,
+        };
+        let q = Query::Select(Select {
+            items: vec![item(col_expr(None, proj.name))],
+            from: Some(from_one(t.name)),
+            where_cond: Some(Cond::Between {
+                expr: col_expr(None, mc.name),
+                negated: false,
+                low: Expr::Lit(lo_v.clone()),
+                high: Expr::Lit(hi_v.clone()),
+            }),
+            ..Select::default()
+        });
+        let question = format!(
+            "Show the {} of {} with {} between {} and {}.",
+            proj.nl,
+            t.nl_plural,
+            mc.nl,
+            lit_nl(&lo_v),
+            lit_nl(&hi_v)
+        );
+        let question_realistic = format!(
+            "Which {} fall between {} and {} on {}?",
+            t.nl_plural,
+            lit_nl(&lo_v),
+            lit_nl(&hi_v),
+            phrase(mc, true)
+        );
+        Some(GeneratedExample { question, question_realistic, gold: q, template: "t16" })
+    } else {
+        // LIKE on a text column: prefix of an actual value.
+        let display = display_cols(t);
+        if display.is_empty() {
+            return None;
+        }
+        let cs = pick(rng, &display);
+        let v = sample_value(db, t.name, cs.name, rng)?;
+        let Literal::Str(s) = &v else { return None };
+        let prefix: String = s.chars().take(3).collect();
+        if prefix.is_empty() {
+            return None;
+        }
+        let pattern = format!("{prefix}%");
+        let q = Query::Select(Select {
+            items: vec![item(col_expr(None, cs.name))],
+            from: Some(from_one(t.name)),
+            where_cond: Some(Cond::Like {
+                expr: col_expr(None, cs.name),
+                negated: false,
+                pattern: pattern.clone(),
+            }),
+            ..Select::default()
+        });
+        let question = format!(
+            "Which {} have a {} starting with '{}'?",
+            t.nl_plural, cs.nl, prefix
+        );
+        let question_realistic =
+            format!("Find {} beginning with '{}'.", t.nl_plural, prefix);
+        Some(GeneratedExample { question, question_realistic, gold: q, template: "t16" })
+    }
+}
+
+fn t17_most_common(spec: &DomainSpec, rng: &mut StdRng) -> Option<GeneratedExample> {
+    let t = pick(rng, &spec.tables);
+    let cats = categorical_cols(t);
+    if cats.is_empty() {
+        return None;
+    }
+    let cs = pick(rng, &cats);
+    let q = Query::Select(Select {
+        items: vec![item(col_expr(None, cs.name))],
+        from: Some(from_one(t.name)),
+        group_by: vec![c(None, cs.name)],
+        order_by: vec![OrderKey { expr: count_star(), dir: SortDir::Desc }],
+        limit: Some(1),
+        ..Select::default()
+    });
+    let question = match rng.gen_range(0..2) {
+        0 => format!("Which {} is the most common among the {}?", cs.nl, t.nl_plural),
+        _ => format!("What is the most common {} of the {}?", cs.nl, t.nl_plural),
+    };
+    let question_realistic = format!(
+        "What {} dominates the {}?",
+        phrase(cs, true),
+        t.nl_plural
+    );
+    Some(GeneratedExample { question, question_realistic, gold: q, template: "t17" })
+}
+
+fn t18_multi_agg(spec: &DomainSpec, rng: &mut StdRng) -> Option<GeneratedExample> {
+    let t = pick(rng, &spec.tables);
+    let measures = measure_cols(t);
+    if measures.is_empty() {
+        return None;
+    }
+    let cs = pick(rng, &measures);
+    let q = Query::Select(select(
+        vec![
+            item(agg(AggFunc::Min, col_expr(None, cs.name))),
+            item(agg(AggFunc::Max, col_expr(None, cs.name))),
+            item(agg(AggFunc::Avg, col_expr(None, cs.name))),
+        ],
+        from_one(t.name),
+    ));
+    let question = format!(
+        "What are the minimum, maximum and average {} across all {}?",
+        cs.nl, t.nl_plural
+    );
+    let question_realistic = format!(
+        "Summarize {} for the {} (smallest, largest, typical).",
+        phrase(cs, true),
+        t.nl_plural
+    );
+    Some(GeneratedExample { question, question_realistic, gold: q, template: "t18" })
+}
+
+fn t19_two_conditions(spec: &DomainSpec, db: &Database, rng: &mut StdRng) -> Option<GeneratedExample> {
+    let t = pick(rng, &spec.tables);
+    let display = display_cols(t);
+    let measures = measure_cols(t);
+    let cats = categorical_cols(t);
+    if display.is_empty() || measures.is_empty() || cats.is_empty() {
+        return None;
+    }
+    let proj = pick(rng, &display);
+    let mc = pick(rng, &measures);
+    let cc = pick(rng, &cats);
+    let thr = sample_threshold(db, t.name, mc.name, rng)?;
+    let v = sample_value(db, t.name, cc.name, rng)?;
+    let use_or = rng.gen_bool(0.35);
+    let left = Cond::Cmp {
+        left: col_expr(None, mc.name),
+        op: CmpOp::Gt,
+        right: Operand::Expr(Expr::Lit(thr.clone())),
+    };
+    let right = Cond::Cmp {
+        left: col_expr(None, cc.name),
+        op: CmpOp::Eq,
+        right: Operand::Expr(Expr::Lit(v.clone())),
+    };
+    let cond = if use_or {
+        Cond::Or(Box::new(left), Box::new(right))
+    } else {
+        Cond::And(Box::new(left), Box::new(right))
+    };
+    let q = Query::Select(Select {
+        items: vec![item(col_expr(None, proj.name))],
+        from: Some(from_one(t.name)),
+        where_cond: Some(cond),
+        ..Select::default()
+    });
+    let conj = if use_or { "or" } else { "and" };
+    let question = format!(
+        "Find the {} of {} with {} above {} {} {} {}.",
+        proj.nl,
+        t.nl_plural,
+        mc.nl,
+        lit_nl(&thr),
+        conj,
+        cc.nl,
+        lit_nl(&v)
+    );
+    let question_realistic = format!(
+        "Which {} go over {} {} belong to {}? Show {}.",
+        t.nl_plural,
+        lit_nl(&thr),
+        conj,
+        lit_nl(&v),
+        phrase(proj, true)
+    );
+    Some(GeneratedExample { question, question_realistic, gold: q, template: "t19" })
+}
+
+fn t20_join_superlative(spec: &DomainSpec, rng: &mut StdRng) -> Option<GeneratedExample> {
+    let (parent, child, fk_col, parent_col) = pick_fk_pair(spec, rng)?;
+    let pdisplay = display_cols(parent);
+    let cmeasures = measure_cols(child);
+    if pdisplay.is_empty() || cmeasures.is_empty() {
+        return None;
+    }
+    let proj = pick(rng, &pdisplay);
+    let mc = pick(rng, &cmeasures);
+    let q = Query::Select(Select {
+        items: vec![item(col_expr(Some("T1"), proj.name))],
+        from: Some(from_join(parent.name, child.name, parent_col, fk_col)),
+        order_by: vec![OrderKey { expr: col_expr(Some("T2"), mc.name), dir: SortDir::Desc }],
+        limit: Some(1),
+        ..Select::default()
+    });
+    let question = format!(
+        "What is the {} of the {} whose {} has the highest {}?",
+        proj.nl, parent.nl_singular, child.nl_singular, mc.nl
+    );
+    let question_realistic = format!(
+        "Which {} tops the chart through its {}' {}?",
+        parent.nl_singular,
+        child.nl_plural,
+        phrase(mc, true)
+    );
+    Some(GeneratedExample { question, question_realistic, gold: q, template: "t20" })
+}
+
+fn t21_join_group_having_order(spec: &DomainSpec, rng: &mut StdRng) -> Option<GeneratedExample> {
+    let (parent, child, fk_col, parent_col) = pick_fk_pair(spec, rng)?;
+    let pdisplay = display_cols(parent);
+    if pdisplay.is_empty() {
+        return None;
+    }
+    let proj = pick(rng, &pdisplay);
+    let n = rng.gen_range(1..3);
+    let q = Query::Select(Select {
+        items: vec![item(col_expr(Some("T1"), proj.name)), item(count_star())],
+        from: Some(from_join(parent.name, child.name, parent_col, fk_col)),
+        group_by: vec![c(Some("T1"), parent_col)],
+        having: Some(Cond::Cmp {
+            left: count_star(),
+            op: CmpOp::Gt,
+            right: Operand::Expr(Expr::Lit(Literal::Int(n))),
+        }),
+        order_by: vec![OrderKey { expr: count_star(), dir: SortDir::Desc }],
+        ..Select::default()
+    });
+    let question = format!(
+        "Show the {} of {} with more than {} {}, together with how many they have, most first.",
+        proj.nl, parent.nl_plural, n, child.nl_plural
+    );
+    let question_realistic = format!(
+        "Rank the {} that hold more than {} {}, busiest first, with their totals.",
+        parent.nl_plural, n, child.nl_plural
+    );
+    Some(GeneratedExample { question, question_realistic, gold: q, template: "t21" })
+}
+
+fn t22_or_nested(spec: &DomainSpec, db: &Database, rng: &mut StdRng) -> Option<GeneratedExample> {
+    let (parent, child, fk_col, parent_col) = pick_fk_pair(spec, rng)?;
+    let pdisplay = display_cols(parent);
+    let pmeasures = measure_cols(parent);
+    let cmeasures = measure_cols(child);
+    if pdisplay.is_empty() || pmeasures.is_empty() || cmeasures.is_empty() {
+        return None;
+    }
+    let proj = pick(rng, &pdisplay);
+    let pm = pick(rng, &pmeasures);
+    let cm = pick(rng, &cmeasures);
+    let thr1 = sample_threshold(db, parent.name, pm.name, rng)?;
+    let thr2 = sample_threshold(db, child.name, cm.name, rng)?;
+    let sub = Query::Select(Select {
+        items: vec![item(col_expr(None, fk_col))],
+        from: Some(from_one(child.name)),
+        where_cond: Some(Cond::Cmp {
+            left: col_expr(None, cm.name),
+            op: CmpOp::Gt,
+            right: Operand::Expr(Expr::Lit(thr2.clone())),
+        }),
+        ..Select::default()
+    });
+    let q = Query::Select(Select {
+        items: vec![item(col_expr(None, proj.name))],
+        from: Some(from_one(parent.name)),
+        where_cond: Some(Cond::Or(
+            Box::new(Cond::Cmp {
+                left: col_expr(None, pm.name),
+                op: CmpOp::Gt,
+                right: Operand::Expr(Expr::Lit(thr1.clone())),
+            }),
+            Box::new(Cond::In {
+                expr: col_expr(None, parent_col),
+                negated: false,
+                source: InSource::Subquery(Box::new(sub)),
+            }),
+        )),
+        ..Select::default()
+    });
+    let question = format!(
+        "Show the {} of {} whose {} is above {} or that have at least one {} with {} above {}.",
+        proj.nl,
+        parent.nl_plural,
+        pm.nl,
+        lit_nl(&thr1),
+        child.nl_singular,
+        cm.nl,
+        lit_nl(&thr2)
+    );
+    let question_realistic = format!(
+        "Which {} either go over {} themselves or own a {} that goes over {}? Show {}.",
+        parent.nl_plural,
+        lit_nl(&thr1),
+        child.nl_singular,
+        lit_nl(&thr2),
+        phrase(proj, true)
+    );
+    Some(GeneratedExample { question, question_realistic, gold: q, template: "t22" })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domains::all_domains;
+    use crate::populate::populate;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generates_parseable_executable_examples() {
+        let domains = all_domains();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut generated = 0;
+        for d in &domains[..5] {
+            let db = populate(d, 5);
+            for _ in 0..60 {
+                if let Some(ex) = generate_example(d, &db, &mut rng) {
+                    // SQL prints and re-parses.
+                    let sql = ex.gold.to_string();
+                    let reparsed = sqlkit::parse_query(&sql)
+                        .unwrap_or_else(|e| panic!("unparseable gold {sql}: {e}"));
+                    assert_eq!(reparsed, ex.gold);
+                    // Executes cleanly.
+                    storage::execute_query(&db, &ex.gold)
+                        .unwrap_or_else(|e| panic!("gold exec failed: {sql}: {e}"));
+                    assert!(!ex.question.is_empty());
+                    assert!(!ex.question_realistic.is_empty());
+                    generated += 1;
+                }
+            }
+        }
+        assert!(generated > 150, "only generated {generated}");
+    }
+
+    #[test]
+    fn template_mix_covers_all_families() {
+        let domains = all_domains();
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut seen = std::collections::HashSet::new();
+        for d in &domains {
+            let db = populate(d, 5);
+            for _ in 0..100 {
+                if let Some(ex) = generate_example(d, &db, &mut rng) {
+                    seen.insert(ex.template);
+                }
+            }
+        }
+        assert!(seen.len() >= 18, "only saw {:?}", seen);
+    }
+
+    #[test]
+    fn hardness_spread_is_nontrivial() {
+        let domains = all_domains();
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut buckets = std::collections::HashMap::new();
+        for d in &domains[..8] {
+            let db = populate(d, 5);
+            for _ in 0..50 {
+                if let Some(ex) = generate_example(d, &db, &mut rng) {
+                    *buckets.entry(sqlkit::classify(&ex.gold)).or_insert(0usize) += 1;
+                }
+            }
+        }
+        assert!(buckets.len() >= 3, "hardness buckets: {buckets:?}");
+    }
+
+    #[test]
+    fn realistic_question_differs_from_standard() {
+        let domains = all_domains();
+        let mut rng = StdRng::seed_from_u64(23);
+        let d = &domains[0];
+        let db = populate(d, 5);
+        let mut diffs = 0;
+        let mut total = 0;
+        for _ in 0..50 {
+            if let Some(ex) = generate_example(d, &db, &mut rng) {
+                total += 1;
+                if ex.question != ex.question_realistic {
+                    diffs += 1;
+                }
+            }
+        }
+        assert!(total > 0 && diffs * 10 >= total * 9, "{diffs}/{total}");
+    }
+}

@@ -1,0 +1,233 @@
+//! Domain specification DSL.
+//!
+//! A [`DomainSpec`] describes one cross-domain database: its tables, columns
+//! (with value generators and natural-language phrases) and foreign keys.
+//! The question generator consumes the NL phrases; the populator consumes the
+//! value generators; the schema converts into a [`storage::DbSchema`].
+
+use storage::{ColType, ColumnDef, DbSchema, ForeignKey, TableSchema};
+
+/// How values for a column are generated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ValueKind {
+    /// Auto-increment primary key.
+    Id,
+    /// A foreign key into `(table, column)` — values sampled from parent ids.
+    Ref(&'static str, &'static str),
+    /// Full person name.
+    PersonName,
+    /// Title synthesized from adjective+noun pools.
+    Title,
+    /// Venue-like name.
+    VenueName,
+    /// Word drawn from a fixed category list.
+    Category(&'static [&'static str]),
+    /// City.
+    City,
+    /// Country.
+    Country,
+    /// Street address.
+    Street,
+    /// Year in `[lo, hi]`.
+    Year(i64, i64),
+    /// Integer quantity in `[lo, hi]`.
+    Int(i64, i64),
+    /// Float quantity in `[lo, hi]` with 2 decimals.
+    Float(f64, f64),
+}
+
+impl ValueKind {
+    /// The SQL column type this generator produces.
+    pub fn col_type(&self) -> ColType {
+        match self {
+            ValueKind::Id | ValueKind::Ref(_, _) | ValueKind::Year(_, _) | ValueKind::Int(_, _) => {
+                ColType::Int
+            }
+            ValueKind::Float(_, _) => ColType::Float,
+            _ => ColType::Text,
+        }
+    }
+
+    /// Whether the column is textual.
+    pub fn is_text(&self) -> bool {
+        self.col_type() == ColType::Text
+    }
+
+    /// Whether the column is a numeric *measure* (sensible for SUM/AVG and
+    /// inequality predicates). Ids and FK refs are numeric but not measures.
+    pub fn is_measure(&self) -> bool {
+        matches!(self, ValueKind::Year(_, _) | ValueKind::Int(_, _) | ValueKind::Float(_, _))
+    }
+
+    /// Whether the column is a good GROUP BY / categorical key.
+    pub fn is_categorical(&self) -> bool {
+        matches!(
+            self,
+            ValueKind::Category(_) | ValueKind::City | ValueKind::Country
+        )
+    }
+}
+
+/// One column in a domain spec.
+#[derive(Debug, Clone)]
+pub struct ColumnSpec {
+    /// SQL name, snake_case.
+    pub name: &'static str,
+    /// Natural-language phrase for the column ("age", "stadium capacity").
+    pub nl: &'static str,
+    /// An *implicit* paraphrase that avoids the schema word, used by the
+    /// Spider-Realistic transform ("how old", "how large"). Empty string when
+    /// no good implicit phrasing exists (the realistic transform then keeps a
+    /// vaguer fallback).
+    pub nl_implicit: &'static str,
+    /// Value generator.
+    pub kind: ValueKind,
+}
+
+/// One table in a domain spec.
+#[derive(Debug, Clone)]
+pub struct TableSpec {
+    /// SQL name, snake_case.
+    pub name: &'static str,
+    /// Singular noun phrase ("singer").
+    pub nl_singular: &'static str,
+    /// Plural noun phrase ("singers").
+    pub nl_plural: &'static str,
+    /// Columns; the first `Id` column is the primary key.
+    pub columns: Vec<ColumnSpec>,
+    /// Approximate row count (populator adds seeded jitter).
+    pub rows: usize,
+}
+
+impl TableSpec {
+    /// Index of the primary key column.
+    pub fn pk_index(&self) -> Option<usize> {
+        self.columns.iter().position(|c| c.kind == ValueKind::Id)
+    }
+
+    /// Find a column spec by name.
+    pub fn column(&self, name: &str) -> Option<&ColumnSpec> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+}
+
+/// A whole domain.
+#[derive(Debug, Clone)]
+pub struct DomainSpec {
+    /// Database id ("concert_singer").
+    pub db_id: &'static str,
+    /// Human topic phrase used in Spider-Realistic paraphrases.
+    pub topic: &'static str,
+    /// Tables.
+    pub tables: Vec<TableSpec>,
+}
+
+impl DomainSpec {
+    /// Convert into a storage schema (deriving FKs from `Ref` columns).
+    pub fn to_schema(&self) -> DbSchema {
+        let tables = self
+            .tables
+            .iter()
+            .map(|t| TableSchema {
+                name: t.name.to_string(),
+                columns: t
+                    .columns
+                    .iter()
+                    .map(|c| ColumnDef::new(c.name, c.kind.col_type()))
+                    .collect(),
+                primary_key: t.pk_index().into_iter().collect(),
+            })
+            .collect();
+        let mut foreign_keys = Vec::new();
+        for t in &self.tables {
+            for c in &t.columns {
+                if let ValueKind::Ref(to_table, to_col) = c.kind {
+                    foreign_keys.push(ForeignKey {
+                        from_table: t.name.to_string(),
+                        from_column: c.name.to_string(),
+                        to_table: to_table.to_string(),
+                        to_column: to_col.to_string(),
+                    });
+                }
+            }
+        }
+        DbSchema { db_id: self.db_id.to_string(), tables, foreign_keys }
+    }
+
+    /// Find a table spec.
+    pub fn table(&self, name: &str) -> Option<&TableSpec> {
+        self.tables.iter().find(|t| t.name == name)
+    }
+
+    /// All domain vocabulary (table + column names and NL phrases) for
+    /// masking.
+    pub fn domain_terms(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for t in &self.tables {
+            out.push(t.name.to_string());
+            out.push(t.nl_singular.to_string());
+            out.push(t.nl_plural.to_string());
+            for c in &t.columns {
+                out.push(c.name.to_string());
+                out.push(c.nl.to_string());
+            }
+        }
+        out
+    }
+}
+
+/// Shorthand for building a column spec.
+pub fn col(
+    name: &'static str,
+    nl: &'static str,
+    nl_implicit: &'static str,
+    kind: ValueKind,
+) -> ColumnSpec {
+    ColumnSpec { name, nl, nl_implicit, kind }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> DomainSpec {
+        DomainSpec {
+            db_id: "d",
+            topic: "things",
+            tables: vec![TableSpec {
+                name: "t",
+                nl_singular: "thing",
+                nl_plural: "things",
+                columns: vec![
+                    col("t_id", "id", "", ValueKind::Id),
+                    col("name", "name", "", ValueKind::PersonName),
+                    col("size", "size", "how big", ValueKind::Int(1, 10)),
+                ],
+                rows: 10,
+            }],
+        }
+    }
+
+    #[test]
+    fn schema_conversion() {
+        let s = spec().to_schema();
+        assert_eq!(s.tables.len(), 1);
+        assert_eq!(s.tables[0].primary_key, vec![0]);
+        assert_eq!(s.tables[0].columns[2].ctype, ColType::Int);
+    }
+
+    #[test]
+    fn kind_classification() {
+        assert!(ValueKind::Int(0, 5).is_measure());
+        assert!(!ValueKind::Id.is_measure());
+        assert!(ValueKind::Category(&["a"]).is_categorical());
+        assert!(ValueKind::PersonName.is_text());
+    }
+
+    #[test]
+    fn domain_terms_include_nl() {
+        let terms = spec().domain_terms();
+        assert!(terms.iter().any(|t| t == "thing"));
+        assert!(terms.iter().any(|t| t == "size"));
+    }
+}

@@ -1,0 +1,213 @@
+//! Procedural domain synthesis: generate additional cross-domain schemas
+//! beyond the handcrafted catalog.
+//!
+//! Each synthetic domain is a parent/child entity pair assembled from noun
+//! pools with plausible column inventories (a name-like column, one or two
+//! categorical columns, one or two measures, a year) — the same structural
+//! recipe as the handcrafted domains, so the question grammar applies
+//! unchanged. Useful for scaling the training pool or stress-testing
+//! selection with a larger domain universe.
+
+use crate::spec::{ColumnSpec, DomainSpec, TableSpec, ValueKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Entity nouns for synthesized parents: (singular, plural).
+const PARENTS: &[(&str, &str)] = &[
+    ("vendor", "vendors"),
+    ("client", "clients"),
+    ("project", "projects"),
+    ("station", "stations"),
+    ("warehouse", "warehouses"),
+    ("region", "regions"),
+    ("studio", "studios"),
+    ("clinic", "clinics"),
+    ("school", "schools"),
+    ("depot", "depots"),
+];
+
+/// Entity nouns for synthesized children.
+const CHILDREN: &[(&str, &str)] = &[
+    ("order_item", "order items"),
+    ("shipment", "shipments"),
+    ("task", "tasks"),
+    ("reading", "readings"),
+    ("delivery", "deliveries"),
+    ("visit", "visits"),
+    ("session", "sessions"),
+    ("claim", "claims"),
+    ("lesson", "lessons"),
+    ("transfer", "transfers"),
+];
+
+/// Categorical column templates: (name, nl, value pool).
+const CATEGORIES: &[(&str, &str, &[&str])] = &[
+    ("status", "status", &["Open", "Closed", "Pending", "Archived"]),
+    ("tier", "tier", &["Gold", "Silver", "Bronze"]),
+    ("zone", "zone", &["North", "South", "East", "West", "Central"]),
+    ("kind", "kind", &["Standard", "Express", "Bulk", "Fragile"]),
+];
+
+/// Measure column templates: (name, nl, lo, hi, float?).
+const MEASURES: &[(&str, &str, i64, i64, bool)] = &[
+    ("amount", "amount", 1, 9_000, true),
+    ("score", "score", 0, 100, false),
+    ("duration", "duration in minutes", 5, 600, false),
+    ("cost", "cost", 10, 50_000, true),
+    ("volume", "volume", 1, 2_000, false),
+];
+
+// Leaked &'static strings are required by the spec DSL (it predates the
+// synthesizer and uses &'static str). The synthesizer is called a bounded
+// number of times per process, so the leak is bounded too.
+fn leak(s: String) -> &'static str {
+    Box::leak(s.into_boxed_str())
+}
+
+/// Synthesize `n` additional domains, deterministically from `seed`.
+pub fn synthetic_domains(n: usize, seed: u64) -> Vec<DomainSpec> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5e1f_d0aa);
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let (p_sing, p_plur) = PARENTS[(i + rng.gen_range(0..PARENTS.len())) % PARENTS.len()];
+        let (c_sing, c_plur) = CHILDREN[(i + rng.gen_range(0..CHILDREN.len())) % CHILDREN.len()];
+        let db_id = leak(format!("synth_{i}_{p_sing}_{c_sing}"));
+        // Parent: id, name, category, measure, year.
+        let (cat_name, cat_nl, cat_pool) = CATEGORIES[rng.gen_range(0..CATEGORIES.len())];
+        let (m_name, m_nl, lo, hi, is_float) = MEASURES[rng.gen_range(0..MEASURES.len())];
+        let p_pk = leak(format!("{p_sing}_id"));
+        let parent = TableSpec {
+            name: leak(p_sing.to_string()),
+            nl_singular: leak(p_sing.replace('_', " ")),
+            nl_plural: leak(p_plur.to_string()),
+            columns: vec![
+                ColumnSpec { name: p_pk, nl: "id", nl_implicit: "", kind: ValueKind::Id },
+                ColumnSpec {
+                    name: "name",
+                    nl: "name",
+                    nl_implicit: "what it is called",
+                    kind: ValueKind::VenueName,
+                },
+                ColumnSpec { name: cat_name, nl: cat_nl, nl_implicit: "", kind: ValueKind::Category(cat_pool) },
+                ColumnSpec {
+                    name: m_name,
+                    nl: m_nl,
+                    nl_implicit: "",
+                    kind: if is_float {
+                        ValueKind::Float(lo as f64, hi as f64)
+                    } else {
+                        ValueKind::Int(lo, hi)
+                    },
+                },
+                ColumnSpec {
+                    name: "founded_year",
+                    nl: "founding year",
+                    nl_implicit: "when it started",
+                    kind: ValueKind::Year(1970, 2020),
+                },
+            ],
+            rows: 10 + rng.gen_range(0..10),
+        };
+        // Child: id, fk, category, measure, year.
+        let (c_cat_name, c_cat_nl, c_cat_pool) = CATEGORIES[rng.gen_range(0..CATEGORIES.len())];
+        let (cm_name, cm_nl, clo, chi, c_float) = MEASURES[rng.gen_range(0..MEASURES.len())];
+        // Avoid duplicated column names between measure/category pairs.
+        let cm_name_final = if cm_name == m_name { leak(format!("{cm_name}_total")) } else { cm_name };
+        let c_cat_final = if c_cat_name == cat_name { leak(format!("{c_cat_name}_code")) } else { c_cat_name };
+        let child = TableSpec {
+            name: leak(c_sing.to_string()),
+            nl_singular: leak(c_sing.replace('_', " ")),
+            nl_plural: leak(c_plur.to_string()),
+            columns: vec![
+                ColumnSpec {
+                    name: leak(format!("{c_sing}_id")),
+                    nl: "id",
+                    nl_implicit: "",
+                    kind: ValueKind::Id,
+                },
+                ColumnSpec {
+                    name: p_pk,
+                    nl: leak(p_sing.replace('_', " ")),
+                    nl_implicit: "",
+                    kind: ValueKind::Ref(leak(p_sing.to_string()), p_pk),
+                },
+                ColumnSpec { name: c_cat_final, nl: c_cat_nl, nl_implicit: "", kind: ValueKind::Category(c_cat_pool) },
+                ColumnSpec {
+                    name: cm_name_final,
+                    nl: cm_nl,
+                    nl_implicit: "",
+                    kind: if c_float {
+                        ValueKind::Float(clo as f64, chi as f64)
+                    } else {
+                        ValueKind::Int(clo, chi)
+                    },
+                },
+                ColumnSpec {
+                    name: "year",
+                    nl: "year",
+                    nl_implicit: "when it happened",
+                    kind: ValueKind::Year(2012, 2024),
+                },
+            ],
+            rows: 30 + rng.gen_range(0..25),
+        };
+        out.push(DomainSpec { db_id, topic: leak(format!("{p_plur} and their {c_plur}")), tables: vec![parent, child] });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::populate::populate;
+    use crate::qgen::generate_example;
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let a = synthetic_domains(4, 9);
+        let b = synthetic_domains(4, 9);
+        assert_eq!(a.len(), 4);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.db_id, y.db_id);
+            assert_eq!(x.tables.len(), y.tables.len());
+        }
+    }
+
+    #[test]
+    fn synthetic_domains_have_unique_ids() {
+        let ds = synthetic_domains(10, 3);
+        let ids: std::collections::HashSet<&str> = ds.iter().map(|d| d.db_id).collect();
+        assert_eq!(ids.len(), 10);
+    }
+
+    #[test]
+    fn synthetic_domains_populate_and_generate() {
+        let ds = synthetic_domains(3, 11);
+        let mut rng = rand::SeedableRng::seed_from_u64(5);
+        for d in &ds {
+            let db = populate(d, 7);
+            assert!(db.total_rows() > 0, "{}", d.db_id);
+            let mut generated = 0;
+            for _ in 0..40 {
+                if let Some(ex) = generate_example(d, &db, &mut rng) {
+                    storage::execute_query(&db, &ex.gold)
+                        .unwrap_or_else(|e| panic!("{}: {e}: {}", d.db_id, ex.gold));
+                    generated += 1;
+                }
+            }
+            assert!(generated > 10, "{}: only {generated}", d.db_id);
+        }
+    }
+
+    #[test]
+    fn no_duplicate_column_names_within_tables() {
+        for d in synthetic_domains(10, 21) {
+            for t in &d.tables {
+                let mut seen = std::collections::HashSet::new();
+                for c in &t.columns {
+                    assert!(seen.insert(c.name), "{}.{} duplicated {}", d.db_id, t.name, c.name);
+                }
+            }
+        }
+    }
+}

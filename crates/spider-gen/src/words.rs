@@ -1,0 +1,116 @@
+//! Shared word lists for deterministic data population.
+//!
+//! These feed the value generators: person/venue names, cities, countries,
+//! genres and so on. Lists are intentionally modest — Spider databases are
+//! small — but large enough that equality predicates are selective.
+
+/// Person first names.
+pub const FIRST_NAMES: &[&str] = &[
+    "James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael", "Linda", "David",
+    "Elizabeth", "William", "Barbara", "Richard", "Susan", "Joseph", "Jessica", "Thomas",
+    "Sarah", "Charles", "Karen", "Daniel", "Nancy", "Matthew", "Lisa", "Anthony", "Betty",
+    "Mark", "Margaret", "Donald", "Sandra", "Steven", "Ashley", "Paul", "Kimberly", "Andrew",
+    "Emily", "Joshua", "Donna", "Kenneth", "Michelle",
+];
+
+/// Person last names.
+pub const LAST_NAMES: &[&str] = &[
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis", "Rodriguez",
+    "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson", "Thomas", "Taylor",
+    "Moore", "Jackson", "Martin", "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez",
+    "Clark", "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King", "Wright",
+];
+
+/// City names.
+pub const CITIES: &[&str] = &[
+    "New York", "London", "Paris", "Tokyo", "Berlin", "Madrid", "Rome", "Sydney", "Toronto",
+    "Chicago", "Boston", "Seattle", "Austin", "Denver", "Miami", "Dublin", "Oslo", "Vienna",
+    "Prague", "Lisbon", "Athens", "Warsaw", "Helsinki", "Zurich", "Amsterdam", "Brussels",
+];
+
+/// Country names.
+pub const COUNTRIES: &[&str] = &[
+    "United States", "France", "Japan", "Germany", "Spain", "Italy", "Australia", "Canada",
+    "United Kingdom", "Netherlands", "Brazil", "Mexico", "Sweden", "Norway", "Poland", "Korea",
+];
+
+/// Music genres.
+pub const GENRES: &[&str] = &[
+    "Pop", "Rock", "Jazz", "Classical", "Hip Hop", "Country", "Electronic", "Folk", "Blues",
+    "Reggae",
+];
+
+/// Movie/series genres.
+pub const FILM_GENRES: &[&str] = &[
+    "Drama", "Comedy", "Action", "Thriller", "Documentary", "Horror", "Romance", "Animation",
+];
+
+/// Animal breeds / species.
+pub const SPECIES: &[&str] = &[
+    "Dog", "Cat", "Rabbit", "Parrot", "Hamster", "Turtle", "Goldfish", "Ferret",
+];
+
+/// Academic departments.
+pub const DEPARTMENTS: &[&str] = &[
+    "Computer Science", "Mathematics", "Physics", "Biology", "History", "Economics",
+    "Philosophy", "Chemistry", "Linguistics", "Statistics",
+];
+
+/// Cuisine styles.
+pub const CUISINES: &[&str] = &[
+    "Italian", "Chinese", "Mexican", "Indian", "Thai", "French", "Japanese", "Greek",
+];
+
+/// Aircraft / vehicle manufacturers.
+pub const MAKERS: &[&str] = &[
+    "Boeing", "Airbus", "Embraer", "Toyota", "Ford", "Volvo", "Honda", "Tesla", "Fiat",
+];
+
+/// Product categories.
+pub const PRODUCT_CATEGORIES: &[&str] = &[
+    "Electronics", "Clothing", "Books", "Furniture", "Toys", "Garden", "Sports", "Grocery",
+];
+
+/// Sports team nicknames.
+pub const TEAM_WORDS: &[&str] = &[
+    "Tigers", "Eagles", "Sharks", "Wolves", "Hawks", "Lions", "Bears", "Falcons", "Dragons",
+    "Panthers",
+];
+
+/// Disease / condition names for the clinic domain.
+pub const CONDITIONS: &[&str] = &[
+    "Influenza", "Asthma", "Diabetes", "Hypertension", "Allergy", "Migraine", "Anemia",
+];
+
+/// Book/album/venue adjective pool for synthesizing titles.
+pub const TITLE_ADJ: &[&str] = &[
+    "Silent", "Golden", "Hidden", "Broken", "Electric", "Distant", "Crimson", "Frozen",
+    "Endless", "Burning", "Silver", "Ancient",
+];
+
+/// Title noun pool.
+pub const TITLE_NOUN: &[&str] = &[
+    "River", "Sky", "Dream", "Road", "Garden", "Storm", "Light", "Shadow", "Harbor", "Echo",
+    "Summer", "Winter",
+];
+
+/// Street names for addresses.
+pub const STREETS: &[&str] = &[
+    "Oak Street", "Maple Avenue", "Pine Road", "Cedar Lane", "Elm Drive", "Main Street",
+    "High Street", "Park Avenue",
+];
+
+/// Airline names.
+pub const AIRLINES: &[&str] = &[
+    "Skyways", "Aerolight", "TransGlobal", "BlueJet", "Polaris Air", "Meridian", "NimbusAir",
+];
+
+/// Hotel-ish venue prefixes.
+pub const VENUE_PREFIX: &[&str] = &[
+    "Grand", "Royal", "Central", "Riverside", "Summit", "Harbor", "Palace", "Metro",
+];
+
+/// Venue suffixes.
+pub const VENUE_SUFFIX: &[&str] = &[
+    "Arena", "Stadium", "Hall", "Center", "Pavilion", "Theatre", "Dome", "Grounds",
+];

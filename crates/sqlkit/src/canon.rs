@@ -1,0 +1,554 @@
+//! Canonicalization and exact-set match (EM).
+//!
+//! Spider's exact-set-match metric compares gold and predicted queries
+//! clause-by-clause as *sets*, after resolving table aliases and (in the
+//! standard variant) ignoring literal values. This module canonicalizes a
+//! [`Query`] into a comparable structure and implements both the standard
+//! (value-insensitive) and strict (value-sensitive) variants.
+
+use crate::ast::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Canonical, order-insensitive form of one SELECT block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CanonSelect {
+    /// DISTINCT flag.
+    pub distinct: bool,
+    /// Canonical select-item strings (set semantics).
+    pub items: BTreeSet<String>,
+    /// Base tables referenced (lowercased set).
+    pub tables: BTreeSet<String>,
+    /// Canonical equi-join pairs.
+    pub join_pairs: BTreeSet<(String, String)>,
+    /// Canonical WHERE conjunct strings.
+    pub where_set: BTreeSet<String>,
+    /// Canonical GROUP BY column strings.
+    pub group_by: BTreeSet<String>,
+    /// Canonical HAVING conjunct strings.
+    pub having_set: BTreeSet<String>,
+    /// ORDER BY keys (order matters).
+    pub order_by: Vec<String>,
+    /// LIMIT canonical form (`Some("limit")` when values are masked, the
+    /// number itself in strict mode).
+    pub limit: Option<String>,
+    /// Canonicalized subqueries appearing anywhere in this block, rendered to
+    /// canonical strings so nested structure participates in the match.
+    pub subqueries: BTreeSet<String>,
+}
+
+/// Canonical form of a full query (mirrors [`Query`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CanonQuery {
+    /// A single block.
+    Select(Box<CanonSelect>),
+    /// A set-operation.
+    Compound {
+        /// Which op.
+        op: SetOp,
+        /// Left side.
+        left: Box<CanonQuery>,
+        /// Right side.
+        right: Box<CanonQuery>,
+    },
+}
+
+/// Whether literal values participate in the comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueMode {
+    /// Standard Spider EM: literals are masked to `value`.
+    Masked,
+    /// Strict: literals compared verbatim.
+    Strict,
+}
+
+/// Compute the standard exact-set match between two queries (values masked).
+pub fn exact_set_match(gold: &Query, pred: &Query) -> bool {
+    canonicalize(gold, ValueMode::Masked) == canonicalize(pred, ValueMode::Masked)
+}
+
+/// Value-sensitive exact-set match.
+pub fn exact_set_match_strict(gold: &Query, pred: &Query) -> bool {
+    canonicalize(gold, ValueMode::Strict) == canonicalize(pred, ValueMode::Strict)
+}
+
+/// Canonicalize a query.
+pub fn canonicalize(q: &Query, mode: ValueMode) -> CanonQuery {
+    match q {
+        Query::Select(s) => CanonQuery::Select(Box::new(canon_select(s, mode))),
+        Query::Compound { op, left, right } => {
+            // UNION/INTERSECT are commutative; order the operands
+            // canonically so `A UNION B` matches `B UNION A`.
+            let l = canonicalize(left, mode);
+            let r = canonicalize(right, mode);
+            if matches!(op, SetOp::Union | SetOp::Intersect) {
+                let (a, b) = order_pair(l, r);
+                CanonQuery::Compound { op: *op, left: Box::new(a), right: Box::new(b) }
+            } else {
+                CanonQuery::Compound { op: *op, left: Box::new(l), right: Box::new(r) }
+            }
+        }
+    }
+}
+
+fn order_pair(a: CanonQuery, b: CanonQuery) -> (CanonQuery, CanonQuery) {
+    if render(&a) <= render(&b) {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Deterministic textual rendering of a canonical query (used for ordering
+/// commutative operands and for embedding subqueries into parent sets).
+fn render(q: &CanonQuery) -> String {
+    match q {
+        CanonQuery::Select(s) => format!(
+            "sel[d={} i={:?} t={:?} j={:?} w={:?} g={:?} h={:?} o={:?} l={:?} s={:?}]",
+            s.distinct,
+            s.items,
+            s.tables,
+            s.join_pairs,
+            s.where_set,
+            s.group_by,
+            s.having_set,
+            s.order_by,
+            s.limit,
+            s.subqueries
+        ),
+        CanonQuery::Compound { op, left, right } => {
+            format!("({} {} {})", render(left), op.as_str(), render(right))
+        }
+    }
+}
+
+struct Scope {
+    /// binding (lowercased alias or table name) → real table name (lowercased)
+    alias_map: BTreeMap<String, String>,
+    /// number of distinct base tables in scope
+    n_tables: usize,
+    mode: ValueMode,
+}
+
+impl Scope {
+    fn from_select(s: &Select, mode: ValueMode) -> Scope {
+        let mut alias_map = BTreeMap::new();
+        let mut n_tables = 0;
+        if let Some(from) = &s.from {
+            let mut add = |t: &TableRef| {
+                match t {
+                    TableRef::Named { name, alias } => {
+                        let real = name.to_lowercase();
+                        if let Some(a) = alias {
+                            alias_map.insert(a.to_lowercase(), real.clone());
+                        }
+                        alias_map.insert(name.to_lowercase(), real);
+                        n_tables += 1;
+                    }
+                    TableRef::Derived { alias, .. } => {
+                        if let Some(a) = alias {
+                            alias_map.insert(a.to_lowercase(), "<derived>".to_string());
+                        }
+                        n_tables += 1;
+                    }
+                }
+            };
+            add(&from.base);
+            for j in &from.joins {
+                add(&j.table);
+            }
+        }
+        Scope { alias_map, n_tables, mode }
+    }
+
+    /// Canonical column string: alias resolved to table name; qualifier
+    /// dropped entirely when only one table is in scope (so `singer.name`
+    /// and `name` compare equal on single-table queries).
+    fn col(&self, c: &ColumnRef) -> String {
+        let col = c.column.to_lowercase();
+        if self.n_tables <= 1 {
+            return col;
+        }
+        match &c.table {
+            Some(t) => {
+                let t = t.to_lowercase();
+                let real = self.alias_map.get(&t).cloned().unwrap_or(t);
+                format!("{real}.{col}")
+            }
+            None => col,
+        }
+    }
+
+    fn lit(&self, l: &Literal) -> String {
+        match self.mode {
+            ValueMode::Masked => "value".to_string(),
+            ValueMode::Strict => l.to_string().to_lowercase(),
+        }
+    }
+
+    fn expr(&self, e: &Expr) -> String {
+        match e {
+            Expr::Lit(l) => self.lit(l),
+            Expr::Col(c) => self.col(c),
+            Expr::Star => "*".to_string(),
+            Expr::Agg { func, distinct, arg } => {
+                if *distinct {
+                    format!("{}(distinct {})", func.as_str().to_lowercase(), self.expr(arg))
+                } else {
+                    format!("{}({})", func.as_str().to_lowercase(), self.expr(arg))
+                }
+            }
+            Expr::Arith { op, left, right } => {
+                format!("({} {} {})", self.expr(left), op.as_str(), self.expr(right))
+            }
+            Expr::Neg(inner) => format!("(-{})", self.expr(inner)),
+        }
+    }
+}
+
+fn canon_select(s: &Select, mode: ValueMode) -> CanonSelect {
+    let scope = Scope::from_select(s, mode);
+    let mut subqueries = BTreeSet::new();
+
+    let items = s
+        .items
+        .iter()
+        .map(|it| {
+            let mut txt = scope.expr(&it.expr);
+            if s.distinct {
+                // DISTINCT is captured by the flag; nothing per-item.
+            }
+            if txt == "*" {
+                txt = "*".to_string();
+            }
+            txt
+        })
+        .collect();
+
+    let mut tables = BTreeSet::new();
+    let mut join_pairs = BTreeSet::new();
+    if let Some(from) = &s.from {
+        let mut add_table = |t: &TableRef, subs: &mut BTreeSet<String>| match t {
+            TableRef::Named { name, .. } => {
+                tables.insert(name.to_lowercase());
+            }
+            TableRef::Derived { query, .. } => {
+                subs.insert(render(&canonicalize(query, mode)));
+                tables.insert("<derived>".to_string());
+            }
+        };
+        add_table(&from.base, &mut subqueries);
+        for j in &from.joins {
+            add_table(&j.table, &mut subqueries);
+            if let Some(on) = &j.on {
+                collect_join_pairs(on, &scope, &mut join_pairs);
+            }
+        }
+    }
+
+    let mut where_set = BTreeSet::new();
+    if let Some(w) = &s.where_cond {
+        for c in w.conjuncts() {
+            // Equi-join predicates expressed in WHERE (comma joins) are
+            // normalized into join_pairs rather than the where set.
+            if let Some(pair) = as_join_pair(c, &scope) {
+                join_pairs.insert(pair);
+            } else {
+                where_set.insert(canon_cond(c, &scope, &mut subqueries));
+            }
+        }
+    }
+
+    let group_by = s.group_by.iter().map(|c| scope.col(c)).collect();
+
+    let mut having_set = BTreeSet::new();
+    if let Some(h) = &s.having {
+        for c in h.conjuncts() {
+            having_set.insert(canon_cond(c, &scope, &mut subqueries));
+        }
+    }
+
+    let order_by = s
+        .order_by
+        .iter()
+        .map(|k| format!("{} {}", scope.expr(&k.expr), k.dir.as_str().to_lowercase()))
+        .collect();
+
+    let limit = s.limit.map(|n| match mode {
+        ValueMode::Masked => "limit".to_string(),
+        ValueMode::Strict => n.to_string(),
+    });
+
+    CanonSelect {
+        distinct: s.distinct,
+        items,
+        tables,
+        join_pairs,
+        where_set,
+        group_by,
+        having_set,
+        order_by,
+        limit,
+        subqueries,
+    }
+}
+
+fn collect_join_pairs(c: &Cond, scope: &Scope, out: &mut BTreeSet<(String, String)>) {
+    for conj in c.conjuncts() {
+        if let Some(p) = as_join_pair(conj, scope) {
+            out.insert(p);
+        }
+    }
+}
+
+/// Recognize `col = col` predicates as join pairs, ordering the two sides
+/// canonically.
+fn as_join_pair(c: &Cond, scope: &Scope) -> Option<(String, String)> {
+    if let Cond::Cmp { left: Expr::Col(a), op: CmpOp::Eq, right: Operand::Expr(Expr::Col(b)) } = c {
+        let sa = scope.col(a);
+        let sb = scope.col(b);
+        return Some(if sa <= sb { (sa, sb) } else { (sb, sa) });
+    }
+    None
+}
+
+fn canon_cond(c: &Cond, scope: &Scope, subqueries: &mut BTreeSet<String>) -> String {
+    match c {
+        Cond::Cmp { left, op, right } => {
+            let (l, o, r) = match right {
+                Operand::Expr(e) => {
+                    // Put the non-literal side on the left so `5 < age` and
+                    // `age > 5` canonicalize identically.
+                    if matches!(left, Expr::Lit(_)) && !matches!(e, Expr::Lit(_)) {
+                        (scope.expr(e), op.flipped(), scope.expr(left))
+                    } else {
+                        (scope.expr(left), *op, scope.expr(e))
+                    }
+                }
+                Operand::Subquery(q) => {
+                    let sub = render(&canonicalize(q, scope.mode));
+                    subqueries.insert(sub.clone());
+                    (scope.expr(left), *op, format!("<subq:{sub}>"))
+                }
+            };
+            format!("{} {} {}", l, o.as_str(), r)
+        }
+        Cond::Between { expr, negated, low, high } => format!(
+            "{}{} between {} and {}",
+            if *negated { "not " } else { "" },
+            scope.expr(expr),
+            scope.expr(low),
+            scope.expr(high)
+        ),
+        Cond::In { expr, negated, source } => {
+            let src = match source {
+                InSource::List(lits) => {
+                    let mut parts: Vec<String> = lits.iter().map(|l| scope.lit(l)).collect();
+                    parts.sort();
+                    format!("[{}]", parts.join(","))
+                }
+                InSource::Subquery(q) => {
+                    let sub = render(&canonicalize(q, scope.mode));
+                    subqueries.insert(sub.clone());
+                    format!("<subq:{sub}>")
+                }
+            };
+            format!(
+                "{}{} in {}",
+                if *negated { "not " } else { "" },
+                scope.expr(expr),
+                src
+            )
+        }
+        Cond::Like { expr, negated, pattern } => {
+            let pat = match scope.mode {
+                ValueMode::Masked => "value".to_string(),
+                ValueMode::Strict => pattern.to_lowercase(),
+            };
+            format!(
+                "{}{} like {}",
+                if *negated { "not " } else { "" },
+                scope.expr(expr),
+                pat
+            )
+        }
+        Cond::IsNull { expr, negated } => format!(
+            "{} is {}null",
+            scope.expr(expr),
+            if *negated { "not " } else { "" }
+        ),
+        Cond::Exists { negated, query } => {
+            let sub = render(&canonicalize(query, scope.mode));
+            subqueries.insert(sub.clone());
+            format!("{}exists <subq:{sub}>", if *negated { "not " } else { "" })
+        }
+        Cond::And(_, _) => {
+            // conjuncts() never yields an And; defensive rendering.
+            let mut parts: Vec<String> = c
+                .conjuncts()
+                .iter()
+                .map(|cc| canon_cond(cc, scope, subqueries))
+                .collect();
+            parts.sort();
+            parts.join(" and ")
+        }
+        Cond::Or(l, r) => {
+            let mut parts = [
+                canon_cond(l, scope, subqueries),
+                canon_cond(r, scope, subqueries),
+            ];
+            parts.sort();
+            format!("({})", parts.join(" or "))
+        }
+        Cond::Not(inner) => format!("not ({})", canon_cond(inner, scope, subqueries)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    fn em(a: &str, b: &str) -> bool {
+        exact_set_match(&parse_query(a).unwrap(), &parse_query(b).unwrap())
+    }
+
+    fn em_strict(a: &str, b: &str) -> bool {
+        exact_set_match_strict(&parse_query(a).unwrap(), &parse_query(b).unwrap())
+    }
+
+    #[test]
+    fn identical_queries_match() {
+        assert!(em("SELECT name FROM singer", "SELECT name FROM singer"));
+    }
+
+    #[test]
+    fn em_is_case_insensitive() {
+        assert!(em("SELECT Name FROM Singer", "select name from singer"));
+    }
+
+    #[test]
+    fn select_items_are_a_set() {
+        assert!(em("SELECT a, b FROM t", "SELECT b, a FROM t"));
+    }
+
+    #[test]
+    fn where_conjuncts_are_a_set() {
+        assert!(em(
+            "SELECT a FROM t WHERE x = 1 AND y = 2",
+            "SELECT a FROM t WHERE y = 2 AND x = 1"
+        ));
+    }
+
+    #[test]
+    fn aliases_resolve_to_tables() {
+        assert!(em(
+            "SELECT T1.name FROM singer AS T1 JOIN song AS T2 ON T1.id = T2.sid",
+            "SELECT S.name FROM singer AS S JOIN song AS G ON S.id = G.sid"
+        ));
+    }
+
+    #[test]
+    fn single_table_qualifier_is_dropped() {
+        assert!(em("SELECT singer.name FROM singer", "SELECT name FROM singer"));
+    }
+
+    #[test]
+    fn values_masked_in_standard_em() {
+        assert!(em(
+            "SELECT a FROM t WHERE x = 1",
+            "SELECT a FROM t WHERE x = 99"
+        ));
+        assert!(!em_strict(
+            "SELECT a FROM t WHERE x = 1",
+            "SELECT a FROM t WHERE x = 99"
+        ));
+    }
+
+    #[test]
+    fn strict_em_matches_same_values() {
+        assert!(em_strict(
+            "SELECT a FROM t WHERE x = 1",
+            "SELECT a FROM t WHERE x = 1"
+        ));
+    }
+
+    #[test]
+    fn different_structure_never_matches() {
+        assert!(!em("SELECT a FROM t", "SELECT a FROM t WHERE x = 1"));
+        assert!(!em("SELECT a FROM t", "SELECT a, b FROM t"));
+        assert!(!em("SELECT a FROM t ORDER BY a ASC", "SELECT a FROM t ORDER BY a DESC"));
+        assert!(!em("SELECT a FROM t", "SELECT DISTINCT a FROM t"));
+    }
+
+    #[test]
+    fn flipped_comparison_matches() {
+        assert!(em_strict(
+            "SELECT a FROM t WHERE 5 < age",
+            "SELECT a FROM t WHERE age > 5"
+        ));
+    }
+
+    #[test]
+    fn union_is_commutative() {
+        assert!(em(
+            "SELECT a FROM t UNION SELECT b FROM u",
+            "SELECT b FROM u UNION SELECT a FROM t"
+        ));
+    }
+
+    #[test]
+    fn except_is_not_commutative() {
+        assert!(!em(
+            "SELECT a FROM t EXCEPT SELECT b FROM u",
+            "SELECT b FROM u EXCEPT SELECT a FROM t"
+        ));
+    }
+
+    #[test]
+    fn comma_join_equals_explicit_join() {
+        assert!(em(
+            "SELECT a.x FROM a, b WHERE a.id = b.id AND a.y = 3",
+            "SELECT a.x FROM a JOIN b ON a.id = b.id WHERE a.y = 3"
+        ));
+    }
+
+    #[test]
+    fn join_pair_order_is_canonical() {
+        assert!(em(
+            "SELECT a.x FROM a JOIN b ON a.id = b.id",
+            "SELECT a.x FROM a JOIN b ON b.id = a.id"
+        ));
+    }
+
+    #[test]
+    fn subquery_participates_in_match() {
+        assert!(em(
+            "SELECT name FROM t WHERE id IN (SELECT id FROM u WHERE z = 1)",
+            "SELECT name FROM t WHERE id IN (SELECT id FROM u WHERE z = 2)"
+        ));
+        assert!(!em(
+            "SELECT name FROM t WHERE id IN (SELECT id FROM u)",
+            "SELECT name FROM t WHERE id IN (SELECT id FROM v)"
+        ));
+    }
+
+    #[test]
+    fn or_groups_sorted() {
+        assert!(em(
+            "SELECT a FROM t WHERE x = 1 OR y = 2",
+            "SELECT a FROM t WHERE y = 2 OR x = 1"
+        ));
+    }
+
+    #[test]
+    fn limit_value_masked_in_standard() {
+        assert!(em(
+            "SELECT a FROM t ORDER BY a DESC LIMIT 1",
+            "SELECT a FROM t ORDER BY a DESC LIMIT 3"
+        ));
+        assert!(!em_strict(
+            "SELECT a FROM t ORDER BY a DESC LIMIT 1",
+            "SELECT a FROM t ORDER BY a DESC LIMIT 3"
+        ));
+    }
+}

@@ -1,0 +1,49 @@
+//! Error types for SQL lexing and parsing.
+
+use std::fmt;
+
+/// An error produced while lexing or parsing a SQL string.
+///
+/// Carries a human-readable message and the byte offset in the input at which
+/// the problem was detected, so callers (e.g. the evaluation harness, which
+/// must score *invalid* model output too) can report precise diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset into the original input where the error was detected.
+    pub offset: usize,
+}
+
+impl ParseError {
+    pub(crate) fn new(message: impl Into<String>, offset: usize) -> Self {
+        ParseError {
+            message: message.into(),
+            offset,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SQL parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Convenience alias for parse results.
+pub type ParseResult<T> = Result<T, ParseError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_offset_and_message() {
+        let e = ParseError::new("unexpected token", 17);
+        let s = e.to_string();
+        assert!(s.contains("17"));
+        assert!(s.contains("unexpected token"));
+    }
+}

@@ -1,0 +1,251 @@
+//! Spider-style query hardness classification.
+//!
+//! Spider's official evaluation buckets queries into easy / medium / hard /
+//! extra-hard by counting SQL components. This module implements the same
+//! three counters and decision rules as the official `evaluation.py`
+//! (component1 = {WHERE, GROUP BY, ORDER BY, LIMIT, JOIN, OR, LIKE},
+//! component2 = nesting and set operations, "others" = multiplicity of
+//! aggregates / select columns / where conditions / group-by keys).
+
+use crate::ast::*;
+
+/// Difficulty buckets used by the Spider leaderboard and all of the paper's
+/// per-hardness breakdowns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Hardness {
+    /// Single-table, single-condition queries.
+    Easy,
+    /// A couple of components.
+    Medium,
+    /// Several components or shallow nesting.
+    Hard,
+    /// Heavy nesting / many components.
+    Extra,
+}
+
+impl Hardness {
+    /// Lowercase label as used in Spider reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Hardness::Easy => "easy",
+            Hardness::Medium => "medium",
+            Hardness::Hard => "hard",
+            Hardness::Extra => "extra",
+        }
+    }
+
+    /// All buckets in ascending difficulty order.
+    pub const ALL: [Hardness; 4] = [Hardness::Easy, Hardness::Medium, Hardness::Hard, Hardness::Extra];
+}
+
+/// Classify a query per the Spider hardness rules.
+pub fn classify(q: &Query) -> Hardness {
+    let c1 = count_component1(q);
+    let c2 = count_component2(q);
+    let others = count_others(q);
+
+    if c1 <= 1 && c2 == 0 && others == 0 {
+        Hardness::Easy
+    } else if (others <= 2 && c1 <= 1 && c2 == 0) || (c1 <= 2 && others < 2 && c2 == 0) {
+        Hardness::Medium
+    } else if (others > 2 && c1 <= 2 && c2 == 0)
+        || (c1 > 2 && c1 <= 3 && others <= 2 && c2 == 0)
+        || (c1 <= 1 && others == 0 && c2 <= 1)
+    {
+        Hardness::Hard
+    } else {
+        Hardness::Extra
+    }
+}
+
+/// Component-1 count: presence of WHERE, GROUP BY, ORDER BY, LIMIT, JOIN,
+/// OR, LIKE in the outermost query (per the official scorer, which evaluates
+/// the top-level SQL dict).
+fn count_component1(q: &Query) -> usize {
+    let s = q.head_select();
+    let mut count = 0;
+    if s.where_cond.is_some() {
+        count += 1;
+    }
+    if !s.group_by.is_empty() {
+        count += 1;
+    }
+    if !s.order_by.is_empty() {
+        count += 1;
+    }
+    if s.limit.is_some() {
+        count += 1;
+    }
+    if let Some(from) = &s.from {
+        count += from.joins.len();
+    }
+    if let Some(w) = &s.where_cond {
+        count += count_or(w) + count_like(w);
+    }
+    if let Some(h) = &s.having {
+        count += count_or(h) + count_like(h);
+    }
+    count
+}
+
+/// Component-2 count: nesting — set operations plus subqueries in
+/// WHERE/HAVING/FROM.
+fn count_component2(q: &Query) -> usize {
+    let mut count = 0;
+    if let Query::Compound { .. } = q {
+        count += 1;
+    }
+    let s = q.head_select();
+    if s.where_cond.as_ref().is_some_and(Cond::contains_subquery) {
+        count += 1;
+    }
+    if s.having.as_ref().is_some_and(Cond::contains_subquery) {
+        count += 1;
+    }
+    if let Some(from) = &s.from {
+        if matches!(from.base, TableRef::Derived { .. })
+            || from.joins.iter().any(|j| matches!(j.table, TableRef::Derived { .. }))
+        {
+            count += 1;
+        }
+    }
+    count
+}
+
+/// "Others" count: number of aggregates > 1, select columns > 1, where
+/// conditions > 1, group-by keys > 1 — each contributes one point.
+fn count_others(q: &Query) -> usize {
+    let s = q.head_select();
+    let mut count = 0;
+
+    let mut n_agg = 0usize;
+    for item in &s.items {
+        n_agg += count_aggs_expr(&item.expr);
+    }
+    for k in &s.order_by {
+        n_agg += count_aggs_expr(&k.expr);
+    }
+    if let Some(h) = &s.having {
+        n_agg += count_aggs_cond(h);
+    }
+    if n_agg > 1 {
+        count += 1;
+    }
+    if s.items.len() > 1 {
+        count += 1;
+    }
+    if let Some(w) = &s.where_cond {
+        if w.conjuncts().len() > 1 || count_or(w) > 0 {
+            count += 1;
+        }
+    }
+    if s.group_by.len() > 1 {
+        count += 1;
+    }
+    count
+}
+
+fn count_or(c: &Cond) -> usize {
+    match c {
+        Cond::Or(l, r) => 1 + count_or(l) + count_or(r),
+        Cond::And(l, r) => count_or(l) + count_or(r),
+        Cond::Not(inner) => count_or(inner),
+        _ => 0,
+    }
+}
+
+fn count_like(c: &Cond) -> usize {
+    match c {
+        Cond::Like { .. } => 1,
+        Cond::Or(l, r) | Cond::And(l, r) => count_like(l) + count_like(r),
+        Cond::Not(inner) => count_like(inner),
+        _ => 0,
+    }
+}
+
+fn count_aggs_expr(e: &Expr) -> usize {
+    match e {
+        Expr::Agg { .. } => 1,
+        Expr::Arith { left, right, .. } => count_aggs_expr(left) + count_aggs_expr(right),
+        Expr::Neg(inner) => count_aggs_expr(inner),
+        _ => 0,
+    }
+}
+
+fn count_aggs_cond(c: &Cond) -> usize {
+    match c {
+        Cond::Cmp { left, right, .. } => {
+            count_aggs_expr(left)
+                + match right {
+                    Operand::Expr(e) => count_aggs_expr(e),
+                    Operand::Subquery(_) => 0,
+                }
+        }
+        Cond::And(l, r) | Cond::Or(l, r) => count_aggs_cond(l) + count_aggs_cond(r),
+        Cond::Not(inner) => count_aggs_cond(inner),
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    fn h(sql: &str) -> Hardness {
+        classify(&parse_query(sql).unwrap())
+    }
+
+    #[test]
+    fn trivial_select_is_easy() {
+        assert_eq!(h("SELECT name FROM singer"), Hardness::Easy);
+        assert_eq!(h("SELECT count(*) FROM singer"), Hardness::Easy);
+        assert_eq!(h("SELECT name FROM singer WHERE age > 20"), Hardness::Easy);
+    }
+
+    #[test]
+    fn moderate_queries_are_medium() {
+        assert_eq!(h("SELECT name, age FROM singer WHERE age > 20"), Hardness::Medium);
+        assert_eq!(
+            h("SELECT T1.name FROM singer AS T1 JOIN song AS T2 ON T1.id = T2.sid WHERE T2.year = 2000"),
+            Hardness::Medium
+        );
+    }
+
+    #[test]
+    fn multi_component_queries_are_hard_or_extra() {
+        let hardness = h(
+            "SELECT country, count(*), avg(age) FROM singer WHERE age > 20 AND country != 'US' GROUP BY country",
+        );
+        assert!(hardness >= Hardness::Hard, "got {hardness:?}");
+    }
+
+    #[test]
+    fn nested_multi_join_is_extra() {
+        let hardness = h(
+            "SELECT T1.name FROM a AS T1 JOIN b AS T2 ON T1.i = T2.i JOIN c AS T3 ON T2.j = T3.j \
+             WHERE T1.x > 3 OR T1.y LIKE '%z%' GROUP BY T1.name ORDER BY count(*) DESC LIMIT 5",
+        );
+        assert_eq!(hardness, Hardness::Extra);
+    }
+
+    #[test]
+    fn simple_nested_is_hard() {
+        assert_eq!(
+            h("SELECT name FROM singer WHERE id IN (SELECT sid FROM song)"),
+            Hardness::Hard
+        );
+    }
+
+    #[test]
+    fn set_op_counts_as_nesting() {
+        let hardness = h("SELECT a FROM t UNION SELECT a FROM u");
+        assert!(hardness >= Hardness::Hard);
+    }
+
+    #[test]
+    fn buckets_order() {
+        assert!(Hardness::Easy < Hardness::Medium);
+        assert!(Hardness::Hard < Hardness::Extra);
+    }
+}

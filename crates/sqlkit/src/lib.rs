@@ -1,0 +1,43 @@
+//! # sqlkit — SQL substrate for the DAIL-SQL reproduction
+//!
+//! Lexer, recursive-descent parser, typed AST, pretty-printer,
+//! canonicalizer (exact-set match), skeleton extraction and Spider hardness
+//! classification for the **Spider SQL subset**: single-block SELECTs with
+//! joins, aggregation, grouping, having, ordering, limit, the three set
+//! operations, and nested subqueries in WHERE / HAVING / FROM.
+//!
+//! Everything downstream builds on this crate: the storage engine executes
+//! the AST, the benchmark generator produces it, the prompt layer prints it,
+//! the simulated LLM decodes into it, and the evaluation harness compares
+//! gold vs predicted ASTs with the canonicalizer.
+//!
+//! ```
+//! use sqlkit::{parse_query, Skeleton, hardness::classify};
+//!
+//! let q = parse_query("SELECT name FROM singer WHERE age > 20").unwrap();
+//! assert_eq!(q.to_string(), "SELECT name FROM singer WHERE age > 20");
+//! let skel = Skeleton::of(&q);
+//! assert!(skel.render().starts_with("SELECT"));
+//! let _h = classify(&q);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod canon;
+pub mod error;
+pub mod hardness;
+pub mod parser;
+mod printer;
+pub mod skeleton;
+pub mod token;
+
+pub use ast::{
+    AggFunc, ArithOp, CmpOp, ColumnRef, Cond, Expr, FromClause, InSource, Join, Literal, Operand,
+    OrderKey, Query, Select, SelectItem, SetOp, SortDir, TableRef,
+};
+pub use canon::{canonicalize, exact_set_match, exact_set_match_strict, CanonQuery, ValueMode};
+pub use error::{ParseError, ParseResult};
+pub use hardness::{classify, Hardness};
+pub use parser::parse_query;
+pub use skeleton::{SkelTok, Skeleton};

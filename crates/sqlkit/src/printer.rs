@@ -1,0 +1,287 @@
+//! Pretty-printer: renders the AST back to canonical SQL text.
+//!
+//! The printed form is valid input for [`crate::parser::parse_query`], and the
+//! round-trip `parse(print(ast)) == ast` is enforced by property tests. The
+//! style matches the Spider corpus conventions (uppercase keywords, lowercase
+//! function names are normalized to uppercase, minimal parentheses).
+
+use crate::ast::*;
+use std::fmt;
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Lit(l) => write!(f, "{l}"),
+            Expr::Col(c) => write!(f, "{c}"),
+            Expr::Star => write!(f, "*"),
+            Expr::Agg { func, distinct, arg } => {
+                if *distinct {
+                    write!(f, "{}(DISTINCT {})", func.as_str(), arg)
+                } else {
+                    write!(f, "{}({})", func.as_str(), arg)
+                }
+            }
+            Expr::Arith { op, left, right } => {
+                // Parenthesize so the left-associative parser rebuilds the
+                // same tree: the left child needs parens only at strictly
+                // lower precedence; the right child at lower-or-equal.
+                fn prec(op: ArithOp) -> u8 {
+                    match op {
+                        ArithOp::Add | ArithOp::Sub => 1,
+                        ArithOp::Mul | ArithOp::Div => 2,
+                    }
+                }
+                let needs_l = matches!(left.as_ref(), Expr::Arith { op: lop, .. } if prec(*lop) < prec(*op));
+                let needs_r = matches!(right.as_ref(), Expr::Arith { op: rop, .. } if prec(*rop) <= prec(*op));
+                if needs_l {
+                    write!(f, "({})", left)?;
+                } else {
+                    write!(f, "{}", left)?;
+                }
+                write!(f, " {} ", op.as_str())?;
+                if needs_r {
+                    write!(f, "({})", right)
+                } else {
+                    write!(f, "{}", right)
+                }
+            }
+            Expr::Neg(e) => match e.as_ref() {
+                Expr::Lit(_) | Expr::Col(_) => write!(f, "-{e}"),
+                _ => write!(f, "-({e})"),
+            },
+        }
+    }
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.table {
+            Some(t) => write!(f, "{}.{}", t, self.column),
+            None => write!(f, "{}", self.column),
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cond::Cmp { left, op, right } => {
+                write!(f, "{} {} ", left, op.as_str())?;
+                match right {
+                    Operand::Expr(e) => write!(f, "{e}"),
+                    Operand::Subquery(q) => write!(f, "({q})"),
+                }
+            }
+            Cond::Between { expr, negated, low, high } => {
+                if *negated {
+                    write!(f, "{expr} NOT BETWEEN {low} AND {high}")
+                } else {
+                    write!(f, "{expr} BETWEEN {low} AND {high}")
+                }
+            }
+            Cond::In { expr, negated, source } => {
+                write!(f, "{expr}")?;
+                if *negated {
+                    write!(f, " NOT")?;
+                }
+                write!(f, " IN (")?;
+                match source {
+                    InSource::List(lits) => {
+                        for (i, l) in lits.iter().enumerate() {
+                            if i > 0 {
+                                write!(f, ", ")?;
+                            }
+                            write!(f, "{l}")?;
+                        }
+                    }
+                    InSource::Subquery(q) => write!(f, "{q}")?,
+                }
+                write!(f, ")")
+            }
+            Cond::Like { expr, negated, pattern } => {
+                if *negated {
+                    write!(f, "{} NOT LIKE '{}'", expr, pattern.replace('\'', "''"))
+                } else {
+                    write!(f, "{} LIKE '{}'", expr, pattern.replace('\'', "''"))
+                }
+            }
+            Cond::IsNull { expr, negated } => {
+                if *negated {
+                    write!(f, "{expr} IS NOT NULL")
+                } else {
+                    write!(f, "{expr} IS NULL")
+                }
+            }
+            Cond::Exists { negated, query } => {
+                if *negated {
+                    write!(f, "NOT EXISTS ({query})")
+                } else {
+                    write!(f, "EXISTS ({query})")
+                }
+            }
+            Cond::And(l, r) => {
+                // OR children need parens for precedence; a right-nested AND
+                // needs parens so the left-associative parser rebuilds the
+                // same tree.
+                match l.as_ref() {
+                    Cond::Or(_, _) => write!(f, "({l})")?,
+                    _ => write!(f, "{l}")?,
+                }
+                write!(f, " AND ")?;
+                match r.as_ref() {
+                    Cond::Or(_, _) | Cond::And(_, _) => write!(f, "({r})"),
+                    _ => write!(f, "{r}"),
+                }
+            }
+            Cond::Or(l, r) => match r.as_ref() {
+                Cond::Or(_, _) => write!(f, "{l} OR ({r})"),
+                _ => write!(f, "{l} OR {r}"),
+            },
+            Cond::Not(c) => write!(f, "NOT ({c})"),
+        }
+    }
+}
+
+impl fmt::Display for TableRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableRef::Named { name, alias } => {
+                write!(f, "{name}")?;
+                if let Some(a) = alias {
+                    write!(f, " AS {a}")?;
+                }
+                Ok(())
+            }
+            TableRef::Derived { query, alias } => {
+                write!(f, "({query})")?;
+                if let Some(a) = alias {
+                    write!(f, " AS {a}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for Select {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        if self.distinct {
+            write!(f, "DISTINCT ")?;
+        }
+        for (i, item) in self.items.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", item.expr)?;
+            if let Some(a) = &item.alias {
+                write!(f, " AS {a}")?;
+            }
+        }
+        if let Some(from) = &self.from {
+            write!(f, " FROM {}", from.base)?;
+            for j in &from.joins {
+                write!(f, " JOIN {}", j.table)?;
+                if let Some(on) = &j.on {
+                    write!(f, " ON {on}")?;
+                }
+            }
+        }
+        if let Some(w) = &self.where_cond {
+            write!(f, " WHERE {w}")?;
+        }
+        if !self.group_by.is_empty() {
+            write!(f, " GROUP BY ")?;
+            for (i, g) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{g}")?;
+            }
+        }
+        if let Some(h) = &self.having {
+            write!(f, " HAVING {h}")?;
+        }
+        if !self.order_by.is_empty() {
+            write!(f, " ORDER BY ")?;
+            for (i, k) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{} {}", k.expr, k.dir.as_str())?;
+            }
+        }
+        if let Some(l) = self.limit {
+            write!(f, " LIMIT {l}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Query::Select(s) => write!(f, "{s}"),
+            Query::Compound { op, left, right } => {
+                write!(f, "{} {} {}", left, op.as_str(), right)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::parse_query;
+
+    /// parse → print → parse must be a fixed point.
+    fn roundtrip(sql: &str) {
+        let q1 = parse_query(sql).unwrap();
+        let printed = q1.to_string();
+        let q2 = parse_query(&printed)
+            .unwrap_or_else(|e| panic!("re-parse failed for {printed:?}: {e}"));
+        assert_eq!(q1, q2, "round-trip changed AST for {sql:?} -> {printed:?}");
+    }
+
+    #[test]
+    fn roundtrip_corpus() {
+        for sql in [
+            "SELECT name FROM singer",
+            "SELECT DISTINCT country FROM singer WHERE age > 20",
+            "SELECT count(*) FROM concert WHERE year = 2014 OR year = 2015",
+            "SELECT T2.name, count(*) FROM concert AS T1 JOIN stadium AS T2 ON T1.stadium_id = T2.stadium_id GROUP BY T1.stadium_id",
+            "SELECT name FROM singer WHERE singer_id NOT IN (SELECT singer_id FROM singer_in_concert)",
+            "SELECT country FROM singer WHERE age > 40 INTERSECT SELECT country FROM singer WHERE age < 30",
+            "SELECT name, capacity FROM stadium ORDER BY average DESC LIMIT 1",
+            "SELECT a FROM t WHERE x BETWEEN 1 AND 5 AND name LIKE '%e%'",
+            "SELECT a FROM t WHERE c IS NOT NULL",
+            "SELECT avg(age), min(age), max(age) FROM singer WHERE country = 'France'",
+            "SELECT a + b * c FROM t",
+            "SELECT a FROM t WHERE (x = 1 OR y = 2) AND z = 3",
+            "SELECT T.c FROM (SELECT country AS c FROM singer) AS T",
+            "SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u WHERE u.id = t.id)",
+            "SELECT a FROM t WHERE x > -5",
+            "SELECT sum(DISTINCT salary) FROM employees",
+        ] {
+            roundtrip(sql);
+        }
+    }
+
+    #[test]
+    fn printed_keywords_are_uppercase() {
+        let q = parse_query("select name from singer where age > 3 order by age desc limit 2").unwrap();
+        let s = q.to_string();
+        assert!(s.contains("SELECT"));
+        assert!(s.contains("FROM"));
+        assert!(s.contains("WHERE"));
+        assert!(s.contains("ORDER BY"));
+        assert!(s.contains("DESC"));
+        assert!(s.contains("LIMIT"));
+    }
+
+    #[test]
+    fn and_wraps_or_children() {
+        let q = parse_query("SELECT a FROM t WHERE (x = 1 OR y = 2) AND z = 3").unwrap();
+        let s = q.to_string();
+        assert!(s.contains("(x = 1 OR y = 2) AND"), "got {s}");
+    }
+}

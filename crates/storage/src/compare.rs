@@ -1,0 +1,134 @@
+//! Result-set comparison for execution accuracy (EX).
+//!
+//! Spider's execution accuracy runs gold and predicted SQL on the same
+//! database and compares result sets. Following the official test-suite
+//! semantics: row order is ignored unless the *gold* query has a top-level
+//! ORDER BY; float values compare with a small tolerance; column order must
+//! agree (both queries project in the question's requested order).
+
+use crate::exec::ResultSet;
+use crate::value::Value;
+
+/// Relative/absolute tolerance for float comparison.
+const EPS: f64 = 1e-6;
+
+/// Compare two result sets.
+///
+/// `ordered` should be true when the gold query constrains row order
+/// (top-level ORDER BY).
+pub fn results_match(gold: &ResultSet, pred: &ResultSet, ordered: bool) -> bool {
+    if gold.columns.len() != pred.columns.len() {
+        return false;
+    }
+    if gold.rows.len() != pred.rows.len() {
+        return false;
+    }
+    if ordered {
+        gold.rows
+            .iter()
+            .zip(&pred.rows)
+            .all(|(a, b)| rows_eq(a, b))
+    } else {
+        let mut ga: Vec<Vec<String>> = gold.rows.iter().map(|r| row_canon(r)).collect();
+        let mut pa: Vec<Vec<String>> = pred.rows.iter().map(|r| row_canon(r)).collect();
+        ga.sort();
+        pa.sort();
+        ga == pa
+    }
+}
+
+fn rows_eq(a: &[Value], b: &[Value]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| value_eq(x, y))
+}
+
+/// Value equality with numeric tolerance.
+pub fn value_eq(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Null, Value::Null) => true,
+        (Value::Str(x), Value::Str(y)) => x == y,
+        _ => match (a.as_f64(), b.as_f64()) {
+            (Some(x), Some(y)) => {
+                (x - y).abs() <= EPS * x.abs().max(y.abs()).max(1.0)
+            }
+            _ => false,
+        },
+    }
+}
+
+/// Canonical row key with floats rounded so tolerance-equal values produce
+/// identical keys in the unordered (sorted multiset) comparison.
+fn row_canon(row: &[Value]) -> Vec<String> {
+    row.iter()
+        .map(|v| match v {
+            Value::Null => "\u{0}null".to_string(),
+            Value::Str(s) => format!("s:{s}"),
+            other => {
+                let f = other.as_f64().expect("numeric");
+                // Round to 6 significant fractional digits.
+                format!("n:{:.6}", f)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rs(cols: &[&str], rows: Vec<Vec<Value>>) -> ResultSet {
+        ResultSet {
+            columns: cols.iter().map(|s| s.to_string()).collect(),
+            rows,
+        }
+    }
+
+    #[test]
+    fn identical_sets_match() {
+        let a = rs(&["x"], vec![vec![Value::Int(1)], vec![Value::Int(2)]]);
+        assert!(results_match(&a, &a, true));
+        assert!(results_match(&a, &a, false));
+    }
+
+    #[test]
+    fn unordered_comparison_ignores_row_order() {
+        let a = rs(&["x"], vec![vec![Value::Int(1)], vec![Value::Int(2)]]);
+        let b = rs(&["x"], vec![vec![Value::Int(2)], vec![Value::Int(1)]]);
+        assert!(results_match(&a, &b, false));
+        assert!(!results_match(&a, &b, true));
+    }
+
+    #[test]
+    fn arity_mismatch_fails() {
+        let a = rs(&["x"], vec![vec![Value::Int(1)]]);
+        let b = rs(&["x", "y"], vec![vec![Value::Int(1), Value::Int(2)]]);
+        assert!(!results_match(&a, &b, false));
+    }
+
+    #[test]
+    fn row_count_mismatch_fails() {
+        let a = rs(&["x"], vec![vec![Value::Int(1)]]);
+        let b = rs(&["x"], vec![vec![Value::Int(1)], vec![Value::Int(1)]]);
+        assert!(!results_match(&a, &b, false));
+    }
+
+    #[test]
+    fn float_tolerance() {
+        assert!(value_eq(&Value::Float(1.0 / 3.0), &Value::Float(0.33333333)));
+        assert!(value_eq(&Value::Int(2), &Value::Float(2.0)));
+        assert!(!value_eq(&Value::Float(1.0), &Value::Float(1.1)));
+    }
+
+    #[test]
+    fn multiset_semantics_count_duplicates() {
+        let a = rs(&["x"], vec![vec![Value::Int(1)], vec![Value::Int(1)], vec![Value::Int(2)]]);
+        let b = rs(&["x"], vec![vec![Value::Int(1)], vec![Value::Int(2)], vec![Value::Int(2)]]);
+        assert!(!results_match(&a, &b, false), "duplicate counts differ");
+    }
+
+    #[test]
+    fn null_equals_null_only() {
+        assert!(value_eq(&Value::Null, &Value::Null));
+        assert!(!value_eq(&Value::Null, &Value::Int(0)));
+        assert!(!value_eq(&Value::Str("1".into()), &Value::Int(1)));
+    }
+}

@@ -1,0 +1,1294 @@
+//! Volcano-style tree-walking executor for the Spider SQL subset.
+//!
+//! The executor materializes intermediate relations (the Spider databases are
+//! small) and supports correlated subqueries via a stack of outer row scopes.
+//! Join strategy is configurable (nested-loop vs hash) so the `ablate_join`
+//! bench can compare them; results are identical by construction.
+
+use crate::db::Database;
+use crate::error::{ExecError, ExecResult};
+use crate::value::{Row, Value};
+use sqlkit::ast::*;
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+/// The result of executing a query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    /// Output column labels.
+    pub columns: Vec<String>,
+    /// Output rows.
+    pub rows: Vec<Row>,
+}
+
+/// Join algorithm choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JoinStrategy {
+    /// Build a hash table on equi-join keys (default).
+    #[default]
+    Hash,
+    /// Quadratic nested-loop join.
+    NestedLoop,
+}
+
+/// Executor configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecOptions {
+    /// Join strategy.
+    pub join: JoinStrategy,
+}
+
+/// Execute a query against a database with default options.
+pub fn execute_query(db: &Database, q: &Query) -> ExecResult<ResultSet> {
+    Executor { db, opts: ExecOptions::default() }.run(q)
+}
+
+/// Execute with explicit options.
+pub fn execute_query_with(db: &Database, q: &Query, opts: ExecOptions) -> ExecResult<ResultSet> {
+    Executor { db, opts }.run(q)
+}
+
+/// An intermediate relation: labelled columns plus rows.
+#[derive(Debug, Clone)]
+struct Relation {
+    /// (binding, column) labels, both lowercase.
+    cols: Vec<(String, String)>,
+    rows: Vec<Row>,
+}
+
+/// One outer scope for correlated subqueries.
+#[derive(Clone, Copy)]
+struct OuterScope<'a> {
+    cols: &'a [(String, String)],
+    row: &'a Row,
+}
+
+/// Evaluation context: a single row or a group of rows (aggregate context).
+enum Ctx<'a> {
+    Row { cols: &'a [(String, String)], row: &'a Row },
+    Group { cols: &'a [(String, String)], rows: &'a [Row] },
+}
+
+impl<'a> Ctx<'a> {
+    fn cols(&self) -> &'a [(String, String)] {
+        match self {
+            Ctx::Row { cols, .. } | Ctx::Group { cols, .. } => cols,
+        }
+    }
+
+    /// The representative row for bare-column evaluation (SQLite picks an
+    /// arbitrary row of the group; we pick the first).
+    fn repr_row(&self) -> Option<&'a Row> {
+        match self {
+            Ctx::Row { row, .. } => Some(row),
+            Ctx::Group { rows, .. } => rows.first(),
+        }
+    }
+}
+
+struct Executor<'a> {
+    db: &'a Database,
+    opts: ExecOptions,
+}
+
+impl<'a> Executor<'a> {
+    fn run(&self, q: &Query) -> ExecResult<ResultSet> {
+        self.exec_query(q, &[])
+    }
+
+    fn exec_query(&self, q: &Query, outers: &[OuterScope<'_>]) -> ExecResult<ResultSet> {
+        match q {
+            Query::Select(s) => self.exec_select(s, outers),
+            Query::Compound { op, left, right } => {
+                let l = self.exec_query(left, outers)?;
+                let r = self.exec_query(right, outers)?;
+                if l.columns.len() != r.columns.len() {
+                    return Err(ExecError::SetOpArity(l.columns.len(), r.columns.len()));
+                }
+                Ok(apply_set_op(*op, l, r))
+            }
+        }
+    }
+
+    fn exec_select(&self, s: &Select, outers: &[OuterScope<'_>]) -> ExecResult<ResultSet> {
+        // 1. FROM
+        let rel = match &s.from {
+            Some(from) => self.exec_from(from, outers)?,
+            None => Relation { cols: Vec::new(), rows: vec![Vec::new()] },
+        };
+
+        // 2. WHERE
+        let mut filtered: Vec<Row> = Vec::with_capacity(rel.rows.len());
+        match &s.where_cond {
+            Some(cond) => {
+                for row in &rel.rows {
+                    let ctx = Ctx::Row { cols: &rel.cols, row };
+                    if self.eval_cond(cond, &ctx, outers)? == Some(true) {
+                        filtered.push(row.clone());
+                    }
+                }
+            }
+            None => filtered = rel.rows,
+        }
+
+        let is_aggregate = !s.group_by.is_empty()
+            || s.items.iter().any(|i| i.expr.contains_aggregate())
+            || s.order_by.iter().any(|k| k.expr.contains_aggregate())
+            || s.having.is_some();
+
+        // 3. Project (+ group / having) producing rows with sort keys.
+        let mut columns: Vec<String> = Vec::with_capacity(s.items.len());
+        let mut first = true;
+        let mut keyed: Vec<(Vec<Value>, Row)> = Vec::new();
+
+        if is_aggregate {
+            let groups = self.build_groups(s, &rel.cols, filtered, outers)?;
+            for group in &groups {
+                let ctx = Ctx::Group { cols: &rel.cols, rows: group };
+                if let Some(h) = &s.having {
+                    if self.eval_cond(h, &ctx, outers)? != Some(true) {
+                        continue;
+                    }
+                }
+                let (names, row) = self.project(s, &ctx, outers)?;
+                if first {
+                    columns = names;
+                    first = false;
+                }
+                let keys = self.sort_keys(s, &ctx, outers, &columns, &row)?;
+                keyed.push((keys, row));
+            }
+            if first {
+                // No surviving groups: derive column names from a probe
+                // against an empty group so arity is still correct.
+                let empty: Vec<Row> = Vec::new();
+                let ctx = Ctx::Group { cols: &rel.cols, rows: &empty };
+                if let Ok((names, _)) = self.project(s, &ctx, outers) {
+                    columns = names;
+                }
+            }
+        } else {
+            for row in &filtered {
+                let ctx = Ctx::Row { cols: &rel.cols, row };
+                let (names, prow) = self.project(s, &ctx, outers)?;
+                if first {
+                    columns = names;
+                    first = false;
+                }
+                let keys = self.sort_keys(s, &ctx, outers, &columns, &prow)?;
+                keyed.push((keys, prow));
+            }
+            if first {
+                // Zero rows: probe column names on a row of NULLs.
+                let null_row: Row = vec![Value::Null; rel.cols.len()];
+                let ctx = Ctx::Row { cols: &rel.cols, row: &null_row };
+                if let Ok((names, _)) = self.project(s, &ctx, outers) {
+                    columns = names;
+                }
+            }
+        }
+
+        // 4. ORDER BY (stable sort; keys computed above).
+        if !s.order_by.is_empty() {
+            let dirs: Vec<SortDir> = s.order_by.iter().map(|k| k.dir).collect();
+            keyed.sort_by(|(ka, _), (kb, _)| {
+                for (i, dir) in dirs.iter().enumerate() {
+                    let ord = ka[i].total_cmp(&kb[i]);
+                    let ord = match dir {
+                        SortDir::Asc => ord,
+                        SortDir::Desc => ord.reverse(),
+                    };
+                    if ord != Ordering::Equal {
+                        return ord;
+                    }
+                }
+                Ordering::Equal
+            });
+        }
+
+        let mut rows: Vec<Row> = keyed.into_iter().map(|(_, r)| r).collect();
+
+        // 5. DISTINCT
+        if s.distinct {
+            let mut seen = std::collections::HashSet::new();
+            rows.retain(|r| seen.insert(row_key(r)));
+        }
+
+        // 6. LIMIT
+        if let Some(n) = s.limit {
+            rows.truncate(n as usize);
+        }
+
+        Ok(ResultSet { columns, rows })
+    }
+
+    // ---- FROM / joins ----
+
+    fn exec_from(&self, from: &FromClause, outers: &[OuterScope<'_>]) -> ExecResult<Relation> {
+        let mut rel = self.scan(&from.base, outers)?;
+        for join in &from.joins {
+            let right = self.scan(&join.table, outers)?;
+            rel = self.join(rel, right, join.on.as_ref(), outers)?;
+        }
+        Ok(rel)
+    }
+
+    fn scan(&self, t: &TableRef, outers: &[OuterScope<'_>]) -> ExecResult<Relation> {
+        match t {
+            TableRef::Named { name, alias } => {
+                let schema = self
+                    .db
+                    .table_schema(name)
+                    .ok_or_else(|| ExecError::UnknownTable(name.clone()))?;
+                let binding = alias.as_deref().unwrap_or(name).to_lowercase();
+                let cols = schema
+                    .columns
+                    .iter()
+                    .map(|c| (binding.clone(), c.name.to_lowercase()))
+                    .collect();
+                let rows = self.db.rows(name).unwrap_or(&[]).to_vec();
+                Ok(Relation { cols, rows })
+            }
+            TableRef::Derived { query, alias } => {
+                let rs = self.exec_query(query, outers)?;
+                let binding = alias
+                    .as_deref()
+                    .map(str::to_lowercase)
+                    .unwrap_or_else(|| "<derived>".to_string());
+                let cols = rs
+                    .columns
+                    .iter()
+                    .map(|c| (binding.clone(), c.to_lowercase()))
+                    .collect();
+                Ok(Relation { cols, rows: rs.rows })
+            }
+        }
+    }
+
+    fn join(
+        &self,
+        left: Relation,
+        right: Relation,
+        on: Option<&Cond>,
+        outers: &[OuterScope<'_>],
+    ) -> ExecResult<Relation> {
+        let mut cols = left.cols.clone();
+        cols.extend(right.cols.iter().cloned());
+
+        // Hash join fast path: single `a = b` equi-predicate resolvable to
+        // one side each.
+        if self.opts.join == JoinStrategy::Hash {
+            if let Some(Cond::Cmp {
+                left: Expr::Col(ca),
+                op: CmpOp::Eq,
+                right: Operand::Expr(Expr::Col(cb)),
+            }) = on
+            {
+                let la = resolve(&left.cols, ca);
+                let ra = resolve(&right.cols, cb);
+                let lb = resolve(&left.cols, cb);
+                let rb = resolve(&right.cols, ca);
+                let pair = match (la, ra, lb, rb) {
+                    (Ok(l), Ok(r), _, _) => Some((l, r)),
+                    (_, _, Ok(l), Ok(r)) => Some((l, r)),
+                    _ => None,
+                };
+                if let Some((li, ri)) = pair {
+                    let mut index: HashMap<String, Vec<&Row>> = HashMap::new();
+                    for rrow in &right.rows {
+                        if !rrow[ri].is_null() {
+                            index.entry(rrow[ri].group_key()).or_default().push(rrow);
+                        }
+                    }
+                    let mut rows = Vec::new();
+                    for lrow in &left.rows {
+                        if lrow[li].is_null() {
+                            continue;
+                        }
+                        if let Some(matches) = index.get(&lrow[li].group_key()) {
+                            for rrow in matches {
+                                let mut combined = lrow.clone();
+                                combined.extend(rrow.iter().cloned());
+                                rows.push(combined);
+                            }
+                        }
+                    }
+                    return Ok(Relation { cols, rows });
+                }
+            }
+        }
+
+        // General nested loop.
+        let mut rows = Vec::new();
+        for lrow in &left.rows {
+            for rrow in &right.rows {
+                let mut combined = lrow.clone();
+                combined.extend(rrow.iter().cloned());
+                match on {
+                    Some(cond) => {
+                        let ctx = Ctx::Row { cols: &cols, row: &combined };
+                        if self.eval_cond(cond, &ctx, outers)? == Some(true) {
+                            rows.push(combined);
+                        }
+                    }
+                    None => rows.push(combined),
+                }
+            }
+        }
+        Ok(Relation { cols, rows })
+    }
+
+    // ---- grouping ----
+
+    fn build_groups(
+        &self,
+        s: &Select,
+        cols: &[(String, String)],
+        rows: Vec<Row>,
+        outers: &[OuterScope<'_>],
+    ) -> ExecResult<Vec<Vec<Row>>> {
+        if s.group_by.is_empty() {
+            // Global aggregate: a single group, possibly empty.
+            return Ok(vec![rows]);
+        }
+        let mut order: Vec<String> = Vec::new();
+        let mut groups: HashMap<String, Vec<Row>> = HashMap::new();
+        for row in rows {
+            let ctx = Ctx::Row { cols, row: &row };
+            let mut key = String::new();
+            for g in &s.group_by {
+                let v = self.eval_expr(&Expr::Col(g.clone()), &ctx, outers)?;
+                key.push_str(&v.group_key());
+                key.push('\u{1}');
+            }
+            if !groups.contains_key(&key) {
+                order.push(key.clone());
+            }
+            groups.entry(key).or_default().push(row);
+        }
+        Ok(order.into_iter().map(|k| groups.remove(&k).expect("key present")).collect())
+    }
+
+    // ---- projection ----
+
+    fn project(
+        &self,
+        s: &Select,
+        ctx: &Ctx<'_>,
+        outers: &[OuterScope<'_>],
+    ) -> ExecResult<(Vec<String>, Row)> {
+        let mut names = Vec::with_capacity(s.items.len());
+        let mut row = Vec::with_capacity(s.items.len());
+        for item in &s.items {
+            match &item.expr {
+                Expr::Star => {
+                    let repr = ctx.repr_row();
+                    for (i, (_, cname)) in ctx.cols().iter().enumerate() {
+                        names.push(cname.clone());
+                        row.push(repr.map(|r| r[i].clone()).unwrap_or(Value::Null));
+                    }
+                }
+                Expr::Col(c) if c.column == "*" => {
+                    let binding = c
+                        .table
+                        .as_deref()
+                        .ok_or(ExecError::InvalidStar)?
+                        .to_lowercase();
+                    let repr = ctx.repr_row();
+                    let mut any = false;
+                    for (i, (b, cname)) in ctx.cols().iter().enumerate() {
+                        if *b == binding {
+                            names.push(cname.clone());
+                            row.push(repr.map(|r| r[i].clone()).unwrap_or(Value::Null));
+                            any = true;
+                        }
+                    }
+                    if !any {
+                        return Err(ExecError::UnknownTable(binding));
+                    }
+                }
+                expr => {
+                    names.push(
+                        item.alias
+                            .clone()
+                            .unwrap_or_else(|| expr.to_string().to_lowercase()),
+                    );
+                    row.push(self.eval_expr(expr, ctx, outers)?);
+                }
+            }
+        }
+        Ok((names, row))
+    }
+
+    fn sort_keys(
+        &self,
+        s: &Select,
+        ctx: &Ctx<'_>,
+        outers: &[OuterScope<'_>],
+        columns: &[String],
+        projected: &Row,
+    ) -> ExecResult<Vec<Value>> {
+        let mut keys = Vec::with_capacity(s.order_by.len());
+        for k in &s.order_by {
+            // An unqualified ORDER BY column may name a select alias.
+            if let Expr::Col(c) = &k.expr {
+                if c.table.is_none() {
+                    if let Some(idx) = columns
+                        .iter()
+                        .position(|n| n.eq_ignore_ascii_case(&c.column))
+                    {
+                        // Only use the projected value when the name does not
+                        // resolve in the relation (alias takes lower priority
+                        // than a real column, matching SQLite).
+                        if resolve(ctx.cols(), c).is_err() {
+                            keys.push(projected[idx].clone());
+                            continue;
+                        }
+                    }
+                }
+            }
+            keys.push(self.eval_expr(&k.expr, ctx, outers)?);
+        }
+        Ok(keys)
+    }
+
+    // ---- expression evaluation ----
+
+    fn eval_expr(&self, e: &Expr, ctx: &Ctx<'_>, outers: &[OuterScope<'_>]) -> ExecResult<Value> {
+        match e {
+            Expr::Lit(l) => Ok(Value::from_literal(l)),
+            Expr::Col(c) => self.eval_col(c, ctx, outers),
+            Expr::Star => Err(ExecError::InvalidStar),
+            Expr::Agg { func, distinct, arg } => match ctx {
+                Ctx::Group { cols, rows } => self.eval_agg(*func, *distinct, arg, cols, rows, outers),
+                Ctx::Row { .. } => Err(ExecError::InvalidAggregate(e.to_string())),
+            },
+            Expr::Arith { op, left, right } => {
+                let l = self.eval_expr(left, ctx, outers)?;
+                let r = self.eval_expr(right, ctx, outers)?;
+                Ok(eval_arith(*op, &l, &r))
+            }
+            Expr::Neg(inner) => {
+                let v = self.eval_expr(inner, ctx, outers)?;
+                Ok(match v {
+                    Value::Int(i) => Value::Int(-i),
+                    Value::Float(f) => Value::Float(-f),
+                    _ => Value::Null,
+                })
+            }
+        }
+    }
+
+    fn eval_col(&self, c: &ColumnRef, ctx: &Ctx<'_>, outers: &[OuterScope<'_>]) -> ExecResult<Value> {
+        match resolve(ctx.cols(), c) {
+            Ok(idx) => Ok(ctx
+                .repr_row()
+                .map(|r| r[idx].clone())
+                .unwrap_or(Value::Null)),
+            Err(e @ ExecError::AmbiguousColumn(_)) => Err(e),
+            Err(_) => {
+                // Correlated reference: walk outer scopes, innermost first.
+                for scope in outers.iter().rev() {
+                    if let Ok(idx) = resolve(scope.cols, c) {
+                        return Ok(scope.row[idx].clone());
+                    }
+                }
+                Err(ExecError::UnknownColumn(format!("{c}")))
+            }
+        }
+    }
+
+    fn eval_agg(
+        &self,
+        func: AggFunc,
+        distinct: bool,
+        arg: &Expr,
+        cols: &[(String, String)],
+        rows: &[Row],
+        outers: &[OuterScope<'_>],
+    ) -> ExecResult<Value> {
+        // COUNT(*) counts rows directly.
+        if matches!(arg, Expr::Star) {
+            if func != AggFunc::Count {
+                return Err(ExecError::InvalidStar);
+            }
+            return Ok(Value::Int(rows.len() as i64));
+        }
+        let mut vals: Vec<Value> = Vec::with_capacity(rows.len());
+        for row in rows {
+            let ctx = Ctx::Row { cols, row };
+            let v = self.eval_expr(arg, &ctx, outers)?;
+            if !v.is_null() {
+                vals.push(v);
+            }
+        }
+        if distinct {
+            let mut seen = std::collections::HashSet::new();
+            vals.retain(|v| seen.insert(v.group_key()));
+        }
+        Ok(match func {
+            AggFunc::Count => Value::Int(vals.len() as i64),
+            AggFunc::Sum => {
+                if vals.is_empty() {
+                    Value::Null
+                } else if vals.iter().all(|v| matches!(v, Value::Int(_))) {
+                    Value::Int(vals.iter().map(|v| if let Value::Int(i) = v { *i } else { 0 }).sum())
+                } else {
+                    Value::Float(vals.iter().filter_map(Value::as_f64).sum())
+                }
+            }
+            AggFunc::Avg => {
+                let nums: Vec<f64> = vals.iter().filter_map(Value::as_f64).collect();
+                if nums.is_empty() {
+                    Value::Null
+                } else {
+                    Value::Float(nums.iter().sum::<f64>() / nums.len() as f64)
+                }
+            }
+            AggFunc::Min => vals
+                .into_iter()
+                .min_by(|a, b| a.total_cmp(b))
+                .unwrap_or(Value::Null),
+            AggFunc::Max => vals
+                .into_iter()
+                .max_by(|a, b| a.total_cmp(b))
+                .unwrap_or(Value::Null),
+        })
+    }
+
+    // ---- condition evaluation (three-valued logic) ----
+
+    fn eval_cond(
+        &self,
+        c: &Cond,
+        ctx: &Ctx<'_>,
+        outers: &[OuterScope<'_>],
+    ) -> ExecResult<Option<bool>> {
+        match c {
+            Cond::Cmp { left, op, right } => {
+                let l = self.eval_expr(left, ctx, outers)?;
+                let r = match right {
+                    Operand::Expr(e) => self.eval_expr(e, ctx, outers)?,
+                    Operand::Subquery(q) => self.scalar_subquery(q, ctx, outers)?,
+                };
+                Ok(l.sql_cmp(&r).map(|ord| match op {
+                    CmpOp::Eq => ord == Ordering::Equal,
+                    CmpOp::Neq => ord != Ordering::Equal,
+                    CmpOp::Lt => ord == Ordering::Less,
+                    CmpOp::Le => ord != Ordering::Greater,
+                    CmpOp::Gt => ord == Ordering::Greater,
+                    CmpOp::Ge => ord != Ordering::Less,
+                }))
+            }
+            Cond::Between { expr, negated, low, high } => {
+                let v = self.eval_expr(expr, ctx, outers)?;
+                let lo = self.eval_expr(low, ctx, outers)?;
+                let hi = self.eval_expr(high, ctx, outers)?;
+                let res = match (v.sql_cmp(&lo), v.sql_cmp(&hi)) {
+                    (Some(a), Some(b)) => Some(a != Ordering::Less && b != Ordering::Greater),
+                    _ => None,
+                };
+                Ok(negate_if(res, *negated))
+            }
+            Cond::In { expr, negated, source } => {
+                let v = self.eval_expr(expr, ctx, outers)?;
+                if v.is_null() {
+                    return Ok(None);
+                }
+                let candidates: Vec<Value> = match source {
+                    InSource::List(lits) => lits.iter().map(Value::from_literal).collect(),
+                    InSource::Subquery(q) => {
+                        let rs = self.subquery(q, ctx, outers)?;
+                        if rs.columns.len() != 1 {
+                            return Err(ExecError::SubqueryArity(rs.columns.len()));
+                        }
+                        rs.rows.into_iter().map(|mut r| r.remove(0)).collect()
+                    }
+                };
+                let mut saw_null = false;
+                let mut found = false;
+                for cand in &candidates {
+                    match v.sql_cmp(cand) {
+                        Some(Ordering::Equal) => {
+                            found = true;
+                            break;
+                        }
+                        None => saw_null = true,
+                        _ => {}
+                    }
+                }
+                let res = if found {
+                    Some(true)
+                } else if saw_null {
+                    None
+                } else {
+                    Some(false)
+                };
+                Ok(negate_if(res, *negated))
+            }
+            Cond::Like { expr, negated, pattern } => {
+                let v = self.eval_expr(expr, ctx, outers)?;
+                let res = match v {
+                    Value::Null => None,
+                    Value::Str(s) => Some(like_match(pattern, &s)),
+                    other => Some(like_match(pattern, &other.to_string())),
+                };
+                Ok(negate_if(res, *negated))
+            }
+            Cond::IsNull { expr, negated } => {
+                let v = self.eval_expr(expr, ctx, outers)?;
+                Ok(Some(v.is_null() != *negated))
+            }
+            Cond::Exists { negated, query } => {
+                let rs = self.subquery(query, ctx, outers)?;
+                Ok(Some(rs.rows.is_empty() == *negated))
+            }
+            Cond::And(l, r) => {
+                let a = self.eval_cond(l, ctx, outers)?;
+                if a == Some(false) {
+                    return Ok(Some(false));
+                }
+                let b = self.eval_cond(r, ctx, outers)?;
+                Ok(match (a, b) {
+                    (Some(true), Some(true)) => Some(true),
+                    (_, Some(false)) => Some(false),
+                    _ => None,
+                })
+            }
+            Cond::Or(l, r) => {
+                let a = self.eval_cond(l, ctx, outers)?;
+                if a == Some(true) {
+                    return Ok(Some(true));
+                }
+                let b = self.eval_cond(r, ctx, outers)?;
+                Ok(match (a, b) {
+                    (_, Some(true)) => Some(true),
+                    (Some(false), Some(false)) => Some(false),
+                    _ => None,
+                })
+            }
+            Cond::Not(inner) => Ok(self.eval_cond(inner, ctx, outers)?.map(|b| !b)),
+        }
+    }
+
+    /// Run a subquery with the current row pushed as an outer scope.
+    fn subquery(
+        &self,
+        q: &Query,
+        ctx: &Ctx<'_>,
+        outers: &[OuterScope<'_>],
+    ) -> ExecResult<ResultSet> {
+        let mut scopes: Vec<OuterScope<'_>> = outers.to_vec();
+        if let Some(row) = ctx.repr_row() {
+            scopes.push(OuterScope { cols: ctx.cols(), row });
+        }
+        self.exec_query(q, &scopes)
+    }
+
+    fn scalar_subquery(
+        &self,
+        q: &Query,
+        ctx: &Ctx<'_>,
+        outers: &[OuterScope<'_>],
+    ) -> ExecResult<Value> {
+        let rs = self.subquery(q, ctx, outers)?;
+        if rs.columns.len() != 1 {
+            return Err(ExecError::SubqueryArity(rs.columns.len()));
+        }
+        Ok(rs
+            .rows
+            .first()
+            .map(|r| r[0].clone())
+            .unwrap_or(Value::Null))
+    }
+}
+
+/// Resolve a column reference against relation labels.
+fn resolve(cols: &[(String, String)], c: &ColumnRef) -> ExecResult<usize> {
+    let name = c.column.to_lowercase();
+    match &c.table {
+        Some(t) => {
+            let t = t.to_lowercase();
+            cols.iter()
+                .position(|(b, n)| *b == t && *n == name)
+                .ok_or_else(|| ExecError::UnknownColumn(format!("{t}.{name}")))
+        }
+        None => {
+            let mut it = cols.iter().enumerate().filter(|(_, (_, n))| *n == name);
+            match (it.next(), it.next()) {
+                (Some((i, _)), None) => Ok(i),
+                (Some((i, (b1, _))), Some((_, (b2, _)))) => {
+                    if b1 == b2 {
+                        // Same binding twice cannot happen; different bindings
+                        // with the same column name is genuinely ambiguous,
+                        // but SQLite resolves join-duplicated key columns to
+                        // the first occurrence in practice for Spider gold
+                        // queries. Prefer the first occurrence.
+                        Ok(i)
+                    } else {
+                        Ok(i)
+                    }
+                }
+                _ => Err(ExecError::UnknownColumn(name)),
+            }
+        }
+    }
+}
+
+fn negate_if(v: Option<bool>, neg: bool) -> Option<bool> {
+    if neg {
+        v.map(|b| !b)
+    } else {
+        v
+    }
+}
+
+fn eval_arith(op: ArithOp, l: &Value, r: &Value) -> Value {
+    if l.is_null() || r.is_null() {
+        return Value::Null;
+    }
+    match (l, r) {
+        (Value::Int(a), Value::Int(b)) => match op {
+            ArithOp::Add => a
+                .checked_add(*b)
+                .map(Value::Int)
+                .unwrap_or(Value::Float(*a as f64 + *b as f64)),
+            ArithOp::Sub => a
+                .checked_sub(*b)
+                .map(Value::Int)
+                .unwrap_or(Value::Float(*a as f64 - *b as f64)),
+            ArithOp::Mul => a
+                .checked_mul(*b)
+                .map(Value::Int)
+                .unwrap_or(Value::Float(*a as f64 * *b as f64)),
+            // SQLite integer division truncates; x / 0 is NULL.
+            ArithOp::Div => {
+                if *b == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(a / b)
+                }
+            }
+        },
+        _ => {
+            let (Some(a), Some(b)) = (l.as_f64(), r.as_f64()) else {
+                return Value::Null;
+            };
+            match op {
+                ArithOp::Add => Value::Float(a + b),
+                ArithOp::Sub => Value::Float(a - b),
+                ArithOp::Mul => Value::Float(a * b),
+                ArithOp::Div => {
+                    if b == 0.0 {
+                        Value::Null
+                    } else {
+                        Value::Float(a / b)
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// SQL LIKE with `%` and `_`, ASCII case-insensitive (SQLite default).
+fn like_match(pattern: &str, text: &str) -> bool {
+    let p: Vec<char> = pattern.to_lowercase().chars().collect();
+    let t: Vec<char> = text.to_lowercase().chars().collect();
+    like_rec(&p, &t)
+}
+
+fn like_rec(p: &[char], t: &[char]) -> bool {
+    match p.first() {
+        None => t.is_empty(),
+        Some('%') => {
+            // Collapse consecutive %.
+            let rest = &p[1..];
+            (0..=t.len()).any(|k| like_rec(rest, &t[k..]))
+        }
+        Some('_') => !t.is_empty() && like_rec(&p[1..], &t[1..]),
+        Some(c) => !t.is_empty() && t[0] == *c && like_rec(&p[1..], &t[1..]),
+    }
+}
+
+fn apply_set_op(op: SetOp, l: ResultSet, r: ResultSet) -> ResultSet {
+    // SQLite set operations use set semantics (dedup).
+    use std::collections::HashSet;
+    let rkeys: HashSet<String> = r.rows.iter().map(row_key).collect();
+    let mut out: Vec<Row> = Vec::new();
+    let mut seen: HashSet<String> = HashSet::new();
+    match op {
+        SetOp::Union => {
+            for row in l.rows.into_iter().chain(r.rows) {
+                if seen.insert(row_key(&row)) {
+                    out.push(row);
+                }
+            }
+        }
+        SetOp::Intersect => {
+            for row in l.rows {
+                let k = row_key(&row);
+                if rkeys.contains(&k) && seen.insert(k) {
+                    out.push(row);
+                }
+            }
+        }
+        SetOp::Except => {
+            for row in l.rows {
+                let k = row_key(&row);
+                if !rkeys.contains(&k) && seen.insert(k) {
+                    out.push(row);
+                }
+            }
+        }
+    }
+    ResultSet { columns: l.columns, rows: out }
+}
+
+/// Canonical key of a row for dedup / set ops.
+pub(crate) fn row_key<R: AsRef<[Value]>>(row: R) -> String {
+    let row = row.as_ref();
+    let mut s = String::with_capacity(row.len() * 8);
+    for v in row {
+        s.push_str(&v.group_key());
+        s.push('\u{1}');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColType, ColumnDef, DbSchema, ForeignKey, TableSchema};
+    use sqlkit::parse_query;
+
+    /// A small concert_singer-like database used across executor tests.
+    fn db() -> Database {
+        let schema = DbSchema {
+            db_id: "concert_singer".into(),
+            tables: vec![
+                TableSchema {
+                    name: "singer".into(),
+                    columns: vec![
+                        ColumnDef::new("singer_id", ColType::Int),
+                        ColumnDef::new("name", ColType::Text),
+                        ColumnDef::new("country", ColType::Text),
+                        ColumnDef::new("age", ColType::Int),
+                    ],
+                    primary_key: vec![0],
+                },
+                TableSchema {
+                    name: "song".into(),
+                    columns: vec![
+                        ColumnDef::new("song_id", ColType::Int),
+                        ColumnDef::new("singer_id", ColType::Int),
+                        ColumnDef::new("title", ColType::Text),
+                        ColumnDef::new("sales", ColType::Float),
+                    ],
+                    primary_key: vec![0],
+                },
+            ],
+            foreign_keys: vec![ForeignKey {
+                from_table: "song".into(),
+                from_column: "singer_id".into(),
+                to_table: "singer".into(),
+                to_column: "singer_id".into(),
+            }],
+        };
+        let mut d = Database::new(schema);
+        let singers = [
+            (1, "Joe", "US", 52),
+            (2, "Amy", "France", 43),
+            (3, "Bob", "US", 31),
+            (4, "Cleo", "France", 27),
+            (5, "Dan", "UK", 31),
+        ];
+        for (id, name, country, age) in singers {
+            d.insert(
+                "singer",
+                vec![
+                    Value::Int(id),
+                    Value::Str(name.into()),
+                    Value::Str(country.into()),
+                    Value::Int(age),
+                ],
+            )
+            .unwrap();
+        }
+        let songs = [
+            (1, 1, "Sun", 700_000.0),
+            (2, 1, "Moon", 150_000.0),
+            (3, 2, "Sea", 320_000.0),
+            (4, 3, "Sky", 45_000.0),
+            (5, 5, "Rain", 5_000.0),
+        ];
+        for (id, sid, title, sales) in songs {
+            d.insert(
+                "song",
+                vec![
+                    Value::Int(id),
+                    Value::Int(sid),
+                    Value::Str(title.into()),
+                    Value::Float(sales),
+                ],
+            )
+            .unwrap();
+        }
+        d
+    }
+
+    fn run(sql: &str) -> ResultSet {
+        let q = parse_query(sql).unwrap();
+        execute_query(&db(), &q).unwrap_or_else(|e| panic!("exec failed for {sql}: {e}"))
+    }
+
+    fn run_err(sql: &str) -> ExecError {
+        let q = parse_query(sql).unwrap();
+        execute_query(&db(), &q).unwrap_err()
+    }
+
+    fn ints(rs: &ResultSet) -> Vec<i64> {
+        rs.rows
+            .iter()
+            .map(|r| match &r[0] {
+                Value::Int(v) => *v,
+                other => panic!("expected int, got {other:?}"),
+            })
+            .collect()
+    }
+
+    fn strs(rs: &ResultSet) -> Vec<String> {
+        rs.rows.iter().map(|r| r[0].to_string()).collect()
+    }
+
+    #[test]
+    fn scan_and_project() {
+        let rs = run("SELECT name FROM singer");
+        assert_eq!(rs.rows.len(), 5);
+        assert_eq!(rs.columns, vec!["name"]);
+    }
+
+    #[test]
+    fn star_expands_all_columns() {
+        let rs = run("SELECT * FROM singer");
+        assert_eq!(rs.columns.len(), 4);
+        assert_eq!(rs.rows.len(), 5);
+    }
+
+    #[test]
+    fn where_filters() {
+        let rs = run("SELECT name FROM singer WHERE age > 40");
+        assert_eq!(strs(&rs), vec!["Joe", "Amy"]);
+    }
+
+    #[test]
+    fn where_and_or() {
+        let rs = run("SELECT name FROM singer WHERE country = 'US' AND age > 40");
+        assert_eq!(strs(&rs), vec!["Joe"]);
+        let rs = run("SELECT name FROM singer WHERE age = 52 OR age = 27");
+        assert_eq!(strs(&rs), vec!["Joe", "Cleo"]);
+    }
+
+    #[test]
+    fn count_star() {
+        let rs = run("SELECT count(*) FROM singer");
+        assert_eq!(ints(&rs), vec![5]);
+    }
+
+    #[test]
+    fn aggregates_on_empty_input() {
+        let rs = run("SELECT count(*) FROM singer WHERE age > 100");
+        assert_eq!(ints(&rs), vec![0]);
+        let rs = run("SELECT max(age) FROM singer WHERE age > 100");
+        assert!(rs.rows[0][0].is_null());
+        let rs = run("SELECT sum(age) FROM singer WHERE age > 100");
+        assert!(rs.rows[0][0].is_null());
+    }
+
+    #[test]
+    fn avg_min_max_sum() {
+        let rs = run("SELECT avg(age), min(age), max(age), sum(age) FROM singer");
+        let r = &rs.rows[0];
+        assert!((r[0].as_f64().unwrap() - 36.8).abs() < 1e-9);
+        assert!(matches!(r[1], Value::Int(27)));
+        assert!(matches!(r[2], Value::Int(52)));
+        assert!(matches!(r[3], Value::Int(184)));
+    }
+
+    #[test]
+    fn count_distinct() {
+        let rs = run("SELECT count(DISTINCT country) FROM singer");
+        assert_eq!(ints(&rs), vec![3]);
+    }
+
+    #[test]
+    fn group_by_with_count() {
+        let rs = run("SELECT country, count(*) FROM singer GROUP BY country ORDER BY count(*) DESC, country ASC");
+        let got: Vec<(String, i64)> = rs
+            .rows
+            .iter()
+            .map(|r| (r[0].to_string(), if let Value::Int(v) = r[1] { v } else { -1 }))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                ("France".to_string(), 2),
+                ("US".to_string(), 2),
+                ("UK".to_string(), 1)
+            ]
+        );
+    }
+
+    #[test]
+    fn having_filters_groups() {
+        let rs = run("SELECT country FROM singer GROUP BY country HAVING count(*) > 1 ORDER BY country ASC");
+        assert_eq!(strs(&rs), vec!["France", "US"]);
+    }
+
+    #[test]
+    fn order_by_and_limit() {
+        let rs = run("SELECT name FROM singer ORDER BY age DESC LIMIT 2");
+        assert_eq!(strs(&rs), vec!["Joe", "Amy"]);
+        let rs = run("SELECT name FROM singer ORDER BY age ASC LIMIT 1");
+        assert_eq!(strs(&rs), vec!["Cleo"]);
+    }
+
+    #[test]
+    fn order_by_ties_are_stable() {
+        let rs = run("SELECT name FROM singer ORDER BY age ASC");
+        // Bob (31) comes before Dan (31) because of input order stability.
+        assert_eq!(strs(&rs), vec!["Cleo", "Bob", "Dan", "Amy", "Joe"]);
+    }
+
+    #[test]
+    fn join_with_on() {
+        let rs = run(
+            "SELECT T2.title FROM singer AS T1 JOIN song AS T2 ON T1.singer_id = T2.singer_id WHERE T1.name = 'Joe' ORDER BY T2.title ASC",
+        );
+        assert_eq!(strs(&rs), vec!["Moon", "Sun"]);
+    }
+
+    #[test]
+    fn hash_and_nested_loop_join_agree() {
+        let q = parse_query(
+            "SELECT T1.name, count(*) FROM singer AS T1 JOIN song AS T2 ON T1.singer_id = T2.singer_id GROUP BY T1.singer_id ORDER BY T1.name ASC",
+        )
+        .unwrap();
+        let d = db();
+        let a = execute_query_with(&d, &q, ExecOptions { join: JoinStrategy::Hash }).unwrap();
+        let b = execute_query_with(&d, &q, ExecOptions { join: JoinStrategy::NestedLoop }).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn comma_join_with_where() {
+        let rs = run(
+            "SELECT song.title FROM singer, song WHERE singer.singer_id = song.singer_id AND singer.name = 'Amy'",
+        );
+        assert_eq!(strs(&rs), vec!["Sea"]);
+    }
+
+    #[test]
+    fn in_list_and_not_in() {
+        let rs = run("SELECT name FROM singer WHERE age IN (31, 27) ORDER BY name ASC");
+        assert_eq!(strs(&rs), vec!["Bob", "Cleo", "Dan"]);
+        let rs = run("SELECT name FROM singer WHERE age NOT IN (31, 27) ORDER BY name ASC");
+        assert_eq!(strs(&rs), vec!["Amy", "Joe"]);
+    }
+
+    #[test]
+    fn in_subquery() {
+        let rs = run(
+            "SELECT name FROM singer WHERE singer_id IN (SELECT singer_id FROM song WHERE sales > 100000) ORDER BY name ASC",
+        );
+        assert_eq!(strs(&rs), vec!["Amy", "Joe"]);
+    }
+
+    #[test]
+    fn not_in_subquery() {
+        let rs = run(
+            "SELECT name FROM singer WHERE singer_id NOT IN (SELECT singer_id FROM song) ORDER BY name ASC",
+        );
+        assert_eq!(strs(&rs), vec!["Cleo"]);
+    }
+
+    #[test]
+    fn scalar_subquery_comparison() {
+        let rs = run("SELECT name FROM singer WHERE age > (SELECT avg(age) FROM singer) ORDER BY name ASC");
+        assert_eq!(strs(&rs), vec!["Amy", "Joe"]);
+    }
+
+    #[test]
+    fn correlated_exists() {
+        let rs = run(
+            "SELECT name FROM singer WHERE EXISTS (SELECT 1 FROM song WHERE song.singer_id = singer.singer_id) ORDER BY name ASC",
+        );
+        assert_eq!(strs(&rs), vec!["Amy", "Bob", "Dan", "Joe"]);
+    }
+
+    #[test]
+    fn like_patterns() {
+        let rs = run("SELECT name FROM singer WHERE name LIKE '%o%' ORDER BY name ASC");
+        assert_eq!(strs(&rs), vec!["Bob", "Cleo", "Joe"]);
+        let rs = run("SELECT name FROM singer WHERE name LIKE '_o_'");
+        assert_eq!(strs(&rs), vec!["Joe", "Bob"]);
+        let rs = run("SELECT name FROM singer WHERE name LIKE 'JOE'");
+        assert_eq!(strs(&rs), vec!["Joe"], "LIKE is case-insensitive");
+    }
+
+    #[test]
+    fn between() {
+        let rs = run("SELECT name FROM singer WHERE age BETWEEN 30 AND 45 ORDER BY name ASC");
+        assert_eq!(strs(&rs), vec!["Amy", "Bob", "Dan"]);
+    }
+
+    #[test]
+    fn distinct_dedups() {
+        let rs = run("SELECT DISTINCT country FROM singer ORDER BY country ASC");
+        assert_eq!(strs(&rs), vec!["France", "UK", "US"]);
+    }
+
+    #[test]
+    fn union_intersect_except() {
+        let rs = run(
+            "SELECT country FROM singer WHERE age > 40 UNION SELECT country FROM singer WHERE age < 30",
+        );
+        let mut got = strs(&rs);
+        got.sort();
+        assert_eq!(got, vec!["France", "US"]);
+
+        let rs = run(
+            "SELECT country FROM singer WHERE age > 40 INTERSECT SELECT country FROM singer WHERE age < 30",
+        );
+        assert_eq!(strs(&rs), vec!["France"]);
+
+        let rs = run(
+            "SELECT country FROM singer EXCEPT SELECT country FROM singer WHERE age < 35",
+        );
+        assert_eq!(strs(&rs), Vec::<String>::new());
+
+        let rs = run(
+            "SELECT country FROM singer EXCEPT SELECT country FROM singer WHERE age > 50",
+        );
+        let mut got = strs(&rs);
+        got.sort();
+        assert_eq!(got, vec!["France", "UK"]);
+    }
+
+    #[test]
+    fn derived_table() {
+        let rs = run(
+            "SELECT T.c FROM (SELECT country AS c, count(*) AS n FROM singer GROUP BY country) AS T WHERE T.n > 1 ORDER BY T.c ASC",
+        );
+        assert_eq!(strs(&rs), vec!["France", "US"]);
+    }
+
+    #[test]
+    fn order_by_aggregate_in_group() {
+        let rs = run(
+            "SELECT country FROM singer GROUP BY country ORDER BY avg(age) DESC LIMIT 1",
+        );
+        assert_eq!(strs(&rs), vec!["US"]);
+    }
+
+    #[test]
+    fn order_by_select_alias() {
+        let rs = run("SELECT country, count(*) AS n FROM singer GROUP BY country ORDER BY n DESC LIMIT 1");
+        assert!(matches!(rs.rows[0][1], Value::Int(2)));
+    }
+
+    #[test]
+    fn arithmetic_in_projection() {
+        let rs = run("SELECT age + 10 FROM singer WHERE name = 'Joe'");
+        assert_eq!(ints(&rs), vec![62]);
+        let rs = run("SELECT age / 2 FROM singer WHERE name = 'Bob'");
+        assert_eq!(ints(&rs), vec![15], "integer division truncates");
+    }
+
+    #[test]
+    fn division_by_zero_is_null() {
+        let rs = run("SELECT age / 0 FROM singer WHERE name = 'Joe'");
+        assert!(rs.rows[0][0].is_null());
+    }
+
+    #[test]
+    fn unknown_table_and_column_error() {
+        assert!(matches!(run_err("SELECT a FROM nope"), ExecError::UnknownTable(_)));
+        assert!(matches!(
+            run_err("SELECT nope FROM singer"),
+            ExecError::UnknownColumn(_)
+        ));
+    }
+
+    #[test]
+    fn set_op_arity_mismatch_errors() {
+        assert!(matches!(
+            run_err("SELECT name, age FROM singer UNION SELECT name FROM singer"),
+            ExecError::SetOpArity(2, 1)
+        ));
+    }
+
+    #[test]
+    fn aggregate_in_where_errors() {
+        assert!(matches!(
+            run_err("SELECT name FROM singer WHERE count(*) > 1"),
+            ExecError::InvalidAggregate(_)
+        ));
+    }
+
+    #[test]
+    fn null_handling_in_filters() {
+        let schema = DbSchema {
+            db_id: "n".into(),
+            tables: vec![TableSchema {
+                name: "t".into(),
+                columns: vec![ColumnDef::new("x", ColType::Int)],
+                primary_key: vec![],
+            }],
+            foreign_keys: vec![],
+        };
+        let mut d = Database::new(schema);
+        d.insert("t", vec![Value::Int(1)]).unwrap();
+        d.insert("t", vec![Value::Null]).unwrap();
+        let q = parse_query("SELECT x FROM t WHERE x > 0").unwrap();
+        let rs = execute_query(&d, &q).unwrap();
+        assert_eq!(rs.rows.len(), 1, "NULL is not > 0");
+        let q = parse_query("SELECT x FROM t WHERE x IS NULL").unwrap();
+        let rs = execute_query(&d, &q).unwrap();
+        assert_eq!(rs.rows.len(), 1);
+        let q = parse_query("SELECT count(x) FROM t").unwrap();
+        let rs = execute_query(&d, &q).unwrap();
+        assert_eq!(rs.rows[0][0].group_key(), Value::Int(1).group_key(), "count ignores NULL");
+    }
+
+    #[test]
+    fn qualified_star() {
+        let rs = run("SELECT T1.* FROM singer AS T1 JOIN song AS T2 ON T1.singer_id = T2.singer_id LIMIT 1");
+        assert_eq!(rs.columns.len(), 4);
+    }
+
+    #[test]
+    fn select_without_from() {
+        let rs = run("SELECT 1");
+        assert_eq!(ints(&rs), vec![1]);
+    }
+
+    #[test]
+    fn limit_zero() {
+        let rs = run("SELECT name FROM singer LIMIT 0");
+        assert!(rs.rows.is_empty());
+    }
+
+    #[test]
+    fn group_by_preserves_first_seen_order_before_sort() {
+        let rs = run("SELECT country FROM singer GROUP BY country");
+        assert_eq!(strs(&rs), vec!["US", "France", "UK"]);
+    }
+
+    #[test]
+    fn nested_set_op_in_subquery() {
+        let rs = run(
+            "SELECT name FROM singer WHERE country IN (SELECT country FROM singer WHERE age > 50 UNION SELECT country FROM singer WHERE age < 28) ORDER BY name ASC",
+        );
+        assert_eq!(strs(&rs), vec!["Amy", "Bob", "Cleo", "Joe"]);
+    }
+}

@@ -1,0 +1,46 @@
+//! # storage — in-memory relational engine
+//!
+//! Executes the Spider SQL subset against in-memory databases so the harness
+//! can score **execution accuracy** (EX): run gold and predicted SQL on the
+//! same database and compare result sets. This substitutes for the SQLite
+//! executions the paper performs; the supported surface (joins, aggregation,
+//! group/having, order/limit, set ops, nested and correlated subqueries,
+//! LIKE / IN / BETWEEN / IS NULL, three-valued logic) covers every query the
+//! benchmark generator and the simulated models emit.
+//!
+//! ```
+//! use storage::{Database, execute_query};
+//! use storage::schema::{ColType, ColumnDef, DbSchema, TableSchema};
+//! use storage::Value;
+//!
+//! let schema = DbSchema {
+//!     db_id: "demo".into(),
+//!     tables: vec![TableSchema {
+//!         name: "t".into(),
+//!         columns: vec![ColumnDef::new("x", ColType::Int)],
+//!         primary_key: vec![0],
+//!     }],
+//!     foreign_keys: vec![],
+//! };
+//! let mut db = Database::new(schema);
+//! db.insert("t", vec![Value::Int(7)]).unwrap();
+//! let q = sqlkit::parse_query("SELECT count(*) FROM t").unwrap();
+//! let rs = execute_query(&db, &q).unwrap();
+//! assert_eq!(rs.rows.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod compare;
+pub mod db;
+pub mod error;
+pub mod exec;
+pub mod schema;
+pub mod value;
+
+pub use compare::{results_match, value_eq};
+pub use db::Database;
+pub use error::{ExecError, ExecResult};
+pub use exec::{execute_query, execute_query_with, ExecOptions, JoinStrategy, ResultSet};
+pub use schema::{ColType, ColumnDef, DbSchema, ForeignKey, TableSchema};
+pub use value::{Row, Value};

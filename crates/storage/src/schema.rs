@@ -1,0 +1,167 @@
+//! Database schema model: tables, columns, keys.
+//!
+//! This mirrors what Spider's `tables.json` carries for each database:
+//! table names, column names and types, primary keys and foreign keys — the
+//! exact information the paper's question representations serialize into
+//! prompts.
+
+/// Column data types (Spider uses SQLite affinities; three suffice here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ColType {
+    /// Integer affinity.
+    Int,
+    /// Real affinity.
+    Float,
+    /// Text affinity.
+    Text,
+}
+
+impl ColType {
+    /// SQL type name used in `CREATE TABLE` prompt rendering.
+    pub fn sql_name(self) -> &'static str {
+        match self {
+            ColType::Int => "INTEGER",
+            ColType::Float => "REAL",
+            ColType::Text => "TEXT",
+        }
+    }
+}
+
+/// One column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Column name (snake_case in the generated corpus).
+    pub name: String,
+    /// Data type.
+    pub ctype: ColType,
+}
+
+impl ColumnDef {
+    /// Shorthand constructor.
+    pub fn new(name: impl Into<String>, ctype: ColType) -> Self {
+        ColumnDef { name: name.into(), ctype }
+    }
+}
+
+/// One table definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSchema {
+    /// Table name.
+    pub name: String,
+    /// Ordered column definitions.
+    pub columns: Vec<ColumnDef>,
+    /// Indices (into `columns`) of the primary key.
+    pub primary_key: Vec<usize>,
+}
+
+impl TableSchema {
+    /// Find a column index by case-insensitive name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+}
+
+/// A foreign-key edge between two tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForeignKey {
+    /// Referencing table name.
+    pub from_table: String,
+    /// Referencing column name.
+    pub from_column: String,
+    /// Referenced table name.
+    pub to_table: String,
+    /// Referenced column name.
+    pub to_column: String,
+}
+
+/// A whole database schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DbSchema {
+    /// Database identifier (Spider's `db_id`).
+    pub db_id: String,
+    /// Tables in definition order.
+    pub tables: Vec<TableSchema>,
+    /// Foreign keys.
+    pub foreign_keys: Vec<ForeignKey>,
+}
+
+impl DbSchema {
+    /// Find a table by case-insensitive name.
+    pub fn table(&self, name: &str) -> Option<&TableSchema> {
+        self.tables.iter().find(|t| t.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Foreign keys joining `a` and `b` in either direction.
+    pub fn fks_between(&self, a: &str, b: &str) -> Vec<&ForeignKey> {
+        self.foreign_keys
+            .iter()
+            .filter(|fk| {
+                (fk.from_table.eq_ignore_ascii_case(a) && fk.to_table.eq_ignore_ascii_case(b))
+                    || (fk.from_table.eq_ignore_ascii_case(b) && fk.to_table.eq_ignore_ascii_case(a))
+            })
+            .collect()
+    }
+
+    /// Total number of columns across all tables.
+    pub fn total_columns(&self) -> usize {
+        self.tables.iter().map(|t| t.columns.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DbSchema {
+        DbSchema {
+            db_id: "concert_singer".into(),
+            tables: vec![
+                TableSchema {
+                    name: "singer".into(),
+                    columns: vec![
+                        ColumnDef::new("singer_id", ColType::Int),
+                        ColumnDef::new("name", ColType::Text),
+                        ColumnDef::new("age", ColType::Int),
+                    ],
+                    primary_key: vec![0],
+                },
+                TableSchema {
+                    name: "song".into(),
+                    columns: vec![
+                        ColumnDef::new("song_id", ColType::Int),
+                        ColumnDef::new("singer_id", ColType::Int),
+                        ColumnDef::new("title", ColType::Text),
+                    ],
+                    primary_key: vec![0],
+                },
+            ],
+            foreign_keys: vec![ForeignKey {
+                from_table: "song".into(),
+                from_column: "singer_id".into(),
+                to_table: "singer".into(),
+                to_column: "singer_id".into(),
+            }],
+        }
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let s = sample();
+        assert!(s.table("Singer").is_some());
+        assert_eq!(s.table("singer").unwrap().column_index("NAME"), Some(1));
+        assert!(s.table("nope").is_none());
+    }
+
+    #[test]
+    fn fks_between_both_directions() {
+        let s = sample();
+        assert_eq!(s.fks_between("singer", "song").len(), 1);
+        assert_eq!(s.fks_between("song", "singer").len(), 1);
+        assert_eq!(s.fks_between("singer", "singer").len(), 0);
+    }
+
+    #[test]
+    fn total_columns_sums() {
+        assert_eq!(sample().total_columns(), 6);
+    }
+}

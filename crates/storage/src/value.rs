@@ -1,0 +1,157 @@
+//! Runtime values with SQLite-flavoured comparison semantics.
+
+use sqlkit::Literal;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A runtime cell value.
+///
+/// Note: the derived `PartialEq` is *structural* (`Int(2) != Float(2.0)`);
+/// SQL comparisons go through [`Value::sql_cmp`] / [`Value::group_eq`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// 64-bit integer.
+    Int(i64),
+    /// Double-precision float.
+    Float(f64),
+    /// UTF-8 text.
+    Str(String),
+}
+
+impl Value {
+    /// Convert a parsed literal into a runtime value.
+    pub fn from_literal(l: &Literal) -> Value {
+        match l {
+            Literal::Int(v) => Value::Int(*v),
+            Literal::Float(v) => Value::Float(*v),
+            Literal::Str(s) => Value::Str(s.clone()),
+            Literal::Null => Value::Null,
+        }
+    }
+
+    /// Is this NULL?
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view (ints widen to float); `None` for NULL / text.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// SQL comparison: `None` when either side is NULL (unknown), otherwise
+    /// the ordering under SQLite's cross-type rules (numbers sort before
+    /// text; int/float compare numerically).
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            _ => Some(self.total_cmp(other)),
+        }
+    }
+
+    /// Total order used for ORDER BY and grouping: NULL first, then numbers,
+    /// then text (matching SQLite's ordering of storage classes).
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        fn class(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Int(_) | Value::Float(_) => 1,
+                Value::Str(_) => 2,
+            }
+        }
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (a, b) if class(a) == 1 && class(b) == 1 => {
+                let fa = a.as_f64().expect("numeric");
+                let fb = b.as_f64().expect("numeric");
+                fa.partial_cmp(&fb).unwrap_or(Ordering::Equal)
+            }
+            (a, b) => class(a).cmp(&class(b)),
+        }
+    }
+
+    /// Equality for grouping / DISTINCT / set ops: NULLs group together,
+    /// `1` equals `1.0`.
+    pub fn group_eq(&self, other: &Value) -> bool {
+        self.total_cmp(other) == Ordering::Equal
+    }
+
+    /// A normalized key string for hashing in GROUP BY / DISTINCT, chosen so
+    /// that `group_eq` values produce identical keys.
+    pub fn group_key(&self) -> String {
+        match self {
+            Value::Null => "n".to_string(),
+            Value::Int(v) => format!("f{:?}", *v as f64),
+            Value::Float(v) => {
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    format!("f{:?}", *v)
+                } else {
+                    format!("f{v:?}")
+                }
+            }
+            Value::Str(s) => format!("s{s}"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// A row of values.
+pub type Row = Vec<Value>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_comparisons_are_unknown() {
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Null), None);
+    }
+
+    #[test]
+    fn cross_numeric_comparison() {
+        assert_eq!(Value::Int(2).sql_cmp(&Value::Float(2.0)), Some(Ordering::Equal));
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Float(1.5)), Some(Ordering::Less));
+    }
+
+    #[test]
+    fn numbers_sort_before_text() {
+        assert_eq!(Value::Int(99).total_cmp(&Value::Str("1".into())), Ordering::Less);
+    }
+
+    #[test]
+    fn null_sorts_first() {
+        assert_eq!(Value::Null.total_cmp(&Value::Int(-100)), Ordering::Less);
+    }
+
+    #[test]
+    fn group_keys_unify_int_and_float() {
+        assert_eq!(Value::Int(3).group_key(), Value::Float(3.0).group_key());
+        assert_ne!(Value::Int(3).group_key(), Value::Str("3".into()).group_key());
+        assert_ne!(Value::Null.group_key(), Value::Int(0).group_key());
+    }
+
+    #[test]
+    fn from_literal_roundtrip() {
+        assert!(matches!(Value::from_literal(&Literal::Int(5)), Value::Int(5)));
+        assert!(Value::from_literal(&Literal::Null).is_null());
+    }
+}

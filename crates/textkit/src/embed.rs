@@ -1,0 +1,134 @@
+//! Hashed bag-of-features sentence embeddings.
+//!
+//! The paper selects few-shot examples by embedding questions with a
+//! pretrained sentence encoder and ranking by distance. Offline we use the
+//! classic hashing trick: word unigrams, word bigrams and character trigrams
+//! hashed into a fixed-dimension TF vector, L2-normalized. Cosine similarity
+//! over these vectors behaves like a (weaker) sentence encoder: higher for
+//! paraphrases and domain-similar questions, lower for unrelated ones — the
+//! property the selection experiments rely on.
+
+/// Embedding dimension (power of two for cheap modulo).
+pub const DIM: usize = 512;
+
+/// A dense, L2-normalized embedding vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Embedding(pub Vec<f32>);
+
+impl Embedding {
+    /// Cosine similarity (vectors are already normalized, so this is a dot
+    /// product). Returns 0 for a zero vector.
+    pub fn cosine(&self, other: &Embedding) -> f64 {
+        self.0
+            .iter()
+            .zip(&other.0)
+            .map(|(a, b)| (*a as f64) * (*b as f64))
+            .sum()
+    }
+}
+
+/// FNV-1a 64-bit hash — deterministic across runs and platforms.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Embed a text.
+pub fn embed(text: &str) -> Embedding {
+    let mut v = vec![0f32; DIM];
+    let lower = text.to_lowercase();
+    let words: Vec<&str> = lower
+        .split(|c: char| !c.is_alphanumeric() && c != '_')
+        .filter(|w| !w.is_empty())
+        .collect();
+
+    let mut bump = |key: &str, weight: f32| {
+        let h = fnv1a(key.as_bytes()) as usize;
+        // Signed hashing reduces collision bias.
+        let sign = if (h >> 63) == 0 { 1.0 } else { -1.0 };
+        v[h % DIM] += weight * sign;
+    };
+
+    // Word unigrams (weight 1).
+    for w in &words {
+        bump(&format!("u:{w}"), 1.0);
+    }
+    // Word bigrams (weight 0.7) capture phrasing.
+    for pair in words.windows(2) {
+        bump(&format!("b:{} {}", pair[0], pair[1]), 0.7);
+    }
+    // Character trigrams (weight 0.3) give robustness to morphology.
+    for w in &words {
+        let chars: Vec<char> = w.chars().collect();
+        if chars.len() >= 3 {
+            for tri in chars.windows(3) {
+                let s: String = tri.iter().collect();
+                bump(&format!("t:{s}"), 0.3);
+            }
+        }
+    }
+
+    // L2 normalize.
+    let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 0.0 {
+        for x in &mut v {
+            *x /= norm;
+        }
+    }
+    Embedding(v)
+}
+
+/// Convenience: cosine similarity of two texts.
+pub fn text_cosine(a: &str, b: &str) -> f64 {
+    embed(a).cosine(&embed(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_texts_have_similarity_one() {
+        let s = text_cosine("how many singers are there", "how many singers are there");
+        assert!((s - 1.0).abs() < 1e-5, "{s}");
+    }
+
+    #[test]
+    fn paraphrase_beats_unrelated() {
+        let a = "how many singers do we have";
+        let b = "what is the number of singers";
+        let c = "list the maximum capacity of every stadium";
+        let sim_ab = text_cosine(a, b);
+        let sim_ac = text_cosine(a, c);
+        assert!(sim_ab > sim_ac, "{sim_ab} vs {sim_ac}");
+    }
+
+    #[test]
+    fn embedding_is_deterministic() {
+        assert_eq!(embed("some question text"), embed("some question text"));
+    }
+
+    #[test]
+    fn empty_text_is_zero_vector() {
+        let e = embed("");
+        assert!(e.0.iter().all(|x| *x == 0.0));
+        assert_eq!(e.cosine(&embed("anything")), 0.0);
+    }
+
+    #[test]
+    fn similarity_bounded() {
+        let s = text_cosine("find all dogs", "find all cats and dogs in the shelter");
+        assert!((-1.0..=1.0).contains(&s));
+        assert!(s > 0.0);
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let s = text_cosine("How MANY Singers", "how many singers");
+        assert!((s - 1.0).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,28 @@
+//! # textkit — text substrate for Text-to-SQL benchmarking
+//!
+//! Deterministic GPT-approximating tokenizer (for the paper's token-efficiency
+//! metric), hashed sentence embeddings with cosine similarity (for example
+//! selection), domain-word masking (for masked-question similarity), and
+//! generic word-level similarity measures.
+//!
+//! ```
+//! use textkit::{Tokenizer, text_cosine, DomainMasker};
+//!
+//! let t = Tokenizer::new();
+//! assert!(t.count("SELECT name FROM singer") > 0);
+//! assert!(text_cosine("how many cats", "how many dogs") > 0.0);
+//! let m = DomainMasker::new(["singer"]);
+//! assert_eq!(m.mask("count singers"), "count <mask>");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod embed;
+pub mod mask;
+pub mod similar;
+pub mod tokenizer;
+
+pub use embed::{embed, text_cosine, Embedding, DIM};
+pub use mask::{DomainMasker, MASK};
+pub use similar::{word_edit_similarity, word_jaccard};
+pub use tokenizer::Tokenizer;

@@ -1,0 +1,88 @@
+//! Generic text-similarity utilities: word Jaccard and normalized edit
+//! distance, used as alternatives/components of selection strategies.
+
+/// Lowercased word list of a text.
+fn words(text: &str) -> Vec<String> {
+    text.to_lowercase()
+        .split(|c: char| !c.is_alphanumeric() && c != '_' && c != '<' && c != '>')
+        .filter(|w| !w.is_empty())
+        .map(|w| w.to_string())
+        .collect()
+}
+
+/// Jaccard similarity over word sets, in `[0, 1]`.
+pub fn word_jaccard(a: &str, b: &str) -> f64 {
+    use std::collections::HashSet;
+    let sa: HashSet<String> = words(a).into_iter().collect();
+    let sb: HashSet<String> = words(b).into_iter().collect();
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    let inter = sa.intersection(&sb).count();
+    let union = sa.len() + sb.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// 1 − normalized word-level Levenshtein distance, in `[0, 1]`.
+pub fn word_edit_similarity(a: &str, b: &str) -> f64 {
+    let wa = words(a);
+    let wb = words(b);
+    if wa.is_empty() && wb.is_empty() {
+        return 1.0;
+    }
+    let d = levenshtein(&wa, &wb);
+    1.0 - d as f64 / wa.len().max(wb.len()) as f64
+}
+
+fn levenshtein<T: PartialEq>(a: &[T], b: &[T]) -> usize {
+    let m = b.len();
+    let mut prev: Vec<usize> = (0..=m).collect();
+    let mut cur = vec![0usize; m + 1];
+    for (i, ta) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, tb) in b.iter().enumerate() {
+            let cost = usize::from(ta != tb);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[m]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jaccard_identical_is_one() {
+        assert!((word_jaccard("a b c", "c b a") - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_disjoint_is_zero() {
+        assert_eq!(word_jaccard("x y", "p q"), 0.0);
+    }
+
+    #[test]
+    fn edit_similarity_orders_sensibly() {
+        let base = "how many singers are there";
+        let close = "how many stadiums are there";
+        let far = "return the average capacity grouped by city";
+        assert!(word_edit_similarity(base, close) > word_edit_similarity(base, far));
+    }
+
+    #[test]
+    fn both_metrics_bounded() {
+        for (a, b) in [("", ""), ("a", ""), ("one two", "two one three")] {
+            for s in [word_jaccard(a, b), word_edit_similarity(a, b)] {
+                assert!((0.0..=1.0).contains(&s), "{a:?} {b:?} -> {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn mask_tokens_participate() {
+        // `<mask>` should count as a word so masked questions compare.
+        assert!(word_jaccard("<mask> are there", "<mask> are there") > 0.99);
+    }
+}

@@ -1,0 +1,133 @@
+//! Bring your own database: wire a hand-built schema + data through the
+//! whole Text-to-SQL stack (prompt rendering → simulated LLM → execution).
+//!
+//! This is the integration path a downstream application would use — nothing
+//! here depends on the synthetic benchmark generator.
+//!
+//! ```text
+//! cargo run --release --example custom_database
+//! ```
+
+use dail_sql::prelude::*;
+use simllm::extract_sql;
+use storage::schema::{ColType, ColumnDef, DbSchema, ForeignKey, TableSchema};
+
+fn build_travel_db() -> Database {
+    let schema = DbSchema {
+        db_id: "travel_agency".into(),
+        tables: vec![
+            TableSchema {
+                name: "destination".into(),
+                columns: vec![
+                    ColumnDef::new("destination_id", ColType::Int),
+                    ColumnDef::new("name", ColType::Text),
+                    ColumnDef::new("country", ColType::Text),
+                    ColumnDef::new("avg_temp", ColType::Float),
+                ],
+                primary_key: vec![0],
+            },
+            TableSchema {
+                name: "trip".into(),
+                columns: vec![
+                    ColumnDef::new("trip_id", ColType::Int),
+                    ColumnDef::new("destination_id", ColType::Int),
+                    ColumnDef::new("traveler", ColType::Text),
+                    ColumnDef::new("days", ColType::Int),
+                    ColumnDef::new("price", ColType::Float),
+                ],
+                primary_key: vec![0],
+            },
+        ],
+        foreign_keys: vec![ForeignKey {
+            from_table: "trip".into(),
+            from_column: "destination_id".into(),
+            to_table: "destination".into(),
+            to_column: "destination_id".into(),
+        }],
+    };
+    let mut db = Database::new(schema);
+    let destinations = [
+        (1, "Lisbon", "Portugal", 21.5),
+        (2, "Kyoto", "Japan", 16.0),
+        (3, "Reykjavik", "Iceland", 5.5),
+        (4, "Cusco", "Peru", 12.0),
+    ];
+    for (id, name, country, temp) in destinations {
+        db.insert(
+            "destination",
+            vec![
+                Value::Int(id),
+                Value::Str(name.into()),
+                Value::Str(country.into()),
+                Value::Float(temp),
+            ],
+        )
+        .unwrap();
+    }
+    let trips = [
+        (1, 1, "Ana", 7, 1450.0),
+        (2, 1, "Bruno", 4, 890.0),
+        (3, 2, "Carla", 10, 3200.0),
+        (4, 3, "Diego", 5, 2100.0),
+        (5, 2, "Elena", 12, 4100.0),
+        (6, 4, "Felix", 9, 1750.0),
+    ];
+    for (id, dest, traveler, days, price) in trips {
+        db.insert(
+            "trip",
+            vec![
+                Value::Int(id),
+                Value::Int(dest),
+                Value::Str(traveler.into()),
+                Value::Int(days),
+                Value::Float(price),
+            ],
+        )
+        .unwrap();
+    }
+    db
+}
+
+fn main() {
+    let db = build_travel_db();
+    let model = SimLlm::new("gpt-4").unwrap();
+
+    let questions = [
+        "How many trips are there?",
+        "What is the average price of all trips?",
+        "List the name of destinations.",
+        "What is the name of the destination with the highest avg_temp?",
+        "How many trips does each destination have? Show the name and the count.",
+    ];
+
+    for question in questions {
+        // Render the DAIL-SQL zero-shot prompt (CR_P representation).
+        let prompt = promptkit::render_prompt(
+            QuestionRepr::CodeRepr,
+            &db.schema,
+            Some(&db),
+            question,
+            ReprOptions::default(),
+        );
+        let out = model.complete(&prompt, &GenOptions { seed: 11, ..Default::default() });
+        let sql = extract_sql(&out, prompt.trim_end().ends_with("SELECT"));
+        println!("Q: {question}");
+        println!("  SQL: {sql}");
+        match parse_query(&sql).map(|q| execute_query(&db, &q)) {
+            Ok(Ok(rs)) => {
+                let preview: Vec<String> = rs
+                    .rows
+                    .iter()
+                    .take(4)
+                    .map(|r| {
+                        r.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ")
+                    })
+                    .collect();
+                println!("  rows ({}): {}", rs.rows.len(), preview.join(" | "));
+            }
+            Ok(Err(e)) => println!("  execution error: {e}"),
+            Err(e) => println!("  parse error: {e}"),
+        }
+        println!();
+    }
+}

@@ -1,0 +1,40 @@
+//! Mini Spider-leaderboard run: DAIL-SQL vs the baselines on a reduced
+//! benchmark (the full regeneration is `run_experiments e8`).
+//!
+//! ```text
+//! cargo run --release --example leaderboard
+//! ```
+
+use dail_sql::prelude::*;
+
+fn main() {
+    // Use the canonical experiment scale so the ordering is stable; see
+    // `run_experiments e8` for the CI-annotated version.
+    let bench = Benchmark::generate(BenchmarkConfig::default());
+    let selector = ExampleSelector::new(&bench);
+
+    let entries: Vec<Box<dyn Predictor + Sync>> = vec![
+        Box::new(DailSql::with_self_consistency(SimLlm::new("gpt-4").unwrap(), 5)),
+        Box::new(DailSql::new(SimLlm::new("gpt-4").unwrap())),
+        Box::new(DinSqlStyle::new(SimLlm::new("gpt-4").unwrap())),
+        Box::new(C3Style::new(SimLlm::new("gpt-3.5-turbo").unwrap())),
+        Box::new(ZeroShot::new(SimLlm::new("gpt-4").unwrap(), QuestionRepr::CodeRepr)),
+    ];
+
+    println!("{:<28} {:>6} {:>6} {:>6} {:>8}", "solution", "EX%", "EM%", "valid%", "calls/q");
+    let mut rows: Vec<(String, f64, f64, f64, f64)> = Vec::new();
+    for p in &entries {
+        let r = evaluate(&bench, &selector, p.as_ref(), &bench.dev, 2023, false);
+        rows.push((
+            r.name.clone(),
+            r.ex_pct(),
+            r.em_pct(),
+            r.valid_pct(),
+            r.cost.avg_api_calls(),
+        ));
+    }
+    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    for (name, ex, em, valid, calls) in rows {
+        println!("{name:<28} {ex:>6.1} {em:>6.1} {valid:>6.1} {calls:>8.1}");
+    }
+}

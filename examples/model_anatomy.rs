@@ -1,0 +1,77 @@
+//! Model anatomy: watch the simulated LLM think, stage by stage.
+//!
+//! Uses [`simllm::SimLlm::complete_traced`] to expose what each pipeline
+//! stage saw and decided — the tool to reach for when a prompt configuration
+//! underperforms and you want to know *which mechanism* failed.
+//!
+//! ```text
+//! cargo run --release --example model_anatomy
+//! ```
+
+use dail_sql::prelude::*;
+
+fn show(model_name: &str, prompt: &str, label: &str) {
+    let model = SimLlm::new(model_name).unwrap();
+    let t = model.complete_traced(prompt, &GenOptions { seed: 3, ..Default::default() });
+    println!("== {label} ({model_name})");
+    println!("  question   : {}", t.question);
+    println!(
+        "  schema seen: {} tables ({}), {} FKs, {} examples",
+        t.tables_seen.len(),
+        t.tables_seen
+            .iter()
+            .map(|(n, c)| format!("{n}:{c} cols"))
+            .collect::<Vec<_>>()
+            .join(", "),
+        t.fks_seen,
+        t.examples_seen
+    );
+    println!("  effective  : tier {:.2}, alignment {:.2}", t.tier, t.alignment);
+    println!(
+        "  cues kept  : {:?}",
+        t.cues_kept.iter().map(|(id, w)| format!("#{id}(w={w})")).collect::<Vec<_>>()
+    );
+    let top: Vec<String> = t
+        .intent_ranking
+        .iter()
+        .take(3)
+        .map(|(i, s)| format!("{i:?}={s:.2}"))
+        .collect();
+    println!("  intents    : {} -> chose {:?}", top.join(", "), t.intent);
+    println!(
+        "  stabilize  : {:.2}  (p_sys {:.3}, p_noise {:.3})",
+        t.stabilize, t.p_sys, t.p_noise
+    );
+    println!("  sql        : {}", t.sql);
+    println!("  response   : {:?}\n", t.response);
+}
+
+fn main() {
+    let bench = Benchmark::generate(BenchmarkConfig::tiny());
+    let selector = ExampleSelector::new(&bench);
+    let tokenizer = Tokenizer::new();
+    let item = &bench.dev[0];
+    println!("gold: {}\n", item.gold_sql);
+
+    // Zero-shot CR_P.
+    let cfg = PromptConfig::zero_shot(QuestionRepr::CodeRepr);
+    let zero = promptkit::build_prompt(&cfg, &bench, &selector, item, None, false, &tokenizer, 3);
+    show("gpt-4", &zero.text, "zero-shot CR_P");
+
+    // Few-shot DAIL prompt: examples appear, stabilization rises.
+    let cfg = PromptConfig::dail_sql(5);
+    let few = promptkit::build_prompt(
+        &cfg,
+        &bench,
+        &selector,
+        item,
+        Some(&item.gold),
+        false,
+        &tokenizer,
+        3,
+    );
+    show("gpt-4", &few.text, "5-shot DAIL");
+
+    // The same few-shot prompt through a small open-source model.
+    show("llama-7b", &few.text, "5-shot DAIL");
+}

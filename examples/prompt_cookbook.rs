@@ -1,0 +1,61 @@
+//! Prompt cookbook: render one question under all five representations and
+//! all three example organizations, with token counts and API cost — the
+//! paper's effectiveness-vs-efficiency trade-off, hands-on.
+//!
+//! ```text
+//! cargo run --release --example prompt_cookbook
+//! ```
+
+use dail_sql::prelude::*;
+use simllm::profile;
+
+fn main() {
+    let bench = Benchmark::generate(BenchmarkConfig::tiny());
+    let selector = ExampleSelector::new(&bench);
+    let tokenizer = Tokenizer::new();
+    let item = &bench.dev[0];
+    let gpt4 = profile("gpt-4").unwrap();
+
+    println!("question: {}\n", item.question);
+
+    // --- the five zero-shot representations ---
+    println!("== zero-shot representations ==");
+    for repr in QuestionRepr::ALL {
+        let cfg = PromptConfig::zero_shot(repr);
+        let bundle = build_prompt(&cfg, &bench, &selector, item, None, false, &tokenizer, 1);
+        let usd = bundle.tokens as f64 / 1000.0 * gpt4.price_per_1k_prompt;
+        println!("{:>5}: {:4} tokens  (${:.4} prompt cost on gpt-4)", repr.as_str(), bundle.tokens, usd);
+    }
+
+    // Show one full prompt.
+    let cfg = PromptConfig::zero_shot(QuestionRepr::CodeRepr);
+    let bundle = build_prompt(&cfg, &bench, &selector, item, None, false, &tokenizer, 1);
+    println!("\n--- CR_P prompt ---\n{}\n-------------------\n", bundle.text);
+
+    // --- the three 5-shot organizations ---
+    println!("== 5-shot example organizations (MQS selection) ==");
+    for org in OrganizationStrategy::ALL {
+        let cfg = PromptConfig {
+            repr: QuestionRepr::CodeRepr,
+            opts: ReprOptions::default(),
+            selection: SelectionStrategy::MaskedQuestionSimilarity,
+            organization: org,
+            shots: 5,
+            max_tokens: 8192,
+        };
+        let bundle = build_prompt(&cfg, &bench, &selector, item, None, false, &tokenizer, 1);
+        let usd = bundle.tokens as f64 / 1000.0 * gpt4.price_per_1k_prompt;
+        println!(
+            "{:>8}: {:5} tokens  (${:.4}, {} examples kept)",
+            org.as_str(),
+            bundle.tokens,
+            usd,
+            bundle.example_ids.len()
+        );
+    }
+
+    // --- a DAIL organization prompt, printed ---
+    let cfg = PromptConfig::dail_sql(3);
+    let bundle = build_prompt(&cfg, &bench, &selector, item, Some(&item.gold), false, &tokenizer, 1);
+    println!("\n--- DAIL 3-shot prompt ---\n{}\n--------------------------", bundle.text);
+}

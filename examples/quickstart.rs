@@ -1,0 +1,57 @@
+//! Quickstart: generate a benchmark, run DAIL-SQL, inspect predictions.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use dail_sql::prelude::*;
+
+fn main() {
+    // 1. A small cross-domain benchmark (deterministic from the seed).
+    let bench = Benchmark::generate(BenchmarkConfig::tiny());
+    println!(
+        "benchmark: {} train examples, {} dev examples, {} databases\n",
+        bench.train.len(),
+        bench.dev.len(),
+        bench.databases.len()
+    );
+
+    // 2. The DAIL-SQL pipeline on a simulated GPT-4.
+    let selector = ExampleSelector::new(&bench);
+    let tokenizer = Tokenizer::new();
+    let ctx = PredictCtx {
+        bench: &bench,
+        selector: &selector,
+        tokenizer: &tokenizer,
+        seed: 42,
+        realistic: false,
+    };
+    let dail = DailSql::new(SimLlm::new("gpt-4").unwrap());
+
+    // 3. Predict and score a handful of dev questions.
+    let mut correct = 0;
+    let n = 8.min(bench.dev.len());
+    for item in &bench.dev[..n] {
+        let pred = dail.predict(&ctx, item);
+        let score = score_item(bench.db(item), item, &pred.sql);
+        correct += usize::from(score.ex);
+        println!("Q: {}", item.question);
+        println!("  gold: {}", item.gold_sql);
+        println!("  pred: {}", pred.sql);
+        println!(
+            "  EX={} EM={} ({} prompt tokens, {} calls)\n",
+            score.ex, score.em, pred.prompt_tokens, pred.api_calls
+        );
+    }
+    println!("execution accuracy on this sample: {correct}/{n}");
+
+    // 4. Full-dev evaluation in one call.
+    let result = evaluate(&bench, &selector, &dail, &bench.dev, 42, false);
+    println!(
+        "full dev: EX {:.1}%  EM {:.1}%  valid {:.1}%  (avg {:.0} prompt tokens/query)",
+        result.ex_pct(),
+        result.em_pct(),
+        result.valid_pct(),
+        result.cost.avg_prompt_tokens()
+    );
+}

@@ -1,0 +1,221 @@
+//! Cross-crate end-to-end tests: the full pipeline from benchmark generation
+//! through prompting, simulated inference, execution and scoring.
+
+use dail_sql::prelude::*;
+
+fn bench() -> Benchmark {
+    Benchmark::generate(BenchmarkConfig {
+        seed: 2023,
+        train_size: 300,
+        dev_size: 120,
+        dev_domains: 6, synthetic_domains: 0
+    })
+}
+
+#[test]
+fn dail_sql_beats_zero_shot() {
+    let b = bench();
+    let selector = ExampleSelector::new(&b);
+    // gpt-3.5 has the most ICL headroom; average two seeds to tame noise.
+    let zero = ZeroShot::new(SimLlm::new("gpt-3.5-turbo").unwrap(), QuestionRepr::CodeRepr);
+    let dail = DailSql::new(SimLlm::new("gpt-3.5-turbo").unwrap());
+    let mut gz = 0.0;
+    let mut gd = 0.0;
+    for seed in [5u64, 17] {
+        gz += evaluate(&b, &selector, &zero, &b.dev, seed, false).ex_pct();
+        gd += evaluate(&b, &selector, &dail, &b.dev, seed, false).ex_pct();
+    }
+    assert!(
+        gd / 2.0 > gz / 2.0 + 4.0,
+        "DAIL {:.1} vs zero-shot {:.1}",
+        gd / 2.0,
+        gz / 2.0
+    );
+}
+
+#[test]
+fn stronger_models_score_higher() {
+    let b = bench();
+    let selector = ExampleSelector::new(&b);
+    let mut last = f64::INFINITY;
+    for model in ["gpt-4", "text-davinci-003", "llama-7b"] {
+        let p = ZeroShot::new(SimLlm::new(model).unwrap(), QuestionRepr::CodeRepr);
+        let r = evaluate(&b, &selector, &p, &b.dev, 5, false);
+        assert!(
+            r.ex_pct() < last + 3.0,
+            "{model} unexpectedly high: {:.1} vs previous {:.1}",
+            r.ex_pct(),
+            last
+        );
+        last = r.ex_pct();
+    }
+    // Endpoints must be clearly separated.
+    let strong = evaluate(
+        &b,
+        &selector,
+        &ZeroShot::new(SimLlm::new("gpt-4").unwrap(), QuestionRepr::CodeRepr),
+        &b.dev,
+        5,
+        false,
+    );
+    let weak = evaluate(
+        &b,
+        &selector,
+        &ZeroShot::new(SimLlm::new("llama-7b").unwrap(), QuestionRepr::CodeRepr),
+        &b.dev,
+        5,
+        false,
+    );
+    assert!(strong.ex_pct() > weak.ex_pct() + 15.0);
+}
+
+#[test]
+fn realistic_questions_are_harder() {
+    let b = bench();
+    let selector = ExampleSelector::new(&b);
+    let p = ZeroShot::new(SimLlm::new("gpt-4").unwrap(), QuestionRepr::CodeRepr);
+    let std = evaluate(&b, &selector, &p, &b.dev, 5, false);
+    let real = evaluate(&b, &selector, &p, &b.dev, 5, true);
+    assert!(
+        real.ex_pct() < std.ex_pct() - 3.0,
+        "realistic {:.1} vs standard {:.1}",
+        real.ex_pct(),
+        std.ex_pct()
+    );
+}
+
+#[test]
+fn evaluation_is_deterministic_end_to_end() {
+    let b = bench();
+    let selector = ExampleSelector::new(&b);
+    let p = DailSql::new(SimLlm::new("gpt-3.5-turbo").unwrap());
+    let r1 = evaluate(&b, &selector, &p, &b.dev[..30], 9, false);
+    let r2 = evaluate(&b, &selector, &p, &b.dev[..30], 9, false);
+    assert_eq!(r1.ex, r2.ex);
+    assert_eq!(r1.em, r2.em);
+    assert_eq!(r1.cost.prompt_tokens, r2.cost.prompt_tokens);
+}
+
+#[test]
+fn sft_lifts_zero_shot_and_kills_icl() {
+    let b = bench();
+    let selector = ExampleSelector::new(&b);
+    let base = SimLlm::new("llama-7b").unwrap();
+    let tuned = base.finetune(PromptStyle::Alpaca, b.train.len());
+
+    let rb = evaluate(
+        &b,
+        &selector,
+        &ZeroShot::new(base.clone(), QuestionRepr::AlpacaSft),
+        &b.dev,
+        5,
+        false,
+    );
+    let rt = evaluate(
+        &b,
+        &selector,
+        &ZeroShot::new(tuned.clone(), QuestionRepr::AlpacaSft),
+        &b.dev,
+        5,
+        false,
+    );
+    assert!(rt.ex_pct() > rb.ex_pct() + 5.0, "tuned {:.1} base {:.1}", rt.ex_pct(), rb.ex_pct());
+
+    // Few-shot gain collapses after SFT.
+    let base13 = SimLlm::new("llama-13b").unwrap();
+    let tuned13 = base13.finetune(PromptStyle::Ddl, b.train.len());
+    let gain = |m: &SimLlm| {
+        let z = evaluate(
+            &b,
+            &selector,
+            &ZeroShot::new(m.clone(), QuestionRepr::CodeRepr),
+            &b.dev,
+            5,
+            false,
+        );
+        let f = evaluate(
+            &b,
+            &selector,
+            &FewShot::new(m.clone(), PromptConfig::dail_sql(5)),
+            &b.dev,
+            5,
+            false,
+        );
+        f.ex_pct() - z.ex_pct()
+    };
+    let base_gain = gain(&base13);
+    let tuned_gain = gain(&tuned13);
+    assert!(
+        base_gain > tuned_gain + 5.0,
+        "base gain {base_gain:.1} vs tuned gain {tuned_gain:.1}"
+    );
+}
+
+#[test]
+fn foreign_keys_help_code_repr() {
+    let b = bench();
+    let selector = ExampleSelector::new(&b);
+    let with = ZeroShot {
+        model: SimLlm::new("gpt-3.5-turbo").unwrap(),
+        repr: QuestionRepr::CodeRepr,
+        opts: ReprOptions { foreign_keys: true, ..Default::default() },
+    };
+    let without = ZeroShot {
+        model: SimLlm::new("gpt-3.5-turbo").unwrap(),
+        repr: QuestionRepr::CodeRepr,
+        opts: ReprOptions { foreign_keys: false, ..Default::default() },
+    };
+    let rw = evaluate(&b, &selector, &with, &b.dev, 5, false);
+    let ro = evaluate(&b, &selector, &without, &b.dev, 5, false);
+    assert!(
+        rw.ex_pct() > ro.ex_pct(),
+        "with FK {:.1} vs without {:.1}",
+        rw.ex_pct(),
+        ro.ex_pct()
+    );
+}
+
+#[test]
+fn token_efficiency_ordering_holds() {
+    let b = bench();
+    let selector = ExampleSelector::new(&b);
+    let mk = |org| PromptConfig {
+        repr: QuestionRepr::CodeRepr,
+        opts: ReprOptions::default(),
+        selection: SelectionStrategy::MaskedQuestionSimilarity,
+        organization: org,
+        shots: 5,
+        max_tokens: 8192,
+    };
+    let full = evaluate(
+        &b,
+        &selector,
+        &FewShot::new(SimLlm::new("gpt-4").unwrap(), mk(OrganizationStrategy::Full)),
+        &b.dev[..40],
+        5,
+        false,
+    );
+    let dail = evaluate(
+        &b,
+        &selector,
+        &FewShot::new(SimLlm::new("gpt-4").unwrap(), mk(OrganizationStrategy::DailPairs)),
+        &b.dev[..40],
+        5,
+        false,
+    );
+    let sql_only = evaluate(
+        &b,
+        &selector,
+        &FewShot::new(SimLlm::new("gpt-4").unwrap(), mk(OrganizationStrategy::SqlOnly)),
+        &b.dev[..40],
+        5,
+        false,
+    );
+    // Token ordering: FULL > DAIL > SQLONLY.
+    assert!(full.cost.avg_prompt_tokens() > dail.cost.avg_prompt_tokens());
+    assert!(dail.cost.avg_prompt_tokens() > sql_only.cost.avg_prompt_tokens());
+    // DAIL organization must match FULL's accuracy within a small margin
+    // while being much cheaper (the paper's token-efficiency headline).
+    assert!(dail.ex_pct() >= full.ex_pct() - 5.0);
+    assert!(dail.ex_pct() >= sql_only.ex_pct() - 2.0);
+}

@@ -1,0 +1,54 @@
+//! Smoke test: every experiment (E1–E10) runs end-to-end at quick scale and
+//! produces well-formed, saveable tables.
+
+use dail_sql::prelude::*;
+use eval::Table;
+
+#[test]
+fn all_experiments_run_and_save() {
+    let bench = Benchmark::generate(BenchmarkConfig::tiny());
+    let runner = ExperimentRunner::new(&bench, Scale { dev_cap: 10, full_grid: false }, 3);
+    let dir = std::env::temp_dir().join("dail_sql_smoke_results");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut all: Vec<Table> = Vec::new();
+    for id in ExperimentRunner::ALL_IDS {
+        let tables = runner.run_experiment(id);
+        assert!(!tables.is_empty(), "{id} produced no tables");
+        for t in tables {
+            assert!(!t.rows.is_empty(), "{}: empty table", t.id);
+            assert!(t.rows.iter().all(|r| r.len() == t.headers.len()));
+            t.save(&dir).unwrap();
+            all.push(t);
+        }
+    }
+    // Every artifact landed on disk in both formats.
+    for t in &all {
+        assert!(dir.join(format!("{}.md", t.id)).exists());
+        assert!(dir.join(format!("{}.tsv", t.id)).exists());
+    }
+    // E10 produces its three sub-tables.
+    assert!(all.iter().filter(|t| t.id.starts_with("E10")).count() >= 3);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn experiment_percentages_are_sane() {
+    let bench = Benchmark::generate(BenchmarkConfig::tiny());
+    let runner = ExperimentRunner::new(&bench, Scale { dev_cap: 12, full_grid: false }, 3);
+    for id in ["e1", "e5", "e8"] {
+        for t in runner.run_experiment(id) {
+            for row in &t.rows {
+                for cell in row {
+                    if let Ok(v) = cell.parse::<f64>() {
+                        assert!(
+                            (-100.0..=10_000.0).contains(&v),
+                            "{}: weird numeric cell {cell}",
+                            t.id
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Cross-crate invariants that must hold for every generated benchmark.
+
+use dail_sql::prelude::*;
+use sqlkit::exact_set_match;
+
+fn bench() -> Benchmark {
+    Benchmark::generate(BenchmarkConfig::tiny())
+}
+
+#[test]
+fn every_gold_query_executes_and_matches_itself() {
+    let b = bench();
+    for item in b.dev.iter().chain(&b.train) {
+        let q = parse_query(&item.gold_sql).unwrap();
+        assert_eq!(q, item.gold, "printed gold diverges: {}", item.gold_sql);
+        assert!(exact_set_match(&item.gold, &q));
+        execute_query(b.db(item), &item.gold)
+            .unwrap_or_else(|e| panic!("gold does not execute: {} ({e})", item.gold_sql));
+    }
+}
+
+#[test]
+fn questions_are_nonempty_and_distinctive() {
+    let b = bench();
+    for item in &b.dev {
+        assert!(!item.question.trim().is_empty());
+        assert!(!item.question_realistic.trim().is_empty());
+        assert!(item.question.split_whitespace().count() >= 3);
+    }
+}
+
+#[test]
+fn prompt_contains_full_schema_for_every_representation() {
+    let b = bench();
+    let item = &b.dev[0];
+    let schema = &b.db(item).schema;
+    for repr in QuestionRepr::ALL {
+        let p = promptkit::render_prompt(repr, schema, None, &item.question, ReprOptions::default());
+        for t in &schema.tables {
+            assert!(
+                p.to_lowercase().contains(&t.name.to_lowercase()),
+                "{repr:?} missing table {}",
+                t.name
+            );
+            for c in &t.columns {
+                assert!(
+                    p.to_lowercase().contains(&c.name.to_lowercase()),
+                    "{repr:?} missing column {}.{}",
+                    t.name,
+                    c.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn simulated_model_round_trips_every_representation() {
+    // The model must recover the question from any representation's prompt.
+    let b = bench();
+    let item = &b.dev[0];
+    let schema = &b.db(item).schema;
+    for repr in QuestionRepr::ALL {
+        let p = promptkit::render_prompt(repr, schema, None, &item.question, ReprOptions::default());
+        let parsed = simllm::parse_prompt(&p);
+        assert_eq!(parsed.question, item.question, "{repr:?}");
+        assert_eq!(parsed.tables.len(), schema.tables.len(), "{repr:?}");
+    }
+}
+
+#[test]
+fn selector_is_deterministic_and_in_pool() {
+    let b = bench();
+    let sel = ExampleSelector::new(&b);
+    let item = &b.dev[0];
+    let ids: Vec<usize> = sel
+        .select(SelectionStrategy::MaskedQuestionSimilarity, &item.question, &item.question, None, 5, 1)
+        .iter()
+        .map(|e| e.id)
+        .collect();
+    let ids2: Vec<usize> = sel
+        .select(SelectionStrategy::MaskedQuestionSimilarity, &item.question, &item.question, None, 5, 1)
+        .iter()
+        .map(|e| e.id)
+        .collect();
+    assert_eq!(ids, ids2);
+    let train_ids: std::collections::HashSet<usize> = b.train.iter().map(|e| e.id).collect();
+    assert!(ids.iter().all(|i| train_ids.contains(i)));
+}
+
+#[test]
+fn scoring_gold_as_prediction_is_perfect_and_noise_is_not() {
+    let b = bench();
+    let mut noise_ex = 0usize;
+    for item in &b.dev[..20.min(b.dev.len())] {
+        let s = eval::score_item(b.db(item), item, &item.gold_sql);
+        assert!(s.valid && s.ex && s.em);
+        let wrong = eval::score_item(b.db(item), item, "SELECT 12345 FROM nonexistent");
+        assert!(!wrong.valid);
+        noise_ex += usize::from(wrong.ex);
+    }
+    assert_eq!(noise_ex, 0);
+}
+
+#[test]
+fn model_zoo_profiles_load_into_models() {
+    for p in simllm::ZOO {
+        let m = SimLlm::new(p.name).unwrap();
+        assert_eq!(m.profile.name, p.name);
+    }
+}
