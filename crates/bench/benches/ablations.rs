@@ -24,7 +24,10 @@ fn ablate_join(c: &mut Criterion) {
     let db = bench.db(item);
     let q = parse_query(&item.gold_sql).unwrap();
     let mut g = c.benchmark_group("ablate_join");
-    for (name, strat) in [("hash", JoinStrategy::Hash), ("nested_loop", JoinStrategy::NestedLoop)] {
+    for (name, strat) in [
+        ("hash", JoinStrategy::Hash),
+        ("nested_loop", JoinStrategy::NestedLoop),
+    ] {
         g.bench_function(name, |b| {
             b.iter(|| {
                 black_box(
@@ -111,5 +114,11 @@ fn ablate_sc(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, ablate_join, ablate_selection, ablate_budget, ablate_sc);
+criterion_group!(
+    benches,
+    ablate_join,
+    ablate_selection,
+    ablate_budget,
+    ablate_sc
+);
 criterion_main!(benches);

@@ -27,7 +27,16 @@ fn bench_experiments(c: &mut Criterion) {
         seed: 1,
         realistic: false,
     };
-    let ctx_realistic = PredictCtx { realistic: true, ..PredictCtx { bench: &bench, selector: &selector, tokenizer: &tokenizer, seed: 1, realistic: true } };
+    let ctx_realistic = PredictCtx {
+        realistic: true,
+        ..PredictCtx {
+            bench: &bench,
+            selector: &selector,
+            tokenizer: &tokenizer,
+            seed: 1,
+            realistic: true,
+        }
+    };
     let item = &bench.dev[0];
 
     // E1: zero-shot per representation.
@@ -59,12 +68,39 @@ fn bench_experiments(c: &mut Criterion) {
         let mut g = c.benchmark_group("e3_e4_toggles");
         g.sample_size(20);
         for (name, opts) in [
-            ("with_fk_rule", ReprOptions { foreign_keys: true, rule_implication: true, content_rows: 0 }),
-            ("no_fk", ReprOptions { foreign_keys: false, rule_implication: true, content_rows: 0 }),
-            ("no_rule", ReprOptions { foreign_keys: true, rule_implication: false, content_rows: 0 }),
+            (
+                "with_fk_rule",
+                ReprOptions {
+                    foreign_keys: true,
+                    rule_implication: true,
+                    content_rows: 0,
+                },
+            ),
+            (
+                "no_fk",
+                ReprOptions {
+                    foreign_keys: false,
+                    rule_implication: true,
+                    content_rows: 0,
+                },
+            ),
+            (
+                "no_rule",
+                ReprOptions {
+                    foreign_keys: true,
+                    rule_implication: false,
+                    content_rows: 0,
+                },
+            ),
         ] {
-            let p = ZeroShot { model: SimLlm::new("gpt-4").unwrap(), repr: QuestionRepr::CodeRepr, opts };
-            g.bench_function(name, |b| b.iter(|| black_box(p.predict(&ctx, black_box(item)))));
+            let p = ZeroShot {
+                model: SimLlm::new("gpt-4").unwrap(),
+                repr: QuestionRepr::CodeRepr,
+                opts,
+            };
+            g.bench_function(name, |b| {
+                b.iter(|| black_box(p.predict(&ctx, black_box(item))))
+            });
         }
         g.finish();
     }
@@ -116,13 +152,30 @@ fn bench_experiments(c: &mut Criterion) {
         let mut g = c.benchmark_group("e8_leaderboard");
         g.sample_size(10);
         let entries: Vec<(&str, Box<dyn Predictor>)> = vec![
-            ("dail_sql", Box::new(DailSql::new(SimLlm::new("gpt-4").unwrap()))),
-            ("dail_sql_sc", Box::new(DailSql::with_self_consistency(SimLlm::new("gpt-4").unwrap(), 5))),
-            ("din_style", Box::new(DinSqlStyle::new(SimLlm::new("gpt-4").unwrap()))),
-            ("c3_style", Box::new(C3Style::new(SimLlm::new("gpt-3.5-turbo").unwrap()))),
+            (
+                "dail_sql",
+                Box::new(DailSql::new(SimLlm::new("gpt-4").unwrap())),
+            ),
+            (
+                "dail_sql_sc",
+                Box::new(DailSql::with_self_consistency(
+                    SimLlm::new("gpt-4").unwrap(),
+                    5,
+                )),
+            ),
+            (
+                "din_style",
+                Box::new(DinSqlStyle::new(SimLlm::new("gpt-4").unwrap())),
+            ),
+            (
+                "c3_style",
+                Box::new(C3Style::new(SimLlm::new("gpt-3.5-turbo").unwrap())),
+            ),
         ];
         for (name, p) in &entries {
-            g.bench_function(*name, |b| b.iter(|| black_box(p.predict(&ctx, black_box(item)))));
+            g.bench_function(*name, |b| {
+                b.iter(|| black_box(p.predict(&ctx, black_box(item))))
+            });
         }
         g.finish();
     }
@@ -133,7 +186,9 @@ fn bench_experiments(c: &mut Criterion) {
         g.sample_size(20);
         for model in ["llama-7b", "llama-33b", "vicuna-33b"] {
             let p = ZeroShot::new(SimLlm::new(model).unwrap(), QuestionRepr::CodeRepr);
-            g.bench_function(model, |b| b.iter(|| black_box(p.predict(&ctx, black_box(item)))));
+            g.bench_function(model, |b| {
+                b.iter(|| black_box(p.predict(&ctx, black_box(item))))
+            });
         }
         g.finish();
     }
@@ -142,7 +197,9 @@ fn bench_experiments(c: &mut Criterion) {
     {
         let mut g = c.benchmark_group("e10_sft");
         g.sample_size(20);
-        let tuned = SimLlm::new("llama-13b").unwrap().finetune(PromptStyle::Ddl, 1000);
+        let tuned = SimLlm::new("llama-13b")
+            .unwrap()
+            .finetune(PromptStyle::Ddl, 1000);
         let matched = ZeroShot::new(tuned.clone(), QuestionRepr::CodeRepr);
         let mismatched = ZeroShot::new(tuned, QuestionRepr::TextRepr);
         g.bench_function("sft_matched_repr", |b| {

@@ -21,7 +21,9 @@ fn substrate(c: &mut Criterion) {
     let q = parse_query(SQL).unwrap();
     c.bench_function("print_query", |b| b.iter(|| black_box(q.to_string())));
 
-    c.bench_function("skeleton_extract", |b| b.iter(|| black_box(Skeleton::of(black_box(&q)))));
+    c.bench_function("skeleton_extract", |b| {
+        b.iter(|| black_box(Skeleton::of(black_box(&q))))
+    });
 
     let q2 = parse_query(&SQL.replace("2015", "2016")).unwrap();
     c.bench_function("exact_set_match", |b| {
@@ -52,5 +54,42 @@ fn substrate(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, substrate);
+/// The observability acceptance gate: instrumented hot paths with NO global
+/// recorder installed must cost the same as before obskit existed. Compare
+/// `execute_gold_query` / `parse_query` above (which now carry the disabled
+/// check inline) with these recorder-free micro-ops; the `obskit_*` rows
+/// bound the per-call overhead itself (one relaxed atomic load).
+fn obskit_overhead(c: &mut Criterion) {
+    let bench = small_benchmark();
+    let item = &bench.dev[0];
+    let db = bench.db(item);
+
+    // The disabled fast path, in isolation: enabled() + a no-op recorder call.
+    c.bench_function("obskit_disabled_enabled_check", |b| {
+        b.iter(|| black_box(obskit::enabled()))
+    });
+    let off = obskit::Recorder::disabled();
+    c.bench_function("obskit_disabled_counter_add", |b| {
+        b.iter(|| off.add_counter(black_box("bench.counter"), black_box(1)))
+    });
+    c.bench_function("obskit_disabled_span", |b| {
+        b.iter(|| black_box(off.span(black_box("bench.span")).id()))
+    });
+
+    // The instrumented executor with tracing off — the <2% overhead claim.
+    c.bench_function("execute_gold_query_noop_recorder", |b| {
+        b.iter(|| black_box(execute_query(db, black_box(&item.gold)).unwrap()))
+    });
+
+    // Enabled-path costs, for scale (not part of the no-op gate).
+    let on = obskit::Recorder::enabled();
+    c.bench_function("obskit_enabled_counter_add", |b| {
+        b.iter(|| on.add_counter(black_box("bench.counter"), black_box(1)))
+    });
+    c.bench_function("obskit_enabled_histogram_observe", |b| {
+        b.iter(|| on.observe(black_box("bench.hist"), black_box(12345)))
+    });
+}
+
+criterion_group!(benches, substrate, obskit_overhead);
 criterion_main!(benches);

@@ -5,10 +5,15 @@
 //! dail_sql_cli generate --out DIR [--seed N]      export a benchmark to files
 //! dail_sql_cli ask --question "..." [--model M]   one-off Text-to-SQL on a demo db
 //! dail_sql_cli eval [--pipeline P] [--model M]    evaluate a pipeline, print summary
+//! dail_sql_cli run-experiments --experiment ID    run a paper experiment
+//! dail_sql_cli profile TRACE.jsonl                render a trace as a breakdown
 //! ```
+//!
+//! `eval` and `run-experiments` accept `--trace FILE.jsonl` to record a
+//! full pipeline trace, replayable with the `profile` subcommand.
 
 use dail_core::{C3Style, DailSql, DinSqlStyle, Predictor, ZeroShot};
-use eval::evaluate;
+use eval::{evaluate_opts, EvalOptions, ExperimentRunner, Scale};
 use promptkit::{render_prompt, ExampleSelector, QuestionRepr, ReprOptions};
 use simllm::{extract_sql, GenOptions, SimLlm};
 use spider_gen::{export_benchmark, Benchmark, BenchmarkConfig};
@@ -19,14 +24,19 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let Some(cmd) = args.next() else {
         usage();
-        return;
+        std::process::exit(2);
     };
-    let flags = parse_flags(args);
+    // `profile` takes a positional path; everything else is --flag based.
+    let rest: Vec<String> = args.collect();
+    let positional: Vec<&String> = rest.iter().take_while(|a| !a.starts_with("--")).collect();
+    let flags = parse_flags(rest.iter().cloned());
     match cmd.as_str() {
         "models" => models(),
         "generate" => generate(&flags),
         "ask" => ask(&flags),
         "eval" => run_eval(&flags),
+        "run-experiments" => run_experiments(&flags),
+        "profile" => profile_trace(&positional),
         "--help" | "-h" | "help" => usage(),
         other => {
             eprintln!("unknown command: {other}\n");
@@ -46,7 +56,12 @@ fn usage() {
          \u{20}\u{20}ask --question \"...\" [--model M] [--db DB_ID] [--seed N]\n\
          \u{20}\u{20}                                         one-off Text-to-SQL against a generated db\n\
          \u{20}\u{20}eval [--pipeline dail|dail-sc|din|c3|zero] [--model M] [--dev N] [--realistic]\n\
-         \u{20}\u{20}                                         evaluate a pipeline and print the summary"
+         \u{20}\u{20}     [--threads N] [--trace FILE.jsonl]\n\
+         \u{20}\u{20}                                         evaluate a pipeline and print the summary\n\
+         \u{20}\u{20}run-experiments --experiment e1..e10|a1..a6 [--dev-cap N] [--seed N]\n\
+         \u{20}\u{20}     [--full-grid] [--trace FILE.jsonl]   run one paper experiment, print its tables\n\
+         \u{20}\u{20}profile TRACE.jsonl                      render a recorded trace as a\n\
+         \u{20}\u{20}                                         per-stage time/metric breakdown"
     );
 }
 
@@ -69,6 +84,47 @@ fn flag<'a>(flags: &'a HashMap<String, String>, key: &str, default: &'a str) -> 
     flags.get(key).map(String::as_str).unwrap_or(default)
 }
 
+/// Parse a numeric flag, exiting with status 2 (not a panic) on bad input.
+fn num_flag<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
+    match flags.get(key) {
+        None => default,
+        Some(raw) => raw.parse().unwrap_or_else(|_| {
+            eprintln!("--{key} must be an integer, got {raw:?}");
+            std::process::exit(2);
+        }),
+    }
+}
+
+/// Install a global trace recorder when `--trace FILE` was given.
+/// Returns the recorder (enabled or disabled) plus the output path.
+fn setup_trace(flags: &HashMap<String, String>) -> (obskit::Recorder, Option<PathBuf>) {
+    match flags.get("trace") {
+        Some(path) => {
+            let rec = obskit::Recorder::enabled();
+            obskit::set_global(rec.clone());
+            (rec, Some(PathBuf::from(path)))
+        }
+        None => (obskit::Recorder::disabled(), None),
+    }
+}
+
+/// Write the trace out (if tracing was requested) and tell the user.
+fn finish_trace(rec: &obskit::Recorder, path: Option<PathBuf>) {
+    let Some(path) = path else { return };
+    match rec.write_jsonl(&path) {
+        Ok(()) => eprintln!(
+            "trace written to {} ({} events); replay with `dail_sql_cli profile {}`",
+            path.display(),
+            rec.drain_trace().len(),
+            path.display()
+        ),
+        Err(e) => {
+            eprintln!("failed to write trace {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}
+
 fn models() {
     println!(
         "{:<18} {:>5} {:>6} {:>5} {:>8} {:>10} {:>6}",
@@ -77,18 +133,24 @@ fn models() {
     for p in simllm::ZOO {
         println!(
             "{:<18} {:>5.2} {:>6.2} {:>5.2} {:>8} {:>10.4} {:>6}",
-            p.name, p.tier, p.alignment, p.icl_weight, p.context_window,
-            p.price_per_1k_prompt, p.open_source
+            p.name,
+            p.tier,
+            p.alignment,
+            p.icl_weight,
+            p.context_window,
+            p.price_per_1k_prompt,
+            p.open_source
         );
     }
 }
 
 fn bench_from_flags(flags: &HashMap<String, String>) -> Benchmark {
     let cfg = BenchmarkConfig {
-        seed: flag(flags, "seed", "2023").parse().expect("--seed must be an integer"),
-        train_size: flag(flags, "train", "400").parse().expect("--train must be an integer"),
-        dev_size: flag(flags, "dev", "100").parse().expect("--dev must be an integer"),
-        dev_domains: 6, synthetic_domains: 0
+        seed: num_flag(flags, "seed", 2023u64),
+        train_size: num_flag(flags, "train", 400usize),
+        dev_size: num_flag(flags, "dev", 100usize),
+        dev_domains: 6,
+        synthetic_domains: 0,
     };
     Benchmark::generate(cfg)
 }
@@ -123,20 +185,29 @@ fn ask(flags: &HashMap<String, String>) {
     let bench = bench_from_flags(flags);
     let db_id = flag(flags, "db", "");
     let db = if db_id.is_empty() {
-        bench.databases.values().next().expect("benchmark has databases")
+        bench
+            .databases
+            .values()
+            .next()
+            .expect("benchmark has databases")
     } else {
         match bench.databases.get(db_id) {
             Some(db) => db,
             None => {
                 eprintln!(
                     "unknown db {db_id}; available: {}",
-                    bench.databases.keys().cloned().collect::<Vec<_>>().join(", ")
+                    bench
+                        .databases
+                        .keys()
+                        .cloned()
+                        .collect::<Vec<_>>()
+                        .join(", ")
                 );
                 std::process::exit(2);
             }
         }
     };
-    let seed: u64 = flag(flags, "seed", "1").parse().expect("--seed must be an integer");
+    let seed: u64 = num_flag(flags, "seed", 1u64);
     let prompt = render_prompt(
         QuestionRepr::CodeRepr,
         &db.schema,
@@ -144,7 +215,13 @@ fn ask(flags: &HashMap<String, String>) {
         question,
         ReprOptions::default(),
     );
-    let out = model.complete(&prompt, &GenOptions { seed, ..Default::default() });
+    let out = model.complete(
+        &prompt,
+        &GenOptions {
+            seed,
+            ..Default::default()
+        },
+    );
     let sql = extract_sql(&out, prompt.trim_end().ends_with("SELECT"));
     println!("db:  {}", db.schema.db_id);
     println!("sql: {sql}");
@@ -180,17 +257,97 @@ fn run_eval(flags: &HashMap<String, String>) {
         }
     };
     let realistic = flags.contains_key("realistic");
+    let (rec, trace_path) = setup_trace(flags);
     let bench = bench_from_flags(flags);
     let selector = ExampleSelector::new(&bench);
-    let r = evaluate(&bench, &selector, predictor.as_ref(), &bench.dev, 2023, realistic);
+    let threads = flags
+        .get("threads")
+        .map(|_| num_flag(flags, "threads", 0usize));
+    let opts = EvalOptions {
+        threads,
+        recorder: rec.clone(),
+    };
+    let r = evaluate_opts(
+        &bench,
+        &selector,
+        predictor.as_ref(),
+        &bench.dev,
+        2023,
+        realistic,
+        &opts,
+    );
     println!("pipeline: {}", r.name);
     println!("items:    {}", r.n);
     println!("EX:       {}", r.ex_ci95(2023).render());
     println!("EM:       {:.1}%", r.em_pct());
     println!("valid:    {:.1}%", r.valid_pct());
-    println!("tokens:   {:.0} prompt + {:.0} completion per query", r.cost.avg_prompt_tokens(), r.cost.avg_completion_tokens());
+    println!(
+        "tokens:   {:.0} prompt + {:.0} completion per query",
+        r.cost.avg_prompt_tokens(),
+        r.cost.avg_completion_tokens()
+    );
     println!("calls:    {:.1} per query", r.cost.avg_api_calls());
     for (h, (c, n)) in &r.ex_by_hardness {
-        println!("  {:<7} {:>5.1}%  ({c}/{n})", h.as_str(), 100.0 * *c as f64 / (*n).max(1) as f64);
+        println!(
+            "  {:<7} {:>5.1}%  ({c}/{n})",
+            h.as_str(),
+            100.0 * *c as f64 / (*n).max(1) as f64
+        );
     }
+    finish_trace(&rec, trace_path);
+}
+
+fn run_experiments(flags: &HashMap<String, String>) {
+    let Some(id) = flags.get("experiment") else {
+        eprintln!(
+            "run-experiments requires --experiment ID (one of {} / {})",
+            ExperimentRunner::ALL_IDS.join(", "),
+            ExperimentRunner::ABLATION_IDS.join(", ")
+        );
+        std::process::exit(2);
+    };
+    let known = ExperimentRunner::ALL_IDS.contains(&id.as_str())
+        || ExperimentRunner::ABLATION_IDS.contains(&id.as_str());
+    if !known {
+        eprintln!(
+            "unknown experiment {id}; known ids: {} / {}",
+            ExperimentRunner::ALL_IDS.join(", "),
+            ExperimentRunner::ABLATION_IDS.join(", ")
+        );
+        std::process::exit(2);
+    }
+    let (rec, trace_path) = setup_trace(flags);
+    let scale = Scale {
+        dev_cap: num_flag(flags, "dev-cap", 24usize),
+        full_grid: flags.contains_key("full-grid"),
+    };
+    let seed = num_flag(flags, "seed", 2023u64);
+    let bench = bench_from_flags(flags);
+    let runner = ExperimentRunner::new(&bench, scale, seed).with_recorder(rec.clone());
+    for table in runner.run_experiment(id) {
+        println!("{}", table.to_markdown());
+    }
+    finish_trace(&rec, trace_path);
+}
+
+fn profile_trace(positional: &[&String]) {
+    let Some(path) = positional.first() else {
+        eprintln!("profile requires a trace file: dail_sql_cli profile TRACE.jsonl");
+        std::process::exit(2);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let events = match obskit::parse_jsonl(&text) {
+        Ok(ev) => ev,
+        Err(e) => {
+            eprintln!("invalid trace {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    print!("{}", obskit::Profile::from_events(&events).to_markdown());
 }

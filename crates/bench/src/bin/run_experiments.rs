@@ -27,7 +27,10 @@ fn main() {
     };
 
     let scale = if quick {
-        Scale { dev_cap: 60, full_grid: false }
+        Scale {
+            dev_cap: 60,
+            full_grid: false,
+        }
     } else {
         Scale::full()
     };
@@ -39,7 +42,8 @@ fn main() {
             seed: 2023,
             train_size: 400,
             dev_size: 80,
-            dev_domains: 6, synthetic_domains: 0
+            dev_domains: 6,
+            synthetic_domains: 0,
         })
     } else {
         bench::paper_benchmark()

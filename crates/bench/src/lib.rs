@@ -10,13 +10,25 @@ use spider_gen::{Benchmark, BenchmarkConfig};
 
 /// The benchmark configuration used for paper-scale experiment runs.
 pub fn paper_config() -> BenchmarkConfig {
-    BenchmarkConfig { seed: 2023, train_size: 1200, dev_size: 300, dev_domains: 6, synthetic_domains: 0 }
+    BenchmarkConfig {
+        seed: 2023,
+        train_size: 1200,
+        dev_size: 300,
+        dev_domains: 6,
+        synthetic_domains: 0,
+    }
 }
 
 /// A smaller configuration for Criterion benches (kept light so `cargo
 /// bench` finishes quickly while still exercising the full pipeline).
 pub fn bench_config() -> BenchmarkConfig {
-    BenchmarkConfig { seed: 7, train_size: 200, dev_size: 40, dev_domains: 4, synthetic_domains: 0 }
+    BenchmarkConfig {
+        seed: 7,
+        train_size: 200,
+        dev_size: 40,
+        dev_domains: 4,
+        synthetic_domains: 0,
+    }
 }
 
 /// Generate the paper-scale benchmark.

@@ -14,6 +14,15 @@ fn models_lists_the_zoo() {
     assert!(text.contains("gpt-4"));
     assert!(text.contains("llama-7b"));
     assert!(text.contains("vicuna-33b"));
+    // Header row: one column per profile field shown.
+    let header = text.lines().next().expect("non-empty output");
+    for col in [
+        "model", "tier", "align", "icl", "context", "$/1k in", "open",
+    ] {
+        assert!(header.contains(col), "missing column {col:?} in {header:?}");
+    }
+    // Every zoo row is aligned under the header.
+    assert!(text.lines().count() >= 8, "{text}");
 }
 
 #[test]
@@ -32,7 +41,11 @@ fn ask_answers_a_question() {
         ])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("sql:"), "{text}");
     assert!(text.to_lowercase().contains("singer"), "{text}");
@@ -41,10 +54,24 @@ fn ask_answers_a_question() {
 #[test]
 fn eval_prints_a_summary() {
     let out = cli()
-        .args(["eval", "--pipeline", "zero", "--model", "gpt-4", "--train", "60", "--dev", "15"])
+        .args([
+            "eval",
+            "--pipeline",
+            "zero",
+            "--model",
+            "gpt-4",
+            "--train",
+            "60",
+            "--dev",
+            "15",
+        ])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("EX:"), "{text}");
     assert!(text.contains("valid:"), "{text}");
@@ -66,7 +93,11 @@ fn generate_exports_files() {
         ])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(dir.join("train.jsonl").exists());
     assert!(dir.join("dev.jsonl").exists());
     assert!(dir.join("databases").read_dir().unwrap().count() > 0);
@@ -76,9 +107,41 @@ fn generate_exports_files() {
 #[test]
 fn unknown_command_fails_with_usage() {
     let out = cli().arg("bogus").output().expect("binary runs");
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2));
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("unknown command"));
+    assert!(err.contains("commands:"), "usage should follow: {err}");
+}
+
+#[test]
+fn missing_command_exits_2_with_usage() {
+    let out = cli().output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("commands:"));
+}
+
+#[test]
+fn missing_required_argument_exits_2() {
+    for args in [
+        vec!["generate"],
+        vec!["ask"],
+        vec!["run-experiments"],
+        vec!["profile"],
+    ] {
+        let out = cli().args(&args).output().expect("binary runs");
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+    }
+}
+
+#[test]
+fn malformed_numeric_flag_exits_2() {
+    let out = cli()
+        .args(["eval", "--dev", "ten"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--dev"), "{err}");
 }
 
 #[test]
@@ -87,5 +150,75 @@ fn unknown_model_fails() {
         .args(["eval", "--model", "gpt-99"])
         .output()
         .expect("binary runs");
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn unknown_experiment_id_exits_2() {
+    let out = cli()
+        .args(["run-experiments", "--experiment", "e99"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown experiment"));
+}
+
+#[test]
+fn trace_then_profile_round_trips() {
+    let trace = std::env::temp_dir().join("dail_cli_trace_test.jsonl");
+    let _ = std::fs::remove_file(&trace);
+    let out = cli()
+        .args([
+            "run-experiments",
+            "--experiment",
+            "a2",
+            "--dev-cap",
+            "6",
+            "--train",
+            "40",
+            "--dev",
+            "10",
+            "--trace",
+            trace.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&trace).expect("trace written");
+    // Every line is valid JSONL and parses back into events.
+    let events = obskit::parse_jsonl(&text).expect("valid trace");
+    assert!(!events.is_empty());
+
+    let out = cli()
+        .args(["profile", trace.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let report = String::from_utf8_lossy(&out.stdout);
+    assert!(report.contains("PROFILE"), "{report}");
+    assert!(report.contains("| stage |"), "{report}");
+    assert!(report.contains("experiment.a2"), "{report}");
+    assert!(report.contains("eval.items"), "{report}");
+    let _ = std::fs::remove_file(&trace);
+}
+
+#[test]
+fn profile_rejects_garbage_input() {
+    let bad = std::env::temp_dir().join("dail_cli_bad_trace.jsonl");
+    std::fs::write(&bad, "this is not json\n").unwrap();
+    let out = cli()
+        .args(["profile", bad.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("line 1"));
+    let _ = std::fs::remove_file(&bad);
 }

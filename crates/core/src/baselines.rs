@@ -8,8 +8,7 @@
 use crate::pipeline::{PredictCtx, Prediction, Predictor};
 use crate::self_consistency::vote_by_execution;
 use promptkit::{
-    build_prompt, OrganizationStrategy, PromptConfig, QuestionRepr, ReprOptions,
-    SelectionStrategy,
+    build_prompt, OrganizationStrategy, PromptConfig, QuestionRepr, ReprOptions, SelectionStrategy,
 };
 use simllm::{extract_sql, GenOptions, SimLlm};
 use spider_gen::ExampleItem;
@@ -28,17 +27,29 @@ pub struct ZeroShot {
 impl ZeroShot {
     /// Zero-shot with default toggles.
     pub fn new(model: SimLlm, repr: QuestionRepr) -> ZeroShot {
-        ZeroShot { model, repr, opts: ReprOptions::default() }
+        ZeroShot {
+            model,
+            repr,
+            opts: ReprOptions::default(),
+        }
     }
 }
 
 impl Predictor for ZeroShot {
     fn name(&self) -> String {
-        format!("ZeroShot[{}]({})", self.repr.as_str(), self.model.profile.name)
+        format!(
+            "ZeroShot[{}]({})",
+            self.repr.as_str(),
+            self.model.profile.name
+        )
     }
 
     fn predict(&self, ctx: &PredictCtx<'_>, item: &ExampleItem) -> Prediction {
-        let cfg = PromptConfig { repr: self.repr, opts: self.opts, ..PromptConfig::zero_shot(self.repr) };
+        let cfg = PromptConfig {
+            repr: self.repr,
+            opts: self.opts,
+            ..PromptConfig::zero_shot(self.repr)
+        };
         let bundle = build_prompt(
             &cfg,
             ctx.bench,
@@ -50,9 +61,13 @@ impl Predictor for ZeroShot {
             ctx.seed,
         );
         let had_prefix = bundle.text.trim_end().ends_with("SELECT");
-        let out = self
-            .model
-            .complete(&bundle.text, &GenOptions { seed: ctx.seed, ..Default::default() });
+        let out = self.model.complete(
+            &bundle.text,
+            &GenOptions {
+                seed: ctx.seed,
+                ..Default::default()
+            },
+        );
         let sql = extract_sql(&out, had_prefix);
         Prediction {
             completion_tokens: ctx.tokenizer.count(&sql),
@@ -84,7 +99,11 @@ impl FewShot {
             cfg.selection,
             SelectionStrategy::QuerySimilarity | SelectionStrategy::Dail
         );
-        FewShot { model, cfg, use_preliminary }
+        FewShot {
+            model,
+            cfg,
+            use_preliminary,
+        }
     }
 }
 
@@ -116,9 +135,13 @@ impl Predictor for FewShot {
                 ctx.tokenizer,
                 ctx.seed,
             );
-            let out = self
-                .model
-                .complete(&bundle.text, &GenOptions { seed: ctx.seed, ..Default::default() });
+            let out = self.model.complete(
+                &bundle.text,
+                &GenOptions {
+                    seed: ctx.seed,
+                    ..Default::default()
+                },
+            );
             prompt_tokens += bundle.tokens;
             api_calls += 1;
             let sql = extract_sql(&out, bundle.text.trim_end().ends_with("SELECT"));
@@ -138,14 +161,23 @@ impl Predictor for FewShot {
             ctx.seed,
         );
         let had_prefix = bundle.text.trim_end().ends_with("SELECT");
-        let out = self
-            .model
-            .complete(&bundle.text, &GenOptions { seed: ctx.seed, ..Default::default() });
+        let out = self.model.complete(
+            &bundle.text,
+            &GenOptions {
+                seed: ctx.seed,
+                ..Default::default()
+            },
+        );
         prompt_tokens += bundle.tokens;
         api_calls += 1;
         let sql = extract_sql(&out, had_prefix);
         completion_tokens += ctx.tokenizer.count(&sql);
-        Prediction { sql, prompt_tokens, completion_tokens, api_calls }
+        Prediction {
+            sql,
+            prompt_tokens,
+            completion_tokens,
+            api_calls,
+        }
     }
 }
 
@@ -206,9 +238,13 @@ impl Predictor for DinSqlStyle {
         let had_prefix = bundle.text.trim_end().ends_with("SELECT");
         let mut prompt_tokens = bundle.tokens;
         let mut api_calls = 1;
-        let out = self
-            .model
-            .complete(&bundle.text, &GenOptions { seed: ctx.seed, ..Default::default() });
+        let out = self.model.complete(
+            &bundle.text,
+            &GenOptions {
+                seed: ctx.seed,
+                ..Default::default()
+            },
+        );
         let mut sql = extract_sql(&out, had_prefix);
         let mut completion_tokens = ctx.tokenizer.count(&sql);
 
@@ -221,7 +257,10 @@ impl Predictor for DinSqlStyle {
         if !executes {
             let out2 = self.model.complete(
                 &bundle.text,
-                &GenOptions { seed: ctx.seed ^ 0x5eed, ..Default::default() },
+                &GenOptions {
+                    seed: ctx.seed ^ 0x5eed,
+                    ..Default::default()
+                },
             );
             prompt_tokens += bundle.tokens;
             api_calls += 1;
@@ -235,7 +274,12 @@ impl Predictor for DinSqlStyle {
                 sql = sql2;
             }
         }
-        Prediction { sql, prompt_tokens, completion_tokens, api_calls }
+        Prediction {
+            sql,
+            prompt_tokens,
+            completion_tokens,
+            api_calls,
+        }
     }
 }
 
@@ -279,7 +323,11 @@ impl Predictor for C3Style {
         for i in 0..self.samples {
             let out = self.model.complete(
                 &bundle.text,
-                &GenOptions { seed: ctx.seed, temperature: 1.0, sample_index: i as u32 },
+                &GenOptions {
+                    seed: ctx.seed,
+                    temperature: 1.0,
+                    sample_index: i as u32,
+                },
             );
             prompt_tokens += bundle.tokens;
             let sql = extract_sql(&out, had_prefix);
@@ -287,7 +335,12 @@ impl Predictor for C3Style {
             candidates.push(sql);
         }
         let sql = vote_by_execution(ctx.bench.db(item), &candidates);
-        Prediction { sql, prompt_tokens, completion_tokens, api_calls: self.samples }
+        Prediction {
+            sql,
+            prompt_tokens,
+            completion_tokens,
+            api_calls: self.samples,
+        }
     }
 }
 
@@ -303,7 +356,13 @@ mod tests {
         let bench = Benchmark::generate(BenchmarkConfig::tiny());
         let selector = ExampleSelector::new(&bench);
         let tok = Tokenizer::new();
-        let ctx = PredictCtx { bench: &bench, selector: &selector, tokenizer: &tok, seed: 1, realistic: false };
+        let ctx = PredictCtx {
+            bench: &bench,
+            selector: &selector,
+            tokenizer: &tok,
+            seed: 1,
+            realistic: false,
+        };
         let item = &bench.dev[0];
 
         let z = ZeroShot::new(SimLlm::new("gpt-4").unwrap(), QuestionRepr::CodeRepr);

@@ -25,17 +25,29 @@ pub struct DailSql {
 impl DailSql {
     /// DAIL-SQL with the paper's defaults (5-shot, greedy).
     pub fn new(model: SimLlm) -> DailSql {
-        DailSql { model, shots: 5, self_consistency: 1 }
+        DailSql {
+            model,
+            shots: 5,
+            self_consistency: 1,
+        }
     }
 
     /// DAIL-SQL + SC: self-consistency voting with `k` samples.
     pub fn with_self_consistency(model: SimLlm, k: usize) -> DailSql {
-        DailSql { model, shots: 5, self_consistency: k.max(1) }
+        DailSql {
+            model,
+            shots: 5,
+            self_consistency: k.max(1),
+        }
     }
 
     /// Run the preliminary zero-shot pass that seeds query-similarity
     /// selection.
-    fn preliminary(&self, ctx: &PredictCtx<'_>, item: &ExampleItem) -> (Option<sqlkit::Query>, usize, usize) {
+    fn preliminary(
+        &self,
+        ctx: &PredictCtx<'_>,
+        item: &ExampleItem,
+    ) -> (Option<sqlkit::Query>, usize, usize) {
         let cfg = PromptConfig::zero_shot(QuestionRepr::CodeRepr);
         let bundle = build_prompt(
             &cfg,
@@ -47,7 +59,13 @@ impl DailSql {
             ctx.tokenizer,
             ctx.seed,
         );
-        let out = self.model.complete(&bundle.text, &GenOptions { seed: ctx.seed, ..Default::default() });
+        let out = self.model.complete(
+            &bundle.text,
+            &GenOptions {
+                seed: ctx.seed,
+                ..Default::default()
+            },
+        );
         let sql = extract_sql(&out, bundle.text.trim_end().ends_with("SELECT"));
         let completion = ctx.tokenizer.count(&sql);
         (parse_query(&sql).ok(), bundle.tokens, completion)
@@ -65,8 +83,7 @@ impl Predictor for DailSql {
 
     fn predict(&self, ctx: &PredictCtx<'_>, item: &ExampleItem) -> Prediction {
         // Stage 1: preliminary prediction for skeleton-aware selection.
-        let (preliminary, mut prompt_tokens, mut completion_tokens) =
-            self.preliminary(ctx, item);
+        let (preliminary, mut prompt_tokens, mut completion_tokens) = self.preliminary(ctx, item);
         let mut api_calls = 1;
 
         // Stage 2: DAIL prompt.
@@ -84,9 +101,13 @@ impl Predictor for DailSql {
         let had_prefix = bundle.text.trim_end().ends_with("SELECT");
 
         let sql = if self.self_consistency <= 1 {
-            let out = self
-                .model
-                .complete(&bundle.text, &GenOptions { seed: ctx.seed, ..Default::default() });
+            let out = self.model.complete(
+                &bundle.text,
+                &GenOptions {
+                    seed: ctx.seed,
+                    ..Default::default()
+                },
+            );
             prompt_tokens += bundle.tokens;
             api_calls += 1;
             let sql = extract_sql(&out, had_prefix);
@@ -100,7 +121,11 @@ impl Predictor for DailSql {
                 let temperature = if i == 0 { 0.0 } else { 1.0 };
                 let out = self.model.complete(
                     &bundle.text,
-                    &GenOptions { seed: ctx.seed, temperature, sample_index: i as u32 },
+                    &GenOptions {
+                        seed: ctx.seed,
+                        temperature,
+                        sample_index: i as u32,
+                    },
                 );
                 prompt_tokens += bundle.tokens;
                 api_calls += 1;
@@ -108,10 +133,19 @@ impl Predictor for DailSql {
                 completion_tokens += ctx.tokenizer.count(&sql);
                 candidates.push(sql);
             }
+            if obskit::enabled() {
+                obskit::global()
+                    .add_counter("dail.self_consistency_samples", candidates.len() as u64);
+            }
             vote_by_execution(ctx.bench.db(item), &candidates)
         };
 
-        Prediction { sql, prompt_tokens, completion_tokens, api_calls }
+        Prediction {
+            sql,
+            prompt_tokens,
+            completion_tokens,
+            api_calls,
+        }
     }
 }
 
@@ -123,14 +157,23 @@ mod tests {
     use textkit::Tokenizer;
 
     fn ctx_parts() -> (Benchmark, Tokenizer) {
-        (Benchmark::generate(BenchmarkConfig::tiny()), Tokenizer::new())
+        (
+            Benchmark::generate(BenchmarkConfig::tiny()),
+            Tokenizer::new(),
+        )
     }
 
     #[test]
     fn dail_sql_produces_parseable_sql_mostly() {
         let (bench, tok) = ctx_parts();
         let selector = ExampleSelector::new(&bench);
-        let ctx = PredictCtx { bench: &bench, selector: &selector, tokenizer: &tok, seed: 3, realistic: false };
+        let ctx = PredictCtx {
+            bench: &bench,
+            selector: &selector,
+            tokenizer: &tok,
+            seed: 3,
+            realistic: false,
+        };
         let pipe = DailSql::new(SimLlm::new("gpt-4").unwrap());
         let mut parseable = 0;
         let n = 10.min(bench.dev.len());
@@ -149,7 +192,13 @@ mod tests {
     fn self_consistency_makes_more_calls() {
         let (bench, tok) = ctx_parts();
         let selector = ExampleSelector::new(&bench);
-        let ctx = PredictCtx { bench: &bench, selector: &selector, tokenizer: &tok, seed: 3, realistic: false };
+        let ctx = PredictCtx {
+            bench: &bench,
+            selector: &selector,
+            tokenizer: &tok,
+            seed: 3,
+            realistic: false,
+        };
         let greedy = DailSql::new(SimLlm::new("gpt-4").unwrap());
         let sc = DailSql::with_self_consistency(SimLlm::new("gpt-4").unwrap(), 5);
         let item = &bench.dev[0];

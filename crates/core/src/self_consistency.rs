@@ -98,7 +98,8 @@ mod tests {
         };
         let mut d = Database::new(schema);
         for i in 0..5 {
-            d.insert("t", vec![Value::Int(i), Value::Int(i * 10)]).unwrap();
+            d.insert("t", vec![Value::Int(i), Value::Int(i * 10)])
+                .unwrap();
         }
         d
     }
@@ -161,10 +162,7 @@ mod tests {
     #[test]
     fn tie_breaks_to_earliest() {
         let d = db();
-        let candidates = vec![
-            "SELECT x FROM t".to_string(),
-            "SELECT y FROM t".to_string(),
-        ];
+        let candidates = vec!["SELECT x FROM t".to_string(), "SELECT y FROM t".to_string()];
         assert_eq!(vote_by_execution(&d, &candidates), "SELECT x FROM t");
     }
 }

@@ -1,0 +1,169 @@
+//! Offline drop-in replacement for the subset of the `criterion` 0.5 API
+//! used by this workspace's benches.
+//!
+//! The build container has no network access, so the real crate can never
+//! resolve. This shim keeps `criterion_group!`/`criterion_main!` benches
+//! compiling and producing useful numbers: each benchmark is warmed up,
+//! then timed over a fixed number of samples; the median per-iteration
+//! time is printed. Under `cargo test` (which passes `--test` to
+//! `harness = false` targets) every benchmark runs exactly one iteration
+//! as a smoke test.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    /// Median per-iteration time, filled in by [`Bencher::iter`].
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly and record the median per-iteration time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let mut samples = Vec::with_capacity(self.iters as usize);
+        for _ in 0..self.iters {
+            let t0 = Instant::now();
+            black_box(f());
+            samples.push(t0.elapsed());
+        }
+        samples.sort_unstable();
+        self.elapsed = samples[samples.len() / 2];
+    }
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes `harness = false` bench targets with `--test` from
+        // `cargo test`; fall back to a single iteration there so the suite
+        // stays fast while still exercising every bench body.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 50,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Time one benchmark.
+    pub fn bench_function<N: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: N,
+        mut f: F,
+    ) -> &mut Self {
+        let name = name.as_ref();
+        let iters = if self.test_mode {
+            1
+        } else {
+            self.sample_size as u64
+        };
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        // Warm-up pass.
+        if !self.test_mode {
+            f(&mut b);
+        }
+        f(&mut b);
+        println!("{name:<40} {:>12.3} µs/iter", b.elapsed.as_secs_f64() * 1e6);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup { parent: self }
+    }
+}
+
+/// A named group of benchmarks, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.parent.sample_size = n.max(1);
+        self
+    }
+
+    /// Time one benchmark within the group.
+    pub fn bench_function<N: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: N,
+        f: F,
+    ) -> &mut Self {
+        self.parent.bench_function(name, f);
+        self
+    }
+
+    /// Close the group (restores the default sample size).
+    pub fn finish(self) {
+        self.parent.sample_size = 50;
+    }
+}
+
+/// Declare a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declare the bench entry point, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion {
+            sample_size: 3,
+            test_mode: true,
+        };
+        let mut ran = 0;
+        c.bench_function("noop", |b| b.iter(|| ran += 1));
+        assert!(ran >= 1);
+    }
+
+    #[test]
+    fn groups_apply_sample_size_and_reset_on_finish() {
+        let mut c = Criterion {
+            sample_size: 50,
+            test_mode: true,
+        };
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(10);
+            g.bench_function("x", |b| b.iter(|| 1 + 1));
+            g.finish();
+        }
+        assert_eq!(c.sample_size, 50);
+    }
+}

@@ -12,8 +12,8 @@
 //! | `Correct` | execution-accurate |
 
 use crate::metrics::score_item;
-use sqlkit::{canonicalize, parse_query, Skeleton, ValueMode};
 use spider_gen::ExampleItem;
+use sqlkit::{canonicalize, parse_query, Skeleton, ValueMode};
 use std::collections::BTreeMap;
 use storage::Database;
 

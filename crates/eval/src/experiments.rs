@@ -13,7 +13,7 @@
 //! | e9  | open-source LLMs, zero- and few-shot                   |
 //! | e10 | open-source SFT (representations, ICL degradation)     |
 
-use crate::harness::{evaluate, RunResult};
+use crate::harness::{evaluate_opts, EvalOptions, RunResult};
 use crate::report::{f1, pct, usd, Table};
 use dail_core::{C3Style, DailSql, DinSqlStyle, FewShot, Predictor, ZeroShot};
 use promptkit::{
@@ -36,12 +36,18 @@ pub struct Scale {
 impl Scale {
     /// Fast scale for tests.
     pub fn quick() -> Scale {
-        Scale { dev_cap: 24, full_grid: false }
+        Scale {
+            dev_cap: 24,
+            full_grid: false,
+        }
     }
 
     /// The full paper-scale run.
     pub fn full() -> Scale {
-        Scale { dev_cap: usize::MAX, full_grid: true }
+        Scale {
+            dev_cap: usize::MAX,
+            full_grid: true,
+        }
     }
 }
 
@@ -51,6 +57,21 @@ pub struct ExperimentRunner<'a> {
     selector: ExampleSelector<'a>,
     scale: Scale,
     seed: u64,
+    recorder: obskit::Recorder,
+}
+
+/// Best-effort `git describe` of the working tree, for run manifests.
+/// Returns `"unknown"` when git is unavailable (e.g. outside a checkout).
+fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
 }
 
 /// Map a question representation to the prompt style tag used by SFT.
@@ -65,9 +86,22 @@ fn style_of(repr: QuestionRepr) -> PromptStyle {
 }
 
 impl<'a> ExperimentRunner<'a> {
-    /// Create a runner.
+    /// Create a runner (tracing disabled; see [`Self::with_recorder`]).
     pub fn new(bench: &'a Benchmark, scale: Scale, seed: u64) -> Self {
-        ExperimentRunner { bench, selector: ExampleSelector::new(bench), scale, seed }
+        ExperimentRunner {
+            bench,
+            selector: ExampleSelector::new(bench),
+            scale,
+            seed,
+            recorder: obskit::Recorder::disabled(),
+        }
+    }
+
+    /// Attach a trace recorder; every experiment then emits a span, a run
+    /// manifest ([`obskit::Event::Meta`]) and the harness's per-item trace.
+    pub fn with_recorder(mut self, recorder: obskit::Recorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     fn items(&self) -> &[spider_gen::ExampleItem] {
@@ -76,7 +110,19 @@ impl<'a> ExperimentRunner<'a> {
     }
 
     fn run(&self, p: &(dyn Predictor + Sync), realistic: bool) -> RunResult {
-        evaluate(self.bench, &self.selector, p, self.items(), self.seed, realistic)
+        let opts = EvalOptions {
+            threads: None,
+            recorder: self.recorder.clone(),
+        };
+        evaluate_opts(
+            self.bench,
+            &self.selector,
+            p,
+            self.items(),
+            self.seed,
+            realistic,
+            &opts,
+        )
     }
 
     fn main_models(&self) -> Vec<&'static str> {
@@ -89,6 +135,29 @@ impl<'a> ExperimentRunner<'a> {
 
     /// Dispatch by experiment id ("e1".."e10").
     pub fn run_experiment(&self, id: &str) -> Vec<Table> {
+        let span = self.recorder.span(&format!("experiment.{id}"));
+        let started = std::time::Instant::now();
+        let tables = self.dispatch(id);
+        if self.recorder.is_enabled() {
+            // Run manifest: enough to re-run and to attribute cost later.
+            self.recorder.meta(
+                &format!("experiment.{id}"),
+                &[
+                    ("seed", self.seed.to_string()),
+                    ("dev_cap", self.scale.dev_cap.to_string()),
+                    ("full_grid", self.scale.full_grid.to_string()),
+                    ("git", git_describe()),
+                    ("tables", tables.len().to_string()),
+                    ("duration_ms", started.elapsed().as_millis().to_string()),
+                ],
+            );
+            self.recorder.add_counter("experiments.runs", 1);
+        }
+        drop(span);
+        tables
+    }
+
+    fn dispatch(&self, id: &str) -> Vec<Table> {
         match id {
             "e1" => self.e1(),
             "e2" => self.e2(),
@@ -166,7 +235,11 @@ impl<'a> ExperimentRunner<'a> {
         set: impl Fn(bool) -> ReprOptions,
         label: (&str, &str),
     ) -> Vec<Table> {
-        let mut t = Table::new(id, title, &["representation", "model", label.0, label.1, "Δ"]);
+        let mut t = Table::new(
+            id,
+            title,
+            &["representation", "model", label.0, label.1, "Δ"],
+        );
         for repr in QuestionRepr::ALL {
             for model in self.main_models() {
                 let on = ZeroShot {
@@ -197,7 +270,10 @@ impl<'a> ExperimentRunner<'a> {
         self.toggle_grid(
             "E3",
             "Effect of foreign-key information, zero-shot EX (cf. paper Fig. 5)",
-            |fk| ReprOptions { foreign_keys: fk, ..ReprOptions::default() },
+            |fk| ReprOptions {
+                foreign_keys: fk,
+                ..ReprOptions::default()
+            },
             ("EX% with FK", "EX% without FK"),
         )
     }
@@ -206,7 +282,10 @@ impl<'a> ExperimentRunner<'a> {
         self.toggle_grid(
             "E4",
             "Effect of rule implication (\"with no explanation\"), zero-shot EX (cf. paper Fig. 6)",
-            |rule| ReprOptions { rule_implication: rule, ..ReprOptions::default() },
+            |rule| ReprOptions {
+                rule_implication: rule,
+                ..ReprOptions::default()
+            },
             ("EX% with RI", "EX% without RI"),
         )
     }
@@ -290,7 +369,11 @@ impl<'a> ExperimentRunner<'a> {
             "Example organization strategies, k-shot EX (cf. paper Table on organization)",
             &["organization", "model", "shots", "EX%", "avg prompt tokens"],
         );
-        let shot_grid: &[usize] = if self.scale.full_grid { &[1, 3, 5] } else { &[1, 5] };
+        let shot_grid: &[usize] = if self.scale.full_grid {
+            &[1, 3, 5]
+        } else {
+            &[1, 5]
+        };
         let models = if self.scale.full_grid {
             vec!["gpt-4", "gpt-3.5-turbo", "vicuna-33b"]
         } else {
@@ -328,7 +411,14 @@ impl<'a> ExperimentRunner<'a> {
         let mut t = Table::new(
             "E7",
             "Token efficiency: EX vs prompt tokens vs cost (cf. paper token-efficiency figure)",
-            &["strategy", "shots", "EX%", "avg prompt tokens", "USD/query", "EX per 1k tokens"],
+            &[
+                "strategy",
+                "shots",
+                "EX%",
+                "avg prompt tokens",
+                "USD/query",
+                "EX per 1k tokens",
+            ],
         );
         let mut points: Vec<(f64, f64, char)> = Vec::new();
         let model = "gpt-4";
@@ -357,7 +447,11 @@ impl<'a> ExperimentRunner<'a> {
             let p = FewShot::new(SimLlm::new(model).unwrap(), cfg);
             let r = self.run(&p, false);
             let tokens = r.cost.avg_prompt_tokens();
-            let eff = if tokens > 0.0 { r.ex_pct() / (tokens / 1000.0) } else { 0.0 };
+            let eff = if tokens > 0.0 {
+                r.ex_pct() / (tokens / 1000.0)
+            } else {
+                0.0
+            };
             points.push((
                 tokens,
                 r.ex_pct(),
@@ -404,11 +498,17 @@ impl<'a> ExperimentRunner<'a> {
             &["solution", "EX% [95% CI]", "easy", "medium", "hard", "extra", "avg calls/query"],
         );
         let mut entries: Vec<Box<dyn Predictor + Sync>> = vec![
-            Box::new(DailSql::with_self_consistency(SimLlm::new("gpt-4").unwrap(), 5)),
+            Box::new(DailSql::with_self_consistency(
+                SimLlm::new("gpt-4").unwrap(),
+                5,
+            )),
             Box::new(DailSql::new(SimLlm::new("gpt-4").unwrap())),
             Box::new(DinSqlStyle::new(SimLlm::new("gpt-4").unwrap())),
             Box::new(C3Style::new(SimLlm::new("gpt-3.5-turbo").unwrap())),
-            Box::new(ZeroShot::new(SimLlm::new("gpt-4").unwrap(), QuestionRepr::CodeRepr)),
+            Box::new(ZeroShot::new(
+                SimLlm::new("gpt-4").unwrap(),
+                QuestionRepr::CodeRepr,
+            )),
         ];
         if !self.scale.full_grid {
             entries.truncate(3);
@@ -495,7 +595,11 @@ impl<'a> ExperimentRunner<'a> {
         let reprs: Vec<QuestionRepr> = if self.scale.full_grid {
             QuestionRepr::ALL.to_vec()
         } else {
-            vec![QuestionRepr::AlpacaSft, QuestionRepr::CodeRepr, QuestionRepr::BasicPrompt]
+            vec![
+                QuestionRepr::AlpacaSft,
+                QuestionRepr::CodeRepr,
+                QuestionRepr::BasicPrompt,
+            ]
         };
         for model in &models {
             for repr in &reprs {
@@ -519,7 +623,13 @@ impl<'a> ExperimentRunner<'a> {
         let mut t2 = Table::new(
             "E10b",
             "In-context learning before and after SFT (cf. paper SFT few-shot finding)",
-            &["model", "variant", "0-shot EX%", "5-shot EX%", "few-shot gain"],
+            &[
+                "model",
+                "variant",
+                "0-shot EX%",
+                "5-shot EX%",
+                "few-shot gain",
+            ],
         );
         let model = "llama-13b";
         let base = SimLlm::new(model).unwrap();
@@ -544,8 +654,14 @@ impl<'a> ExperimentRunner<'a> {
             "Serving a representation different from the SFT representation",
             &["model", "trained on", "served with", "EX%"],
         );
-        let tuned = SimLlm::new("llama-13b").unwrap().finetune(PromptStyle::Ddl, corpus);
-        for serve in [QuestionRepr::CodeRepr, QuestionRepr::TextRepr, QuestionRepr::AlpacaSft] {
+        let tuned = SimLlm::new("llama-13b")
+            .unwrap()
+            .finetune(PromptStyle::Ddl, corpus);
+        for serve in [
+            QuestionRepr::CodeRepr,
+            QuestionRepr::TextRepr,
+            QuestionRepr::AlpacaSft,
+        ] {
             let p = ZeroShot::new(tuned.clone(), serve);
             let r = self.run(&p, false);
             t3.push_row(vec![
@@ -605,14 +721,8 @@ impl ExperimentRunner<'_> {
             "Shot-count sweep (G=gpt-4, T=text-davinci-003, V=vicuna-33b; gpt-3.5 shares G's initial region)",
             &["figure"],
         );
-        let plot = crate::report::ascii_scatter(
-            "EX vs shots (DAIL-SQL)",
-            "shots",
-            "EX%",
-            &points,
-            48,
-            14,
-        );
+        let plot =
+            crate::report::ascii_scatter("EX vs shots (DAIL-SQL)", "shots", "EX%", &points, 48, 14);
         fig.push_row(vec![format!("<pre>{plot}</pre>")]);
         vec![t, fig]
     }
@@ -625,11 +735,19 @@ impl ExperimentRunner<'_> {
             "Ablation: self-consistency sample count for DAIL-SQL (gpt-4)",
             &["samples k", "EX%", "avg calls/query"],
         );
-        let ks: &[usize] = if self.scale.full_grid { &[1, 3, 5, 10] } else { &[1, 3] };
+        let ks: &[usize] = if self.scale.full_grid {
+            &[1, 3, 5, 10]
+        } else {
+            &[1, 3]
+        };
         for &k in ks {
             let p = dail_core::DailSql::with_self_consistency(SimLlm::new("gpt-4").unwrap(), k);
             let r = self.run(&p, false);
-            t.push_row(vec![k.to_string(), f1(r.ex_pct()), f1(r.cost.avg_api_calls())]);
+            t.push_row(vec![
+                k.to_string(),
+                f1(r.ex_pct()),
+                f1(r.cost.avg_api_calls()),
+            ]);
         }
         vec![t]
     }
@@ -654,13 +772,18 @@ impl ExperimentRunner<'_> {
             let selector = ExampleSelector::new(&truncated);
             let p = FewShot::new(SimLlm::new("gpt-4").unwrap(), PromptConfig::dail_sql(5));
             let items = &truncated.dev[..self.scale.dev_cap.min(truncated.dev.len())];
-            let r = evaluate(&truncated, &selector, &p, items, self.seed, false);
+            let opts = EvalOptions {
+                threads: None,
+                recorder: self.recorder.clone(),
+            };
+            let r = evaluate_opts(&truncated, &selector, &p, items, self.seed, false, &opts);
             // Selection-quality diagnostic on the truncated pool.
             let sub_runner = ExperimentRunner {
                 bench: &truncated,
                 selector: ExampleSelector::new(&truncated),
                 scale: self.scale,
                 seed: self.seed,
+                recorder: self.recorder.clone(),
             };
             let sk = sub_runner.selection_skeleton_similarity(SelectionStrategy::Dail, 5);
             t.push_row(vec![size.to_string(), f1(r.ex_pct()), format!("{sk:.3}")]);
@@ -681,7 +804,10 @@ impl ExperimentRunner<'_> {
                 let p = ZeroShot {
                     model: SimLlm::new(model).unwrap(),
                     repr: QuestionRepr::CodeRepr,
-                    opts: ReprOptions { content_rows: rows, ..ReprOptions::default() },
+                    opts: ReprOptions {
+                        content_rows: rows,
+                        ..ReprOptions::default()
+                    },
                 };
                 let r = self.run(&p, false);
                 t.push_row(vec![
@@ -733,7 +859,12 @@ impl ExperimentRunner<'_> {
         let mut t = Table::new(
             "A4",
             "Ablation: prompt token budget with FULL organization (gpt-4, 8 shots requested)",
-            &["max tokens", "EX%", "avg prompt tokens", "avg examples kept"],
+            &[
+                "max tokens",
+                "EX%",
+                "avg prompt tokens",
+                "avg examples kept",
+            ],
         );
         let budgets: &[usize] = if self.scale.full_grid {
             &[300, 600, 1200, 8192]
@@ -771,7 +902,14 @@ mod tests {
     use spider_gen::BenchmarkConfig;
 
     fn runner(bench: &Benchmark) -> ExperimentRunner<'_> {
-        ExperimentRunner::new(bench, Scale { dev_cap: 12, full_grid: false }, 11)
+        ExperimentRunner::new(
+            bench,
+            Scale {
+                dev_cap: 12,
+                full_grid: false,
+            },
+            11,
+        )
     }
 
     #[test]
@@ -806,5 +944,37 @@ mod tests {
     fn unknown_id_panics() {
         let bench = Benchmark::generate(BenchmarkConfig::tiny());
         runner(&bench).run_experiment("e99");
+    }
+
+    #[test]
+    fn traced_experiment_emits_span_and_manifest() {
+        let bench = Benchmark::generate(BenchmarkConfig::tiny());
+        let rec = obskit::Recorder::enabled();
+        let r = runner(&bench).with_recorder(rec.clone());
+        r.run_experiment("a2");
+        let events = rec.events();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, obskit::Event::SpanEnd { name, .. } if name == "experiment.a2")));
+        let manifest = events
+            .iter()
+            .find_map(|e| match e {
+                obskit::Event::Meta { name, fields } if name == "experiment.a2" => Some(fields),
+                _ => None,
+            })
+            .expect("manifest meta event");
+        let keys: Vec<&str> = manifest.iter().map(|(k, _)| k.as_str()).collect();
+        for key in [
+            "seed",
+            "dev_cap",
+            "full_grid",
+            "git",
+            "tables",
+            "duration_ms",
+        ] {
+            assert!(keys.contains(&key), "missing {key} in {keys:?}");
+        }
+        // The harness ran under this experiment: cost counters are present.
+        assert!(rec.metrics().counters["eval.items"] > 0);
     }
 }

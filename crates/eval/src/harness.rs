@@ -34,17 +34,29 @@ pub struct RunResult {
 impl RunResult {
     /// EX percentage.
     pub fn ex_pct(&self) -> f64 {
-        if self.n == 0 { 0.0 } else { 100.0 * self.ex as f64 / self.n as f64 }
+        if self.n == 0 {
+            0.0
+        } else {
+            100.0 * self.ex as f64 / self.n as f64
+        }
     }
 
     /// EM percentage.
     pub fn em_pct(&self) -> f64 {
-        if self.n == 0 { 0.0 } else { 100.0 * self.em as f64 / self.n as f64 }
+        if self.n == 0 {
+            0.0
+        } else {
+            100.0 * self.em as f64 / self.n as f64
+        }
     }
 
     /// Valid-SQL percentage.
     pub fn valid_pct(&self) -> f64 {
-        if self.n == 0 { 0.0 } else { 100.0 * self.valid as f64 / self.n as f64 }
+        if self.n == 0 {
+            0.0
+        } else {
+            100.0 * self.valid as f64 / self.n as f64
+        }
     }
 
     /// 95% bootstrap confidence interval for EX.
@@ -53,10 +65,49 @@ impl RunResult {
     }
 }
 
+/// Knobs for [`evaluate_opts`] beyond the core inputs.
+pub struct EvalOptions {
+    /// Worker-thread override. `None` falls back to the `DAIL_THREADS`
+    /// environment variable, then to available parallelism.
+    pub threads: Option<usize>,
+    /// Trace sink. Per-item `predict`/`score` spans and per-worker cost
+    /// counters are recorded here; pass [`obskit::Recorder::disabled`]
+    /// (the default) for a zero-cost run.
+    pub recorder: obskit::Recorder,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions {
+            threads: None,
+            recorder: obskit::Recorder::disabled(),
+        }
+    }
+}
+
+/// Resolve the worker-thread count: explicit override, then `DAIL_THREADS`,
+/// then available parallelism, clamped to the number of items.
+fn resolve_threads(threads: Option<usize>, n_items: usize) -> usize {
+    let base = threads
+        .or_else(|| {
+            std::env::var("DAIL_THREADS")
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+        })
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        });
+    base.min(n_items.max(1))
+}
+
 /// Evaluate a predictor over `items`, running chunks on worker threads.
 ///
 /// Per-item seeds derive from `seed ^ item.id`, so results are independent
-/// of thread count and item order.
+/// of thread count and item order. Shorthand for [`evaluate_opts`] with
+/// [`EvalOptions::default`].
 pub fn evaluate(
     bench: &Benchmark,
     selector: &ExampleSelector<'_>,
@@ -65,43 +116,106 @@ pub fn evaluate(
     seed: u64,
     realistic: bool,
 ) -> RunResult {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(items.len().max(1));
-    let chunk = items.len().div_ceil(threads.max(1)).max(1);
+    evaluate_opts(
+        bench,
+        selector,
+        predictor,
+        items,
+        seed,
+        realistic,
+        &EvalOptions::default(),
+    )
+}
 
-    let scored: Vec<(ItemScore, Hardness, usize, usize, usize)> = std::thread::scope(|scope| {
+/// [`evaluate`] with explicit [`EvalOptions`] (thread override + tracing).
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_opts(
+    bench: &Benchmark,
+    selector: &ExampleSelector<'_>,
+    predictor: &(dyn Predictor + Sync),
+    items: &[ExampleItem],
+    seed: u64,
+    realistic: bool,
+    opts: &EvalOptions,
+) -> RunResult {
+    let threads = resolve_threads(opts.threads, items.len());
+    let chunk = items.len().div_ceil(threads.max(1)).max(1);
+    let rec = &opts.recorder;
+    let eval_span = rec.span("evaluate");
+    rec.set_gauge("eval.threads", threads as f64);
+
+    type Scored = (ItemScore, Hardness, usize, usize, usize);
+    let scored: Vec<Scored> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for part in items.chunks(chunk) {
-            handles.push(scope.spawn(move || {
-                let tokenizer = Tokenizer::new();
-                let ctx = PredictCtx {
-                    bench,
-                    selector,
-                    tokenizer: &tokenizer,
-                    seed,
-                    realistic,
-                };
-                part.iter()
-                    .map(|item| {
-                        let pred = predictor.predict(&ctx, item);
-                        let score = score_item(bench.db(item), item, &pred.sql);
-                        (
-                            score,
-                            item.hardness,
-                            pred.prompt_tokens,
-                            pred.completion_tokens,
-                            pred.api_calls,
-                        )
-                    })
-                    .collect::<Vec<_>>()
-            }));
+            // Workers buffer trace events locally; the buffers are absorbed
+            // below in chunk order, so trace ordering is independent of
+            // thread scheduling.
+            let wrec = if rec.is_enabled() {
+                obskit::Recorder::enabled()
+            } else {
+                obskit::Recorder::disabled()
+            };
+            let id_lo = part.first().map(|i| i.id).unwrap_or(0);
+            let id_hi = part.last().map(|i| i.id).unwrap_or(0);
+            let handle = {
+                let wrec = wrec.clone();
+                scope.spawn(move || {
+                    let tokenizer = Tokenizer::new();
+                    let ctx = PredictCtx {
+                        bench,
+                        selector,
+                        tokenizer: &tokenizer,
+                        seed,
+                        realistic,
+                    };
+                    part.iter()
+                        .map(|item| {
+                            let item_span = wrec.span("item");
+                            let pred = {
+                                let _s = item_span.child("predict");
+                                predictor.predict(&ctx, item)
+                            };
+                            let score = {
+                                let _s = item_span.child("score");
+                                score_item(bench.db(item), item, &pred.sql)
+                            };
+                            wrec.add_counter("eval.items", 1);
+                            wrec.add_counter("eval.prompt_tokens", pred.prompt_tokens as u64);
+                            wrec.add_counter(
+                                "eval.completion_tokens",
+                                pred.completion_tokens as u64,
+                            );
+                            wrec.add_counter("eval.api_calls", pred.api_calls as u64);
+                            (
+                                score,
+                                item.hardness,
+                                pred.prompt_tokens,
+                                pred.completion_tokens,
+                                pred.api_calls,
+                            )
+                        })
+                        .collect::<Vec<_>>()
+                })
+            };
+            handles.push((handle, wrec, id_lo, id_hi));
         }
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("worker panicked"))
-            .collect()
+        let mut all = Vec::with_capacity(items.len());
+        for (handle, wrec, id_lo, id_hi) in handles {
+            match handle.join() {
+                Ok(part) => all.extend(part),
+                Err(payload) => {
+                    let msg = payload
+                        .downcast_ref::<String>()
+                        .map(String::as_str)
+                        .or_else(|| payload.downcast_ref::<&str>().copied())
+                        .unwrap_or("<non-string panic payload>");
+                    panic!("evaluation worker panicked on items {id_lo}..={id_hi}: {msg}");
+                }
+            }
+            rec.absorb(&wrec, eval_span.id());
+        }
+        all
     });
 
     let mut out = RunResult {
@@ -124,6 +238,10 @@ pub fn evaluate(
         e.1 += 1;
         out.cost.add(pt, ct, calls);
     }
+    rec.set_gauge("eval.ex_pct", out.ex_pct());
+    rec.set_gauge("eval.em_pct", out.em_pct());
+    rec.set_gauge("eval.valid_pct", out.valid_pct());
+    drop(eval_span);
     out
 }
 
@@ -166,7 +284,10 @@ mod tests {
     fn evaluation_is_deterministic_across_runs() {
         let bench = Benchmark::generate(BenchmarkConfig::tiny());
         let selector = ExampleSelector::new(&bench);
-        let z = ZeroShot::new(SimLlm::new("gpt-3.5-turbo").unwrap(), QuestionRepr::CodeRepr);
+        let z = ZeroShot::new(
+            SimLlm::new("gpt-3.5-turbo").unwrap(),
+            QuestionRepr::CodeRepr,
+        );
         let items = &bench.dev[..20.min(bench.dev.len())];
         let a = evaluate(&bench, &selector, &z, items, 7, false);
         let b = evaluate(&bench, &selector, &z, items, 7, false);
@@ -182,5 +303,108 @@ mod tests {
         let r = evaluate(&bench, &selector, &Oracle, &bench.dev, 1, false);
         let total: usize = r.ex_by_hardness.values().map(|(_, t)| t).sum();
         assert_eq!(total, r.n);
+    }
+
+    #[test]
+    fn thread_override_gives_same_results() {
+        let bench = Benchmark::generate(BenchmarkConfig::tiny());
+        let selector = ExampleSelector::new(&bench);
+        let one = EvalOptions {
+            threads: Some(1),
+            ..Default::default()
+        };
+        let many = EvalOptions {
+            threads: Some(7),
+            ..Default::default()
+        };
+        let a = evaluate_opts(&bench, &selector, &Oracle, &bench.dev, 1, false, &one);
+        let b = evaluate_opts(&bench, &selector, &Oracle, &bench.dev, 1, false, &many);
+        assert_eq!(a.ex, b.ex);
+        assert_eq!(a.ex_outcomes, b.ex_outcomes);
+        assert_eq!(a.cost.prompt_tokens, b.cost.prompt_tokens);
+    }
+
+    #[test]
+    fn worker_panic_names_item_id_range() {
+        struct Bomb;
+        impl Predictor for Bomb {
+            fn name(&self) -> String {
+                "bomb".into()
+            }
+            fn predict(&self, _ctx: &PredictCtx<'_>, item: &ExampleItem) -> Prediction {
+                panic!("boom on item {}", item.id);
+            }
+        }
+        let bench = Benchmark::generate(BenchmarkConfig::tiny());
+        let selector = ExampleSelector::new(&bench);
+        let items = bench.dev[..4.min(bench.dev.len())].to_vec();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let opts = EvalOptions {
+                threads: Some(1),
+                ..Default::default()
+            };
+            evaluate_opts(&bench, &selector, &Bomb, &items, 1, false, &opts);
+        }))
+        .unwrap_err();
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "<none>".into());
+        assert!(msg.contains("evaluation worker panicked on items"), "{msg}");
+        assert!(msg.contains("boom"), "{msg}");
+    }
+
+    #[test]
+    fn tracing_run_produces_spans_and_counters() {
+        let bench = Benchmark::generate(BenchmarkConfig::tiny());
+        let selector = ExampleSelector::new(&bench);
+        let items = &bench.dev[..6.min(bench.dev.len())];
+        let opts = EvalOptions {
+            threads: Some(2),
+            recorder: obskit::Recorder::enabled(),
+        };
+        let r = evaluate_opts(&bench, &selector, &Oracle, items, 1, false, &opts);
+        let m = opts.recorder.metrics();
+        assert_eq!(m.counters["eval.items"], items.len() as u64);
+        assert_eq!(
+            m.counters["eval.prompt_tokens"],
+            r.cost.prompt_tokens as u64
+        );
+        // One predict + one score span per item, plus the evaluate span.
+        let ends: Vec<String> = opts
+            .recorder
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                obskit::Event::SpanEnd { name, .. } => Some(name.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ends.iter().filter(|s| *s == "predict").count(), items.len());
+        assert_eq!(ends.iter().filter(|s| *s == "score").count(), items.len());
+        assert_eq!(ends.iter().filter(|s| *s == "evaluate").count(), 1);
+    }
+
+    #[test]
+    fn trace_event_order_is_independent_of_thread_count() {
+        let bench = Benchmark::generate(BenchmarkConfig::tiny());
+        let selector = ExampleSelector::new(&bench);
+        let items = &bench.dev[..6.min(bench.dev.len())];
+        let run = |threads: usize| {
+            let opts = EvalOptions {
+                threads: Some(threads),
+                recorder: obskit::Recorder::enabled(),
+            };
+            evaluate_opts(&bench, &selector, &Oracle, items, 1, false, &opts);
+            opts.recorder
+                .drain_trace()
+                .into_iter()
+                // The thread-count gauge is the one legitimately varying bit.
+                .filter(|e| e.name() != "eval.threads")
+                .collect::<Vec<_>>()
+        };
+        // Event equality excludes timestamps, so identical workloads give
+        // identical traces regardless of parallelism.
+        assert_eq!(run(1), run(3));
     }
 }

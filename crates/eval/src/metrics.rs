@@ -24,12 +24,20 @@ pub fn score_item(db: &Database, item: &ExampleItem, pred_sql: &str) -> ItemScor
     let Ok(pred_rs) = execute_query(db, &pred) else {
         // EM can hold even for un-executable predictions in principle, but
         // Spider counts such predictions as failures on both metrics.
-        return ItemScore { valid: false, ex: false, em: false };
+        return ItemScore {
+            valid: false,
+            ex: false,
+            em: false,
+        };
     };
     let gold_rs = execute_query(db, &item.gold).expect("gold queries always execute");
     let ordered = has_top_level_order(&item.gold);
     let ex = results_match(&gold_rs, &pred_rs, ordered);
-    ItemScore { valid: true, ex, em }
+    ItemScore {
+        valid: true,
+        ex,
+        em,
+    }
 }
 
 fn has_top_level_order(q: &Query) -> bool {

@@ -47,7 +47,11 @@ impl Table {
         let _ = writeln!(
             s,
             "|{}|",
-            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         );
         for row in &self.rows {
             let _ = writeln!(s, "| {} |", row.join(" | "));
@@ -123,7 +127,12 @@ pub fn ascii_scatter(
         let _ = writeln!(out, "         │{line}");
     }
     let _ = writeln!(out, "{y_min:8.1} └{}", "─".repeat(width));
-    let _ = writeln!(out, "          {x_min:<12.0}{:>w$.0}", x_max, w = width.saturating_sub(12));
+    let _ = writeln!(
+        out,
+        "          {x_min:<12.0}{:>w$.0}",
+        x_max,
+        w = width.saturating_sub(12)
+    );
     let _ = writeln!(out, "          {x_label}");
     out
 }

@@ -30,7 +30,11 @@ pub fn bootstrap_ci95(outcomes: &[bool], seed: u64) -> ConfidenceInterval {
     const RESAMPLES: usize = 1000;
     let n = outcomes.len();
     if n == 0 {
-        return ConfidenceInterval { mean: 0.0, lo: 0.0, hi: 0.0 };
+        return ConfidenceInterval {
+            mean: 0.0,
+            lo: 0.0,
+            hi: 0.0,
+        };
     }
     let mean = 100.0 * outcomes.iter().filter(|&&b| b).count() as f64 / n as f64;
     let mut rng = StdRng::seed_from_u64(seed ^ 0xB007_57A9);
@@ -91,7 +95,11 @@ mod tests {
 
     #[test]
     fn render_format() {
-        let ci = ConfidenceInterval { mean: 82.0, lo: 78.1, hi: 85.6 };
+        let ci = ConfidenceInterval {
+            mean: 82.0,
+            lo: 78.1,
+            hi: 85.6,
+        };
         assert_eq!(ci.render(), "82.0 [78.1, 85.6]");
     }
 }

@@ -1,0 +1,222 @@
+//! Trace events.
+//!
+//! Equality on [`Event`] deliberately excludes timestamps and durations so
+//! traces of the same workload compare equal across runs and machines —
+//! the property the deterministic-trace tests rely on.
+
+/// One element of a trace.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// A span opened.
+    SpanStart {
+        /// Span id, unique within one recorder.
+        id: u64,
+        /// Enclosing span, if any.
+        parent: Option<u64>,
+        /// Stage name (e.g. `"predict"`).
+        name: String,
+        /// Nanoseconds since the recorder's epoch. Excluded from equality.
+        t_ns: u64,
+    },
+    /// A span closed.
+    SpanEnd {
+        /// Span id matching the corresponding [`Event::SpanStart`].
+        id: u64,
+        /// Stage name, repeated for streaming consumers.
+        name: String,
+        /// Span duration in nanoseconds. Excluded from equality.
+        dur_ns: u64,
+    },
+    /// Final value of a named monotonic counter.
+    Counter {
+        /// Counter name (e.g. `"storage.rows_scanned"`).
+        name: String,
+        /// Accumulated value.
+        value: u64,
+    },
+    /// Final value of a named gauge.
+    Gauge {
+        /// Gauge name.
+        name: String,
+        /// Last value set.
+        value: f64,
+    },
+    /// Summary of a named log-scale histogram.
+    Histogram {
+        /// Histogram name (e.g. `"simllm.decode_ns"`).
+        name: String,
+        /// Observation count.
+        count: u64,
+        /// Sum of observations.
+        sum: u64,
+        /// Minimum observation.
+        min: u64,
+        /// Maximum observation.
+        max: u64,
+        /// Occupied power-of-two buckets as `(index, count)` pairs.
+        buckets: Vec<(u32, u64)>,
+    },
+    /// Free-form key/value annotation (e.g. a run manifest).
+    Meta {
+        /// Annotation name (e.g. `"experiment.e1"`).
+        name: String,
+        /// Ordered key/value pairs.
+        fields: Vec<(String, String)>,
+    },
+}
+
+impl Event {
+    /// The event's name field, whatever its kind.
+    pub fn name(&self) -> &str {
+        match self {
+            Event::SpanStart { name, .. }
+            | Event::SpanEnd { name, .. }
+            | Event::Counter { name, .. }
+            | Event::Gauge { name, .. }
+            | Event::Histogram { name, .. }
+            | Event::Meta { name, .. } => name,
+        }
+    }
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        use Event::*;
+        match (self, other) {
+            // Timestamps and durations are excluded on span events.
+            (
+                SpanStart {
+                    id: a,
+                    parent: pa,
+                    name: na,
+                    ..
+                },
+                SpanStart {
+                    id: b,
+                    parent: pb,
+                    name: nb,
+                    ..
+                },
+            ) => a == b && pa == pb && na == nb,
+            (
+                SpanEnd {
+                    id: a, name: na, ..
+                },
+                SpanEnd {
+                    id: b, name: nb, ..
+                },
+            ) => a == b && na == nb,
+            (
+                Counter {
+                    name: na,
+                    value: va,
+                },
+                Counter {
+                    name: nb,
+                    value: vb,
+                },
+            ) => na == nb && va == vb,
+            (
+                Gauge {
+                    name: na,
+                    value: va,
+                },
+                Gauge {
+                    name: nb,
+                    value: vb,
+                },
+            ) => na == nb && va.to_bits() == vb.to_bits(),
+            (
+                Histogram {
+                    name: na,
+                    count: ca,
+                    sum: sa,
+                    min: mina,
+                    max: maxa,
+                    buckets: ba,
+                },
+                Histogram {
+                    name: nb,
+                    count: cb,
+                    sum: sb,
+                    min: minb,
+                    max: maxb,
+                    buckets: bb,
+                },
+            ) => na == nb && ca == cb && sa == sb && mina == minb && maxa == maxb && ba == bb,
+            (
+                Meta {
+                    name: na,
+                    fields: fa,
+                },
+                Meta {
+                    name: nb,
+                    fields: fb,
+                },
+            ) => na == nb && fa == fb,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Event {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equality_ignores_timestamps() {
+        let a = Event::SpanStart {
+            id: 1,
+            parent: None,
+            name: "x".into(),
+            t_ns: 10,
+        };
+        let b = Event::SpanStart {
+            id: 1,
+            parent: None,
+            name: "x".into(),
+            t_ns: 99,
+        };
+        assert_eq!(a, b);
+        let a = Event::SpanEnd {
+            id: 1,
+            name: "x".into(),
+            dur_ns: 5,
+        };
+        let b = Event::SpanEnd {
+            id: 1,
+            name: "x".into(),
+            dur_ns: 7_000,
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn equality_respects_identity_fields() {
+        let a = Event::SpanStart {
+            id: 1,
+            parent: None,
+            name: "x".into(),
+            t_ns: 0,
+        };
+        let b = Event::SpanStart {
+            id: 2,
+            parent: None,
+            name: "x".into(),
+            t_ns: 0,
+        };
+        assert_ne!(a, b);
+        let c = Event::Counter {
+            name: "n".into(),
+            value: 1,
+        };
+        let d = Event::Counter {
+            name: "n".into(),
+            value: 2,
+        };
+        assert_ne!(c, d);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,259 @@
+//! Log-scale (power-of-two bucket) histogram for latency-style values.
+
+/// Number of buckets: one per possible `bit_width` of a `u64`, plus one
+/// for zero. Bucket `i` (for `i >= 1`) covers `[2^(i-1), 2^i - 1]`.
+pub const BUCKETS: usize = 65;
+
+/// A fixed-size log₂ histogram over `u64` observations.
+///
+/// Bucketing is by bit width: `0` lands in bucket 0, `1` in bucket 1,
+/// `2..=3` in bucket 2, …, `u64::MAX` in bucket 64. This gives ~2× relative
+/// resolution over the full range with no allocation on the record path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+/// Bucket index of a value: its bit width.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Inclusive lower bound of bucket `i`.
+pub fn bucket_low(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        _ => 1u64 << (i - 1),
+    }
+}
+
+/// Inclusive upper bound of bucket `i`.
+pub fn bucket_high(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        64 => u64::MAX,
+        _ => (1u64 << i) - 1,
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Minimum observation, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Maximum observation.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean observation, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`): the upper bound of the
+    /// bucket containing the `q`-th observation. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_high(i).min(self.max).max(self.min());
+            }
+        }
+        self.max
+    }
+
+    /// Occupied buckets as `(index, count)` pairs, ascending.
+    pub fn occupied(&self) -> Vec<(u32, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (i as u32, n))
+            .collect()
+    }
+
+    /// Rebuild a histogram from an `(index, count)` list plus summary
+    /// stats (the inverse of [`Histogram::occupied`], used by trace replay).
+    pub fn from_parts(count: u64, sum: u64, min: u64, max: u64, occupied: &[(u32, u64)]) -> Self {
+        let mut h = Histogram {
+            buckets: [0; BUCKETS],
+            count,
+            sum,
+            min: if count == 0 { u64::MAX } else { min },
+            max,
+        };
+        for &(i, n) in occupied {
+            h.buckets[(i as usize).min(BUCKETS - 1)] += n;
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_lands_in_bucket_zero() {
+        let mut h = Histogram::new();
+        h.record(0);
+        assert_eq!(h.occupied(), vec![(0, 1)]);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn u64_max_lands_in_top_bucket() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.occupied(), vec![(64, 1)]);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn bucket_boundaries_are_exact() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for i in 0..BUCKETS {
+            assert_eq!(bucket_index(bucket_low(i)), i);
+            assert_eq!(bucket_index(bucket_high(i)), i);
+        }
+    }
+
+    #[test]
+    fn saturating_sum_never_wraps() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn stats_and_quantiles_track_data() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30, 40, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1100);
+        assert_eq!(h.min(), 10);
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean() - 220.0).abs() < 1e-9);
+        // Median falls in the bucket holding 20..=30.
+        let q50 = h.quantile(0.5);
+        assert!((16..=63).contains(&q50), "{q50}");
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for v in [1u64, 5, 9] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [0u64, 1 << 40] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn round_trips_through_parts() {
+        let mut h = Histogram::new();
+        for v in [0u64, 3, 700, u64::MAX] {
+            h.record(v);
+        }
+        let back = Histogram::from_parts(h.count(), h.sum(), h.min(), h.max(), &h.occupied());
+        assert_eq!(h, back);
+    }
+
+    #[test]
+    fn empty_histogram_is_well_behaved() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.99), 0);
+        assert!(h.occupied().is_empty());
+    }
+}

@@ -1,0 +1,89 @@
+//! # obskit — zero-dependency tracing and metrics for the DAIL-SQL pipeline
+//!
+//! The paper this workspace reproduces is a *measurement* study: it compares
+//! question representations, example-selection and organization strategies
+//! on accuracy **and** token/call cost. This crate is the telemetry
+//! substrate that turns the reproduction's aggregate numbers into
+//! explanations — per-stage wall-clock, token and failure attribution.
+//!
+//! Pieces:
+//!
+//! * [`Span`] — RAII timers with parent/child nesting (thread-local stack).
+//! * [`Recorder`] — thread-safe event sink; serializes traces to JSONL.
+//! * Named counters, gauges and log-scale latency [`Histogram`]s.
+//! * [`Profile`] — replays an event stream into a per-stage markdown
+//!   breakdown table (same visual style as `eval::report::Table`).
+//! * A process-global recorder ([`set_global`]/[`global`]) so deep layers
+//!   (`simllm`, `storage`, `promptkit`, …) can emit metrics without
+//!   threading a handle through every signature. The disabled path is a
+//!   single relaxed atomic load ([`enabled`]).
+//!
+//! Determinism: event *ordering* is stable for a fixed workload (workers
+//! buffer into local recorders that are absorbed in item order), and
+//! [`Event`] equality excludes timestamps, so traces can be compared in
+//! tests.
+
+#![warn(missing_docs)]
+
+mod event;
+mod hist;
+mod jsonl;
+mod profile;
+mod recorder;
+
+pub use event::Event;
+pub use hist::{bucket_high, bucket_index, bucket_low, Histogram, BUCKETS};
+pub use jsonl::{parse_jsonl, parse_jsonl_line, to_json_line};
+pub use profile::{Profile, StageStats};
+pub use recorder::{MetricsSnapshot, Recorder, Span};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+static GLOBAL: OnceLock<Recorder> = OnceLock::new();
+static GLOBAL_ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Install `recorder` as the process-global recorder.
+///
+/// Returns `false` (and leaves the existing recorder in place) if a global
+/// recorder was already installed. Deep pipeline layers reach this recorder
+/// through [`global`]; they should gate any work on [`enabled`] first.
+pub fn set_global(recorder: Recorder) -> bool {
+    let enabled = recorder.is_enabled();
+    let installed = GLOBAL.set(recorder).is_ok();
+    if installed && enabled {
+        GLOBAL_ENABLED.store(true, Ordering::Relaxed);
+    }
+    installed
+}
+
+/// The process-global recorder (a disabled no-op recorder if none was set).
+pub fn global() -> &'static Recorder {
+    static DISABLED: OnceLock<Recorder> = OnceLock::new();
+    GLOBAL
+        .get()
+        .unwrap_or_else(|| DISABLED.get_or_init(Recorder::disabled))
+}
+
+/// Fast check: is an enabled global recorder installed?
+///
+/// One relaxed atomic load — cheap enough for the hottest loops.
+#[inline]
+pub fn enabled() -> bool {
+    GLOBAL_ENABLED.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_defaults_to_disabled() {
+        // Note: other tests in this binary may install a global recorder;
+        // this test only asserts the *fallback* is a no-op sink.
+        let r = Recorder::disabled();
+        assert!(!r.is_enabled());
+        r.add_counter("x", 1);
+        assert!(r.events().is_empty());
+    }
+}

@@ -1,0 +1,328 @@
+//! Replay an event stream into a per-stage breakdown report.
+
+use crate::event::Event;
+use crate::hist::Histogram;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Per-stage aggregate computed from span events.
+#[derive(Debug, Clone, Default)]
+pub struct StageStats {
+    /// Number of completed spans with this name.
+    pub count: u64,
+    /// Total wall-clock across those spans, ns.
+    pub total_ns: u64,
+    /// Total minus time attributed to child spans, ns.
+    pub self_ns: u64,
+    /// Smallest single span, ns.
+    pub min_ns: u64,
+    /// Largest single span, ns.
+    pub max_ns: u64,
+}
+
+/// A per-stage time/metric breakdown assembled from a trace.
+///
+/// Build one with [`Profile::from_events`] (e.g. after
+/// [`crate::parse_jsonl`] on a `--trace` file) and render it with
+/// [`Profile::to_markdown`] — the table style matches the experiment
+/// report tables (`eval::report::Table`).
+#[derive(Debug, Clone, Default)]
+pub struct Profile {
+    /// Stage name → aggregated span stats, ordered by name.
+    pub stages: BTreeMap<String, StageStats>,
+    /// Wall-clock of the root spans (spans without parents), ns.
+    pub wall_ns: u64,
+    /// Counter totals found in the trace.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauges found in the trace.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histograms found in the trace.
+    pub histograms: BTreeMap<String, Histogram>,
+    /// Meta annotations found in the trace, in order.
+    pub metas: Vec<(String, Vec<(String, String)>)>,
+}
+
+impl Profile {
+    /// Aggregate a trace. Unclosed spans are ignored; durations of child
+    /// spans are subtracted from their parent's self-time.
+    pub fn from_events(events: &[Event]) -> Profile {
+        let mut p = Profile::default();
+        // id → (name, parent)
+        let mut open: BTreeMap<u64, (String, Option<u64>)> = BTreeMap::new();
+        // id → child total ns (accumulated as children close)
+        let mut child_ns: BTreeMap<u64, u64> = BTreeMap::new();
+        for ev in events {
+            match ev {
+                Event::SpanStart {
+                    id, parent, name, ..
+                } => {
+                    open.insert(*id, (name.clone(), *parent));
+                }
+                Event::SpanEnd { id, name, dur_ns } => {
+                    let (name, parent) = open.remove(id).unwrap_or_else(|| (name.clone(), None));
+                    let children = child_ns.remove(id).unwrap_or(0);
+                    let stats = p.stages.entry(name).or_default();
+                    if stats.count == 0 {
+                        stats.min_ns = *dur_ns;
+                    }
+                    stats.count += 1;
+                    stats.total_ns += dur_ns;
+                    stats.self_ns += dur_ns.saturating_sub(children);
+                    stats.min_ns = stats.min_ns.min(*dur_ns);
+                    stats.max_ns = stats.max_ns.max(*dur_ns);
+                    match parent {
+                        Some(parent_id) => *child_ns.entry(parent_id).or_insert(0) += dur_ns,
+                        None => p.wall_ns += dur_ns,
+                    }
+                }
+                Event::Counter { name, value } => {
+                    *p.counters.entry(name.clone()).or_insert(0) += value;
+                }
+                Event::Gauge { name, value } => {
+                    p.gauges.insert(name.clone(), *value);
+                }
+                Event::Histogram {
+                    name,
+                    count,
+                    sum,
+                    min,
+                    max,
+                    buckets,
+                } => {
+                    let h = Histogram::from_parts(*count, *sum, *min, *max, buckets);
+                    p.histograms.entry(name.clone()).or_default().merge(&h);
+                }
+                Event::Meta { name, fields } => {
+                    p.metas.push((name.clone(), fields.clone()));
+                }
+            }
+        }
+        p
+    }
+
+    /// Render the breakdown as Markdown, in the same visual style as the
+    /// experiment report tables.
+    pub fn to_markdown(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "### PROFILE — per-stage breakdown (wall {} over root spans)\n",
+            fmt_ns(self.wall_ns)
+        );
+        if !self.metas.is_empty() {
+            for (name, fields) in &self.metas {
+                let kv: Vec<String> = fields.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                let _ = writeln!(s, "- **{name}**: {}", kv.join(", "));
+            }
+            let _ = writeln!(s);
+        }
+        if !self.stages.is_empty() {
+            let _ = writeln!(
+                s,
+                "| stage | count | total | self | mean | min | max | % wall |"
+            );
+            let _ = writeln!(s, "|---|---|---|---|---|---|---|---|");
+            // Widest stages first; name breaks ties for determinism.
+            let mut rows: Vec<(&String, &StageStats)> = self.stages.iter().collect();
+            rows.sort_by(|a, b| b.1.total_ns.cmp(&a.1.total_ns).then_with(|| a.0.cmp(b.0)));
+            for (name, st) in rows {
+                let mean = st.total_ns.checked_div(st.count).unwrap_or(0);
+                let pct = if self.wall_ns == 0 {
+                    "-".to_string()
+                } else {
+                    format!("{:.1}", 100.0 * st.total_ns as f64 / self.wall_ns as f64)
+                };
+                let _ = writeln!(
+                    s,
+                    "| {name} | {} | {} | {} | {} | {} | {} | {pct} |",
+                    st.count,
+                    fmt_ns(st.total_ns),
+                    fmt_ns(st.self_ns),
+                    fmt_ns(mean),
+                    fmt_ns(st.min_ns),
+                    fmt_ns(st.max_ns),
+                );
+            }
+            let _ = writeln!(s);
+        }
+        if !self.counters.is_empty() || !self.gauges.is_empty() {
+            let _ = writeln!(s, "| metric | value |");
+            let _ = writeln!(s, "|---|---|");
+            for (name, v) in &self.counters {
+                let _ = writeln!(s, "| {name} | {v} |");
+            }
+            for (name, v) in &self.gauges {
+                let _ = writeln!(s, "| {name} | {v:.3} |");
+            }
+            let _ = writeln!(s);
+        }
+        if !self.histograms.is_empty() {
+            let _ = writeln!(s, "| histogram | count | mean | p50 | p99 | min | max |");
+            let _ = writeln!(s, "|---|---|---|---|---|---|---|");
+            for (name, h) in &self.histograms {
+                let _ = writeln!(
+                    s,
+                    "| {name} | {} | {:.1} | {} | {} | {} | {} |",
+                    h.count(),
+                    h.mean(),
+                    h.quantile(0.5),
+                    h.quantile(0.99),
+                    h.min(),
+                    h.max(),
+                );
+            }
+        }
+        s
+    }
+}
+
+/// Human-format nanoseconds (ns/µs/ms/s with one decimal).
+pub fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(id: u64, parent: Option<u64>, name: &str, dur: u64) -> [Event; 2] {
+        [
+            Event::SpanStart {
+                id,
+                parent,
+                name: name.into(),
+                t_ns: 0,
+            },
+            Event::SpanEnd {
+                id,
+                name: name.into(),
+                dur_ns: dur,
+            },
+        ]
+    }
+
+    #[test]
+    fn self_time_subtracts_children() {
+        // run(100) -> predict(60) -> decode(45)
+        let ev = vec![
+            Event::SpanStart {
+                id: 1,
+                parent: None,
+                name: "run".into(),
+                t_ns: 0,
+            },
+            Event::SpanStart {
+                id: 2,
+                parent: Some(1),
+                name: "predict".into(),
+                t_ns: 1,
+            },
+            Event::SpanStart {
+                id: 3,
+                parent: Some(2),
+                name: "decode".into(),
+                t_ns: 2,
+            },
+            Event::SpanEnd {
+                id: 3,
+                name: "decode".into(),
+                dur_ns: 45,
+            },
+            Event::SpanEnd {
+                id: 2,
+                name: "predict".into(),
+                dur_ns: 60,
+            },
+            Event::SpanEnd {
+                id: 1,
+                name: "run".into(),
+                dur_ns: 100,
+            },
+        ];
+        let p = Profile::from_events(&ev);
+        assert_eq!(p.wall_ns, 100);
+        assert_eq!(p.stages["run"].self_ns, 40);
+        assert_eq!(p.stages["predict"].self_ns, 15);
+        assert_eq!(p.stages["decode"].self_ns, 45);
+        // Parent/child accounting: self times sum to the wall clock.
+        let self_sum: u64 = p.stages.values().map(|s| s.self_ns).sum();
+        assert_eq!(self_sum, p.wall_ns);
+    }
+
+    #[test]
+    fn repeated_stages_aggregate() {
+        let mut ev: Vec<Event> = Vec::new();
+        for (id, d) in [(1, 10u64), (2, 30), (3, 20)] {
+            ev.extend(span(id, None, "item", d));
+        }
+        let p = Profile::from_events(&ev);
+        let st = &p.stages["item"];
+        assert_eq!(st.count, 3);
+        assert_eq!(st.total_ns, 60);
+        assert_eq!(st.min_ns, 10);
+        assert_eq!(st.max_ns, 30);
+        assert_eq!(p.wall_ns, 60);
+    }
+
+    #[test]
+    fn markdown_contains_stages_metrics_and_meta() {
+        let mut ev: Vec<Event> = span(1, None, "run", 2_000_000).to_vec();
+        ev.push(Event::Counter {
+            name: "eval.items".into(),
+            value: 24,
+        });
+        ev.push(Event::Gauge {
+            name: "ex_pct".into(),
+            value: 61.5,
+        });
+        ev.push(Event::Histogram {
+            name: "lat".into(),
+            count: 1,
+            sum: 7,
+            min: 7,
+            max: 7,
+            buckets: vec![(3, 1)],
+        });
+        ev.push(Event::Meta {
+            name: "experiment.e1".into(),
+            fields: vec![("seed".into(), "2023".into())],
+        });
+        let md = Profile::from_events(&ev).to_markdown();
+        assert!(md.contains("| stage |"), "{md}");
+        assert!(md.contains("| run | 1 |"), "{md}");
+        assert!(md.contains("| eval.items | 24 |"), "{md}");
+        assert!(md.contains("ex_pct"), "{md}");
+        assert!(md.contains("| lat | 1 |"), "{md}");
+        assert!(md.contains("experiment.e1"), "{md}");
+        assert!(md.contains("seed=2023"), "{md}");
+    }
+
+    #[test]
+    fn unclosed_spans_are_ignored() {
+        let ev = vec![Event::SpanStart {
+            id: 1,
+            parent: None,
+            name: "zombie".into(),
+            t_ns: 0,
+        }];
+        let p = Profile::from_events(&ev);
+        assert!(p.stages.is_empty());
+        assert_eq!(p.wall_ns, 0);
+    }
+
+    #[test]
+    fn fmt_ns_scales() {
+        assert_eq!(fmt_ns(999), "999ns");
+        assert_eq!(fmt_ns(1_500), "1.5µs");
+        assert_eq!(fmt_ns(2_500_000), "2.5ms");
+        assert_eq!(fmt_ns(3_210_000_000), "3.21s");
+    }
+}

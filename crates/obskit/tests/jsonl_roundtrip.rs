@@ -1,0 +1,67 @@
+//! Property test: every event survives a JSONL serialize → parse round trip.
+
+use obskit::{parse_jsonl, parse_jsonl_line, Event};
+use proptest::prelude::*;
+
+fn name_strat() -> impl Strategy<Value = String> {
+    "[a-z0-9_.%]{1,24}"
+}
+
+fn event_strat() -> BoxedStrategy<Event> {
+    let span_start = (
+        any::<u64>(),
+        proptest::option::of(any::<u64>()),
+        name_strat(),
+        any::<u64>(),
+    )
+        .prop_map(|(id, parent, name, t_ns)| Event::SpanStart {
+            id,
+            parent,
+            name,
+            t_ns,
+        });
+    let span_end = (any::<u64>(), name_strat(), any::<u64>())
+        .prop_map(|(id, name, dur_ns)| Event::SpanEnd { id, name, dur_ns });
+    let counter =
+        (name_strat(), any::<u64>()).prop_map(|(name, value)| Event::Counter { name, value });
+    let gauge =
+        (name_strat(), -1.0e12f64..1.0e12).prop_map(|(name, value)| Event::Gauge { name, value });
+    let histogram = (
+        name_strat(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        proptest::collection::vec((0u32..65, any::<u64>()), 0..8),
+    )
+        .prop_map(|(name, count, sum, min, max, buckets)| Event::Histogram {
+            name,
+            count,
+            sum,
+            min,
+            max,
+            buckets,
+        });
+    let meta = (
+        name_strat(),
+        proptest::collection::vec(("[ -~]{0,16}", "[ -~]{0,16}"), 0..5),
+    )
+        .prop_map(|(name, fields)| Event::Meta { name, fields });
+    prop_oneof![span_start, span_end, counter, gauge, histogram, meta].boxed()
+}
+
+proptest! {
+    #[test]
+    fn single_event_round_trips(ev in event_strat()) {
+        let line = obskit::to_json_line(&ev);
+        let back = parse_jsonl_line(&line).expect("parse back");
+        prop_assert_eq!(ev, back);
+    }
+
+    #[test]
+    fn documents_round_trip(evs in proptest::collection::vec(event_strat(), 0..16)) {
+        let text: String = evs.iter().map(|e| obskit::to_json_line(e) + "\n").collect();
+        let back = parse_jsonl(&text).expect("parse back");
+        prop_assert_eq!(evs, back);
+    }
+}

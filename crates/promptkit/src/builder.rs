@@ -99,22 +99,26 @@ pub fn build_prompt(
 
     let schema = &bench.db(item).schema;
     let db = bench.db(item);
-    let target = render_prompt(
-        cfg.repr,
-        schema,
-        Some(db),
-        question,
-        cfg.opts,
-    );
+    let target = render_prompt(cfg.repr, schema, Some(db), question, cfg.opts);
 
     // Fit to token budget by dropping the least-similar examples (tail of the
     // selection ranking) one at a time.
+    let requested = examples.len();
     loop {
-        let examples_text =
-            render_examples(cfg.organization, cfg.repr, bench, &examples, cfg.opts);
+        let examples_text = render_examples(cfg.organization, cfg.repr, bench, &examples, cfg.opts);
         let text = format!("{examples_text}{target}");
         let tokens = tokenizer.count(&text);
         if tokens <= cfg.max_tokens || examples.is_empty() {
+            if obskit::enabled() {
+                let g = obskit::global();
+                g.add_counter("promptkit.prompts_built", 1);
+                g.add_counter("promptkit.examples_emitted", examples.len() as u64);
+                g.add_counter(
+                    "promptkit.examples_dropped",
+                    (requested - examples.len()) as u64,
+                );
+                g.add_counter("promptkit.tokens_budgeted", tokens as u64);
+            }
             return PromptBundle {
                 text,
                 tokens,

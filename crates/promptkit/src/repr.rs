@@ -65,7 +65,11 @@ pub struct ReprOptions {
 impl Default for ReprOptions {
     fn default() -> Self {
         // The paper's strongest zero-shot settings include FKs and the rule.
-        ReprOptions { foreign_keys: true, rule_implication: true, content_rows: 0 }
+        ReprOptions {
+            foreign_keys: true,
+            rule_implication: true,
+            content_rows: 0,
+        }
     }
 }
 
@@ -152,7 +156,12 @@ fn basic_schema(schema: &DbSchema, opts: ReprOptions) -> String {
     s
 }
 
-fn basic_prompt(schema: &DbSchema, db: Option<&Database>, question: &str, opts: ReprOptions) -> String {
+fn basic_prompt(
+    schema: &DbSchema,
+    db: Option<&Database>,
+    question: &str,
+    opts: ReprOptions,
+) -> String {
     let mut s = basic_schema(schema, opts);
     s.push_str(&content_block(schema, db, opts.content_rows, false));
     let _ = writeln!(s, "Q: {question}");
@@ -174,7 +183,12 @@ fn text_schema(schema: &DbSchema, opts: ReprOptions) -> String {
     s
 }
 
-fn text_repr(schema: &DbSchema, db: Option<&Database>, question: &str, opts: ReprOptions) -> String {
+fn text_repr(
+    schema: &DbSchema,
+    db: Option<&Database>,
+    question: &str,
+    opts: ReprOptions,
+) -> String {
     let mut s = String::new();
     if opts.rule_implication {
         let _ = writeln!(s, "{RULE}");
@@ -208,7 +222,12 @@ fn demo_schema(schema: &DbSchema, opts: ReprOptions) -> String {
     s
 }
 
-fn openai_demo(schema: &DbSchema, db: Option<&Database>, question: &str, opts: ReprOptions) -> String {
+fn openai_demo(
+    schema: &DbSchema,
+    db: Option<&Database>,
+    question: &str,
+    opts: ReprOptions,
+) -> String {
     let mut s = String::new();
     if opts.rule_implication {
         let _ = writeln!(s, "### {RULE}");
@@ -260,7 +279,12 @@ fn ddl_schema(schema: &DbSchema, opts: ReprOptions) -> String {
     s
 }
 
-fn code_repr(schema: &DbSchema, db: Option<&Database>, question: &str, opts: ReprOptions) -> String {
+fn code_repr(
+    schema: &DbSchema,
+    db: Option<&Database>,
+    question: &str,
+    opts: ReprOptions,
+) -> String {
     let mut s = ddl_schema(schema, opts);
     s.push_str(&content_block(schema, db, opts.content_rows, false));
     if opts.rule_implication {
@@ -273,7 +297,12 @@ fn code_repr(schema: &DbSchema, db: Option<&Database>, question: &str, opts: Rep
 
 // ---- AS_P ----
 
-fn alpaca_sft(schema: &DbSchema, db: Option<&Database>, question: &str, opts: ReprOptions) -> String {
+fn alpaca_sft(
+    schema: &DbSchema,
+    db: Option<&Database>,
+    question: &str,
+    opts: ReprOptions,
+) -> String {
     let mut s = String::from(
         "Below is an instruction that describes a task, paired with an input that provides further context. Write a response that appropriately completes the request.\n\n",
     );
@@ -318,14 +347,20 @@ mod tests {
                 &s,
                 None,
                 "q",
-                ReprOptions { foreign_keys: true, ..ReprOptions::default() },
+                ReprOptions {
+                    foreign_keys: true,
+                    ..ReprOptions::default()
+                },
             );
             let without = render_prompt(
                 repr,
                 &s,
                 None,
                 "q",
-                ReprOptions { foreign_keys: false, ..ReprOptions::default() },
+                ReprOptions {
+                    foreign_keys: false,
+                    ..ReprOptions::default()
+                },
             );
             assert!(with.len() > without.len(), "{repr:?}");
         }
@@ -334,13 +369,21 @@ mod tests {
     #[test]
     fn rule_toggle_changes_instructed_reprs() {
         let s = schema();
-        for repr in [QuestionRepr::TextRepr, QuestionRepr::OpenAiDemo, QuestionRepr::CodeRepr, QuestionRepr::AlpacaSft] {
+        for repr in [
+            QuestionRepr::TextRepr,
+            QuestionRepr::OpenAiDemo,
+            QuestionRepr::CodeRepr,
+            QuestionRepr::AlpacaSft,
+        ] {
             let with = render_prompt(
                 repr,
                 &s,
                 None,
                 "q",
-                ReprOptions { rule_implication: true, ..ReprOptions::default() },
+                ReprOptions {
+                    rule_implication: true,
+                    ..ReprOptions::default()
+                },
             );
             assert!(with.contains("no explanation"), "{repr:?}");
             let without = render_prompt(
@@ -348,7 +391,10 @@ mod tests {
                 &s,
                 None,
                 "q",
-                ReprOptions { rule_implication: false, ..ReprOptions::default() },
+                ReprOptions {
+                    rule_implication: false,
+                    ..ReprOptions::default()
+                },
             );
             assert!(!without.contains("no explanation"), "{repr:?}");
         }
@@ -356,7 +402,13 @@ mod tests {
 
     #[test]
     fn code_repr_emits_ddl() {
-        let p = render_prompt(QuestionRepr::CodeRepr, &schema(), None, "q", ReprOptions::default());
+        let p = render_prompt(
+            QuestionRepr::CodeRepr,
+            &schema(),
+            None,
+            "q",
+            ReprOptions::default(),
+        );
         assert!(p.contains("CREATE TABLE singer"));
         assert!(p.contains("PRIMARY KEY"));
         assert!(p.contains("FOREIGN KEY"));
@@ -364,13 +416,25 @@ mod tests {
 
     #[test]
     fn openai_demo_uses_pound_signs() {
-        let p = render_prompt(QuestionRepr::OpenAiDemo, &schema(), None, "q", ReprOptions::default());
+        let p = render_prompt(
+            QuestionRepr::OpenAiDemo,
+            &schema(),
+            None,
+            "q",
+            ReprOptions::default(),
+        );
         assert!(p.lines().filter(|l| l.starts_with('#')).count() > 3);
     }
 
     #[test]
     fn basic_prompt_has_no_instruction() {
-        let p = render_prompt(QuestionRepr::BasicPrompt, &schema(), None, "q", ReprOptions::default());
+        let p = render_prompt(
+            QuestionRepr::BasicPrompt,
+            &schema(),
+            None,
+            "q",
+            ReprOptions::default(),
+        );
         assert!(!p.contains("no explanation"));
         assert!(p.ends_with("A: SELECT "));
     }
@@ -384,14 +448,23 @@ mod tests {
             &schema(),
             Some(&db),
             "q",
-            ReprOptions { content_rows: 3, ..ReprOptions::default() },
+            ReprOptions {
+                content_rows: 3,
+                ..ReprOptions::default()
+            },
         );
         assert!(with.contains("Sample rows"));
     }
 
     #[test]
     fn alpaca_has_markdown_sections() {
-        let p = render_prompt(QuestionRepr::AlpacaSft, &schema(), None, "q", ReprOptions::default());
+        let p = render_prompt(
+            QuestionRepr::AlpacaSft,
+            &schema(),
+            None,
+            "q",
+            ReprOptions::default(),
+        );
         assert!(p.contains("### Instruction:"));
         assert!(p.contains("### Input:"));
         assert!(p.contains("### Response:"));

@@ -97,7 +97,10 @@ impl<'a> ExampleSelector<'a> {
                 }
             })
             .collect();
-        ExampleSelector { pool: &bench.train, index }
+        ExampleSelector {
+            pool: &bench.train,
+            index,
+        }
     }
 
     /// Number of candidates in the pool.
@@ -123,6 +126,11 @@ impl<'a> ExampleSelector<'a> {
     ) -> Vec<&'a ExampleItem> {
         if k == 0 || self.pool.is_empty() {
             return Vec::new();
+        }
+        if obskit::enabled() {
+            let g = obskit::global();
+            g.add_counter("promptkit.selections", 1);
+            g.add_counter("promptkit.candidates_scored", self.pool.len() as u64);
         }
         let k = k.min(self.pool.len());
         match strategy {
@@ -213,7 +221,11 @@ impl<'a> ExampleSelector<'a> {
         let mut scored: Vec<(f64, usize)> =
             self.index.iter().map(|ex| (score(ex), ex.idx)).collect();
         scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
-        scored.into_iter().take(k).map(|(_, i)| &self.pool[i]).collect()
+        scored
+            .into_iter()
+            .take(k)
+            .map(|(_, i)| &self.pool[i])
+            .collect()
     }
 }
 
@@ -231,7 +243,14 @@ mod tests {
         let b = bench();
         let sel = ExampleSelector::new(&b);
         for strat in SelectionStrategy::ALL {
-            let picked = sel.select(strat, "how many things are there", "how many <mask> are there", None, 5, 1);
+            let picked = sel.select(
+                strat,
+                "how many things are there",
+                "how many <mask> are there",
+                None,
+                5,
+                1,
+            );
             assert_eq!(picked.len(), 5, "{strat:?}");
         }
     }
@@ -281,8 +300,14 @@ mod tests {
             1,
         );
         // At least one selected example should itself be a counting question.
-        let any_count = picked.iter().any(|e| e.gold_sql.to_lowercase().contains("count"));
-        assert!(any_count, "picked: {:?}", picked.iter().map(|e| &e.question).collect::<Vec<_>>());
+        let any_count = picked
+            .iter()
+            .any(|e| e.gold_sql.to_lowercase().contains("count"));
+        assert!(
+            any_count,
+            "picked: {:?}",
+            picked.iter().map(|e| &e.question).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -320,7 +345,10 @@ mod tests {
             mean_sim(&qrs),
             mean_sim(&random)
         );
-        assert!(mean_sim(&qrs) > 0.8, "qrs picks should be near-skeleton-identical");
+        assert!(
+            mean_sim(&qrs) > 0.8,
+            "qrs picks should be near-skeleton-identical"
+        );
     }
 
     #[test]

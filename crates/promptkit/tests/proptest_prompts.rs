@@ -2,8 +2,8 @@
 //! always survives, and selection never leaves the pool.
 
 use promptkit::{
-    build_prompt, ExampleSelector, OrganizationStrategy, PromptConfig, QuestionRepr,
-    ReprOptions, SelectionStrategy,
+    build_prompt, ExampleSelector, OrganizationStrategy, PromptConfig, QuestionRepr, ReprOptions,
+    SelectionStrategy,
 };
 use proptest::prelude::*;
 use spider_gen::{Benchmark, BenchmarkConfig};

@@ -1,0 +1,640 @@
+//! Offline drop-in replacement for the subset of the `proptest` 1.x API
+//! used by this workspace's property tests.
+//!
+//! The build container has no network access, so the real crate can never
+//! resolve. This shim keeps every `proptest! { ... }` block compiling and
+//! running: strategies are samplers driven by a deterministic per-case
+//! seed, `prop_assert*` macros panic with the formatted message, and the
+//! runner executes `ProptestConfig::cases` cases per test. There is no
+//! shrinking — a failing case reports its case index and seed instead.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::rc::Rc;
+
+/// Runner configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of values of one type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Sample one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keep only values satisfying `pred` (resampling on rejection).
+    fn prop_filter<F>(self, reason: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason,
+            pred,
+        }
+    }
+
+    /// Build a recursive strategy: `self` generates leaves and `recurse`
+    /// wraps an inner strategy into a deeper one, up to `depth` levels.
+    fn prop_recursive<F, S>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+        S: Strategy<Value = Self::Value> + 'static,
+    {
+        let leaf = self.boxed();
+        let mut cur = leaf.clone();
+        for _ in 0..depth {
+            let deeper = recurse(cur.clone()).boxed();
+            // Mix leaves back in so tree sizes vary below the depth cap.
+            cur = Union::new(vec![(1, leaf.clone()), (2, deeper)]).boxed();
+        }
+        cur
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        self.0.sample(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn sample(&self, rng: &mut StdRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.sample(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter {:?} rejected 1000 consecutive samples",
+            self.reason
+        );
+    }
+}
+
+/// Weighted union of same-valued strategies (backs `prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u32,
+}
+
+impl<T> Union<T> {
+    /// Build from `(weight, strategy)` arms.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        let total = arms.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0, "prop_oneof! weights sum to zero");
+        Union { arms, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        let mut pick = rng.gen_range(0..self.total);
+        for (w, arm) in &self.arms {
+            if pick < *w {
+                return arm.sample(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weighted pick out of range")
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize, f64, f32);
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Sample an arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                rand::RngCore::next_u64(rng) as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// Strategy for [`Arbitrary`] types (backs [`any`]).
+pub struct ArbitraryStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for ArbitraryStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy generating any value of `T`, mirroring `proptest::arbitrary::any`.
+pub fn any<T: Arbitrary>() -> ArbitraryStrategy<T> {
+    ArbitraryStrategy(std::marker::PhantomData)
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9)
+}
+
+// ---- string pattern strategies ----
+
+/// One `class{m,n}` element of a string pattern.
+struct PatternPart {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// Parse the small regex subset the workspace uses: character classes
+/// (`[a-z0-9_%]`), the printable-character escape `\PC`, literal
+/// characters, each optionally followed by a `{m,n}` repetition.
+fn parse_pattern(pat: &str) -> Vec<PatternPart> {
+    let mut parts = Vec::new();
+    let mut chars = pat.chars().peekable();
+    while let Some(c) = chars.next() {
+        let set: Vec<char> = match c {
+            '[' => {
+                let mut set = Vec::new();
+                let mut prev: Option<char> = None;
+                for c in chars.by_ref() {
+                    match c {
+                        ']' => break,
+                        '-' if prev.is_some() => {
+                            // Range: extend from prev to the next char.
+                            prev = Some('-');
+                            continue;
+                        }
+                        c => {
+                            if prev == Some('-') && !set.is_empty() {
+                                let lo = *set.last().unwrap();
+                                for x in (lo as u32 + 1)..=(c as u32) {
+                                    set.push(char::from_u32(x).unwrap());
+                                }
+                            } else {
+                                set.push(c);
+                            }
+                            prev = Some(c);
+                        }
+                    }
+                }
+                set
+            }
+            '\\' => match chars.next() {
+                Some('P') => {
+                    assert_eq!(
+                        chars.next(),
+                        Some('C'),
+                        "unsupported escape in pattern {pat:?}"
+                    );
+                    // \PC = "not a control character"; ASCII printable is a
+                    // faithful-enough subset for fuzzing.
+                    (0x20u32..0x7F)
+                        .map(|x| char::from_u32(x).unwrap())
+                        .collect()
+                }
+                Some(c) => vec![c],
+                None => panic!("dangling escape in pattern {pat:?}"),
+            },
+            c => vec![c],
+        };
+        assert!(!set.is_empty(), "empty character class in pattern {pat:?}");
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let spec: String = chars.by_ref().take_while(|&c| c != '}').collect();
+            let (lo, hi) = spec
+                .split_once(',')
+                .unwrap_or((spec.as_str(), spec.as_str()));
+            (lo.trim().parse().unwrap(), hi.trim().parse().unwrap())
+        } else {
+            (1, 1)
+        };
+        parts.push(PatternPart {
+            chars: set,
+            min,
+            max,
+        });
+    }
+    parts
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample(&self, rng: &mut StdRng) -> String {
+        let mut out = String::new();
+        for part in parse_pattern(self) {
+            let n = rng.gen_range(part.min..=part.max);
+            for _ in 0..n {
+                out.push(part.chars[rng.gen_range(0..part.chars.len())]);
+            }
+        }
+        out
+    }
+}
+
+/// `Option` strategies, mirroring `proptest::option`.
+pub mod option {
+    use super::{BoxedStrategy, Strategy};
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy for `Option<T>` with a fixed `Some` probability.
+    pub struct OptionStrategy<T> {
+        inner: BoxedStrategy<T>,
+        p_some: f64,
+    }
+
+    impl<T> Strategy for OptionStrategy<T> {
+        type Value = Option<T>;
+        fn sample(&self, rng: &mut StdRng) -> Option<T> {
+            rng.gen_bool(self.p_some).then(|| self.inner.sample(rng))
+        }
+    }
+
+    /// `Some` three times out of four (matching upstream's default bias).
+    pub fn of<S: Strategy + 'static>(inner: S) -> OptionStrategy<S::Value> {
+        weighted(0.75, inner)
+    }
+
+    /// `Some` with probability `p_some`.
+    pub fn weighted<S: Strategy + 'static>(p_some: f64, inner: S) -> OptionStrategy<S::Value> {
+        OptionStrategy {
+            inner: inner.boxed(),
+            p_some,
+        }
+    }
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{BoxedStrategy, Strategy};
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy for `Vec<T>` with length drawn from a range.
+    pub struct VecStrategy<T> {
+        inner: BoxedStrategy<T>,
+        len: std::ops::Range<usize>,
+    }
+
+    impl<T> Strategy for VecStrategy<T> {
+        type Value = Vec<T>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<T> {
+            let n = if self.len.start + 1 >= self.len.end {
+                self.len.start
+            } else {
+                rng.gen_range(self.len.clone())
+            };
+            (0..n).map(|_| self.inner.sample(rng)).collect()
+        }
+    }
+
+    /// `Vec` of `inner` values with a length in `len`.
+    pub fn vec<S: Strategy + 'static>(
+        inner: S,
+        len: std::ops::Range<usize>,
+    ) -> VecStrategy<S::Value> {
+        VecStrategy {
+            inner: inner.boxed(),
+            len,
+        }
+    }
+}
+
+/// The glob import every property test starts with.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Drive one property over `cases` deterministic cases.
+///
+/// Used by the [`proptest!`] macro; not part of the public proptest API.
+pub fn run_cases(name: &str, cases: u32, mut case: impl FnMut(&mut StdRng)) {
+    for i in 0..cases {
+        // Deterministic per-case seed: stable across runs and platforms.
+        let seed = 0x70726F70u64 ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case(&mut rng)));
+        if let Err(panic) = result {
+            let msg = panic
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| panic.downcast_ref::<&str>().copied())
+                .unwrap_or("<non-string panic>");
+            panic!("property {name} failed at case {i}/{cases} (seed {seed:#x}): {msg}");
+        }
+    }
+}
+
+/// Mirror of `proptest::prop_oneof!`: weighted or unweighted strategy union.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$(($weight, $crate::Strategy::boxed($strat))),+])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$((1u32, $crate::Strategy::boxed($strat))),+])
+    };
+}
+
+/// Mirror of `proptest::prop_assert!`: panics (no shrinking in this shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Mirror of `proptest::prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+/// Mirror of `proptest::prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*)
+    };
+}
+
+/// Mirror of the `proptest! { ... }` test-block macro.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                $crate::run_cases(stringify!($name), cfg.cases, |rng| {
+                    $(let $arg = $crate::Strategy::sample(&$strat, rng);)+
+                    $body
+                });
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pattern_strategy_matches_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = Strategy::sample(&"[a-z][a-z0-9_]{0,7}", &mut rng);
+            assert!((1..=8).contains(&s.len()), "{s:?}");
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_lowercase());
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn printable_class_is_printable() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let s = Strategy::sample(&"\\PC{0,40}", &mut rng);
+            assert!(s.len() <= 40);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn oneof_respects_weights_roughly() {
+        let strat = prop_oneof![9 => Just(1u8), 1 => Just(2u8)];
+        let mut rng = StdRng::seed_from_u64(3);
+        let ones = (0..1000)
+            .filter(|_| Strategy::sample(&strat, &mut rng) == 1)
+            .count();
+        assert!(ones > 800, "{ones}");
+    }
+
+    #[test]
+    fn recursive_strategy_terminates() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf(i64),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(l, r) => 1 + depth(l).max(depth(r)),
+            }
+        }
+        fn leaves_in_range(t: &Tree) -> bool {
+            match t {
+                Tree::Leaf(v) => (0..10).contains(v),
+                Tree::Node(l, r) => leaves_in_range(l) && leaves_in_range(r),
+            }
+        }
+        let strat = (0i64..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 16, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(l, r)| Tree::Node(Box::new(l), Box::new(r)))
+            });
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..100 {
+            let t = Strategy::sample(&strat, &mut rng);
+            assert!(depth(&t) <= 3);
+            assert!(leaves_in_range(&t));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_generated_test_runs(x in 0i64..10, flag in any::<bool>()) {
+            prop_assert!((0..10).contains(&x));
+            prop_assert_eq!(flag as i64 * flag as i64, flag as i64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_reports_case() {
+        crate::run_cases("always_fails", 4, |_| panic!("boom"));
+    }
+}

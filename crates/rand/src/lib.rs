@@ -1,0 +1,306 @@
+//! Offline drop-in replacement for the subset of the `rand` 0.8 API used by
+//! this workspace.
+//!
+//! The build container has no network access and no vendored registry, so
+//! the real `rand` crate can never resolve. This shim keeps every
+//! `use rand::...` line in the workspace compiling unchanged: it provides
+//! [`rngs::StdRng`], [`SeedableRng`], the [`Rng`] trait (with `gen_range`
+//! over integer and float ranges plus `gen_bool`), and
+//! [`seq::SliceRandom`].
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — statistically
+//! solid for simulation work. Streams differ from upstream `StdRng`
+//! (ChaCha12), which is fine: the workspace only relies on *seeded
+//! determinism*, never on upstream's exact streams.
+
+#![warn(missing_docs)]
+
+/// A seedable random number generator.
+pub trait SeedableRng: Sized {
+    /// Create a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a range.
+pub trait SampleUniform: Sized {
+    /// Sample uniformly from `[low, high)`.
+    fn sample_half_open(rng: &mut dyn RngCore, low: Self, high: Self) -> Self;
+    /// Sample uniformly from `[low, high]`.
+    fn sample_inclusive(rng: &mut dyn RngCore, low: Self, high: Self) -> Self;
+}
+
+/// A range that can drive uniform sampling of `T`.
+pub trait SampleRange<T> {
+    /// Sample a value from this range.
+    fn sample(self, rng: &mut dyn RngCore) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd + Copy> SampleRange<T> for std::ops::Range<T> {
+    fn sample(self, rng: &mut dyn RngCore) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd + Copy> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample(self, rng: &mut dyn RngCore) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty inclusive range");
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+/// Unbias a draw into `[0, span)` via 128-bit widening multiply.
+fn mul_shift(raw: u64, span: u64) -> u64 {
+    ((raw as u128 * span as u128) >> 64) as u64
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(rng: &mut dyn RngCore, low: Self, high: Self) -> Self {
+                let span = (high as i128 - low as i128) as u64;
+                low.wrapping_add(mul_shift(rng.next_u64(), span) as $t)
+            }
+            fn sample_inclusive(rng: &mut dyn RngCore, low: Self, high: Self) -> Self {
+                let span = (high as i128 - low as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    // Full-width range: every bit pattern is valid.
+                    return rng.next_u64() as $t;
+                }
+                low.wrapping_add(mul_shift(rng.next_u64(), span as u64) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl SampleUniform for f64 {
+    fn sample_half_open(rng: &mut dyn RngCore, low: Self, high: Self) -> Self {
+        low + rng.unit_f64() * (high - low)
+    }
+    fn sample_inclusive(rng: &mut dyn RngCore, low: Self, high: Self) -> Self {
+        low + rng.unit_f64() * (high - low)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_half_open(rng: &mut dyn RngCore, low: Self, high: Self) -> Self {
+        low + rng.unit_f64() as f32 * (high - low)
+    }
+    fn sample_inclusive(rng: &mut dyn RngCore, low: Self, high: Self) -> Self {
+        low + rng.unit_f64() as f32 * (high - low)
+    }
+}
+
+/// Object-safe core of a random generator.
+pub trait RngCore {
+    /// Next raw 64-bit value.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform `f64` in `[0, 1)` built from the top 53 bits.
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// User-facing sampling methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Sample uniformly from `range` (`lo..hi` or `lo..=hi`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Return `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range: {p}"
+        );
+        self.unit_f64() < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ generator seeded through SplitMix64.
+    ///
+    /// Named `StdRng` so `use rand::rngs::StdRng` compiles unchanged.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let out = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+/// Sequence-related sampling, mirroring `rand::seq`.
+pub mod seq {
+    use super::Rng;
+
+    /// Shuffling and choosing over slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+        /// Uniformly choose one element, or `None` if empty.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = super::mul_shift(rng.next_u64(), i as u64 + 1) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[super::mul_shift(rng.next_u64(), self.len() as u64) as usize])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: i64 = rng.gen_range(-5..5);
+            assert!((-5..5).contains(&v));
+            let w: i64 = rng.gen_range(-5..=5);
+            assert!((-5..=5).contains(&w));
+            let u: usize = rng.gen_range(0..3);
+            assert!(u < 3);
+            let f: f64 = rng.gen_range(1.5..=2.5);
+            assert!((1.5..=2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_all_values() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.3).abs() < 0.01, "rate {rate}");
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(
+            v, sorted,
+            "shuffle left the slice in order (astronomically unlikely)"
+        );
+    }
+
+    #[test]
+    fn choose_stays_in_slice() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let xs = [1, 2, 3];
+        for _ in 0..100 {
+            assert!(xs.contains(xs.choose(&mut rng).unwrap()));
+        }
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn full_width_inclusive_range_works() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let _: u64 = rng.gen_range(0..=u64::MAX);
+        let _: i64 = rng.gen_range(i64::MIN..=i64::MAX);
+    }
+}

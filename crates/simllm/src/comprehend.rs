@@ -84,11 +84,14 @@ pub fn parse_prompt(prompt: &str) -> ParsedPrompt {
     let mut in_fk_section = false;
 
     let finish_example = |tables: &mut Vec<ParsedTable>,
-                              fks: &mut Vec<ParsedFk>,
-                              pending: &mut Option<String>,
-                              examples: &mut Vec<ParsedExample>,
-                              sql: String| {
-        examples.push(ParsedExample { question: pending.take(), sql });
+                          fks: &mut Vec<ParsedFk>,
+                          pending: &mut Option<String>,
+                          examples: &mut Vec<ParsedExample>,
+                          sql: String| {
+        examples.push(ParsedExample {
+            question: pending.take(),
+            sql,
+        });
         // A completed example's schema belongs to that example (FULL
         // organization); the target schema will be re-announced later.
         tables.clear();
@@ -102,7 +105,10 @@ pub fn parse_prompt(prompt: &str) -> ParsedPrompt {
         // --- CREATE TABLE blocks (CR_P) ---
         if let Some(rest) = trimmed.strip_prefix("CREATE TABLE ") {
             let name = rest.trim_end_matches('(').trim().to_string();
-            in_create = Some(ParsedTable { name, ..ParsedTable::default() });
+            in_create = Some(ParsedTable {
+                name,
+                ..ParsedTable::default()
+            });
             in_fk_section = false;
             continue;
         }
@@ -289,7 +295,11 @@ pub fn parse_prompt(prompt: &str) -> ParsedPrompt {
                     .collect();
                 let columns: Vec<String> = columns;
                 let types = vec![None; columns.len()];
-                tables.push(ParsedTable { name: name.trim().to_string(), columns, types });
+                tables.push(ParsedTable {
+                    name: name.trim().to_string(),
+                    columns,
+                    types,
+                });
                 continue;
             }
         }
@@ -305,7 +315,11 @@ pub fn parse_prompt(prompt: &str) -> ParsedPrompt {
                         .collect();
                     let columns: Vec<String> = columns;
                     let types = vec![None; columns.len()];
-                    tables.push(ParsedTable { name: name.trim().to_string(), columns, types });
+                    tables.push(ParsedTable {
+                        name: name.trim().to_string(),
+                        columns,
+                        types,
+                    });
                     continue;
                 }
             }
@@ -319,7 +333,11 @@ pub fn parse_prompt(prompt: &str) -> ParsedPrompt {
             {
                 let columns: Vec<String> = cols.split(',').map(|c| c.trim().to_string()).collect();
                 let types = vec![None; columns.len()];
-                tables.push(ParsedTable { name: head.to_string(), columns, types });
+                tables.push(ParsedTable {
+                    name: head.to_string(),
+                    columns,
+                    types,
+                });
                 continue;
             }
         }
@@ -357,25 +375,57 @@ mod tests {
     #[test]
     fn recovers_foreign_keys_when_present() {
         for repr in QuestionRepr::ALL {
-            let with = roundtrip(repr, ReprOptions { foreign_keys: true, ..Default::default() });
+            let with = roundtrip(
+                repr,
+                ReprOptions {
+                    foreign_keys: true,
+                    ..Default::default()
+                },
+            );
             assert!(!with.fks.is_empty(), "{repr:?} should carry FKs");
-            let without = roundtrip(repr, ReprOptions { foreign_keys: false, ..Default::default() });
+            let without = roundtrip(
+                repr,
+                ReprOptions {
+                    foreign_keys: false,
+                    ..Default::default()
+                },
+            );
             assert!(without.fks.is_empty(), "{repr:?} should drop FKs");
         }
     }
 
     #[test]
     fn detects_rule_implication() {
-        let with = roundtrip(QuestionRepr::CodeRepr, ReprOptions { rule_implication: true, ..Default::default() });
+        let with = roundtrip(
+            QuestionRepr::CodeRepr,
+            ReprOptions {
+                rule_implication: true,
+                ..Default::default()
+            },
+        );
         assert!(with.has_rule);
-        let without = roundtrip(QuestionRepr::CodeRepr, ReprOptions { rule_implication: false, ..Default::default() });
+        let without = roundtrip(
+            QuestionRepr::CodeRepr,
+            ReprOptions {
+                rule_implication: false,
+                ..Default::default()
+            },
+        );
         assert!(!without.has_rule);
     }
 
     #[test]
     fn detects_select_prefix() {
-        for repr in [QuestionRepr::BasicPrompt, QuestionRepr::TextRepr, QuestionRepr::OpenAiDemo, QuestionRepr::CodeRepr] {
-            assert!(roundtrip(repr, ReprOptions::default()).ends_with_select, "{repr:?}");
+        for repr in [
+            QuestionRepr::BasicPrompt,
+            QuestionRepr::TextRepr,
+            QuestionRepr::OpenAiDemo,
+            QuestionRepr::CodeRepr,
+        ] {
+            assert!(
+                roundtrip(repr, ReprOptions::default()).ends_with_select,
+                "{repr:?}"
+            );
         }
         assert!(!roundtrip(QuestionRepr::AlpacaSft, ReprOptions::default()).ends_with_select);
     }
@@ -399,7 +449,10 @@ mod tests {
         );
         let parsed = parse_prompt(&prompt);
         assert_eq!(parsed.examples.len(), 2);
-        assert_eq!(parsed.examples[0].question.as_deref(), Some("How many pets are there?"));
+        assert_eq!(
+            parsed.examples[0].question.as_deref(),
+            Some("How many pets are there?")
+        );
         assert_eq!(parsed.examples[1].sql, "SELECT count(*) FROM owner");
         assert_eq!(parsed.question, "How many concerts are there?");
         assert_eq!(parsed.tables.len(), 3, "target schema intact");
@@ -428,14 +481,35 @@ mod tests {
     fn full_organization_keeps_target_schema_only() {
         let schema0 = all_domains()[0].to_schema();
         let schema1 = all_domains()[1].to_schema();
-        let ex = render_prompt(QuestionRepr::CodeRepr, &schema1, None, "How many pets?", ReprOptions::default());
-        let ex_full = format!("{}SELECT count(*) FROM pet\n", ex.strip_suffix("SELECT ").unwrap());
-        let target = render_prompt(QuestionRepr::CodeRepr, &schema0, None, "How many singers?", ReprOptions::default());
+        let ex = render_prompt(
+            QuestionRepr::CodeRepr,
+            &schema1,
+            None,
+            "How many pets?",
+            ReprOptions::default(),
+        );
+        let ex_full = format!(
+            "{}SELECT count(*) FROM pet\n",
+            ex.strip_suffix("SELECT ").unwrap()
+        );
+        let target = render_prompt(
+            QuestionRepr::CodeRepr,
+            &schema0,
+            None,
+            "How many singers?",
+            ReprOptions::default(),
+        );
         let parsed = parse_prompt(&format!("{ex_full}\n{target}"));
         assert_eq!(parsed.examples.len(), 1);
-        assert_eq!(parsed.examples[0].question.as_deref(), Some("How many pets?"));
+        assert_eq!(
+            parsed.examples[0].question.as_deref(),
+            Some("How many pets?")
+        );
         assert!(parsed.tables.iter().any(|t| t.name == "singer"));
-        assert!(!parsed.tables.iter().any(|t| t.name == "pet"), "example schema must not leak");
+        assert!(
+            !parsed.tables.iter().any(|t| t.name == "pet"),
+            "example schema must not leak"
+        );
     }
 
     #[test]
@@ -447,7 +521,10 @@ mod tests {
             &d.to_schema(),
             Some(&db),
             "q?",
-            ReprOptions { content_rows: 2, ..Default::default() },
+            ReprOptions {
+                content_rows: 2,
+                ..Default::default()
+            },
         );
         let parsed = parse_prompt(&p);
         assert!(!parsed.content_values.is_empty());

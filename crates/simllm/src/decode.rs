@@ -39,7 +39,10 @@ impl Decoder<'_, '_> {
         // single-table variant of the same shape.
         let intent = if matches!(
             intent,
-            Intent::JoinGroup | Intent::JoinFilter | Intent::JoinSuperlative | Intent::JoinGroupHaving
+            Intent::JoinGroup
+                | Intent::JoinFilter
+                | Intent::JoinSuperlative
+                | Intent::JoinGroupHaving
         ) {
             let ranked = self.linker.ranked_tables();
             let second_linked = ranked.get(1).map(|&(_, s)| s > 0.0).unwrap_or(false);
@@ -119,7 +122,10 @@ impl Decoder<'_, '_> {
     #[allow(clippy::wrong_self_convention)] // builds a FROM clause
     fn from_one(&self, ti: usize) -> FromClause {
         FromClause {
-            base: TableRef::Named { name: self.tname(ti), alias: None },
+            base: TableRef::Named {
+                name: self.tname(ti),
+                alias: None,
+            },
             joins: vec![],
         }
     }
@@ -168,9 +174,7 @@ impl Decoder<'_, '_> {
         let t = self.linker.table(ti);
         for (ci, cname) in t.columns.iter().enumerate() {
             let lc = cname.to_lowercase();
-            if Some(ci) != exclude
-                && (lc == "name" || lc == "title" || lc.ends_with("_name"))
-            {
+            if Some(ci) != exclude && (lc == "name" || lc == "title" || lc.ends_with("_name")) {
                 return ci;
             }
         }
@@ -197,7 +201,10 @@ impl Decoder<'_, '_> {
             .parsed
             .content_values
             .iter()
-            .find(|v| q.contains(&format!(" {} ", v.to_lowercase())) || q.contains(&format!(" {}?", v.to_lowercase())))
+            .find(|v| {
+                q.contains(&format!(" {} ", v.to_lowercase()))
+                    || q.contains(&format!(" {}?", v.to_lowercase()))
+            })
             .map(|v| Literal::Str(v.clone()))
     }
 
@@ -226,9 +233,7 @@ impl Decoder<'_, '_> {
             let tx = &self.linker.table(x).name;
             let ty = &self.linker.table(y).name;
             for fk in &self.linker.parsed.fks {
-                if fk.from_table.eq_ignore_ascii_case(ty)
-                    && fk.to_table.eq_ignore_ascii_case(tx)
-                {
+                if fk.from_table.eq_ignore_ascii_case(ty) && fk.to_table.eq_ignore_ascii_case(tx) {
                     // y is child of x.
                     if rng.gen_bool((0.30 * (1.0 - self.tier).powf(0.7)).clamp(0.0, 0.45)) {
                         // Swapped reading: treats the child as the entity of
@@ -257,9 +262,15 @@ impl Decoder<'_, '_> {
     #[allow(clippy::wrong_self_convention)] // builds a FROM clause
     fn from_join(&self, parent: usize, child: usize, pc: &str, cc: &str) -> FromClause {
         FromClause {
-            base: TableRef::Named { name: self.tname(parent), alias: Some("T1".into()) },
+            base: TableRef::Named {
+                name: self.tname(parent),
+                alias: Some("T1".into()),
+            },
             joins: vec![Join {
-                table: TableRef::Named { name: self.tname(child), alias: Some("T2".into()) },
+                table: TableRef::Named {
+                    name: self.tname(child),
+                    alias: Some("T2".into()),
+                },
                 on: Some(Cond::Cmp {
                     left: Expr::Col(ColumnRef::qualified("T1", pc)),
                     op: CmpOp::Eq,
@@ -388,7 +399,10 @@ impl Decoder<'_, '_> {
         Some(Query::Select(Select {
             items: vec![SelectItem::bare(self.col(ti, proj, None))],
             from: Some(self.from_one(ti)),
-            order_by: vec![OrderKey { expr: self.col(ti, key, None), dir: self.sort_dir() }],
+            order_by: vec![OrderKey {
+                expr: self.col(ti, key, None),
+                dir: self.sort_dir(),
+            }],
             limit: Some(1),
             ..Select::default()
         }))
@@ -398,7 +412,10 @@ impl Decoder<'_, '_> {
         let ti = self.table(rng);
         let ci = self.linker.category_column(ti)?;
         Some(Query::Select(Select {
-            items: vec![SelectItem::bare(self.col(ti, ci, None)), SelectItem::bare(count_star())],
+            items: vec![
+                SelectItem::bare(self.col(ti, ci, None)),
+                SelectItem::bare(count_star()),
+            ],
             from: Some(self.from_one(ti)),
             group_by: vec![ColumnRef::new(self.cname(ti, ci))],
             ..Select::default()
@@ -562,7 +579,10 @@ impl Decoder<'_, '_> {
 
     fn distinct(&self, rng: &mut StdRng) -> Option<Query> {
         let ti = self.table(rng);
-        let ci = self.linker.category_column(ti).unwrap_or_else(|| self.projection(ti, None));
+        let ci = self
+            .linker
+            .category_column(ti)
+            .unwrap_or_else(|| self.projection(ti, None));
         Some(Query::Select(Select {
             distinct: true,
             items: vec![SelectItem::bare(self.col(ti, ci, None))],
@@ -619,7 +639,10 @@ impl Decoder<'_, '_> {
             items: vec![SelectItem::bare(self.col(ti, ci, None))],
             from: Some(self.from_one(ti)),
             group_by: vec![ColumnRef::new(self.cname(ti, ci))],
-            order_by: vec![OrderKey { expr: count_star(), dir: SortDir::Desc }],
+            order_by: vec![OrderKey {
+                expr: count_star(),
+                dir: SortDir::Desc,
+            }],
             limit: Some(1),
             ..Select::default()
         }))
@@ -680,7 +703,10 @@ impl Decoder<'_, '_> {
         Some(Query::Select(Select {
             items: vec![SelectItem::bare(self.col(parent, proj, Some("T1")))],
             from: Some(self.from_join(parent, child, &pc, &cc)),
-            order_by: vec![OrderKey { expr: self.col(child, key, Some("T2")), dir: self.sort_dir() }],
+            order_by: vec![OrderKey {
+                expr: self.col(child, key, Some("T2")),
+                dir: self.sort_dir(),
+            }],
             limit: Some(1),
             ..Select::default()
         }))
@@ -704,7 +730,10 @@ impl Decoder<'_, '_> {
                 op: CmpOp::Gt,
                 right: Operand::Expr(Expr::Lit(n)),
             }),
-            order_by: vec![OrderKey { expr: count_star(), dir: SortDir::Desc }],
+            order_by: vec![OrderKey {
+                expr: count_star(),
+                dir: SortDir::Desc,
+            }],
             ..Select::default()
         }))
     }
@@ -750,7 +779,11 @@ impl Decoder<'_, '_> {
 }
 
 fn count_star() -> Expr {
-    Expr::Agg { func: AggFunc::Count, distinct: false, arg: Box::new(Expr::Star) }
+    Expr::Agg {
+        func: AggFunc::Count,
+        distinct: false,
+        arg: Box::new(Expr::Star),
+    }
 }
 
 /// Apply tier-scaled corruption noise to a decoded query.
@@ -828,7 +861,11 @@ fn corrupt_cond(c: &mut Cond, rng: &mut StdRng, p: f64) {
                 corrupt_query(sub, rng, p);
             }
         }
-        Cond::In { source: InSource::Subquery(sub), negated, .. } => {
+        Cond::In {
+            source: InSource::Subquery(sub),
+            negated,
+            ..
+        } => {
             if rng.gen_bool(p * 0.4) {
                 *negated = !*negated;
             }
@@ -861,7 +898,10 @@ mod tests {
             &schema,
             None,
             question,
-            ReprOptions { foreign_keys: fk, ..Default::default() },
+            ReprOptions {
+                foreign_keys: fk,
+                ..Default::default()
+            },
         );
         let parsed = parse_prompt(&p);
         let linker = Linker::new(&parsed);
@@ -897,7 +937,10 @@ mod tests {
             true,
         )
         .unwrap();
-        assert_eq!(q.to_string(), "SELECT COUNT(*) FROM singer WHERE country = 'France'");
+        assert_eq!(
+            q.to_string(),
+            "SELECT COUNT(*) FROM singer WHERE country = 'France'"
+        );
     }
 
     #[test]
@@ -941,7 +984,11 @@ mod tests {
         .unwrap();
         let sql = q.to_string();
         assert!(sql.contains("JOIN"), "{sql}");
-        assert!(sql.contains("T1.singer_id = T2.singer_id") || sql.contains("T2.singer_id = T1.singer_id"), "{sql}");
+        assert!(
+            sql.contains("T1.singer_id = T2.singer_id")
+                || sql.contains("T2.singer_id = T1.singer_id"),
+            "{sql}"
+        );
     }
 
     #[test]
@@ -955,7 +1002,10 @@ mod tests {
             &schema,
             None,
             question,
-            ReprOptions { foreign_keys: false, ..Default::default() },
+            ReprOptions {
+                foreign_keys: false,
+                ..Default::default()
+            },
         );
         let parsed = parse_prompt(&p);
         let linker = Linker::new(&parsed);
@@ -1010,7 +1060,10 @@ mod tests {
         for (question, intent) in [
             ("How many singers are there?", Intent::CountAll),
             ("What is the average age of all singers?", Intent::AggSingle),
-            ("List the distinct country of the singers.", Intent::Distinct),
+            (
+                "List the distinct country of the singers.",
+                Intent::Distinct,
+            ),
             (
                 "Which genre is the most common among the singers?",
                 Intent::MostCommon,
@@ -1021,8 +1074,7 @@ mod tests {
             ),
         ] {
             let q = run(question, intent, 0.95, true).unwrap();
-            storage::execute_query(&db, &q)
-                .unwrap_or_else(|e| panic!("{question}: {e}: {q}"));
+            storage::execute_query(&db, &q).unwrap_or_else(|e| panic!("{question}: {e}: {q}"));
         }
     }
 }

@@ -82,10 +82,13 @@ pub fn fire_cues(question: &str) -> Vec<Cue> {
     if has("more than") && (has("appear") || has("occur") || has(" times")) {
         add(6, Intent::GroupHaving, 3.0);
     }
-    if has("with more than") && (has("most first") || has("busiest first") || has("together with") || has("rank")) {
+    if has("with more than")
+        && (has("most first") || has("busiest first") || has("together with") || has("rank"))
+    {
         add(23, Intent::JoinGroupHaving, 3.0);
     }
-    if has(" or that have at least one") || has(" or own a") || (has(" either ") && has(" or own ")) {
+    if has(" or that have at least one") || has(" or own a") || (has(" either ") && has(" or own "))
+    {
         add(24, Intent::OrNested, 3.0);
     }
     if has("most common") || has("dominates") {
@@ -121,9 +124,14 @@ pub fn fire_cues(question: &str) -> Vec<Cue> {
     if has("starting with") || has("beginning with") || has("start with") {
         add(17, Intent::Like, 3.0);
     }
-    let superlative =
-        has("highest") || has("lowest") || has("largest") || has("smallest")
-            || has("ranks first") || has("ranks last") || has("youngest") || has("oldest");
+    let superlative = has("highest")
+        || has("lowest")
+        || has("largest")
+        || has("smallest")
+        || has("ranks first")
+        || has("ranks last")
+        || has("youngest")
+        || has("oldest");
     if superlative {
         if has("whose") && has("has the") || has("tops the chart") || has("through its") {
             add(18, Intent::JoinSuperlative, 2.9);
@@ -205,7 +213,11 @@ fn intent_of_select(s: &Select) -> Intent {
             Intent::Superlative
         };
     }
-    let n_aggs = s.items.iter().filter(|i| i.expr.contains_aggregate()).count();
+    let n_aggs = s
+        .items
+        .iter()
+        .filter(|i| i.expr.contains_aggregate())
+        .count();
     if n_aggs >= 3 {
         return Intent::MultiAgg;
     }
@@ -236,17 +248,30 @@ fn intent_of_select(s: &Select) -> Intent {
 
 fn intent_of_where(w: &Cond) -> Option<Intent> {
     match w {
-        Cond::In { negated, source: InSource::Subquery(_), .. } => Some(if *negated {
+        Cond::In {
+            negated,
+            source: InSource::Subquery(_),
+            ..
+        } => Some(if *negated {
             Intent::NestedNotIn
         } else {
             Intent::NestedIn
         }),
-        Cond::Cmp { right: Operand::Subquery(_), .. } => Some(Intent::AboveAverage),
+        Cond::Cmp {
+            right: Operand::Subquery(_),
+            ..
+        } => Some(Intent::AboveAverage),
         Cond::Between { .. } => Some(Intent::Between),
         Cond::Like { .. } => Some(Intent::Like),
         Cond::Or(l, r) => {
             let has_nested_in = |c: &Cond| {
-                matches!(c, Cond::In { source: InSource::Subquery(_), .. })
+                matches!(
+                    c,
+                    Cond::In {
+                        source: InSource::Subquery(_),
+                        ..
+                    }
+                )
             };
             if has_nested_in(l) || has_nested_in(r) {
                 Some(Intent::OrNested)
@@ -357,14 +382,26 @@ mod tests {
     #[test]
     fn classifies_generator_phrasings() {
         assert_eq!(top("How many singers are there?"), Intent::CountAll);
-        assert_eq!(top("How many singers have country equal to France?"), Intent::CountWhere);
-        assert_eq!(top("What is the average age of all singers?"), Intent::AggSingle);
-        assert_eq!(top("Show the number of singers for each country."), Intent::GroupCount);
+        assert_eq!(
+            top("How many singers have country equal to France?"),
+            Intent::CountWhere
+        );
+        assert_eq!(
+            top("What is the average age of all singers?"),
+            Intent::AggSingle
+        );
+        assert_eq!(
+            top("Show the number of singers for each country."),
+            Intent::GroupCount
+        );
         assert_eq!(
             top("Which country values appear in more than 2 singers?"),
             Intent::GroupHaving
         );
-        assert_eq!(top("Which genre is the most common among the singers?"), Intent::MostCommon);
+        assert_eq!(
+            top("Which genre is the most common among the singers?"),
+            Intent::MostCommon
+        );
         assert_eq!(
             top("List the name of owners that do not have any pets."),
             Intent::NestedNotIn
@@ -381,9 +418,18 @@ mod tests {
             top("What are the minimum, maximum and average age across all singers?"),
             Intent::MultiAgg
         );
-        assert_eq!(top("List the distinct country of the singers."), Intent::Distinct);
-        assert_eq!(top("Show the name of singers with age between 20 and 30."), Intent::Between);
-        assert_eq!(top("Which singers have a name starting with 'Jo'?"), Intent::Like);
+        assert_eq!(
+            top("List the distinct country of the singers."),
+            Intent::Distinct
+        );
+        assert_eq!(
+            top("Show the name of singers with age between 20 and 30."),
+            Intent::Between
+        );
+        assert_eq!(
+            top("Which singers have a name starting with 'Jo'?"),
+            Intent::Like
+        );
         assert_eq!(
             top("What is the name of the singer with the highest age?"),
             Intent::Superlative
@@ -406,12 +452,27 @@ mod tests {
             ("SELECT count(*) FROM t", Intent::CountAll),
             ("SELECT count(*) FROM t WHERE a = 'x'", Intent::CountWhere),
             ("SELECT avg(age) FROM t", Intent::AggSingle),
-            ("SELECT name FROM t ORDER BY age DESC LIMIT 1", Intent::Superlative),
+            (
+                "SELECT name FROM t ORDER BY age DESC LIMIT 1",
+                Intent::Superlative,
+            ),
             ("SELECT c, count(*) FROM t GROUP BY c", Intent::GroupCount),
-            ("SELECT c FROM t GROUP BY c HAVING count(*) > 2", Intent::GroupHaving),
-            ("SELECT a FROM t WHERE x IN (SELECT y FROM u)", Intent::NestedIn),
-            ("SELECT a FROM t WHERE x NOT IN (SELECT y FROM u)", Intent::NestedNotIn),
-            ("SELECT a FROM t WHERE x > (SELECT avg(x) FROM t)", Intent::AboveAverage),
+            (
+                "SELECT c FROM t GROUP BY c HAVING count(*) > 2",
+                Intent::GroupHaving,
+            ),
+            (
+                "SELECT a FROM t WHERE x IN (SELECT y FROM u)",
+                Intent::NestedIn,
+            ),
+            (
+                "SELECT a FROM t WHERE x NOT IN (SELECT y FROM u)",
+                Intent::NestedNotIn,
+            ),
+            (
+                "SELECT a FROM t WHERE x > (SELECT avg(x) FROM t)",
+                Intent::AboveAverage,
+            ),
             ("SELECT a FROM t UNION SELECT a FROM u", Intent::SetUnion),
             ("SELECT DISTINCT a FROM t", Intent::Distinct),
             ("SELECT a FROM t WHERE x BETWEEN 1 AND 2", Intent::Between),

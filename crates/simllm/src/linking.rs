@@ -23,26 +23,71 @@ pub fn split_words(s: &str) -> Vec<String> {
 /// lexical knowledge — it is what keeps the Spider-Realistic accuracy drop
 /// moderate for strong models (they resolve "how old" → `age`).
 const SYNONYMS: &[(&str, &str)] = &[
-    ("old", "age"), ("older", "age"), ("oldest", "age"), ("young", "age"), ("youngest", "age"),
-    ("fit", "capacity"), ("opened", "opening"), ("attended", "attendance"),
-    ("watched", "attendance"), ("heavy", "weight"), ("heaviest", "weight"),
-    ("born", "birth"), ("aircraft", "fleet"), ("high", "elevation"),
-    ("far", "distance"), ("cost", "price"), ("costs", "price"), ("spend", "budget"),
-    ("earn", "salary"), ("earns", "salary"), ("paid", "salary"), ("called", "name"),
-    ("earned", "gross"), ("borrowed", "member"), ("food", "cuisine"),
-    ("rated", "rating"), ("filling", "calories"), ("scored", "goals"),
-    ("registered", "signup"), ("available", "stock"), ("worked", "experience"),
-    ("sleep", "bedrooms"), ("teach", "department"), ("students", "enrollment"),
-    ("treat", "specialty"), ("suffer", "condition"), ("came", "visitors"),
-    ("builds", "maker"), ("powerful", "horsepower"), ("copies", "sales"),
-    ("sold", "sales"), ("luxurious", "stars"), ("staying", "guest"),
-    ("stay", "nights"), ("pay", "price"), ("runs", "owner"), ("grown", "crop"),
-    ("ran", "seasons"), ("popular", "viewers"), ("covers", "field"),
-    ("attend", "attendees"), ("influential", "citations"), ("month", "monthly"),
-    ("joined", "join"), ("started", "debut"), ("big", "capacity"),
-    ("published", "publish"), ("located", "city"), ("live", "city"),
-    ("lives", "city"), ("based", "country"), ("come", "country"),
-    ("large", "capacity"), ("biggest", "capacity"), ("largest", "capacity"),
+    ("old", "age"),
+    ("older", "age"),
+    ("oldest", "age"),
+    ("young", "age"),
+    ("youngest", "age"),
+    ("fit", "capacity"),
+    ("opened", "opening"),
+    ("attended", "attendance"),
+    ("watched", "attendance"),
+    ("heavy", "weight"),
+    ("heaviest", "weight"),
+    ("born", "birth"),
+    ("aircraft", "fleet"),
+    ("high", "elevation"),
+    ("far", "distance"),
+    ("cost", "price"),
+    ("costs", "price"),
+    ("spend", "budget"),
+    ("earn", "salary"),
+    ("earns", "salary"),
+    ("paid", "salary"),
+    ("called", "name"),
+    ("earned", "gross"),
+    ("borrowed", "member"),
+    ("food", "cuisine"),
+    ("rated", "rating"),
+    ("filling", "calories"),
+    ("scored", "goals"),
+    ("registered", "signup"),
+    ("available", "stock"),
+    ("worked", "experience"),
+    ("sleep", "bedrooms"),
+    ("teach", "department"),
+    ("students", "enrollment"),
+    ("treat", "specialty"),
+    ("suffer", "condition"),
+    ("came", "visitors"),
+    ("builds", "maker"),
+    ("powerful", "horsepower"),
+    ("copies", "sales"),
+    ("sold", "sales"),
+    ("luxurious", "stars"),
+    ("staying", "guest"),
+    ("stay", "nights"),
+    ("pay", "price"),
+    ("runs", "owner"),
+    ("grown", "crop"),
+    ("ran", "seasons"),
+    ("popular", "viewers"),
+    ("covers", "field"),
+    ("attend", "attendees"),
+    ("influential", "citations"),
+    ("month", "monthly"),
+    ("joined", "join"),
+    ("started", "debut"),
+    ("big", "capacity"),
+    ("published", "publish"),
+    ("located", "city"),
+    ("live", "city"),
+    ("lives", "city"),
+    ("based", "country"),
+    ("come", "country"),
+    ("large", "capacity"),
+    ("biggest", "capacity"),
+    ("largest", "capacity"),
 ];
 
 /// Candidate base forms of a word: the word itself plus plausible
@@ -206,12 +251,44 @@ impl<'a> Linker<'a> {
     /// not keys, then name heuristics.
     pub fn measure_column(&self, ti: usize) -> Option<usize> {
         const MEASURE_HINTS_LOCAL: &[&str] = &[
-            "age", "year", "price", "capacity", "salary", "sales", "count", "size",
-            "weight", "amount", "total", "distance", "attendance", "budget", "fee",
-            "rating", "pages", "goals", "stock", "gross", "credits", "visitors",
-            "horsepower", "msrp", "hectares", "tons", "seasons", "viewers",
-            "citations", "nights", "rooms", "stars", "elevation", "enrollment",
-            "bedrooms", "calories", "discount", "quantity",
+            "age",
+            "year",
+            "price",
+            "capacity",
+            "salary",
+            "sales",
+            "count",
+            "size",
+            "weight",
+            "amount",
+            "total",
+            "distance",
+            "attendance",
+            "budget",
+            "fee",
+            "rating",
+            "pages",
+            "goals",
+            "stock",
+            "gross",
+            "credits",
+            "visitors",
+            "horsepower",
+            "msrp",
+            "hectares",
+            "tons",
+            "seasons",
+            "viewers",
+            "citations",
+            "nights",
+            "rooms",
+            "stars",
+            "elevation",
+            "enrollment",
+            "bedrooms",
+            "calories",
+            "discount",
+            "quantity",
         ];
         let ranked = self.ranked_columns(ti);
         let linked: Vec<(usize, f64)> = ranked
@@ -246,9 +323,28 @@ impl<'a> Linker<'a> {
         }
         // Name heuristics as a last resort.
         const MEASURE_HINTS: &[&str] = &[
-            "age", "year", "price", "capacity", "salary", "sales", "count", "size",
-            "weight", "amount", "total", "distance", "attendance", "budget", "fee",
-            "rating", "pages", "goals", "stock", "gross", "credits", "visitors",
+            "age",
+            "year",
+            "price",
+            "capacity",
+            "salary",
+            "sales",
+            "count",
+            "size",
+            "weight",
+            "amount",
+            "total",
+            "distance",
+            "attendance",
+            "budget",
+            "fee",
+            "rating",
+            "pages",
+            "goals",
+            "stock",
+            "gross",
+            "credits",
+            "visitors",
         ];
         for (ci, c) in t.columns.iter().enumerate() {
             let lc = c.to_lowercase();
@@ -280,8 +376,18 @@ impl<'a> Linker<'a> {
                 Some(true) => continue,
                 None => {
                     const CAT_HINTS: &[&str] = &[
-                        "country", "city", "genre", "species", "cuisine", "category",
-                        "specialty", "condition", "department", "field", "crop", "maker",
+                        "country",
+                        "city",
+                        "genre",
+                        "species",
+                        "cuisine",
+                        "category",
+                        "specialty",
+                        "condition",
+                        "department",
+                        "field",
+                        "crop",
+                        "maker",
                         "address",
                     ];
                     if CAT_HINTS.iter().any(|h| lc.contains(h)) {
@@ -359,7 +465,10 @@ mod tests {
             &schema,
             None,
             question,
-            ReprOptions { foreign_keys: fk, ..Default::default() },
+            ReprOptions {
+                foreign_keys: fk,
+                ..Default::default()
+            },
         );
         parse_prompt(&p)
     }
@@ -383,7 +492,12 @@ mod tests {
         let le = Linker::new(&explicit);
         let lv = Linker::new(&vague);
         let ti = le.best_table();
-        let age_idx = le.table(ti).columns.iter().position(|c| c == "age").unwrap();
+        let age_idx = le
+            .table(ti)
+            .columns
+            .iter()
+            .position(|c| c == "age")
+            .unwrap();
         assert!(le.column_score(ti, age_idx) > lv.column_score(ti, age_idx));
     }
 
@@ -393,7 +507,10 @@ mod tests {
         let l = Linker::new(&parsed);
         let ti = l.best_table();
         let age_idx = l.table(ti).columns.iter().position(|c| c == "age").unwrap();
-        assert!(l.column_score(ti, age_idx) > 0.9, "'older' should evoke age");
+        assert!(
+            l.column_score(ti, age_idx) > 0.9,
+            "'older' should evoke age"
+        );
     }
 
     #[test]
@@ -422,8 +539,18 @@ mod tests {
         let l = Linker::new(&parsed);
         assert!(l.fk_between(0, 1).is_none());
         // But a name-based guess still exists for this friendly schema.
-        let singer = l.parsed.tables.iter().position(|t| t.name == "singer").unwrap();
-        let concert = l.parsed.tables.iter().position(|t| t.name == "concert").unwrap();
+        let singer = l
+            .parsed
+            .tables
+            .iter()
+            .position(|t| t.name == "singer")
+            .unwrap();
+        let concert = l
+            .parsed
+            .tables
+            .iter()
+            .position(|t| t.name == "concert")
+            .unwrap();
         assert!(l.guess_join(singer, concert).is_some());
     }
 
@@ -445,7 +572,12 @@ mod tests {
     fn measure_column_uses_types_from_ddl() {
         let parsed = linker_for("Which stadium is the biggest?", true);
         let l = Linker::new(&parsed);
-        let ti = l.parsed.tables.iter().position(|t| t.name == "stadium").unwrap();
+        let ti = l
+            .parsed
+            .tables
+            .iter()
+            .position(|t| t.name == "stadium")
+            .unwrap();
         let mi = l.measure_column(ti).unwrap();
         // No linked words, but DDL typing narrows to a numeric non-key.
         assert!(l.table(ti).is_numeric(mi).unwrap());

@@ -30,7 +30,11 @@ pub struct GenOptions {
 
 impl Default for GenOptions {
     fn default() -> Self {
-        GenOptions { seed: 0, temperature: 0.0, sample_index: 0 }
+        GenOptions {
+            seed: 0,
+            temperature: 0.0,
+            sample_index: 0,
+        }
     }
 }
 
@@ -83,7 +87,10 @@ pub struct SimLlm {
 impl SimLlm {
     /// Instantiate a model from the zoo by name.
     pub fn new(name: &str) -> Option<SimLlm> {
-        profile(name).map(|p| SimLlm { profile: *p, sft: None })
+        profile(name).map(|p| SimLlm {
+            profile: *p,
+            sft: None,
+        })
     }
 
     /// Instantiate from an explicit profile.
@@ -107,8 +114,19 @@ impl SimLlm {
     /// trace. The `response` field is byte-identical to what `complete`
     /// returns for the same inputs.
     pub fn complete_traced(&self, prompt: &str, opts: &GenOptions) -> CompletionTrace {
+        // Telemetry goes through the process-global recorder as counters and
+        // latency histograms only — aggregates are order-independent, so
+        // multi-threaded harness runs still produce deterministic traces.
+        let obs = obskit::enabled().then(std::time::Instant::now);
         let mut trace = CompletionTrace::default();
+        let comprehend_t = obs.map(|_| std::time::Instant::now());
         let mut parsed = parse_prompt(prompt);
+        if let Some(t) = comprehend_t {
+            let g = obskit::global();
+            g.observe("simllm.comprehend_ns", t.elapsed().as_nanos() as u64);
+            g.add_counter("simllm.tables_seen", parsed.tables.len() as u64);
+            g.add_counter("simllm.examples_seen", parsed.examples.len() as u64);
+        }
 
         // Systematic decisions are seeded by the *information content* of
         // the task — the question plus the recovered schema — not by the raw
@@ -141,8 +159,8 @@ impl SimLlm {
         // result while independent errors scatter — without letting it
         // launder the residual fully-systematic component.
         let mut path_rng = StdRng::seed_from_u64(sample_seed ^ 0x517cc1b727220a95);
-        let reroll = opts.temperature > 0.0
-            && path_rng.gen_bool((0.75 * opts.temperature).clamp(0.0, 0.95));
+        let reroll =
+            opts.temperature > 0.0 && path_rng.gen_bool((0.75 * opts.temperature).clamp(0.0, 0.95));
         let mut sys_rng = StdRng::seed_from_u64(if reroll {
             sample_seed ^ 0xC2B2AE3D27D4EB4F
         } else {
@@ -186,7 +204,8 @@ impl SimLlm {
 
         // --- comprehension dropout: weaker models overlook columns; the
         //     structured formats (DDL / pound-sign) are easier to read ---
-        let structured = prompt.contains("CREATE TABLE") || prompt.contains("### SQLite SQL tables");
+        let structured =
+            prompt.contains("CREATE TABLE") || prompt.contains("### SQLite SQL tables");
         let drop_p = 0.10 * (1.0 - tier) * if structured { 0.6 } else { 1.0 };
         for t in &mut parsed.tables {
             if t.columns.len() > 1 {
@@ -231,15 +250,17 @@ impl SimLlm {
                     // The default-List prior is always retained.
                     return true;
                 }
-                let miss = ((1.0 - tier).powf(0.8) * (2.0 / w).powi(2) * 1.25)
-                    .clamp(0.0, 0.95);
+                let miss = ((1.0 - tier).powf(0.8) * (2.0 / w).powi(2) * 1.25).clamp(0.0, 0.95);
                 !sys_rng.gen_bool(miss)
             })
             .collect();
         trace.cues_kept = kept.iter().map(|(id, _, w)| (*id, *w)).collect();
         let ranked = rank_intents(&parsed.question, &kept, &parsed.examples, icl_weight);
         trace.intent_ranking = ranked.clone();
-        let intent = ranked.first().map(|(i, _)| *i).unwrap_or(crate::intent::Intent::List);
+        let intent = ranked
+            .first()
+            .map(|(i, _)| *i)
+            .unwrap_or(crate::intent::Intent::List);
         trace.intent = intent;
 
         // --- ICL signal reduces decoding noise (relevant demonstrations
@@ -259,11 +280,19 @@ impl SimLlm {
             * icl_weight;
 
         // --- decode (systematic slot errors) + corrupt (sampling noise) ---
+        let decode_t = obs.map(|_| std::time::Instant::now());
         let query = decode(intent, &linker, &vals, &mut sys_rng, tier).or_else(|| {
             // Fallback sketch: project something from the best table.
             let fallback = crate::intent::Intent::List;
             decode(fallback, &linker, &vals, &mut sys_rng, tier)
         });
+        if let Some(t) = decode_t {
+            let g = obskit::global();
+            g.observe("simllm.decode_ns", t.elapsed().as_nanos() as u64);
+            if query.is_none() {
+                g.add_counter("simllm.decode_fallbacks", 1);
+            }
+        }
         let sql = match query {
             Some(mut q) => {
                 // Demonstrations stabilize generation through two channels:
@@ -286,13 +315,12 @@ impl SimLlm {
                 // (lack of) capability, so complex queries — more sites —
                 // accumulate more errors, matching the paper's hardness
                 // breakdowns. Relevant demonstrations suppress them.
-                let p_sys = (0.62 * (1.0 - tier).powf(0.85)).min(0.45)
-                    * (1.0 - 0.75 * stabilize);
+                let p_sys = (0.62 * (1.0 - tier).powf(0.85)).min(0.45) * (1.0 - 0.75 * stabilize);
                 trace.p_sys = p_sys.clamp(0.0, 0.45);
                 corrupt_query(&mut q, &mut sys_rng, trace.p_sys);
                 // Sampling noise on top (varies per temperature sample).
-                let p_noise = (0.12 * (1.0 - tier).powf(1.3) * (1.0 - 0.6 * stabilize))
-                    .clamp(0.0, 0.5);
+                let p_noise =
+                    (0.12 * (1.0 - tier).powf(1.3) * (1.0 - 0.6 * stabilize)).clamp(0.0, 0.5);
                 trace.p_noise = p_noise;
                 corrupt_query(&mut q, &mut rng, p_noise);
                 q.to_string()
@@ -302,6 +330,11 @@ impl SimLlm {
 
         trace.sql = sql.clone();
         trace.response = self.format_output(&sql, &parsed, alignment, &mut rng);
+        if let Some(t) = obs {
+            let g = obskit::global();
+            g.add_counter("simllm.completions", 1);
+            g.observe("simllm.complete_ns", t.elapsed().as_nanos() as u64);
+        }
         trace
     }
 
@@ -342,7 +375,9 @@ impl SimLlm {
         } else {
             match rng.gen_range(0..3) {
                 0 => format!("Here is the SQL query you asked for:\n```sql\n{sql}\n```"),
-                1 => format!("{sql}\n\nExplanation: this query retrieves the requested information."),
+                1 => {
+                    format!("{sql}\n\nExplanation: this query retrieves the requested information.")
+                }
                 _ => format!("Sure! You can use the following query: {sql}"),
             }
         }
@@ -434,7 +469,13 @@ mod tests {
         let b = m.complete(&p, &GenOptions::default());
         assert_eq!(a, b);
         // Sample index must not matter at temperature 0.
-        let c = m.complete(&p, &GenOptions { sample_index: 3, ..Default::default() });
+        let c = m.complete(
+            &p,
+            &GenOptions {
+                sample_index: 3,
+                ..Default::default()
+            },
+        );
         assert_eq!(a, c);
     }
 
@@ -446,7 +487,11 @@ mod tests {
             .map(|i| {
                 m.complete(
                     &p,
-                    &GenOptions { temperature: 1.0, sample_index: i, seed: 5 },
+                    &GenOptions {
+                        temperature: 1.0,
+                        sample_index: i,
+                        seed: 5,
+                    },
                 )
             })
             .collect();
@@ -472,7 +517,10 @@ mod tests {
         for (i, q) in questions.iter().enumerate() {
             let p = prompt(q);
             for seed in 0..6u64 {
-                let opts = GenOptions { seed: seed * 31 + i as u64, ..Default::default() };
+                let opts = GenOptions {
+                    seed: seed * 31 + i as u64,
+                    ..Default::default()
+                };
                 let s = extract_sql(&strong.complete(&p, &opts), true);
                 let w = extract_sql(&weak.complete(&p, &opts), true);
                 if sqlkit::parse_query(&s).is_ok() {
@@ -483,23 +531,35 @@ mod tests {
                 }
             }
         }
-        assert!(strong_ok > weak_ok, "strong {strong_ok} vs weak-matching {weak_ok}");
+        assert!(
+            strong_ok > weak_ok,
+            "strong {strong_ok} vs weak-matching {weak_ok}"
+        );
     }
 
     #[test]
     fn extract_sql_handles_wrappers() {
         assert_eq!(
-            extract_sql("Here is the SQL query you asked for:\n```sql\nSELECT a FROM t\n```", false),
+            extract_sql(
+                "Here is the SQL query you asked for:\n```sql\nSELECT a FROM t\n```",
+                false
+            ),
             "SELECT a FROM t"
         );
         assert_eq!(
             extract_sql("SELECT a FROM t\n\nExplanation: because.", false),
             "SELECT a FROM t"
         );
-        assert_eq!(extract_sql("count(*) FROM singer", true), "SELECT count(*) FROM singer");
+        assert_eq!(
+            extract_sql("count(*) FROM singer", true),
+            "SELECT count(*) FROM singer"
+        );
         assert_eq!(extract_sql("SELECT a FROM t;", false), "SELECT a FROM t");
         assert_eq!(
-            extract_sql("Sure! You can use the following query: SELECT a FROM t", false),
+            extract_sql(
+                "Sure! You can use the following query: SELECT a FROM t",
+                false
+            ),
             "SELECT a FROM t"
         );
     }
@@ -517,9 +577,18 @@ mod tests {
                     &schema,
                     None,
                     "How many singers are there?",
-                    ReprOptions { rule_implication: rule, ..Default::default() },
+                    ReprOptions {
+                        rule_implication: rule,
+                        ..Default::default()
+                    },
                 );
-                let out = m.complete(&p, &GenOptions { seed, ..Default::default() });
+                let out = m.complete(
+                    &p,
+                    &GenOptions {
+                        seed,
+                        ..Default::default()
+                    },
+                );
                 if out.contains("This query") || out.contains("Sure!") || out.contains("```") {
                     *counter += 1;
                 }
@@ -552,7 +621,10 @@ mod tests {
         let mut few_ok = 0;
         let want = "SELECT genre FROM singer GROUP BY genre ORDER BY COUNT(*) DESC LIMIT 1";
         for seed in 0..30u64 {
-            let opts = GenOptions { seed, ..Default::default() };
+            let opts = GenOptions {
+                seed,
+                ..Default::default()
+            };
             if extract_sql(&m.complete(&target, &opts), true) == want {
                 zero_ok += 1;
             }
@@ -560,6 +632,9 @@ mod tests {
                 few_ok += 1;
             }
         }
-        assert!(few_ok >= zero_ok, "few-shot {few_ok} vs zero-shot {zero_ok}");
+        assert!(
+            few_ok >= zero_ok,
+            "few-shot {few_ok} vs zero-shot {zero_ok}"
+        );
     }
 }

@@ -123,8 +123,13 @@ pub fn profile(name: &str) -> Option<&'static ModelProfile> {
 pub const MAIN_STUDY: [&str; 4] = ["gpt-4", "gpt-3.5-turbo", "text-davinci-003", "vicuna-33b"];
 
 /// The open-source models of the paper's E9/E10 study.
-pub const OPEN_SOURCE_STUDY: [&str; 5] =
-    ["llama-7b", "llama-13b", "llama-33b", "falcon-40b", "vicuna-33b"];
+pub const OPEN_SOURCE_STUDY: [&str; 5] = [
+    "llama-7b",
+    "llama-13b",
+    "llama-33b",
+    "falcon-40b",
+    "vicuna-33b",
+];
 
 #[cfg(test)]
 mod tests {

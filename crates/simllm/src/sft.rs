@@ -151,7 +151,10 @@ mod tests {
         let mut base_ok = 0;
         let mut tuned_ok = 0;
         for seed in 0..40u64 {
-            let opts = GenOptions { seed, ..Default::default() };
+            let opts = GenOptions {
+                seed,
+                ..Default::default()
+            };
             if extract_sql(&base.complete(&p, &opts), false) == want {
                 base_ok += 1;
             }
@@ -190,8 +193,12 @@ mod tests {
 
     #[test]
     fn small_models_gain_more_from_sft() {
-        let small = SimLlm::new("llama-7b").unwrap().finetune(PromptStyle::Ddl, 1000);
-        let large = SimLlm::new("llama-33b").unwrap().finetune(PromptStyle::Ddl, 1000);
+        let small = SimLlm::new("llama-7b")
+            .unwrap()
+            .finetune(PromptStyle::Ddl, 1000);
+        let large = SimLlm::new("llama-33b")
+            .unwrap()
+            .finetune(PromptStyle::Ddl, 1000);
         assert!(small.sft.unwrap().boost > large.sft.unwrap().boost);
     }
 }

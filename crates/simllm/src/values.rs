@@ -38,7 +38,8 @@ pub fn extract(question: &str) -> ExtractedValues {
 
     // Tokens: numbers and capitalized phrases.
     let tokens: Vec<&str> = question.split_whitespace().collect();
-    let ends_sentence = |tok: &str| tok.ends_with(|c: char| ".?!:;".contains(c)) || tok.ends_with('\u{2014}');
+    let ends_sentence =
+        |tok: &str| tok.ends_with(|c: char| ".?!:;".contains(c)) || tok.ends_with('\u{2014}');
     let mut i = 0;
     let mut first_word = true;
     while i < tokens.len() {
@@ -49,8 +50,13 @@ pub fn extract(question: &str) -> ExtractedValues {
             .collect();
         // Numbers (also inside words like "40?"):
         if !clean.is_empty()
-            && clean.chars().next().is_some_and(|c| c.is_ascii_digit() || c == '-')
-            && clean.chars().all(|c| c.is_ascii_digit() || c == '.' || c == '-')
+            && clean
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_digit() || c == '-')
+            && clean
+                .chars()
+                .all(|c| c.is_ascii_digit() || c == '.' || c == '-')
         {
             if let Ok(v) = clean.parse::<i64>() {
                 out.numbers.push(Literal::Int(v));
@@ -64,9 +70,27 @@ pub fn extract(question: &str) -> ExtractedValues {
         // Capitalized phrase, not sentence-initial: "New York", "Pop".
         // Imperative/question openers never name values even mid-text.
         const NEVER_VALUES: &[&str] = &[
-            "Give", "Show", "List", "Find", "Tell", "Which", "What", "Who", "How",
-            "Compare", "Report", "Across", "Summarize", "Break", "Per", "For",
-            "The", "Answer", "Return", "Count", "Display",
+            "Give",
+            "Show",
+            "List",
+            "Find",
+            "Tell",
+            "Which",
+            "What",
+            "Who",
+            "How",
+            "Compare",
+            "Report",
+            "Across",
+            "Summarize",
+            "Break",
+            "Per",
+            "For",
+            "The",
+            "Answer",
+            "Return",
+            "Count",
+            "Display",
         ];
         let word = strip_punct(raw);
         let is_cap = raw
@@ -84,7 +108,10 @@ pub fn extract(question: &str) -> ExtractedValues {
                     .is_some_and(|c| c.is_uppercase() && c.is_alphabetic());
                 // Stop extending at punctuation on the previous token.
                 let prev_ends_clause = tokens[j - 1].ends_with(|c: char| ",.?!;:".contains(c));
-                if next_cap && !prev_ends_clause && !NEVER_VALUES.contains(&strip_punct(next).as_str()) {
+                if next_cap
+                    && !prev_ends_clause
+                    && !NEVER_VALUES.contains(&strip_punct(next).as_str())
+                {
                     phrase.push(strip_punct(next));
                     j += 1;
                 } else {

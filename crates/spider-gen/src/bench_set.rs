@@ -95,7 +95,10 @@ impl Benchmark {
     /// evaluation is cross-domain exactly as in Spider.
     pub fn generate(cfg: BenchmarkConfig) -> Benchmark {
         let mut domains = all_domains();
-        domains.extend(crate::synth::synthetic_domains(cfg.synthetic_domains, cfg.seed));
+        domains.extend(crate::synth::synthetic_domains(
+            cfg.synthetic_domains,
+            cfg.seed,
+        ));
         // Seeded rotation (cheap deterministic shuffle).
         let rot = (cfg.seed as usize) % domains.len();
         domains.rotate_left(rot);
@@ -124,7 +127,18 @@ impl Benchmark {
             cfg.seed ^ 0x646576,
             &mut next_id,
         );
-        Benchmark { databases, specs, train, dev }
+        if obskit::enabled() {
+            let g = obskit::global();
+            g.add_counter("spidergen.benchmarks_generated", 1);
+            g.set_gauge("spidergen.train_size", train.len() as f64);
+            g.set_gauge("spidergen.dev_size", dev.len() as f64);
+        }
+        Benchmark {
+            databases,
+            specs,
+            train,
+            dev,
+        }
     }
 
     fn fill(
@@ -213,7 +227,10 @@ mod tests {
         let b = Benchmark::generate(BenchmarkConfig::tiny());
         let train_dbs: HashSet<&str> = b.train.iter().map(|e| e.db_id.as_str()).collect();
         let dev_dbs: HashSet<&str> = b.dev.iter().map(|e| e.db_id.as_str()).collect();
-        assert!(train_dbs.is_disjoint(&dev_dbs), "{train_dbs:?} ∩ {dev_dbs:?}");
+        assert!(
+            train_dbs.is_disjoint(&dev_dbs),
+            "{train_dbs:?} ∩ {dev_dbs:?}"
+        );
         assert!(dev_dbs.len() >= 2);
     }
 

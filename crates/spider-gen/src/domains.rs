@@ -52,8 +52,18 @@ fn concert_singer() -> DomainSpec {
                     col("stadium_id", "id", "", V::Id),
                     col("name", "name", "what it is called", V::VenueName),
                     col("city", "city", "where it is", V::City),
-                    col("capacity", "capacity", "how many people fit", V::Int(5_000, 90_000)),
-                    col("opening_year", "opening year", "when it opened", V::Year(1950, 2020)),
+                    col(
+                        "capacity",
+                        "capacity",
+                        "how many people fit",
+                        V::Int(5_000, 90_000),
+                    ),
+                    col(
+                        "opening_year",
+                        "opening year",
+                        "when it opened",
+                        V::Year(1950, 2020),
+                    ),
                 ],
                 rows: 18,
             },
@@ -66,7 +76,12 @@ fn concert_singer() -> DomainSpec {
                     col("name", "name", "who they are", V::PersonName),
                     col("country", "country", "where they come from", V::Country),
                     col("age", "age", "how old they are", V::Int(18, 70)),
-                    col("genre", "genre", "what style they perform", V::Category(words::GENRES)),
+                    col(
+                        "genre",
+                        "genre",
+                        "what style they perform",
+                        V::Category(words::GENRES),
+                    ),
                 ],
                 rows: 30,
             },
@@ -79,7 +94,12 @@ fn concert_singer() -> DomainSpec {
                     col("singer_id", "singer", "", V::Ref("singer", "singer_id")),
                     col("stadium_id", "stadium", "", V::Ref("stadium", "stadium_id")),
                     col("year", "year", "when it took place", V::Year(2010, 2024)),
-                    col("attendance", "attendance", "how many attended", V::Int(1_000, 80_000)),
+                    col(
+                        "attendance",
+                        "attendance",
+                        "how many attended",
+                        V::Int(1_000, 80_000),
+                    ),
                 ],
                 rows: 45,
             },
@@ -111,9 +131,19 @@ fn pets() -> DomainSpec {
                 columns: vec![
                     col("pet_id", "id", "", V::Id),
                     col("owner_id", "owner", "", V::Ref("owner", "owner_id")),
-                    col("species", "species", "what kind of animal", V::Category(words::SPECIES)),
+                    col(
+                        "species",
+                        "species",
+                        "what kind of animal",
+                        V::Category(words::SPECIES),
+                    ),
                     col("weight", "weight", "how heavy", V::Float(0.5, 60.0)),
-                    col("birth_year", "birth year", "when it was born", V::Year(2008, 2024)),
+                    col(
+                        "birth_year",
+                        "birth year",
+                        "when it was born",
+                        V::Year(2008, 2024),
+                    ),
                 ],
                 rows: 40,
             },
@@ -132,9 +162,19 @@ fn flights() -> DomainSpec {
                 nl_plural: "airlines",
                 columns: vec![
                     col("airline_id", "id", "", V::Id),
-                    col("name", "name", "what it is called", V::Category(words::AIRLINES)),
+                    col(
+                        "name",
+                        "name",
+                        "what it is called",
+                        V::Category(words::AIRLINES),
+                    ),
                     col("country", "country", "where it is based", V::Country),
-                    col("fleet_size", "fleet size", "how many aircraft it operates", V::Int(5, 400)),
+                    col(
+                        "fleet_size",
+                        "fleet size",
+                        "how many aircraft it operates",
+                        V::Int(5, 400),
+                    ),
                 ],
                 rows: 12,
             },
@@ -146,7 +186,12 @@ fn flights() -> DomainSpec {
                     col("airport_id", "id", "", V::Id),
                     col("name", "name", "what it is called", V::VenueName),
                     col("city", "city", "which city it serves", V::City),
-                    col("elevation", "elevation", "how high it sits", V::Int(0, 2400)),
+                    col(
+                        "elevation",
+                        "elevation",
+                        "how high it sits",
+                        V::Int(0, 2400),
+                    ),
                 ],
                 rows: 16,
             },
@@ -157,9 +202,24 @@ fn flights() -> DomainSpec {
                 columns: vec![
                     col("flight_id", "id", "", V::Id),
                     col("airline_id", "airline", "", V::Ref("airline", "airline_id")),
-                    col("origin_id", "origin airport", "", V::Ref("airport", "airport_id")),
-                    col("distance", "distance", "how far it travels", V::Int(120, 9_000)),
-                    col("price", "ticket price", "how much it costs", V::Float(49.0, 1_800.0)),
+                    col(
+                        "origin_id",
+                        "origin airport",
+                        "",
+                        V::Ref("airport", "airport_id"),
+                    ),
+                    col(
+                        "distance",
+                        "distance",
+                        "how far it travels",
+                        V::Int(120, 9_000),
+                    ),
+                    col(
+                        "price",
+                        "ticket price",
+                        "how much it costs",
+                        V::Float(49.0, 1_800.0),
+                    ),
                 ],
                 rows: 60,
             },
@@ -178,8 +238,18 @@ fn employees() -> DomainSpec {
                 nl_plural: "departments",
                 columns: vec![
                     col("department_id", "id", "", V::Id),
-                    col("name", "name", "what it is called", V::Category(words::DEPARTMENTS)),
-                    col("budget", "budget", "how much it can spend", V::Float(100_000.0, 5_000_000.0)),
+                    col(
+                        "name",
+                        "name",
+                        "what it is called",
+                        V::Category(words::DEPARTMENTS),
+                    ),
+                    col(
+                        "budget",
+                        "budget",
+                        "how much it can spend",
+                        V::Float(100_000.0, 5_000_000.0),
+                    ),
                     col("city", "city", "where it is located", V::City),
                 ],
                 rows: 9,
@@ -190,10 +260,25 @@ fn employees() -> DomainSpec {
                 nl_plural: "employees",
                 columns: vec![
                     col("employee_id", "id", "", V::Id),
-                    col("department_id", "department", "", V::Ref("department", "department_id")),
+                    col(
+                        "department_id",
+                        "department",
+                        "",
+                        V::Ref("department", "department_id"),
+                    ),
                     col("name", "name", "who they are", V::PersonName),
-                    col("salary", "salary", "how much they earn", V::Float(28_000.0, 240_000.0)),
-                    col("hire_year", "hire year", "when they joined", V::Year(1995, 2024)),
+                    col(
+                        "salary",
+                        "salary",
+                        "how much they earn",
+                        V::Float(28_000.0, 240_000.0),
+                    ),
+                    col(
+                        "hire_year",
+                        "hire year",
+                        "when they joined",
+                        V::Year(1995, 2024),
+                    ),
                 ],
                 rows: 55,
             },
@@ -214,7 +299,12 @@ fn movies() -> DomainSpec {
                     col("director_id", "id", "", V::Id),
                     col("name", "name", "who they are", V::PersonName),
                     col("country", "country", "where they are from", V::Country),
-                    col("debut_year", "debut year", "when they started", V::Year(1960, 2018)),
+                    col(
+                        "debut_year",
+                        "debut year",
+                        "when they started",
+                        V::Year(1960, 2018),
+                    ),
                 ],
                 rows: 15,
             },
@@ -224,11 +314,26 @@ fn movies() -> DomainSpec {
                 nl_plural: "movies",
                 columns: vec![
                     col("movie_id", "id", "", V::Id),
-                    col("director_id", "director", "", V::Ref("director", "director_id")),
+                    col(
+                        "director_id",
+                        "director",
+                        "",
+                        V::Ref("director", "director_id"),
+                    ),
                     col("title", "title", "what it is called", V::Title),
-                    col("genre", "genre", "what kind of film", V::Category(words::FILM_GENRES)),
+                    col(
+                        "genre",
+                        "genre",
+                        "what kind of film",
+                        V::Category(words::FILM_GENRES),
+                    ),
                     col("gross", "gross", "how much it earned", V::Float(0.1, 900.0)),
-                    col("release_year", "release year", "when it came out", V::Year(1980, 2024)),
+                    col(
+                        "release_year",
+                        "release year",
+                        "when it came out",
+                        V::Year(1980, 2024),
+                    ),
                 ],
                 rows: 48,
             },
@@ -260,8 +365,18 @@ fn library() -> DomainSpec {
                     col("book_id", "id", "", V::Id),
                     col("author_id", "author", "", V::Ref("author", "author_id")),
                     col("title", "title", "what it is called", V::Title),
-                    col("pages", "number of pages", "how long it is", V::Int(60, 1200)),
-                    col("publish_year", "publication year", "when it was published", V::Year(1900, 2024)),
+                    col(
+                        "pages",
+                        "number of pages",
+                        "how long it is",
+                        V::Int(60, 1200),
+                    ),
+                    col(
+                        "publish_year",
+                        "publication year",
+                        "when it was published",
+                        V::Year(1900, 2024),
+                    ),
                 ],
                 rows: 50,
             },
@@ -272,8 +387,18 @@ fn library() -> DomainSpec {
                 columns: vec![
                     col("loan_id", "id", "", V::Id),
                     col("book_id", "book", "", V::Ref("book", "book_id")),
-                    col("member_name", "member name", "who borrowed it", V::PersonName),
-                    col("days_kept", "days kept", "how long it was kept", V::Int(1, 90)),
+                    col(
+                        "member_name",
+                        "member name",
+                        "who borrowed it",
+                        V::PersonName,
+                    ),
+                    col(
+                        "days_kept",
+                        "days kept",
+                        "how long it was kept",
+                        V::Int(1, 90),
+                    ),
                 ],
                 rows: 70,
             },
@@ -293,9 +418,19 @@ fn restaurants() -> DomainSpec {
                 columns: vec![
                     col("restaurant_id", "id", "", V::Id),
                     col("name", "name", "what it is called", V::VenueName),
-                    col("cuisine", "cuisine", "what food it serves", V::Category(words::CUISINES)),
+                    col(
+                        "cuisine",
+                        "cuisine",
+                        "what food it serves",
+                        V::Category(words::CUISINES),
+                    ),
                     col("city", "city", "where it is", V::City),
-                    col("rating", "rating", "how well it is rated", V::Float(1.0, 5.0)),
+                    col(
+                        "rating",
+                        "rating",
+                        "how well it is rated",
+                        V::Float(1.0, 5.0),
+                    ),
                 ],
                 rows: 25,
             },
@@ -305,10 +440,20 @@ fn restaurants() -> DomainSpec {
                 nl_plural: "dishes",
                 columns: vec![
                     col("dish_id", "id", "", V::Id),
-                    col("restaurant_id", "restaurant", "", V::Ref("restaurant", "restaurant_id")),
+                    col(
+                        "restaurant_id",
+                        "restaurant",
+                        "",
+                        V::Ref("restaurant", "restaurant_id"),
+                    ),
                     col("name", "name", "what it is called", V::Title),
                     col("price", "price", "how much it costs", V::Float(4.0, 95.0)),
-                    col("calories", "calories", "how filling it is", V::Int(120, 1900)),
+                    col(
+                        "calories",
+                        "calories",
+                        "how filling it is",
+                        V::Int(120, 1900),
+                    ),
                 ],
                 rows: 70,
             },
@@ -327,9 +472,19 @@ fn sports_league() -> DomainSpec {
                 nl_plural: "teams",
                 columns: vec![
                     col("team_id", "id", "", V::Id),
-                    col("name", "name", "what it is called", V::Category(words::TEAM_WORDS)),
+                    col(
+                        "name",
+                        "name",
+                        "what it is called",
+                        V::Category(words::TEAM_WORDS),
+                    ),
                     col("city", "city", "where it plays", V::City),
-                    col("founded_year", "founding year", "when it was founded", V::Year(1900, 2015)),
+                    col(
+                        "founded_year",
+                        "founding year",
+                        "when it was founded",
+                        V::Year(1900, 2015),
+                    ),
                 ],
                 rows: 14,
             },
@@ -342,7 +497,12 @@ fn sports_league() -> DomainSpec {
                     col("team_id", "team", "", V::Ref("team", "team_id")),
                     col("name", "name", "who they are", V::PersonName),
                     col("age", "age", "how old they are", V::Int(17, 42)),
-                    col("goals", "number of goals", "how often they scored", V::Int(0, 60)),
+                    col(
+                        "goals",
+                        "number of goals",
+                        "how often they scored",
+                        V::Int(0, 60),
+                    ),
                 ],
                 rows: 60,
             },
@@ -353,8 +513,18 @@ fn sports_league() -> DomainSpec {
                 columns: vec![
                     col("match_id", "id", "", V::Id),
                     col("home_team_id", "home team", "", V::Ref("team", "team_id")),
-                    col("season", "season", "which season it belongs to", V::Year(2015, 2024)),
-                    col("attendance", "attendance", "how many watched", V::Int(500, 70_000)),
+                    col(
+                        "season",
+                        "season",
+                        "which season it belongs to",
+                        V::Year(2015, 2024),
+                    ),
+                    col(
+                        "attendance",
+                        "attendance",
+                        "how many watched",
+                        V::Int(500, 70_000),
+                    ),
                 ],
                 rows: 50,
             },
@@ -375,7 +545,12 @@ fn ecommerce() -> DomainSpec {
                     col("customer_id", "id", "", V::Id),
                     col("name", "name", "who they are", V::PersonName),
                     col("country", "country", "where they live", V::Country),
-                    col("signup_year", "signup year", "when they registered", V::Year(2012, 2024)),
+                    col(
+                        "signup_year",
+                        "signup year",
+                        "when they registered",
+                        V::Year(2012, 2024),
+                    ),
                 ],
                 rows: 30,
             },
@@ -386,8 +561,18 @@ fn ecommerce() -> DomainSpec {
                 columns: vec![
                     col("product_id", "id", "", V::Id),
                     col("name", "name", "what it is called", V::Title),
-                    col("category", "category", "what kind of product", V::Category(words::PRODUCT_CATEGORIES)),
-                    col("price", "price", "how much it costs", V::Float(2.0, 2_500.0)),
+                    col(
+                        "category",
+                        "category",
+                        "what kind of product",
+                        V::Category(words::PRODUCT_CATEGORIES),
+                    ),
+                    col(
+                        "price",
+                        "price",
+                        "how much it costs",
+                        V::Float(2.0, 2_500.0),
+                    ),
                     col("stock", "stock", "how many are available", V::Int(0, 500)),
                 ],
                 rows: 40,
@@ -398,9 +583,19 @@ fn ecommerce() -> DomainSpec {
                 nl_plural: "purchases",
                 columns: vec![
                     col("purchase_id", "id", "", V::Id),
-                    col("customer_id", "customer", "", V::Ref("customer", "customer_id")),
+                    col(
+                        "customer_id",
+                        "customer",
+                        "",
+                        V::Ref("customer", "customer_id"),
+                    ),
                     col("product_id", "product", "", V::Ref("product", "product_id")),
-                    col("quantity", "quantity", "how many were bought", V::Int(1, 12)),
+                    col(
+                        "quantity",
+                        "quantity",
+                        "how many were bought",
+                        V::Int(1, 12),
+                    ),
                 ],
                 rows: 80,
             },
@@ -420,7 +615,12 @@ fn real_estate() -> DomainSpec {
                 columns: vec![
                     col("agent_id", "id", "", V::Id),
                     col("name", "name", "who they are", V::PersonName),
-                    col("experience_years", "years of experience", "how long they have worked", V::Int(0, 35)),
+                    col(
+                        "experience_years",
+                        "years of experience",
+                        "how long they have worked",
+                        V::Int(0, 35),
+                    ),
                 ],
                 rows: 12,
             },
@@ -433,8 +633,18 @@ fn real_estate() -> DomainSpec {
                     col("agent_id", "agent", "", V::Ref("agent", "agent_id")),
                     col("address", "address", "where it is", V::Street),
                     col("city", "city", "which city it is in", V::City),
-                    col("price", "asking price", "how much it costs", V::Float(80_000.0, 3_000_000.0)),
-                    col("bedrooms", "number of bedrooms", "how many can sleep there", V::Int(1, 7)),
+                    col(
+                        "price",
+                        "asking price",
+                        "how much it costs",
+                        V::Float(80_000.0, 3_000_000.0),
+                    ),
+                    col(
+                        "bedrooms",
+                        "number of bedrooms",
+                        "how many can sleep there",
+                        V::Int(1, 7),
+                    ),
                 ],
                 rows: 45,
             },
@@ -454,8 +664,18 @@ fn university() -> DomainSpec {
                 columns: vec![
                     col("professor_id", "id", "", V::Id),
                     col("name", "name", "who they are", V::PersonName),
-                    col("department", "department", "which field they teach", V::Category(words::DEPARTMENTS)),
-                    col("salary", "salary", "how much they earn", V::Float(50_000.0, 220_000.0)),
+                    col(
+                        "department",
+                        "department",
+                        "which field they teach",
+                        V::Category(words::DEPARTMENTS),
+                    ),
+                    col(
+                        "salary",
+                        "salary",
+                        "how much they earn",
+                        V::Float(50_000.0, 220_000.0),
+                    ),
                 ],
                 rows: 20,
             },
@@ -465,10 +685,25 @@ fn university() -> DomainSpec {
                 nl_plural: "courses",
                 columns: vec![
                     col("course_id", "id", "", V::Id),
-                    col("professor_id", "professor", "", V::Ref("professor", "professor_id")),
+                    col(
+                        "professor_id",
+                        "professor",
+                        "",
+                        V::Ref("professor", "professor_id"),
+                    ),
                     col("title", "title", "what it is called", V::Title),
-                    col("credits", "credits", "how heavy the course is", V::Int(1, 6)),
-                    col("enrollment", "enrollment", "how many students take it", V::Int(5, 400)),
+                    col(
+                        "credits",
+                        "credits",
+                        "how heavy the course is",
+                        V::Int(1, 6),
+                    ),
+                    col(
+                        "enrollment",
+                        "enrollment",
+                        "how many students take it",
+                        V::Int(5, 400),
+                    ),
                 ],
                 rows: 45,
             },
@@ -488,8 +723,18 @@ fn hospital() -> DomainSpec {
                 columns: vec![
                     col("physician_id", "id", "", V::Id),
                     col("name", "name", "who they are", V::PersonName),
-                    col("specialty", "specialty", "what they treat", V::Category(words::CONDITIONS)),
-                    col("experience_years", "years of experience", "how long they have practiced", V::Int(1, 40)),
+                    col(
+                        "specialty",
+                        "specialty",
+                        "what they treat",
+                        V::Category(words::CONDITIONS),
+                    ),
+                    col(
+                        "experience_years",
+                        "years of experience",
+                        "how long they have practiced",
+                        V::Int(1, 40),
+                    ),
                 ],
                 rows: 16,
             },
@@ -499,10 +744,20 @@ fn hospital() -> DomainSpec {
                 nl_plural: "patients",
                 columns: vec![
                     col("patient_id", "id", "", V::Id),
-                    col("physician_id", "physician", "", V::Ref("physician", "physician_id")),
+                    col(
+                        "physician_id",
+                        "physician",
+                        "",
+                        V::Ref("physician", "physician_id"),
+                    ),
                     col("name", "name", "who they are", V::PersonName),
                     col("age", "age", "how old they are", V::Int(0, 99)),
-                    col("condition", "condition", "what they suffer from", V::Category(words::CONDITIONS)),
+                    col(
+                        "condition",
+                        "condition",
+                        "what they suffer from",
+                        V::Category(words::CONDITIONS),
+                    ),
                 ],
                 rows: 55,
             },
@@ -523,7 +778,12 @@ fn museum() -> DomainSpec {
                     col("museum_id", "id", "", V::Id),
                     col("name", "name", "what it is called", V::VenueName),
                     col("city", "city", "where it is", V::City),
-                    col("founded_year", "founding year", "when it opened", V::Year(1800, 2015)),
+                    col(
+                        "founded_year",
+                        "founding year",
+                        "when it opened",
+                        V::Year(1800, 2015),
+                    ),
                 ],
                 rows: 12,
             },
@@ -536,7 +796,12 @@ fn museum() -> DomainSpec {
                     col("museum_id", "museum", "", V::Ref("museum", "museum_id")),
                     col("title", "title", "what it is called", V::Title),
                     col("year", "year", "when it ran", V::Year(2005, 2024)),
-                    col("visitors", "number of visitors", "how many came", V::Int(500, 250_000)),
+                    col(
+                        "visitors",
+                        "number of visitors",
+                        "how many came",
+                        V::Int(500, 250_000),
+                    ),
                 ],
                 rows: 40,
             },
@@ -556,9 +821,24 @@ fn car_dealer() -> DomainSpec {
                 columns: vec![
                     col("model_id", "id", "", V::Id),
                     col("name", "name", "what it is called", V::Title),
-                    col("maker", "maker", "who builds it", V::Category(words::MAKERS)),
-                    col("horsepower", "horsepower", "how powerful it is", V::Int(60, 900)),
-                    col("msrp", "list price", "how much it costs", V::Float(14_000.0, 220_000.0)),
+                    col(
+                        "maker",
+                        "maker",
+                        "who builds it",
+                        V::Category(words::MAKERS),
+                    ),
+                    col(
+                        "horsepower",
+                        "horsepower",
+                        "how powerful it is",
+                        V::Int(60, 900),
+                    ),
+                    col(
+                        "msrp",
+                        "list price",
+                        "how much it costs",
+                        V::Float(14_000.0, 220_000.0),
+                    ),
                 ],
                 rows: 22,
             },
@@ -571,7 +851,12 @@ fn car_dealer() -> DomainSpec {
                     col("model_id", "car model", "", V::Ref("model", "model_id")),
                     col("buyer_name", "buyer name", "who bought it", V::PersonName),
                     col("year", "year", "when it was sold", V::Year(2015, 2024)),
-                    col("discount", "discount", "how much was knocked off", V::Float(0.0, 9_000.0)),
+                    col(
+                        "discount",
+                        "discount",
+                        "how much was knocked off",
+                        V::Float(0.0, 9_000.0),
+                    ),
                 ],
                 rows: 55,
             },
@@ -592,7 +877,12 @@ fn music_albums() -> DomainSpec {
                     col("band_id", "id", "", V::Id),
                     col("name", "name", "what they are called", V::Title),
                     col("country", "country", "where they formed", V::Country),
-                    col("formed_year", "formation year", "when they formed", V::Year(1960, 2020)),
+                    col(
+                        "formed_year",
+                        "formation year",
+                        "when they formed",
+                        V::Year(1960, 2020),
+                    ),
                 ],
                 rows: 16,
             },
@@ -604,8 +894,18 @@ fn music_albums() -> DomainSpec {
                     col("album_id", "id", "", V::Id),
                     col("band_id", "band", "", V::Ref("band", "band_id")),
                     col("title", "title", "what it is called", V::Title),
-                    col("sales", "sales", "how many copies sold", V::Int(1_000, 5_000_000)),
-                    col("release_year", "release year", "when it came out", V::Year(1965, 2024)),
+                    col(
+                        "sales",
+                        "sales",
+                        "how many copies sold",
+                        V::Int(1_000, 5_000_000),
+                    ),
+                    col(
+                        "release_year",
+                        "release year",
+                        "when it came out",
+                        V::Year(1965, 2024),
+                    ),
                 ],
                 rows: 48,
             },
@@ -639,8 +939,18 @@ fn hotels() -> DomainSpec {
                     col("booking_id", "id", "", V::Id),
                     col("hotel_id", "hotel", "", V::Ref("hotel", "hotel_id")),
                     col("guest_name", "guest name", "who is staying", V::PersonName),
-                    col("nights", "number of nights", "how long they stay", V::Int(1, 21)),
-                    col("total_price", "total price", "how much they pay", V::Float(60.0, 8_000.0)),
+                    col(
+                        "nights",
+                        "number of nights",
+                        "how long they stay",
+                        V::Int(1, 21),
+                    ),
+                    col(
+                        "total_price",
+                        "total price",
+                        "how much they pay",
+                        V::Float(60.0, 8_000.0),
+                    ),
                 ],
                 rows: 60,
             },
@@ -660,8 +970,18 @@ fn farms() -> DomainSpec {
                 columns: vec![
                     col("farm_id", "id", "", V::Id),
                     col("owner_name", "owner name", "who runs it", V::PersonName),
-                    col("hectares", "size in hectares", "how large it is", V::Float(2.0, 900.0)),
-                    col("established_year", "establishment year", "when it started", V::Year(1880, 2015)),
+                    col(
+                        "hectares",
+                        "size in hectares",
+                        "how large it is",
+                        V::Float(2.0, 900.0),
+                    ),
+                    col(
+                        "established_year",
+                        "establishment year",
+                        "when it started",
+                        V::Year(1880, 2015),
+                    ),
                 ],
                 rows: 15,
             },
@@ -672,8 +992,18 @@ fn farms() -> DomainSpec {
                 columns: vec![
                     col("harvest_id", "id", "", V::Id),
                     col("farm_id", "farm", "", V::Ref("farm", "farm_id")),
-                    col("crop", "crop", "what was grown", V::Category(&["Wheat", "Corn", "Barley", "Soy", "Oats", "Rye"])),
-                    col("tons", "tons harvested", "how much was brought in", V::Float(1.0, 450.0)),
+                    col(
+                        "crop",
+                        "crop",
+                        "what was grown",
+                        V::Category(&["Wheat", "Corn", "Barley", "Soy", "Oats", "Rye"]),
+                    ),
+                    col(
+                        "tons",
+                        "tons harvested",
+                        "how much was brought in",
+                        V::Float(1.0, 450.0),
+                    ),
                     col("year", "year", "when it happened", V::Year(2010, 2024)),
                 ],
                 rows: 55,
@@ -695,7 +1025,12 @@ fn tv_network() -> DomainSpec {
                     col("channel_id", "id", "", V::Id),
                     col("name", "name", "what it is called", V::Title),
                     col("country", "country", "where it broadcasts", V::Country),
-                    col("launch_year", "launch year", "when it started", V::Year(1950, 2020)),
+                    col(
+                        "launch_year",
+                        "launch year",
+                        "when it started",
+                        V::Year(1950, 2020),
+                    ),
                 ],
                 rows: 10,
             },
@@ -707,9 +1042,24 @@ fn tv_network() -> DomainSpec {
                     col("show_id", "id", "", V::Id),
                     col("channel_id", "channel", "", V::Ref("channel", "channel_id")),
                     col("title", "title", "what it is called", V::Title),
-                    col("genre", "genre", "what kind of show", V::Category(words::FILM_GENRES)),
-                    col("seasons", "number of seasons", "how long it ran", V::Int(1, 25)),
-                    col("viewers", "average viewers", "how popular it is", V::Int(10_000, 9_000_000)),
+                    col(
+                        "genre",
+                        "genre",
+                        "what kind of show",
+                        V::Category(words::FILM_GENRES),
+                    ),
+                    col(
+                        "seasons",
+                        "number of seasons",
+                        "how long it ran",
+                        V::Int(1, 25),
+                    ),
+                    col(
+                        "viewers",
+                        "average viewers",
+                        "how popular it is",
+                        V::Int(10_000, 9_000_000),
+                    ),
                 ],
                 rows: 45,
             },
@@ -729,9 +1079,19 @@ fn conferences() -> DomainSpec {
                 columns: vec![
                     col("conference_id", "id", "", V::Id),
                     col("name", "name", "what it is called", V::Title),
-                    col("field", "field", "what area it covers", V::Category(words::DEPARTMENTS)),
+                    col(
+                        "field",
+                        "field",
+                        "what area it covers",
+                        V::Category(words::DEPARTMENTS),
+                    ),
                     col("year", "year", "when it takes place", V::Year(2010, 2024)),
-                    col("attendees", "number of attendees", "how many attend", V::Int(80, 12_000)),
+                    col(
+                        "attendees",
+                        "number of attendees",
+                        "how many attend",
+                        V::Int(80, 12_000),
+                    ),
                 ],
                 rows: 16,
             },
@@ -741,9 +1101,19 @@ fn conferences() -> DomainSpec {
                 nl_plural: "papers",
                 columns: vec![
                     col("paper_id", "id", "", V::Id),
-                    col("conference_id", "conference", "", V::Ref("conference", "conference_id")),
+                    col(
+                        "conference_id",
+                        "conference",
+                        "",
+                        V::Ref("conference", "conference_id"),
+                    ),
                     col("title", "title", "what it is called", V::Title),
-                    col("citations", "number of citations", "how influential it is", V::Int(0, 4_000)),
+                    col(
+                        "citations",
+                        "number of citations",
+                        "how influential it is",
+                        V::Int(0, 4_000),
+                    ),
                     col("pages", "number of pages", "how long it is", V::Int(4, 40)),
                 ],
                 rows: 60,
@@ -765,7 +1135,12 @@ fn gyms() -> DomainSpec {
                     col("gym_id", "id", "", V::Id),
                     col("name", "name", "what it is called", V::VenueName),
                     col("city", "city", "where it is", V::City),
-                    col("monthly_fee", "monthly fee", "how much it costs per month", V::Float(15.0, 220.0)),
+                    col(
+                        "monthly_fee",
+                        "monthly fee",
+                        "how much it costs per month",
+                        V::Float(15.0, 220.0),
+                    ),
                 ],
                 rows: 12,
             },
@@ -778,7 +1153,12 @@ fn gyms() -> DomainSpec {
                     col("gym_id", "gym", "", V::Ref("gym", "gym_id")),
                     col("name", "name", "who they are", V::PersonName),
                     col("age", "age", "how old they are", V::Int(14, 80)),
-                    col("join_year", "join year", "when they joined", V::Year(2010, 2024)),
+                    col(
+                        "join_year",
+                        "join year",
+                        "when they joined",
+                        V::Year(2010, 2024),
+                    ),
                 ],
                 rows: 55,
             },
@@ -799,7 +1179,12 @@ fn banks() -> DomainSpec {
                     col("branch_id", "id", "", V::Id),
                     col("name", "name", "what it is called", V::VenueName),
                     col("city", "city", "where it is", V::City),
-                    col("opened_year", "opening year", "when it opened", V::Year(1950, 2020)),
+                    col(
+                        "opened_year",
+                        "opening year",
+                        "when it opened",
+                        V::Year(1950, 2020),
+                    ),
                 ],
                 rows: 12,
             },
@@ -811,8 +1196,18 @@ fn banks() -> DomainSpec {
                     col("account_id", "id", "", V::Id),
                     col("branch_id", "branch", "", V::Ref("branch", "branch_id")),
                     col("holder_name", "holder name", "who owns it", V::PersonName),
-                    col("balance", "balance", "how much is in it", V::Float(-2_000.0, 250_000.0)),
-                    col("open_year", "opening year", "when it was opened", V::Year(2000, 2024)),
+                    col(
+                        "balance",
+                        "balance",
+                        "how much is in it",
+                        V::Float(-2_000.0, 250_000.0),
+                    ),
+                    col(
+                        "open_year",
+                        "opening year",
+                        "when it was opened",
+                        V::Year(2000, 2024),
+                    ),
                 ],
                 rows: 60,
             },
@@ -833,7 +1228,12 @@ fn parks() -> DomainSpec {
                     col("park_id", "id", "", V::Id),
                     col("name", "name", "what it is called", V::VenueName),
                     col("city", "city", "where it is", V::City),
-                    col("area", "area in hectares", "how large it is", V::Float(0.5, 400.0)),
+                    col(
+                        "area",
+                        "area in hectares",
+                        "how large it is",
+                        V::Float(0.5, 400.0),
+                    ),
                 ],
                 rows: 14,
             },
@@ -846,7 +1246,12 @@ fn parks() -> DomainSpec {
                     col("park_id", "park", "", V::Ref("park", "park_id")),
                     col("title", "title", "what it is called", V::Title),
                     col("year", "year", "when it took place", V::Year(2012, 2024)),
-                    col("attendance", "attendance", "how many attended", V::Int(50, 40_000)),
+                    col(
+                        "attendance",
+                        "attendance",
+                        "how many attended",
+                        V::Int(50, 40_000),
+                    ),
                 ],
                 rows: 50,
             },
@@ -867,7 +1272,12 @@ fn news_agency() -> DomainSpec {
                     col("journalist_id", "id", "", V::Id),
                     col("name", "name", "who they are", V::PersonName),
                     col("country", "country", "where they report from", V::Country),
-                    col("experience_years", "years of experience", "how long they have reported", V::Int(0, 40)),
+                    col(
+                        "experience_years",
+                        "years of experience",
+                        "how long they have reported",
+                        V::Int(0, 40),
+                    ),
                 ],
                 rows: 18,
             },
@@ -877,7 +1287,12 @@ fn news_agency() -> DomainSpec {
                 nl_plural: "articles",
                 columns: vec![
                     col("article_id", "id", "", V::Id),
-                    col("journalist_id", "journalist", "", V::Ref("journalist", "journalist_id")),
+                    col(
+                        "journalist_id",
+                        "journalist",
+                        "",
+                        V::Ref("journalist", "journalist_id"),
+                    ),
                     col("title", "title", "what it is called", V::Title),
                     col("words", "word count", "how long it is", V::Int(150, 12_000)),
                     col("year", "year", "when it ran", V::Year(2010, 2024)),
@@ -901,7 +1316,12 @@ fn shipping() -> DomainSpec {
                     col("ship_id", "id", "", V::Id),
                     col("name", "name", "what it is called", V::Title),
                     col("flag", "flag country", "where it is registered", V::Country),
-                    col("tonnage", "tonnage", "how much it can carry", V::Int(900, 200_000)),
+                    col(
+                        "tonnage",
+                        "tonnage",
+                        "how much it can carry",
+                        V::Int(900, 200_000),
+                    ),
                 ],
                 rows: 16,
             },
@@ -913,7 +1333,12 @@ fn shipping() -> DomainSpec {
                     col("voyage_id", "id", "", V::Id),
                     col("ship_id", "ship", "", V::Ref("ship", "ship_id")),
                     col("destination", "destination", "where it sails to", V::City),
-                    col("cargo_value", "cargo value", "how much the cargo is worth", V::Float(10_000.0, 9_000_000.0)),
+                    col(
+                        "cargo_value",
+                        "cargo value",
+                        "how much the cargo is worth",
+                        V::Float(10_000.0, 9_000_000.0),
+                    ),
                     col("year", "year", "when it sailed", V::Year(2014, 2024)),
                 ],
                 rows: 55,

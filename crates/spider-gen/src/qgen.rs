@@ -67,7 +67,10 @@ pub fn generate_example(
 // ---- small AST builders ----
 
 fn c(table: Option<&str>, name: &str) -> ColumnRef {
-    ColumnRef { table: table.map(str::to_string), column: name.to_string() }
+    ColumnRef {
+        table: table.map(str::to_string),
+        column: name.to_string(),
+    }
 }
 
 fn col_expr(table: Option<&str>, name: &str) -> Expr {
@@ -80,16 +83,25 @@ fn item(expr: Expr) -> SelectItem {
 
 fn from_one(table: &str) -> FromClause {
     FromClause {
-        base: TableRef::Named { name: table.to_string(), alias: None },
+        base: TableRef::Named {
+            name: table.to_string(),
+            alias: None,
+        },
         joins: vec![],
     }
 }
 
 fn from_join(t1: &str, t2: &str, on_left: &str, on_right: &str) -> FromClause {
     FromClause {
-        base: TableRef::Named { name: t1.to_string(), alias: Some("T1".into()) },
+        base: TableRef::Named {
+            name: t1.to_string(),
+            alias: Some("T1".into()),
+        },
         joins: vec![Join {
-            table: TableRef::Named { name: t2.to_string(), alias: Some("T2".into()) },
+            table: TableRef::Named {
+                name: t2.to_string(),
+                alias: Some("T2".into()),
+            },
             on: Some(Cond::Cmp {
                 left: col_expr(Some("T1"), on_left),
                 op: CmpOp::Eq,
@@ -100,7 +112,11 @@ fn from_join(t1: &str, t2: &str, on_left: &str, on_right: &str) -> FromClause {
 }
 
 fn agg(func: AggFunc, arg: Expr) -> Expr {
-    Expr::Agg { func, distinct: false, arg: Box::new(arg) }
+    Expr::Agg {
+        func,
+        distinct: false,
+        arg: Box::new(arg),
+    }
 }
 
 fn count_star() -> Expr {
@@ -108,7 +124,11 @@ fn count_star() -> Expr {
 }
 
 fn select(items: Vec<SelectItem>, from: FromClause) -> Select {
-    Select { items, from: Some(from), ..Select::default() }
+    Select {
+        items,
+        from: Some(from),
+        ..Select::default()
+    }
 }
 
 // ---- column pickers ----
@@ -138,7 +158,10 @@ fn measure_cols(t: &TableSpec) -> Vec<&ColumnSpec> {
 }
 
 fn categorical_cols(t: &TableSpec) -> Vec<&ColumnSpec> {
-    t.columns.iter().filter(|cs| cs.kind.is_categorical()).collect()
+    t.columns
+        .iter()
+        .filter(|cs| cs.kind.is_categorical())
+        .collect()
 }
 
 /// Phrase for a column: the explicit schema phrase, or the implicit
@@ -230,14 +253,22 @@ fn t1_list(spec: &DomainSpec, rng: &mut StdRng) -> Option<GeneratedExample> {
         return None;
     }
     let cs = pick(rng, &cols);
-    let q = Query::Select(select(vec![item(col_expr(None, cs.name))], from_one(t.name)));
+    let q = Query::Select(select(
+        vec![item(col_expr(None, cs.name))],
+        from_one(t.name),
+    ));
     let question = match rng.gen_range(0..3) {
         0 => format!("List the {} of all {}.", cs.nl, t.nl_plural),
         1 => format!("What are the {}s of the {}?", cs.nl, t.nl_plural),
         _ => format!("Show every {}'s {}.", t.nl_singular, cs.nl),
     };
     let question_realistic = format!("Tell me the {} for all {}.", phrase(cs, true), t.nl_plural);
-    Some(GeneratedExample { question, question_realistic, gold: q, template: "t1" })
+    Some(GeneratedExample {
+        question,
+        question_realistic,
+        gold: q,
+        template: "t1",
+    })
 }
 
 fn t2_filter(spec: &DomainSpec, db: &Database, rng: &mut StdRng) -> Option<GeneratedExample> {
@@ -302,7 +333,12 @@ fn t2_filter(spec: &DomainSpec, db: &Database, rng: &mut StdRng) -> Option<Gener
         lit_nl(&threshold),
         phrase(proj, true),
     );
-    Some(GeneratedExample { question, question_realistic, gold: q, template: "t2" })
+    Some(GeneratedExample {
+        question,
+        question_realistic,
+        gold: q,
+        template: "t2",
+    })
 }
 
 fn t3_count_all(spec: &DomainSpec, rng: &mut StdRng) -> Option<GeneratedExample> {
@@ -313,7 +349,12 @@ fn t3_count_all(spec: &DomainSpec, rng: &mut StdRng) -> Option<GeneratedExample>
         _ => format!("Count the total number of {}.", t.nl_plural),
     };
     let question_realistic = format!("What is the size of the {} list?", t.nl_singular);
-    Some(GeneratedExample { question, question_realistic, gold: q, template: "t3" })
+    Some(GeneratedExample {
+        question,
+        question_realistic,
+        gold: q,
+        template: "t3",
+    })
 }
 
 fn t4_count_where(spec: &DomainSpec, db: &Database, rng: &mut StdRng) -> Option<GeneratedExample> {
@@ -345,13 +386,20 @@ fn t4_count_where(spec: &DomainSpec, db: &Database, rng: &mut StdRng) -> Option<
         lit_nl(&v)
     };
     let question = match rng.gen_range(0..3) {
-        0 => format!("How many {} have {} equal to {}?", t.nl_plural, cs.nl, shown),
+        0 => format!(
+            "How many {} have {} equal to {}?",
+            t.nl_plural, cs.nl, shown
+        ),
         1 => format!("Count the {} whose {} is {}.", t.nl_plural, cs.nl, shown),
         _ => format!("How many {} have the {} {}?", t.nl_plural, cs.nl, shown),
     };
-    let question_realistic =
-        format!("How many {} are associated with {}?", t.nl_plural, shown);
-    Some(GeneratedExample { question, question_realistic, gold: q, template: "t4" })
+    let question_realistic = format!("How many {} are associated with {}?", t.nl_plural, shown);
+    Some(GeneratedExample {
+        question,
+        question_realistic,
+        gold: q,
+        template: "t4",
+    })
 }
 
 fn t5_agg(spec: &DomainSpec, rng: &mut StdRng) -> Option<GeneratedExample> {
@@ -361,7 +409,10 @@ fn t5_agg(spec: &DomainSpec, rng: &mut StdRng) -> Option<GeneratedExample> {
         return None;
     }
     let cs = pick(rng, &measures);
-    let func = *pick(rng, &[AggFunc::Avg, AggFunc::Max, AggFunc::Min, AggFunc::Sum]);
+    let func = *pick(
+        rng,
+        &[AggFunc::Avg, AggFunc::Max, AggFunc::Min, AggFunc::Sum],
+    );
     let q = Query::Select(select(
         vec![item(agg(func, col_expr(None, cs.name)))],
         from_one(t.name),
@@ -384,7 +435,12 @@ fn t5_agg(spec: &DomainSpec, rng: &mut StdRng) -> Option<GeneratedExample> {
         func_nl,
         phrase(cs, true)
     );
-    Some(GeneratedExample { question, question_realistic, gold: q, template: "t5" })
+    Some(GeneratedExample {
+        question,
+        question_realistic,
+        gold: q,
+        template: "t5",
+    })
 }
 
 fn t6_superlative(spec: &DomainSpec, rng: &mut StdRng) -> Option<GeneratedExample> {
@@ -400,7 +456,10 @@ fn t6_superlative(spec: &DomainSpec, rng: &mut StdRng) -> Option<GeneratedExampl
     let q = Query::Select(Select {
         items: vec![item(col_expr(None, proj.name))],
         from: Some(from_one(t.name)),
-        order_by: vec![OrderKey { expr: col_expr(None, key.name), dir }],
+        order_by: vec![OrderKey {
+            expr: col_expr(None, key.name),
+            dir,
+        }],
         limit: Some(1),
         ..Select::default()
     });
@@ -425,11 +484,20 @@ fn t6_superlative(spec: &DomainSpec, rng: &mut StdRng) -> Option<GeneratedExampl
     let question_realistic = format!(
         "Which {} ranks {} by {}? Show its {}.",
         t.nl_singular,
-        if dir == SortDir::Desc { "first" } else { "last" },
+        if dir == SortDir::Desc {
+            "first"
+        } else {
+            "last"
+        },
         phrase(key, true),
         phrase(proj, true)
     );
-    Some(GeneratedExample { question, question_realistic, gold: q, template: "t6" })
+    Some(GeneratedExample {
+        question,
+        question_realistic,
+        gold: q,
+        template: "t6",
+    })
 }
 
 fn t7_group_count(spec: &DomainSpec, rng: &mut StdRng) -> Option<GeneratedExample> {
@@ -450,8 +518,17 @@ fn t7_group_count(spec: &DomainSpec, rng: &mut StdRng) -> Option<GeneratedExampl
         1 => format!("For each {}, how many {} are there?", cs.nl, t.nl_plural),
         _ => format!("Count the {} per {}.", t.nl_plural, cs.nl),
     };
-    let question_realistic = format!("Break the {} down by {} with counts.", t.nl_plural, phrase(cs, true));
-    Some(GeneratedExample { question, question_realistic, gold: q, template: "t7" })
+    let question_realistic = format!(
+        "Break the {} down by {} with counts.",
+        t.nl_plural,
+        phrase(cs, true)
+    );
+    Some(GeneratedExample {
+        question,
+        question_realistic,
+        gold: q,
+        template: "t7",
+    })
 }
 
 fn t8_group_having(spec: &DomainSpec, rng: &mut StdRng) -> Option<GeneratedExample> {
@@ -483,7 +560,12 @@ fn t8_group_having(spec: &DomainSpec, rng: &mut StdRng) -> Option<GeneratedExamp
         phrase(cs, true),
         n
     );
-    Some(GeneratedExample { question, question_realistic, gold: q, template: "t8" })
+    Some(GeneratedExample {
+        question,
+        question_realistic,
+        gold: q,
+        template: "t8",
+    })
 }
 
 fn t9_join_filter(spec: &DomainSpec, db: &Database, rng: &mut StdRng) -> Option<GeneratedExample> {
@@ -541,7 +623,12 @@ fn t9_join_filter(spec: &DomainSpec, db: &Database, rng: &mut StdRng) -> Option<
         cond_nl_realistic,
         phrase(proj, true)
     );
-    Some(GeneratedExample { question, question_realistic, gold: q, template: "t9" })
+    Some(GeneratedExample {
+        question,
+        question_realistic,
+        gold: q,
+        template: "t9",
+    })
 }
 
 fn t10_join_group(spec: &DomainSpec, rng: &mut StdRng) -> Option<GeneratedExample> {
@@ -565,7 +652,12 @@ fn t10_join_group(spec: &DomainSpec, rng: &mut StdRng) -> Option<GeneratedExampl
         "For each {}, how many {} are linked?",
         parent.nl_singular, child.nl_plural
     );
-    Some(GeneratedExample { question, question_realistic, gold: q, template: "t10" })
+    Some(GeneratedExample {
+        question,
+        question_realistic,
+        gold: q,
+        template: "t10",
+    })
 }
 
 fn t11_nested_in(spec: &DomainSpec, db: &Database, rng: &mut StdRng) -> Option<GeneratedExample> {
@@ -623,7 +715,12 @@ fn t11_nested_in(spec: &DomainSpec, db: &Database, rng: &mut StdRng) -> Option<G
         lit_nl(&thr),
         phrase(proj, true)
     );
-    Some(GeneratedExample { question, question_realistic, gold: q, template: "t11" })
+    Some(GeneratedExample {
+        question,
+        question_realistic,
+        gold: q,
+        template: "t11",
+    })
 }
 
 fn t12_nested_not_in(spec: &DomainSpec, rng: &mut StdRng) -> Option<GeneratedExample> {
@@ -655,7 +752,12 @@ fn t12_nested_not_in(spec: &DomainSpec, rng: &mut StdRng) -> Option<GeneratedExa
         "Which {} lack any associated {}?",
         parent.nl_plural, child.nl_singular
     );
-    Some(GeneratedExample { question, question_realistic, gold: q, template: "t12" })
+    Some(GeneratedExample {
+        question,
+        question_realistic,
+        gold: q,
+        template: "t12",
+    })
 }
 
 fn t13_above_average(spec: &DomainSpec, rng: &mut StdRng) -> Option<GeneratedExample> {
@@ -697,7 +799,12 @@ fn t13_above_average(spec: &DomainSpec, rng: &mut StdRng) -> Option<GeneratedExa
         phrase(mc, true),
         phrase(proj, true)
     );
-    Some(GeneratedExample { question, question_realistic, gold: q, template: "t13" })
+    Some(GeneratedExample {
+        question,
+        question_realistic,
+        gold: q,
+        template: "t13",
+    })
 }
 
 fn t14_set_op(spec: &DomainSpec, db: &Database, rng: &mut StdRng) -> Option<GeneratedExample> {
@@ -731,7 +838,11 @@ fn t14_set_op(spec: &DomainSpec, db: &Database, rng: &mut StdRng) -> Option<Gene
         }),
         ..Select::default()
     });
-    let q = Query::Compound { op, left: Box::new(left), right: Box::new(right) };
+    let q = Query::Compound {
+        op,
+        left: Box::new(left),
+        right: Box::new(right),
+    };
     let (op_nl, op_nl2) = match op {
         SetOp::Intersect => ("both", "and also"),
         SetOp::Union => ("either", "or"),
@@ -753,7 +864,12 @@ fn t14_set_op(spec: &DomainSpec, db: &Database, rng: &mut StdRng) -> Option<Gene
         phrase(proj, true),
         op.as_str().to_lowercase()
     );
-    Some(GeneratedExample { question, question_realistic, gold: q, template: "t14" })
+    Some(GeneratedExample {
+        question,
+        question_realistic,
+        gold: q,
+        template: "t14",
+    })
 }
 
 fn t15_distinct(spec: &DomainSpec, rng: &mut StdRng) -> Option<GeneratedExample> {
@@ -770,11 +886,24 @@ fn t15_distinct(spec: &DomainSpec, rng: &mut StdRng) -> Option<GeneratedExample>
         ..Select::default()
     });
     let question = format!("List the distinct {} of the {}.", cs.nl, t.nl_plural);
-    let question_realistic = format!("What different {} show up among the {}?", phrase(cs, true), t.nl_plural);
-    Some(GeneratedExample { question, question_realistic, gold: q, template: "t15" })
+    let question_realistic = format!(
+        "What different {} show up among the {}?",
+        phrase(cs, true),
+        t.nl_plural
+    );
+    Some(GeneratedExample {
+        question,
+        question_realistic,
+        gold: q,
+        template: "t15",
+    })
 }
 
-fn t16_between_like(spec: &DomainSpec, db: &Database, rng: &mut StdRng) -> Option<GeneratedExample> {
+fn t16_between_like(
+    spec: &DomainSpec,
+    db: &Database,
+    rng: &mut StdRng,
+) -> Option<GeneratedExample> {
     let t = pick(rng, &spec.tables);
     if rng.gen_bool(0.5) {
         // BETWEEN on a measure.
@@ -817,7 +946,12 @@ fn t16_between_like(spec: &DomainSpec, db: &Database, rng: &mut StdRng) -> Optio
             lit_nl(&hi_v),
             phrase(mc, true)
         );
-        Some(GeneratedExample { question, question_realistic, gold: q, template: "t16" })
+        Some(GeneratedExample {
+            question,
+            question_realistic,
+            gold: q,
+            template: "t16",
+        })
     } else {
         // LIKE on a text column: prefix of an actual value.
         let display = display_cols(t);
@@ -846,9 +980,13 @@ fn t16_between_like(spec: &DomainSpec, db: &Database, rng: &mut StdRng) -> Optio
             "Which {} have a {} starting with '{}'?",
             t.nl_plural, cs.nl, prefix
         );
-        let question_realistic =
-            format!("Find {} beginning with '{}'.", t.nl_plural, prefix);
-        Some(GeneratedExample { question, question_realistic, gold: q, template: "t16" })
+        let question_realistic = format!("Find {} beginning with '{}'.", t.nl_plural, prefix);
+        Some(GeneratedExample {
+            question,
+            question_realistic,
+            gold: q,
+            template: "t16",
+        })
     }
 }
 
@@ -863,20 +1001,27 @@ fn t17_most_common(spec: &DomainSpec, rng: &mut StdRng) -> Option<GeneratedExamp
         items: vec![item(col_expr(None, cs.name))],
         from: Some(from_one(t.name)),
         group_by: vec![c(None, cs.name)],
-        order_by: vec![OrderKey { expr: count_star(), dir: SortDir::Desc }],
+        order_by: vec![OrderKey {
+            expr: count_star(),
+            dir: SortDir::Desc,
+        }],
         limit: Some(1),
         ..Select::default()
     });
     let question = match rng.gen_range(0..2) {
-        0 => format!("Which {} is the most common among the {}?", cs.nl, t.nl_plural),
+        0 => format!(
+            "Which {} is the most common among the {}?",
+            cs.nl, t.nl_plural
+        ),
         _ => format!("What is the most common {} of the {}?", cs.nl, t.nl_plural),
     };
-    let question_realistic = format!(
-        "What {} dominates the {}?",
-        phrase(cs, true),
-        t.nl_plural
-    );
-    Some(GeneratedExample { question, question_realistic, gold: q, template: "t17" })
+    let question_realistic = format!("What {} dominates the {}?", phrase(cs, true), t.nl_plural);
+    Some(GeneratedExample {
+        question,
+        question_realistic,
+        gold: q,
+        template: "t17",
+    })
 }
 
 fn t18_multi_agg(spec: &DomainSpec, rng: &mut StdRng) -> Option<GeneratedExample> {
@@ -903,10 +1048,19 @@ fn t18_multi_agg(spec: &DomainSpec, rng: &mut StdRng) -> Option<GeneratedExample
         phrase(cs, true),
         t.nl_plural
     );
-    Some(GeneratedExample { question, question_realistic, gold: q, template: "t18" })
+    Some(GeneratedExample {
+        question,
+        question_realistic,
+        gold: q,
+        template: "t18",
+    })
 }
 
-fn t19_two_conditions(spec: &DomainSpec, db: &Database, rng: &mut StdRng) -> Option<GeneratedExample> {
+fn t19_two_conditions(
+    spec: &DomainSpec,
+    db: &Database,
+    rng: &mut StdRng,
+) -> Option<GeneratedExample> {
     let t = pick(rng, &spec.tables);
     let display = display_cols(t);
     let measures = measure_cols(t);
@@ -960,7 +1114,12 @@ fn t19_two_conditions(spec: &DomainSpec, db: &Database, rng: &mut StdRng) -> Opt
         lit_nl(&v),
         phrase(proj, true)
     );
-    Some(GeneratedExample { question, question_realistic, gold: q, template: "t19" })
+    Some(GeneratedExample {
+        question,
+        question_realistic,
+        gold: q,
+        template: "t19",
+    })
 }
 
 fn t20_join_superlative(spec: &DomainSpec, rng: &mut StdRng) -> Option<GeneratedExample> {
@@ -975,7 +1134,10 @@ fn t20_join_superlative(spec: &DomainSpec, rng: &mut StdRng) -> Option<Generated
     let q = Query::Select(Select {
         items: vec![item(col_expr(Some("T1"), proj.name))],
         from: Some(from_join(parent.name, child.name, parent_col, fk_col)),
-        order_by: vec![OrderKey { expr: col_expr(Some("T2"), mc.name), dir: SortDir::Desc }],
+        order_by: vec![OrderKey {
+            expr: col_expr(Some("T2"), mc.name),
+            dir: SortDir::Desc,
+        }],
         limit: Some(1),
         ..Select::default()
     });
@@ -989,7 +1151,12 @@ fn t20_join_superlative(spec: &DomainSpec, rng: &mut StdRng) -> Option<Generated
         child.nl_plural,
         phrase(mc, true)
     );
-    Some(GeneratedExample { question, question_realistic, gold: q, template: "t20" })
+    Some(GeneratedExample {
+        question,
+        question_realistic,
+        gold: q,
+        template: "t20",
+    })
 }
 
 fn t21_join_group_having_order(spec: &DomainSpec, rng: &mut StdRng) -> Option<GeneratedExample> {
@@ -1009,7 +1176,10 @@ fn t21_join_group_having_order(spec: &DomainSpec, rng: &mut StdRng) -> Option<Ge
             op: CmpOp::Gt,
             right: Operand::Expr(Expr::Lit(Literal::Int(n))),
         }),
-        order_by: vec![OrderKey { expr: count_star(), dir: SortDir::Desc }],
+        order_by: vec![OrderKey {
+            expr: count_star(),
+            dir: SortDir::Desc,
+        }],
         ..Select::default()
     });
     let question = format!(
@@ -1020,7 +1190,12 @@ fn t21_join_group_having_order(spec: &DomainSpec, rng: &mut StdRng) -> Option<Ge
         "Rank the {} that hold more than {} {}, busiest first, with their totals.",
         parent.nl_plural, n, child.nl_plural
     );
-    Some(GeneratedExample { question, question_realistic, gold: q, template: "t21" })
+    Some(GeneratedExample {
+        question,
+        question_realistic,
+        gold: q,
+        template: "t21",
+    })
 }
 
 fn t22_or_nested(spec: &DomainSpec, db: &Database, rng: &mut StdRng) -> Option<GeneratedExample> {
@@ -1081,7 +1256,12 @@ fn t22_or_nested(spec: &DomainSpec, db: &Database, rng: &mut StdRng) -> Option<G
         lit_nl(&thr2),
         phrase(proj, true)
     );
-    Some(GeneratedExample { question, question_realistic, gold: q, template: "t22" })
+    Some(GeneratedExample {
+        question,
+        question_realistic,
+        gold: q,
+        template: "t22",
+    })
 }
 
 #[cfg(test)]

@@ -56,7 +56,10 @@ impl ValueKind {
     /// Whether the column is a numeric *measure* (sensible for SUM/AVG and
     /// inequality predicates). Ids and FK refs are numeric but not measures.
     pub fn is_measure(&self) -> bool {
-        matches!(self, ValueKind::Year(_, _) | ValueKind::Int(_, _) | ValueKind::Float(_, _))
+        matches!(
+            self,
+            ValueKind::Year(_, _) | ValueKind::Int(_, _) | ValueKind::Float(_, _)
+        )
     }
 
     /// Whether the column is a good GROUP BY / categorical key.
@@ -151,7 +154,11 @@ impl DomainSpec {
                 }
             }
         }
-        DbSchema { db_id: self.db_id.to_string(), tables, foreign_keys }
+        DbSchema {
+            db_id: self.db_id.to_string(),
+            tables,
+            foreign_keys,
+        }
     }
 
     /// Find a table spec.
@@ -183,7 +190,12 @@ pub fn col(
     nl_implicit: &'static str,
     kind: ValueKind,
 ) -> ColumnSpec {
-    ColumnSpec { name, nl, nl_implicit, kind }
+    ColumnSpec {
+        name,
+        nl,
+        nl_implicit,
+        kind,
+    }
 }
 
 #[cfg(test)]

@@ -42,9 +42,17 @@ const CHILDREN: &[(&str, &str)] = &[
 
 /// Categorical column templates: (name, nl, value pool).
 const CATEGORIES: &[(&str, &str, &[&str])] = &[
-    ("status", "status", &["Open", "Closed", "Pending", "Archived"]),
+    (
+        "status",
+        "status",
+        &["Open", "Closed", "Pending", "Archived"],
+    ),
     ("tier", "tier", &["Gold", "Silver", "Bronze"]),
-    ("zone", "zone", &["North", "South", "East", "West", "Central"]),
+    (
+        "zone",
+        "zone",
+        &["North", "South", "East", "West", "Central"],
+    ),
     ("kind", "kind", &["Standard", "Express", "Bulk", "Fragile"]),
 ];
 
@@ -81,14 +89,24 @@ pub fn synthetic_domains(n: usize, seed: u64) -> Vec<DomainSpec> {
             nl_singular: leak(p_sing.replace('_', " ")),
             nl_plural: leak(p_plur.to_string()),
             columns: vec![
-                ColumnSpec { name: p_pk, nl: "id", nl_implicit: "", kind: ValueKind::Id },
+                ColumnSpec {
+                    name: p_pk,
+                    nl: "id",
+                    nl_implicit: "",
+                    kind: ValueKind::Id,
+                },
                 ColumnSpec {
                     name: "name",
                     nl: "name",
                     nl_implicit: "what it is called",
                     kind: ValueKind::VenueName,
                 },
-                ColumnSpec { name: cat_name, nl: cat_nl, nl_implicit: "", kind: ValueKind::Category(cat_pool) },
+                ColumnSpec {
+                    name: cat_name,
+                    nl: cat_nl,
+                    nl_implicit: "",
+                    kind: ValueKind::Category(cat_pool),
+                },
                 ColumnSpec {
                     name: m_name,
                     nl: m_nl,
@@ -112,8 +130,16 @@ pub fn synthetic_domains(n: usize, seed: u64) -> Vec<DomainSpec> {
         let (c_cat_name, c_cat_nl, c_cat_pool) = CATEGORIES[rng.gen_range(0..CATEGORIES.len())];
         let (cm_name, cm_nl, clo, chi, c_float) = MEASURES[rng.gen_range(0..MEASURES.len())];
         // Avoid duplicated column names between measure/category pairs.
-        let cm_name_final = if cm_name == m_name { leak(format!("{cm_name}_total")) } else { cm_name };
-        let c_cat_final = if c_cat_name == cat_name { leak(format!("{c_cat_name}_code")) } else { c_cat_name };
+        let cm_name_final = if cm_name == m_name {
+            leak(format!("{cm_name}_total"))
+        } else {
+            cm_name
+        };
+        let c_cat_final = if c_cat_name == cat_name {
+            leak(format!("{c_cat_name}_code"))
+        } else {
+            c_cat_name
+        };
         let child = TableSpec {
             name: leak(c_sing.to_string()),
             nl_singular: leak(c_sing.replace('_', " ")),
@@ -131,7 +157,12 @@ pub fn synthetic_domains(n: usize, seed: u64) -> Vec<DomainSpec> {
                     nl_implicit: "",
                     kind: ValueKind::Ref(leak(p_sing.to_string()), p_pk),
                 },
-                ColumnSpec { name: c_cat_final, nl: c_cat_nl, nl_implicit: "", kind: ValueKind::Category(c_cat_pool) },
+                ColumnSpec {
+                    name: c_cat_final,
+                    nl: c_cat_nl,
+                    nl_implicit: "",
+                    kind: ValueKind::Category(c_cat_pool),
+                },
                 ColumnSpec {
                     name: cm_name_final,
                     nl: cm_nl,
@@ -151,7 +182,11 @@ pub fn synthetic_domains(n: usize, seed: u64) -> Vec<DomainSpec> {
             ],
             rows: 30 + rng.gen_range(0..25),
         };
-        out.push(DomainSpec { db_id, topic: leak(format!("{p_plur} and their {c_plur}")), tables: vec![parent, child] });
+        out.push(DomainSpec {
+            db_id,
+            topic: leak(format!("{p_plur} and their {c_plur}")),
+            tables: vec![parent, child],
+        });
     }
     out
 }
@@ -205,7 +240,13 @@ mod tests {
             for t in &d.tables {
                 let mut seen = std::collections::HashSet::new();
                 for c in &t.columns {
-                    assert!(seen.insert(c.name), "{}.{} duplicated {}", d.db_id, t.name, c.name);
+                    assert!(
+                        seen.insert(c.name),
+                        "{}.{} duplicated {}",
+                        d.db_id,
+                        t.name,
+                        c.name
+                    );
                 }
             }
         }

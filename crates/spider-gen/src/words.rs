@@ -6,43 +6,161 @@
 
 /// Person first names.
 pub const FIRST_NAMES: &[&str] = &[
-    "James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael", "Linda", "David",
-    "Elizabeth", "William", "Barbara", "Richard", "Susan", "Joseph", "Jessica", "Thomas",
-    "Sarah", "Charles", "Karen", "Daniel", "Nancy", "Matthew", "Lisa", "Anthony", "Betty",
-    "Mark", "Margaret", "Donald", "Sandra", "Steven", "Ashley", "Paul", "Kimberly", "Andrew",
-    "Emily", "Joshua", "Donna", "Kenneth", "Michelle",
+    "James",
+    "Mary",
+    "Robert",
+    "Patricia",
+    "John",
+    "Jennifer",
+    "Michael",
+    "Linda",
+    "David",
+    "Elizabeth",
+    "William",
+    "Barbara",
+    "Richard",
+    "Susan",
+    "Joseph",
+    "Jessica",
+    "Thomas",
+    "Sarah",
+    "Charles",
+    "Karen",
+    "Daniel",
+    "Nancy",
+    "Matthew",
+    "Lisa",
+    "Anthony",
+    "Betty",
+    "Mark",
+    "Margaret",
+    "Donald",
+    "Sandra",
+    "Steven",
+    "Ashley",
+    "Paul",
+    "Kimberly",
+    "Andrew",
+    "Emily",
+    "Joshua",
+    "Donna",
+    "Kenneth",
+    "Michelle",
 ];
 
 /// Person last names.
 pub const LAST_NAMES: &[&str] = &[
-    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis", "Rodriguez",
-    "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson", "Thomas", "Taylor",
-    "Moore", "Jackson", "Martin", "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez",
-    "Clark", "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King", "Wright",
+    "Smith",
+    "Johnson",
+    "Williams",
+    "Brown",
+    "Jones",
+    "Garcia",
+    "Miller",
+    "Davis",
+    "Rodriguez",
+    "Martinez",
+    "Hernandez",
+    "Lopez",
+    "Gonzalez",
+    "Wilson",
+    "Anderson",
+    "Thomas",
+    "Taylor",
+    "Moore",
+    "Jackson",
+    "Martin",
+    "Lee",
+    "Perez",
+    "Thompson",
+    "White",
+    "Harris",
+    "Sanchez",
+    "Clark",
+    "Ramirez",
+    "Lewis",
+    "Robinson",
+    "Walker",
+    "Young",
+    "Allen",
+    "King",
+    "Wright",
 ];
 
 /// City names.
 pub const CITIES: &[&str] = &[
-    "New York", "London", "Paris", "Tokyo", "Berlin", "Madrid", "Rome", "Sydney", "Toronto",
-    "Chicago", "Boston", "Seattle", "Austin", "Denver", "Miami", "Dublin", "Oslo", "Vienna",
-    "Prague", "Lisbon", "Athens", "Warsaw", "Helsinki", "Zurich", "Amsterdam", "Brussels",
+    "New York",
+    "London",
+    "Paris",
+    "Tokyo",
+    "Berlin",
+    "Madrid",
+    "Rome",
+    "Sydney",
+    "Toronto",
+    "Chicago",
+    "Boston",
+    "Seattle",
+    "Austin",
+    "Denver",
+    "Miami",
+    "Dublin",
+    "Oslo",
+    "Vienna",
+    "Prague",
+    "Lisbon",
+    "Athens",
+    "Warsaw",
+    "Helsinki",
+    "Zurich",
+    "Amsterdam",
+    "Brussels",
 ];
 
 /// Country names.
 pub const COUNTRIES: &[&str] = &[
-    "United States", "France", "Japan", "Germany", "Spain", "Italy", "Australia", "Canada",
-    "United Kingdom", "Netherlands", "Brazil", "Mexico", "Sweden", "Norway", "Poland", "Korea",
+    "United States",
+    "France",
+    "Japan",
+    "Germany",
+    "Spain",
+    "Italy",
+    "Australia",
+    "Canada",
+    "United Kingdom",
+    "Netherlands",
+    "Brazil",
+    "Mexico",
+    "Sweden",
+    "Norway",
+    "Poland",
+    "Korea",
 ];
 
 /// Music genres.
 pub const GENRES: &[&str] = &[
-    "Pop", "Rock", "Jazz", "Classical", "Hip Hop", "Country", "Electronic", "Folk", "Blues",
+    "Pop",
+    "Rock",
+    "Jazz",
+    "Classical",
+    "Hip Hop",
+    "Country",
+    "Electronic",
+    "Folk",
+    "Blues",
     "Reggae",
 ];
 
 /// Movie/series genres.
 pub const FILM_GENRES: &[&str] = &[
-    "Drama", "Comedy", "Action", "Thriller", "Documentary", "Horror", "Romance", "Animation",
+    "Drama",
+    "Comedy",
+    "Action",
+    "Thriller",
+    "Documentary",
+    "Horror",
+    "Romance",
+    "Animation",
 ];
 
 /// Animal breeds / species.
@@ -52,8 +170,16 @@ pub const SPECIES: &[&str] = &[
 
 /// Academic departments.
 pub const DEPARTMENTS: &[&str] = &[
-    "Computer Science", "Mathematics", "Physics", "Biology", "History", "Economics",
-    "Philosophy", "Chemistry", "Linguistics", "Statistics",
+    "Computer Science",
+    "Mathematics",
+    "Physics",
+    "Biology",
+    "History",
+    "Economics",
+    "Philosophy",
+    "Chemistry",
+    "Linguistics",
+    "Statistics",
 ];
 
 /// Cuisine styles.
@@ -68,7 +194,14 @@ pub const MAKERS: &[&str] = &[
 
 /// Product categories.
 pub const PRODUCT_CATEGORIES: &[&str] = &[
-    "Electronics", "Clothing", "Books", "Furniture", "Toys", "Garden", "Sports", "Grocery",
+    "Electronics",
+    "Clothing",
+    "Books",
+    "Furniture",
+    "Toys",
+    "Garden",
+    "Sports",
+    "Grocery",
 ];
 
 /// Sports team nicknames.
@@ -79,13 +212,19 @@ pub const TEAM_WORDS: &[&str] = &[
 
 /// Disease / condition names for the clinic domain.
 pub const CONDITIONS: &[&str] = &[
-    "Influenza", "Asthma", "Diabetes", "Hypertension", "Allergy", "Migraine", "Anemia",
+    "Influenza",
+    "Asthma",
+    "Diabetes",
+    "Hypertension",
+    "Allergy",
+    "Migraine",
+    "Anemia",
 ];
 
 /// Book/album/venue adjective pool for synthesizing titles.
 pub const TITLE_ADJ: &[&str] = &[
-    "Silent", "Golden", "Hidden", "Broken", "Electric", "Distant", "Crimson", "Frozen",
-    "Endless", "Burning", "Silver", "Ancient",
+    "Silent", "Golden", "Hidden", "Broken", "Electric", "Distant", "Crimson", "Frozen", "Endless",
+    "Burning", "Silver", "Ancient",
 ];
 
 /// Title noun pool.
@@ -96,18 +235,37 @@ pub const TITLE_NOUN: &[&str] = &[
 
 /// Street names for addresses.
 pub const STREETS: &[&str] = &[
-    "Oak Street", "Maple Avenue", "Pine Road", "Cedar Lane", "Elm Drive", "Main Street",
-    "High Street", "Park Avenue",
+    "Oak Street",
+    "Maple Avenue",
+    "Pine Road",
+    "Cedar Lane",
+    "Elm Drive",
+    "Main Street",
+    "High Street",
+    "Park Avenue",
 ];
 
 /// Airline names.
 pub const AIRLINES: &[&str] = &[
-    "Skyways", "Aerolight", "TransGlobal", "BlueJet", "Polaris Air", "Meridian", "NimbusAir",
+    "Skyways",
+    "Aerolight",
+    "TransGlobal",
+    "BlueJet",
+    "Polaris Air",
+    "Meridian",
+    "NimbusAir",
 ];
 
 /// Hotel-ish venue prefixes.
 pub const VENUE_PREFIX: &[&str] = &[
-    "Grand", "Royal", "Central", "Riverside", "Summit", "Harbor", "Palace", "Metro",
+    "Grand",
+    "Royal",
+    "Central",
+    "Riverside",
+    "Summit",
+    "Harbor",
+    "Palace",
+    "Metro",
 ];
 
 /// Venue suffixes.

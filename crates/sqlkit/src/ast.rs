@@ -61,12 +61,18 @@ pub struct ColumnRef {
 impl ColumnRef {
     /// An unqualified column reference.
     pub fn new(column: impl Into<String>) -> Self {
-        ColumnRef { table: None, column: column.into() }
+        ColumnRef {
+            table: None,
+            column: column.into(),
+        }
     }
 
     /// A table-qualified column reference.
     pub fn qualified(table: impl Into<String>, column: impl Into<String>) -> Self {
-        ColumnRef { table: Some(table.into()), column: column.into() }
+        ColumnRef {
+            table: Some(table.into()),
+            column: column.into(),
+        }
     }
 
     /// Case-folded (lowercase) copy, used by canonicalization.
@@ -102,7 +108,13 @@ impl AggFunc {
     }
 
     /// All aggregate functions, for generators and tests.
-    pub const ALL: [AggFunc; 5] = [AggFunc::Count, AggFunc::Sum, AggFunc::Avg, AggFunc::Min, AggFunc::Max];
+    pub const ALL: [AggFunc; 5] = [
+        AggFunc::Count,
+        AggFunc::Sum,
+        AggFunc::Avg,
+        AggFunc::Min,
+        AggFunc::Max,
+    ];
 }
 
 /// Binary arithmetic operators.
@@ -163,7 +175,9 @@ impl Expr {
     pub fn contains_aggregate(&self) -> bool {
         match self {
             Expr::Agg { .. } => true,
-            Expr::Arith { left, right, .. } => left.contains_aggregate() || right.contains_aggregate(),
+            Expr::Arith { left, right, .. } => {
+                left.contains_aggregate() || right.contains_aggregate()
+            }
             Expr::Neg(e) => e.contains_aggregate(),
             _ => false,
         }
@@ -323,8 +337,14 @@ impl Cond {
     /// True if any subquery appears anywhere inside this condition.
     pub fn contains_subquery(&self) -> bool {
         match self {
-            Cond::Cmp { right: Operand::Subquery(_), .. } => true,
-            Cond::In { source: InSource::Subquery(_), .. } => true,
+            Cond::Cmp {
+                right: Operand::Subquery(_),
+                ..
+            } => true,
+            Cond::In {
+                source: InSource::Subquery(_),
+                ..
+            } => true,
             Cond::Exists { .. } => true,
             Cond::And(l, r) | Cond::Or(l, r) => l.contains_subquery() || r.contains_subquery(),
             Cond::Not(c) => c.contains_subquery(),
@@ -535,7 +555,9 @@ impl Query {
                     || s.having.as_ref().is_some_and(Cond::contains_subquery)
                     || s.from.as_ref().is_some_and(|f| {
                         matches!(f.base, TableRef::Derived { .. })
-                            || f.joins.iter().any(|j| matches!(j.table, TableRef::Derived { .. }))
+                            || f.joins
+                                .iter()
+                                .any(|j| matches!(j.table, TableRef::Derived { .. }))
                     })
             }
         }
@@ -550,8 +572,14 @@ fn visit_tableref<'a>(t: &'a TableRef, f: &mut impl FnMut(&'a Select)) {
 
 fn visit_cond<'a>(c: &'a Cond, f: &mut impl FnMut(&'a Select)) {
     match c {
-        Cond::Cmp { right: Operand::Subquery(q), .. } => q.visit_selects(f),
-        Cond::In { source: InSource::Subquery(q), .. } => q.visit_selects(f),
+        Cond::Cmp {
+            right: Operand::Subquery(q),
+            ..
+        } => q.visit_selects(f),
+        Cond::In {
+            source: InSource::Subquery(q),
+            ..
+        } => q.visit_selects(f),
         Cond::Exists { query, .. } => query.visit_selects(f),
         Cond::And(l, r) | Cond::Or(l, r) => {
             visit_cond(l, f);
@@ -613,9 +641,15 @@ mod tests {
 
     #[test]
     fn binding_prefers_alias() {
-        let t = TableRef::Named { name: "singer".into(), alias: Some("t1".into()) };
+        let t = TableRef::Named {
+            name: "singer".into(),
+            alias: Some("t1".into()),
+        };
         assert_eq!(t.binding(), Some("t1"));
-        let t = TableRef::Named { name: "singer".into(), alias: None };
+        let t = TableRef::Named {
+            name: "singer".into(),
+            alias: None,
+        };
         assert_eq!(t.binding(), Some("singer"));
     }
 

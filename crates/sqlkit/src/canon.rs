@@ -82,9 +82,17 @@ pub fn canonicalize(q: &Query, mode: ValueMode) -> CanonQuery {
             let r = canonicalize(right, mode);
             if matches!(op, SetOp::Union | SetOp::Intersect) {
                 let (a, b) = order_pair(l, r);
-                CanonQuery::Compound { op: *op, left: Box::new(a), right: Box::new(b) }
+                CanonQuery::Compound {
+                    op: *op,
+                    left: Box::new(a),
+                    right: Box::new(b),
+                }
             } else {
-                CanonQuery::Compound { op: *op, left: Box::new(l), right: Box::new(r) }
+                CanonQuery::Compound {
+                    op: *op,
+                    left: Box::new(l),
+                    right: Box::new(r),
+                }
             }
         }
     }
@@ -134,22 +142,20 @@ impl Scope {
         let mut alias_map = BTreeMap::new();
         let mut n_tables = 0;
         if let Some(from) = &s.from {
-            let mut add = |t: &TableRef| {
-                match t {
-                    TableRef::Named { name, alias } => {
-                        let real = name.to_lowercase();
-                        if let Some(a) = alias {
-                            alias_map.insert(a.to_lowercase(), real.clone());
-                        }
-                        alias_map.insert(name.to_lowercase(), real);
-                        n_tables += 1;
+            let mut add = |t: &TableRef| match t {
+                TableRef::Named { name, alias } => {
+                    let real = name.to_lowercase();
+                    if let Some(a) = alias {
+                        alias_map.insert(a.to_lowercase(), real.clone());
                     }
-                    TableRef::Derived { alias, .. } => {
-                        if let Some(a) = alias {
-                            alias_map.insert(a.to_lowercase(), "<derived>".to_string());
-                        }
-                        n_tables += 1;
+                    alias_map.insert(name.to_lowercase(), real);
+                    n_tables += 1;
+                }
+                TableRef::Derived { alias, .. } => {
+                    if let Some(a) = alias {
+                        alias_map.insert(a.to_lowercase(), "<derived>".to_string());
                     }
+                    n_tables += 1;
                 }
             };
             add(&from.base);
@@ -157,7 +163,11 @@ impl Scope {
                 add(&j.table);
             }
         }
-        Scope { alias_map, n_tables, mode }
+        Scope {
+            alias_map,
+            n_tables,
+            mode,
+        }
     }
 
     /// Canonical column string: alias resolved to table name; qualifier
@@ -190,9 +200,17 @@ impl Scope {
             Expr::Lit(l) => self.lit(l),
             Expr::Col(c) => self.col(c),
             Expr::Star => "*".to_string(),
-            Expr::Agg { func, distinct, arg } => {
+            Expr::Agg {
+                func,
+                distinct,
+                arg,
+            } => {
                 if *distinct {
-                    format!("{}(distinct {})", func.as_str().to_lowercase(), self.expr(arg))
+                    format!(
+                        "{}(distinct {})",
+                        func.as_str().to_lowercase(),
+                        self.expr(arg)
+                    )
                 } else {
                     format!("{}({})", func.as_str().to_lowercase(), self.expr(arg))
                 }
@@ -303,7 +321,12 @@ fn collect_join_pairs(c: &Cond, scope: &Scope, out: &mut BTreeSet<(String, Strin
 /// Recognize `col = col` predicates as join pairs, ordering the two sides
 /// canonically.
 fn as_join_pair(c: &Cond, scope: &Scope) -> Option<(String, String)> {
-    if let Cond::Cmp { left: Expr::Col(a), op: CmpOp::Eq, right: Operand::Expr(Expr::Col(b)) } = c {
+    if let Cond::Cmp {
+        left: Expr::Col(a),
+        op: CmpOp::Eq,
+        right: Operand::Expr(Expr::Col(b)),
+    } = c
+    {
         let sa = scope.col(a);
         let sb = scope.col(b);
         return Some(if sa <= sb { (sa, sb) } else { (sb, sa) });
@@ -332,14 +355,23 @@ fn canon_cond(c: &Cond, scope: &Scope, subqueries: &mut BTreeSet<String>) -> Str
             };
             format!("{} {} {}", l, o.as_str(), r)
         }
-        Cond::Between { expr, negated, low, high } => format!(
+        Cond::Between {
+            expr,
+            negated,
+            low,
+            high,
+        } => format!(
             "{}{} between {} and {}",
             if *negated { "not " } else { "" },
             scope.expr(expr),
             scope.expr(low),
             scope.expr(high)
         ),
-        Cond::In { expr, negated, source } => {
+        Cond::In {
+            expr,
+            negated,
+            source,
+        } => {
             let src = match source {
                 InSource::List(lits) => {
                     let mut parts: Vec<String> = lits.iter().map(|l| scope.lit(l)).collect();
@@ -359,7 +391,11 @@ fn canon_cond(c: &Cond, scope: &Scope, subqueries: &mut BTreeSet<String>) -> Str
                 src
             )
         }
-        Cond::Like { expr, negated, pattern } => {
+        Cond::Like {
+            expr,
+            negated,
+            pattern,
+        } => {
             let pat = match scope.mode {
                 ValueMode::Masked => "value".to_string(),
                 ValueMode::Strict => pattern.to_lowercase(),
@@ -449,7 +485,10 @@ mod tests {
 
     #[test]
     fn single_table_qualifier_is_dropped() {
-        assert!(em("SELECT singer.name FROM singer", "SELECT name FROM singer"));
+        assert!(em(
+            "SELECT singer.name FROM singer",
+            "SELECT name FROM singer"
+        ));
     }
 
     #[test]
@@ -476,7 +515,10 @@ mod tests {
     fn different_structure_never_matches() {
         assert!(!em("SELECT a FROM t", "SELECT a FROM t WHERE x = 1"));
         assert!(!em("SELECT a FROM t", "SELECT a, b FROM t"));
-        assert!(!em("SELECT a FROM t ORDER BY a ASC", "SELECT a FROM t ORDER BY a DESC"));
+        assert!(!em(
+            "SELECT a FROM t ORDER BY a ASC",
+            "SELECT a FROM t ORDER BY a DESC"
+        ));
         assert!(!em("SELECT a FROM t", "SELECT DISTINCT a FROM t"));
     }
 

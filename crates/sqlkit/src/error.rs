@@ -26,7 +26,11 @@ impl ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "SQL parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "SQL parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 

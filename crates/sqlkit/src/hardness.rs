@@ -35,7 +35,12 @@ impl Hardness {
     }
 
     /// All buckets in ascending difficulty order.
-    pub const ALL: [Hardness; 4] = [Hardness::Easy, Hardness::Medium, Hardness::Hard, Hardness::Extra];
+    pub const ALL: [Hardness; 4] = [
+        Hardness::Easy,
+        Hardness::Medium,
+        Hardness::Hard,
+        Hardness::Extra,
+    ];
 }
 
 /// Classify a query per the Spider hardness rules.
@@ -104,7 +109,10 @@ fn count_component2(q: &Query) -> usize {
     }
     if let Some(from) = &s.from {
         if matches!(from.base, TableRef::Derived { .. })
-            || from.joins.iter().any(|j| matches!(j.table, TableRef::Derived { .. }))
+            || from
+                .joins
+                .iter()
+                .any(|j| matches!(j.table, TableRef::Derived { .. }))
         {
             count += 1;
         }
@@ -205,7 +213,10 @@ mod tests {
 
     #[test]
     fn moderate_queries_are_medium() {
-        assert_eq!(h("SELECT name, age FROM singer WHERE age > 20"), Hardness::Medium);
+        assert_eq!(
+            h("SELECT name, age FROM singer WHERE age > 20"),
+            Hardness::Medium
+        );
         assert_eq!(
             h("SELECT T1.name FROM singer AS T1 JOIN song AS T2 ON T1.id = T2.sid WHERE T2.year = 2000"),
             Hardness::Medium

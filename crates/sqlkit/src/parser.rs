@@ -13,6 +13,18 @@ use crate::token::{lex, Keyword as Kw, Sym, Token, TokenKind as Tk};
 ///
 /// Trailing semicolons are accepted; any other trailing garbage is an error.
 pub fn parse_query(sql: &str) -> ParseResult<Query> {
+    let out = parse_query_inner(sql);
+    if obskit::enabled() {
+        let g = obskit::global();
+        g.add_counter("sqlkit.parses", 1);
+        if out.is_err() {
+            g.add_counter("sqlkit.parse_errors", 1);
+        }
+    }
+    out
+}
+
+fn parse_query_inner(sql: &str) -> ParseResult<Query> {
     let tokens = lex(sql)?;
     let mut p = Parser { tokens, pos: 0 };
     let q = p.query()?;
@@ -134,7 +146,11 @@ impl Parser {
                 }
             }
             let right = self.query_operand()?;
-            left = Query::Compound { op, left: Box::new(left), right: Box::new(right) };
+            left = Query::Compound {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -191,12 +207,23 @@ impl Parser {
         let limit = if self.eat_kw(Kw::Limit) {
             match self.bump() {
                 Tk::Int(v) if v >= 0 => Some(v as u64),
-                other => return Err(self.err(format!("expected row count after LIMIT, found {other}"))),
+                other => {
+                    return Err(self.err(format!("expected row count after LIMIT, found {other}")))
+                }
             }
         } else {
             None
         };
-        Ok(Select { distinct, items, from, where_cond, group_by, having, order_by, limit })
+        Ok(Select {
+            distinct,
+            items,
+            from,
+            where_cond,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
     }
 
     fn select_item(&mut self) -> ParseResult<SelectItem> {
@@ -274,7 +301,10 @@ impl Parser {
             let q = self.query()?;
             self.expect_sym(Sym::RParen)?;
             let alias = self.table_alias()?;
-            return Ok(TableRef::Derived { query: Box::new(q), alias });
+            return Ok(TableRef::Derived {
+                query: Box::new(q),
+                alias,
+            });
         }
         let name = self.ident()?;
         let alias = self.table_alias()?;
@@ -348,7 +378,10 @@ impl Parser {
             self.expect_sym(Sym::LParen)?;
             let q = self.query()?;
             self.expect_sym(Sym::RParen)?;
-            return Ok(Cond::Exists { negated: false, query: Box::new(q) });
+            return Ok(Cond::Exists {
+                negated: false,
+                query: Box::new(q),
+            });
         }
         if self.peek() == &Tk::Keyword(Kw::Not) && self.peek2() == &Tk::Keyword(Kw::Exists) {
             self.bump();
@@ -356,7 +389,10 @@ impl Parser {
             self.expect_sym(Sym::LParen)?;
             let q = self.query()?;
             self.expect_sym(Sym::RParen)?;
-            return Ok(Cond::Exists { negated: true, query: Box::new(q) });
+            return Ok(Cond::Exists {
+                negated: true,
+                query: Box::new(q),
+            });
         }
         // Parenthesized boolean group (only when it cannot be an expression
         // comparison; disambiguate by trying expr first when the parens wrap
@@ -371,7 +407,21 @@ impl Parser {
                 if self.eat_sym(Sym::RParen) {
                     // Make sure this really was a grouped condition and not a
                     // parenthesized scalar that continues with an operator.
-                    if !matches!(self.peek(), Tk::Sym(Sym::Eq | Sym::Neq | Sym::Lt | Sym::Le | Sym::Gt | Sym::Ge | Sym::Plus | Sym::Minus | Sym::Star | Sym::Slash)) {
+                    if !matches!(
+                        self.peek(),
+                        Tk::Sym(
+                            Sym::Eq
+                                | Sym::Neq
+                                | Sym::Lt
+                                | Sym::Le
+                                | Sym::Gt
+                                | Sym::Ge
+                                | Sym::Plus
+                                | Sym::Minus
+                                | Sym::Star
+                                | Sym::Slash
+                        )
+                    ) {
                         return Ok(c);
                     }
                 }
@@ -412,7 +462,12 @@ impl Parser {
                 let low = self.expr()?;
                 self.expect_kw(Kw::And)?;
                 let high = self.expr()?;
-                Ok(Cond::Between { expr: left, negated, low, high })
+                Ok(Cond::Between {
+                    expr: left,
+                    negated,
+                    low,
+                    high,
+                })
             }
             Tk::Keyword(Kw::In) => {
                 self.bump();
@@ -428,13 +483,23 @@ impl Parser {
                     InSource::List(lits)
                 };
                 self.expect_sym(Sym::RParen)?;
-                Ok(Cond::In { expr: left, negated, source })
+                Ok(Cond::In {
+                    expr: left,
+                    negated,
+                    source,
+                })
             }
             Tk::Keyword(Kw::Like) => {
                 self.bump();
                 match self.bump() {
-                    Tk::Str(pattern) => Ok(Cond::Like { expr: left, negated, pattern }),
-                    other => Err(self.err(format!("expected string pattern after LIKE, found {other}"))),
+                    Tk::Str(pattern) => Ok(Cond::Like {
+                        expr: left,
+                        negated,
+                        pattern,
+                    }),
+                    other => {
+                        Err(self.err(format!("expected string pattern after LIKE, found {other}")))
+                    }
                 }
             }
             Tk::Keyword(Kw::Is) => {
@@ -444,7 +509,10 @@ impl Parser {
                 self.bump();
                 let neg = self.eat_kw(Kw::Not);
                 self.expect_kw(Kw::Null)?;
-                Ok(Cond::IsNull { expr: left, negated: neg })
+                Ok(Cond::IsNull {
+                    expr: left,
+                    negated: neg,
+                })
             }
             other => Err(self.err(format!("expected predicate operator, found {other}"))),
         }
@@ -473,7 +541,11 @@ impl Parser {
             };
             self.bump();
             let right = self.term()?;
-            left = Expr::Arith { op, left: Box::new(left), right: Box::new(right) };
+            left = Expr::Arith {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -488,7 +560,11 @@ impl Parser {
             };
             self.bump();
             let right = self.factor()?;
-            left = Expr::Arith { op, left: Box::new(left), right: Box::new(right) };
+            left = Expr::Arith {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -547,7 +623,11 @@ impl Parser {
                         self.expr()?
                     };
                     self.expect_sym(Sym::RParen)?;
-                    Ok(Expr::Agg { func, distinct, arg: Box::new(arg) })
+                    Ok(Expr::Agg {
+                        func,
+                        distinct,
+                        arg: Box::new(arg),
+                    })
                 } else {
                     self.column_expr()
                 }
@@ -616,7 +696,11 @@ mod tests {
         let s = q.head_select();
         assert_eq!(s.items.len(), 3);
         match &s.items[2].expr {
-            Expr::Agg { func: AggFunc::Sum, distinct: true, .. } => {}
+            Expr::Agg {
+                func: AggFunc::Sum,
+                distinct: true,
+                ..
+            } => {}
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -666,7 +750,11 @@ mod tests {
         let q = ok("SELECT name FROM t WHERE x NOT IN (1, 2, 3)");
         let s = q.head_select();
         match s.where_cond.as_ref().unwrap() {
-            Cond::In { negated: true, source: InSource::List(l), .. } => assert_eq!(l.len(), 3),
+            Cond::In {
+                negated: true,
+                source: InSource::List(l),
+                ..
+            } => assert_eq!(l.len(), 3),
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -676,7 +764,11 @@ mod tests {
         let q = ok("SELECT name FROM t WHERE age > (SELECT avg(age) FROM t)");
         let s = q.head_select();
         match s.where_cond.as_ref().unwrap() {
-            Cond::Cmp { right: Operand::Subquery(_), op: CmpOp::Gt, .. } => {}
+            Cond::Cmp {
+                right: Operand::Subquery(_),
+                op: CmpOp::Gt,
+                ..
+            } => {}
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -692,11 +784,29 @@ mod tests {
     #[test]
     fn parses_set_operations() {
         let q = ok("SELECT a FROM t UNION SELECT b FROM u");
-        assert!(matches!(q, Query::Compound { op: SetOp::Union, .. }));
+        assert!(matches!(
+            q,
+            Query::Compound {
+                op: SetOp::Union,
+                ..
+            }
+        ));
         let q = ok("SELECT a FROM t EXCEPT SELECT a FROM t WHERE x = 1");
-        assert!(matches!(q, Query::Compound { op: SetOp::Except, .. }));
+        assert!(matches!(
+            q,
+            Query::Compound {
+                op: SetOp::Except,
+                ..
+            }
+        ));
         let q = ok("SELECT a FROM t INTERSECT SELECT a FROM u");
-        assert!(matches!(q, Query::Compound { op: SetOp::Intersect, .. }));
+        assert!(matches!(
+            q,
+            Query::Compound {
+                op: SetOp::Intersect,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -705,7 +815,10 @@ mod tests {
             "SELECT T.c FROM (SELECT country AS c, count(*) AS n FROM singer GROUP BY country) AS T WHERE T.n > 2",
         );
         let s = q.head_select();
-        assert!(matches!(s.from.as_ref().unwrap().base, TableRef::Derived { .. }));
+        assert!(matches!(
+            s.from.as_ref().unwrap().base,
+            TableRef::Derived { .. }
+        ));
     }
 
     #[test]
@@ -720,8 +833,18 @@ mod tests {
         let q = ok("SELECT a + b * c FROM t");
         let s = q.head_select();
         match &s.items[0].expr {
-            Expr::Arith { op: ArithOp::Add, right, .. } => {
-                assert!(matches!(**right, Expr::Arith { op: ArithOp::Mul, .. }));
+            Expr::Arith {
+                op: ArithOp::Add,
+                right,
+                ..
+            } => {
+                assert!(matches!(
+                    **right,
+                    Expr::Arith {
+                        op: ArithOp::Mul,
+                        ..
+                    }
+                ));
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -732,7 +855,10 @@ mod tests {
         let q = ok("SELECT a FROM t WHERE x > -5");
         let s = q.head_select();
         match s.where_cond.as_ref().unwrap() {
-            Cond::Cmp { right: Operand::Expr(e), .. } => {
+            Cond::Cmp {
+                right: Operand::Expr(e),
+                ..
+            } => {
                 assert_eq!(*e, Expr::Lit(Literal::Int(-5)));
             }
             other => panic!("unexpected {other:?}"),
@@ -781,7 +907,13 @@ mod tests {
     #[test]
     fn parses_union_all_as_union() {
         let q = ok("SELECT a FROM t UNION ALL SELECT a FROM u");
-        assert!(matches!(q, Query::Compound { op: SetOp::Union, .. }));
+        assert!(matches!(
+            q,
+            Query::Compound {
+                op: SetOp::Union,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -14,7 +14,11 @@ impl fmt::Display for Expr {
             Expr::Lit(l) => write!(f, "{l}"),
             Expr::Col(c) => write!(f, "{c}"),
             Expr::Star => write!(f, "*"),
-            Expr::Agg { func, distinct, arg } => {
+            Expr::Agg {
+                func,
+                distinct,
+                arg,
+            } => {
                 if *distinct {
                     write!(f, "{}(DISTINCT {})", func.as_str(), arg)
                 } else {
@@ -31,7 +35,8 @@ impl fmt::Display for Expr {
                         ArithOp::Mul | ArithOp::Div => 2,
                     }
                 }
-                let needs_l = matches!(left.as_ref(), Expr::Arith { op: lop, .. } if prec(*lop) < prec(*op));
+                let needs_l =
+                    matches!(left.as_ref(), Expr::Arith { op: lop, .. } if prec(*lop) < prec(*op));
                 let needs_r = matches!(right.as_ref(), Expr::Arith { op: rop, .. } if prec(*rop) <= prec(*op));
                 if needs_l {
                     write!(f, "({})", left)?;
@@ -72,14 +77,23 @@ impl fmt::Display for Cond {
                     Operand::Subquery(q) => write!(f, "({q})"),
                 }
             }
-            Cond::Between { expr, negated, low, high } => {
+            Cond::Between {
+                expr,
+                negated,
+                low,
+                high,
+            } => {
                 if *negated {
                     write!(f, "{expr} NOT BETWEEN {low} AND {high}")
                 } else {
                     write!(f, "{expr} BETWEEN {low} AND {high}")
                 }
             }
-            Cond::In { expr, negated, source } => {
+            Cond::In {
+                expr,
+                negated,
+                source,
+            } => {
                 write!(f, "{expr}")?;
                 if *negated {
                     write!(f, " NOT")?;
@@ -98,7 +112,11 @@ impl fmt::Display for Cond {
                 }
                 write!(f, ")")
             }
-            Cond::Like { expr, negated, pattern } => {
+            Cond::Like {
+                expr,
+                negated,
+                pattern,
+            } => {
                 if *negated {
                     write!(f, "{} NOT LIKE '{}'", expr, pattern.replace('\'', "''"))
                 } else {
@@ -268,7 +286,8 @@ mod tests {
 
     #[test]
     fn printed_keywords_are_uppercase() {
-        let q = parse_query("select name from singer where age > 3 order by age desc limit 2").unwrap();
+        let q =
+            parse_query("select name from singer where age > 3 order by age desc limit 2").unwrap();
         let s = q.to_string();
         assert!(s.contains("SELECT"));
         assert!(s.contains("FROM"));

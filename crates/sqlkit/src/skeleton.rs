@@ -288,7 +288,9 @@ fn walk_cond(c: &Cond, out: &mut Vec<SkelTok>) {
             }
             out.push(SkelTok::Between);
         }
-        Cond::In { negated, source, .. } => {
+        Cond::In {
+            negated, source, ..
+        } => {
             if *negated {
                 out.push(SkelTok::Not);
             }

@@ -40,10 +40,46 @@ pub enum TokenKind {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
 pub enum Keyword {
-    Select, From, Where, Group, By, Having, Order, Limit, Distinct,
-    And, Or, Not, In, Like, Between, Is, Null, Join, On, As, Asc, Desc,
-    Union, Intersect, Except, Count, Sum, Avg, Min, Max, Inner, Left, Outer,
-    Exists, Case, When, Then, Else, End, Cast,
+    Select,
+    From,
+    Where,
+    Group,
+    By,
+    Having,
+    Order,
+    Limit,
+    Distinct,
+    And,
+    Or,
+    Not,
+    In,
+    Like,
+    Between,
+    Is,
+    Null,
+    Join,
+    On,
+    As,
+    Asc,
+    Desc,
+    Union,
+    Intersect,
+    Except,
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+    Inner,
+    Left,
+    Outer,
+    Exists,
+    Case,
+    When,
+    Then,
+    Else,
+    End,
+    Cast,
 }
 
 impl Keyword {
@@ -148,8 +184,22 @@ impl Keyword {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
 pub enum Sym {
-    LParen, RParen, Comma, Dot, Star, Plus, Minus, Slash, Percent, Semicolon,
-    Eq, Neq, Lt, Le, Gt, Ge,
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Semicolon,
+    Eq,
+    Neq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
 }
 
 impl Sym {
@@ -203,59 +253,99 @@ pub fn lex(input: &str) -> ParseResult<Vec<Token>> {
                 i += 1;
             }
             b'(' => {
-                tokens.push(Token { kind: TokenKind::Sym(Sym::LParen), offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Sym(Sym::LParen),
+                    offset: i,
+                });
                 i += 1;
             }
             b')' => {
-                tokens.push(Token { kind: TokenKind::Sym(Sym::RParen), offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Sym(Sym::RParen),
+                    offset: i,
+                });
                 i += 1;
             }
             b',' => {
-                tokens.push(Token { kind: TokenKind::Sym(Sym::Comma), offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Sym(Sym::Comma),
+                    offset: i,
+                });
                 i += 1;
             }
             b'.' => {
                 // A dot starting a number like `.5` is not produced by Spider
                 // queries; treat dot as a qualifier separator.
-                tokens.push(Token { kind: TokenKind::Sym(Sym::Dot), offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Sym(Sym::Dot),
+                    offset: i,
+                });
                 i += 1;
             }
             b'*' => {
-                tokens.push(Token { kind: TokenKind::Sym(Sym::Star), offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Sym(Sym::Star),
+                    offset: i,
+                });
                 i += 1;
             }
             b'+' => {
-                tokens.push(Token { kind: TokenKind::Sym(Sym::Plus), offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Sym(Sym::Plus),
+                    offset: i,
+                });
                 i += 1;
             }
             b'-' => {
                 // `--` comments are not part of the subset; `-` may begin a
                 // negative numeric literal, which the parser handles as unary
                 // minus. Emit the symbol.
-                tokens.push(Token { kind: TokenKind::Sym(Sym::Minus), offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Sym(Sym::Minus),
+                    offset: i,
+                });
                 i += 1;
             }
             b'/' => {
-                tokens.push(Token { kind: TokenKind::Sym(Sym::Slash), offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Sym(Sym::Slash),
+                    offset: i,
+                });
                 i += 1;
             }
             b'%' => {
-                tokens.push(Token { kind: TokenKind::Sym(Sym::Percent), offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Sym(Sym::Percent),
+                    offset: i,
+                });
                 i += 1;
             }
             b';' => {
-                tokens.push(Token { kind: TokenKind::Sym(Sym::Semicolon), offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Sym(Sym::Semicolon),
+                    offset: i,
+                });
                 i += 1;
             }
             b'=' => {
                 // Accept both `=` and `==`.
-                let len = if bytes.get(i + 1) == Some(&b'=') { 2 } else { 1 };
-                tokens.push(Token { kind: TokenKind::Sym(Sym::Eq), offset: i });
+                let len = if bytes.get(i + 1) == Some(&b'=') {
+                    2
+                } else {
+                    1
+                };
+                tokens.push(Token {
+                    kind: TokenKind::Sym(Sym::Eq),
+                    offset: i,
+                });
                 i += len;
             }
             b'!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Sym(Sym::Neq), offset: i });
+                    tokens.push(Token {
+                        kind: TokenKind::Sym(Sym::Neq),
+                        offset: i,
+                    });
                     i += 2;
                 } else {
                     return Err(ParseError::new("expected '=' after '!'", i));
@@ -263,22 +353,37 @@ pub fn lex(input: &str) -> ParseResult<Vec<Token>> {
             }
             b'<' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Sym(Sym::Le), offset: i });
+                    tokens.push(Token {
+                        kind: TokenKind::Sym(Sym::Le),
+                        offset: i,
+                    });
                     i += 2;
                 } else if bytes.get(i + 1) == Some(&b'>') {
-                    tokens.push(Token { kind: TokenKind::Sym(Sym::Neq), offset: i });
+                    tokens.push(Token {
+                        kind: TokenKind::Sym(Sym::Neq),
+                        offset: i,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Sym(Sym::Lt), offset: i });
+                    tokens.push(Token {
+                        kind: TokenKind::Sym(Sym::Lt),
+                        offset: i,
+                    });
                     i += 1;
                 }
             }
             b'>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Sym(Sym::Ge), offset: i });
+                    tokens.push(Token {
+                        kind: TokenKind::Sym(Sym::Ge),
+                        offset: i,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Sym(Sym::Gt), offset: i });
+                    tokens.push(Token {
+                        kind: TokenKind::Sym(Sym::Gt),
+                        offset: i,
+                    });
                     i += 1;
                 }
             }
@@ -306,7 +411,10 @@ pub fn lex(input: &str) -> ParseResult<Vec<Token>> {
                         i += 1;
                     }
                 }
-                tokens.push(Token { kind: TokenKind::Str(s), offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    offset: start,
+                });
             }
             b'`' => {
                 // Backtick-quoted identifier.
@@ -321,7 +429,10 @@ pub fn lex(input: &str) -> ParseResult<Vec<Token>> {
                     return Err(ParseError::new("unterminated quoted identifier", start));
                 }
                 i += 1;
-                tokens.push(Token { kind: TokenKind::Ident(s), offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Ident(s),
+                    offset: start,
+                });
             }
             b'0'..=b'9' => {
                 let start = i;
@@ -329,7 +440,10 @@ pub fn lex(input: &str) -> ParseResult<Vec<Token>> {
                     i += 1;
                 }
                 let mut is_float = false;
-                if i < bytes.len() && bytes[i] == b'.' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit) {
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
+                {
                     is_float = true;
                     i += 1;
                     while i < bytes.len() && bytes[i].is_ascii_digit() {
@@ -338,7 +452,10 @@ pub fn lex(input: &str) -> ParseResult<Vec<Token>> {
                 }
                 let text = &input[start..i];
                 let kind = if is_float {
-                    TokenKind::Float(text.parse().map_err(|_| ParseError::new("invalid float literal", start))?)
+                    TokenKind::Float(
+                        text.parse()
+                            .map_err(|_| ParseError::new("invalid float literal", start))?,
+                    )
                 } else {
                     match text.parse::<i64>() {
                         Ok(v) => TokenKind::Int(v),
@@ -348,7 +465,10 @@ pub fn lex(input: &str) -> ParseResult<Vec<Token>> {
                         ),
                     }
                 };
-                tokens.push(Token { kind, offset: start });
+                tokens.push(Token {
+                    kind,
+                    offset: start,
+                });
             }
             _ if c.is_ascii_alphabetic() || c == b'_' => {
                 let start = i;
@@ -360,7 +480,10 @@ pub fn lex(input: &str) -> ParseResult<Vec<Token>> {
                     Some(k) => TokenKind::Keyword(k),
                     None => TokenKind::Ident(word.to_string()),
                 };
-                tokens.push(Token { kind, offset: start });
+                tokens.push(Token {
+                    kind,
+                    offset: start,
+                });
             }
             _ => {
                 return Err(ParseError::new(
@@ -370,7 +493,10 @@ pub fn lex(input: &str) -> ParseResult<Vec<Token>> {
             }
         }
     }
-    tokens.push(Token { kind: TokenKind::Eof, offset: input.len() });
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        offset: input.len(),
+    });
     Ok(tokens)
 }
 

@@ -26,7 +26,10 @@ fn literal() -> impl Strategy<Value = Literal> {
 }
 
 fn column_ref() -> impl Strategy<Value = ColumnRef> {
-    (proptest::option::of(ident()), ident()).prop_map(|(t, c)| ColumnRef { table: t, column: c })
+    (proptest::option::of(ident()), ident()).prop_map(|(t, c)| ColumnRef {
+        table: t,
+        column: c,
+    })
 }
 
 fn scalar_expr() -> impl Strategy<Value = Expr> {
@@ -46,7 +49,11 @@ fn scalar_expr() -> impl Strategy<Value = Expr> {
                 inner.clone(),
                 inner.clone()
             )
-                .prop_map(|(op, l, r)| Expr::Arith { op, left: Box::new(l), right: Box::new(r) }),
+                .prop_map(|(op, l, r)| Expr::Arith {
+                    op,
+                    left: Box::new(l),
+                    right: Box::new(r)
+                }),
             // The parser folds negated numeric literals, so mirror that here
             // to keep print∘parse an identity on generated trees.
             inner.prop_map(|e| match e {
@@ -73,7 +80,11 @@ fn agg_expr() -> impl Strategy<Value = Expr> {
         .prop_map(|(func, distinct, arg)| {
             // `COUNT(DISTINCT *)` is not legal SQL; force plain * for star args.
             let distinct = distinct && !matches!(arg, Expr::Star);
-            Expr::Agg { func, distinct, arg: Box::new(arg) }
+            Expr::Agg {
+                func,
+                distinct,
+                arg: Box::new(arg),
+            }
         })
 }
 
@@ -84,7 +95,11 @@ fn select_item() -> impl Strategy<Value = SelectItem> {
     )
         .prop_map(|(expr, alias)| {
             // `* AS x` is not legal; strip the alias for stars.
-            let alias = if matches!(expr, Expr::Star) { None } else { alias };
+            let alias = if matches!(expr, Expr::Star) {
+                None
+            } else {
+                alias
+            };
             SelectItem { expr, alias }
         })
 }
@@ -105,15 +120,20 @@ fn simple_cond(depth: u32) -> BoxedStrategy<Cond> {
             column_ref().prop_map(Expr::Col)
         ],
     )
-        .prop_map(|(l, op, r)| Cond::Cmp { left: l, op, right: Operand::Expr(r) });
-    let between = (column_ref(), any::<bool>(), -100i64..100, 100i64..300).prop_map(
-        |(c, neg, lo, hi)| Cond::Between {
-            expr: Expr::Col(c),
-            negated: neg,
-            low: Expr::Lit(Literal::Int(lo)),
-            high: Expr::Lit(Literal::Int(hi)),
-        },
-    );
+        .prop_map(|(l, op, r)| Cond::Cmp {
+            left: l,
+            op,
+            right: Operand::Expr(r),
+        });
+    let between =
+        (column_ref(), any::<bool>(), -100i64..100, 100i64..300).prop_map(|(c, neg, lo, hi)| {
+            Cond::Between {
+                expr: Expr::Col(c),
+                negated: neg,
+                low: Expr::Lit(Literal::Int(lo)),
+                high: Expr::Lit(Literal::Int(hi)),
+            }
+        });
     let in_list = (
         column_ref(),
         any::<bool>(),
@@ -129,8 +149,10 @@ fn simple_cond(depth: u32) -> BoxedStrategy<Cond> {
         negated: neg,
         pattern: pat,
     });
-    let is_null = (column_ref(), any::<bool>())
-        .prop_map(|(c, neg)| Cond::IsNull { expr: Expr::Col(c), negated: neg });
+    let is_null = (column_ref(), any::<bool>()).prop_map(|(c, neg)| Cond::IsNull {
+        expr: Expr::Col(c),
+        negated: neg,
+    });
     let leaf = prop_oneof![cmp, between, in_list, like, is_null].boxed();
     if depth == 0 {
         leaf
@@ -173,7 +195,10 @@ fn select() -> impl Strategy<Value = Select> {
         proptest::collection::vec(column_ref(), 0..3),
         proptest::option::of(simple_cond(1)),
         proptest::collection::vec(
-            (prop_oneof![column_ref().prop_map(Expr::Col), agg_expr()], prop_oneof![Just(SortDir::Asc), Just(SortDir::Desc)])
+            (
+                prop_oneof![column_ref().prop_map(Expr::Col), agg_expr()],
+                prop_oneof![Just(SortDir::Asc), Just(SortDir::Desc)],
+            )
                 .prop_map(|(expr, dir)| OrderKey { expr, dir }),
             0..3,
         ),

@@ -24,10 +24,7 @@ pub fn results_match(gold: &ResultSet, pred: &ResultSet, ordered: bool) -> bool 
         return false;
     }
     if ordered {
-        gold.rows
-            .iter()
-            .zip(&pred.rows)
-            .all(|(a, b)| rows_eq(a, b))
+        gold.rows.iter().zip(&pred.rows).all(|(a, b)| rows_eq(a, b))
     } else {
         let mut ga: Vec<Vec<String>> = gold.rows.iter().map(|r| row_canon(r)).collect();
         let mut pa: Vec<Vec<String>> = pred.rows.iter().map(|r| row_canon(r)).collect();
@@ -47,9 +44,7 @@ pub fn value_eq(a: &Value, b: &Value) -> bool {
         (Value::Null, Value::Null) => true,
         (Value::Str(x), Value::Str(y)) => x == y,
         _ => match (a.as_f64(), b.as_f64()) {
-            (Some(x), Some(y)) => {
-                (x - y).abs() <= EPS * x.abs().max(y.abs()).max(1.0)
-            }
+            (Some(x), Some(y)) => (x - y).abs() <= EPS * x.abs().max(y.abs()).max(1.0),
             _ => false,
         },
     }
@@ -113,15 +108,32 @@ mod tests {
 
     #[test]
     fn float_tolerance() {
-        assert!(value_eq(&Value::Float(1.0 / 3.0), &Value::Float(0.33333333)));
+        assert!(value_eq(
+            &Value::Float(1.0 / 3.0),
+            &Value::Float(0.33333333)
+        ));
         assert!(value_eq(&Value::Int(2), &Value::Float(2.0)));
         assert!(!value_eq(&Value::Float(1.0), &Value::Float(1.1)));
     }
 
     #[test]
     fn multiset_semantics_count_duplicates() {
-        let a = rs(&["x"], vec![vec![Value::Int(1)], vec![Value::Int(1)], vec![Value::Int(2)]]);
-        let b = rs(&["x"], vec![vec![Value::Int(1)], vec![Value::Int(2)], vec![Value::Int(2)]]);
+        let a = rs(
+            &["x"],
+            vec![
+                vec![Value::Int(1)],
+                vec![Value::Int(1)],
+                vec![Value::Int(2)],
+            ],
+        );
+        let b = rs(
+            &["x"],
+            vec![
+                vec![Value::Int(1)],
+                vec![Value::Int(2)],
+                vec![Value::Int(2)],
+            ],
+        );
         assert!(!results_match(&a, &b, false), "duplicate counts differ");
     }
 

@@ -64,7 +64,9 @@ impl Database {
 
     /// The rows of a table (empty slice if unknown — callers validate first).
     pub fn rows(&self, table: &str) -> Option<&[Row]> {
-        self.tables.get(&table.to_lowercase()).map(|t| t.rows.as_slice())
+        self.tables
+            .get(&table.to_lowercase())
+            .map(|t| t.rows.as_slice())
     }
 
     /// Look up a table schema by name.
@@ -132,7 +134,8 @@ mod tests {
     #[test]
     fn insert_and_read_back() {
         let mut d = db();
-        d.insert("t", vec![Value::Int(1), Value::Str("a".into())]).unwrap();
+        d.insert("t", vec![Value::Int(1), Value::Str("a".into())])
+            .unwrap();
         assert_eq!(d.rows("t").unwrap().len(), 1);
         assert_eq!(d.total_rows(), 1);
     }
@@ -158,8 +161,10 @@ mod tests {
     #[test]
     fn column_values_dedup_and_skip_null() {
         let mut d = db();
-        d.insert("t", vec![Value::Int(1), Value::Str("a".into())]).unwrap();
-        d.insert("t", vec![Value::Int(2), Value::Str("a".into())]).unwrap();
+        d.insert("t", vec![Value::Int(1), Value::Str("a".into())])
+            .unwrap();
+        d.insert("t", vec![Value::Int(2), Value::Str("a".into())])
+            .unwrap();
         d.insert("t", vec![Value::Int(3), Value::Null]).unwrap();
         let vals = d.column_values("t", "name");
         assert_eq!(vals.len(), 1);

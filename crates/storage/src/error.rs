@@ -42,7 +42,11 @@ impl fmt::Display for ExecError {
             ExecError::UnknownTable(t) => write!(f, "unknown table: {t}"),
             ExecError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
             ExecError::AmbiguousColumn(c) => write!(f, "ambiguous column: {c}"),
-            ExecError::Arity { table, expected, got } => {
+            ExecError::Arity {
+                table,
+                expected,
+                got,
+            } => {
                 write!(f, "table {table} expects {expected} values, got {got}")
             }
             ExecError::SetOpArity(a, b) => {

@@ -40,12 +40,26 @@ pub struct ExecOptions {
 
 /// Execute a query against a database with default options.
 pub fn execute_query(db: &Database, q: &Query) -> ExecResult<ResultSet> {
-    Executor { db, opts: ExecOptions::default() }.run(q)
+    execute_query_with(db, q, ExecOptions::default())
 }
 
 /// Execute with explicit options.
 pub fn execute_query_with(db: &Database, q: &Query, opts: ExecOptions) -> ExecResult<ResultSet> {
-    Executor { db, opts }.run(q)
+    let ex = Executor {
+        db,
+        opts,
+        rows_scanned: std::cell::Cell::new(0),
+    };
+    let out = ex.run(q);
+    if obskit::enabled() {
+        let g = obskit::global();
+        g.add_counter("storage.statements", 1);
+        g.add_counter("storage.rows_scanned", ex.rows_scanned.get());
+        if out.is_err() {
+            g.add_counter("storage.errors", 1);
+        }
+    }
+    out
 }
 
 /// An intermediate relation: labelled columns plus rows.
@@ -65,8 +79,14 @@ struct OuterScope<'a> {
 
 /// Evaluation context: a single row or a group of rows (aggregate context).
 enum Ctx<'a> {
-    Row { cols: &'a [(String, String)], row: &'a Row },
-    Group { cols: &'a [(String, String)], rows: &'a [Row] },
+    Row {
+        cols: &'a [(String, String)],
+        row: &'a Row,
+    },
+    Group {
+        cols: &'a [(String, String)],
+        rows: &'a [Row],
+    },
 }
 
 impl<'a> Ctx<'a> {
@@ -89,6 +109,8 @@ impl<'a> Ctx<'a> {
 struct Executor<'a> {
     db: &'a Database,
     opts: ExecOptions,
+    /// Base-table rows materialized by scans (telemetry only).
+    rows_scanned: std::cell::Cell<u64>,
 }
 
 impl<'a> Executor<'a> {
@@ -114,7 +136,10 @@ impl<'a> Executor<'a> {
         // 1. FROM
         let rel = match &s.from {
             Some(from) => self.exec_from(from, outers)?,
-            None => Relation { cols: Vec::new(), rows: vec![Vec::new()] },
+            None => Relation {
+                cols: Vec::new(),
+                rows: vec![Vec::new()],
+            },
         };
 
         // 2. WHERE
@@ -122,7 +147,10 @@ impl<'a> Executor<'a> {
         match &s.where_cond {
             Some(cond) => {
                 for row in &rel.rows {
-                    let ctx = Ctx::Row { cols: &rel.cols, row };
+                    let ctx = Ctx::Row {
+                        cols: &rel.cols,
+                        row,
+                    };
                     if self.eval_cond(cond, &ctx, outers)? == Some(true) {
                         filtered.push(row.clone());
                     }
@@ -144,7 +172,10 @@ impl<'a> Executor<'a> {
         if is_aggregate {
             let groups = self.build_groups(s, &rel.cols, filtered, outers)?;
             for group in &groups {
-                let ctx = Ctx::Group { cols: &rel.cols, rows: group };
+                let ctx = Ctx::Group {
+                    cols: &rel.cols,
+                    rows: group,
+                };
                 if let Some(h) = &s.having {
                     if self.eval_cond(h, &ctx, outers)? != Some(true) {
                         continue;
@@ -162,14 +193,20 @@ impl<'a> Executor<'a> {
                 // No surviving groups: derive column names from a probe
                 // against an empty group so arity is still correct.
                 let empty: Vec<Row> = Vec::new();
-                let ctx = Ctx::Group { cols: &rel.cols, rows: &empty };
+                let ctx = Ctx::Group {
+                    cols: &rel.cols,
+                    rows: &empty,
+                };
                 if let Ok((names, _)) = self.project(s, &ctx, outers) {
                     columns = names;
                 }
             }
         } else {
             for row in &filtered {
-                let ctx = Ctx::Row { cols: &rel.cols, row };
+                let ctx = Ctx::Row {
+                    cols: &rel.cols,
+                    row,
+                };
                 let (names, prow) = self.project(s, &ctx, outers)?;
                 if first {
                     columns = names;
@@ -181,7 +218,10 @@ impl<'a> Executor<'a> {
             if first {
                 // Zero rows: probe column names on a row of NULLs.
                 let null_row: Row = vec![Value::Null; rel.cols.len()];
-                let ctx = Ctx::Row { cols: &rel.cols, row: &null_row };
+                let ctx = Ctx::Row {
+                    cols: &rel.cols,
+                    row: &null_row,
+                };
                 if let Ok((names, _)) = self.project(s, &ctx, outers) {
                     columns = names;
                 }
@@ -247,6 +287,8 @@ impl<'a> Executor<'a> {
                     .map(|c| (binding.clone(), c.name.to_lowercase()))
                     .collect();
                 let rows = self.db.rows(name).unwrap_or(&[]).to_vec();
+                self.rows_scanned
+                    .set(self.rows_scanned.get() + rows.len() as u64);
                 Ok(Relation { cols, rows })
             }
             TableRef::Derived { query, alias } => {
@@ -260,7 +302,10 @@ impl<'a> Executor<'a> {
                     .iter()
                     .map(|c| (binding.clone(), c.to_lowercase()))
                     .collect();
-                Ok(Relation { cols, rows: rs.rows })
+                Ok(Relation {
+                    cols,
+                    rows: rs.rows,
+                })
             }
         }
     }
@@ -326,7 +371,10 @@ impl<'a> Executor<'a> {
                 combined.extend(rrow.iter().cloned());
                 match on {
                     Some(cond) => {
-                        let ctx = Ctx::Row { cols: &cols, row: &combined };
+                        let ctx = Ctx::Row {
+                            cols: &cols,
+                            row: &combined,
+                        };
                         if self.eval_cond(cond, &ctx, outers)? == Some(true) {
                             rows.push(combined);
                         }
@@ -366,7 +414,10 @@ impl<'a> Executor<'a> {
             }
             groups.entry(key).or_default().push(row);
         }
-        Ok(order.into_iter().map(|k| groups.remove(&k).expect("key present")).collect())
+        Ok(order
+            .into_iter()
+            .map(|k| groups.remove(&k).expect("key present"))
+            .collect())
     }
 
     // ---- projection ----
@@ -459,8 +510,14 @@ impl<'a> Executor<'a> {
             Expr::Lit(l) => Ok(Value::from_literal(l)),
             Expr::Col(c) => self.eval_col(c, ctx, outers),
             Expr::Star => Err(ExecError::InvalidStar),
-            Expr::Agg { func, distinct, arg } => match ctx {
-                Ctx::Group { cols, rows } => self.eval_agg(*func, *distinct, arg, cols, rows, outers),
+            Expr::Agg {
+                func,
+                distinct,
+                arg,
+            } => match ctx {
+                Ctx::Group { cols, rows } => {
+                    self.eval_agg(*func, *distinct, arg, cols, rows, outers)
+                }
                 Ctx::Row { .. } => Err(ExecError::InvalidAggregate(e.to_string())),
             },
             Expr::Arith { op, left, right } => {
@@ -479,7 +536,12 @@ impl<'a> Executor<'a> {
         }
     }
 
-    fn eval_col(&self, c: &ColumnRef, ctx: &Ctx<'_>, outers: &[OuterScope<'_>]) -> ExecResult<Value> {
+    fn eval_col(
+        &self,
+        c: &ColumnRef,
+        ctx: &Ctx<'_>,
+        outers: &[OuterScope<'_>],
+    ) -> ExecResult<Value> {
         match resolve(ctx.cols(), c) {
             Ok(idx) => Ok(ctx
                 .repr_row()
@@ -532,7 +594,11 @@ impl<'a> Executor<'a> {
                 if vals.is_empty() {
                     Value::Null
                 } else if vals.iter().all(|v| matches!(v, Value::Int(_))) {
-                    Value::Int(vals.iter().map(|v| if let Value::Int(i) = v { *i } else { 0 }).sum())
+                    Value::Int(
+                        vals.iter()
+                            .map(|v| if let Value::Int(i) = v { *i } else { 0 })
+                            .sum(),
+                    )
                 } else {
                     Value::Float(vals.iter().filter_map(Value::as_f64).sum())
                 }
@@ -580,7 +646,12 @@ impl<'a> Executor<'a> {
                     CmpOp::Ge => ord != Ordering::Less,
                 }))
             }
-            Cond::Between { expr, negated, low, high } => {
+            Cond::Between {
+                expr,
+                negated,
+                low,
+                high,
+            } => {
                 let v = self.eval_expr(expr, ctx, outers)?;
                 let lo = self.eval_expr(low, ctx, outers)?;
                 let hi = self.eval_expr(high, ctx, outers)?;
@@ -590,7 +661,11 @@ impl<'a> Executor<'a> {
                 };
                 Ok(negate_if(res, *negated))
             }
-            Cond::In { expr, negated, source } => {
+            Cond::In {
+                expr,
+                negated,
+                source,
+            } => {
                 let v = self.eval_expr(expr, ctx, outers)?;
                 if v.is_null() {
                     return Ok(None);
@@ -626,7 +701,11 @@ impl<'a> Executor<'a> {
                 };
                 Ok(negate_if(res, *negated))
             }
-            Cond::Like { expr, negated, pattern } => {
+            Cond::Like {
+                expr,
+                negated,
+                pattern,
+            } => {
                 let v = self.eval_expr(expr, ctx, outers)?;
                 let res = match v {
                     Value::Null => None,
@@ -680,7 +759,10 @@ impl<'a> Executor<'a> {
     ) -> ExecResult<ResultSet> {
         let mut scopes: Vec<OuterScope<'_>> = outers.to_vec();
         if let Some(row) = ctx.repr_row() {
-            scopes.push(OuterScope { cols: ctx.cols(), row });
+            scopes.push(OuterScope {
+                cols: ctx.cols(),
+                row,
+            });
         }
         self.exec_query(q, &scopes)
     }
@@ -695,11 +777,7 @@ impl<'a> Executor<'a> {
         if rs.columns.len() != 1 {
             return Err(ExecError::SubqueryArity(rs.columns.len()));
         }
-        Ok(rs
-            .rows
-            .first()
-            .map(|r| r[0].clone())
-            .unwrap_or(Value::Null))
+        Ok(rs.rows.first().map(|r| r[0].clone()).unwrap_or(Value::Null))
     }
 }
 
@@ -841,7 +919,10 @@ fn apply_set_op(op: SetOp, l: ResultSet, r: ResultSet) -> ResultSet {
             }
         }
     }
-    ResultSet { columns: l.columns, rows: out }
+    ResultSet {
+        columns: l.columns,
+        rows: out,
+    }
 }
 
 /// Canonical key of a row for dedup / set ops.
@@ -1026,7 +1107,12 @@ mod tests {
         let got: Vec<(String, i64)> = rs
             .rows
             .iter()
-            .map(|r| (r[0].to_string(), if let Value::Int(v) = r[1] { v } else { -1 }))
+            .map(|r| {
+                (
+                    r[0].to_string(),
+                    if let Value::Int(v) = r[1] { v } else { -1 },
+                )
+            })
             .collect();
         assert_eq!(
             got,
@@ -1040,7 +1126,9 @@ mod tests {
 
     #[test]
     fn having_filters_groups() {
-        let rs = run("SELECT country FROM singer GROUP BY country HAVING count(*) > 1 ORDER BY country ASC");
+        let rs = run(
+            "SELECT country FROM singer GROUP BY country HAVING count(*) > 1 ORDER BY country ASC",
+        );
         assert_eq!(strs(&rs), vec!["France", "US"]);
     }
 
@@ -1074,8 +1162,22 @@ mod tests {
         )
         .unwrap();
         let d = db();
-        let a = execute_query_with(&d, &q, ExecOptions { join: JoinStrategy::Hash }).unwrap();
-        let b = execute_query_with(&d, &q, ExecOptions { join: JoinStrategy::NestedLoop }).unwrap();
+        let a = execute_query_with(
+            &d,
+            &q,
+            ExecOptions {
+                join: JoinStrategy::Hash,
+            },
+        )
+        .unwrap();
+        let b = execute_query_with(
+            &d,
+            &q,
+            ExecOptions {
+                join: JoinStrategy::NestedLoop,
+            },
+        )
+        .unwrap();
         assert_eq!(a, b);
     }
 
@@ -1113,7 +1215,9 @@ mod tests {
 
     #[test]
     fn scalar_subquery_comparison() {
-        let rs = run("SELECT name FROM singer WHERE age > (SELECT avg(age) FROM singer) ORDER BY name ASC");
+        let rs = run(
+            "SELECT name FROM singer WHERE age > (SELECT avg(age) FROM singer) ORDER BY name ASC",
+        );
         assert_eq!(strs(&rs), vec!["Amy", "Joe"]);
     }
 
@@ -1161,14 +1265,10 @@ mod tests {
         );
         assert_eq!(strs(&rs), vec!["France"]);
 
-        let rs = run(
-            "SELECT country FROM singer EXCEPT SELECT country FROM singer WHERE age < 35",
-        );
+        let rs = run("SELECT country FROM singer EXCEPT SELECT country FROM singer WHERE age < 35");
         assert_eq!(strs(&rs), Vec::<String>::new());
 
-        let rs = run(
-            "SELECT country FROM singer EXCEPT SELECT country FROM singer WHERE age > 50",
-        );
+        let rs = run("SELECT country FROM singer EXCEPT SELECT country FROM singer WHERE age > 50");
         let mut got = strs(&rs);
         got.sort();
         assert_eq!(got, vec!["France", "UK"]);
@@ -1184,15 +1284,15 @@ mod tests {
 
     #[test]
     fn order_by_aggregate_in_group() {
-        let rs = run(
-            "SELECT country FROM singer GROUP BY country ORDER BY avg(age) DESC LIMIT 1",
-        );
+        let rs = run("SELECT country FROM singer GROUP BY country ORDER BY avg(age) DESC LIMIT 1");
         assert_eq!(strs(&rs), vec!["US"]);
     }
 
     #[test]
     fn order_by_select_alias() {
-        let rs = run("SELECT country, count(*) AS n FROM singer GROUP BY country ORDER BY n DESC LIMIT 1");
+        let rs = run(
+            "SELECT country, count(*) AS n FROM singer GROUP BY country ORDER BY n DESC LIMIT 1",
+        );
         assert!(matches!(rs.rows[0][1], Value::Int(2)));
     }
 
@@ -1212,7 +1312,10 @@ mod tests {
 
     #[test]
     fn unknown_table_and_column_error() {
-        assert!(matches!(run_err("SELECT a FROM nope"), ExecError::UnknownTable(_)));
+        assert!(matches!(
+            run_err("SELECT a FROM nope"),
+            ExecError::UnknownTable(_)
+        ));
         assert!(matches!(
             run_err("SELECT nope FROM singer"),
             ExecError::UnknownColumn(_)
@@ -1257,12 +1360,18 @@ mod tests {
         assert_eq!(rs.rows.len(), 1);
         let q = parse_query("SELECT count(x) FROM t").unwrap();
         let rs = execute_query(&d, &q).unwrap();
-        assert_eq!(rs.rows[0][0].group_key(), Value::Int(1).group_key(), "count ignores NULL");
+        assert_eq!(
+            rs.rows[0][0].group_key(),
+            Value::Int(1).group_key(),
+            "count ignores NULL"
+        );
     }
 
     #[test]
     fn qualified_star() {
-        let rs = run("SELECT T1.* FROM singer AS T1 JOIN song AS T2 ON T1.singer_id = T2.singer_id LIMIT 1");
+        let rs = run(
+            "SELECT T1.* FROM singer AS T1 JOIN song AS T2 ON T1.singer_id = T2.singer_id LIMIT 1",
+        );
         assert_eq!(rs.columns.len(), 4);
     }
 

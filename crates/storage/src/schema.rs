@@ -39,7 +39,10 @@ pub struct ColumnDef {
 impl ColumnDef {
     /// Shorthand constructor.
     pub fn new(name: impl Into<String>, ctype: ColType) -> Self {
-        ColumnDef { name: name.into(), ctype }
+        ColumnDef {
+            name: name.into(),
+            ctype,
+        }
     }
 }
 
@@ -57,7 +60,9 @@ pub struct TableSchema {
 impl TableSchema {
     /// Find a column index by case-insensitive name.
     pub fn column_index(&self, name: &str) -> Option<usize> {
-        self.columns.iter().position(|c| c.name.eq_ignore_ascii_case(name))
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
     }
 }
 
@@ -88,7 +93,9 @@ pub struct DbSchema {
 impl DbSchema {
     /// Find a table by case-insensitive name.
     pub fn table(&self, name: &str) -> Option<&TableSchema> {
-        self.tables.iter().find(|t| t.name.eq_ignore_ascii_case(name))
+        self.tables
+            .iter()
+            .find(|t| t.name.eq_ignore_ascii_case(name))
     }
 
     /// Foreign keys joining `a` and `b` in either direction.
@@ -97,7 +104,8 @@ impl DbSchema {
             .iter()
             .filter(|fk| {
                 (fk.from_table.eq_ignore_ascii_case(a) && fk.to_table.eq_ignore_ascii_case(b))
-                    || (fk.from_table.eq_ignore_ascii_case(b) && fk.to_table.eq_ignore_ascii_case(a))
+                    || (fk.from_table.eq_ignore_ascii_case(b)
+                        && fk.to_table.eq_ignore_ascii_case(a))
             })
             .collect()
     }

@@ -128,13 +128,22 @@ mod tests {
 
     #[test]
     fn cross_numeric_comparison() {
-        assert_eq!(Value::Int(2).sql_cmp(&Value::Float(2.0)), Some(Ordering::Equal));
-        assert_eq!(Value::Int(1).sql_cmp(&Value::Float(1.5)), Some(Ordering::Less));
+        assert_eq!(
+            Value::Int(2).sql_cmp(&Value::Float(2.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Int(1).sql_cmp(&Value::Float(1.5)),
+            Some(Ordering::Less)
+        );
     }
 
     #[test]
     fn numbers_sort_before_text() {
-        assert_eq!(Value::Int(99).total_cmp(&Value::Str("1".into())), Ordering::Less);
+        assert_eq!(
+            Value::Int(99).total_cmp(&Value::Str("1".into())),
+            Ordering::Less
+        );
     }
 
     #[test]
@@ -145,13 +154,19 @@ mod tests {
     #[test]
     fn group_keys_unify_int_and_float() {
         assert_eq!(Value::Int(3).group_key(), Value::Float(3.0).group_key());
-        assert_ne!(Value::Int(3).group_key(), Value::Str("3".into()).group_key());
+        assert_ne!(
+            Value::Int(3).group_key(),
+            Value::Str("3".into()).group_key()
+        );
         assert_ne!(Value::Null.group_key(), Value::Int(0).group_key());
     }
 
     #[test]
     fn from_literal_roundtrip() {
-        assert!(matches!(Value::from_literal(&Literal::Int(5)), Value::Int(5)));
+        assert!(matches!(
+            Value::from_literal(&Literal::Int(5)),
+            Value::Int(5)
+        ));
         assert!(Value::from_literal(&Literal::Null).is_null());
     }
 }

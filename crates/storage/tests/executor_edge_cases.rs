@@ -39,7 +39,8 @@ fn db() -> Database {
     };
     let mut d = Database::new(schema);
     for (id, name) in [(1, "Eng"), (2, "Sales"), (3, "Empty")] {
-        d.insert("dept", vec![Value::Int(id), Value::Str(name.into())]).unwrap();
+        d.insert("dept", vec![Value::Int(id), Value::Str(name.into())])
+            .unwrap();
     }
     let emps: [(i64, i64, &str, f64, Option<&str>); 6] = [
         (1, 1, "Ann", 100.0, Some("A")),
@@ -82,7 +83,8 @@ fn correlated_scalar_subquery_with_aggregate() {
 
 #[test]
 fn null_group_keys_form_their_own_group() {
-    let rs = run("SELECT grade, count(*) FROM emp GROUP BY grade ORDER BY count(*) DESC, grade ASC");
+    let rs =
+        run("SELECT grade, count(*) FROM emp GROUP BY grade ORDER BY count(*) DESC, grade ASC");
     // Groups: A=2, B=2, NULL=2 → all count 2; NULL sorts before text in the
     // ORDER BY tiebreak (total order puts NULL first).
     assert_eq!(rs.rows.len(), 3);

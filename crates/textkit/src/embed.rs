@@ -39,6 +39,9 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 
 /// Embed a text.
 pub fn embed(text: &str) -> Embedding {
+    if obskit::enabled() {
+        obskit::global().add_counter("textkit.embeds", 1);
+    }
     let mut v = vec![0f32; DIM];
     let lower = text.to_lowercase();
     let words: Vec<&str> = lower

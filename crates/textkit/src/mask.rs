@@ -77,7 +77,9 @@ impl DomainMasker {
 
 /// Words never treated as domain terms even if a schema coincidentally uses
 /// them (e.g. a column literally named "name" still reads as intent).
-const STOPWORDS: &[&str] = &["the", "a", "an", "of", "in", "on", "at", "to", "and", "or", "id"];
+const STOPWORDS: &[&str] = &[
+    "the", "a", "an", "of", "in", "on", "at", "to", "and", "or", "id",
+];
 
 #[cfg(test)]
 mod tests {

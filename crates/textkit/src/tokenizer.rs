@@ -22,15 +22,73 @@ pub struct Tokenizer;
 /// Words kept whole regardless of length (frequent English + SQL words that
 /// real BPE vocabularies encode as single tokens).
 const WHOLE_WORDS: &[&str] = &[
-    "select", "from", "where", "group", "order", "having", "limit", "join",
-    "distinct", "count", "table", "database", "question", "answer", "query",
-    "schema", "columns", "column", "primary", "foreign", "key", "create",
-    "insert", "values", "between", "the", "and", "not", "with", "that",
-    "what", "which", "show", "find", "list", "return", "their", "there",
-    "number", "names", "name", "average", "maximum", "minimum", "total",
-    "more", "than", "less", "each", "all", "for", "are", "how", "many",
-    "please", "give", "sqlite", "sql", "complete", "only", "explanation",
-    "instruction", "response", "example", "examples", "translate", "into",
+    "select",
+    "from",
+    "where",
+    "group",
+    "order",
+    "having",
+    "limit",
+    "join",
+    "distinct",
+    "count",
+    "table",
+    "database",
+    "question",
+    "answer",
+    "query",
+    "schema",
+    "columns",
+    "column",
+    "primary",
+    "foreign",
+    "key",
+    "create",
+    "insert",
+    "values",
+    "between",
+    "the",
+    "and",
+    "not",
+    "with",
+    "that",
+    "what",
+    "which",
+    "show",
+    "find",
+    "list",
+    "return",
+    "their",
+    "there",
+    "number",
+    "names",
+    "name",
+    "average",
+    "maximum",
+    "minimum",
+    "total",
+    "more",
+    "than",
+    "less",
+    "each",
+    "all",
+    "for",
+    "are",
+    "how",
+    "many",
+    "please",
+    "give",
+    "sqlite",
+    "sql",
+    "complete",
+    "only",
+    "explanation",
+    "instruction",
+    "response",
+    "example",
+    "examples",
+    "translate",
+    "into",
 ];
 
 impl Tokenizer {

@@ -109,7 +109,13 @@ fn main() {
             question,
             ReprOptions::default(),
         );
-        let out = model.complete(&prompt, &GenOptions { seed: 11, ..Default::default() });
+        let out = model.complete(
+            &prompt,
+            &GenOptions {
+                seed: 11,
+                ..Default::default()
+            },
+        );
         let sql = extract_sql(&out, prompt.trim_end().ends_with("SELECT"));
         println!("Q: {question}");
         println!("  SQL: {sql}");
@@ -120,7 +126,10 @@ fn main() {
                     .iter()
                     .take(4)
                     .map(|r| {
-                        r.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ")
+                        r.iter()
+                            .map(|v| v.to_string())
+                            .collect::<Vec<_>>()
+                            .join(", ")
                     })
                     .collect();
                 println!("  rows ({}): {}", rs.rows.len(), preview.join(" | "));

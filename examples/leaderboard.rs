@@ -14,14 +14,23 @@ fn main() {
     let selector = ExampleSelector::new(&bench);
 
     let entries: Vec<Box<dyn Predictor + Sync>> = vec![
-        Box::new(DailSql::with_self_consistency(SimLlm::new("gpt-4").unwrap(), 5)),
+        Box::new(DailSql::with_self_consistency(
+            SimLlm::new("gpt-4").unwrap(),
+            5,
+        )),
         Box::new(DailSql::new(SimLlm::new("gpt-4").unwrap())),
         Box::new(DinSqlStyle::new(SimLlm::new("gpt-4").unwrap())),
         Box::new(C3Style::new(SimLlm::new("gpt-3.5-turbo").unwrap())),
-        Box::new(ZeroShot::new(SimLlm::new("gpt-4").unwrap(), QuestionRepr::CodeRepr)),
+        Box::new(ZeroShot::new(
+            SimLlm::new("gpt-4").unwrap(),
+            QuestionRepr::CodeRepr,
+        )),
     ];
 
-    println!("{:<28} {:>6} {:>6} {:>6} {:>8}", "solution", "EX%", "EM%", "valid%", "calls/q");
+    println!(
+        "{:<28} {:>6} {:>6} {:>6} {:>8}",
+        "solution", "EX%", "EM%", "valid%", "calls/q"
+    );
     let mut rows: Vec<(String, f64, f64, f64, f64)> = Vec::new();
     for p in &entries {
         let r = evaluate(&bench, &selector, p.as_ref(), &bench.dev, 2023, false);

@@ -12,7 +12,13 @@ use dail_sql::prelude::*;
 
 fn show(model_name: &str, prompt: &str, label: &str) {
     let model = SimLlm::new(model_name).unwrap();
-    let t = model.complete_traced(prompt, &GenOptions { seed: 3, ..Default::default() });
+    let t = model.complete_traced(
+        prompt,
+        &GenOptions {
+            seed: 3,
+            ..Default::default()
+        },
+    );
     println!("== {label} ({model_name})");
     println!("  question   : {}", t.question);
     println!(
@@ -26,10 +32,16 @@ fn show(model_name: &str, prompt: &str, label: &str) {
         t.fks_seen,
         t.examples_seen
     );
-    println!("  effective  : tier {:.2}, alignment {:.2}", t.tier, t.alignment);
+    println!(
+        "  effective  : tier {:.2}, alignment {:.2}",
+        t.tier, t.alignment
+    );
     println!(
         "  cues kept  : {:?}",
-        t.cues_kept.iter().map(|(id, w)| format!("#{id}(w={w})")).collect::<Vec<_>>()
+        t.cues_kept
+            .iter()
+            .map(|(id, w)| format!("#{id}(w={w})"))
+            .collect::<Vec<_>>()
     );
     let top: Vec<String> = t
         .intent_ranking

@@ -24,13 +24,21 @@ fn main() {
         let cfg = PromptConfig::zero_shot(repr);
         let bundle = build_prompt(&cfg, &bench, &selector, item, None, false, &tokenizer, 1);
         let usd = bundle.tokens as f64 / 1000.0 * gpt4.price_per_1k_prompt;
-        println!("{:>5}: {:4} tokens  (${:.4} prompt cost on gpt-4)", repr.as_str(), bundle.tokens, usd);
+        println!(
+            "{:>5}: {:4} tokens  (${:.4} prompt cost on gpt-4)",
+            repr.as_str(),
+            bundle.tokens,
+            usd
+        );
     }
 
     // Show one full prompt.
     let cfg = PromptConfig::zero_shot(QuestionRepr::CodeRepr);
     let bundle = build_prompt(&cfg, &bench, &selector, item, None, false, &tokenizer, 1);
-    println!("\n--- CR_P prompt ---\n{}\n-------------------\n", bundle.text);
+    println!(
+        "\n--- CR_P prompt ---\n{}\n-------------------\n",
+        bundle.text
+    );
 
     // --- the three 5-shot organizations ---
     println!("== 5-shot example organizations (MQS selection) ==");
@@ -56,6 +64,18 @@ fn main() {
 
     // --- a DAIL organization prompt, printed ---
     let cfg = PromptConfig::dail_sql(3);
-    let bundle = build_prompt(&cfg, &bench, &selector, item, Some(&item.gold), false, &tokenizer, 1);
-    println!("\n--- DAIL 3-shot prompt ---\n{}\n--------------------------", bundle.text);
+    let bundle = build_prompt(
+        &cfg,
+        &bench,
+        &selector,
+        item,
+        Some(&item.gold),
+        false,
+        &tokenizer,
+        1,
+    );
+    println!(
+        "\n--- DAIL 3-shot prompt ---\n{}\n--------------------------",
+        bundle.text
+    );
 }

@@ -16,7 +16,8 @@ fn main() {
         seed: 2023,
         train_size: 400,
         dev_size: 100,
-        dev_domains: 6, synthetic_domains: 0
+        dev_domains: 6,
+        synthetic_domains: 0,
     });
     let selector = ExampleSelector::new(&bench);
     let corpus = bench.train.len();
@@ -50,8 +51,14 @@ fn main() {
     }
 
     println!("\n== finding 2: the tuning representation is locked in ==");
-    let tuned = SimLlm::new("llama-13b").unwrap().finetune(PromptStyle::Ddl, corpus);
-    for serve in [QuestionRepr::CodeRepr, QuestionRepr::TextRepr, QuestionRepr::OpenAiDemo] {
+    let tuned = SimLlm::new("llama-13b")
+        .unwrap()
+        .finetune(PromptStyle::Ddl, corpus);
+    for serve in [
+        QuestionRepr::CodeRepr,
+        QuestionRepr::TextRepr,
+        QuestionRepr::OpenAiDemo,
+    ] {
         let r = evaluate(
             &bench,
             &selector,
@@ -60,7 +67,11 @@ fn main() {
             1,
             false,
         );
-        println!("trained on CR_P, served {:>5}: EX {:.1}%", serve.as_str(), r.ex_pct());
+        println!(
+            "trained on CR_P, served {:>5}: EX {:.1}%",
+            serve.as_str(),
+            r.ex_pct()
+        );
     }
 
     println!("\n== finding 3: ICL degrades after SFT ==");

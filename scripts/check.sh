@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Repo-wide hygiene gate: formatting, lints, tests, and a print-statement
+# lint for library code. Run from anywhere; operates on the repo root.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> cargo test -q"
+cargo test -q --offline --workspace
+
+echo "==> print lint (library crates must use obskit, not stdout)"
+# Library crates report through obskit; println!/eprintln! belong only in
+# CLI binaries (crates/bench/src/bin), examples, and the criterion shim
+# (whose whole job is printing). Doc-comment lines are exempt.
+violations=$(grep -rn --include='*.rs' -E 'print(ln)?!|eprint(ln)?!' \
+    src crates \
+    | grep -v '^crates/bench/src/bin/' \
+    | grep -v '^crates/criterion/' \
+    | grep -vE '^[^:]+:[0-9]+:[[:space:]]*//' \
+    || true)
+if [ -n "$violations" ]; then
+    echo "found print statements in library code:" >&2
+    echo "$violations" >&2
+    exit 1
+fi
+
+echo "all checks passed"

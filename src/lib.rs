@@ -10,7 +10,9 @@
 //!   organization (the paper's prompt-engineering space);
 //! * [`simllm`] — the calibrated stochastic semantic-parser LLM simulator;
 //! * [`dail_core`] — the DAIL-SQL pipeline and leaderboard baselines;
-//! * [`eval`] — metrics, cost accounting and the E1–E10 experiment suite.
+//! * [`eval`] — metrics, cost accounting and the E1–E10 experiment suite;
+//! * [`obskit`] — zero-dependency tracing/metrics wired through all of the
+//!   above (spans, counters, latency histograms, JSONL traces, profiles).
 //!
 //! ```
 //! use dail_sql::prelude::*;
@@ -33,6 +35,7 @@
 
 pub use dail_core;
 pub use eval;
+pub use obskit;
 pub use promptkit;
 pub use simllm;
 pub use spider_gen;
@@ -42,8 +45,13 @@ pub use textkit;
 
 /// Everything a typical user needs, in one import.
 pub mod prelude {
-    pub use dail_core::{C3Style, DailSql, DinSqlStyle, FewShot, PredictCtx, Prediction, Predictor, ZeroShot};
-    pub use eval::{evaluate, score_item, ExperimentRunner, RunResult, Scale};
+    pub use dail_core::{
+        C3Style, DailSql, DinSqlStyle, FewShot, PredictCtx, Prediction, Predictor, ZeroShot,
+    };
+    pub use eval::{
+        evaluate, evaluate_opts, score_item, EvalOptions, ExperimentRunner, RunResult, Scale,
+    };
+    pub use obskit::{Profile, Recorder};
     pub use promptkit::{
         build_prompt, ExampleSelector, OrganizationStrategy, PromptConfig, QuestionRepr,
         ReprOptions, SelectionStrategy,

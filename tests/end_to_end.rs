@@ -8,7 +8,8 @@ fn bench() -> Benchmark {
         seed: 2023,
         train_size: 300,
         dev_size: 120,
-        dev_domains: 6, synthetic_domains: 0
+        dev_domains: 6,
+        synthetic_domains: 0,
     })
 }
 
@@ -17,7 +18,10 @@ fn dail_sql_beats_zero_shot() {
     let b = bench();
     let selector = ExampleSelector::new(&b);
     // gpt-3.5 has the most ICL headroom; average two seeds to tame noise.
-    let zero = ZeroShot::new(SimLlm::new("gpt-3.5-turbo").unwrap(), QuestionRepr::CodeRepr);
+    let zero = ZeroShot::new(
+        SimLlm::new("gpt-3.5-turbo").unwrap(),
+        QuestionRepr::CodeRepr,
+    );
     let dail = DailSql::new(SimLlm::new("gpt-3.5-turbo").unwrap());
     let mut gz = 0.0;
     let mut gd = 0.0;
@@ -119,7 +123,12 @@ fn sft_lifts_zero_shot_and_kills_icl() {
         5,
         false,
     );
-    assert!(rt.ex_pct() > rb.ex_pct() + 5.0, "tuned {:.1} base {:.1}", rt.ex_pct(), rb.ex_pct());
+    assert!(
+        rt.ex_pct() > rb.ex_pct() + 5.0,
+        "tuned {:.1} base {:.1}",
+        rt.ex_pct(),
+        rb.ex_pct()
+    );
 
     // Few-shot gain collapses after SFT.
     let base13 = SimLlm::new("llama-13b").unwrap();
@@ -158,12 +167,18 @@ fn foreign_keys_help_code_repr() {
     let with = ZeroShot {
         model: SimLlm::new("gpt-3.5-turbo").unwrap(),
         repr: QuestionRepr::CodeRepr,
-        opts: ReprOptions { foreign_keys: true, ..Default::default() },
+        opts: ReprOptions {
+            foreign_keys: true,
+            ..Default::default()
+        },
     };
     let without = ZeroShot {
         model: SimLlm::new("gpt-3.5-turbo").unwrap(),
         repr: QuestionRepr::CodeRepr,
-        opts: ReprOptions { foreign_keys: false, ..Default::default() },
+        opts: ReprOptions {
+            foreign_keys: false,
+            ..Default::default()
+        },
     };
     let rw = evaluate(&b, &selector, &with, &b.dev, 5, false);
     let ro = evaluate(&b, &selector, &without, &b.dev, 5, false);
@@ -190,7 +205,10 @@ fn token_efficiency_ordering_holds() {
     let full = evaluate(
         &b,
         &selector,
-        &FewShot::new(SimLlm::new("gpt-4").unwrap(), mk(OrganizationStrategy::Full)),
+        &FewShot::new(
+            SimLlm::new("gpt-4").unwrap(),
+            mk(OrganizationStrategy::Full),
+        ),
         &b.dev[..40],
         5,
         false,
@@ -198,7 +216,10 @@ fn token_efficiency_ordering_holds() {
     let dail = evaluate(
         &b,
         &selector,
-        &FewShot::new(SimLlm::new("gpt-4").unwrap(), mk(OrganizationStrategy::DailPairs)),
+        &FewShot::new(
+            SimLlm::new("gpt-4").unwrap(),
+            mk(OrganizationStrategy::DailPairs),
+        ),
         &b.dev[..40],
         5,
         false,
@@ -206,7 +227,10 @@ fn token_efficiency_ordering_holds() {
     let sql_only = evaluate(
         &b,
         &selector,
-        &FewShot::new(SimLlm::new("gpt-4").unwrap(), mk(OrganizationStrategy::SqlOnly)),
+        &FewShot::new(
+            SimLlm::new("gpt-4").unwrap(),
+            mk(OrganizationStrategy::SqlOnly),
+        ),
         &b.dev[..40],
         5,
         false,

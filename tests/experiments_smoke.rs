@@ -7,7 +7,14 @@ use eval::Table;
 #[test]
 fn all_experiments_run_and_save() {
     let bench = Benchmark::generate(BenchmarkConfig::tiny());
-    let runner = ExperimentRunner::new(&bench, Scale { dev_cap: 10, full_grid: false }, 3);
+    let runner = ExperimentRunner::new(
+        &bench,
+        Scale {
+            dev_cap: 10,
+            full_grid: false,
+        },
+        3,
+    );
     let dir = std::env::temp_dir().join("dail_sql_smoke_results");
     let _ = std::fs::remove_dir_all(&dir);
 
@@ -35,7 +42,14 @@ fn all_experiments_run_and_save() {
 #[test]
 fn experiment_percentages_are_sane() {
     let bench = Benchmark::generate(BenchmarkConfig::tiny());
-    let runner = ExperimentRunner::new(&bench, Scale { dev_cap: 12, full_grid: false }, 3);
+    let runner = ExperimentRunner::new(
+        &bench,
+        Scale {
+            dev_cap: 12,
+            full_grid: false,
+        },
+        3,
+    );
     for id in ["e1", "e5", "e8"] {
         for t in runner.run_experiment(id) {
             for row in &t.rows {

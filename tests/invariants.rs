@@ -35,7 +35,8 @@ fn prompt_contains_full_schema_for_every_representation() {
     let item = &b.dev[0];
     let schema = &b.db(item).schema;
     for repr in QuestionRepr::ALL {
-        let p = promptkit::render_prompt(repr, schema, None, &item.question, ReprOptions::default());
+        let p =
+            promptkit::render_prompt(repr, schema, None, &item.question, ReprOptions::default());
         for t in &schema.tables {
             assert!(
                 p.to_lowercase().contains(&t.name.to_lowercase()),
@@ -61,7 +62,8 @@ fn simulated_model_round_trips_every_representation() {
     let item = &b.dev[0];
     let schema = &b.db(item).schema;
     for repr in QuestionRepr::ALL {
-        let p = promptkit::render_prompt(repr, schema, None, &item.question, ReprOptions::default());
+        let p =
+            promptkit::render_prompt(repr, schema, None, &item.question, ReprOptions::default());
         let parsed = simllm::parse_prompt(&p);
         assert_eq!(parsed.question, item.question, "{repr:?}");
         assert_eq!(parsed.tables.len(), schema.tables.len(), "{repr:?}");
@@ -74,12 +76,26 @@ fn selector_is_deterministic_and_in_pool() {
     let sel = ExampleSelector::new(&b);
     let item = &b.dev[0];
     let ids: Vec<usize> = sel
-        .select(SelectionStrategy::MaskedQuestionSimilarity, &item.question, &item.question, None, 5, 1)
+        .select(
+            SelectionStrategy::MaskedQuestionSimilarity,
+            &item.question,
+            &item.question,
+            None,
+            5,
+            1,
+        )
         .iter()
         .map(|e| e.id)
         .collect();
     let ids2: Vec<usize> = sel
-        .select(SelectionStrategy::MaskedQuestionSimilarity, &item.question, &item.question, None, 5, 1)
+        .select(
+            SelectionStrategy::MaskedQuestionSimilarity,
+            &item.question,
+            &item.question,
+            None,
+            5,
+            1,
+        )
         .iter()
         .map(|e| e.id)
         .collect();
