@@ -7,10 +7,17 @@
 //! dail_sql_cli eval [--pipeline P] [--model M]    evaluate a pipeline, print summary
 //! dail_sql_cli run-experiments --experiment ID    run a paper experiment
 //! dail_sql_cli profile TRACE.jsonl                render a trace as a breakdown
+//! dail_sql_cli profile A.jsonl B.jsonl [--fail-on-regress PCT]
+//!                                                 cross-run profile diff / CI gate
+//! dail_sql_cli flame TRACE.jsonl [-o OUT.svg]     render a trace as a flamegraph
 //! ```
 //!
 //! `eval` and `run-experiments` accept `--trace FILE.jsonl` to record a
-//! full pipeline trace, replayable with the `profile` subcommand.
+//! full pipeline trace, replayable with the `profile` and `flame`
+//! subcommands.
+//!
+//! Exit codes: 0 success, 1 perf regression beyond the `--fail-on-regress`
+//! threshold, 2 usage / unreadable input.
 
 use dail_core::{C3Style, DailSql, DinSqlStyle, Predictor, ZeroShot};
 use eval::{evaluate_opts, EvalOptions, ExperimentRunner, Scale};
@@ -26,8 +33,11 @@ fn main() {
         usage();
         std::process::exit(2);
     };
-    // `profile` takes a positional path; everything else is --flag based.
-    let rest: Vec<String> = args.collect();
+    // `profile`/`flame` take positional paths; everything else is --flag
+    // based. `-o` is accepted as shorthand for `--out`.
+    let rest: Vec<String> = args
+        .map(|a| if a == "-o" { "--out".to_string() } else { a })
+        .collect();
     let positional: Vec<&String> = rest.iter().take_while(|a| !a.starts_with("--")).collect();
     let flags = parse_flags(rest.iter().cloned());
     match cmd.as_str() {
@@ -36,7 +46,8 @@ fn main() {
         "ask" => ask(&flags),
         "eval" => run_eval(&flags),
         "run-experiments" => run_experiments(&flags),
-        "profile" => profile_trace(&positional),
+        "profile" => profile_trace(&positional, &flags),
+        "flame" => flame_trace(&positional, &flags),
         "--help" | "-h" | "help" => usage(),
         other => {
             eprintln!("unknown command: {other}\n");
@@ -61,7 +72,14 @@ fn usage() {
          \u{20}\u{20}run-experiments --experiment e1..e10|a1..a6 [--dev-cap N] [--seed N]\n\
          \u{20}\u{20}     [--full-grid] [--trace FILE.jsonl]   run one paper experiment, print its tables\n\
          \u{20}\u{20}profile TRACE.jsonl                      render a recorded trace as a\n\
-         \u{20}\u{20}                                         per-stage time/metric breakdown"
+         \u{20}\u{20}                                         per-stage time/metric breakdown\n\
+         \u{20}\u{20}profile BASE.jsonl NEW.jsonl [--fail-on-regress PCT]\n\
+         \u{20}\u{20}                                         diff two traces (self-times, counters,\n\
+         \u{20}\u{20}                                         histograms); exit 1 if any stage's\n\
+         \u{20}\u{20}                                         self-time regressed beyond PCT percent\n\
+         \u{20}\u{20}flame TRACE.jsonl [-o OUT.svg] [--folded]\n\
+         \u{20}\u{20}                                         render a trace as flamegraph SVG\n\
+         \u{20}\u{20}                                         (or folded stacks with --folded)"
     );
 }
 
@@ -330,11 +348,10 @@ fn run_experiments(flags: &HashMap<String, String>) {
     finish_trace(&rec, trace_path);
 }
 
-fn profile_trace(positional: &[&String]) {
-    let Some(path) = positional.first() else {
-        eprintln!("profile requires a trace file: dail_sql_cli profile TRACE.jsonl");
-        std::process::exit(2);
-    };
+/// Load a trace leniently: unreadable files and traces with no intact
+/// events exit 2; damaged lines (a crashed run's truncated tail, stray
+/// garbage) are skipped with a warning so partial traces still render.
+fn load_trace(path: &str) -> Vec<obskit::Event> {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
@@ -342,12 +359,85 @@ fn profile_trace(positional: &[&String]) {
             std::process::exit(2);
         }
     };
-    let events = match obskit::parse_jsonl(&text) {
-        Ok(ev) => ev,
-        Err(e) => {
-            eprintln!("invalid trace {path}: {e}");
+    let (events, warnings) = obskit::parse_jsonl_lossy(&text);
+    if events.is_empty() && !warnings.is_empty() {
+        eprintln!("invalid trace {path}: {}", warnings[0]);
+        std::process::exit(2);
+    }
+    for w in &warnings {
+        eprintln!("warning: {path}: skipped {w}");
+    }
+    events
+}
+
+fn profile_trace(positional: &[&String], flags: &HashMap<String, String>) {
+    match positional {
+        [] => {
+            eprintln!(
+                "profile requires a trace file: dail_sql_cli profile TRACE.jsonl \
+                 (or two files to diff them)"
+            );
             std::process::exit(2);
         }
+        [path] => {
+            let events = load_trace(path);
+            print!("{}", obskit::Profile::from_events(&events).to_markdown());
+        }
+        [base_path, new_path] => {
+            let base = obskit::Profile::from_events(&load_trace(base_path));
+            let new = obskit::Profile::from_events(&load_trace(new_path));
+            let diff = obskit::ProfileDiff::between(&base, &new);
+            print!("{}", diff.to_markdown());
+            if let Some(raw) = flags.get("fail-on-regress") {
+                let threshold: f64 = match raw.parse() {
+                    Ok(t) if t >= 0.0 => t,
+                    _ => {
+                        eprintln!(
+                            "--fail-on-regress must be a non-negative percentage, got {raw:?}"
+                        );
+                        std::process::exit(2);
+                    }
+                };
+                let regressed = diff.regressions(threshold);
+                if !regressed.is_empty() {
+                    for (stage, pct) in &regressed {
+                        eprintln!("REGRESSION: stage {stage} self-time +{pct:.1}% (threshold {threshold}%)");
+                    }
+                    std::process::exit(1);
+                }
+                eprintln!("perf gate OK: no stage regressed beyond {threshold}%");
+            }
+        }
+        more => {
+            eprintln!("profile takes one or two trace files, got {}", more.len());
+            std::process::exit(2);
+        }
+    }
+}
+
+fn flame_trace(positional: &[&String], flags: &HashMap<String, String>) {
+    let [path] = positional else {
+        eprintln!("flame requires a trace file: dail_sql_cli flame TRACE.jsonl [-o OUT.svg]");
+        std::process::exit(2);
     };
-    print!("{}", obskit::Profile::from_events(&events).to_markdown());
+    let flame = obskit::Flame::from_events(&load_trace(path));
+    if flags.contains_key("folded") {
+        print!("{}", flame.folded());
+        return;
+    }
+    let svg = flame.to_svg();
+    match flags.get("out") {
+        Some(out) => {
+            if let Err(e) = std::fs::write(out, &svg) {
+                eprintln!("cannot write {out}: {e}");
+                std::process::exit(2);
+            }
+            eprintln!(
+                "flamegraph written to {out} (wall {}, {} root frames)",
+                obskit::fmt_ns(flame.wall_ns()),
+                flame.root.children.len()
+            );
+        }
+        None => print!("{svg}"),
+    }
 }

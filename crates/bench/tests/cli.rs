@@ -222,3 +222,259 @@ fn profile_rejects_garbage_input() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("line 1"));
     let _ = std::fs::remove_file(&bad);
 }
+
+// ---- perf-regression gate: flame + profile diff ----
+
+/// Absolute path of a committed trace fixture under `tests/golden/`.
+fn fixture(name: &str) -> String {
+    format!("{}/../../tests/golden/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn profile_diff_identical_pair_passes_the_gate() {
+    let base = fixture("baseline_trace.jsonl");
+    let out = cli()
+        .args(["profile", &base, &base, "--fail-on-regress", "10"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("PROFILE DIFF"), "{text}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("perf gate OK"), "{err}");
+}
+
+#[test]
+fn profile_diff_flags_the_injected_slowdown() {
+    let out = cli()
+        .args([
+            "profile",
+            &fixture("baseline_trace.jsonl"),
+            &fixture("slowdown_trace.jsonl"),
+            "--fail-on-regress",
+            "10",
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("REGRESSION"), "{err}");
+    assert!(err.contains("predict"), "{err}");
+    // The report still prints, with the regressed stage's delta.
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("+33.3"), "{text}");
+}
+
+#[test]
+fn profile_diff_without_gate_is_report_only() {
+    let out = cli()
+        .args([
+            "profile",
+            &fixture("baseline_trace.jsonl"),
+            &fixture("slowdown_trace.jsonl"),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("PROFILE DIFF"), "{text}");
+    assert!(text.contains("predict"), "{text}");
+}
+
+#[test]
+fn malformed_regress_threshold_exits_2() {
+    let base = fixture("baseline_trace.jsonl");
+    let out = cli()
+        .args(["profile", &base, &base, "--fail-on-regress", "ten"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("fail-on-regress"));
+}
+
+#[test]
+fn profile_missing_file_exits_2() {
+    let out = cli()
+        .args(["profile", "/nonexistent/trace.jsonl"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn profile_three_files_exits_2() {
+    let base = fixture("baseline_trace.jsonl");
+    let out = cli()
+        .args(["profile", &base, &base, &base])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn flame_writes_svg_with_wall_clock_root() {
+    let svg_path = std::env::temp_dir().join("dail_cli_flame_test.svg");
+    let _ = std::fs::remove_file(&svg_path);
+    let out = cli()
+        .args([
+            "flame",
+            &fixture("baseline_trace.jsonl"),
+            "--out",
+            svg_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("flamegraph written"));
+    let svg = std::fs::read_to_string(&svg_path).expect("svg written");
+    assert!(
+        svg.contains("<svg"),
+        "not an svg: {}",
+        &svg[..80.min(svg.len())]
+    );
+    // The root frame spans exactly the fixture's 10ms wall-clock.
+    assert!(
+        svg.contains("data-name=\"all\" data-ns=\"10000000\""),
+        "root frame must span the wall-clock"
+    );
+
+    // `-o` is shorthand for `--out` and produces the same bytes.
+    let short_path = std::env::temp_dir().join("dail_cli_flame_test_short.svg");
+    let _ = std::fs::remove_file(&short_path);
+    let out = cli()
+        .args([
+            "flame",
+            &fixture("baseline_trace.jsonl"),
+            "-o",
+            short_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    assert_eq!(svg, std::fs::read_to_string(&short_path).unwrap());
+    let _ = std::fs::remove_file(&svg_path);
+    let _ = std::fs::remove_file(&short_path);
+}
+
+#[test]
+fn flame_folded_matches_committed_golden() {
+    let out = cli()
+        .args(["flame", &fixture("baseline_trace.jsonl"), "--folded"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let expected = std::fs::read_to_string(fixture("baseline_trace.folded")).unwrap();
+    assert_eq!(String::from_utf8_lossy(&out.stdout), expected);
+}
+
+#[test]
+fn flame_requires_a_trace_file() {
+    let out = cli().arg("flame").output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn truncated_trace_warns_but_still_renders() {
+    // A partial trace: the full baseline plus a line chopped mid-object,
+    // as left behind by a crashed or still-running producer.
+    let partial = std::env::temp_dir().join("dail_cli_partial_trace.jsonl");
+    let mut text = std::fs::read_to_string(fixture("baseline_trace.jsonl")).unwrap();
+    text.push_str("{\"ev\":\"span_start\",\"id\":99,\"par\n");
+    std::fs::write(&partial, &text).unwrap();
+
+    let out = cli()
+        .args(["profile", partial.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("skipped"));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("| stage |"));
+
+    // The flamegraph of the intact events is unchanged by the junk line.
+    let out = cli()
+        .args(["flame", partial.to_str().unwrap(), "--folded"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let expected = std::fs::read_to_string(fixture("baseline_trace.folded")).unwrap();
+    assert_eq!(String::from_utf8_lossy(&out.stdout), expected);
+    let _ = std::fs::remove_file(&partial);
+}
+
+#[test]
+fn eval_is_deterministic_across_dail_threads() {
+    let run = |threads: &str| {
+        let trace = std::env::temp_dir().join(format!("dail_cli_det_{threads}.jsonl"));
+        let _ = std::fs::remove_file(&trace);
+        let out = cli()
+            .env("DAIL_THREADS", threads)
+            .args([
+                "eval",
+                "--pipeline",
+                "zero",
+                "--model",
+                "gpt-4",
+                "--train",
+                "40",
+                "--dev",
+                "10",
+                "--trace",
+                trace.to_str().unwrap(),
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = std::fs::read_to_string(&trace).expect("trace written");
+        let _ = std::fs::remove_file(&trace);
+        // Two kinds of events legitimately vary run to run: the thread-count
+        // gauge (reporting it is its whole job) and latency histograms,
+        // whose observations are real wall-clock samples. Histograms are
+        // still checked below by name and observation count.
+        let mut hist_counts: Vec<(String, u64)> = Vec::new();
+        let events: Vec<obskit::Event> = obskit::parse_jsonl(&text)
+            .expect("valid trace")
+            .into_iter()
+            .filter(|e| match e {
+                obskit::Event::Histogram { name, count, .. } => {
+                    hist_counts.push((name.clone(), *count));
+                    false
+                }
+                other => other.name() != "eval.threads",
+            })
+            .collect();
+        (out.stdout, obskit::canonical_jsonl(&events), hist_counts)
+    };
+    let (stdout1, trace1, hists1) = run("1");
+    let (stdout4, trace4, hists4) = run("4");
+    // Same report on stdout, same canonicalised trace on disk, and the same
+    // number of observations in every latency histogram.
+    assert_eq!(
+        String::from_utf8_lossy(&stdout1),
+        String::from_utf8_lossy(&stdout4)
+    );
+    assert_eq!(trace1, trace4);
+    assert!(!trace1.is_empty());
+    assert_eq!(hists1, hists4);
+    assert!(!hists1.is_empty());
+}

@@ -469,6 +469,56 @@ pub fn parse_jsonl(text: &str) -> Result<Vec<Event>, String> {
         .collect()
 }
 
+/// Parse a JSONL document leniently: malformed, truncated or non-event
+/// lines are skipped and returned as `line N: reason` warnings instead of
+/// failing the whole parse. A crashed run's partial trace (whose final
+/// line is typically cut mid-object) still yields every intact event.
+pub fn parse_jsonl_lossy(text: &str) -> (Vec<Event>, Vec<String>) {
+    let mut events = Vec::new();
+    let mut warnings = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_jsonl_line(line) {
+            Ok(ev) => events.push(ev),
+            Err(e) => warnings.push(format!("line {}: {e}", i + 1)),
+        }
+    }
+    (events, warnings)
+}
+
+/// Serialize a trace with every span timestamp and duration zeroed.
+///
+/// Two runs of the same workload differ only in their timings, and
+/// [`Event`] equality already ignores them; this is the byte-level
+/// counterpart, letting determinism tests compare whole trace files with a
+/// plain string (or file) equality check.
+pub fn canonical_jsonl(events: &[Event]) -> String {
+    let mut s = String::new();
+    for ev in events {
+        let canon = match ev.clone() {
+            Event::SpanStart {
+                id, parent, name, ..
+            } => Event::SpanStart {
+                id,
+                parent,
+                name,
+                t_ns: 0,
+            },
+            Event::SpanEnd { id, name, .. } => Event::SpanEnd {
+                id,
+                name,
+                dur_ns: 0,
+            },
+            other => other,
+        };
+        s.push_str(&to_json_line(&canon));
+        s.push('\n');
+    }
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -582,6 +632,44 @@ mod tests {
         assert!(err.starts_with("line 2"), "{err}");
         assert!(parse_jsonl_line("{}").is_err());
         assert!(parse_jsonl_line("{\"ev\":\"nope\",\"name\":\"x\"}").is_err());
+    }
+
+    #[test]
+    fn lossy_parse_skips_truncated_lines() {
+        let good = Event::Counter {
+            name: "a".into(),
+            value: 1,
+        };
+        let line = to_json_line(&good);
+        // Simulate a crashed writer: one intact line, one cut mid-object,
+        // one non-JSON line.
+        let doc = format!("{line}\n{}\nnot json\n{line}\n", &line[..line.len() / 2]);
+        let (events, warnings) = parse_jsonl_lossy(&doc);
+        assert_eq!(events, vec![good.clone(), good]);
+        assert_eq!(warnings.len(), 2, "{warnings:?}");
+        assert!(warnings[0].starts_with("line 2"), "{warnings:?}");
+        assert!(warnings[1].starts_with("line 3"), "{warnings:?}");
+    }
+
+    #[test]
+    fn canonical_jsonl_zeroes_times_only() {
+        let a = canonical_jsonl(&samples());
+        let mut shifted = samples();
+        for ev in &mut shifted {
+            match ev {
+                Event::SpanStart { t_ns, .. } => *t_ns += 12345,
+                Event::SpanEnd { dur_ns, .. } => *dur_ns += 999,
+                _ => {}
+            }
+        }
+        let b = canonical_jsonl(&shifted);
+        assert_eq!(a, b, "canonical form must be timing-independent");
+        assert!(a.contains("\"t_ns\":0"));
+        assert!(a.contains("\"dur_ns\":0"));
+        // Non-span content is untouched.
+        assert!(a.contains("\"value\":24"));
+        // Canonical output is itself a valid trace.
+        assert_eq!(parse_jsonl(&a).unwrap(), samples());
     }
 
     #[test]

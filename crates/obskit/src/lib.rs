@@ -13,6 +13,10 @@
 //! * Named counters, gauges and log-scale latency [`Histogram`]s.
 //! * [`Profile`] — replays an event stream into a per-stage markdown
 //!   breakdown table (same visual style as `eval::report::Table`).
+//! * [`ProfileDiff`] — cross-run comparison of two profiles (per-stage
+//!   self-times, counters, histograms) with a CI regression gate.
+//! * [`Flame`] — folds a span trace into merged stacks and renders
+//!   folded-stack text or a self-contained `flamegraph.svg`.
 //! * A process-global recorder ([`set_global`]/[`global`]) so deep layers
 //!   (`simllm`, `storage`, `promptkit`, …) can emit metrics without
 //!   threading a handle through every signature. The disabled path is a
@@ -26,15 +30,17 @@
 #![warn(missing_docs)]
 
 mod event;
+mod flame;
 mod hist;
 mod jsonl;
 mod profile;
 mod recorder;
 
 pub use event::Event;
+pub use flame::{Flame, FlameNode};
 pub use hist::{bucket_high, bucket_index, bucket_low, Histogram, BUCKETS};
-pub use jsonl::{parse_jsonl, parse_jsonl_line, to_json_line};
-pub use profile::{Profile, StageStats};
+pub use jsonl::{canonical_jsonl, parse_jsonl, parse_jsonl_line, parse_jsonl_lossy, to_json_line};
+pub use profile::{fmt_ns, fmt_ns_delta, Profile, ProfileDiff, StageDelta, StageStats};
 pub use recorder::{MetricsSnapshot, Recorder, Span};
 
 use std::sync::atomic::{AtomicBool, Ordering};

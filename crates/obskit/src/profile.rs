@@ -176,6 +176,221 @@ impl Profile {
     }
 }
 
+/// One stage's base-vs-new comparison inside a [`ProfileDiff`].
+#[derive(Debug, Clone)]
+pub struct StageDelta {
+    /// Stage name.
+    pub name: String,
+    /// Stats in the base trace (`None` when the stage is new).
+    pub base: Option<StageStats>,
+    /// Stats in the new trace (`None` when the stage disappeared).
+    pub new: Option<StageStats>,
+}
+
+impl StageDelta {
+    /// Self-time in the base trace, ns (0 when absent).
+    pub fn base_self_ns(&self) -> u64 {
+        self.base.as_ref().map(|s| s.self_ns).unwrap_or(0)
+    }
+
+    /// Self-time in the new trace, ns (0 when absent).
+    pub fn new_self_ns(&self) -> u64 {
+        self.new.as_ref().map(|s| s.self_ns).unwrap_or(0)
+    }
+
+    /// Signed self-time change, ns.
+    pub fn delta_ns(&self) -> i128 {
+        self.new_self_ns() as i128 - self.base_self_ns() as i128
+    }
+
+    /// Self-time change as a percentage of the base self-time, or `None`
+    /// when the stage has no base self-time to compare against.
+    pub fn delta_pct(&self) -> Option<f64> {
+        let base = self.base_self_ns();
+        (base > 0).then(|| 100.0 * self.delta_ns() as f64 / base as f64)
+    }
+}
+
+/// A cross-run comparison of two [`Profile`]s: per-stage self-times,
+/// counters and histograms. Built by [`ProfileDiff::between`]; rendered
+/// with [`ProfileDiff::to_markdown`]; gated in CI via
+/// [`ProfileDiff::regressions`].
+#[derive(Debug, Clone, Default)]
+pub struct ProfileDiff {
+    /// Base trace wall-clock, ns.
+    pub base_wall_ns: u64,
+    /// New trace wall-clock, ns.
+    pub new_wall_ns: u64,
+    /// Per-stage deltas, worst absolute self-time increase first
+    /// (name breaks ties).
+    pub stages: Vec<StageDelta>,
+    /// Counter totals `(name, base, new)` over the union of names
+    /// (0 when absent on one side), ordered by name.
+    pub counters: Vec<(String, u64, u64)>,
+    /// Histograms `(name, base, new)` over the union of names (empty when
+    /// absent on one side), ordered by name.
+    pub histograms: Vec<(String, Histogram, Histogram)>,
+}
+
+impl ProfileDiff {
+    /// Compare two aggregated profiles.
+    pub fn between(base: &Profile, new: &Profile) -> ProfileDiff {
+        let stage_names: std::collections::BTreeSet<&String> =
+            base.stages.keys().chain(new.stages.keys()).collect();
+        let mut stages: Vec<StageDelta> = stage_names
+            .into_iter()
+            .map(|name| StageDelta {
+                name: name.clone(),
+                base: base.stages.get(name).cloned(),
+                new: new.stages.get(name).cloned(),
+            })
+            .collect();
+        stages.sort_by(|a, b| {
+            b.delta_ns()
+                .cmp(&a.delta_ns())
+                .then_with(|| a.name.cmp(&b.name))
+        });
+        let counter_names: std::collections::BTreeSet<&String> =
+            base.counters.keys().chain(new.counters.keys()).collect();
+        let counters = counter_names
+            .into_iter()
+            .map(|name| {
+                (
+                    name.clone(),
+                    base.counters.get(name).copied().unwrap_or(0),
+                    new.counters.get(name).copied().unwrap_or(0),
+                )
+            })
+            .collect();
+        let hist_names: std::collections::BTreeSet<&String> = base
+            .histograms
+            .keys()
+            .chain(new.histograms.keys())
+            .collect();
+        let histograms = hist_names
+            .into_iter()
+            .map(|name| {
+                (
+                    name.clone(),
+                    base.histograms.get(name).cloned().unwrap_or_default(),
+                    new.histograms.get(name).cloned().unwrap_or_default(),
+                )
+            })
+            .collect();
+        ProfileDiff {
+            base_wall_ns: base.wall_ns,
+            new_wall_ns: new.wall_ns,
+            stages,
+            counters,
+            histograms,
+        }
+    }
+
+    /// Stages whose self-time grew by more than `threshold_pct` percent of
+    /// their base self-time, worst first. Stages with zero base self-time
+    /// (including brand-new stages) are never flagged — there is no
+    /// baseline to regress against.
+    pub fn regressions(&self, threshold_pct: f64) -> Vec<(String, f64)> {
+        let mut out: Vec<(String, f64)> = self
+            .stages
+            .iter()
+            .filter_map(|d| {
+                let pct = d.delta_pct()?;
+                (pct > threshold_pct).then(|| (d.name.clone(), pct))
+            })
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Render the comparison as a Markdown delta table, in the same visual
+    /// style as [`Profile::to_markdown`].
+    pub fn to_markdown(&self) -> String {
+        let mut s = String::new();
+        let wall_pct = if self.base_wall_ns == 0 {
+            "-".to_string()
+        } else {
+            format!(
+                "{:+.1}%",
+                100.0 * (self.new_wall_ns as i128 - self.base_wall_ns as i128) as f64
+                    / self.base_wall_ns as f64
+            )
+        };
+        let _ = writeln!(
+            s,
+            "### PROFILE DIFF — wall {} → {} ({wall_pct})\n",
+            fmt_ns(self.base_wall_ns),
+            fmt_ns(self.new_wall_ns)
+        );
+        if !self.stages.is_empty() {
+            let _ = writeln!(s, "| stage | calls | base self | new self | Δ self | Δ% |");
+            let _ = writeln!(s, "|---|---|---|---|---|---|");
+            for d in &self.stages {
+                let calls = format!(
+                    "{}→{}",
+                    d.base.as_ref().map(|s| s.count).unwrap_or(0),
+                    d.new.as_ref().map(|s| s.count).unwrap_or(0)
+                );
+                let pct = match d.delta_pct() {
+                    Some(p) => format!("{p:+.1}"),
+                    None => "-".to_string(),
+                };
+                let _ = writeln!(
+                    s,
+                    "| {} | {calls} | {} | {} | {} | {pct} |",
+                    d.name,
+                    fmt_ns(d.base_self_ns()),
+                    fmt_ns(d.new_self_ns()),
+                    fmt_ns_delta(d.delta_ns()),
+                );
+            }
+            let _ = writeln!(s);
+        }
+        if !self.counters.is_empty() {
+            let _ = writeln!(s, "| counter | base | new | Δ |");
+            let _ = writeln!(s, "|---|---|---|---|");
+            for (name, base, new) in &self.counters {
+                let _ = writeln!(
+                    s,
+                    "| {name} | {base} | {new} | {:+} |",
+                    *new as i128 - *base as i128
+                );
+            }
+            let _ = writeln!(s);
+        }
+        if !self.histograms.is_empty() {
+            let _ = writeln!(
+                s,
+                "| histogram | count | base mean | new mean | base p99 | new p99 |"
+            );
+            let _ = writeln!(s, "|---|---|---|---|---|---|");
+            for (name, base, new) in &self.histograms {
+                let _ = writeln!(
+                    s,
+                    "| {name} | {}→{} | {:.1} | {:.1} | {} | {} |",
+                    base.count(),
+                    new.count(),
+                    base.mean(),
+                    new.mean(),
+                    base.quantile(0.99),
+                    new.quantile(0.99),
+                );
+            }
+        }
+        s
+    }
+}
+
+/// Human-format a signed nanosecond delta (`+1.5ms`, `-300ns`, `0ns`).
+pub fn fmt_ns_delta(delta: i128) -> String {
+    let mag = fmt_ns(delta.unsigned_abs().min(u64::MAX as u128) as u64);
+    match delta.signum() {
+        1 => format!("+{mag}"),
+        -1 => format!("-{mag}"),
+        _ => mag,
+    }
+}
+
 /// Human-format nanoseconds (ns/µs/ms/s with one decimal).
 pub fn fmt_ns(ns: u64) -> String {
     if ns < 1_000 {
@@ -316,6 +531,99 @@ mod tests {
         let p = Profile::from_events(&ev);
         assert!(p.stages.is_empty());
         assert_eq!(p.wall_ns, 0);
+    }
+
+    fn base_and_slow() -> (Profile, Profile) {
+        let mut base: Vec<Event> = Vec::new();
+        let mut slow: Vec<Event> = Vec::new();
+        // run(1000) -> predict(600); slow run(1400) -> predict(1000).
+        for (evs, run, predict) in [(&mut base, 1000u64, 600u64), (&mut slow, 1400, 1000)] {
+            evs.push(Event::SpanStart {
+                id: 1,
+                parent: None,
+                name: "run".into(),
+                t_ns: 0,
+            });
+            evs.extend(span(2, Some(1), "predict", predict));
+            evs.push(Event::SpanEnd {
+                id: 1,
+                name: "run".into(),
+                dur_ns: run,
+            });
+            evs.push(Event::Counter {
+                name: "eval.items".into(),
+                value: 3,
+            });
+        }
+        slow.push(Event::Counter {
+            name: "eval.retries".into(),
+            value: 2,
+        });
+        (Profile::from_events(&base), Profile::from_events(&slow))
+    }
+
+    #[test]
+    fn diff_flags_only_regressed_stages() {
+        let (b, n) = base_and_slow();
+        let d = ProfileDiff::between(&b, &n);
+        assert_eq!(d.base_wall_ns, 1000);
+        assert_eq!(d.new_wall_ns, 1400);
+        // predict self: 600 -> 1000 (+66.7%); run self: 400 -> 400 (0%).
+        let r = d.regressions(10.0);
+        assert_eq!(r.len(), 1, "{r:?}");
+        assert_eq!(r[0].0, "predict");
+        assert!((r[0].1 - 66.666).abs() < 0.1, "{r:?}");
+        assert!(d.regressions(100.0).is_empty());
+        // Identical traces never regress.
+        assert!(ProfileDiff::between(&b, &b).regressions(0.0).is_empty());
+    }
+
+    #[test]
+    fn diff_orders_worst_stage_first() {
+        let (b, n) = base_and_slow();
+        let d = ProfileDiff::between(&b, &n);
+        assert_eq!(d.stages[0].name, "predict");
+        assert_eq!(d.stages[0].delta_ns(), 400);
+        assert_eq!(d.stages[1].name, "run");
+        assert_eq!(d.stages[1].delta_ns(), 0);
+    }
+
+    #[test]
+    fn diff_handles_new_and_vanished_stages() {
+        let only_a = Profile::from_events(&span(1, None, "a", 100));
+        let only_b = Profile::from_events(&span(1, None, "b", 100));
+        let d = ProfileDiff::between(&only_a, &only_b);
+        let a = d.stages.iter().find(|s| s.name == "a").unwrap();
+        let b = d.stages.iter().find(|s| s.name == "b").unwrap();
+        assert!(a.new.is_none());
+        assert!(b.base.is_none());
+        assert_eq!(b.delta_pct(), None, "new stage has no baseline");
+        // Neither direction trips the gate: no baseline to regress against.
+        assert!(d.regressions(0.0).is_empty());
+    }
+
+    #[test]
+    fn diff_markdown_contains_stage_counter_histogram_deltas() {
+        let (b, mut n) = base_and_slow();
+        n.histograms
+            .entry("lat".into())
+            .or_default()
+            .merge(&Histogram::from_parts(1, 7, 7, 7, &[(3, 1)]));
+        let md = ProfileDiff::between(&b, &n).to_markdown();
+        assert!(md.contains("PROFILE DIFF"), "{md}");
+        assert!(md.contains("| predict | 1→1 |"), "{md}");
+        assert!(md.contains("+66.7"), "{md}");
+        assert!(md.contains("| eval.items | 3 | 3 | +0 |"), "{md}");
+        assert!(md.contains("| eval.retries | 0 | 2 | +2 |"), "{md}");
+        assert!(md.contains("| lat | 0→1 |"), "{md}");
+        assert!(md.contains("+40.0%"), "wall delta header: {md}");
+    }
+
+    #[test]
+    fn fmt_ns_delta_signs() {
+        assert_eq!(fmt_ns_delta(1_500_000), "+1.5ms");
+        assert_eq!(fmt_ns_delta(-300), "-300ns");
+        assert_eq!(fmt_ns_delta(0), "0ns");
     }
 
     #[test]

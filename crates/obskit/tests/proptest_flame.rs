@@ -1,0 +1,154 @@
+//! Property tests for the flamegraph renderer and the lossy trace reader.
+//!
+//! Random well-nested span forests (each span's duration is its self time
+//! plus the sum of its children's durations) must satisfy the renderer's
+//! core conservation law: every nanosecond of wall-clock is attributed to
+//! exactly one frame's self time, so folded stacks sum to the wall-clock,
+//! the SVG root advertises the same width, and per-stage self times agree
+//! with [`obskit::Profile`] exactly. The lossy reader must drop precisely
+//! the corrupted lines, never panic.
+
+use obskit::{canonical_jsonl, parse_jsonl_lossy, Event, Flame, FlameNode, Profile};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// A span subtree: name index into a small pool (so sibling merges happen
+/// often), explicit self time, and child subtrees.
+#[derive(Debug, Clone)]
+struct TreeSpec {
+    name_idx: usize,
+    self_ns: u64,
+    children: Vec<TreeSpec>,
+}
+
+const NAMES: [&str; 6] = ["run", "evaluate", "item", "predict", "score", "encode"];
+
+fn tree() -> BoxedStrategy<TreeSpec> {
+    (0usize..NAMES.len(), 1u64..1_000_000)
+        .prop_map(|(name_idx, self_ns)| TreeSpec {
+            name_idx,
+            self_ns,
+            children: Vec::new(),
+        })
+        .prop_recursive(3, 16, 3, |inner| {
+            (
+                0usize..NAMES.len(),
+                0u64..1_000_000,
+                proptest::collection::vec(inner, 1..4),
+            )
+                .prop_map(|(name_idx, self_ns, children)| TreeSpec {
+                    name_idx,
+                    self_ns,
+                    children,
+                })
+        })
+}
+
+fn forest() -> impl Strategy<Value = Vec<TreeSpec>> {
+    proptest::collection::vec(tree(), 1..4)
+}
+
+/// Emit a well-nested event stream for one subtree; returns its duration.
+fn emit(spec: &TreeSpec, parent: Option<u64>, next_id: &mut u64, out: &mut Vec<Event>) -> u64 {
+    *next_id += 1;
+    let id = *next_id;
+    out.push(Event::SpanStart {
+        id,
+        parent,
+        name: NAMES[spec.name_idx].to_string(),
+        t_ns: 0,
+    });
+    let mut dur = spec.self_ns;
+    for child in &spec.children {
+        dur += emit(child, Some(id), next_id, out);
+    }
+    out.push(Event::SpanEnd {
+        id,
+        name: NAMES[spec.name_idx].to_string(),
+        dur_ns: dur,
+    });
+    dur
+}
+
+fn events_for(forest: &[TreeSpec]) -> (Vec<Event>, u64) {
+    let mut events = Vec::new();
+    let mut next_id = 0;
+    let mut wall = 0;
+    for tree in forest {
+        wall += emit(tree, None, &mut next_id, &mut events);
+    }
+    (events, wall)
+}
+
+/// Sum each frame name's self time across the whole flame tree.
+fn flame_self_by_name(node: &FlameNode, out: &mut BTreeMap<String, u64>) {
+    for (name, child) in &node.children {
+        *out.entry(name.clone()).or_insert(0) += child.self_ns();
+        flame_self_by_name(child, out);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Folded self-times and the SVG root width both equal the wall-clock.
+    #[test]
+    fn every_nanosecond_lands_in_exactly_one_frame(f in forest()) {
+        let (events, wall) = events_for(&f);
+        let flame = Flame::from_events(&events);
+        prop_assert_eq!(flame.wall_ns(), wall);
+        prop_assert_eq!(Profile::from_events(&events).wall_ns, wall);
+        let folded_sum: u64 = flame
+            .folded()
+            .lines()
+            .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+            .sum();
+        prop_assert_eq!(folded_sum, wall, "folded:\n{}", flame.folded());
+        let root = format!("data-name=\"all\" data-ns=\"{wall}\"");
+        prop_assert!(flame.to_svg().contains(&root), "missing root frame of width {wall}");
+    }
+
+    /// Per-stage self times agree between the flame tree (which keeps one
+    /// node per stack) and the profile (which aggregates by name alone).
+    #[test]
+    fn flame_and_profile_attribute_identical_self_times(f in forest()) {
+        let (events, _) = events_for(&f);
+        let flame = Flame::from_events(&events);
+        let profile = Profile::from_events(&events);
+        let mut by_name = BTreeMap::new();
+        flame_self_by_name(&flame.root, &mut by_name);
+        let profile_by_name: BTreeMap<String, u64> = profile
+            .stages
+            .iter()
+            .map(|(name, s)| (name.clone(), s.self_ns))
+            .collect();
+        prop_assert_eq!(by_name, profile_by_name);
+    }
+
+    /// Corrupting one line loses exactly that event: everything else still
+    /// parses, and the single warning names the corrupted line.
+    #[test]
+    fn lossy_parse_drops_only_the_corrupted_line(f in forest(), pick in 0u64..1_000_000) {
+        let (events, _) = events_for(&f);
+        let text = canonical_jsonl(&events);
+        let lines: Vec<&str> = text.lines().collect();
+        let k = (pick as usize) % lines.len();
+        let corrupted: String = lines
+            .iter()
+            .enumerate()
+            .map(|(i, l)| {
+                // Chop the victim line mid-object so it cannot be valid JSON.
+                if i == k { &l[..l.len() / 2] } else { l }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let (parsed, warnings) = parse_jsonl_lossy(&corrupted);
+        let mut expected = events.clone();
+        expected.remove(k);
+        // Event equality ignores timestamps, so the zeroed canonical times
+        // do not get in the way of the comparison.
+        prop_assert_eq!(parsed, expected);
+        prop_assert_eq!(warnings.len(), 1, "{warnings:?}");
+        prop_assert!(warnings[0].starts_with(&format!("line {}:", k + 1)), "{warnings:?}");
+    }
+}

@@ -1,0 +1,145 @@
+//! Fixed-point and literal-blindness properties.
+//!
+//! The roundtrip suite shows `parse ∘ print` is the identity on ASTs; this
+//! one pins down the dual view: the *printed text* is a fixed point of
+//! `print ∘ parse`, and the query skeleton — the signature DAIL-SQL keys
+//! example selection on — is blind to every literal site the AST can carry
+//! (comparison operands, BETWEEN bounds, IN lists, LIKE patterns and LIMIT
+//! values), not just the comparison literals the older test replaced.
+
+mod gen;
+
+use gen::query;
+use proptest::prelude::*;
+use sqlkit::ast::*;
+use sqlkit::{parse_query, Skeleton};
+
+/// Overwrite every literal value reachable from `e` with values derived
+/// from `n`, leaving the tree shape untouched.
+fn subst_expr(e: &mut Expr, n: i64) {
+    match e {
+        Expr::Lit(l) => subst_lit(l, n),
+        Expr::Arith { left, right, .. } => {
+            subst_expr(left, n);
+            subst_expr(right, n);
+        }
+        Expr::Neg(inner) => subst_expr(inner, n),
+        Expr::Agg { arg, .. } => subst_expr(arg, n),
+        Expr::Col(_) | Expr::Star => {}
+    }
+}
+
+fn subst_lit(l: &mut Literal, n: i64) {
+    match l {
+        Literal::Int(v) => *v = n,
+        // Quarters stay exactly representable, so printing stays lossless.
+        Literal::Float(v) => *v = n as f64 / 4.0,
+        Literal::Str(s) => *s = format!("v{}", n.unsigned_abs()),
+        Literal::Null => {}
+    }
+}
+
+fn subst_cond(c: &mut Cond, n: i64) {
+    match c {
+        Cond::Cmp { left, right, .. } => {
+            subst_expr(left, n);
+            match right {
+                Operand::Expr(e) => subst_expr(e, n),
+                Operand::Subquery(q) => subst_query(q, n),
+            }
+        }
+        Cond::Between {
+            expr, low, high, ..
+        } => {
+            subst_expr(expr, n);
+            subst_expr(low, n);
+            subst_expr(high, n);
+        }
+        Cond::In { expr, source, .. } => {
+            subst_expr(expr, n);
+            match source {
+                InSource::List(lits) => {
+                    for l in lits {
+                        subst_lit(l, n);
+                    }
+                }
+                InSource::Subquery(q) => subst_query(q, n),
+            }
+        }
+        Cond::Like { expr, pattern, .. } => {
+            subst_expr(expr, n);
+            *pattern = format!("p{}%", n.unsigned_abs());
+        }
+        Cond::IsNull { expr, .. } => subst_expr(expr, n),
+        Cond::Exists { query, .. } => subst_query(query, n),
+        Cond::And(l, r) | Cond::Or(l, r) => {
+            subst_cond(l, n);
+            subst_cond(r, n);
+        }
+        Cond::Not(inner) => subst_cond(inner, n),
+    }
+}
+
+fn subst_select(s: &mut Select, n: i64) {
+    for item in &mut s.items {
+        subst_expr(&mut item.expr, n);
+    }
+    if let Some(from) = &mut s.from {
+        for j in &mut from.joins {
+            if let Some(on) = &mut j.on {
+                subst_cond(on, n);
+            }
+        }
+    }
+    if let Some(w) = &mut s.where_cond {
+        subst_cond(w, n);
+    }
+    if let Some(h) = &mut s.having {
+        subst_cond(h, n);
+    }
+    for key in &mut s.order_by {
+        subst_expr(&mut key.expr, n);
+    }
+    if let Some(l) = &mut s.limit {
+        *l = n.unsigned_abs() % 100;
+    }
+}
+
+fn subst_query(q: &mut Query, n: i64) {
+    match q {
+        Query::Select(s) => subst_select(s, n),
+        Query::Compound { left, right, .. } => {
+            subst_query(left, n);
+            subst_query(right, n);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The printed text is a fixed point: the first print canonicalises
+    /// spacing and casing, and re-parsing then re-printing must not change
+    /// another byte (and must parse back to the same AST).
+    #[test]
+    fn print_parse_print_is_a_fixed_point(q in query()) {
+        let s1 = q.to_string();
+        let q1 = parse_query(&s1)
+            .unwrap_or_else(|e| panic!("failed to parse printed query {s1:?}: {e}"));
+        prop_assert_eq!(&q1.to_string(), &s1, "print is not a fixed point");
+        prop_assert_eq!(parse_query(&s1).unwrap(), q1);
+    }
+
+    /// Skeletons are blind to every literal site, and stay so across a
+    /// print → parse lap of the substituted query.
+    #[test]
+    fn skeleton_blind_to_all_literal_sites(q in query(), n in -500i64..500) {
+        let mut q2 = q.clone();
+        subst_query(&mut q2, n);
+        prop_assert_eq!(Skeleton::of(&q), Skeleton::of(&q2));
+        let printed = q2.to_string();
+        let reparsed = parse_query(&printed)
+            .unwrap_or_else(|e| panic!("substituted query no longer parses {printed:?}: {e}"));
+        prop_assert_eq!(Skeleton::of(&reparsed), Skeleton::of(&q));
+    }
+}

@@ -1,243 +1,13 @@
 //! Property tests: `parse(print(ast))` must be the identity on the subset of
-//! ASTs the generator below produces (which is itself a superset of what the
-//! benchmark generator emits).
+//! ASTs the shared generator produces (which is itself a superset of what
+//! the benchmark generator emits).
 
+mod gen;
+
+use gen::query;
 use proptest::prelude::*;
 use sqlkit::ast::*;
 use sqlkit::{exact_set_match, parse_query, Skeleton};
-
-/// Identifiers that can never collide with keywords.
-fn ident() -> impl Strategy<Value = String> {
-    "[a-z][a-z0-9_]{0,7}"
-        .prop_filter("not a keyword", |s| {
-            sqlkit::token::Keyword::from_word(s).is_none()
-        })
-        .prop_map(|s| s.to_string())
-}
-
-fn literal() -> impl Strategy<Value = Literal> {
-    prop_oneof![
-        (-1000i64..1000).prop_map(Literal::Int),
-        // Quarters are exactly representable, so Display/parse round-trips.
-        (-4000i64..4000).prop_map(|q| Literal::Float(q as f64 / 4.0)),
-        "[a-zA-Z0-9 ]{0,12}".prop_map(Literal::Str),
-        Just(Literal::Null),
-    ]
-}
-
-fn column_ref() -> impl Strategy<Value = ColumnRef> {
-    (proptest::option::of(ident()), ident()).prop_map(|(t, c)| ColumnRef {
-        table: t,
-        column: c,
-    })
-}
-
-fn scalar_expr() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        literal().prop_map(Expr::Lit),
-        column_ref().prop_map(Expr::Col),
-    ];
-    leaf.prop_recursive(3, 16, 4, |inner| {
-        prop_oneof![
-            (
-                prop_oneof![
-                    Just(ArithOp::Add),
-                    Just(ArithOp::Sub),
-                    Just(ArithOp::Mul),
-                    Just(ArithOp::Div)
-                ],
-                inner.clone(),
-                inner.clone()
-            )
-                .prop_map(|(op, l, r)| Expr::Arith {
-                    op,
-                    left: Box::new(l),
-                    right: Box::new(r)
-                }),
-            // The parser folds negated numeric literals, so mirror that here
-            // to keep print∘parse an identity on generated trees.
-            inner.prop_map(|e| match e {
-                Expr::Lit(Literal::Int(v)) => Expr::Lit(Literal::Int(-v)),
-                Expr::Lit(Literal::Float(v)) => Expr::Lit(Literal::Float(-v)),
-                other => Expr::Neg(Box::new(other)),
-            }),
-        ]
-    })
-}
-
-fn agg_expr() -> impl Strategy<Value = Expr> {
-    (
-        prop_oneof![
-            Just(AggFunc::Count),
-            Just(AggFunc::Sum),
-            Just(AggFunc::Avg),
-            Just(AggFunc::Min),
-            Just(AggFunc::Max)
-        ],
-        any::<bool>(),
-        prop_oneof![Just(Expr::Star), column_ref().prop_map(Expr::Col)],
-    )
-        .prop_map(|(func, distinct, arg)| {
-            // `COUNT(DISTINCT *)` is not legal SQL; force plain * for star args.
-            let distinct = distinct && !matches!(arg, Expr::Star);
-            Expr::Agg {
-                func,
-                distinct,
-                arg: Box::new(arg),
-            }
-        })
-}
-
-fn select_item() -> impl Strategy<Value = SelectItem> {
-    (
-        prop_oneof![scalar_expr(), agg_expr(), Just(Expr::Star)],
-        proptest::option::of(ident()),
-    )
-        .prop_map(|(expr, alias)| {
-            // `* AS x` is not legal; strip the alias for stars.
-            let alias = if matches!(expr, Expr::Star) {
-                None
-            } else {
-                alias
-            };
-            SelectItem { expr, alias }
-        })
-}
-
-fn simple_cond(depth: u32) -> BoxedStrategy<Cond> {
-    let cmp = (
-        prop_oneof![column_ref().prop_map(Expr::Col), agg_expr()],
-        prop_oneof![
-            Just(CmpOp::Eq),
-            Just(CmpOp::Neq),
-            Just(CmpOp::Lt),
-            Just(CmpOp::Le),
-            Just(CmpOp::Gt),
-            Just(CmpOp::Ge)
-        ],
-        prop_oneof![
-            literal().prop_map(Expr::Lit),
-            column_ref().prop_map(Expr::Col)
-        ],
-    )
-        .prop_map(|(l, op, r)| Cond::Cmp {
-            left: l,
-            op,
-            right: Operand::Expr(r),
-        });
-    let between =
-        (column_ref(), any::<bool>(), -100i64..100, 100i64..300).prop_map(|(c, neg, lo, hi)| {
-            Cond::Between {
-                expr: Expr::Col(c),
-                negated: neg,
-                low: Expr::Lit(Literal::Int(lo)),
-                high: Expr::Lit(Literal::Int(hi)),
-            }
-        });
-    let in_list = (
-        column_ref(),
-        any::<bool>(),
-        proptest::collection::vec(literal(), 1..4),
-    )
-        .prop_map(|(c, neg, lits)| Cond::In {
-            expr: Expr::Col(c),
-            negated: neg,
-            source: InSource::List(lits),
-        });
-    let like = (column_ref(), any::<bool>(), "[a-z%_]{1,8}").prop_map(|(c, neg, pat)| Cond::Like {
-        expr: Expr::Col(c),
-        negated: neg,
-        pattern: pat,
-    });
-    let is_null = (column_ref(), any::<bool>()).prop_map(|(c, neg)| Cond::IsNull {
-        expr: Expr::Col(c),
-        negated: neg,
-    });
-    let leaf = prop_oneof![cmp, between, in_list, like, is_null].boxed();
-    if depth == 0 {
-        leaf
-    } else {
-        let inner = simple_cond(depth - 1);
-        prop_oneof![
-            leaf.clone(),
-            (inner.clone(), inner.clone()).prop_map(|(l, r)| Cond::And(Box::new(l), Box::new(r))),
-            (inner.clone(), inner.clone()).prop_map(|(l, r)| Cond::Or(Box::new(l), Box::new(r))),
-            inner.prop_map(|c| Cond::Not(Box::new(c))),
-        ]
-        .boxed()
-    }
-}
-
-fn table_ref() -> impl Strategy<Value = TableRef> {
-    (ident(), proptest::option::of(ident()))
-        .prop_map(|(name, alias)| TableRef::Named { name, alias })
-}
-
-fn join() -> impl Strategy<Value = Join> {
-    (
-        table_ref(),
-        proptest::option::of((column_ref(), column_ref()).prop_map(|(a, b)| Cond::Cmp {
-            left: Expr::Col(a),
-            op: CmpOp::Eq,
-            right: Operand::Expr(Expr::Col(b)),
-        })),
-    )
-        .prop_map(|(table, on)| Join { table, on })
-}
-
-fn select() -> impl Strategy<Value = Select> {
-    (
-        any::<bool>(),
-        proptest::collection::vec(select_item(), 1..4),
-        table_ref(),
-        proptest::collection::vec(join(), 0..3),
-        proptest::option::of(simple_cond(2)),
-        proptest::collection::vec(column_ref(), 0..3),
-        proptest::option::of(simple_cond(1)),
-        proptest::collection::vec(
-            (
-                prop_oneof![column_ref().prop_map(Expr::Col), agg_expr()],
-                prop_oneof![Just(SortDir::Asc), Just(SortDir::Desc)],
-            )
-                .prop_map(|(expr, dir)| OrderKey { expr, dir }),
-            0..3,
-        ),
-        proptest::option::of(0u64..100),
-    )
-        .prop_map(
-            |(distinct, items, base, joins, where_cond, group_by, having, order_by, limit)| {
-                // HAVING without GROUP BY is technically legal but the
-                // canonical corpus always pairs them.
-                let having = if group_by.is_empty() { None } else { having };
-                Select {
-                    distinct,
-                    items,
-                    from: Some(FromClause { base, joins }),
-                    where_cond,
-                    group_by,
-                    having,
-                    order_by,
-                    limit,
-                }
-            },
-        )
-}
-
-fn query() -> impl Strategy<Value = Query> {
-    prop_oneof![
-        4 => select().prop_map(Query::Select),
-        1 => (
-            select(),
-            prop_oneof![Just(SetOp::Union), Just(SetOp::Intersect), Just(SetOp::Except)],
-            select()
-        )
-            .prop_map(|(l, op, r)| Query::Compound {
-                op,
-                left: Box::new(Query::Select(l)),
-                right: Box::new(Query::Select(r)),
-            }),
-    ]
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]

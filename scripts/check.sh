@@ -30,4 +30,22 @@ if [ -n "$violations" ]; then
     exit 1
 fi
 
+echo "==> perf regression gate (baseline profile diff + flamegraph)"
+# The committed baseline/slowdown traces verify the gate machinery itself:
+# an identical pair must pass, the injected-slowdown fixture must be
+# flagged, and the flamegraph renderer must produce a non-empty SVG.
+CLI="cargo run -q --offline -p bench --bin dail_sql_cli --"
+$CLI profile tests/golden/baseline_trace.jsonl tests/golden/baseline_trace.jsonl \
+    --fail-on-regress 10 >/dev/null
+if $CLI profile tests/golden/baseline_trace.jsonl tests/golden/slowdown_trace.jsonl \
+    --fail-on-regress 10 >/dev/null 2>&1; then
+    echo "perf gate failed to flag the injected-slowdown fixture" >&2
+    exit 1
+fi
+$CLI flame tests/golden/baseline_trace.jsonl --out target/flame-baseline.svg 2>/dev/null
+[ -s target/flame-baseline.svg ] || {
+    echo "flamegraph render produced no output" >&2
+    exit 1
+}
+
 echo "all checks passed"

@@ -1,0 +1,95 @@
+//! Golden-file tests for the trace renderers: folded flamegraph stacks and
+//! the cross-run profile diff, compared byte-for-byte against committed
+//! fixtures under `tests/golden/`.
+//!
+//! To regenerate after an intentional renderer change:
+//!
+//! ```bash
+//! DAIL_UPDATE_GOLDEN=1 cargo test --test golden
+//! ```
+
+use dail_sql::obskit::{parse_jsonl, Event, Flame, Profile, ProfileDiff};
+use std::path::PathBuf;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn load_events(name: &str) -> Vec<Event> {
+    let path = golden_dir().join(name);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()));
+    parse_jsonl(&text).unwrap_or_else(|e| panic!("fixture {name} must be a valid trace: {e}"))
+}
+
+/// Compare `actual` against the committed golden file, or rewrite the file
+/// when `DAIL_UPDATE_GOLDEN=1` is set.
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_dir().join(name);
+    if std::env::var("DAIL_UPDATE_GOLDEN").is_ok_and(|v| v == "1") {
+        std::fs::write(&path, actual)
+            .unwrap_or_else(|e| panic!("cannot update golden {}: {e}", path.display()));
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {}: {e}\nrun `DAIL_UPDATE_GOLDEN=1 cargo test --test golden` to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, actual,
+        "renderer output diverged from golden {name}; if the change is \
+         intentional, regenerate with `DAIL_UPDATE_GOLDEN=1 cargo test --test golden`"
+    );
+}
+
+#[test]
+fn folded_stacks_match_golden() {
+    let flame = Flame::from_events(&load_events("baseline_trace.jsonl"));
+    check_golden("baseline_trace.folded", &flame.folded());
+}
+
+#[test]
+fn profile_diff_markdown_matches_golden() {
+    let base = Profile::from_events(&load_events("baseline_trace.jsonl"));
+    let slow = Profile::from_events(&load_events("slowdown_trace.jsonl"));
+    check_golden(
+        "profile_diff.md",
+        &ProfileDiff::between(&base, &slow).to_markdown(),
+    );
+}
+
+#[test]
+fn flame_root_width_equals_trace_wall_clock() {
+    let events = load_events("baseline_trace.jsonl");
+    let flame = Flame::from_events(&events);
+    let profile = Profile::from_events(&events);
+    assert_eq!(flame.wall_ns(), profile.wall_ns);
+    // The SVG advertises the same width on its root frame...
+    let svg = flame.to_svg();
+    let root = format!("data-name=\"all\" data-ns=\"{}\"", profile.wall_ns);
+    assert!(svg.contains(&root), "root frame must span the wall-clock");
+    // ...and the folded self-times sum exactly to it.
+    let folded_sum: u64 = flame
+        .folded()
+        .lines()
+        .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+        .sum();
+    assert_eq!(folded_sum, profile.wall_ns);
+}
+
+#[test]
+fn slowdown_fixture_trips_the_gate_and_baseline_does_not() {
+    let base = Profile::from_events(&load_events("baseline_trace.jsonl"));
+    let slow = Profile::from_events(&load_events("slowdown_trace.jsonl"));
+    // Identical traces: clean at any threshold.
+    assert!(ProfileDiff::between(&base, &base)
+        .regressions(0.0)
+        .is_empty());
+    // The slowdown fixture regresses `predict` by ~33% and nothing else.
+    let regressed = ProfileDiff::between(&base, &slow).regressions(10.0);
+    assert_eq!(regressed.len(), 1, "{regressed:?}");
+    assert_eq!(regressed[0].0, "predict");
+    assert!((regressed[0].1 - 100.0 / 3.0).abs() < 0.1, "{regressed:?}");
+}
