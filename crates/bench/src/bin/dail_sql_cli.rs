@@ -5,6 +5,8 @@
 //! dail_sql_cli generate --out DIR [--seed N]      export a benchmark to files
 //! dail_sql_cli ask --question "..." [--model M]   one-off Text-to-SQL on a demo db
 //! dail_sql_cli eval [--pipeline P] [--model M]    evaluate a pipeline, print summary
+//! dail_sql_cli serve-bench [--seed N] [--requests N] [--workers N]
+//!                                                 load-test the serving layer, print report
 //! dail_sql_cli run-experiments --experiment ID    run a paper experiment
 //! dail_sql_cli profile TRACE.jsonl                render a trace as a breakdown
 //! dail_sql_cli profile A.jsonl B.jsonl [--fail-on-regress PCT]
@@ -45,6 +47,7 @@ fn main() {
         "generate" => generate(&flags),
         "ask" => ask(&flags),
         "eval" => run_eval(&flags),
+        "serve-bench" => serve_bench(&flags),
         "run-experiments" => run_experiments(&flags),
         "profile" => profile_trace(&positional, &flags),
         "flame" => flame_trace(&positional, &flags),
@@ -69,6 +72,12 @@ fn usage() {
          \u{20}\u{20}eval [--pipeline dail|dail-sc|din|c3|zero] [--model M] [--dev N] [--realistic]\n\
          \u{20}\u{20}     [--threads N] [--trace FILE.jsonl]\n\
          \u{20}\u{20}                                         evaluate a pipeline and print the summary\n\
+         \u{20}\u{20}serve-bench [--pipeline P] [--model M] [--seed N] [--requests N] [--workers N]\n\
+         \u{20}\u{20}     [--error-rate R] [--spike-rate R] [--spike-ms N] [--corrupt-rate R]\n\
+         \u{20}\u{20}     [--queue N] [--cache N] [--retries N] [--deadline-ms N] [--trace FILE.jsonl]\n\
+         \u{20}\u{20}                                         drive the fault-injected serving layer\n\
+         \u{20}\u{20}                                         with a seeded load, print a markdown\n\
+         \u{20}\u{20}                                         report (deterministic given --seed)\n\
          \u{20}\u{20}run-experiments --experiment e1..e10|a1..a6 [--dev-cap N] [--seed N]\n\
          \u{20}\u{20}     [--full-grid] [--trace FILE.jsonl]   run one paper experiment, print its tables\n\
          \u{20}\u{20}profile TRACE.jsonl                      render a recorded trace as a\n\
@@ -110,6 +119,21 @@ fn num_flag<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, de
             eprintln!("--{key} must be an integer, got {raw:?}");
             std::process::exit(2);
         }),
+    }
+}
+
+/// Parse a probability flag (a float in `[0, 1]`), exiting with status 2
+/// on bad input.
+fn rate_flag(flags: &HashMap<String, String>, key: &str, default: f64) -> f64 {
+    match flags.get(key) {
+        None => default,
+        Some(raw) => match raw.parse::<f64>() {
+            Ok(v) if (0.0..=1.0).contains(&v) => v,
+            _ => {
+                eprintln!("--{key} must be a number in [0, 1], got {raw:?}");
+                std::process::exit(2);
+            }
+        },
     }
 }
 
@@ -256,14 +280,15 @@ fn ask(flags: &HashMap<String, String>) {
     }
 }
 
-fn run_eval(flags: &HashMap<String, String>) {
+/// Build the predictor named by `--pipeline` / `--model`, exiting with
+/// status 2 on unknown names. Shared by `eval` and `serve-bench`.
+fn build_predictor(flags: &HashMap<String, String>) -> Box<dyn Predictor + Sync> {
     let model_name = flag(flags, "model", "gpt-4");
     let Some(model) = SimLlm::new(model_name) else {
         eprintln!("unknown model {model_name}; try `dail_sql_cli models`");
         std::process::exit(2);
     };
-    let pipeline = flag(flags, "pipeline", "dail");
-    let predictor: Box<dyn Predictor + Sync> = match pipeline {
+    match flag(flags, "pipeline", "dail") {
         "dail" => Box::new(DailSql::new(model)),
         "dail-sc" => Box::new(DailSql::with_self_consistency(model, 5)),
         "din" => Box::new(DinSqlStyle::new(model)),
@@ -273,7 +298,11 @@ fn run_eval(flags: &HashMap<String, String>) {
             eprintln!("unknown pipeline {other} (use dail|dail-sc|din|c3|zero)");
             std::process::exit(2);
         }
-    };
+    }
+}
+
+fn run_eval(flags: &HashMap<String, String>) {
+    let predictor = build_predictor(flags);
     let realistic = flags.contains_key("realistic");
     let (rec, trace_path) = setup_trace(flags);
     let bench = bench_from_flags(flags);
@@ -312,6 +341,91 @@ fn run_eval(flags: &HashMap<String, String>) {
             100.0 * *c as f64 / (*n).max(1) as f64
         );
     }
+    finish_trace(&rec, trace_path);
+}
+
+/// Drive the servekit serving layer with a seeded load against injected
+/// faults and print the markdown report. Every reported number is
+/// deterministic given `--seed` — including across `--workers` settings —
+/// which is what makes the report golden-testable.
+fn serve_bench(flags: &HashMap<String, String>) {
+    let predictor = build_predictor(flags);
+    let pipeline = flag(flags, "pipeline", "dail").to_string();
+    let seed: u64 = num_flag(flags, "seed", 7u64);
+    let (rec, trace_path) = setup_trace(flags);
+    let bench = bench_from_flags(flags);
+    let selector = ExampleSelector::new(&bench);
+    let tokenizer = textkit::Tokenizer::new();
+    let ctx = dail_core::PredictCtx {
+        bench: &bench,
+        selector: &selector,
+        tokenizer: &tokenizer,
+        seed,
+        realistic: flags.contains_key("realistic"),
+    };
+    let faults = simllm::FaultConfig {
+        seed,
+        error_rate: rate_flag(flags, "error-rate", 0.1),
+        spike_rate: rate_flag(flags, "spike-rate", 0.05),
+        spike_ms: num_flag(flags, "spike-ms", 250u64),
+        corrupt_rate: rate_flag(flags, "corrupt-rate", 0.05),
+    };
+    let cfg = servekit::ServeConfig {
+        workers: num_flag(flags, "workers", 4usize),
+        queue_capacity: num_flag(flags, "queue", 32usize),
+        cache_capacity: num_flag(flags, "cache", 4096usize),
+        max_attempts: num_flag(flags, "retries", 3u32) + 1,
+        backoff_base_ms: num_flag(flags, "backoff-ms", 25u64),
+        deadline_ms: num_flag(flags, "deadline-ms", 2000u64),
+        time_scale: 0.0,
+        // The pipeline fixes its own representation and shot count, so its
+        // name stands in for both in the cache key.
+        repr: pipeline,
+        shots: 0,
+        faults,
+    };
+    let load = servekit::LoadConfig {
+        seed,
+        requests: num_flag(flags, "requests", 120usize),
+        mean_gap_ms: num_flag(flags, "mean-gap-ms", 30u64),
+        dup_rate: rate_flag(flags, "dup-rate", 0.35),
+    };
+    let reqs = servekit::generate(&load, bench.dev.len());
+    let out = servekit::serve(predictor.as_ref(), &ctx, &bench.dev, &reqs, &cfg);
+
+    let (mut ex_correct, mut ex_scored) = (0u64, 0u64);
+    for (req, outcome) in reqs.iter().zip(&out.outcomes) {
+        if let servekit::Outcome::Ok { sql, .. } = outcome {
+            let item = &bench.dev[req.item_idx];
+            ex_scored += 1;
+            ex_correct += u64::from(eval::score_item(bench.db(item), item, sql).ex);
+        }
+    }
+    let s = &out.stats;
+    let report = servekit::ReportInput {
+        seed,
+        predictor: predictor.name(),
+        error_rate: faults.error_rate,
+        spike_rate: faults.spike_rate,
+        spike_ms: faults.spike_ms,
+        corrupt_rate: faults.corrupt_rate,
+        submitted: s.submitted,
+        admitted: s.admitted,
+        shed: s.shed,
+        ok: s.ok,
+        failed: s.failed,
+        deadline_exceeded: s.deadline_exceeded,
+        retries: s.retries,
+        panics: s.panics,
+        cache_served: s.cache.served,
+        cache_misses: s.cache.misses,
+        cache_evictions: s.cache.evictions,
+        latencies_ms: s.total_ms.clone(),
+        makespan_ms: s.makespan_ms,
+        ex_correct,
+        ex_scored,
+    };
+    print!("{}", servekit::render(&report));
     finish_trace(&rec, trace_path);
 }
 

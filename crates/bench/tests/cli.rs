@@ -478,3 +478,138 @@ fn eval_is_deterministic_across_dail_threads() {
     assert_eq!(hists1, hists4);
     assert!(!hists1.is_empty());
 }
+
+// ---- serving layer: serve-bench ----
+
+/// The committed golden serve-bench invocation (also exercised by
+/// `scripts/check.sh`). Small benchmark, moderate overload so shedding,
+/// retries and cache hits all appear in the report.
+fn serve_bench_cmd(extra: &[&str]) -> Command {
+    let mut c = cli();
+    c.args([
+        "serve-bench",
+        "--seed",
+        "7",
+        "--train",
+        "60",
+        "--dev",
+        "24",
+        "--requests",
+        "120",
+        "--mean-gap-ms",
+        "15",
+        "--queue",
+        "16",
+    ]);
+    c.args(extra);
+    c
+}
+
+#[test]
+fn serve_bench_report_is_deterministic_across_workers() {
+    let run = |workers: &str| {
+        let out = serve_bench_cmd(&["--workers", workers])
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out.stdout
+    };
+    let w1 = run("1");
+    let w6 = run("6");
+    assert_eq!(
+        String::from_utf8_lossy(&w1),
+        String::from_utf8_lossy(&w6),
+        "report must be byte-identical across worker counts"
+    );
+
+    let text = String::from_utf8_lossy(&w1);
+    // Under injected faults the pool absorbs everything without a panic…
+    assert!(text.contains("| panics | 0 |"), "{text}");
+    // …the cache serves repeated questions…
+    let cache_line = text
+        .lines()
+        .find(|l| l.contains("cache served"))
+        .expect("cache row present");
+    let served: u64 = cache_line
+        .split('|')
+        .nth(2)
+        .and_then(|v| v.trim().split(" / ").next())
+        .and_then(|n| n.trim().parse().ok())
+        .expect("cache row parses");
+    assert!(served > 0, "cache must serve duplicates: {cache_line}");
+    // …and overload resolves to typed sheds, reported with a rate.
+    assert!(text.contains("| shed | "), "{text}");
+    assert!(text.contains("| EX (served ok) | "), "{text}");
+}
+
+#[test]
+fn serve_bench_matches_committed_golden() {
+    let out = serve_bench_cmd(&[]).output().expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let actual = String::from_utf8_lossy(&out.stdout);
+    let golden = fixture("serve_bench_report.md");
+    if std::env::var("DAIL_UPDATE_GOLDEN").is_ok() {
+        std::fs::write(&golden, actual.as_bytes()).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&golden)
+        .expect("golden report committed; regenerate with DAIL_UPDATE_GOLDEN=1");
+    assert_eq!(
+        actual, expected,
+        "serve-bench report drifted from tests/golden/serve_bench_report.md; \
+         if intended, regenerate with DAIL_UPDATE_GOLDEN=1 cargo test -p bench"
+    );
+}
+
+#[test]
+fn serve_bench_rejects_out_of_range_rate() {
+    let out = cli()
+        .args(["serve-bench", "--error-rate", "2"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error-rate"));
+}
+
+// ---- eval harness: DAIL_THREADS handling ----
+
+#[test]
+fn unparsable_dail_threads_warns_and_falls_back() {
+    let out = cli()
+        .env("DAIL_THREADS", "=all")
+        .args([
+            "eval",
+            "--pipeline",
+            "zero",
+            "--model",
+            "gpt-4",
+            "--train",
+            "40",
+            "--dev",
+            "8",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "unparsable DAIL_THREADS must not abort the run: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("DAIL_THREADS") && err.contains("=all"),
+        "stderr must name the rejected value: {err}"
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("EX:"),
+        "eval still completes"
+    );
+}

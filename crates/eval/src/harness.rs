@@ -87,12 +87,31 @@ impl Default for EvalOptions {
 
 /// Resolve the worker-thread count: explicit override, then `DAIL_THREADS`,
 /// then available parallelism, clamped to the number of items.
+///
+/// An unparsable `DAIL_THREADS` (e.g. `DAIL_THREADS=all`) emits a one-line
+/// stderr warning naming the rejected value before falling back — a typo'd
+/// override silently running on every core is the kind of surprise that
+/// invalidates a benchmark run.
 fn resolve_threads(threads: Option<usize>, n_items: usize) -> usize {
     let base = threads
         .or_else(|| {
-            std::env::var("DAIL_THREADS")
-                .ok()
-                .and_then(|v| v.trim().parse::<usize>().ok())
+            let raw = std::env::var("DAIL_THREADS").ok()?;
+            match raw.trim().parse::<usize>() {
+                Ok(n) => Some(n),
+                Err(_) => {
+                    // Deliberate user-facing diagnostic, not debug output
+                    // (the repo's print lint reserves the print macros for
+                    // CLI binaries; a direct stderr write is the sanctioned
+                    // escape hatch for warnings).
+                    use std::io::Write as _;
+                    let _ = writeln!(
+                        std::io::stderr(),
+                        "warning: ignoring unparsable DAIL_THREADS={raw:?}; \
+                         falling back to available parallelism"
+                    );
+                    None
+                }
+            }
         })
         .filter(|&n| n > 0)
         .unwrap_or_else(|| {

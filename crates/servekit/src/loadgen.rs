@@ -1,0 +1,107 @@
+//! Seeded load generator for serve-bench.
+//!
+//! Produces a deterministic request stream over a dev pool: arrivals with
+//! seeded inter-arrival gaps, and a duplication knob that replays
+//! previously requested items (hot keys) so the prediction cache has
+//! something to do. Given the same config, the stream is byte-identical.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::server::ServeReq;
+
+/// Load-generation knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadConfig {
+    /// Seed for arrivals and item choice.
+    pub seed: u64,
+    /// Number of requests to generate.
+    pub requests: usize,
+    /// Mean inter-arrival gap in virtual ms (gaps are uniform in
+    /// `0..=2*mean`, so the mean rate is `1000 / mean_gap_ms` req/s).
+    pub mean_gap_ms: u64,
+    /// Probability a request replays an already-requested item.
+    pub dup_rate: f64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            seed: 7,
+            requests: 120,
+            mean_gap_ms: 30,
+            dup_rate: 0.35,
+        }
+    }
+}
+
+/// Generate the request stream over a pool of `n_items` dev items.
+pub fn generate(cfg: &LoadConfig, n_items: usize) -> Vec<ServeReq> {
+    assert!(n_items > 0, "load generation needs a non-empty dev pool");
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5EEDC0DE);
+    let mut reqs = Vec::with_capacity(cfg.requests);
+    let mut used: Vec<usize> = Vec::new();
+    let mut clock = 0u64;
+    for _ in 0..cfg.requests {
+        clock += rng.gen_range(0..=cfg.mean_gap_ms * 2);
+        let item_idx = if !used.is_empty() && rng.gen_bool(cfg.dup_rate.clamp(0.0, 1.0)) {
+            used[rng.gen_range(0..used.len())]
+        } else {
+            let idx = rng.gen_range(0..n_items);
+            used.push(idx);
+            idx
+        };
+        reqs.push(ServeReq {
+            item_idx,
+            arrival_ms: clock,
+        });
+    }
+    reqs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_deterministic() {
+        let cfg = LoadConfig::default();
+        let a = generate(&cfg, 50);
+        let b = generate(&cfg, 50);
+        assert_eq!(a.len(), cfg.requests);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!((x.item_idx, x.arrival_ms), (y.item_idx, y.arrival_ms));
+        }
+    }
+
+    #[test]
+    fn arrivals_are_monotone_and_duplicates_occur() {
+        let cfg = LoadConfig {
+            requests: 200,
+            ..LoadConfig::default()
+        };
+        let reqs = generate(&cfg, 40);
+        assert!(reqs.windows(2).all(|w| w[0].arrival_ms <= w[1].arrival_ms));
+        let unique: std::collections::HashSet<usize> = reqs.iter().map(|r| r.item_idx).collect();
+        assert!(
+            unique.len() < reqs.len(),
+            "dup_rate must produce repeated items"
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&LoadConfig::default(), 50);
+        let b = generate(
+            &LoadConfig {
+                seed: 8,
+                ..LoadConfig::default()
+            },
+            50,
+        );
+        assert!(a
+            .iter()
+            .zip(&b)
+            .any(|(x, y)| x.item_idx != y.item_idx || x.arrival_ms != y.arrival_ms));
+    }
+}

@@ -1,0 +1,187 @@
+//! Markdown serve-bench report.
+//!
+//! Every value comes from the deterministic [`ServeStats`](crate::ServeStats)
+//! side of the serving layer, so the rendered report is byte-identical
+//! across runs with the same seed — including runs with different worker
+//! counts (worker count intentionally does not appear in the report).
+
+/// Inputs to the report renderer.
+#[derive(Debug, Clone)]
+pub struct ReportInput {
+    /// Load-generator / fault seed.
+    pub seed: u64,
+    /// Predictor display name.
+    pub predictor: String,
+    /// Fault knobs, echoed for reproducibility.
+    pub error_rate: f64,
+    /// Spike probability.
+    pub spike_rate: f64,
+    /// Spike magnitude in ms.
+    pub spike_ms: u64,
+    /// Corruption probability.
+    pub corrupt_rate: f64,
+    /// Requests offered.
+    pub submitted: u64,
+    /// Requests admitted.
+    pub admitted: u64,
+    /// Requests shed.
+    pub shed: u64,
+    /// Requests served OK.
+    pub ok: u64,
+    /// Requests failed after retries.
+    pub failed: u64,
+    /// Requests past deadline.
+    pub deadline_exceeded: u64,
+    /// Retried attempts.
+    pub retries: u64,
+    /// Caught predictor panics.
+    pub panics: u64,
+    /// Cache lookups served from cache (hits + coalesced).
+    pub cache_served: u64,
+    /// Cache misses (unique computations).
+    pub cache_misses: u64,
+    /// Cache evictions.
+    pub cache_evictions: u64,
+    /// Simulated total latency per admitted request, in ms.
+    pub latencies_ms: Vec<u64>,
+    /// Virtual completion time of the batch, in ms.
+    pub makespan_ms: u64,
+    /// Served-OK responses whose SQL is execution-accurate.
+    pub ex_correct: u64,
+    /// Served-OK responses scored for EX.
+    pub ex_scored: u64,
+}
+
+/// Nearest-rank percentile of a sorted slice; 0 for an empty slice.
+pub fn percentile_ms(sorted: &[u64], p: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (p * sorted.len() as u64).div_ceil(100).max(1) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+fn pct(num: u64, den: u64) -> String {
+    if den == 0 {
+        "n/a".to_string()
+    } else {
+        format!("{:.1}%", 100.0 * num as f64 / den as f64)
+    }
+}
+
+/// Render the markdown report.
+pub fn render(r: &ReportInput) -> String {
+    let mut sorted = r.latencies_ms.clone();
+    sorted.sort_unstable();
+    let p50 = percentile_ms(&sorted, 50);
+    let p99 = percentile_ms(&sorted, 99);
+    let throughput = if r.makespan_ms == 0 {
+        "n/a".to_string()
+    } else {
+        format!(
+            "{:.1} req/s (virtual)",
+            r.admitted as f64 * 1000.0 / r.makespan_ms as f64
+        )
+    };
+    let ex = if r.ex_scored == 0 {
+        "n/a".to_string()
+    } else {
+        format!(
+            "{:.3} ({}/{})",
+            r.ex_correct as f64 / r.ex_scored as f64,
+            r.ex_correct,
+            r.ex_scored
+        )
+    };
+
+    let mut out = String::new();
+    out.push_str("# serve-bench report\n\n");
+    out.push_str(&format!(
+        "predictor: {} | seed: {} | faults: error {:.2}, spike {:.2} (+{} ms), corrupt {:.2}\n\n",
+        r.predictor, r.seed, r.error_rate, r.spike_rate, r.spike_ms, r.corrupt_rate
+    ));
+    out.push_str("| metric | value |\n|---|---|\n");
+    let rows: Vec<(&str, String)> = vec![
+        ("requests", r.submitted.to_string()),
+        ("admitted", r.admitted.to_string()),
+        ("shed", format!("{} ({})", r.shed, pct(r.shed, r.submitted))),
+        ("served ok", r.ok.to_string()),
+        ("failed (retries exhausted)", r.failed.to_string()),
+        ("deadline exceeded", r.deadline_exceeded.to_string()),
+        ("retries", r.retries.to_string()),
+        ("panics", r.panics.to_string()),
+        (
+            "cache served / miss / evicted",
+            format!(
+                "{} / {} / {}",
+                r.cache_served, r.cache_misses, r.cache_evictions
+            ),
+        ),
+        (
+            "cache hit ratio",
+            pct(r.cache_served, r.cache_served + r.cache_misses),
+        ),
+        ("throughput", throughput),
+        ("latency p50 / p99", format!("{p50} ms / {p99} ms")),
+        ("EX (served ok)", ex),
+    ];
+    for (k, v) in rows {
+        out.push_str(&format!("| {k} | {v} |\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_ms(&v, 50), 50);
+        assert_eq!(percentile_ms(&v, 99), 99);
+        assert_eq!(percentile_ms(&v, 100), 100);
+        assert_eq!(percentile_ms(&[42], 50), 42);
+        assert_eq!(percentile_ms(&[], 99), 0);
+    }
+
+    #[test]
+    fn report_renders_every_metric_row() {
+        let r = ReportInput {
+            seed: 7,
+            predictor: "DAIL-SQL(gpt-4)".into(),
+            error_rate: 0.1,
+            spike_rate: 0.05,
+            spike_ms: 200,
+            corrupt_rate: 0.02,
+            submitted: 100,
+            admitted: 90,
+            shed: 10,
+            ok: 85,
+            failed: 3,
+            deadline_exceeded: 2,
+            retries: 12,
+            panics: 0,
+            cache_served: 30,
+            cache_misses: 60,
+            cache_evictions: 0,
+            latencies_ms: vec![10, 20, 30, 40],
+            makespan_ms: 3_000,
+            ex_correct: 70,
+            ex_scored: 85,
+        };
+        let md = render(&r);
+        for needle in [
+            "# serve-bench report",
+            "| requests | 100 |",
+            "| shed | 10 (10.0%) |",
+            "| panics | 0 |",
+            "| cache hit ratio | 33.3% |",
+            "| throughput | 30.0 req/s (virtual) |",
+            "| EX (served ok) | 0.824 (70/85) |",
+        ] {
+            assert!(md.contains(needle), "missing {needle:?} in:\n{md}");
+        }
+        assert_eq!(render(&r), md, "rendering is deterministic");
+    }
+}

@@ -1,0 +1,239 @@
+//! Deterministic, seeded fault injection for serving experiments.
+//!
+//! A serving layer in front of an LLM sees three broad failure modes:
+//! transient API errors (rate limits, 5xx), latency spikes, and
+//! malformed/corrupted completions. [`FaultInjector`] simulates all three
+//! *deterministically*: the decision for a given `(key, attempt)` pair is a
+//! pure function of the injector seed, so a retry loop, a cache, or a whole
+//! benchmark run replays identically regardless of thread interleaving —
+//! the same property the rest of `simllm` guarantees for completions.
+//!
+//! Faults are keyed by a caller-chosen *request key* (servekit uses the
+//! cache key) plus the attempt index, never by wall-clock or scheduling
+//! order. Attempt 0 and attempt 1 of the same request draw independent
+//! faults, which is what makes retry-with-backoff effective against the
+//! transient component.
+
+use crate::model::fnv;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Fault-injection knobs. All probabilities are per-attempt.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultConfig {
+    /// Seed mixed into every decision.
+    pub seed: u64,
+    /// Probability of a transient error (the attempt fails outright and
+    /// must be retried).
+    pub error_rate: f64,
+    /// Probability of a latency spike on an attempt.
+    pub spike_rate: f64,
+    /// Extra simulated latency added by a spike, in milliseconds.
+    pub spike_ms: u64,
+    /// Probability that a *successful* attempt returns corrupted
+    /// (malformed) SQL.
+    pub corrupt_rate: f64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            seed: 0,
+            error_rate: 0.0,
+            spike_rate: 0.0,
+            spike_ms: 0,
+            corrupt_rate: 0.0,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// True when every fault channel is switched off.
+    pub fn is_noop(&self) -> bool {
+        self.error_rate <= 0.0 && self.spike_rate <= 0.0 && self.corrupt_rate <= 0.0
+    }
+}
+
+/// The faults drawn for one `(key, attempt)` pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The attempt fails with a transient error.
+    pub transient_error: bool,
+    /// Extra simulated latency for this attempt (0 = no spike).
+    pub spike_ms: u64,
+    /// The completion's SQL is corrupted into malformed output.
+    pub corrupt: bool,
+}
+
+impl FaultPlan {
+    /// A plan with no faults at all.
+    pub const NONE: FaultPlan = FaultPlan {
+        transient_error: false,
+        spike_ms: 0,
+        corrupt: false,
+    };
+}
+
+/// Deterministic seeded fault source.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    cfg: FaultConfig,
+}
+
+impl FaultInjector {
+    /// Build an injector from a config.
+    pub fn new(cfg: FaultConfig) -> FaultInjector {
+        FaultInjector { cfg }
+    }
+
+    /// The configuration this injector draws from.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    fn rng(&self, key: &str, attempt: u32, salt: u64) -> StdRng {
+        let h = fnv(key)
+            ^ self.cfg.seed.wrapping_mul(0x9E3779B97F4A7C15)
+            ^ (attempt as u64 + 1).wrapping_mul(0xD1B54A32D192ED03)
+            ^ salt;
+        StdRng::seed_from_u64(h)
+    }
+
+    /// Draw the fault plan for one attempt of one request. Pure: the same
+    /// `(key, attempt)` always yields the same plan.
+    pub fn plan(&self, key: &str, attempt: u32) -> FaultPlan {
+        if self.cfg.is_noop() {
+            return FaultPlan::NONE;
+        }
+        let mut rng = self.rng(key, attempt, 0);
+        let transient_error = rng.gen_bool(self.cfg.error_rate.clamp(0.0, 1.0));
+        let spike = rng.gen_bool(self.cfg.spike_rate.clamp(0.0, 1.0));
+        let corrupt = rng.gen_bool(self.cfg.corrupt_rate.clamp(0.0, 1.0));
+        FaultPlan {
+            transient_error,
+            spike_ms: if spike { self.cfg.spike_ms } else { 0 },
+            corrupt,
+        }
+    }
+
+    /// Deterministically mangle `sql` into the kind of malformed output a
+    /// misbehaving model emits: truncation, a dropped FROM clause, a typo'd
+    /// keyword, or stray trailing garbage.
+    pub fn corrupt_sql(&self, sql: &str, key: &str, attempt: u32) -> String {
+        let mut rng = self.rng(key, attempt, 0xC0FFEE);
+        match rng.gen_range(0u32..4) {
+            0 => {
+                // Truncate mid-token.
+                let cut = (sql.len() * 2 / 5).max(4).min(sql.len());
+                sql[..cut].to_string()
+            }
+            1 => {
+                // Drop the FROM clause (unknown-column / parse failure).
+                match sql.to_ascii_uppercase().find(" FROM ") {
+                    Some(pos) => {
+                        let after = sql[pos + 6..]
+                            .find(' ')
+                            .map(|p| &sql[pos + 6 + p..])
+                            .unwrap_or("");
+                        format!("{}{}", &sql[..pos], after)
+                    }
+                    None => format!("{sql} FROM"),
+                }
+            }
+            2 => {
+                // Typo the leading keyword.
+                sql.replacen("SELECT", "SELEC", 1)
+            }
+            _ => {
+                // Stray trailing garbage that breaks the parser.
+                format!("{sql} )) '")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn injector(seed: u64) -> FaultInjector {
+        FaultInjector::new(FaultConfig {
+            seed,
+            error_rate: 0.3,
+            spike_rate: 0.2,
+            spike_ms: 250,
+            corrupt_rate: 0.25,
+        })
+    }
+
+    #[test]
+    fn plans_are_deterministic() {
+        let a = injector(7);
+        let b = injector(7);
+        for attempt in 0..20 {
+            assert_eq!(
+                a.plan("db|question", attempt),
+                b.plan("db|question", attempt)
+            );
+        }
+    }
+
+    #[test]
+    fn plans_vary_with_key_attempt_and_seed() {
+        let inj = injector(7);
+        let base: Vec<FaultPlan> = (0..64).map(|i| inj.plan("k", i)).collect();
+        let other_key: Vec<FaultPlan> = (0..64).map(|i| inj.plan("k2", i)).collect();
+        assert_ne!(base, other_key, "different keys draw different faults");
+        let other_seed: Vec<FaultPlan> = (0..64).map(|i| injector(8).plan("k", i)).collect();
+        assert_ne!(base, other_seed, "different seeds draw different faults");
+        // Attempts draw independently, so a transient error eventually
+        // clears — the property retry loops rely on.
+        assert!(base.iter().any(|p| p.transient_error));
+        assert!(base.iter().any(|p| !p.transient_error));
+    }
+
+    #[test]
+    fn noop_config_never_faults() {
+        let inj = FaultInjector::new(FaultConfig::default());
+        for attempt in 0..50 {
+            assert_eq!(inj.plan("anything", attempt), FaultPlan::NONE);
+        }
+    }
+
+    #[test]
+    fn rates_are_respected_roughly() {
+        let inj = injector(42);
+        let n = 4000;
+        let mut errors = 0;
+        let mut spikes = 0;
+        for i in 0..n {
+            let p = inj.plan(&format!("key-{i}"), 0);
+            errors += usize::from(p.transient_error);
+            spikes += usize::from(p.spike_ms > 0);
+        }
+        let err_rate = errors as f64 / n as f64;
+        let spike_rate = spikes as f64 / n as f64;
+        assert!((err_rate - 0.3).abs() < 0.05, "error rate {err_rate}");
+        assert!((spike_rate - 0.2).abs() < 0.05, "spike rate {spike_rate}");
+    }
+
+    #[test]
+    fn corrupt_sql_breaks_the_parser_and_is_deterministic() {
+        let inj = injector(3);
+        let sql = "SELECT name FROM singer WHERE age > 40";
+        let mut any_unparsable = false;
+        for attempt in 0..12 {
+            let a = inj.corrupt_sql(sql, "k", attempt);
+            let b = inj.corrupt_sql(sql, "k", attempt);
+            assert_eq!(a, b, "corruption is deterministic");
+            assert_ne!(a, sql, "corruption changes the SQL");
+            if sqlkit::parse_query(&a).is_err() {
+                any_unparsable = true;
+            }
+        }
+        assert!(
+            any_unparsable,
+            "at least some corruptions must be malformed"
+        );
+    }
+}

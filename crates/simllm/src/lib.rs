@@ -27,6 +27,7 @@
 
 pub mod comprehend;
 pub mod decode;
+pub mod faults;
 pub mod intent;
 pub mod linking;
 pub mod model;
@@ -35,6 +36,7 @@ pub mod sft;
 pub mod values;
 
 pub use comprehend::{parse_prompt, ParsedExample, ParsedFk, ParsedPrompt, ParsedTable};
+pub use faults::{FaultConfig, FaultInjector, FaultPlan};
 pub use intent::{intent_of_query, intent_of_sql, Intent};
 pub use linking::Linker;
 pub use model::{extract_sql, CompletionTrace, GenOptions, SimLlm};

@@ -868,24 +868,43 @@ fn eval_arith(op: ArithOp, l: &Value, r: &Value) -> Value {
     }
 }
 
-/// SQL LIKE with `%` and `_`, ASCII case-insensitive (SQLite default).
-fn like_match(pattern: &str, text: &str) -> bool {
-    let p: Vec<char> = pattern.to_lowercase().chars().collect();
-    let t: Vec<char> = text.to_lowercase().chars().collect();
-    like_rec(&p, &t)
-}
-
-fn like_rec(p: &[char], t: &[char]) -> bool {
-    match p.first() {
-        None => t.is_empty(),
-        Some('%') => {
-            // Collapse consecutive %.
-            let rest = &p[1..];
-            (0..=t.len()).any(|k| like_rec(rest, &t[k..]))
+/// SQL LIKE with `%` and `_`, ASCII case-insensitive (SQLite default:
+/// case folding applies to the 26 ASCII letters only, so `'İ'` does not
+/// fold and `'Σ'` never matches `'σ'`).
+///
+/// Iterative two-pointer matcher with single-point backtracking to the
+/// most recent `%`: worst case `O(|pattern| · |text|)`, unlike the naive
+/// recursive formulation which is exponential in the number of `%`
+/// wildcards (`'%a%a%a%a%'` against a long non-matching string).
+pub fn like_match(pattern: &str, text: &str) -> bool {
+    let p: Vec<char> = pattern.chars().map(|c| c.to_ascii_lowercase()).collect();
+    let t: Vec<char> = text.chars().map(|c| c.to_ascii_lowercase()).collect();
+    let (mut pi, mut ti) = (0usize, 0usize);
+    // Position just after the last `%` seen, and the text index it is
+    // currently anchored to.
+    let mut star: Option<(usize, usize)> = None;
+    while ti < t.len() {
+        if pi < p.len() && p[pi] == '%' {
+            star = Some((pi + 1, ti));
+            pi += 1;
+        } else if pi < p.len() && (p[pi] == '_' || p[pi] == t[ti]) {
+            pi += 1;
+            ti += 1;
+        } else if let Some((sp, st)) = star {
+            // Mismatch after a `%`: let the wildcard absorb one more
+            // character and retry from just past it.
+            pi = sp;
+            ti = st + 1;
+            star = Some((sp, st + 1));
+        } else {
+            return false;
         }
-        Some('_') => !t.is_empty() && like_rec(&p[1..], &t[1..]),
-        Some(c) => !t.is_empty() && t[0] == *c && like_rec(&p[1..], &t[1..]),
     }
+    // Only trailing `%` wildcards may remain unconsumed.
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
 }
 
 fn apply_set_op(op: SetOp, l: ResultSet, r: ResultSet) -> ResultSet {
@@ -1237,6 +1256,49 @@ mod tests {
         assert_eq!(strs(&rs), vec!["Joe", "Bob"]);
         let rs = run("SELECT name FROM singer WHERE name LIKE 'JOE'");
         assert_eq!(strs(&rs), vec!["Joe"], "LIKE is case-insensitive");
+    }
+
+    /// Regression: the old matcher lowercased with full Unicode rules,
+    /// so `'İ'` expanded to two chars (`i` + combining dot) and no longer
+    /// matched a single `_`; SQLite folds ASCII only.
+    #[test]
+    fn like_folds_ascii_only() {
+        assert!(like_match("_", "İ"), "'İ' is one character under LIKE");
+        assert!(!like_match("σ", "Σ"), "non-ASCII letters do not case-fold");
+        assert!(like_match("a_C", "AbC"), "ASCII folding still applies");
+        assert!(like_match("%ß%", "straße"));
+    }
+
+    /// Regression: the old recursive matcher was exponential in the number
+    /// of `%` wildcards; this pattern/text pair effectively never finished.
+    /// The iterative matcher must answer (false) in bounded time.
+    #[test]
+    fn like_pathological_pattern_is_fast() {
+        let pattern = "%a%a%a%a%a%a%a%a%a%a%b";
+        let text = "a".repeat(300);
+        let start = std::time::Instant::now();
+        assert!(!like_match(pattern, &text));
+        assert!(like_match("%a%a%a%a%a%a%a%a%a%a%", &text));
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(5),
+            "pathological LIKE took {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn like_wildcard_edge_cases() {
+        assert!(like_match("", ""));
+        assert!(!like_match("", "a"));
+        assert!(like_match("%", ""));
+        assert!(like_match("%%", "anything"));
+        assert!(!like_match("_", ""));
+        assert!(like_match("a%", "a"));
+        assert!(like_match("%a", "ba"));
+        assert!(!like_match("a%b", "acbd"));
+        assert!(like_match("a%b%", "acbd"));
+        assert!(like_match("_%_", "ab"));
+        assert!(!like_match("_%_", "a"));
     }
 
     #[test]

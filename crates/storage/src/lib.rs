@@ -8,6 +8,12 @@
 //! LIKE / IN / BETWEEN / IS NULL, three-valued logic) covers every query the
 //! benchmark generator and the simulated models emit.
 //!
+//! EX comparison semantics (see [`compare`] for the full statement): column
+//! count and row count must agree; rows compare as an order-insensitive
+//! multiset unless the gold query has a top-level ORDER BY; numeric cells
+//! compare with tolerance `|x − y| ≤ 1e-6 · max(|x|, |y|, 1)` (so `2 ==
+//! 2.0` and `-0.0 == 0.0`); NULL equals only NULL; strings are byte-exact.
+//!
 //! ```
 //! use storage::{Database, execute_query};
 //! use storage::schema::{ColType, ColumnDef, DbSchema, TableSchema};
@@ -41,6 +47,8 @@ pub mod value;
 pub use compare::{results_match, value_eq};
 pub use db::Database;
 pub use error::{ExecError, ExecResult};
-pub use exec::{execute_query, execute_query_with, ExecOptions, JoinStrategy, ResultSet};
+pub use exec::{
+    execute_query, execute_query_with, like_match, ExecOptions, JoinStrategy, ResultSet,
+};
 pub use schema::{ColType, ColumnDef, DbSchema, ForeignKey, TableSchema};
 pub use value::{Row, Value};

@@ -1,0 +1,151 @@
+//! Property tests for the EX result-set comparator.
+//!
+//! The multiset (`ordered == false`) comparison must be invariant under row
+//! permutation, and must agree with the ordered comparison on identically
+//! ordered sets — including ±0.0 and near-EPS float perturbations that the
+//! old canonical-string-key implementation mishandled.
+
+use proptest::prelude::*;
+use storage::{results_match, value_eq, ResultSet, Value};
+
+/// A generated base row: a unique integer id plus a float and a short
+/// string. The id keeps the true row correspondence recoverable after
+/// sorting, so tolerant perturbations can never be mispaired.
+fn base_row() -> impl Strategy<Value = (f64, String)> {
+    (
+        // Coarse grid: distinct base values are ≥ 0.5 apart, far beyond the
+        // 1e-6 comparison tolerance, so ±3e-7 perturbations stay decisive.
+        (-8i64..8).prop_map(|k| k as f64 * 0.5),
+        "[a-c]{0,2}",
+    )
+}
+
+/// A per-cell perturbation: a sub-EPS additive nudge and/or a sign flip of
+/// zero (0.0 ↔ -0.0).
+fn perturbation() -> impl Strategy<Value = (i32, bool)> {
+    ((-1i32..=1), proptest::prelude::any::<bool>())
+}
+
+fn make_rs(rows: Vec<Vec<Value>>) -> ResultSet {
+    ResultSet {
+        columns: vec!["id".into(), "f".into(), "s".into()],
+        rows,
+    }
+}
+
+fn build_rows(base: &[(f64, String)], perturb: &[(i32, bool)]) -> Vec<Vec<Value>> {
+    base.iter()
+        .enumerate()
+        .map(|(i, (f, s))| {
+            let (nudge, flip_zero) = perturb[i % perturb.len().max(1)];
+            let mut v = f + nudge as f64 * 3e-7;
+            if *f == 0.0 && nudge == 0 && flip_zero {
+                v = -0.0;
+            }
+            vec![Value::Int(i as i64), Value::Float(v), Value::Str(s.clone())]
+        })
+        .collect()
+}
+
+/// Deterministic permutation of `rows` driven by `salt`.
+fn permute<T>(mut rows: Vec<T>, salt: u64) -> Vec<T> {
+    let mut out = Vec::with_capacity(rows.len());
+    let mut state = salt.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    while !rows.is_empty() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let idx = (state >> 33) as usize % rows.len();
+        out.push(rows.swap_remove(idx));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Unordered comparison is invariant under any permutation of either
+    /// side's rows.
+    #[test]
+    fn unordered_is_permutation_invariant(
+        base in proptest::collection::vec(base_row(), 0..12),
+        perturb in proptest::collection::vec(perturbation(), 1..6),
+        salt in 0u64..1000,
+    ) {
+        let gold = make_rs(build_rows(&base, &[(0, false)]));
+        let pred_rows = build_rows(&base, &perturb);
+        let pred = make_rs(pred_rows.clone());
+        let pred_shuffled = make_rs(permute(pred_rows, salt));
+        prop_assert_eq!(
+            results_match(&gold, &pred, false),
+            results_match(&gold, &pred_shuffled, false),
+            "permuting pred rows changed the unordered verdict"
+        );
+        // And against a permuted gold too.
+        let gold_shuffled = make_rs(permute(gold.rows.clone(), salt ^ 0xABCD));
+        prop_assert_eq!(
+            results_match(&gold, &pred, false),
+            results_match(&gold_shuffled, &pred, false)
+        );
+    }
+
+    /// On identically ordered sets, the unordered comparison agrees with
+    /// the ordered one — including ±0.0 and near-EPS perturbations.
+    #[test]
+    fn unordered_agrees_with_ordered_on_same_order(
+        base in proptest::collection::vec(base_row(), 0..12),
+        perturb in proptest::collection::vec(perturbation(), 1..6),
+    ) {
+        let gold = make_rs(build_rows(&base, &[(0, false)]));
+        let pred = make_rs(build_rows(&base, &perturb));
+        let ordered = results_match(&gold, &pred, true);
+        let unordered = results_match(&gold, &pred, false);
+        prop_assert_eq!(ordered, unordered,
+            "ordered {} vs unordered {} for gold={:?} pred={:?}",
+            ordered, unordered, gold.rows, pred.rows);
+        // Sub-EPS perturbations never change the verdict at all.
+        prop_assert!(ordered, "perturbed rows must stay tolerance-equal");
+    }
+
+    /// Every perturbed cell stays `value_eq` to its base — the invariant
+    /// the generators above rely on.
+    #[test]
+    fn perturbations_stay_within_tolerance(
+        f in (-8i64..8).prop_map(|k| k as f64 * 0.5),
+        nudge in -1i32..=1,
+    ) {
+        let v = f + nudge as f64 * 3e-7;
+        prop_assert!(value_eq(&Value::Float(f), &Value::Float(v)));
+    }
+
+    /// A super-EPS change on any row flips both verdicts identically.
+    #[test]
+    fn large_changes_fail_both_paths(
+        base in proptest::collection::vec(base_row(), 1..10),
+        which in 0usize..10,
+    ) {
+        let gold_rows = build_rows(&base, &[(0, false)]);
+        let mut pred_rows = gold_rows.clone();
+        let idx = which % pred_rows.len();
+        if let Value::Float(f) = pred_rows[idx][1] {
+            pred_rows[idx][1] = Value::Float(f + 0.25);
+        }
+        let gold = make_rs(gold_rows);
+        let pred = make_rs(pred_rows);
+        prop_assert!(!results_match(&gold, &pred, true));
+        prop_assert!(!results_match(&gold, &pred, false));
+    }
+}
+
+#[test]
+fn signed_zero_multiset_regression() {
+    let gold = ResultSet {
+        columns: vec!["x".into()],
+        rows: vec![vec![Value::Float(-0.0)], vec![Value::Float(2.0)]],
+    };
+    let pred = ResultSet {
+        columns: vec!["x".into()],
+        rows: vec![vec![Value::Float(2.0)], vec![Value::Float(0.0)]],
+    };
+    assert!(results_match(&gold, &pred, false));
+}

@@ -1,0 +1,90 @@
+//! Property tests for the iterative LIKE matcher.
+//!
+//! The new two-pointer matcher must agree with the old (exponential)
+//! recursive reference on small alphabets, and must complete pathological
+//! many-`%` patterns in bounded time.
+
+use proptest::prelude::*;
+use storage::like_match;
+
+/// The pre-fix reference implementation (recursive, exponential in the
+/// number of `%` wildcards), kept here only as a semantic oracle on short
+/// ASCII inputs where it still terminates quickly.
+fn like_rec_reference(p: &[char], t: &[char]) -> bool {
+    match p.first() {
+        None => t.is_empty(),
+        Some('%') => {
+            let rest = &p[1..];
+            (0..=t.len()).any(|k| like_rec_reference(rest, &t[k..]))
+        }
+        Some('_') => !t.is_empty() && like_rec_reference(&p[1..], &t[1..]),
+        Some(c) => !t.is_empty() && t[0] == *c && like_rec_reference(&p[1..], &t[1..]),
+    }
+}
+
+fn reference_match(pattern: &str, text: &str) -> bool {
+    // ASCII folding, as both the old and new production matchers apply to
+    // ASCII inputs (the old one used Unicode lowercasing, which coincides
+    // with ASCII folding on the [a-bA-B%_] alphabet used here).
+    let p: Vec<char> = pattern.chars().map(|c| c.to_ascii_lowercase()).collect();
+    let t: Vec<char> = text.chars().map(|c| c.to_ascii_lowercase()).collect();
+    like_rec_reference(&p, &t)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    /// On a small alphabet (with both wildcards and mixed case), the new
+    /// matcher agrees with the old recursive one everywhere.
+    #[test]
+    fn iterative_agrees_with_recursive_reference(
+        pattern in "[abAB%_]{0,8}",
+        text in "[abAB]{0,10}",
+    ) {
+        prop_assert_eq!(
+            like_match(&pattern, &text),
+            reference_match(&pattern, &text),
+            "pattern {:?} vs text {:?}", pattern, text
+        );
+    }
+
+    /// `%`-wrapping is containment: `'%p%'` matches iff `p` occurs as a
+    /// substring (no wildcards in `p`).
+    #[test]
+    fn percent_wrapping_is_containment(
+        needle in "[ab]{0,4}",
+        text in "[ab]{0,12}",
+    ) {
+        let pattern = format!("%{needle}%");
+        prop_assert_eq!(like_match(&pattern, &text), text.contains(&needle));
+    }
+
+    /// A pattern with no wildcards matches iff it equals the text
+    /// case-insensitively.
+    #[test]
+    fn literal_patterns_are_equality(
+        pattern in "[abAB]{0,6}",
+        text in "[abAB]{0,6}",
+    ) {
+        prop_assert_eq!(
+            like_match(&pattern, &text),
+            pattern.eq_ignore_ascii_case(&text)
+        );
+    }
+}
+
+/// Pathological many-`%` patterns complete in bounded time (the old
+/// recursive matcher effectively never returned on this input).
+#[test]
+fn pathological_many_percent_pattern_is_bounded() {
+    let pattern = format!("{}b", "%a".repeat(12));
+    let text = "a".repeat(400);
+    let start = std::time::Instant::now();
+    assert!(!like_match(&pattern, &text));
+    assert!(like_match(&format!("{}%", "%a".repeat(12)), &text));
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(5),
+        "pathological LIKE took {:?}",
+        start.elapsed()
+    );
+}

@@ -48,4 +48,26 @@ $CLI flame tests/golden/baseline_trace.jsonl --out target/flame-baseline.svg 2>/
     exit 1
 }
 
+echo "==> serve-bench golden report (deterministic serving layer)"
+# The serving layer must produce a byte-identical report for a fixed seed,
+# independent of machine and worker count. Regenerate the golden after an
+# intended change with:  DAIL_UPDATE_GOLDEN=1 cargo test -q -p bench --test cli
+$CLI serve-bench --seed 7 --train 60 --dev 24 --requests 120 \
+    --mean-gap-ms 15 --queue 16 > target/serve-bench-report.md
+if ! cmp -s target/serve-bench-report.md tests/golden/serve_bench_report.md; then
+    echo "serve-bench report drifted from tests/golden/serve_bench_report.md:" >&2
+    diff tests/golden/serve_bench_report.md target/serve-bench-report.md >&2 || true
+    echo "regenerate with: DAIL_UPDATE_GOLDEN=1 cargo test -q -p bench --test cli" >&2
+    exit 1
+fi
+
+echo "==> LIKE pathology timing guard"
+# The iterative LIKE matcher must answer adversarial many-% patterns
+# quickly; the old recursive matcher effectively hung here. 60s is a hard
+# backstop (the tests assert tighter bounds internally).
+timeout 60 cargo test -q --offline -p storage pathological >/dev/null || {
+    echo "pathological LIKE patterns no longer complete in bounded time" >&2
+    exit 1
+}
+
 echo "all checks passed"

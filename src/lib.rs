@@ -11,6 +11,8 @@
 //! * [`simllm`] — the calibrated stochastic semantic-parser LLM simulator;
 //! * [`dail_core`] — the DAIL-SQL pipeline and leaderboard baselines;
 //! * [`eval`] — metrics, cost accounting and the E1–E10 experiment suite;
+//! * [`servekit`] — fault-tolerant serving layer: bounded queue, worker
+//!   pool, retries with backoff, LRU prediction cache, load shedding;
 //! * [`obskit`] — zero-dependency tracing/metrics wired through all of the
 //!   above (spans, counters, latency histograms, JSONL traces, profiles).
 //!
@@ -37,6 +39,7 @@ pub use dail_core;
 pub use eval;
 pub use obskit;
 pub use promptkit;
+pub use servekit;
 pub use simllm;
 pub use spider_gen;
 pub use sqlkit;
@@ -56,7 +59,8 @@ pub mod prelude {
         build_prompt, ExampleSelector, OrganizationStrategy, PromptConfig, QuestionRepr,
         ReprOptions, SelectionStrategy,
     };
-    pub use simllm::{GenOptions, PromptStyle, SimLlm};
+    pub use servekit::{serve, LoadConfig, Outcome, ServeConfig};
+    pub use simllm::{FaultConfig, GenOptions, PromptStyle, SimLlm};
     pub use spider_gen::{Benchmark, BenchmarkConfig, ExampleItem};
     pub use sqlkit::{parse_query, Hardness, Query, Skeleton};
     pub use storage::{execute_query, Database, ResultSet, Value};
