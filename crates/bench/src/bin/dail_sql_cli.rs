@@ -7,6 +7,9 @@
 //! dail_sql_cli eval [--pipeline P] [--model M]    evaluate a pipeline, print summary
 //! dail_sql_cli serve-bench [--seed N] [--requests N] [--workers N]
 //!                                                 load-test the serving layer, print report
+//! dail_sql_cli select-bench --pool N --queries M --seed S
+//!                                                 benchmark example-selection retrieval,
+//!                                                 print a deterministic markdown report
 //! dail_sql_cli run-experiments --experiment ID    run a paper experiment
 //! dail_sql_cli profile TRACE.jsonl                render a trace as a breakdown
 //! dail_sql_cli profile A.jsonl B.jsonl [--fail-on-regress PCT]
@@ -48,6 +51,7 @@ fn main() {
         "ask" => ask(&flags),
         "eval" => run_eval(&flags),
         "serve-bench" => serve_bench(&flags),
+        "select-bench" => select_bench(&flags),
         "run-experiments" => run_experiments(&flags),
         "profile" => profile_trace(&positional, &flags),
         "flame" => flame_trace(&positional, &flags),
@@ -78,6 +82,12 @@ fn usage() {
          \u{20}\u{20}                                         drive the fault-injected serving layer\n\
          \u{20}\u{20}                                         with a seeded load, print a markdown\n\
          \u{20}\u{20}                                         report (deterministic given --seed)\n\
+         \u{20}\u{20}select-bench [--pool N] [--queries M] [--seed S] [--k K] [--json FILE]\n\
+         \u{20}\u{20}     [--no-timing]                       score a synthetic pool with the\n\
+         \u{20}\u{20}                                         retrievekit fast path vs the naive\n\
+         \u{20}\u{20}                                         reference; print a markdown report\n\
+         \u{20}\u{20}                                         (byte-identical across DAIL_THREADS\n\
+         \u{20}\u{20}                                         with --no-timing)\n\
          \u{20}\u{20}run-experiments --experiment e1..e10|a1..a6 [--dev-cap N] [--seed N]\n\
          \u{20}\u{20}     [--full-grid] [--trace FILE.jsonl]   run one paper experiment, print its tables\n\
          \u{20}\u{20}profile TRACE.jsonl                      render a recorded trace as a\n\
@@ -427,6 +437,268 @@ fn serve_bench(flags: &HashMap<String, String>) {
     };
     print!("{}", servekit::render(&report));
     finish_trace(&rec, trace_path);
+}
+
+// ---- select-bench: retrieval fast path vs naive reference ----
+
+/// Vocabulary for the synthetic question pool. Questions share openers,
+/// nouns and qualifiers the way real benchmark questions do, so embeddings
+/// collide and near-tie exactly where the top-k tie-breaking matters.
+const SB_OPENERS: &[&str] = &[
+    "how many",
+    "list the",
+    "what is the",
+    "show the",
+    "count the",
+    "which",
+    "find the",
+    "return the",
+];
+const SB_NOUNS: &[&str] = &[
+    "singers",
+    "stadiums",
+    "concerts",
+    "albums",
+    "students",
+    "courses",
+    "flights",
+    "airports",
+    "orders",
+    "products",
+    "employees",
+    "departments",
+    "matches",
+    "teams",
+    "players",
+    "books",
+    "authors",
+    "cities",
+    "countries",
+    "rivers",
+    "hospitals",
+    "patients",
+    "doctors",
+    "visits",
+];
+const SB_QUALS: &[&str] = &[
+    "are there",
+    "with the highest capacity",
+    "grouped by city",
+    "ordered by name",
+    "for each year",
+    "above the average age",
+    "in each region",
+    "sorted by total sales",
+    "younger than 30",
+    "with more than 5 entries",
+];
+
+fn sb_question(rng: &mut rand::rngs::StdRng) -> String {
+    use rand::seq::SliceRandom;
+    format!(
+        "{} {} {}",
+        SB_OPENERS.choose(rng).unwrap(),
+        SB_NOUNS.choose(rng).unwrap(),
+        SB_QUALS.choose(rng).unwrap(),
+    )
+}
+
+/// Fold a selection's indices into a running FNV-1a checksum, so the
+/// report carries a compact fingerprint of *which* examples were picked.
+fn sb_checksum(mut h: u64, picks: &[(f32, u32)]) -> u64 {
+    for &(_, idx) in picks {
+        for b in idx.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+/// The committed naive reference: one allocated embedding per row, `f64`
+/// iterator cosine, full stable sort — the exact shape of the selector
+/// before retrievekit. `select-bench` times the fast path against this
+/// and `scripts/check.sh` gates the speedup.
+fn sb_naive_select(
+    rows: &[textkit::Embedding],
+    n: usize,
+    query: &textkit::Embedding,
+    k: usize,
+) -> Vec<(f64, usize)> {
+    let mut scored: Vec<(f64, usize)> = rows[..n]
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (r.cosine(query), i))
+        .collect();
+    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    scored.truncate(k);
+    scored
+}
+
+/// Benchmark retrievekit's selection fast path against the naive
+/// reference on a seeded synthetic pool. Every selection is hard-checked
+/// against the full-sort oracle (exit 1 on any mismatch); with
+/// `--no-timing` the report contains no wall-clock numbers and is
+/// byte-identical across machines and `DAIL_THREADS` settings.
+fn select_bench(flags: &HashMap<String, String>) {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use retrievekit::{full_sort, top_k_cosine, EmbeddingMatrix};
+    use std::fmt::Write as _;
+    use textkit::{embed, embed_into, DIM};
+
+    let pool_n: usize = num_flag(flags, "pool", 10_000usize).max(1);
+    let queries_n: usize = num_flag(flags, "queries", 50usize).max(1);
+    let k: usize = num_flag(flags, "k", 8usize).max(1);
+    let seed: u64 = num_flag(flags, "seed", 2023u64);
+    let timing = !flags.contains_key("no-timing");
+    let json_path = flags.get("json");
+    if json_path.is_some() && !timing {
+        eprintln!("--json needs wall-clock numbers; drop --no-timing");
+        std::process::exit(2);
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pool: Vec<String> = (0..pool_n).map(|_| sb_question(&mut rng)).collect();
+    let targets: Vec<String> = (0..queries_n).map(|_| sb_question(&mut rng)).collect();
+
+    // Build both index shapes once, outside any timed region.
+    let mut matrix = EmbeddingMatrix::with_capacity(DIM, pool_n);
+    let mut row = vec![0f32; DIM];
+    for q in &pool {
+        embed_into(q, &mut row);
+        matrix.push_row(&row);
+    }
+    let naive_rows: Vec<textkit::Embedding> = pool.iter().map(|q| embed(q)).collect();
+
+    // Correctness sweep: the fast path must equal the full-sort oracle on
+    // every query (hard gate), and we report its agreement with the f64
+    // naive reference (informational — `f32` accumulation is allowed to
+    // diverge below 1e-5, which in practice never reorders a selection).
+    let mut checksum = 0xcbf29ce484222325u64;
+    let mut naive_agree = 0usize;
+    let mut qbuf = vec![0f32; DIM];
+    for (qi, t) in targets.iter().enumerate() {
+        embed_into(t, &mut qbuf);
+        let fast = top_k_cosine(&matrix, &qbuf, pool_n, k);
+        let oracle = full_sort((0..pool_n).map(|i| matrix.cosine(i, &qbuf)), k);
+        if fast != oracle {
+            eprintln!("FATAL: query {qi} fast path disagrees with full-sort oracle");
+            eprintln!("  fast:   {fast:?}");
+            eprintln!("  oracle: {oracle:?}");
+            std::process::exit(1);
+        }
+        let naive = sb_naive_select(&naive_rows, pool_n, &embed(t), k);
+        if fast
+            .iter()
+            .map(|&(_, i)| i as usize)
+            .eq(naive.iter().map(|&(_, i)| i))
+        {
+            naive_agree += 1;
+        }
+        checksum = sb_checksum(checksum, &fast);
+    }
+
+    // Throughput trajectory over pool-size prefixes (the full pool last —
+    // its point is the headline speedup the CI floor gates on).
+    struct Point {
+        rows: usize,
+        fast_qps: f64,
+        naive_qps: f64,
+    }
+    let mut points: Vec<Point> = Vec::new();
+    if timing {
+        for denom in [8usize, 4, 2, 1] {
+            let rows = (pool_n / denom).max(1);
+            let t0 = std::time::Instant::now();
+            for t in &targets {
+                embed_into(t, &mut qbuf);
+                std::hint::black_box(top_k_cosine(&matrix, &qbuf, rows, k));
+            }
+            let fast_s = t0.elapsed().as_secs_f64();
+            let t0 = std::time::Instant::now();
+            for t in &targets {
+                std::hint::black_box(sb_naive_select(&naive_rows, rows, &embed(t), k));
+            }
+            let naive_s = t0.elapsed().as_secs_f64();
+            points.push(Point {
+                rows,
+                fast_qps: queries_n as f64 / fast_s.max(1e-9),
+                naive_qps: queries_n as f64 / naive_s.max(1e-9),
+            });
+        }
+    }
+    let speedup = points.last().map(|p| p.fast_qps / p.naive_qps.max(1e-9));
+
+    let mut md = String::new();
+    let _ = writeln!(md, "# select-bench report\n");
+    let _ = writeln!(md, "| param | value |");
+    let _ = writeln!(md, "|---|---|");
+    let _ = writeln!(md, "| pool | {pool_n} |");
+    let _ = writeln!(md, "| queries | {queries_n} |");
+    let _ = writeln!(md, "| k | {k} |");
+    let _ = writeln!(md, "| seed | {seed} |");
+    let _ = writeln!(md, "| dim | {DIM} |");
+    let _ = writeln!(md);
+    let _ = writeln!(md, "## selection equivalence\n");
+    let _ = writeln!(md, "| check | result |");
+    let _ = writeln!(md, "|---|---|");
+    let _ = writeln!(
+        md,
+        "| full-sort oracle | {queries_n}/{queries_n} identical |"
+    );
+    let _ = writeln!(
+        md,
+        "| naive f64 reference | {naive_agree}/{queries_n} identical |"
+    );
+    let _ = writeln!(md, "| selection checksum | {checksum:#018x} |");
+    let _ = writeln!(md);
+    let _ = writeln!(md, "## throughput\n");
+    let _ = writeln!(md, "| pool rows | naive q/s | fast q/s | speedup |");
+    let _ = writeln!(md, "|---|---|---|---|");
+    if timing {
+        for p in &points {
+            let _ = writeln!(
+                md,
+                "| {} | {:.1} | {:.1} | {:.2}x |",
+                p.rows,
+                p.naive_qps,
+                p.fast_qps,
+                p.fast_qps / p.naive_qps.max(1e-9)
+            );
+        }
+    } else {
+        for denom in [8usize, 4, 2, 1] {
+            let _ = writeln!(md, "| {} | - | - | - |", (pool_n / denom).max(1));
+        }
+    }
+    print!("{md}");
+
+    if let Some(path) = json_path {
+        let speedup = speedup.expect("timing enabled when --json is set");
+        let mut json = String::new();
+        let _ = write!(
+            json,
+            "{{\"pool\":{pool_n},\"queries\":{queries_n},\"k\":{k},\"seed\":{seed},\
+             \"checksum\":\"{checksum:#018x}\",\"speedup_vs_naive\":{speedup:.3},\"points\":["
+        );
+        for (i, p) in points.iter().enumerate() {
+            if i > 0 {
+                let _ = write!(json, ",");
+            }
+            let _ = write!(
+                json,
+                "{{\"pool\":{},\"naive_qps\":{:.1},\"fast_qps\":{:.1}}}",
+                p.rows, p.naive_qps, p.fast_qps
+            );
+        }
+        let _ = writeln!(json, "]}}");
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("throughput points written to {path}");
+    }
 }
 
 fn run_experiments(flags: &HashMap<String, String>) {

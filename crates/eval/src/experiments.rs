@@ -337,9 +337,10 @@ impl<'a> ExperimentRunner<'a> {
         }
         let mut total = 0.0;
         for item in items {
-            let spec = self.bench.spec(item);
-            let masker = DomainMasker::new(spec.domain_terms());
-            let masked = masker.mask(&item.question);
+            let masked = self.selector.mask_target(&item.db_id, &item.question, || {
+                let spec = self.bench.spec(item);
+                DomainMasker::new(spec.domain_terms()).mask(&item.question)
+            });
             // Oracle preliminary (upper bound, as in the paper's analysis).
             let picked = self.selector.select(
                 strategy,

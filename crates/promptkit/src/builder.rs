@@ -84,9 +84,10 @@ pub fn build_prompt(
     } else {
         &item.question
     };
-    let spec = bench.spec(item);
-    let masker = DomainMasker::new(spec.domain_terms());
-    let masked = masker.mask(question);
+    let masked = selector.mask_target(&item.db_id, question, || {
+        let spec = bench.spec(item);
+        DomainMasker::new(spec.domain_terms()).mask(question)
+    });
 
     let mut examples = selector.select(
         cfg.selection,

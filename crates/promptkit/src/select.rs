@@ -10,13 +10,23 @@
 //! * `Dail` — DAIL selection: masked-question similarity ranking, filtered
 //!   and re-ranked by query-skeleton similarity, capturing both the question
 //!   intent and the (estimated) target SQL shape.
+//!
+//! Scoring runs on `retrievekit`: pool embeddings live in contiguous
+//! [`EmbeddingMatrix`] storage scored by the blocked `f32` kernel, the
+//! best `k` are kept by a bounded heap instead of a full sort, and target
+//! features are memoized in a [`FeatureCache`] so the experiment grids
+//! embed each target once instead of once per strategy. Results are
+//! identical to the pre-optimization selector (ties and all) — see the
+//! `matches_reference_selector` test, which keeps the old implementation
+//! alive as the specification.
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use retrievekit::{top_k, top_k_cosine, EmbeddingMatrix, FeatureCache};
 use spider_gen::{Benchmark, ExampleItem};
 use sqlkit::{Query, Skeleton};
-use textkit::{embed, DomainMasker, Embedding};
+use textkit::{embed_into, DomainMasker, DIM};
 
 /// Remove mask placeholders before embedding: what remains is the
 /// question's intent scaffold.
@@ -61,51 +71,95 @@ impl SelectionStrategy {
     ];
 }
 
-/// A training example with precomputed selection features.
-struct IndexedExample {
-    idx: usize,
-    embedding: Embedding,
-    masked_embedding: Embedding,
-    skeleton: Skeleton,
+/// Embedded target features, built once per distinct target and shared
+/// across strategies (and threads) via the selector's [`FeatureCache`].
+struct QueryFeatures {
+    raw: Vec<f32>,
+    masked: Vec<f32>,
 }
+
+/// Bound on distinct targets memoized at once — one entry per dev item,
+/// so even the full experiment grid stays far below this.
+const FEATURE_CACHE_CAPACITY: usize = 8192;
 
 /// Precomputed selector over a benchmark's training pool.
 pub struct ExampleSelector<'a> {
     pool: &'a [ExampleItem],
-    index: Vec<IndexedExample>,
+    raw: EmbeddingMatrix,
+    masked: EmbeddingMatrix,
+    skeletons: Vec<Skeleton>,
+    features: FeatureCache<QueryFeatures>,
+    masked_targets: FeatureCache<String>,
 }
 
 impl<'a> ExampleSelector<'a> {
     /// Build the selector: embeds every training question (raw and masked
-    /// with its own domain vocabulary) and extracts gold skeletons.
+    /// with its own domain vocabulary) into contiguous matrix rows and
+    /// extracts gold skeletons.
     pub fn new(bench: &'a Benchmark) -> Self {
-        let index = bench
-            .train
-            .iter()
-            .enumerate()
-            .map(|(idx, ex)| {
-                let spec = &bench.specs[&ex.db_id];
-                let masker = DomainMasker::new(spec.domain_terms());
-                IndexedExample {
-                    idx,
-                    embedding: embed(&ex.question),
-                    // The mask token itself carries no intent information —
-                    // embedding it would add constant similarity between all
-                    // masked questions and wash out the signal.
-                    masked_embedding: embed(&strip_masks(&masker.mask(&ex.question))),
-                    skeleton: Skeleton::of(&ex.gold),
-                }
-            })
-            .collect();
+        let n = bench.train.len();
+        let mut raw = EmbeddingMatrix::with_capacity(DIM, n);
+        let mut masked = EmbeddingMatrix::with_capacity(DIM, n);
+        let mut skeletons = Vec::with_capacity(n);
+        let mut row = vec![0f32; DIM];
+        for ex in &bench.train {
+            let spec = &bench.specs[&ex.db_id];
+            let masker = DomainMasker::new(spec.domain_terms());
+            embed_into(&ex.question, &mut row);
+            raw.push_row(&row);
+            // The mask token itself carries no intent information —
+            // embedding it would add constant similarity between all
+            // masked questions and wash out the signal.
+            embed_into(&strip_masks(&masker.mask(&ex.question)), &mut row);
+            masked.push_row(&row);
+            skeletons.push(Skeleton::of(&ex.gold));
+        }
         ExampleSelector {
             pool: &bench.train,
-            index,
+            raw,
+            masked,
+            skeletons,
+            features: FeatureCache::new(FEATURE_CACHE_CAPACITY),
+            masked_targets: FeatureCache::new(FEATURE_CACHE_CAPACITY),
         }
+    }
+
+    /// Memoized masked form of a target question, keyed by database and
+    /// question, so the experiment grids mask each target once instead of
+    /// once per strategy × prompt build. `mask` runs on the first sighting
+    /// only (it must be a pure function of the key, which domain masking
+    /// is).
+    pub fn mask_target(
+        &self,
+        db_id: &str,
+        question: &str,
+        mask: impl FnOnce() -> String,
+    ) -> std::sync::Arc<String> {
+        let key = format!("{db_id}\u{1f}{question}");
+        self.masked_targets.get_or_insert_with(&key, mask)
     }
 
     /// Number of candidates in the pool.
     pub fn pool_len(&self) -> usize {
         self.pool.len()
+    }
+
+    /// Target features for `(question, masked)` — embedded on first sight,
+    /// shared afterwards.
+    fn target_features(
+        &self,
+        target_question: &str,
+        masked_target: &str,
+    ) -> std::sync::Arc<QueryFeatures> {
+        // U+001F cannot appear in either component, so the key is injective.
+        let key = format!("{target_question}\u{1f}{masked_target}");
+        self.features.get_or_insert_with(&key, || {
+            let mut raw = vec![0f32; DIM];
+            embed_into(target_question, &mut raw);
+            let mut masked = vec![0f32; DIM];
+            embed_into(&strip_masks(masked_target), &mut masked);
+            QueryFeatures { raw, masked }
+        })
     }
 
     /// Select `k` examples for a target question.
@@ -127,11 +181,36 @@ impl<'a> ExampleSelector<'a> {
         if k == 0 || self.pool.is_empty() {
             return Vec::new();
         }
-        if obskit::enabled() {
+        let timed = obskit::enabled();
+        let started = timed.then(std::time::Instant::now);
+        if timed {
             let g = obskit::global();
             g.add_counter("promptkit.selections", 1);
             g.add_counter("promptkit.candidates_scored", self.pool.len() as u64);
         }
+        let picked = self.select_inner(
+            strategy,
+            target_question,
+            masked_target,
+            preliminary,
+            k,
+            seed,
+        );
+        if let Some(t0) = started {
+            obskit::global().observe("retrievekit.select_ns", t0.elapsed().as_nanos() as u64);
+        }
+        picked
+    }
+
+    fn select_inner(
+        &self,
+        strategy: SelectionStrategy,
+        target_question: &str,
+        masked_target: &str,
+        preliminary: Option<&Query>,
+        k: usize,
+        seed: u64,
+    ) -> Vec<&'a ExampleItem> {
         let k = k.min(self.pool.len());
         match strategy {
             SelectionStrategy::Random => {
@@ -142,18 +221,18 @@ impl<'a> ExampleSelector<'a> {
                 ids.into_iter().map(|i| &self.pool[i]).collect()
             }
             SelectionStrategy::QuestionSimilarity => {
-                let e = embed(target_question);
-                self.top_by(k, |ex| ex.embedding.cosine(&e))
+                let f = self.target_features(target_question, masked_target);
+                self.take(top_k_cosine(&self.raw, &f.raw, self.raw.len(), k))
             }
             SelectionStrategy::MaskedQuestionSimilarity => {
-                let e = embed(&strip_masks(masked_target));
-                self.top_by(k, |ex| ex.masked_embedding.cosine(&e))
+                let f = self.target_features(target_question, masked_target);
+                self.take(top_k_cosine(&self.masked, &f.masked, self.masked.len(), k))
             }
             SelectionStrategy::QuerySimilarity => {
                 let Some(pq) = preliminary else {
                     // No draft available: degrade to question similarity,
                     // which is what implementations fall back to in practice.
-                    return self.select(
+                    return self.select_inner(
                         SelectionStrategy::QuestionSimilarity,
                         target_question,
                         masked_target,
@@ -163,10 +242,10 @@ impl<'a> ExampleSelector<'a> {
                     );
                 };
                 let sk = Skeleton::of(pq);
-                self.top_by(k, |ex| ex.skeleton.similarity(&sk))
+                self.take(top_k(self.skeletons.iter().map(|s| s.similarity(&sk)), k))
             }
             SelectionStrategy::Dail => {
-                let e = embed(&strip_masks(masked_target));
+                let f = self.target_features(target_question, masked_target);
                 match preliminary {
                     Some(pq) => {
                         let sk = Skeleton::of(pq);
@@ -176,55 +255,51 @@ impl<'a> ExampleSelector<'a> {
                         // prediction re-ranks within the shortlist. A wrong
                         // preliminary can therefore reorder but never
                         // replace question-relevant demonstrations.
-                        let pool_k = (4 * k).max(16).min(self.index.len());
-                        let mut by_q: Vec<(f64, usize)> = self
-                            .index
-                            .iter()
-                            .map(|ex| (ex.masked_embedding.cosine(&e), ex.idx))
-                            .collect();
-                        by_q.sort_by(|a, b| {
-                            b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal)
-                        });
-                        let mut shortlist: Vec<(f64, f64, usize)> = by_q
+                        //
+                        // The shortlist already carries the stage-one
+                        // masked-cosine scores, so stage two never rescores
+                        // a question — it only computes `pool_k` skeleton
+                        // similarities.
+                        let pool_k = (4 * k).max(16).min(self.pool.len());
+                        let by_q = top_k_cosine(&self.masked, &f.masked, self.masked.len(), pool_k);
+                        if obskit::enabled() {
+                            // The skeleton re-ranking stage scores each
+                            // shortlisted candidate once more.
+                            obskit::global()
+                                .add_counter("promptkit.candidates_scored", by_q.len() as u64);
+                        }
+                        let mut shortlist: Vec<(f64, f32, u32)> = by_q
                             .into_iter()
-                            .take(pool_k)
                             .map(|(q_sim, idx)| {
-                                let s_sim = self.index[self.pos_of(idx)].skeleton.similarity(&sk);
-                                (s_sim, q_sim, idx)
+                                (self.skeletons[idx as usize].similarity(&sk), q_sim, idx)
                             })
                             .collect();
-                        shortlist.sort_by(|a, b| {
+                        // Skeleton similarity first, stage-one score as the
+                        // tie-break, pool index last — exactly the order the
+                        // old chained stable sorts produced.
+                        shortlist.sort_unstable_by(|a, b| {
                             b.0.partial_cmp(&a.0)
                                 .unwrap_or(std::cmp::Ordering::Equal)
                                 .then(b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal))
+                                .then(a.2.cmp(&b.2))
                         });
                         shortlist
                             .into_iter()
                             .take(k)
-                            .map(|(_, _, i)| &self.pool[i])
+                            .map(|(_, _, i)| &self.pool[i as usize])
                             .collect()
                     }
-                    None => self.top_by(k, |ex| ex.masked_embedding.cosine(&e)),
+                    None => self.take(top_k_cosine(&self.masked, &f.masked, self.masked.len(), k)),
                 }
             }
         }
     }
 
-    /// Position of a pool index inside `self.index` (identity by
-    /// construction, kept explicit for safety).
-    fn pos_of(&self, idx: usize) -> usize {
-        debug_assert_eq!(self.index[idx].idx, idx);
-        idx
-    }
-
-    fn top_by(&self, k: usize, score: impl Fn(&IndexedExample) -> f64) -> Vec<&'a ExampleItem> {
-        let mut scored: Vec<(f64, usize)> =
-            self.index.iter().map(|ex| (score(ex), ex.idx)).collect();
-        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
-        scored
+    /// Resolve ranked `(score, pool_index)` pairs to pool items.
+    fn take<S>(&self, ranked: Vec<(S, u32)>) -> Vec<&'a ExampleItem> {
+        ranked
             .into_iter()
-            .take(k)
-            .map(|(_, i)| &self.pool[i])
+            .map(|(_, i)| &self.pool[i as usize])
             .collect()
     }
 }
@@ -387,5 +462,203 @@ mod tests {
             count_hits(&dail),
             count_hits(&mqs)
         );
+    }
+
+    /// The pre-optimization selector, kept verbatim as the specification:
+    /// per-example `Embedding` vectors, `f64` cosine, full stable sorts.
+    mod reference {
+        use super::*;
+        use textkit::{embed, Embedding};
+
+        pub struct RefSelector<'a> {
+            pool: &'a [ExampleItem],
+            index: Vec<(Embedding, Embedding, Skeleton)>,
+        }
+
+        impl<'a> RefSelector<'a> {
+            pub fn new(bench: &'a Benchmark) -> Self {
+                let index = bench
+                    .train
+                    .iter()
+                    .map(|ex| {
+                        let spec = &bench.specs[&ex.db_id];
+                        let masker = DomainMasker::new(spec.domain_terms());
+                        (
+                            embed(&ex.question),
+                            embed(&strip_masks(&masker.mask(&ex.question))),
+                            Skeleton::of(&ex.gold),
+                        )
+                    })
+                    .collect();
+                RefSelector {
+                    pool: &bench.train,
+                    index,
+                }
+            }
+
+            pub fn select(
+                &self,
+                strategy: SelectionStrategy,
+                target_question: &str,
+                masked_target: &str,
+                preliminary: Option<&Query>,
+                k: usize,
+                seed: u64,
+            ) -> Vec<&'a ExampleItem> {
+                if k == 0 || self.pool.is_empty() {
+                    return Vec::new();
+                }
+                let k = k.min(self.pool.len());
+                match strategy {
+                    SelectionStrategy::Random => {
+                        let mut rng = StdRng::seed_from_u64(seed);
+                        let mut ids: Vec<usize> = (0..self.pool.len()).collect();
+                        ids.shuffle(&mut rng);
+                        ids.truncate(k);
+                        ids.into_iter().map(|i| &self.pool[i]).collect()
+                    }
+                    SelectionStrategy::QuestionSimilarity => {
+                        let e = embed(target_question);
+                        self.top_by(k, |ex| ex.0.cosine(&e))
+                    }
+                    SelectionStrategy::MaskedQuestionSimilarity => {
+                        let e = embed(&strip_masks(masked_target));
+                        self.top_by(k, |ex| ex.1.cosine(&e))
+                    }
+                    SelectionStrategy::QuerySimilarity => {
+                        let Some(pq) = preliminary else {
+                            return self.select(
+                                SelectionStrategy::QuestionSimilarity,
+                                target_question,
+                                masked_target,
+                                None,
+                                k,
+                                seed,
+                            );
+                        };
+                        let sk = Skeleton::of(pq);
+                        self.top_by(k, |ex| ex.2.similarity(&sk))
+                    }
+                    SelectionStrategy::Dail => {
+                        let e = embed(&strip_masks(masked_target));
+                        match preliminary {
+                            Some(pq) => {
+                                let sk = Skeleton::of(pq);
+                                let pool_k = (4 * k).max(16).min(self.index.len());
+                                let mut by_q: Vec<(f64, usize)> = self
+                                    .index
+                                    .iter()
+                                    .enumerate()
+                                    .map(|(idx, ex)| (ex.1.cosine(&e), idx))
+                                    .collect();
+                                by_q.sort_by(|a, b| {
+                                    b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal)
+                                });
+                                let mut shortlist: Vec<(f64, f64, usize)> = by_q
+                                    .into_iter()
+                                    .take(pool_k)
+                                    .map(|(q_sim, idx)| {
+                                        (self.index[idx].2.similarity(&sk), q_sim, idx)
+                                    })
+                                    .collect();
+                                shortlist.sort_by(|a, b| {
+                                    b.0.partial_cmp(&a.0)
+                                        .unwrap_or(std::cmp::Ordering::Equal)
+                                        .then(
+                                            b.1.partial_cmp(&a.1)
+                                                .unwrap_or(std::cmp::Ordering::Equal),
+                                        )
+                                });
+                                shortlist
+                                    .into_iter()
+                                    .take(k)
+                                    .map(|(_, _, i)| &self.pool[i])
+                                    .collect()
+                            }
+                            None => self.top_by(k, |ex| ex.1.cosine(&e)),
+                        }
+                    }
+                }
+            }
+
+            fn top_by(
+                &self,
+                k: usize,
+                score: impl Fn(&(Embedding, Embedding, Skeleton)) -> f64,
+            ) -> Vec<&'a ExampleItem> {
+                let mut scored: Vec<(f64, usize)> = self
+                    .index
+                    .iter()
+                    .enumerate()
+                    .map(|(idx, ex)| (score(ex), idx))
+                    .collect();
+                scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+                scored
+                    .into_iter()
+                    .take(k)
+                    .map(|(_, i)| &self.pool[i])
+                    .collect()
+            }
+        }
+    }
+
+    #[test]
+    fn matches_reference_selector() {
+        let b = bench();
+        let fast = ExampleSelector::new(&b);
+        let slow = reference::RefSelector::new(&b);
+        let draft = sqlkit::parse_query("SELECT count(*) FROM t").unwrap();
+        let draft2 =
+            sqlkit::parse_query("SELECT name FROM t WHERE size > 3 ORDER BY name").unwrap();
+        let targets = [
+            ("how many things are there", "how many <mask> are there"),
+            ("How many gadgets are there?", "how many <mask> are there"),
+            (
+                "list the names of all items",
+                "list the <mask> of all <mask>",
+            ),
+            ("irrelevant words entirely", "irrelevant words entirely"),
+            ("", ""),
+        ];
+        for strat in SelectionStrategy::ALL {
+            for (q, m) in targets {
+                for prelim in [None, Some(&draft), Some(&draft2)] {
+                    for k in [1usize, 4, 16, 1000] {
+                        let got: Vec<usize> = fast
+                            .select(strat, q, m, prelim, k, 7)
+                            .iter()
+                            .map(|e| e.id)
+                            .collect();
+                        let want: Vec<usize> = slow
+                            .select(strat, q, m, prelim, k, 7)
+                            .iter()
+                            .map(|e| e.id)
+                            .collect();
+                        assert_eq!(
+                            got,
+                            want,
+                            "{strat:?} q={q:?} prelim={} k={k}",
+                            prelim.is_some()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn f32_kernel_divergence_is_bounded() {
+        let b = bench();
+        let sel = ExampleSelector::new(&b);
+        let f = sel.target_features("how many things are there", "how many <mask> are there");
+        for i in 0..sel.raw.len() {
+            let fast = sel.raw.cosine(i, &f.raw) as f64;
+            let slow = textkit::Embedding(sel.raw.row(i).to_vec())
+                .cosine(&textkit::Embedding(f.raw.clone()));
+            assert!(
+                (fast - slow).abs() < 1e-5,
+                "row {i}: f32 {fast} vs f64 {slow}"
+            );
+        }
     }
 }

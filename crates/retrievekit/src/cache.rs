@@ -1,0 +1,135 @@
+//! Per-target query-feature cache.
+//!
+//! The experiment grids score the same dev items under many
+//! configurations: `eval`'s E5/E6 alone run five selection strategies ×
+//! three organizations over one dev set, and every run re-embedded and
+//! re-masked each target question from scratch. The cache keys on the
+//! caller-built string key (question + masked question) and hands out
+//! shared, immutable feature bundles, so each distinct target pays the
+//! embedding cost once per process instead of once per strategy × run.
+//!
+//! Reads take a shared lock (the steady state under the multi-threaded
+//! eval harness); a miss upgrades to an exclusive lock. At
+//! [`FeatureCache::capacity`] entries the map is cleared rather than
+//! evicted piecemeal — the working set (one entry per dev item) is far
+//! below any sensible capacity, so a clear only fires under adversarial
+//! key churn, where dropping the lot is the cheapest correct answer.
+
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+/// A bounded, thread-safe memo table from query key to shared features.
+pub struct FeatureCache<V> {
+    map: RwLock<HashMap<String, Arc<V>>>,
+    capacity: usize,
+}
+
+impl<V> FeatureCache<V> {
+    /// A cache bounded at `capacity` entries (0 disables caching).
+    pub fn new(capacity: usize) -> FeatureCache<V> {
+        FeatureCache {
+            map: RwLock::new(HashMap::new()),
+            capacity,
+        }
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.map.read().unwrap().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum entries before the clear-on-overflow safety valve fires.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Look up `key`, computing and inserting with `build` on a miss.
+    ///
+    /// `build` may run concurrently for the same key under racing misses;
+    /// the first insert wins and later racers adopt it, so all callers
+    /// observe one shared value (`build` must be pure, which embedding
+    /// is).
+    pub fn get_or_insert_with(&self, key: &str, build: impl FnOnce() -> V) -> Arc<V> {
+        if self.capacity == 0 {
+            return Arc::new(build());
+        }
+        if let Some(hit) = self.map.read().unwrap().get(key) {
+            if obskit::enabled() {
+                obskit::global().add_counter("retrievekit.feature_cache_hits", 1);
+            }
+            return Arc::clone(hit);
+        }
+        let value = Arc::new(build());
+        let mut map = self.map.write().unwrap();
+        if let Some(racer) = map.get(key) {
+            return Arc::clone(racer);
+        }
+        if obskit::enabled() {
+            obskit::global().add_counter("retrievekit.feature_cache_misses", 1);
+        }
+        if map.len() >= self.capacity {
+            map.clear();
+        }
+        map.insert(key.to_string(), Arc::clone(&value));
+        value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn second_lookup_reuses_the_first_build() {
+        let cache: FeatureCache<Vec<f32>> = FeatureCache::new(16);
+        let builds = AtomicUsize::new(0);
+        let a = cache.get_or_insert_with("q1", || {
+            builds.fetch_add(1, Ordering::Relaxed);
+            vec![1.0]
+        });
+        let b = cache.get_or_insert_with("q1", || {
+            builds.fetch_add(1, Ordering::Relaxed);
+            vec![2.0]
+        });
+        assert_eq!(builds.load(Ordering::Relaxed), 1);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn overflow_clears_rather_than_grows() {
+        let cache: FeatureCache<u32> = FeatureCache::new(2);
+        cache.get_or_insert_with("a", || 1);
+        cache.get_or_insert_with("b", || 2);
+        assert_eq!(cache.len(), 2);
+        cache.get_or_insert_with("c", || 3);
+        assert_eq!(cache.len(), 1, "overflow clears then inserts the newcomer");
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache: FeatureCache<u32> = FeatureCache::new(0);
+        cache.get_or_insert_with("a", || 1);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn concurrent_misses_converge_on_one_value() {
+        let cache: FeatureCache<u32> = FeatureCache::new(8);
+        let values: Vec<u32> = std::thread::scope(|scope| {
+            (0..8)
+                .map(|_| scope.spawn(|| *cache.get_or_insert_with("k", || 7)))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        assert!(values.iter().all(|&v| v == 7));
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -1,0 +1,38 @@
+//! # retrievekit — zero-alloc, cache-friendly top-k retrieval
+//!
+//! The engine behind example selection, DAIL-SQL's headline contribution
+//! and the hot path of every served request: each query scores the entire
+//! training pool and keeps the `k ≤ 16` best. This crate replaces the
+//! naive shape of that work —
+//!
+//! * one heap `Vec<f32>` per candidate → one contiguous row-major
+//!   [`EmbeddingMatrix`] with precomputed norms and a 4-way-unrolled
+//!   [`dot`] kernel;
+//! * full `O(n log n)` sort per query → streaming bounded-heap [`TopK`]
+//!   (`O(n + k log k)`), with explicit score-then-pool-index tie-breaking
+//!   so results are deterministic and bit-identical to the naive
+//!   [`full_sort`] oracle;
+//! * single-threaded scans of large pools → sharded scoring across
+//!   `DAIL_THREADS` workers ([`top_k_cosine`]), merged via a k-way heap,
+//!   identical output for any worker count;
+//! * per-strategy re-embedding of targets → a shared [`FeatureCache`].
+//!
+//! Instrumentation: `retrievekit.scored` counts candidates scored,
+//! `retrievekit.feature_cache_{hits,misses}` track target reuse, and
+//! callers (promptkit) time whole selections into the
+//! `retrievekit.select_ns` histogram. Benchmarks live in
+//! `crates/bench/benches/selection.rs`; the `dail_sql_cli select-bench`
+//! subcommand gates the ≥3× speedup over the committed naive reference in
+//! `scripts/check.sh`.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod matrix;
+pub mod shard;
+pub mod topk;
+
+pub use cache::FeatureCache;
+pub use matrix::{dot, EmbeddingMatrix};
+pub use shard::{resolve_threads, top_k_cosine, PARALLEL_THRESHOLD};
+pub use topk::{full_sort, merge_top_k, top_k, TopK};

@@ -1,0 +1,285 @@
+//! Partial top-k selection with deterministic tie-breaking.
+//!
+//! The pre-optimization selector materialized every `(score, idx)` pair
+//! and fully sorted the pool — `O(n log n)` for a `k ≤ 16` answer.
+//! [`TopK`] is a bounded binary heap holding only the `k` best candidates
+//! seen so far: a streaming pass is `O(n + k log k)` with the heap (k·8
+//! bytes) resident in L1.
+//!
+//! **Ranking contract.** Candidates are ordered by score descending, then
+//! pool index ascending. This is exactly what the old code's *stable*
+//! descending sort produced for equal scores, so the fast path returns
+//! bit-identical answers to the naive full-sort oracle ([`full_sort`]) —
+//! the property the proptest oracle in `tests/proptest_topk.rs` pins down,
+//! ties included. Scores must be non-NaN (cosines and skeleton
+//! similarities are); NaN would compare as equal-rank and fall back to the
+//! index tie-break.
+
+/// Rank order: `a` strictly before `b` (higher score, then lower index).
+#[inline]
+fn ranks_before<S: PartialOrd + Copy>(a: (S, u32), b: (S, u32)) -> bool {
+    match a.0.partial_cmp(&b.0) {
+        Some(core::cmp::Ordering::Greater) => true,
+        Some(core::cmp::Ordering::Less) => false,
+        _ => a.1 < b.1,
+    }
+}
+
+/// A bounded max-heap keeping the `k` best `(score, index)` candidates.
+///
+/// The root holds the *worst* kept candidate so a streaming push is one
+/// comparison in the common reject case.
+#[derive(Debug, Clone)]
+pub struct TopK<S> {
+    k: usize,
+    heap: Vec<(S, u32)>,
+}
+
+impl<S: PartialOrd + Copy> TopK<S> {
+    /// A collector for the `k` best candidates (`k = 0` keeps nothing).
+    pub fn new(k: usize) -> TopK<S> {
+        TopK {
+            k,
+            heap: Vec::with_capacity(k.min(1024)),
+        }
+    }
+
+    /// Offer one candidate.
+    #[inline]
+    pub fn push(&mut self, score: S, idx: u32) {
+        if self.k == 0 {
+            return;
+        }
+        if self.heap.len() < self.k {
+            self.heap.push((score, idx));
+            self.sift_up(self.heap.len() - 1);
+        } else if ranks_before((score, idx), self.heap[0]) {
+            self.heap[0] = (score, idx);
+            self.sift_down(0);
+        }
+    }
+
+    /// Number of kept candidates.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether nothing has been kept.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Consume the heap, returning candidates best-first
+    /// (score descending, index ascending).
+    pub fn into_sorted(mut self) -> Vec<(S, u32)> {
+        self.heap
+            .sort_unstable_by(|&a, &b| match b.0.partial_cmp(&a.0) {
+                Some(core::cmp::Ordering::Equal) | None => a.1.cmp(&b.1),
+                Some(ord) => ord,
+            });
+        self.heap
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        // Parent must rank *after* child (worst at the root).
+        while i > 0 {
+            let p = (i - 1) / 2;
+            if ranks_before(self.heap[p], self.heap[i]) {
+                self.heap.swap(p, i);
+                i = p;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut worst = i;
+            if l < self.heap.len() && ranks_before(self.heap[worst], self.heap[l]) {
+                worst = l;
+            }
+            if r < self.heap.len() && ranks_before(self.heap[worst], self.heap[r]) {
+                worst = r;
+            }
+            if worst == i {
+                return;
+            }
+            self.heap.swap(i, worst);
+            i = worst;
+        }
+    }
+}
+
+/// Collect the top `k` of a score stream (indices are stream positions).
+pub fn top_k<S: PartialOrd + Copy>(scores: impl Iterator<Item = S>, k: usize) -> Vec<(S, u32)> {
+    let mut heap = TopK::new(k);
+    for (i, s) in scores.enumerate() {
+        heap.push(s, i as u32);
+    }
+    heap.into_sorted()
+}
+
+/// The naive full-sort oracle the fast path must agree with byte-for-byte:
+/// materialize every score, stable-sort descending (ties keep stream
+/// order, i.e. index ascending), truncate to `k`. This is the committed
+/// pre-optimization behavior, kept as the reference for the proptest
+/// oracle and the `select-bench` agreement/perf gates.
+pub fn full_sort<S: PartialOrd + Copy>(scores: impl Iterator<Item = S>, k: usize) -> Vec<(S, u32)> {
+    let mut scored: Vec<(S, u32)> = scores.map(|s| (s, 0)).collect();
+    for (i, entry) in scored.iter_mut().enumerate() {
+        entry.1 = i as u32;
+    }
+    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(core::cmp::Ordering::Equal));
+    scored.truncate(k);
+    scored
+}
+
+/// Merge per-shard top-k lists (each already best-first) into the global
+/// top `k` via a k-way heap over the shard cursors.
+///
+/// Shard results carry *global* pool indices, so the merged ranking is
+/// identical to a single-shard pass over the whole pool — the output of
+/// [`crate::shard::top_k_cosine`] cannot depend on how rows were split
+/// across workers.
+pub fn merge_top_k<S: PartialOrd + Copy>(lists: &[Vec<(S, u32)>], k: usize) -> Vec<(S, u32)> {
+    // Heap of (candidate, shard, position-within-shard), best at the root.
+    let mut cursors: Vec<((S, u32), usize)> = Vec::with_capacity(lists.len());
+    for (shard, list) in lists.iter().enumerate() {
+        if let Some(&head) = list.first() {
+            cursors.push((head, shard));
+        }
+    }
+    // `lists.len()` is the worker count (small); sift on a Vec-heap keyed
+    // by the same rank order as TopK, best at the root this time.
+    let before = |a: &((S, u32), usize), b: &((S, u32), usize)| ranks_before(a.0, b.0);
+    let mut heap = KWayHeap {
+        items: cursors,
+        before,
+    };
+    heap.build();
+    let mut taken = vec![1usize; lists.len()];
+    let mut out = Vec::with_capacity(k);
+    while out.len() < k {
+        let Some((best, shard)) = heap.peek().copied() else {
+            break;
+        };
+        out.push(best);
+        match lists[shard].get(taken[shard]) {
+            Some(&next) => {
+                taken[shard] += 1;
+                heap.replace_root((next, shard));
+            }
+            None => heap.pop_root(),
+        }
+    }
+    out
+}
+
+/// Minimal binary heap with an explicit comparator (`std::BinaryHeap`
+/// needs `Ord`, which `f32`/`f64` scores don't have).
+struct KWayHeap<T, F: Fn(&T, &T) -> bool> {
+    items: Vec<T>,
+    before: F,
+}
+
+impl<T, F: Fn(&T, &T) -> bool> KWayHeap<T, F> {
+    fn build(&mut self) {
+        for i in (0..self.items.len() / 2).rev() {
+            self.sift_down(i);
+        }
+    }
+
+    fn peek(&self) -> Option<&T> {
+        self.items.first()
+    }
+
+    fn replace_root(&mut self, item: T) {
+        self.items[0] = item;
+        self.sift_down(0);
+    }
+
+    fn pop_root(&mut self) {
+        let last = self.items.len() - 1;
+        self.items.swap(0, last);
+        self.items.pop();
+        if !self.items.is_empty() {
+            self.sift_down(0);
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut best = i;
+            if l < self.items.len() && (self.before)(&self.items[l], &self.items[best]) {
+                best = l;
+            }
+            if r < self.items.len() && (self.before)(&self.items[r], &self.items[best]) {
+                best = r;
+            }
+            if best == i {
+                return;
+            }
+            self.items.swap(i, best);
+            i = best;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_k_matches_full_sort_on_distinct_scores() {
+        let scores = [0.3f32, 0.9, 0.1, 0.7, 0.5];
+        for k in 0..=6 {
+            assert_eq!(
+                top_k(scores.iter().copied(), k),
+                full_sort(scores.iter().copied(), k),
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn ties_break_by_lowest_index() {
+        let scores = [0.5f32, 0.5, 0.9, 0.5];
+        let got = top_k(scores.iter().copied(), 3);
+        assert_eq!(got, vec![(0.9, 2), (0.5, 0), (0.5, 1)]);
+        assert_eq!(got, full_sort(scores.iter().copied(), 3));
+    }
+
+    #[test]
+    fn k_zero_and_empty_streams() {
+        assert!(top_k([0.1f64].into_iter(), 0).is_empty());
+        assert!(top_k(std::iter::empty::<f64>(), 4).is_empty());
+    }
+
+    #[test]
+    fn merge_equals_single_pass() {
+        let scores = [0.2f32, 0.8, 0.8, 0.4, 0.9, 0.1, 0.8, 0.6];
+        let k = 4;
+        // Split into three uneven shards with global indices.
+        let shards: [&[usize]; 3] = [&[0, 1, 2], &[3, 4], &[5, 6, 7]];
+        let lists: Vec<Vec<(f32, u32)>> = shards
+            .iter()
+            .map(|idxs| {
+                let mut t = TopK::new(k);
+                for &i in idxs.iter() {
+                    t.push(scores[i], i as u32);
+                }
+                t.into_sorted()
+            })
+            .collect();
+        assert_eq!(merge_top_k(&lists, k), top_k(scores.iter().copied(), k));
+    }
+
+    #[test]
+    fn merge_handles_short_and_empty_shards() {
+        let lists: Vec<Vec<(f64, u32)>> = vec![vec![], vec![(0.4, 3)], vec![(0.4, 1), (0.2, 5)]];
+        assert_eq!(merge_top_k(&lists, 10), vec![(0.4, 1), (0.4, 3), (0.2, 5)]);
+    }
+}

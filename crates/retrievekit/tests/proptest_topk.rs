@@ -1,0 +1,69 @@
+//! Property tests pinning the fast top-k to the naive full-sort oracle.
+//!
+//! The scores are drawn from a tiny value set on purpose: real selection
+//! pools are full of duplicate questions (so exactly tied scores), and the
+//! tie-breaking contract — score descending, then pool index ascending —
+//! is where a heap implementation most easily diverges from the old stable
+//! sort. Shard counts are swept too, since the k-way merge must be
+//! oblivious to how rows were split across workers.
+
+use proptest::prelude::*;
+use retrievekit::{full_sort, merge_top_k, top_k, TopK};
+
+/// Scores with heavy duplication: 11 distinct values over up to 200 rows.
+fn tied_scores() -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec((0u32..11).prop_map(|v| v as f32 / 10.0), 0..200)
+}
+
+/// Shard `scores` into `shards` contiguous chunks, take a local top-k of
+/// each (with global indices), and merge — exactly what the threaded scan
+/// does, minus the threads.
+fn sharded(scores: &[f32], shards: usize, k: usize) -> Vec<(f32, u32)> {
+    let chunk = scores.len().div_ceil(shards).max(1);
+    let lists: Vec<Vec<(f32, u32)>> = (0..shards)
+        .map(|w| {
+            let lo = (w * chunk).min(scores.len());
+            let hi = ((w + 1) * chunk).min(scores.len());
+            let mut heap = TopK::new(k);
+            for (i, &s) in scores[lo..hi].iter().enumerate() {
+                heap.push(s, (lo + i) as u32);
+            }
+            heap.into_sorted()
+        })
+        .collect();
+    merge_top_k(&lists, k)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// The bounded heap returns exactly the naive full-sort selection —
+    /// same scores, same indices, same order — for any k, ties included.
+    #[test]
+    fn heap_equals_full_sort_oracle(scores in tied_scores(), k in 0usize..40) {
+        prop_assert_eq!(
+            top_k(scores.iter().copied(), k),
+            full_sort(scores.iter().copied(), k)
+        );
+    }
+
+    /// Sharded scan + k-way merge returns the same answer as a single
+    /// pass, for every shard count — the split points must be invisible.
+    #[test]
+    fn merge_is_shard_count_invariant(scores in tied_scores(), k in 1usize..20, shards in 1usize..9) {
+        prop_assert_eq!(
+            sharded(&scores, shards, k),
+            full_sort(scores.iter().copied(), k)
+        );
+    }
+
+    /// Ties never admit a later index over an earlier one: for all-equal
+    /// scores the selection is exactly the first k indices.
+    #[test]
+    fn all_ties_keep_first_indices(n in 0usize..120, k in 0usize..20) {
+        let scores = vec![0.5f32; n];
+        let got = top_k(scores.iter().copied(), k);
+        let want: Vec<(f32, u32)> = (0..n.min(k) as u32).map(|i| (0.5, i)).collect();
+        prop_assert_eq!(got, want);
+    }
+}

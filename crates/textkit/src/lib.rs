@@ -22,7 +22,7 @@ pub mod mask;
 pub mod similar;
 pub mod tokenizer;
 
-pub use embed::{embed, text_cosine, Embedding, DIM};
+pub use embed::{embed, embed_into, text_cosine, Embedding, DIM};
 pub use mask::{DomainMasker, MASK};
 pub use similar::{word_edit_similarity, word_jaccard};
 pub use tokenizer::Tokenizer;

@@ -1,20 +1,28 @@
 //! Generic text-similarity utilities: word Jaccard and normalized edit
 //! distance, used as alternatives/components of selection strategies.
+//!
+//! Both metrics tokenize by borrowing `&str` slices out of one lowercased
+//! buffer instead of allocating a `String` per word, and the Levenshtein
+//! core keeps a single row plus a diagonal temporary rather than two full
+//! rows — these run inside the selection loop, once per candidate.
 
-/// Lowercased word list of a text.
-fn words(text: &str) -> Vec<String> {
-    text.to_lowercase()
+/// Lowercased word list of a text, borrowing slices of `lower`.
+///
+/// `lower` must already be lowercased; the split keeps `<` and `>` so
+/// mask tokens like `<mask>` survive as words.
+fn words(lower: &str) -> Vec<&str> {
+    lower
         .split(|c: char| !c.is_alphanumeric() && c != '_' && c != '<' && c != '>')
         .filter(|w| !w.is_empty())
-        .map(|w| w.to_string())
         .collect()
 }
 
 /// Jaccard similarity over word sets, in `[0, 1]`.
 pub fn word_jaccard(a: &str, b: &str) -> f64 {
     use std::collections::HashSet;
-    let sa: HashSet<String> = words(a).into_iter().collect();
-    let sb: HashSet<String> = words(b).into_iter().collect();
+    let (la, lb) = (a.to_lowercase(), b.to_lowercase());
+    let sa: HashSet<&str> = words(&la).into_iter().collect();
+    let sb: HashSet<&str> = words(&lb).into_iter().collect();
     if sa.is_empty() && sb.is_empty() {
         return 1.0;
     }
@@ -25,8 +33,9 @@ pub fn word_jaccard(a: &str, b: &str) -> f64 {
 
 /// 1 − normalized word-level Levenshtein distance, in `[0, 1]`.
 pub fn word_edit_similarity(a: &str, b: &str) -> f64 {
-    let wa = words(a);
-    let wb = words(b);
+    let (la, lb) = (a.to_lowercase(), b.to_lowercase());
+    let wa = words(&la);
+    let wb = words(&lb);
     if wa.is_empty() && wb.is_empty() {
         return 1.0;
     }
@@ -34,19 +43,22 @@ pub fn word_edit_similarity(a: &str, b: &str) -> f64 {
     1.0 - d as f64 / wa.len().max(wb.len()) as f64
 }
 
+/// Levenshtein distance with one reused row: `row[j]` holds the previous
+/// row's value until the inner loop overwrites it, and `diag` carries the
+/// value that was at `row[j]` before the overwrite (the ↖ neighbor).
 fn levenshtein<T: PartialEq>(a: &[T], b: &[T]) -> usize {
-    let m = b.len();
-    let mut prev: Vec<usize> = (0..=m).collect();
-    let mut cur = vec![0usize; m + 1];
+    let mut row: Vec<usize> = (0..=b.len()).collect();
     for (i, ta) in a.iter().enumerate() {
-        cur[0] = i + 1;
+        let mut diag = row[0];
+        row[0] = i + 1;
         for (j, tb) in b.iter().enumerate() {
+            let up = row[j + 1];
             let cost = usize::from(ta != tb);
-            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+            row[j + 1] = (diag + cost).min(up + 1).min(row[j] + 1);
+            diag = up;
         }
-        std::mem::swap(&mut prev, &mut cur);
     }
-    prev[m]
+    row[b.len()]
 }
 
 #[cfg(test)]
@@ -84,5 +96,25 @@ mod tests {
     fn mask_tokens_participate() {
         // `<mask>` should count as a word so masked questions compare.
         assert!(word_jaccard("<mask> are there", "<mask> are there") > 0.99);
+    }
+
+    #[test]
+    fn single_row_levenshtein_matches_textbook_cases() {
+        fn d(a: &str, b: &str) -> usize {
+            let wa: Vec<char> = a.chars().collect();
+            let wb: Vec<char> = b.chars().collect();
+            levenshtein(&wa, &wb)
+        }
+        assert_eq!(d("", ""), 0);
+        assert_eq!(d("abc", ""), 3);
+        assert_eq!(d("", "abc"), 3);
+        assert_eq!(d("kitten", "sitting"), 3);
+        assert_eq!(d("flaw", "lawn"), 2);
+        assert_eq!(d("same", "same"), 0);
+    }
+
+    #[test]
+    fn edit_similarity_is_case_insensitive() {
+        assert!((word_edit_similarity("How Many", "how many") - 1.0).abs() < 1e-12);
     }
 }

@@ -61,6 +61,43 @@ if ! cmp -s target/serve-bench-report.md tests/golden/serve_bench_report.md; the
     exit 1
 fi
 
+echo "==> select-bench determinism gate (byte-identical across DAIL_THREADS)"
+# Selection results must not depend on the worker count: the sharded scan
+# carries global indices and the k-way merge uses the same
+# score-then-index ranking as a single-threaded pass. A pool above the
+# 4096-row parallel threshold makes DAIL_THREADS=4 actually shard.
+DAIL_THREADS=1 $CLI select-bench --pool 6000 --queries 12 --seed 11 --no-timing \
+    > target/select-bench-t1.md
+DAIL_THREADS=4 $CLI select-bench --pool 6000 --queries 12 --seed 11 --no-timing \
+    > target/select-bench-t4.md
+if ! cmp -s target/select-bench-t1.md target/select-bench-t4.md; then
+    echo "select-bench report differs between DAIL_THREADS=1 and =4:" >&2
+    diff target/select-bench-t1.md target/select-bench-t4.md >&2 || true
+    exit 1
+fi
+
+echo "==> select-bench perf floor (fast path >= 3x naive reference at 10k rows)"
+# The retrievekit fast path (contiguous f32 matrix + bounded-heap top-k)
+# must stay at least 3x the committed naive reference (per-row f64 cosine
+# + full stable sort) on a 10k-example synthetic pool. Timing needs
+# optimized code, hence the release profile. The run also hard-checks
+# every selection against the full-sort oracle (exit 1 on mismatch) and
+# emits the pool-size/throughput trajectory as target/BENCH_select.json.
+CLI_REL="cargo run -q --offline --release -p bench --bin dail_sql_cli --"
+$CLI_REL select-bench --pool 10000 --queries 50 --seed 2023 \
+    --json target/BENCH_select.json > target/select-bench-report.md 2>/dev/null
+speedup=$(sed -n 's/.*"speedup_vs_naive":\([0-9.]*\).*/\1/p' target/BENCH_select.json)
+if [ -z "$speedup" ]; then
+    echo "could not parse speedup_vs_naive from target/BENCH_select.json" >&2
+    exit 1
+fi
+if ! awk -v s="$speedup" 'BEGIN { exit !(s >= 3.0) }'; then
+    echo "selection fast path is only ${speedup}x the naive reference (floor: 3.0x)" >&2
+    cat target/select-bench-report.md >&2
+    exit 1
+fi
+echo "    speedup_vs_naive: ${speedup}x"
+
 echo "==> LIKE pathology timing guard"
 # The iterative LIKE matcher must answer adversarial many-% patterns
 # quickly; the old recursive matcher effectively hung here. 60s is a hard

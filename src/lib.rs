@@ -6,6 +6,9 @@
 //! * [`storage`] — in-memory relational engine (execution accuracy);
 //! * [`spider_gen`] — synthetic cross-domain Spider-like benchmark;
 //! * [`textkit`] — tokenizer, embeddings, masking;
+//! * [`retrievekit`] — zero-alloc, cache-friendly top-k retrieval engine
+//!   (contiguous embedding matrix, bounded-heap selection, sharded scans)
+//!   behind example selection;
 //! * [`promptkit`] — question representations, example selection and
 //!   organization (the paper's prompt-engineering space);
 //! * [`simllm`] — the calibrated stochastic semantic-parser LLM simulator;
@@ -39,6 +42,7 @@ pub use dail_core;
 pub use eval;
 pub use obskit;
 pub use promptkit;
+pub use retrievekit;
 pub use servekit;
 pub use simllm;
 pub use spider_gen;
