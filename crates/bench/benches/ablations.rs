@@ -101,6 +101,7 @@ fn ablate_sc(c: &mut Criterion) {
         tokenizer: &tokenizer,
         seed: 1,
         realistic: false,
+        trace: obskit::TraceContext::disabled(),
     };
     let item = &bench.dev[0];
     let mut g = c.benchmark_group("ablate_sc");

@@ -26,6 +26,7 @@ fn bench_experiments(c: &mut Criterion) {
         tokenizer: &tokenizer,
         seed: 1,
         realistic: false,
+        trace: obskit::TraceContext::disabled(),
     };
     let ctx_realistic = PredictCtx {
         realistic: true,
@@ -35,6 +36,7 @@ fn bench_experiments(c: &mut Criterion) {
             tokenizer: &tokenizer,
             seed: 1,
             realistic: true,
+            trace: obskit::TraceContext::disabled(),
         }
     };
     let item = &bench.dev[0];

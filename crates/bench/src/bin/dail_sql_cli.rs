@@ -7,6 +7,11 @@
 //! dail_sql_cli eval [--pipeline P] [--model M]    evaluate a pipeline, print summary
 //! dail_sql_cli serve-bench [--seed N] [--requests N] [--workers N]
 //!                                                 load-test the serving layer, print report
+//! dail_sql_cli slo-report [serve-bench flags] [--slo-latency-ms N] [--burn-alert B]
+//!                                                 serve the same load, print an SLO /
+//!                                                 burn-rate report
+//! dail_sql_cli metrics TRACE.jsonl                render a trace's counters, gauges and
+//!                                                 histograms as Prometheus text exposition
 //! dail_sql_cli select-bench --pool N --queries M --seed S
 //!                                                 benchmark example-selection retrieval,
 //!                                                 print a deterministic markdown report
@@ -51,10 +56,12 @@ fn main() {
         "ask" => ask(&flags),
         "eval" => run_eval(&flags),
         "serve-bench" => serve_bench(&flags),
+        "slo-report" => slo_report(&flags),
         "select-bench" => select_bench(&flags),
         "run-experiments" => run_experiments(&flags),
         "profile" => profile_trace(&positional, &flags),
         "flame" => flame_trace(&positional, &flags),
+        "metrics" => metrics_trace(&positional),
         "--help" | "-h" | "help" => usage(),
         other => {
             eprintln!("unknown command: {other}\n");
@@ -81,7 +88,15 @@ fn usage() {
          \u{20}\u{20}     [--queue N] [--cache N] [--retries N] [--deadline-ms N] [--trace FILE.jsonl]\n\
          \u{20}\u{20}                                         drive the fault-injected serving layer\n\
          \u{20}\u{20}                                         with a seeded load, print a markdown\n\
-         \u{20}\u{20}                                         report (deterministic given --seed)\n\
+         \u{20}\u{20}                                         report (deterministic given --seed);\n\
+         \u{20}\u{20}                                         DAIL_TRACE_SAMPLE=R head-samples\n\
+         \u{20}\u{20}                                         request traces at rate R\n\
+         \u{20}\u{20}slo-report [serve-bench flags] [--slo-latency-ms N] [--slo-latency-objective R]\n\
+         \u{20}\u{20}     [--slo-ex-objective R] [--slo-short-ms N] [--slo-long-ms N] [--burn-alert B]\n\
+         \u{20}\u{20}                                         serve the same seeded load and print a\n\
+         \u{20}\u{20}                                         deterministic SLO / burn-rate report\n\
+         \u{20}\u{20}metrics TRACE.jsonl                      render a recorded trace's metrics as\n\
+         \u{20}\u{20}                                         Prometheus text exposition\n\
          \u{20}\u{20}select-bench [--pool N] [--queries M] [--seed S] [--k K] [--json FILE]\n\
          \u{20}\u{20}     [--no-timing]                       score a synthetic pool with the\n\
          \u{20}\u{20}                                         retrievekit fast path vs the naive\n\
@@ -126,7 +141,7 @@ fn num_flag<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, de
     match flags.get(key) {
         None => default,
         Some(raw) => raw.parse().unwrap_or_else(|_| {
-            eprintln!("--{key} must be an integer, got {raw:?}");
+            eprintln!("--{key} must be a number, got {raw:?}");
             std::process::exit(2);
         }),
     }
@@ -354,11 +369,47 @@ fn run_eval(flags: &HashMap<String, String>) {
     finish_trace(&rec, trace_path);
 }
 
+/// Head-sampling rate for request traces, from `DAIL_TRACE_SAMPLE`
+/// (default 1.0 — trace every request when tracing is on). Unparsable
+/// values warn and fall back rather than abort: sampling is an
+/// observability knob, never a reason to refuse to serve.
+fn trace_sample_from_env() -> f64 {
+    match std::env::var("DAIL_TRACE_SAMPLE") {
+        Err(_) => 1.0,
+        Ok(raw) => match raw.parse::<f64>() {
+            Ok(v) if (0.0..=1.0).contains(&v) => v,
+            _ => {
+                eprintln!(
+                    "warning: DAIL_TRACE_SAMPLE must be a number in [0, 1], got {raw:?}; using 1.0"
+                );
+                1.0
+            }
+        },
+    }
+}
+
+/// One finished serve-bench run, owned (no borrows into the benchmark),
+/// shared by `serve-bench` and `slo-report`.
+struct ServeRun {
+    seed: u64,
+    predictor_name: String,
+    faults: simllm::FaultConfig,
+    reqs: Vec<servekit::ServeReq>,
+    outcomes: Vec<servekit::Outcome>,
+    stats: servekit::ServeStats,
+    /// Per-request EX verdict: `Some` for scored OK responses.
+    ex: Vec<Option<bool>>,
+    rec: obskit::Recorder,
+    trace_path: Option<PathBuf>,
+}
+
 /// Drive the servekit serving layer with a seeded load against injected
-/// faults and print the markdown report. Every reported number is
-/// deterministic given `--seed` — including across `--workers` settings —
-/// which is what makes the report golden-testable.
-fn serve_bench(flags: &HashMap<String, String>) {
+/// faults. Every number in the result is deterministic given `--seed` —
+/// including across `--workers` settings — which is what makes the
+/// reports golden-testable. EX scoring runs under each request's trace
+/// context, so traced runs show execution/comparison spans inside the
+/// request tree.
+fn run_serve(flags: &HashMap<String, String>) -> ServeRun {
     let predictor = build_predictor(flags);
     let pipeline = flag(flags, "pipeline", "dail").to_string();
     let seed: u64 = num_flag(flags, "seed", 7u64);
@@ -372,6 +423,7 @@ fn serve_bench(flags: &HashMap<String, String>) {
         tokenizer: &tokenizer,
         seed,
         realistic: flags.contains_key("realistic"),
+        trace: obskit::TraceContext::disabled(),
     };
     let faults = simllm::FaultConfig {
         seed,
@@ -393,6 +445,7 @@ fn serve_bench(flags: &HashMap<String, String>) {
         repr: pipeline,
         shots: 0,
         faults,
+        trace_sample: trace_sample_from_env(),
     };
     let load = servekit::LoadConfig {
         seed,
@@ -403,22 +456,42 @@ fn serve_bench(flags: &HashMap<String, String>) {
     let reqs = servekit::generate(&load, bench.dev.len());
     let out = servekit::serve(predictor.as_ref(), &ctx, &bench.dev, &reqs, &cfg);
 
-    let (mut ex_correct, mut ex_scored) = (0u64, 0u64);
-    for (req, outcome) in reqs.iter().zip(&out.outcomes) {
+    let mut ex: Vec<Option<bool>> = Vec::with_capacity(reqs.len());
+    for (i, (req, outcome)) in reqs.iter().zip(&out.outcomes).enumerate() {
         if let servekit::Outcome::Ok { sql, .. } = outcome {
             let item = &bench.dev[req.item_idx];
-            ex_scored += 1;
-            ex_correct += u64::from(eval::score_item(bench.db(item), item, sql).ex);
+            let score = eval::score_item_traced(bench.db(item), item, sql, out.traces[i]);
+            ex.push(Some(score.ex));
+        } else {
+            ex.push(None);
         }
     }
-    let s = &out.stats;
-    let report = servekit::ReportInput {
+    ServeRun {
         seed,
-        predictor: predictor.name(),
-        error_rate: faults.error_rate,
-        spike_rate: faults.spike_rate,
-        spike_ms: faults.spike_ms,
-        corrupt_rate: faults.corrupt_rate,
+        predictor_name: predictor.name(),
+        faults,
+        reqs,
+        outcomes: out.outcomes,
+        stats: out.stats,
+        ex,
+        rec,
+        trace_path,
+    }
+}
+
+/// `serve-bench`: run the seeded load and print the markdown report.
+fn serve_bench(flags: &HashMap<String, String>) {
+    let run = run_serve(flags);
+    let ex_scored = run.ex.iter().flatten().count() as u64;
+    let ex_correct = run.ex.iter().flatten().filter(|&&v| v).count() as u64;
+    let s = &run.stats;
+    let report = servekit::ReportInput {
+        seed: run.seed,
+        predictor: run.predictor_name.clone(),
+        error_rate: run.faults.error_rate,
+        spike_rate: run.faults.spike_rate,
+        spike_ms: run.faults.spike_ms,
+        corrupt_rate: run.faults.corrupt_rate,
         submitted: s.submitted,
         admitted: s.admitted,
         shed: s.shed,
@@ -436,7 +509,61 @@ fn serve_bench(flags: &HashMap<String, String>) {
         ex_scored,
     };
     print!("{}", servekit::render(&report));
-    finish_trace(&rec, trace_path);
+    finish_trace(&run.rec, run.trace_path);
+}
+
+/// `slo-report`: run the same seeded load as `serve-bench` and print the
+/// SLO / burn-rate report. Deterministic: every number runs on the
+/// serving layer's virtual clock.
+fn slo_report(flags: &HashMap<String, String>) {
+    let cfg = servekit::SloConfig {
+        latency_threshold_ms: num_flag(flags, "slo-latency-ms", 300u64),
+        latency_objective: rate_flag(flags, "slo-latency-objective", 0.95),
+        ex_objective: rate_flag(flags, "slo-ex-objective", 0.50),
+        short_window_ms: num_flag(flags, "slo-short-ms", 2_000u64),
+        long_window_ms: num_flag(flags, "slo-long-ms", 10_000u64),
+        burn_alert: num_flag(flags, "burn-alert", 2.0f64),
+    };
+    let run = run_serve(flags);
+    let outcomes: Vec<servekit::RequestOutcome> = run
+        .reqs
+        .iter()
+        .zip(&run.outcomes)
+        .zip(&run.ex)
+        .map(|((req, outcome), ex)| match outcome {
+            servekit::Outcome::Ok { latency_ms, .. } => servekit::RequestOutcome {
+                t_ms: req.arrival_ms + latency_ms,
+                served_ok: true,
+                latency_ms: *latency_ms,
+                ex: *ex,
+            },
+            servekit::Outcome::Overloaded => servekit::RequestOutcome {
+                t_ms: req.arrival_ms,
+                served_ok: false,
+                latency_ms: 0,
+                ex: None,
+            },
+            servekit::Outcome::DeadlineExceeded { latency_ms, .. }
+            | servekit::Outcome::Failed { latency_ms, .. } => servekit::RequestOutcome {
+                t_ms: req.arrival_ms + latency_ms,
+                served_ok: false,
+                latency_ms: *latency_ms,
+                ex: None,
+            },
+        })
+        .collect();
+    print!("{}", servekit::render_slo_report(&cfg, &outcomes));
+    finish_trace(&run.rec, run.trace_path);
+}
+
+/// `metrics`: render a recorded trace's counters, gauges and histograms
+/// as Prometheus text exposition on stdout.
+fn metrics_trace(positional: &[&String]) {
+    let [path] = positional else {
+        eprintln!("metrics requires a trace file: dail_sql_cli metrics TRACE.jsonl");
+        std::process::exit(2);
+    };
+    print!("{}", obskit::expo::render_events(&load_trace(path)));
 }
 
 // ---- select-bench: retrieval fast path vs naive reference ----
@@ -746,12 +873,24 @@ fn load_trace(path: &str) -> Vec<obskit::Event> {
         }
     };
     let (events, warnings) = obskit::parse_jsonl_lossy(&text);
-    if events.is_empty() && !warnings.is_empty() {
+    // A damaged trace still parses to the synthetic skipped-lines counter;
+    // only a trace with no *real* events at all is unusable.
+    let has_real_events = events.iter().any(|e| {
+        !matches!(e, obskit::Event::Counter { name, .. } if name == obskit::SKIPPED_LINES_COUNTER)
+    });
+    if !has_real_events && !warnings.is_empty() {
         eprintln!("invalid trace {path}: {}", warnings[0]);
         std::process::exit(2);
     }
     for w in &warnings {
         eprintln!("warning: {path}: skipped {w}");
+    }
+    if !warnings.is_empty() {
+        eprintln!(
+            "warning: {path}: {} line(s) skipped (counted as {})",
+            warnings.len(),
+            obskit::SKIPPED_LINES_COUNTER
+        );
     }
     events
 }

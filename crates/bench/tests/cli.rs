@@ -569,6 +569,325 @@ fn serve_bench_matches_committed_golden() {
     );
 }
 
+// ---- request telemetry: trace trees, sampling, exposition, SLOs ----
+
+/// `id -> (name, parent)` for every span in a trace.
+fn span_index(events: &[obskit::Event]) -> std::collections::HashMap<u64, (String, Option<u64>)> {
+    let mut idx = std::collections::HashMap::new();
+    for e in events {
+        if let obskit::Event::SpanStart {
+            id, parent, name, ..
+        } = e
+        {
+            idx.insert(*id, (name.clone(), *parent));
+        }
+    }
+    idx
+}
+
+/// Walk parent links from `id` until a span named `target` (returning its
+/// id) or the root. Panics on a broken link or a cycle.
+fn ancestor_named(
+    idx: &std::collections::HashMap<u64, (String, Option<u64>)>,
+    mut id: u64,
+    target: &str,
+) -> Option<u64> {
+    for _ in 0..idx.len() + 1 {
+        let (name, parent) = idx.get(&id).expect("parent link resolves");
+        if name == target {
+            return Some(id);
+        }
+        match parent {
+            Some(p) => id = *p,
+            None => return None,
+        }
+    }
+    panic!("cycle while walking ancestors of span {id}");
+}
+
+fn counter_value(events: &[obskit::Event], counter: &str) -> Option<u64> {
+    events.iter().find_map(|e| match e {
+        obskit::Event::Counter { name, value } if name == counter => Some(*value),
+        _ => None,
+    })
+}
+
+#[test]
+fn serve_bench_trace_forms_one_connected_tree_per_request() {
+    let trace = std::env::temp_dir().join("dail_cli_serve_tree.jsonl");
+    let _ = std::fs::remove_file(&trace);
+    let out = serve_bench_cmd(&["--trace", trace.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let events = obskit::parse_jsonl(&std::fs::read_to_string(&trace).unwrap()).unwrap();
+    let _ = std::fs::remove_file(&trace);
+    let idx = span_index(&events);
+
+    // Exactly one batch root, itself unparented.
+    let serve_ids: Vec<u64> = idx
+        .iter()
+        .filter(|(_, (n, _))| n == "servekit.serve")
+        .map(|(&id, _)| id)
+        .collect();
+    assert_eq!(serve_ids.len(), 1, "one serve batch span");
+    assert_eq!(idx[&serve_ids[0]].1, None);
+
+    // One request span per submitted request (default sample rate is 1.0),
+    // each a direct child of the batch span.
+    let request_ids: Vec<u64> = idx
+        .iter()
+        .filter(|(_, (n, _))| n == "servekit.request")
+        .map(|(&id, _)| id)
+        .collect();
+    assert_eq!(
+        request_ids.len() as u64,
+        counter_value(&events, "servekit.submitted").expect("submitted counter"),
+        "one request span per submitted request"
+    );
+    for &id in &request_ids {
+        assert_eq!(idx[&id].1, Some(serve_ids[0]), "request under batch span");
+    }
+
+    // Every other span walks its parent links into exactly one request
+    // tree: nothing float-free, nothing orphaned.
+    let mut names_by_request: std::collections::HashMap<u64, std::collections::HashSet<String>> =
+        std::collections::HashMap::new();
+    for (&id, (name, _)) in &idx {
+        if name == "servekit.serve" || name == "servekit.request" {
+            continue;
+        }
+        let req = ancestor_named(&idx, id, "servekit.request").unwrap_or_else(|| {
+            panic!("span {id} ({name}) is not connected to any servekit.request")
+        });
+        names_by_request
+            .entry(req)
+            .or_default()
+            .insert(name.clone());
+    }
+
+    // At least one request tree contains the full pipeline: admission,
+    // queue wait, cache lookup, the retry attempts, both DAIL stages with
+    // prompt build + selection + scoring + model call, and post-serve
+    // execution + comparison.
+    let full: Vec<&str> = vec![
+        "servekit.admission",
+        "servekit.queue_wait",
+        "servekit.cache_lookup",
+        "servekit.attempt",
+        "dail.preliminary",
+        "dail.main",
+        "promptkit.build_prompt",
+        "promptkit.select",
+        "retrievekit.score",
+        "simllm.complete",
+        "eval.execution",
+        "eval.comparison",
+    ];
+    assert!(
+        names_by_request
+            .values()
+            .any(|names| full.iter().all(|n| names.contains(*n))),
+        "no request tree contains the full pipeline; trees seen: {names_by_request:?}"
+    );
+}
+
+#[test]
+fn sampled_out_requests_emit_no_spans_but_still_count() {
+    let trace = std::env::temp_dir().join("dail_cli_sampled_out.jsonl");
+    let _ = std::fs::remove_file(&trace);
+    let out = serve_bench_cmd(&["--trace", trace.to_str().unwrap()])
+        .env("DAIL_TRACE_SAMPLE", "0")
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let events = obskit::parse_jsonl(&std::fs::read_to_string(&trace).unwrap()).unwrap();
+
+    // Zero request-scoped spans: only the batch span remains.
+    let span_names: Vec<&str> = events
+        .iter()
+        .filter_map(|e| match e {
+            obskit::Event::SpanStart { name, .. } => Some(name.as_str()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(span_names, vec!["servekit.serve"], "{span_names:?}");
+
+    // …but the metrics keep counting every request.
+    let submitted = counter_value(&events, "servekit.submitted").expect("submitted");
+    assert_eq!(counter_value(&events, "servekit.trace.sampled"), Some(0));
+    assert_eq!(
+        counter_value(&events, "servekit.trace.unsampled"),
+        Some(submitted)
+    );
+    assert!(counter_value(&events, "promptkit.prompts_built").unwrap_or(0) > 0);
+
+    // The rendered report is byte-identical to a fully-untraced run:
+    // telemetry never changes a reported number.
+    let untraced = serve_bench_cmd(&[]).output().expect("binary runs");
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&untraced.stdout)
+    );
+
+    // The exposition of that trace passes the in-repo mini-parser.
+    let metrics = cli()
+        .args(["metrics", trace.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(metrics.status.success());
+    let families =
+        obskit::expo::parse(&String::from_utf8_lossy(&metrics.stdout)).expect("exposition parses");
+    assert!(!families.is_empty());
+    let _ = std::fs::remove_file(&trace);
+}
+
+#[test]
+fn unparsable_trace_sample_warns_and_falls_back() {
+    let out = serve_bench_cmd(&[])
+        .env("DAIL_TRACE_SAMPLE", "lots")
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "unparsable DAIL_TRACE_SAMPLE must not abort: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("DAIL_TRACE_SAMPLE") && err.contains("lots"),
+        "stderr must name the rejected value: {err}"
+    );
+}
+
+#[test]
+fn metrics_exposition_matches_golden_and_parses() {
+    let run = |threads: &str| {
+        let out = cli()
+            .env("DAIL_THREADS", threads)
+            .args(["metrics", &fixture("baseline_trace.jsonl")])
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out.stdout
+    };
+    let a = run("1");
+    let b = run("4");
+    assert_eq!(a, b, "exposition must not depend on DAIL_THREADS");
+    assert_eq!(a, run("1"), "exposition must be stable across runs");
+
+    let text = String::from_utf8_lossy(&a).to_string();
+    let families = obskit::expo::parse(&text).expect("exposition passes the mini-parser");
+    assert!(!families.is_empty());
+
+    let golden = fixture("metrics_expo.txt");
+    if std::env::var("DAIL_UPDATE_GOLDEN").is_ok() {
+        std::fs::write(&golden, &text).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&golden)
+        .expect("golden exposition committed; regenerate with DAIL_UPDATE_GOLDEN=1");
+    assert_eq!(
+        text, expected,
+        "metrics exposition drifted from tests/golden/metrics_expo.txt; \
+         if intended, regenerate with DAIL_UPDATE_GOLDEN=1 cargo test -p bench"
+    );
+}
+
+/// The committed golden slo-report invocation (also gated by
+/// `scripts/check.sh`): the serve-bench golden load with a burn-rate
+/// threshold tuned so exactly one alert fires.
+fn slo_report_cmd(extra: &[&str]) -> Command {
+    let mut c = cli();
+    c.args([
+        "slo-report",
+        "--seed",
+        "7",
+        "--train",
+        "60",
+        "--dev",
+        "24",
+        "--requests",
+        "120",
+        "--mean-gap-ms",
+        "15",
+        "--queue",
+        "16",
+        "--burn-alert",
+        "4",
+    ]);
+    c.args(extra);
+    c
+}
+
+#[test]
+fn slo_report_is_deterministic_and_matches_golden() {
+    let run = |threads: &str, workers: &str| {
+        let out = slo_report_cmd(&["--workers", workers])
+            .env("DAIL_THREADS", threads)
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out.stdout
+    };
+    let a = run("1", "1");
+    let b = run("4", "6");
+    assert_eq!(
+        String::from_utf8_lossy(&a),
+        String::from_utf8_lossy(&b),
+        "slo-report must be byte-identical across workers and DAIL_THREADS"
+    );
+    assert_eq!(a, run("1", "1"), "slo-report must be stable across runs");
+
+    let text = String::from_utf8_lossy(&a).to_string();
+    assert_eq!(
+        text.lines().filter(|l| l.starts_with("- ALERT")).count(),
+        1,
+        "golden config fires exactly one burn-rate alert:\n{text}"
+    );
+    assert!(text.contains("| error budget remaining |"), "{text}");
+
+    let golden = fixture("slo_report.md");
+    if std::env::var("DAIL_UPDATE_GOLDEN").is_ok() {
+        std::fs::write(&golden, &text).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&golden)
+        .expect("golden slo-report committed; regenerate with DAIL_UPDATE_GOLDEN=1");
+    assert_eq!(
+        text, expected,
+        "slo-report drifted from tests/golden/slo_report.md; \
+         if intended, regenerate with DAIL_UPDATE_GOLDEN=1 cargo test -p bench"
+    );
+}
+
+#[test]
+fn metrics_requires_a_trace_file() {
+    let out = cli().arg("metrics").output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let out = cli()
+        .args(["metrics", "/nonexistent/trace.jsonl"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
 #[test]
 fn serve_bench_rejects_out_of_range_rate() {
     let out = cli()

@@ -8,7 +8,8 @@
 use crate::pipeline::{PredictCtx, Prediction, Predictor};
 use crate::self_consistency::vote_by_execution;
 use promptkit::{
-    build_prompt, OrganizationStrategy, PromptConfig, QuestionRepr, ReprOptions, SelectionStrategy,
+    build_prompt_traced, OrganizationStrategy, PromptConfig, QuestionRepr, ReprOptions,
+    SelectionStrategy,
 };
 use simllm::{extract_sql, GenOptions, SimLlm};
 use spider_gen::ExampleItem;
@@ -50,7 +51,7 @@ impl Predictor for ZeroShot {
             opts: self.opts,
             ..PromptConfig::zero_shot(self.repr)
         };
-        let bundle = build_prompt(
+        let bundle = build_prompt_traced(
             &cfg,
             ctx.bench,
             ctx.selector,
@@ -59,12 +60,14 @@ impl Predictor for ZeroShot {
             ctx.realistic,
             ctx.tokenizer,
             ctx.seed,
+            ctx.trace,
         );
         let had_prefix = bundle.text.trim_end().ends_with("SELECT");
         let out = self.model.complete(
             &bundle.text,
             &GenOptions {
                 seed: ctx.seed,
+                trace: ctx.trace,
                 ..Default::default()
             },
         );
@@ -125,7 +128,7 @@ impl Predictor for FewShot {
         let mut api_calls = 0;
         let preliminary = if self.use_preliminary {
             let cfg = PromptConfig::zero_shot(self.cfg.repr);
-            let bundle = build_prompt(
+            let bundle = build_prompt_traced(
                 &cfg,
                 ctx.bench,
                 ctx.selector,
@@ -134,11 +137,13 @@ impl Predictor for FewShot {
                 ctx.realistic,
                 ctx.tokenizer,
                 ctx.seed,
+                ctx.trace,
             );
             let out = self.model.complete(
                 &bundle.text,
                 &GenOptions {
                     seed: ctx.seed,
+                    trace: ctx.trace,
                     ..Default::default()
                 },
             );
@@ -150,7 +155,7 @@ impl Predictor for FewShot {
         } else {
             None
         };
-        let bundle = build_prompt(
+        let bundle = build_prompt_traced(
             &self.cfg,
             ctx.bench,
             ctx.selector,
@@ -159,12 +164,14 @@ impl Predictor for FewShot {
             ctx.realistic,
             ctx.tokenizer,
             ctx.seed,
+            ctx.trace,
         );
         let had_prefix = bundle.text.trim_end().ends_with("SELECT");
         let out = self.model.complete(
             &bundle.text,
             &GenOptions {
                 seed: ctx.seed,
+                trace: ctx.trace,
                 ..Default::default()
             },
         );
@@ -225,7 +232,7 @@ impl Predictor for DinSqlStyle {
             shots: self.shots,
             max_tokens: 8192,
         };
-        let bundle = build_prompt(
+        let bundle = build_prompt_traced(
             &cfg,
             ctx.bench,
             ctx.selector,
@@ -234,6 +241,7 @@ impl Predictor for DinSqlStyle {
             ctx.realistic,
             ctx.tokenizer,
             ctx.seed,
+            ctx.trace,
         );
         let had_prefix = bundle.text.trim_end().ends_with("SELECT");
         let mut prompt_tokens = bundle.tokens;
@@ -242,6 +250,7 @@ impl Predictor for DinSqlStyle {
             &bundle.text,
             &GenOptions {
                 seed: ctx.seed,
+                trace: ctx.trace,
                 ..Default::default()
             },
         );
@@ -259,6 +268,7 @@ impl Predictor for DinSqlStyle {
                 &bundle.text,
                 &GenOptions {
                     seed: ctx.seed ^ 0x5eed,
+                    trace: ctx.trace,
                     ..Default::default()
                 },
             );
@@ -306,7 +316,7 @@ impl Predictor for C3Style {
 
     fn predict(&self, ctx: &PredictCtx<'_>, item: &ExampleItem) -> Prediction {
         let cfg = PromptConfig::zero_shot(QuestionRepr::OpenAiDemo);
-        let bundle = build_prompt(
+        let bundle = build_prompt_traced(
             &cfg,
             ctx.bench,
             ctx.selector,
@@ -315,6 +325,7 @@ impl Predictor for C3Style {
             ctx.realistic,
             ctx.tokenizer,
             ctx.seed,
+            ctx.trace,
         );
         let had_prefix = bundle.text.trim_end().ends_with("SELECT");
         let mut prompt_tokens = 0;
@@ -327,6 +338,7 @@ impl Predictor for C3Style {
                     seed: ctx.seed,
                     temperature: 1.0,
                     sample_index: i as u32,
+                    trace: ctx.trace,
                 },
             );
             prompt_tokens += bundle.tokens;
@@ -362,6 +374,7 @@ mod tests {
             tokenizer: &tok,
             seed: 1,
             realistic: false,
+            trace: obskit::TraceContext::disabled(),
         };
         let item = &bench.dev[0];
 

@@ -7,7 +7,7 @@
 
 use crate::pipeline::{PredictCtx, Prediction, Predictor};
 use crate::self_consistency::vote_by_execution;
-use promptkit::{build_prompt, PromptConfig, QuestionRepr};
+use promptkit::{build_prompt_traced, PromptConfig, QuestionRepr};
 use simllm::{extract_sql, GenOptions, SimLlm};
 use spider_gen::ExampleItem;
 use sqlkit::parse_query;
@@ -48,8 +48,9 @@ impl DailSql {
         ctx: &PredictCtx<'_>,
         item: &ExampleItem,
     ) -> (Option<sqlkit::Query>, usize, usize) {
+        let (_span, tctx) = ctx.trace.span("dail.preliminary");
         let cfg = PromptConfig::zero_shot(QuestionRepr::CodeRepr);
-        let bundle = build_prompt(
+        let bundle = build_prompt_traced(
             &cfg,
             ctx.bench,
             ctx.selector,
@@ -58,11 +59,13 @@ impl DailSql {
             ctx.realistic,
             ctx.tokenizer,
             ctx.seed,
+            tctx,
         );
         let out = self.model.complete(
             &bundle.text,
             &GenOptions {
                 seed: ctx.seed,
+                trace: tctx,
                 ..Default::default()
             },
         );
@@ -87,8 +90,9 @@ impl Predictor for DailSql {
         let mut api_calls = 1;
 
         // Stage 2: DAIL prompt.
+        let (_span, tctx) = ctx.trace.span("dail.main");
         let cfg = PromptConfig::dail_sql(self.shots);
-        let bundle = build_prompt(
+        let bundle = build_prompt_traced(
             &cfg,
             ctx.bench,
             ctx.selector,
@@ -97,6 +101,7 @@ impl Predictor for DailSql {
             ctx.realistic,
             ctx.tokenizer,
             ctx.seed,
+            tctx,
         );
         let had_prefix = bundle.text.trim_end().ends_with("SELECT");
 
@@ -105,6 +110,7 @@ impl Predictor for DailSql {
                 &bundle.text,
                 &GenOptions {
                     seed: ctx.seed,
+                    trace: tctx,
                     ..Default::default()
                 },
             );
@@ -125,6 +131,7 @@ impl Predictor for DailSql {
                         seed: ctx.seed,
                         temperature,
                         sample_index: i as u32,
+                        trace: tctx,
                     },
                 );
                 prompt_tokens += bundle.tokens;
@@ -173,6 +180,7 @@ mod tests {
             tokenizer: &tok,
             seed: 3,
             realistic: false,
+            trace: obskit::TraceContext::disabled(),
         };
         let pipe = DailSql::new(SimLlm::new("gpt-4").unwrap());
         let mut parseable = 0;
@@ -198,6 +206,7 @@ mod tests {
             tokenizer: &tok,
             seed: 3,
             realistic: false,
+            trace: obskit::TraceContext::disabled(),
         };
         let greedy = DailSql::new(SimLlm::new("gpt-4").unwrap());
         let sc = DailSql::with_self_consistency(SimLlm::new("gpt-4").unwrap(), 5);

@@ -16,7 +16,14 @@
 //! let bench = Benchmark::generate(BenchmarkConfig::tiny());
 //! let selector = ExampleSelector::new(&bench);
 //! let tokenizer = Tokenizer::new();
-//! let ctx = PredictCtx { bench: &bench, selector: &selector, tokenizer: &tokenizer, seed: 1, realistic: false };
+//! let ctx = PredictCtx {
+//!     bench: &bench,
+//!     selector: &selector,
+//!     tokenizer: &tokenizer,
+//!     seed: 1,
+//!     realistic: false,
+//!     trace: obskit::TraceContext::disabled(),
+//! };
 //! let dail = DailSql::new(SimLlm::new("gpt-4").unwrap());
 //! let pred = dail.predict(&ctx, &bench.dev[0]);
 //! assert!(!pred.sql.is_empty());

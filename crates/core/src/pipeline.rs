@@ -5,6 +5,10 @@ use spider_gen::{Benchmark, ExampleItem};
 use textkit::Tokenizer;
 
 /// Shared context for one evaluation run.
+///
+/// `Copy`, so per-request variants (e.g. with a request-scoped
+/// [`obskit::TraceContext`]) can be minted cheaply from a shared base.
+#[derive(Clone, Copy)]
 pub struct PredictCtx<'a> {
     /// The benchmark (databases + splits).
     pub bench: &'a Benchmark,
@@ -16,6 +20,10 @@ pub struct PredictCtx<'a> {
     pub seed: u64,
     /// Evaluate on Spider-Realistic questions instead of standard ones.
     pub realistic: bool,
+    /// Request-scoped trace context; prediction stages open their spans
+    /// under it. [`obskit::TraceContext::disabled`] for untraced runs.
+    /// Never affects predictions.
+    pub trace: obskit::TraceContext,
 }
 
 /// One prediction with its cost accounting.

@@ -137,6 +137,7 @@ pub fn analyze_errors(
         tokenizer: &tokenizer,
         seed,
         realistic: false,
+        trace: obskit::TraceContext::disabled(),
     };
     let mut out = ErrorBreakdown::default();
     for item in items {

@@ -187,6 +187,7 @@ pub fn evaluate_opts(
                         tokenizer: &tokenizer,
                         seed,
                         realistic,
+                        trace: obskit::TraceContext::disabled(),
                     };
                     part.iter()
                         .map(|item| {

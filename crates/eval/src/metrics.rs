@@ -17,11 +17,32 @@ pub struct ItemScore {
 
 /// Score one predicted SQL string against an item's gold query.
 pub fn score_item(db: &Database, item: &ExampleItem, pred_sql: &str) -> ItemScore {
+    score_item_traced(db, item, pred_sql, obskit::TraceContext::disabled())
+}
+
+/// [`score_item`] under a request trace context: query execution runs
+/// in an `eval.execution` span and the result comparison in an
+/// `eval.comparison` span, completing the per-request trace tree
+/// (admission → … → execution → comparison). Scores are identical to
+/// the untraced path.
+pub fn score_item_traced(
+    db: &Database,
+    item: &ExampleItem,
+    pred_sql: &str,
+    trace: obskit::TraceContext,
+) -> ItemScore {
     let Ok(pred) = parse_query(pred_sql) else {
         return ItemScore::default();
     };
     let em = exact_set_match(&item.gold, &pred);
-    let Ok(pred_rs) = execute_query(db, &pred) else {
+    let executed = {
+        let (_span, _) = trace.span("eval.execution");
+        execute_query(db, &pred).map(|pred_rs| {
+            let gold_rs = execute_query(db, &item.gold).expect("gold queries always execute");
+            (pred_rs, gold_rs)
+        })
+    };
+    let Ok((pred_rs, gold_rs)) = executed else {
         // EM can hold even for un-executable predictions in principle, but
         // Spider counts such predictions as failures on both metrics.
         return ItemScore {
@@ -30,9 +51,11 @@ pub fn score_item(db: &Database, item: &ExampleItem, pred_sql: &str) -> ItemScor
             em: false,
         };
     };
-    let gold_rs = execute_query(db, &item.gold).expect("gold queries always execute");
     let ordered = has_top_level_order(&item.gold);
-    let ex = results_match(&gold_rs, &pred_rs, ordered);
+    let ex = {
+        let (_span, _) = trace.span("eval.comparison");
+        results_match(&gold_rs, &pred_rs, ordered)
+    };
     ItemScore {
         valid: true,
         ex,

@@ -1,0 +1,475 @@
+//! Prometheus text exposition for obskit metrics.
+//!
+//! Renders a [`MetricsSnapshot`] (or the metric-summary events of a
+//! recorded trace) in the Prometheus text exposition format: one
+//! `# TYPE` line per family, counter/gauge samples, and
+//! `_bucket`/`_sum`/`_count` series derived from the log₂
+//! [`Histogram`]s. Bucket upper bounds are the histogram's power-of-two
+//! bucket bounds, emitted cumulatively and terminated with `+Inf`, as
+//! the format requires.
+//!
+//! Output is deterministic: families render in sorted name order (the
+//! snapshot maps are `BTreeMap`s) and label sets are written in a fixed
+//! order, so expositions of the same metrics are byte-identical — which
+//! is what lets `scripts/check.sh` golden-gate them.
+//!
+//! [`parse`] is a small validating parser for the same format, used by
+//! tests to prove CLI output is well-formed (names, label syntax,
+//! family/sample agreement, cumulative non-decreasing buckets ending in
+//! `+Inf`, `_count` == `+Inf` bucket).
+
+use crate::event::Event;
+use crate::hist::{bucket_high, Histogram};
+use crate::recorder::MetricsSnapshot;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Sanitize a metric name into the Prometheus charset
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): dots and other invalid characters
+/// become underscores, and a leading digit is prefixed with one.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if ok {
+            out.push(c);
+        } else if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Format a sample value: integers without a fractional part, floats in
+/// Rust's shortest round-trip form, non-finite values in Prometheus
+/// spelling (`NaN`, `+Inf`, `-Inf`).
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else if v.fract() == 0.0 && v.abs() < 9.007_199_254_740_992e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn render_histogram(out: &mut String, name: &str, h: &Histogram) {
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let mut cumulative = 0u64;
+    for (i, n) in h.occupied() {
+        cumulative += n;
+        let _ = writeln!(
+            out,
+            "{name}_bucket{{le=\"{}\"}} {cumulative}",
+            bucket_high(i as usize)
+        );
+    }
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count());
+    let _ = writeln!(out, "{name}_sum {}", h.sum());
+    let _ = writeln!(out, "{name}_count {}", h.count());
+}
+
+/// Render a metrics snapshot in Prometheus text exposition format.
+pub fn render(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snap.counters {
+        let name = sanitize_name(name);
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, value) in &snap.gauges {
+        let name = sanitize_name(name);
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {}", fmt_value(*value));
+    }
+    for (name, h) in &snap.histograms {
+        render_histogram(&mut out, &sanitize_name(name), h);
+    }
+    out
+}
+
+/// Fold the metric-summary events of a trace into a snapshot and render
+/// it. Counter events with the same name are summed, gauges keep the
+/// last value, histograms are merged. Span and meta events are ignored.
+pub fn render_events(events: &[Event]) -> String {
+    let mut snap = MetricsSnapshot::default();
+    for ev in events {
+        match ev {
+            Event::Counter { name, value } => {
+                *snap.counters.entry(name.clone()).or_insert(0) += value;
+            }
+            Event::Gauge { name, value } => {
+                snap.gauges.insert(name.clone(), *value);
+            }
+            Event::Histogram {
+                name,
+                count,
+                sum,
+                min,
+                max,
+                buckets,
+            } => {
+                let h = Histogram::from_parts(*count, *sum, *min, *max, buckets);
+                snap.histograms.entry(name.clone()).or_default().merge(&h);
+            }
+            _ => {}
+        }
+    }
+    render(&snap)
+}
+
+/// Kind of a metric family, from its `# TYPE` line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FamilyKind {
+    /// Monotonic counter.
+    Counter,
+    /// Point-in-time gauge.
+    Gauge,
+    /// Cumulative-bucket histogram.
+    Histogram,
+}
+
+/// One sample line of an exposition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Full sample name (may carry a `_bucket`/`_sum`/`_count` suffix).
+    pub name: String,
+    /// Label pairs in source order.
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+/// A parsed metric family: its `# TYPE` declaration plus samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Family {
+    /// Family name.
+    pub name: String,
+    /// Declared kind.
+    pub kind: FamilyKind,
+    /// Samples belonging to this family.
+    pub samples: Vec<Sample>,
+}
+
+fn valid_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn parse_value(s: &str) -> Option<f64> {
+    match s {
+        "+Inf" => Some(f64::INFINITY),
+        "-Inf" => Some(f64::NEG_INFINITY),
+        "NaN" => Some(f64::NAN),
+        _ => s.parse().ok(),
+    }
+}
+
+fn parse_labels(s: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut rest = s;
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("label without '=': {rest:?}"))?;
+        let key = &rest[..eq];
+        if !valid_name(key) {
+            return Err(format!("bad label name {key:?}"));
+        }
+        rest = &rest[eq + 1..];
+        if !rest.starts_with('"') {
+            return Err(format!("label value must be quoted: {rest:?}"));
+        }
+        let close = rest[1..]
+            .find('"')
+            .ok_or_else(|| format!("unterminated label value: {rest:?}"))?;
+        labels.push((key.to_string(), rest[1..1 + close].to_string()));
+        rest = &rest[close + 2..];
+        if let Some(r) = rest.strip_prefix(',') {
+            rest = r;
+        } else if !rest.is_empty() {
+            return Err(format!("junk after label value: {rest:?}"));
+        }
+    }
+    Ok(labels)
+}
+
+fn check_histogram(fam: &Family) -> Result<(), String> {
+    let name = &fam.name;
+    let mut buckets: Vec<(f64, f64)> = Vec::new();
+    let (mut count, mut sum) = (None, None);
+    for s in &fam.samples {
+        if s.name == format!("{name}_bucket") {
+            let le = s
+                .labels
+                .iter()
+                .find(|(k, _)| k == "le")
+                .ok_or_else(|| format!("{name}: bucket sample without le label"))?;
+            let bound = parse_value(&le.1)
+                .ok_or_else(|| format!("{name}: unparsable le bound {:?}", le.1))?;
+            buckets.push((bound, s.value));
+        } else if s.name == format!("{name}_count") {
+            count = Some(s.value);
+        } else if s.name == format!("{name}_sum") {
+            sum = Some(s.value);
+        }
+    }
+    if buckets.is_empty() {
+        return Err(format!("{name}: histogram without buckets"));
+    }
+    for w in buckets.windows(2) {
+        if w[1].0 <= w[0].0 {
+            return Err(format!("{name}: le bounds not increasing"));
+        }
+        if w[1].1 < w[0].1 {
+            return Err(format!("{name}: bucket counts not cumulative"));
+        }
+    }
+    let last = buckets.last().unwrap();
+    if !last.0.is_infinite() {
+        return Err(format!("{name}: last bucket must be +Inf"));
+    }
+    let count = count.ok_or_else(|| format!("{name}: missing _count"))?;
+    sum.ok_or_else(|| format!("{name}: missing _sum"))?;
+    if count != last.1 {
+        return Err(format!("{name}: _count != +Inf bucket"));
+    }
+    Ok(())
+}
+
+/// Parse and validate a Prometheus text exposition.
+///
+/// Checks metric/label name charsets, that every sample belongs to the
+/// family declared immediately above it, that families are not
+/// redeclared, and that histogram series are complete (cumulative
+/// non-decreasing `_bucket`s ending in `+Inf`, with `_sum` and a
+/// `_count` equal to the `+Inf` bucket).
+pub fn parse(text: &str) -> Result<Vec<Family>, String> {
+    let mut families: Vec<Family> = Vec::new();
+    let mut seen: BTreeMap<String, ()> = BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let (name, kind) = (it.next().unwrap_or(""), it.next().unwrap_or(""));
+            if !valid_name(name) {
+                return Err(format!("line {n}: bad family name {name:?}"));
+            }
+            if it.next().is_some() {
+                return Err(format!("line {n}: junk after TYPE line"));
+            }
+            let kind = match kind {
+                "counter" => FamilyKind::Counter,
+                "gauge" => FamilyKind::Gauge,
+                "histogram" => FamilyKind::Histogram,
+                other => return Err(format!("line {n}: unknown family kind {other:?}")),
+            };
+            if seen.insert(name.to_string(), ()).is_some() {
+                return Err(format!("line {n}: family {name:?} redeclared"));
+            }
+            families.push(Family {
+                name: name.to_string(),
+                kind,
+                samples: Vec::new(),
+            });
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP or free-form comment
+        }
+        let (name_labels, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {n}: sample without value"))?;
+        let value = parse_value(value).ok_or_else(|| format!("line {n}: bad value {value:?}"))?;
+        let (name, labels) = match name_labels.split_once('{') {
+            Some((name, rest)) => {
+                let body = rest
+                    .strip_suffix('}')
+                    .ok_or_else(|| format!("line {n}: unterminated label set"))?;
+                (
+                    name,
+                    parse_labels(body).map_err(|e| format!("line {n}: {e}"))?,
+                )
+            }
+            None => (name_labels, Vec::new()),
+        };
+        if !valid_name(name) {
+            return Err(format!("line {n}: bad sample name {name:?}"));
+        }
+        let fam = families
+            .last_mut()
+            .ok_or_else(|| format!("line {n}: sample before any TYPE line"))?;
+        let belongs = match fam.kind {
+            FamilyKind::Counter | FamilyKind::Gauge => name == fam.name,
+            FamilyKind::Histogram => {
+                name == format!("{}_bucket", fam.name)
+                    || name == format!("{}_sum", fam.name)
+                    || name == format!("{}_count", fam.name)
+            }
+        };
+        if !belongs {
+            return Err(format!(
+                "line {n}: sample {name:?} does not belong to family {:?}",
+                fam.name
+            ));
+        }
+        fam.samples.push(Sample {
+            name: name.to_string(),
+            labels,
+            value,
+        });
+    }
+    for fam in &families {
+        match fam.kind {
+            FamilyKind::Histogram => check_histogram(fam)?,
+            _ => {
+                if fam.samples.len() != 1 {
+                    return Err(format!(
+                        "{}: expected exactly one sample, got {}",
+                        fam.name,
+                        fam.samples.len()
+                    ));
+                }
+            }
+        }
+    }
+    Ok(families)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap_with_all() -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.insert("eval.items".into(), 24);
+        snap.counters.insert("servekit.shed".into(), 3);
+        snap.gauges.insert("eval.ex_pct".into(), 61.5);
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 3, 900, 901] {
+            h.record(v);
+        }
+        snap.histograms.insert("servekit.latency_ms".into(), h);
+        snap
+    }
+
+    #[test]
+    fn render_is_valid_and_deterministic() {
+        let snap = snap_with_all();
+        let a = render(&snap);
+        let b = render(&snap);
+        assert_eq!(a, b);
+        let fams = parse(&a).unwrap();
+        assert_eq!(fams.len(), 4);
+        assert!(a.contains("# TYPE eval_items counter"));
+        assert!(a.contains("eval_items 24"));
+        assert!(a.contains("eval_ex_pct 61.5"));
+        assert!(a.contains("servekit_latency_ms_bucket{le=\"+Inf\"} 5"));
+        assert!(a.contains("servekit_latency_ms_count 5"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_log2_bounds() {
+        let snap = snap_with_all();
+        let text = render(&snap);
+        // 0 → bucket 0 (le=0), 1 → bucket 1 (le=1), 3 → bucket 2 (le=3),
+        // 900/901 → bucket 10 (le=1023).
+        assert!(text.contains("servekit_latency_ms_bucket{le=\"0\"} 1"));
+        assert!(text.contains("servekit_latency_ms_bucket{le=\"1\"} 2"));
+        assert!(text.contains("servekit_latency_ms_bucket{le=\"3\"} 3"));
+        assert!(text.contains("servekit_latency_ms_bucket{le=\"1023\"} 5"));
+    }
+
+    #[test]
+    fn render_events_folds_metric_summaries() {
+        let events = vec![
+            Event::Counter {
+                name: "a.b".into(),
+                value: 2,
+            },
+            Event::Counter {
+                name: "a.b".into(),
+                value: 3,
+            },
+            Event::Gauge {
+                name: "g".into(),
+                value: 1.0,
+            },
+            Event::Gauge {
+                name: "g".into(),
+                value: 2.5,
+            },
+            Event::Histogram {
+                name: "h".into(),
+                count: 2,
+                sum: 5,
+                min: 2,
+                max: 3,
+                buckets: vec![(2, 2)],
+            },
+        ];
+        let text = render_events(&events);
+        assert!(text.contains("a_b 5"));
+        assert!(text.contains("g 2.5"));
+        assert!(text.contains("h_count 2"));
+        parse(&text).unwrap();
+    }
+
+    #[test]
+    fn sanitize_fixes_bad_names() {
+        assert_eq!(sanitize_name("a.b-c"), "a_b_c");
+        assert_eq!(sanitize_name("9lives"), "_9lives");
+        assert_eq!(sanitize_name("ok_name:x9"), "ok_name:x9");
+        assert_eq!(sanitize_name(""), "_");
+    }
+
+    #[test]
+    fn parser_rejects_malformed_expositions() {
+        assert!(parse("no_type_line 1\n").is_err());
+        assert!(parse("# TYPE x widget\nx 1\n").is_err());
+        assert!(parse("# TYPE x counter\ny 1\n").is_err());
+        assert!(parse("# TYPE x counter\nx 1\n# TYPE x counter\nx 2\n").is_err());
+        assert!(parse("# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n").is_err());
+        // Non-cumulative buckets.
+        assert!(parse(
+            "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 2\n"
+        )
+        .is_err());
+        // _count disagrees with +Inf bucket.
+        assert!(
+            parse("# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n").is_err()
+        );
+    }
+
+    #[test]
+    fn parser_accepts_minimal_valid_families() {
+        let text = "# TYPE c counter\nc 1\n# TYPE g gauge\ng NaN\n\
+                    # TYPE h histogram\nh_bucket{le=\"7\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 4\nh_count 1\n";
+        let fams = parse(text).unwrap();
+        assert_eq!(fams.len(), 3);
+        assert_eq!(fams[2].samples.len(), 4);
+    }
+
+    #[test]
+    fn value_formatting_is_stable() {
+        assert_eq!(fmt_value(0.0), "0");
+        assert_eq!(fmt_value(61.5), "61.5");
+        assert_eq!(fmt_value(f64::INFINITY), "+Inf");
+        assert_eq!(fmt_value(f64::NAN), "NaN");
+    }
+}

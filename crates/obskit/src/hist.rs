@@ -113,8 +113,15 @@ impl Histogram {
         }
     }
 
-    /// Approximate quantile (`q` in `[0, 1]`): the upper bound of the
-    /// bucket containing the `q`-th observation. Returns 0 when empty.
+    /// Approximate quantile (`q` in `[0, 1]`), with *bucket-upper-bound*
+    /// semantics: the estimate is the inclusive upper bound of the log₂
+    /// bucket containing the `q`-th observation (nearest-rank, 1-based
+    /// `ceil(q·count)`), clamped into `[min, max]` so it never leaves the
+    /// observed range. The estimate therefore never under-reports: the
+    /// true quantile is ≤ the returned value, and within 2× of it (one
+    /// power-of-two bucket). Exact when every observation in the target
+    /// bucket equals the clamp bound (e.g. single-value histograms).
+    /// Returns 0 when empty.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -128,6 +135,21 @@ impl Histogram {
             }
         }
         self.max
+    }
+
+    /// Median estimate: `quantile(0.50)` (bucket-upper-bound semantics).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate: `quantile(0.90)`.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate: `quantile(0.99)`.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
     }
 
     /// Occupied buckets as `(index, count)` pairs, ascending.
@@ -217,6 +239,46 @@ mod tests {
         // Median falls in the bucket holding 20..=30.
         let q50 = h.quantile(0.5);
         assert!((16..=63).contains(&q50), "{q50}");
+    }
+
+    #[test]
+    fn quantiles_at_bucket_boundaries() {
+        // All mass on the boundary values themselves: estimates are exact
+        // because of the [min, max] clamp.
+        for v in [0u64, 1, 2, 4, 1 << 32, u64::MAX] {
+            let mut h = Histogram::new();
+            h.record(v);
+            assert_eq!(h.p50(), v, "single value {v}");
+            assert_eq!(h.p90(), v);
+            assert_eq!(h.p99(), v);
+        }
+        // Two buckets: p50 reports the lower bucket's upper bound, p99
+        // the upper bucket's (clamped to max).
+        let mut h = Histogram::new();
+        h.record(4);
+        h.record(1024);
+        assert_eq!(h.p50(), 7); // bucket [4, 7], upper bound 7
+        assert_eq!(h.p99(), 1024); // bucket [1024, 2047] clamped to max
+                                   // Upper-bound semantics: estimate never under-reports the true
+                                   // quantile and stays within one power-of-two bucket of it.
+        let mut h = Histogram::new();
+        for v in [3u64, 5, 9, 17, 33] {
+            h.record(v);
+        }
+        assert_eq!(h.p50(), 15); // rank 3 → 9, bucket [8, 15]
+        assert!(h.p50() >= 9 && h.p50() < 2 * 9);
+        assert_eq!(h.p99(), 33); // rank 5 → 33, bucket [32, 63] clamped to max
+    }
+
+    #[test]
+    fn quantile_rank_edges() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.quantile(0.0), 0); // rank clamps to 1 → first bucket
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+        assert_eq!(h.p99(), u64::MAX);
     }
 
     #[test]

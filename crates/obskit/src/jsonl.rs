@@ -469,10 +469,20 @@ pub fn parse_jsonl(text: &str) -> Result<Vec<Event>, String> {
         .collect()
 }
 
+/// Counter name under which [`parse_jsonl_lossy`] reports the number of
+/// lines it skipped.
+pub const SKIPPED_LINES_COUNTER: &str = "obskit.jsonl.skipped_lines";
+
 /// Parse a JSONL document leniently: malformed, truncated or non-event
 /// lines are skipped and returned as `line N: reason` warnings instead of
 /// failing the whole parse. A crashed run's partial trace (whose final
 /// line is typically cut mid-object) still yields every intact event.
+///
+/// When any line was skipped, a synthetic
+/// [`Event::Counter`] named [`SKIPPED_LINES_COUNTER`] carrying the skip
+/// count is appended to the returned events, so data loss shows up in
+/// the *metrics* of everything built on the lossy parse (profiles,
+/// expositions), not only in stderr warnings.
 pub fn parse_jsonl_lossy(text: &str) -> (Vec<Event>, Vec<String>) {
     let mut events = Vec::new();
     let mut warnings = Vec::new();
@@ -484,6 +494,12 @@ pub fn parse_jsonl_lossy(text: &str) -> (Vec<Event>, Vec<String>) {
             Ok(ev) => events.push(ev),
             Err(e) => warnings.push(format!("line {}: {e}", i + 1)),
         }
+    }
+    if !warnings.is_empty() {
+        events.push(Event::Counter {
+            name: SKIPPED_LINES_COUNTER.to_string(),
+            value: warnings.len() as u64,
+        });
     }
     (events, warnings)
 }
@@ -645,10 +661,27 @@ mod tests {
         // one non-JSON line.
         let doc = format!("{line}\n{}\nnot json\n{line}\n", &line[..line.len() / 2]);
         let (events, warnings) = parse_jsonl_lossy(&doc);
-        assert_eq!(events, vec![good.clone(), good]);
+        // Intact events, plus a synthetic counter reporting the skips.
+        let skip_counter = Event::Counter {
+            name: SKIPPED_LINES_COUNTER.into(),
+            value: 2,
+        };
+        assert_eq!(events, vec![good.clone(), good, skip_counter]);
         assert_eq!(warnings.len(), 2, "{warnings:?}");
         assert!(warnings[0].starts_with("line 2"), "{warnings:?}");
         assert!(warnings[1].starts_with("line 3"), "{warnings:?}");
+    }
+
+    #[test]
+    fn lossy_parse_of_clean_input_adds_no_counter() {
+        let good = Event::Counter {
+            name: "a".into(),
+            value: 1,
+        };
+        let doc = format!("{}\n", to_json_line(&good));
+        let (events, warnings) = parse_jsonl_lossy(&doc);
+        assert_eq!(events, vec![good]);
+        assert!(warnings.is_empty());
     }
 
     #[test]

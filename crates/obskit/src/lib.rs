@@ -17,6 +17,11 @@
 //!   self-times, counters, histograms) with a CI regression gate.
 //! * [`Flame`] — folds a span trace into merged stacks and renders
 //!   folded-stack text or a self-contained `flamegraph.svg`.
+//! * [`TraceContext`] — request-scoped context (request id, parent span
+//!   and a deterministic head-sampling decision) for explicit
+//!   cross-thread span parenting; one connected tree per served request.
+//! * [`expo`] — Prometheus text exposition of the counters/gauges/log₂
+//!   histograms, plus a validating mini-parser for tests.
 //! * A process-global recorder ([`set_global`]/[`global`]) so deep layers
 //!   (`simllm`, `storage`, `promptkit`, …) can emit metrics without
 //!   threading a handle through every signature. The disabled path is a
@@ -30,18 +35,24 @@
 #![warn(missing_docs)]
 
 mod event;
+pub mod expo;
 mod flame;
 mod hist;
 mod jsonl;
 mod profile;
 mod recorder;
+pub mod trace;
 
 pub use event::Event;
 pub use flame::{Flame, FlameNode};
 pub use hist::{bucket_high, bucket_index, bucket_low, Histogram, BUCKETS};
-pub use jsonl::{canonical_jsonl, parse_jsonl, parse_jsonl_line, parse_jsonl_lossy, to_json_line};
+pub use jsonl::{
+    canonical_jsonl, parse_jsonl, parse_jsonl_line, parse_jsonl_lossy, to_json_line,
+    SKIPPED_LINES_COUNTER,
+};
 pub use profile::{fmt_ns, fmt_ns_delta, Profile, ProfileDiff, StageDelta, StageStats};
 pub use recorder::{MetricsSnapshot, Recorder, Span};
+pub use trace::TraceContext;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;

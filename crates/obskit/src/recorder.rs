@@ -337,6 +337,12 @@ pub struct Span {
 }
 
 impl Span {
+    /// A dead (no-op) span: records nothing on drop. Used by
+    /// [`crate::TraceContext`] on the unsampled path.
+    pub fn dead() -> Span {
+        Span { data: None }
+    }
+
     /// This span's id, usable as an explicit parent for cross-thread
     /// children ([`Recorder::span_under`]). `None` on the no-op path.
     pub fn id(&self) -> Option<u64> {

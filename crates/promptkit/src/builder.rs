@@ -79,6 +79,36 @@ pub fn build_prompt(
     tokenizer: &Tokenizer,
     seed: u64,
 ) -> PromptBundle {
+    build_prompt_traced(
+        cfg,
+        bench,
+        selector,
+        item,
+        preliminary,
+        use_realistic,
+        tokenizer,
+        seed,
+        obskit::TraceContext::disabled(),
+    )
+}
+
+/// [`build_prompt`] under a request trace context: assembly runs inside
+/// a `promptkit.build_prompt` span, with the selection stage as a
+/// `promptkit.select` child. The produced prompt is identical to the
+/// untraced path.
+#[allow(clippy::too_many_arguments)]
+pub fn build_prompt_traced(
+    cfg: &PromptConfig,
+    bench: &Benchmark,
+    selector: &ExampleSelector<'_>,
+    item: &ExampleItem,
+    preliminary: Option<&Query>,
+    use_realistic: bool,
+    tokenizer: &Tokenizer,
+    seed: u64,
+    trace: obskit::TraceContext,
+) -> PromptBundle {
+    let (_span, tctx) = trace.span("promptkit.build_prompt");
     let question = if use_realistic {
         &item.question_realistic
     } else {
@@ -89,13 +119,14 @@ pub fn build_prompt(
         DomainMasker::new(spec.domain_terms()).mask(question)
     });
 
-    let mut examples = selector.select(
+    let mut examples = selector.select_traced(
         cfg.selection,
         question,
         &masked,
         preliminary,
         cfg.shots,
         seed ^ item.id as u64,
+        tctx,
     );
 
     let schema = &bench.db(item).schema;

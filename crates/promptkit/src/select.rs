@@ -23,7 +23,7 @@
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use retrievekit::{top_k, top_k_cosine, EmbeddingMatrix, FeatureCache};
+use retrievekit::{top_k, top_k_cosine_traced, EmbeddingMatrix, FeatureCache};
 use spider_gen::{Benchmark, ExampleItem};
 use sqlkit::{Query, Skeleton};
 use textkit::{embed_into, DomainMasker, DIM};
@@ -178,9 +178,36 @@ impl<'a> ExampleSelector<'a> {
         k: usize,
         seed: u64,
     ) -> Vec<&'a ExampleItem> {
+        self.select_traced(
+            strategy,
+            target_question,
+            masked_target,
+            preliminary,
+            k,
+            seed,
+            obskit::TraceContext::disabled(),
+        )
+    }
+
+    /// [`ExampleSelector::select`] under a request trace context: the
+    /// selection runs inside a `promptkit.select` span with the
+    /// retrieval scan in a `retrievekit.score` child span. Selections
+    /// are identical to the untraced path.
+    #[allow(clippy::too_many_arguments)]
+    pub fn select_traced(
+        &self,
+        strategy: SelectionStrategy,
+        target_question: &str,
+        masked_target: &str,
+        preliminary: Option<&Query>,
+        k: usize,
+        seed: u64,
+        trace: obskit::TraceContext,
+    ) -> Vec<&'a ExampleItem> {
         if k == 0 || self.pool.is_empty() {
             return Vec::new();
         }
+        let (_span, tctx) = trace.span("promptkit.select");
         let timed = obskit::enabled();
         let started = timed.then(std::time::Instant::now);
         if timed {
@@ -195,6 +222,7 @@ impl<'a> ExampleSelector<'a> {
             preliminary,
             k,
             seed,
+            tctx,
         );
         if let Some(t0) = started {
             obskit::global().observe("retrievekit.select_ns", t0.elapsed().as_nanos() as u64);
@@ -202,6 +230,7 @@ impl<'a> ExampleSelector<'a> {
         picked
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn select_inner(
         &self,
         strategy: SelectionStrategy,
@@ -210,6 +239,7 @@ impl<'a> ExampleSelector<'a> {
         preliminary: Option<&Query>,
         k: usize,
         seed: u64,
+        trace: obskit::TraceContext,
     ) -> Vec<&'a ExampleItem> {
         let k = k.min(self.pool.len());
         match strategy {
@@ -222,11 +252,23 @@ impl<'a> ExampleSelector<'a> {
             }
             SelectionStrategy::QuestionSimilarity => {
                 let f = self.target_features(target_question, masked_target);
-                self.take(top_k_cosine(&self.raw, &f.raw, self.raw.len(), k))
+                self.take(top_k_cosine_traced(
+                    &self.raw,
+                    &f.raw,
+                    self.raw.len(),
+                    k,
+                    trace,
+                ))
             }
             SelectionStrategy::MaskedQuestionSimilarity => {
                 let f = self.target_features(target_question, masked_target);
-                self.take(top_k_cosine(&self.masked, &f.masked, self.masked.len(), k))
+                self.take(top_k_cosine_traced(
+                    &self.masked,
+                    &f.masked,
+                    self.masked.len(),
+                    k,
+                    trace,
+                ))
             }
             SelectionStrategy::QuerySimilarity => {
                 let Some(pq) = preliminary else {
@@ -239,9 +281,11 @@ impl<'a> ExampleSelector<'a> {
                         None,
                         k,
                         seed,
+                        trace,
                     );
                 };
                 let sk = Skeleton::of(pq);
+                let (_score_span, _) = trace.span("retrievekit.score");
                 self.take(top_k(self.skeletons.iter().map(|s| s.similarity(&sk)), k))
             }
             SelectionStrategy::Dail => {
@@ -261,7 +305,13 @@ impl<'a> ExampleSelector<'a> {
                         // a question — it only computes `pool_k` skeleton
                         // similarities.
                         let pool_k = (4 * k).max(16).min(self.pool.len());
-                        let by_q = top_k_cosine(&self.masked, &f.masked, self.masked.len(), pool_k);
+                        let by_q = top_k_cosine_traced(
+                            &self.masked,
+                            &f.masked,
+                            self.masked.len(),
+                            pool_k,
+                            trace,
+                        );
                         if obskit::enabled() {
                             // The skeleton re-ranking stage scores each
                             // shortlisted candidate once more.
@@ -289,7 +339,13 @@ impl<'a> ExampleSelector<'a> {
                             .map(|(_, _, i)| &self.pool[i as usize])
                             .collect()
                     }
-                    None => self.take(top_k_cosine(&self.masked, &f.masked, self.masked.len(), k)),
+                    None => self.take(top_k_cosine_traced(
+                        &self.masked,
+                        &f.masked,
+                        self.masked.len(),
+                        k,
+                        trace,
+                    )),
                 }
             }
         }

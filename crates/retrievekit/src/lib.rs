@@ -34,5 +34,5 @@ pub mod topk;
 
 pub use cache::FeatureCache;
 pub use matrix::{dot, EmbeddingMatrix};
-pub use shard::{resolve_threads, top_k_cosine, PARALLEL_THRESHOLD};
+pub use shard::{resolve_threads, top_k_cosine, top_k_cosine_traced, PARALLEL_THRESHOLD};
 pub use topk::{full_sort, merge_top_k, top_k, TopK};

@@ -68,6 +68,20 @@ pub fn top_k_cosine(
     merge_top_k(&lists, k)
 }
 
+/// [`top_k_cosine`] wrapped in a `retrievekit.score` span under the
+/// request's trace context. Scoring is unchanged — the span only makes
+/// the retrieval stage visible in per-request trace trees.
+pub fn top_k_cosine_traced(
+    matrix: &EmbeddingMatrix,
+    query: &[f32],
+    rows: usize,
+    k: usize,
+    trace: obskit::TraceContext,
+) -> Vec<(f32, u32)> {
+    let (_span, _) = trace.span("retrievekit.score");
+    top_k_cosine(matrix, query, rows, k)
+}
+
 /// One shard's streaming scan over rows `lo..hi` (global indices kept).
 fn scan(
     matrix: &EmbeddingMatrix,

@@ -38,11 +38,13 @@ pub mod loadgen;
 pub mod queue;
 pub mod report;
 pub mod server;
+pub mod slo;
 
 pub use cache::{CacheStats, Lookup, PredictionCache, Slot};
 pub use loadgen::{generate, LoadConfig};
 pub use queue::BoundedQueue;
-pub use report::{percentile_ms, render, ReportInput};
+pub use report::{render, ReportInput};
 pub use server::{
     cache_key, serve, AdmissionModel, Outcome, ServeConfig, ServeOutput, ServeReq, ServeStats,
 };
+pub use slo::{render_slo_report, RequestOutcome, SloConfig};

@@ -52,15 +52,6 @@ pub struct ReportInput {
     pub ex_scored: u64,
 }
 
-/// Nearest-rank percentile of a sorted slice; 0 for an empty slice.
-pub fn percentile_ms(sorted: &[u64], p: u64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let rank = (p * sorted.len() as u64).div_ceil(100).max(1) as usize;
-    sorted[rank.min(sorted.len()) - 1]
-}
-
 fn pct(num: u64, den: u64) -> String {
     if den == 0 {
         "n/a".to_string()
@@ -70,11 +61,18 @@ fn pct(num: u64, den: u64) -> String {
 }
 
 /// Render the markdown report.
+///
+/// Latency percentiles come from an [`obskit::Histogram`] (log2 buckets),
+/// so the printed p50/p99 carry the same bucket-upper-bound semantics as
+/// the exported metrics — the report and the `/metrics`-style exposition
+/// can never disagree about a quantile.
 pub fn render(r: &ReportInput) -> String {
-    let mut sorted = r.latencies_ms.clone();
-    sorted.sort_unstable();
-    let p50 = percentile_ms(&sorted, 50);
-    let p99 = percentile_ms(&sorted, 99);
+    let mut hist = obskit::Histogram::new();
+    for &ms in &r.latencies_ms {
+        hist.record(ms);
+    }
+    let p50 = hist.p50();
+    let p99 = hist.p99();
     let throughput = if r.makespan_ms == 0 {
         "n/a".to_string()
     } else {
@@ -106,8 +104,11 @@ pub fn render(r: &ReportInput) -> String {
         ("admitted", r.admitted.to_string()),
         ("shed", format!("{} ({})", r.shed, pct(r.shed, r.submitted))),
         ("served ok", r.ok.to_string()),
-        ("failed (retries exhausted)", r.failed.to_string()),
-        ("deadline exceeded", r.deadline_exceeded.to_string()),
+        // Unserved-cause breakdown: every non-Ok outcome lands in exactly
+        // one of these three rows.
+        ("shed: queue full", r.shed.to_string()),
+        ("failed: retries exhausted", r.failed.to_string()),
+        ("failed: deadline exceeded", r.deadline_exceeded.to_string()),
         ("retries", r.retries.to_string()),
         ("panics", r.panics.to_string()),
         (
@@ -136,18 +137,30 @@ mod tests {
     use super::*;
 
     #[test]
-    fn percentiles_use_nearest_rank() {
-        let v: Vec<u64> = (1..=100).collect();
-        assert_eq!(percentile_ms(&v, 50), 50);
-        assert_eq!(percentile_ms(&v, 99), 99);
-        assert_eq!(percentile_ms(&v, 100), 100);
-        assert_eq!(percentile_ms(&[42], 50), 42);
-        assert_eq!(percentile_ms(&[], 99), 0);
+    fn latency_quantiles_match_the_histogram() {
+        // The report's p50/p99 must agree with obskit's histogram
+        // quantiles, bucket-upper-bound semantics included.
+        let r = ReportInput {
+            latencies_ms: vec![10, 20, 30, 1000],
+            ..report_fixture()
+        };
+        let mut h = obskit::Histogram::new();
+        for &v in &r.latencies_ms {
+            h.record(v);
+        }
+        let md = render(&r);
+        assert!(
+            md.contains(&format!(
+                "| latency p50 / p99 | {} ms / {} ms |",
+                h.p50(),
+                h.p99()
+            )),
+            "{md}"
+        );
     }
 
-    #[test]
-    fn report_renders_every_metric_row() {
-        let r = ReportInput {
+    fn report_fixture() -> ReportInput {
+        ReportInput {
             seed: 7,
             predictor: "DAIL-SQL(gpt-4)".into(),
             error_rate: 0.1,
@@ -169,12 +182,20 @@ mod tests {
             makespan_ms: 3_000,
             ex_correct: 70,
             ex_scored: 85,
-        };
+        }
+    }
+
+    #[test]
+    fn report_renders_every_metric_row() {
+        let r = report_fixture();
         let md = render(&r);
         for needle in [
             "# serve-bench report",
             "| requests | 100 |",
             "| shed | 10 (10.0%) |",
+            "| shed: queue full | 10 |",
+            "| failed: retries exhausted | 3 |",
+            "| failed: deadline exceeded | 2 |",
             "| panics | 0 |",
             "| cache hit ratio | 33.3% |",
             "| throughput | 30.0 req/s (virtual) |",

@@ -67,6 +67,12 @@ pub struct ServeConfig {
     pub shots: usize,
     /// Fault-injection knobs applied to every attempt.
     pub faults: FaultConfig,
+    /// Head-sampling rate for request traces in `[0, 1]`. The decision
+    /// is deterministic per request (`obskit::trace::sample` keyed on
+    /// `faults.seed` and the request index), so the same seed always
+    /// traces the same requests. Only consulted when an enabled global
+    /// recorder is installed; never affects any served outcome.
+    pub trace_sample: f64,
 }
 
 impl Default for ServeConfig {
@@ -82,6 +88,7 @@ impl Default for ServeConfig {
             repr: "code".into(),
             shots: 0,
             faults: FaultConfig::default(),
+            trace_sample: 1.0,
         }
     }
 }
@@ -163,6 +170,11 @@ pub struct ServeOutput {
     pub outcomes: Vec<Outcome>,
     /// Aggregate counters.
     pub stats: ServeStats,
+    /// One trace context per input request, in input order, parented
+    /// under that request's `servekit.request` span. Callers use these
+    /// to attach post-serve work (e.g. EX scoring) to the request tree;
+    /// unsampled requests carry a no-op context.
+    pub traces: Vec<obskit::TraceContext>,
 }
 
 /// Deterministic single-server admission model driven by the virtual
@@ -297,6 +309,9 @@ struct WorkItem {
     item_idx: usize,
     sim: AttemptSim,
     slot: Arc<Slot<Served>>,
+    /// Trace context of the request that *owns* this computation
+    /// (coalesced duplicates share the owner's attempt spans).
+    trace: obskit::TraceContext,
 }
 
 /// How each request was routed at submission time.
@@ -323,6 +338,7 @@ pub fn serve(
     } else {
         None
     };
+    let serve_span_id = span.as_ref().and_then(|s| s.id());
 
     let inj = FaultInjector::new(cfg.faults);
     let cache: PredictionCache<Served> = PredictionCache::new(cfg.cache_capacity);
@@ -336,6 +352,12 @@ pub fn serve(
         ..ServeStats::default()
     };
     let mut routes: Vec<Route> = Vec::with_capacity(reqs.len());
+    // Per-request trace state: the `servekit.request` root span (held
+    // open until outcomes are assembled) and the context children hang
+    // off. Both indexed by request order.
+    let mut req_spans: Vec<obskit::Span> = Vec::with_capacity(reqs.len());
+    let mut traces: Vec<obskit::TraceContext> = Vec::with_capacity(reqs.len());
+    let mut sampled_count = 0u64;
     // Simulated service time of each key's *first admitted* occurrence;
     // duplicates cost [`CACHE_HIT_COST_MS`]. Tracked independently of the
     // cache so admission stays a pure function of the request stream.
@@ -382,6 +404,14 @@ pub fn serve(
         // happen in request order, which is what makes every counter
         // deterministic.
         for (i, req) in reqs.iter().enumerate() {
+            let sampled = obskit::enabled()
+                && obskit::trace::sample(cfg.faults.seed, i as u64, cfg.trace_sample);
+            sampled_count += u64::from(sampled);
+            let root = obskit::TraceContext::root(i as u64, sampled, serve_span_id);
+            let (req_span, rctx) = root.span("servekit.request");
+            req_spans.push(req_span);
+            traces.push(rctx);
+
             let key = keys[i].as_str();
             let is_first = !first_admitted.contains_key(key);
             let service_ms = if is_first {
@@ -389,7 +419,22 @@ pub fn serve(
             } else {
                 CACHE_HIT_COST_MS
             };
-            let Some(wait_ms) = admission.offer(req.arrival_ms, service_ms) else {
+            let offered = {
+                let (_adm_span, actx) = rctx.span("servekit.admission");
+                let offered = admission.offer(req.arrival_ms, service_ms);
+                actx.meta(
+                    "servekit.admission.decision",
+                    &[
+                        ("request", i.to_string()),
+                        (
+                            "decision",
+                            if offered.is_some() { "admit" } else { "shed" }.to_string(),
+                        ),
+                    ],
+                );
+                offered
+            };
+            let Some(wait_ms) = offered else {
                 stats.shed += 1;
                 routes.push(Route::Shed);
                 continue;
@@ -399,13 +444,38 @@ pub fn serve(
             stats.wait_ms.push(wait_ms);
             stats.service_ms.push(service_ms);
             stats.total_ms.push(wait_ms + service_ms);
-            match cache.begin(key) {
+            {
+                // Simulated queue wait: the span records the structure
+                // (its duration is wall-clock; `wait_ms` is the number
+                // every report uses).
+                let (_wait_span, wctx) = rctx.span("servekit.queue_wait");
+                wctx.meta(
+                    "servekit.queue_wait.simulated",
+                    &[("wait_ms", wait_ms.to_string())],
+                );
+            }
+            let (cache_span, cctx) = rctx.span("servekit.cache_lookup");
+            let lookup = cache.begin(key);
+            cctx.meta(
+                "servekit.cache_lookup.route",
+                &[(
+                    "route",
+                    match lookup {
+                        Lookup::Owner(_) => "owner",
+                        Lookup::Shared(_) => "shared",
+                    }
+                    .to_string(),
+                )],
+            );
+            drop(cache_span);
+            match lookup {
                 Lookup::Owner(slot) => {
                     let work = WorkItem {
                         key: key.to_string(),
                         item_idx: req.item_idx,
                         sim: simulate_attempts(&inj, key, cfg),
                         slot: Arc::clone(&slot),
+                        trace: rctx,
                     };
                     // Blocking push: real backpressure. Shedding was
                     // already decided by the admission model above.
@@ -463,11 +533,20 @@ pub fn serve(
         }
     }
 
+    // Close every request span before the batch span: outcomes are
+    // assembled, so the per-request trees are complete.
+    drop(req_spans);
+
     if obskit::enabled() {
         let g = obskit::global();
         g.add_counter("servekit.submitted", stats.submitted);
         g.add_counter("servekit.admitted", stats.admitted);
         g.add_counter("servekit.shed", stats.shed);
+        g.add_counter("servekit.shed.queue_full", stats.shed);
+        g.add_counter("servekit.failed.retries_exhausted", stats.failed);
+        g.add_counter("servekit.failed.deadline_exceeded", stats.deadline_exceeded);
+        g.add_counter("servekit.trace.sampled", sampled_count);
+        g.add_counter("servekit.trace.unsampled", stats.submitted - sampled_count);
         g.add_counter("servekit.retries", stats.retries);
         g.add_counter("servekit.panics", stats.panics);
         for &w in &stats.wait_ms {
@@ -482,12 +561,21 @@ pub fn serve(
     }
     drop(span);
 
-    ServeOutput { outcomes, stats }
+    ServeOutput {
+        outcomes,
+        stats,
+        traces,
+    }
 }
 
 /// Execute the simulated attempt sequence for one unique key: run the
 /// predictor once on success (under `catch_unwind`), apply the corruption
 /// fault, and map deadline/exhaustion to typed failures.
+///
+/// When the owning request is traced, every simulated attempt opens a
+/// `servekit.attempt` span under the request span, and the predictor runs
+/// under the *final* attempt's context so the whole pipeline (prompt
+/// build, selection, model call) lands inside that attempt's subtree.
 fn run_attempts(
     predictor: &(dyn Predictor + Sync),
     ctx: &PredictCtx<'_>,
@@ -497,11 +585,39 @@ fn run_attempts(
     _cfg: &ServeConfig,
 ) -> Served {
     let attempts = work.sim.attempts;
+    // Spans for the attempts that drew a transient fault (or ran past the
+    // deadline): open-and-close, purely structural.
+    let faulted_attempts = match work.sim.kind {
+        SimKind::Success { .. } => attempts - 1,
+        SimKind::Deadline | SimKind::Exhausted => attempts,
+    };
+    for n in 0..faulted_attempts {
+        let (_attempt_span, actx) = work.trace.span("servekit.attempt");
+        actx.meta(
+            "servekit.attempt.outcome",
+            &[
+                ("attempt", n.to_string()),
+                (
+                    "outcome",
+                    match work.sim.kind {
+                        SimKind::Deadline if n + 1 == attempts => "deadline",
+                        _ => "transient_error",
+                    }
+                    .to_string(),
+                ),
+            ],
+        );
+    }
     match work.sim.kind {
         SimKind::Deadline => Served::DeadlineExceeded { attempts },
         SimKind::Exhausted => Served::Failed { attempts },
         SimKind::Success { corrupt } => {
-            match catch_unwind(AssertUnwindSafe(|| predictor.predict(ctx, item))) {
+            let (_attempt_span, actx) = work.trace.span("servekit.attempt");
+            let traced_ctx = PredictCtx {
+                trace: actx,
+                ..*ctx
+            };
+            match catch_unwind(AssertUnwindSafe(|| predictor.predict(&traced_ctx, item))) {
                 Ok(pred) => {
                     let sql = if corrupt {
                         inj.corrupt_sql(&pred.sql, &work.key, attempts - 1)

@@ -1,0 +1,401 @@
+//! slokit: SLO tracking with multi-window burn-rate alerting.
+//!
+//! Consumes per-request outcomes on the serving layer's **virtual clock**
+//! and tracks two service-level objectives:
+//!
+//! * **latency** — the fraction of requests that complete OK within a
+//!   threshold. Shed, failed and deadline-exceeded requests all count
+//!   against this SLO (a user who got no answer did not get a fast one).
+//! * **EX correctness** — the fraction of EX-scored OK responses whose
+//!   SQL is execution-accurate. Requests without an EX verdict are not
+//!   events for this SLO.
+//!
+//! Alerting follows the multi-window burn-rate recipe: with error budget
+//! `1 - objective`, the burn rate over a window is
+//! `(bad events / events) / budget` — burn 1.0 spends exactly the budget
+//! over the window, burn 2.0 spends it twice as fast. An alert fires when
+//! **both** a short and a long window burn at or above the configured
+//! threshold (the long window confirms the problem is real, the short
+//! window confirms it is still happening), and resolves when the short
+//! window drops back below it.
+//!
+//! Everything runs on virtual milliseconds carried by the outcomes, so a
+//! rendered report is byte-identical across runs and worker counts.
+
+/// Configuration of the SLO tracker.
+#[derive(Debug, Clone, Copy)]
+pub struct SloConfig {
+    /// Latency SLO threshold: an OK request is "good" iff its simulated
+    /// latency is at or under this many ms.
+    pub latency_threshold_ms: u64,
+    /// Latency objective as a fraction (0.95 = 95% of requests good).
+    pub latency_objective: f64,
+    /// EX-correctness objective over EX-scored OK responses.
+    pub ex_objective: f64,
+    /// Short burn-rate window, in virtual ms.
+    pub short_window_ms: u64,
+    /// Long burn-rate window, in virtual ms.
+    pub long_window_ms: u64,
+    /// Burn-rate threshold at which an alert fires (both windows).
+    pub burn_alert: f64,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        SloConfig {
+            latency_threshold_ms: 300,
+            latency_objective: 0.95,
+            ex_objective: 0.50,
+            short_window_ms: 2_000,
+            long_window_ms: 10_000,
+            burn_alert: 2.0,
+        }
+    }
+}
+
+/// One served request, reduced to what the SLO tracker needs.
+#[derive(Debug, Clone, Copy)]
+pub struct RequestOutcome {
+    /// Virtual completion time in ms (arrival + latency; arrival time
+    /// for shed requests, which never start).
+    pub t_ms: u64,
+    /// The request resolved [`crate::Outcome::Ok`].
+    pub served_ok: bool,
+    /// Simulated end-to-end latency in ms (0 for shed requests).
+    pub latency_ms: u64,
+    /// EX verdict for scored OK responses; `None` when unscored.
+    pub ex: Option<bool>,
+}
+
+/// A burn-rate alert transition found while sweeping the virtual clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alert {
+    /// Which SLO fired ("latency" or "ex").
+    pub slo: &'static str,
+    /// Virtual time of the transition, in ms.
+    pub t_ms: u64,
+    /// Short-window burn rate at the transition.
+    pub short_burn: f64,
+    /// Long-window burn rate at the transition.
+    pub long_burn: f64,
+    /// `true` when the alert fired, `false` when it resolved.
+    pub fired: bool,
+}
+
+/// Full evaluation of one SLO over an outcome stream.
+#[derive(Debug, Clone)]
+pub struct SloEval {
+    /// SLO name.
+    pub name: &'static str,
+    /// The configured objective.
+    pub objective: f64,
+    /// Events considered.
+    pub events: u64,
+    /// Events that violated the SLO.
+    pub bad: u64,
+    /// Alert transitions in virtual-time order.
+    pub alerts: Vec<Alert>,
+    /// Burn rates over the final short/long windows.
+    pub final_burn: (f64, f64),
+}
+
+impl SloEval {
+    /// Achieved compliance `good / events` (1.0 for an empty stream).
+    pub fn compliance(&self) -> f64 {
+        if self.events == 0 {
+            1.0
+        } else {
+            (self.events - self.bad) as f64 / self.events as f64
+        }
+    }
+
+    /// Fraction of the error budget consumed over the whole stream
+    /// (may exceed 1.0 when the objective was missed).
+    pub fn budget_consumed(&self) -> f64 {
+        let budget = 1.0 - self.objective;
+        if self.events == 0 || budget <= 0.0 {
+            0.0
+        } else {
+            (self.bad as f64 / self.events as f64) / budget
+        }
+    }
+}
+
+/// `(t_ms, good)` event stream for one SLO, sorted by time.
+fn events_for(slo: &'static str, cfg: &SloConfig, outcomes: &[RequestOutcome]) -> Vec<(u64, bool)> {
+    let mut ev: Vec<(u64, bool)> = outcomes
+        .iter()
+        .filter_map(|o| match slo {
+            "latency" => Some((
+                o.t_ms,
+                o.served_ok && o.latency_ms <= cfg.latency_threshold_ms,
+            )),
+            "ex" => o.ex.filter(|_| o.served_ok).map(|ex| (o.t_ms, ex)),
+            _ => unreachable!("unknown slo"),
+        })
+        .collect();
+    // Stable by time: ties keep request order, so the sweep is
+    // deterministic for simultaneous completions.
+    ev.sort_by_key(|&(t, _)| t);
+    ev
+}
+
+/// Burn rate of the window `(end - window, end]` of `events`.
+fn burn(events: &[(u64, bool)], end: u64, window: u64, budget: f64) -> f64 {
+    let start = end.saturating_sub(window);
+    let mut total = 0u64;
+    let mut bad = 0u64;
+    for &(t, good) in events {
+        if t > start && t <= end {
+            total += 1;
+            bad += u64::from(!good);
+        }
+        if t > end {
+            break;
+        }
+    }
+    if total == 0 || budget <= 0.0 {
+        0.0
+    } else {
+        (bad as f64 / total as f64) / budget
+    }
+}
+
+/// Evaluate one SLO: sweep the virtual clock across event times and
+/// record edge-triggered multi-window burn-rate alert transitions.
+pub fn evaluate_slo(slo: &'static str, cfg: &SloConfig, outcomes: &[RequestOutcome]) -> SloEval {
+    let objective = match slo {
+        "latency" => cfg.latency_objective,
+        _ => cfg.ex_objective,
+    };
+    let budget = 1.0 - objective;
+    let events = events_for(slo, cfg, outcomes);
+    let bad = events.iter().filter(|&&(_, good)| !good).count() as u64;
+
+    let mut alerts = Vec::new();
+    let mut firing = false;
+    let mut last_burn = (0.0, 0.0);
+    for &(t, _) in &events {
+        let short = burn(&events, t, cfg.short_window_ms, budget);
+        let long = burn(&events, t, cfg.long_window_ms, budget);
+        last_burn = (short, long);
+        if !firing && short >= cfg.burn_alert && long >= cfg.burn_alert {
+            firing = true;
+            alerts.push(Alert {
+                slo,
+                t_ms: t,
+                short_burn: short,
+                long_burn: long,
+                fired: true,
+            });
+        } else if firing && short < cfg.burn_alert {
+            firing = false;
+            alerts.push(Alert {
+                slo,
+                t_ms: t,
+                short_burn: short,
+                long_burn: long,
+                fired: false,
+            });
+        }
+    }
+
+    SloEval {
+        name: slo,
+        objective,
+        events: events.len() as u64,
+        bad,
+        alerts,
+        final_burn: last_burn,
+    }
+}
+
+fn render_one(out: &mut String, eval: &SloEval, detail: &str) {
+    out.push_str(&format!(
+        "## {} SLO ({detail}, objective {:.1}%)\n\n",
+        eval.name,
+        eval.objective * 100.0
+    ));
+    out.push_str("| metric | value |\n|---|---|\n");
+    out.push_str(&format!("| events | {} |\n", eval.events));
+    out.push_str(&format!("| violations | {} |\n", eval.bad));
+    out.push_str(&format!(
+        "| compliance | {:.2}% |\n",
+        eval.compliance() * 100.0
+    ));
+    let consumed = eval.budget_consumed();
+    out.push_str(&format!(
+        "| error budget consumed | {:.1}% |\n",
+        consumed * 100.0
+    ));
+    out.push_str(&format!(
+        "| error budget remaining | {:.1}% |\n",
+        (1.0 - consumed) * 100.0
+    ));
+    out.push_str(&format!(
+        "| burn rate at end (short / long) | {:.2} / {:.2} |\n",
+        eval.final_burn.0, eval.final_burn.1
+    ));
+    out.push('\n');
+    if eval.alerts.is_empty() {
+        out.push_str("no burn-rate alerts fired.\n\n");
+    } else {
+        for a in &eval.alerts {
+            out.push_str(&format!(
+                "- {} {}: burn {:.2} (short) / {:.2} (long) at t={} ms\n",
+                if a.fired { "ALERT" } else { "resolved" },
+                a.slo,
+                a.short_burn,
+                a.long_burn,
+                a.t_ms
+            ));
+        }
+        out.push('\n');
+    }
+}
+
+/// Render the markdown SLO report for an outcome stream. Deterministic:
+/// every number derives from virtual times and counts.
+pub fn render_slo_report(cfg: &SloConfig, outcomes: &[RequestOutcome]) -> String {
+    let mut out = String::new();
+    out.push_str("# SLO report\n\n");
+    out.push_str(&format!(
+        "requests: {} | windows: short {} ms, long {} ms | alert at burn ≥ {:.1}\n\n",
+        outcomes.len(),
+        cfg.short_window_ms,
+        cfg.long_window_ms,
+        cfg.burn_alert
+    ));
+    let latency = evaluate_slo("latency", cfg, outcomes);
+    render_one(
+        &mut out,
+        &latency,
+        &format!("ok within {} ms", cfg.latency_threshold_ms),
+    );
+    let ex = evaluate_slo("ex", cfg, outcomes);
+    render_one(&mut out, &ex, "execution-accurate among scored ok");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok(t_ms: u64, latency_ms: u64, ex: Option<bool>) -> RequestOutcome {
+        RequestOutcome {
+            t_ms,
+            served_ok: true,
+            latency_ms,
+            ex,
+        }
+    }
+
+    fn shed(t_ms: u64) -> RequestOutcome {
+        RequestOutcome {
+            t_ms,
+            served_ok: false,
+            latency_ms: 0,
+            ex: None,
+        }
+    }
+
+    #[test]
+    fn all_good_stream_has_full_budget_and_no_alerts() {
+        let cfg = SloConfig::default();
+        let outcomes: Vec<_> = (0..50).map(|i| ok(i * 100, 50, Some(true))).collect();
+        let eval = evaluate_slo("latency", &cfg, &outcomes);
+        assert_eq!(eval.events, 50);
+        assert_eq!(eval.bad, 0);
+        assert_eq!(eval.compliance(), 1.0);
+        assert_eq!(eval.budget_consumed(), 0.0);
+        assert!(eval.alerts.is_empty());
+    }
+
+    #[test]
+    fn non_ok_outcomes_violate_the_latency_slo() {
+        let cfg = SloConfig::default();
+        let outcomes = vec![ok(10, 50, None), shed(20), ok(30, 9_999, None)];
+        let eval = evaluate_slo("latency", &cfg, &outcomes);
+        assert_eq!(eval.events, 3);
+        assert_eq!(eval.bad, 2, "shed + over-threshold both count");
+    }
+
+    #[test]
+    fn ex_slo_only_counts_scored_ok_responses() {
+        let cfg = SloConfig::default();
+        let outcomes = vec![
+            ok(10, 50, Some(true)),
+            ok(20, 50, Some(false)),
+            ok(30, 50, None), // unscored: not an event
+            shed(40),         // not ok: not an event
+        ];
+        let eval = evaluate_slo("ex", &cfg, &outcomes);
+        assert_eq!(eval.events, 2);
+        assert_eq!(eval.bad, 1);
+    }
+
+    #[test]
+    fn sustained_burn_fires_once_and_resolves_once() {
+        let cfg = SloConfig {
+            latency_threshold_ms: 100,
+            latency_objective: 0.9,
+            short_window_ms: 1_000,
+            long_window_ms: 4_000,
+            burn_alert: 2.0,
+            ..SloConfig::default()
+        };
+        // 40 bad completions in a burst, then a long good tail that
+        // clears the short window.
+        let mut outcomes: Vec<_> = (0..40).map(|i| shed(i * 100)).collect();
+        outcomes.extend((0..60).map(|i| ok(4_000 + i * 100, 10, None)));
+        let eval = evaluate_slo("latency", &cfg, &outcomes);
+        let fired: Vec<_> = eval.alerts.iter().filter(|a| a.fired).collect();
+        let resolved: Vec<_> = eval.alerts.iter().filter(|a| !a.fired).collect();
+        assert_eq!(fired.len(), 1, "{:?}", eval.alerts);
+        assert_eq!(resolved.len(), 1, "{:?}", eval.alerts);
+        assert!(fired[0].t_ms < resolved[0].t_ms);
+        assert!(fired[0].short_burn >= cfg.burn_alert);
+        assert!(fired[0].long_burn >= cfg.burn_alert);
+    }
+
+    #[test]
+    fn short_blip_does_not_fire_the_long_window() {
+        let cfg = SloConfig {
+            latency_threshold_ms: 100,
+            latency_objective: 0.9,
+            short_window_ms: 500,
+            long_window_ms: 10_000,
+            burn_alert: 3.0,
+            ..SloConfig::default()
+        };
+        // One bad completion inside a long good stream: the short window
+        // spikes but the long window never crosses the threshold.
+        let mut outcomes: Vec<_> = (0..100).map(|i| ok(i * 100, 10, None)).collect();
+        outcomes[50] = shed(5_000);
+        let eval = evaluate_slo("latency", &cfg, &outcomes);
+        assert!(
+            eval.alerts.is_empty(),
+            "long window must gate the blip: {:?}",
+            eval.alerts
+        );
+    }
+
+    #[test]
+    fn report_is_deterministic_and_complete() {
+        let cfg = SloConfig::default();
+        let outcomes = vec![ok(10, 50, Some(true)), shed(20), ok(500, 400, Some(false))];
+        let a = render_slo_report(&cfg, &outcomes);
+        let b = render_slo_report(&cfg, &outcomes);
+        assert_eq!(a, b);
+        for needle in [
+            "# SLO report",
+            "## latency SLO (ok within 300 ms, objective 95.0%)",
+            "## ex SLO (execution-accurate among scored ok, objective 50.0%)",
+            "| error budget consumed |",
+            "| error budget remaining |",
+            "| burn rate at end (short / long) |",
+        ] {
+            assert!(a.contains(needle), "missing {needle:?} in:\n{a}");
+        }
+    }
+}

@@ -23,6 +23,7 @@ fn ctx<'a>(
         tokenizer,
         seed: 7,
         realistic: false,
+        trace: obskit::TraceContext::disabled(),
     }
 }
 

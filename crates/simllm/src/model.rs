@@ -26,6 +26,9 @@ pub struct GenOptions {
     pub temperature: f64,
     /// Sample index for self-consistency sampling.
     pub sample_index: u32,
+    /// Request trace context; when sampled, each completion opens a
+    /// `simllm.complete` span under it. Never affects the output text.
+    pub trace: obskit::TraceContext,
 }
 
 impl Default for GenOptions {
@@ -34,6 +37,7 @@ impl Default for GenOptions {
             seed: 0,
             temperature: 0.0,
             sample_index: 0,
+            trace: obskit::TraceContext::disabled(),
         }
     }
 }
@@ -118,6 +122,7 @@ impl SimLlm {
         // latency histograms only — aggregates are order-independent, so
         // multi-threaded harness runs still produce deterministic traces.
         let obs = obskit::enabled().then(std::time::Instant::now);
+        let (_gen_span, _gen_ctx) = opts.trace.span("simllm.complete");
         let mut trace = CompletionTrace::default();
         let comprehend_t = obs.map(|_| std::time::Instant::now());
         let mut parsed = parse_prompt(prompt);
@@ -491,6 +496,7 @@ mod tests {
                         temperature: 1.0,
                         sample_index: i,
                         seed: 5,
+                        ..Default::default()
                     },
                 )
             })

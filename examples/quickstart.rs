@@ -25,6 +25,7 @@ fn main() {
         tokenizer: &tokenizer,
         seed: 42,
         realistic: false,
+        trace: TraceContext::disabled(),
     };
     let dail = DailSql::new(SimLlm::new("gpt-4").unwrap());
 

@@ -61,6 +61,54 @@ if ! cmp -s target/serve-bench-report.md tests/golden/serve_bench_report.md; the
     exit 1
 fi
 
+echo "==> metrics exposition golden (Prometheus text format)"
+# The exposition of the committed baseline trace must stay byte-stable;
+# regenerate after an intended change with:
+#   DAIL_UPDATE_GOLDEN=1 cargo test -q -p bench --test cli
+$CLI metrics tests/golden/baseline_trace.jsonl > target/metrics-expo.txt
+if ! cmp -s target/metrics-expo.txt tests/golden/metrics_expo.txt; then
+    echo "metrics exposition drifted from tests/golden/metrics_expo.txt:" >&2
+    diff tests/golden/metrics_expo.txt target/metrics-expo.txt >&2 || true
+    echo "regenerate with: DAIL_UPDATE_GOLDEN=1 cargo test -q -p bench --test cli" >&2
+    exit 1
+fi
+
+echo "==> slo-report golden (multi-window burn-rate alerting)"
+# The SLO report for the serve-bench golden load must stay byte-stable
+# and fire exactly one burn-rate alert at the tuned threshold.
+$CLI slo-report --seed 7 --train 60 --dev 24 --requests 120 \
+    --mean-gap-ms 15 --queue 16 --burn-alert 4 > target/slo-report.md
+if ! cmp -s target/slo-report.md tests/golden/slo_report.md; then
+    echo "slo-report drifted from tests/golden/slo_report.md:" >&2
+    diff tests/golden/slo_report.md target/slo-report.md >&2 || true
+    echo "regenerate with: DAIL_UPDATE_GOLDEN=1 cargo test -q -p bench --test cli" >&2
+    exit 1
+fi
+alerts=$(grep -c '^- ALERT' target/slo-report.md || true)
+if [ "$alerts" != "1" ]; then
+    echo "slo-report golden must fire exactly one burn-rate alert, found ${alerts}" >&2
+    exit 1
+fi
+
+echo "==> telemetry overhead ceiling (1% head sampling)"
+# Tracing at a production-like 1% sample rate must not meaningfully slow
+# the serving layer. The bound is deliberately loose (2x + 1s slack) —
+# it catches pathological per-request overhead, not scheduler noise.
+t0=$(date +%s%N)
+$CLI serve-bench --seed 7 --train 60 --dev 24 --requests 120 \
+    --mean-gap-ms 15 --queue 16 >/dev/null
+t_off=$(( ($(date +%s%N) - t0) / 1000000 ))
+t0=$(date +%s%N)
+DAIL_TRACE_SAMPLE=0.01 $CLI serve-bench --seed 7 --train 60 --dev 24 --requests 120 \
+    --mean-gap-ms 15 --queue 16 --trace target/serve-sampled.jsonl >/dev/null 2>&1
+t_on=$(( ($(date +%s%N) - t0) / 1000000 ))
+ceiling=$(( t_off * 2 + 1000 ))
+if [ "$t_on" -gt "$ceiling" ]; then
+    echo "serve-bench with 1% trace sampling took ${t_on}ms vs ${t_off}ms untraced (ceiling ${ceiling}ms)" >&2
+    exit 1
+fi
+echo "    untraced ${t_off}ms, 1%-sampled ${t_on}ms (ceiling ${ceiling}ms)"
+
 echo "==> select-bench determinism gate (byte-identical across DAIL_THREADS)"
 # Selection results must not depend on the worker count: the sharded scan
 # carries global indices and the k-way merge uses the same

@@ -27,7 +27,7 @@
 //! let tokenizer = Tokenizer::new();
 //! let ctx = PredictCtx {
 //!     bench: &bench, selector: &selector, tokenizer: &tokenizer,
-//!     seed: 1, realistic: false,
+//!     seed: 1, realistic: false, trace: TraceContext::disabled(),
 //! };
 //! let dail = DailSql::new(SimLlm::new("gpt-4").unwrap());
 //! let item = &bench.dev[0];
@@ -58,7 +58,7 @@ pub mod prelude {
     pub use eval::{
         evaluate, evaluate_opts, score_item, EvalOptions, ExperimentRunner, RunResult, Scale,
     };
-    pub use obskit::{Profile, Recorder};
+    pub use obskit::{Profile, Recorder, TraceContext};
     pub use promptkit::{
         build_prompt, ExampleSelector, OrganizationStrategy, PromptConfig, QuestionRepr,
         ReprOptions, SelectionStrategy,
