@@ -55,6 +55,8 @@ fn main() {
         "generate" => generate(&flags),
         "ask" => ask(&flags),
         "eval" => run_eval(&flags),
+        "explain" => explain_cmd(&positional, &flags),
+        "stats" => stats_cmd(&positional, &flags),
         "serve-bench" => serve_bench(&flags),
         "slo-report" => slo_report(&flags),
         "select-bench" => select_bench(&flags),
@@ -81,11 +83,22 @@ fn usage() {
          \u{20}\u{20}ask --question \"...\" [--model M] [--db DB_ID] [--seed N]\n\
          \u{20}\u{20}                                         one-off Text-to-SQL against a generated db\n\
          \u{20}\u{20}eval [--pipeline dail|dail-sc|din|c3|zero] [--model M] [--dev N] [--realistic]\n\
-         \u{20}\u{20}     [--threads N] [--trace FILE.jsonl]\n\
-         \u{20}\u{20}                                         evaluate a pipeline and print the summary\n\
+         \u{20}\u{20}     [--threads N] [--trace FILE.jsonl] [--digests N] [--canonical]\n\
+         \u{20}\u{20}                                         evaluate a pipeline and print the summary;\n\
+         \u{20}\u{20}                                         --digests appends a query-digest rollup\n\
+         \u{20}\u{20}explain DB_ID \"SQL\" [--analyze] [--canonical] [--seed N]\n\
+         \u{20}\u{20}                                         print the operator plan tree for a query\n\
+         \u{20}\u{20}                                         (--analyze executes it and adds actual\n\
+         \u{20}\u{20}                                         rows / invocations / self-times;\n\
+         \u{20}\u{20}                                         --canonical zeroes times for diffing)\n\
+         \u{20}\u{20}stats DB_ID [--out FILE] [--roundtrip] [--seed N]\n\
+         \u{20}\u{20}                                         per-table / per-column statistics as\n\
+         \u{20}\u{20}                                         JSONL; --roundtrip re-parses the output\n\
+         \u{20}\u{20}                                         and exits 1 unless byte-identical\n\
          \u{20}\u{20}serve-bench [--pipeline P] [--model M] [--seed N] [--requests N] [--workers N]\n\
          \u{20}\u{20}     [--error-rate R] [--spike-rate R] [--spike-ms N] [--corrupt-rate R]\n\
          \u{20}\u{20}     [--queue N] [--cache N] [--retries N] [--deadline-ms N] [--trace FILE.jsonl]\n\
+         \u{20}\u{20}     [--json FILE] [--digests N] [--canonical]\n\
          \u{20}\u{20}                                         drive the fault-injected serving layer\n\
          \u{20}\u{20}                                         with a seeded load, print a markdown\n\
          \u{20}\u{20}                                         report (deterministic given --seed);\n\
@@ -93,6 +106,7 @@ fn usage() {
          \u{20}\u{20}                                         request traces at rate R\n\
          \u{20}\u{20}slo-report [serve-bench flags] [--slo-latency-ms N] [--slo-latency-objective R]\n\
          \u{20}\u{20}     [--slo-ex-objective R] [--slo-short-ms N] [--slo-long-ms N] [--burn-alert B]\n\
+         \u{20}\u{20}     [--json FILE]\n\
          \u{20}\u{20}                                         serve the same seeded load and print a\n\
          \u{20}\u{20}                                         deterministic SLO / burn-rate report\n\
          \u{20}\u{20}metrics TRACE.jsonl                      render a recorded trace's metrics as\n\
@@ -208,6 +222,129 @@ fn models() {
             p.price_per_1k_prompt,
             p.open_source
         );
+    }
+}
+
+/// `--digests [N]`: `None` when absent, `Some(top_n)` when present
+/// (bare `--digests` defaults to the top 10).
+fn digests_top_n(flags: &HashMap<String, String>) -> Option<usize> {
+    match flags.get("digests") {
+        None => None,
+        Some(v) if v == "true" => Some(10),
+        Some(v) => match v.parse() {
+            Ok(n) => Some(n),
+            Err(_) => {
+                eprintln!("--digests must be a number, got {v:?}");
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
+/// `DAIL_ANALYZE` env toggle: route serve-bench EX scoring through the
+/// analyzed executor (per-operator accounting on) without changing any
+/// printed number — the overhead-ceiling gate runs under this.
+fn analyze_from_env() -> bool {
+    std::env::var("DAIL_ANALYZE")
+        .map(|v| !matches!(v.trim(), "" | "0" | "false"))
+        .unwrap_or(false)
+}
+
+/// Look up a database by id, exiting with status 2 (and the available ids)
+/// when unknown. Shared by `explain` and `stats`.
+fn db_by_id<'a>(bench: &'a Benchmark, db_id: &str) -> &'a storage::Database {
+    match bench.databases.get(db_id) {
+        Some(db) => db,
+        None => {
+            eprintln!(
+                "unknown db {db_id}; available: {}",
+                bench
+                    .databases
+                    .keys()
+                    .cloned()
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+/// `explain`: print the operator plan tree for one query, optionally
+/// executing it (`--analyze`) to fill in actual rows / invocations /
+/// self-times. `--canonical` zeroes the time fields so output is
+/// byte-stable for goldens and cross-thread-count diffing.
+fn explain_cmd(positional: &[&String], flags: &HashMap<String, String>) {
+    let [db_id, sql] = positional else {
+        eprintln!("explain requires: dail_sql_cli explain DB_ID \"SQL\" [--analyze] [--canonical]");
+        std::process::exit(2);
+    };
+    let bench = bench_from_flags(flags);
+    let db = db_by_id(&bench, db_id);
+    let q = match sqlkit::parse_query(sql) {
+        Ok(q) => q,
+        Err(e) => {
+            eprintln!("parse error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let stats = storage::collect(db);
+    let canonical = flags.contains_key("canonical");
+    if flags.contains_key("analyze") {
+        match storage::execute_query_analyzed(db, &q, storage::ExecOptions::default(), Some(&stats))
+        {
+            Ok(an) => print!("{}", an.plan.render(true, canonical)),
+            Err(e) => {
+                eprintln!("execution error: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        let plan = storage::explain_query(db, &q, storage::ExecOptions::default(), Some(&stats));
+        print!("{}", plan.render(false, canonical));
+    }
+}
+
+/// `stats`: collect per-table / per-column statistics for one database and
+/// emit them as JSONL. `--roundtrip` re-parses the emitted text and exits 1
+/// unless re-serialization is byte-identical (the format's invariant).
+fn stats_cmd(positional: &[&String], flags: &HashMap<String, String>) {
+    let [db_id] = positional else {
+        eprintln!("stats requires: dail_sql_cli stats DB_ID [--out FILE] [--roundtrip]");
+        std::process::exit(2);
+    };
+    let bench = bench_from_flags(flags);
+    let db = db_by_id(&bench, db_id);
+    let stats = storage::collect(db);
+    let jsonl = stats.to_jsonl();
+    if flags.contains_key("roundtrip") {
+        match storage::DbStats::from_jsonl(&jsonl) {
+            Ok(back) if back.to_jsonl() == jsonl => {
+                eprintln!(
+                    "round-trip OK: {} tables, {} bytes",
+                    stats.tables.len(),
+                    jsonl.len()
+                );
+            }
+            Ok(_) => {
+                eprintln!("FATAL: stats JSONL round-trip is not byte-identical");
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("FATAL: emitted stats JSONL does not parse back: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    match flags.get("out") {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &jsonl) {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(2);
+            }
+            eprintln!("stats written to {path} ({} tables)", stats.tables.len());
+        }
+        None => print!("{jsonl}"),
     }
 }
 
@@ -335,9 +472,11 @@ fn run_eval(flags: &HashMap<String, String>) {
     let threads = flags
         .get("threads")
         .map(|_| num_flag(flags, "threads", 0usize));
+    let digests_n = digests_top_n(flags);
     let opts = EvalOptions {
         threads,
         recorder: rec.clone(),
+        digests: digests_n.is_some(),
     };
     let r = evaluate_opts(
         &bench,
@@ -365,6 +504,10 @@ fn run_eval(flags: &HashMap<String, String>) {
             h.as_str(),
             100.0 * *c as f64 / (*n).max(1) as f64
         );
+    }
+    if let (Some(n), Some(acc)) = (digests_n, &r.digests) {
+        println!();
+        print!("{}", acc.render_top(n, flags.contains_key("canonical")));
     }
     finish_trace(&rec, trace_path);
 }
@@ -399,6 +542,9 @@ struct ServeRun {
     stats: servekit::ServeStats,
     /// Per-request EX verdict: `Some` for scored OK responses.
     ex: Vec<Option<bool>>,
+    /// Query-digest rollup over scored responses; `Some` only when the
+    /// analyzed scoring path was active (`--digests` or `DAIL_ANALYZE`).
+    digests: Option<eval::DigestAccumulator>,
     rec: obskit::Recorder,
     trace_path: Option<PathBuf>,
 }
@@ -456,11 +602,25 @@ fn run_serve(flags: &HashMap<String, String>) -> ServeRun {
     let reqs = servekit::generate(&load, bench.dev.len());
     let out = servekit::serve(predictor.as_ref(), &ctx, &bench.dev, &reqs, &cfg);
 
+    // Scoring path: the analyzed executor (per-operator accounting and
+    // digest rollup) is opt-in via `--digests` or `DAIL_ANALYZE=1`; scores
+    // are identical either way, so every printed number is unchanged.
+    let analyze = digests_top_n(flags).is_some() || analyze_from_env();
+    let mut digests = analyze.then(eval::DigestAccumulator::new);
     let mut ex: Vec<Option<bool>> = Vec::with_capacity(reqs.len());
     for (i, (req, outcome)) in reqs.iter().zip(&out.outcomes).enumerate() {
         if let servekit::Outcome::Ok { sql, .. } = outcome {
             let item = &bench.dev[req.item_idx];
-            let score = eval::score_item_traced(bench.db(item), item, sql, out.traces[i]);
+            let score = match &mut digests {
+                Some(acc) => {
+                    let (score, observed) = eval::score_item_observed(bench.db(item), item, sql);
+                    if let Some((q, obs)) = observed {
+                        acc.record(&q, obs, Some(score.ex));
+                    }
+                    score
+                }
+                None => eval::score_item_traced(bench.db(item), item, sql, out.traces[i]),
+            };
             ex.push(Some(score.ex));
         } else {
             ex.push(None);
@@ -474,18 +634,19 @@ fn run_serve(flags: &HashMap<String, String>) -> ServeRun {
         outcomes: out.outcomes,
         stats: out.stats,
         ex,
+        digests,
         rec,
         trace_path,
     }
 }
 
-/// `serve-bench`: run the seeded load and print the markdown report.
-fn serve_bench(flags: &HashMap<String, String>) {
-    let run = run_serve(flags);
+/// Assemble the [`servekit::ReportInput`] for a finished run (shared by
+/// the markdown report, the `--json` emitter and `slo-report --json`).
+fn serve_report_input(run: &ServeRun) -> servekit::ReportInput {
     let ex_scored = run.ex.iter().flatten().count() as u64;
     let ex_correct = run.ex.iter().flatten().filter(|&&v| v).count() as u64;
     let s = &run.stats;
-    let report = servekit::ReportInput {
+    servekit::ReportInput {
         seed: run.seed,
         predictor: run.predictor_name.clone(),
         error_rate: run.faults.error_rate,
@@ -507,8 +668,33 @@ fn serve_bench(flags: &HashMap<String, String>) {
         makespan_ms: s.makespan_ms,
         ex_correct,
         ex_scored,
+    }
+}
+
+/// Write the JSON report when `--json FILE` was given.
+fn write_json_report(flags: &HashMap<String, String>, report: &servekit::ReportInput) {
+    let Some(path) = flags.get("json") else {
+        return;
     };
+    if let Err(e) = std::fs::write(path, servekit::render_json(report)) {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(2);
+    }
+    eprintln!("json report written to {path}");
+}
+
+/// `serve-bench`: run the seeded load and print the markdown report.
+/// `--digests N` appends a query-digest rollup section; `--json FILE`
+/// additionally writes a machine-readable report.
+fn serve_bench(flags: &HashMap<String, String>) {
+    let run = run_serve(flags);
+    let report = serve_report_input(&run);
     print!("{}", servekit::render(&report));
+    if let (Some(n), Some(acc)) = (digests_top_n(flags), &run.digests) {
+        println!();
+        print!("{}", acc.render_top(n, flags.contains_key("canonical")));
+    }
+    write_json_report(flags, &report);
     finish_trace(&run.rec, run.trace_path);
 }
 
@@ -553,6 +739,7 @@ fn slo_report(flags: &HashMap<String, String>) {
         })
         .collect();
     print!("{}", servekit::render_slo_report(&cfg, &outcomes));
+    write_json_report(flags, &serve_report_input(&run));
     finish_trace(&run.rec, run.trace_path);
 }
 

@@ -932,3 +932,302 @@ fn unparsable_dail_threads_warns_and_falls_back() {
         "eval still completes"
     );
 }
+
+// ---- explain / stats / digests ----
+
+/// The committed golden explain invocation (also gated by
+/// `scripts/check.sh`): canonical ANALYZE plan for a join + group query.
+fn explain_cmd_golden() -> Command {
+    let mut c = cli();
+    c.args([
+        "explain",
+        "concert_singer",
+        "SELECT T1.country, count(*) FROM singer AS T1 JOIN concert AS T2 \
+         ON T1.singer_id = T2.singer_id WHERE T2.year > 2015 \
+         GROUP BY T1.country ORDER BY count(*) DESC LIMIT 3",
+        "--analyze",
+        "--canonical",
+        "--train",
+        "40",
+        "--dev",
+        "10",
+    ]);
+    c
+}
+
+#[test]
+fn explain_matches_golden_plan() {
+    let out = explain_cmd_golden().output().expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let actual = String::from_utf8_lossy(&out.stdout);
+    // Structural sanity before the byte comparison.
+    for needle in [
+        "exec",
+        "scan singer as t1",
+        "join on",
+        "group by",
+        "total self-time: 0ns",
+    ] {
+        assert!(actual.contains(needle), "missing {needle:?} in:\n{actual}");
+    }
+    let golden = fixture("explain_plan.txt");
+    if std::env::var("DAIL_UPDATE_GOLDEN").is_ok() {
+        std::fs::write(&golden, actual.as_bytes()).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&golden)
+        .expect("golden explain plan committed; regenerate with DAIL_UPDATE_GOLDEN=1");
+    assert_eq!(
+        actual, expected,
+        "explain plan drifted from tests/golden/explain_plan.txt; \
+         if intended, regenerate with DAIL_UPDATE_GOLDEN=1 cargo test -p bench"
+    );
+}
+
+#[test]
+fn explain_analyze_is_byte_identical_across_thread_counts() {
+    let run = |threads: &str| {
+        let out = explain_cmd_golden()
+            .env("DAIL_THREADS", threads)
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out.stdout
+    };
+    assert_eq!(
+        run("1"),
+        run("4"),
+        "canonical ANALYZE output must not depend on DAIL_THREADS"
+    );
+}
+
+#[test]
+fn explain_without_analyze_prints_estimates_only() {
+    let out = cli()
+        .args([
+            "explain",
+            "concert_singer",
+            "SELECT name FROM singer WHERE age > 40",
+            "--train",
+            "40",
+            "--dev",
+            "10",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("est="), "{text}");
+    assert!(
+        !text.contains("act="),
+        "no actuals without --analyze: {text}"
+    );
+    assert!(!text.contains("total self-time"), "{text}");
+}
+
+#[test]
+fn explain_analyze_surfaces_near_miss_column_suggestions() {
+    let out = cli()
+        .args([
+            "explain",
+            "concert_singer",
+            "SELECT nmae FROM singer",
+            "--analyze",
+            "--train",
+            "40",
+            "--dev",
+            "10",
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("did you mean singer.name?"),
+        "unknown-column errors should suggest the near miss: {err}"
+    );
+}
+
+#[test]
+fn stats_round_trip_is_byte_identical() {
+    let out = cli()
+        .args([
+            "stats",
+            "concert_singer",
+            "--roundtrip",
+            "--train",
+            "40",
+            "--dev",
+            "10",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("round-trip OK"));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"db\":\"concert_singer\""), "{text}");
+    assert!(text.contains("\"ndv\""), "{text}");
+}
+
+#[test]
+fn serve_bench_report_is_unchanged_under_analyzed_scoring() {
+    let run = |analyze: bool| {
+        let mut c = serve_bench_cmd(&[]);
+        if analyze {
+            c.env("DAIL_ANALYZE", "1");
+        }
+        let out = c.output().expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out.stdout
+    };
+    assert_eq!(
+        run(false),
+        run(true),
+        "DAIL_ANALYZE=1 must not change a single report byte (passive observability)"
+    );
+}
+
+#[test]
+fn serve_bench_digests_section_is_deterministic() {
+    let run = || {
+        let out = serve_bench_cmd(&["--digests", "5", "--canonical"])
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let a = run();
+    assert!(
+        a.contains("## Query digests (top 5 by rows scanned)"),
+        "{a}"
+    );
+    assert!(a.contains("distinct shapes."), "{a}");
+    assert!(!a.contains("FROM singer"), "skeletons are masked: {a}");
+    assert_eq!(a, run(), "canonical digest section is byte-stable");
+}
+
+#[test]
+fn serve_bench_json_report_has_headline_numbers() {
+    let dir = std::env::temp_dir().join("dail_cli_serve_json_test");
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join("BENCH_serve.json");
+    let out = serve_bench_cmd(&["--json", path.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let js = std::fs::read_to_string(&path).expect("json report written");
+    for key in [
+        "\"requests\"",
+        "\"shed_rate\"",
+        "\"throughput_rps\"",
+        "\"hit_ratio\"",
+        "\"p50\"",
+        "\"p99\"",
+        "\"ex\"",
+    ] {
+        assert!(js.contains(key), "missing {key} in:\n{js}");
+    }
+    // The markdown report and the JSON must tell the same story.
+    let md = String::from_utf8_lossy(&out.stdout);
+    let requests_row = md
+        .lines()
+        .find(|l| l.starts_with("| requests |"))
+        .expect("requests row");
+    let n: String = requests_row
+        .chars()
+        .filter(|c| c.is_ascii_digit())
+        .collect();
+    assert!(js.contains(&format!("\"requests\": {n}")), "{js}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn slo_report_json_flag_writes_the_same_schema() {
+    let dir = std::env::temp_dir().join("dail_cli_slo_json_test");
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join("BENCH_serve.json");
+    let mut c = cli();
+    c.args([
+        "slo-report",
+        "--seed",
+        "7",
+        "--train",
+        "30",
+        "--dev",
+        "12",
+        "--requests",
+        "40",
+        "--mean-gap-ms",
+        "15",
+        "--queue",
+        "16",
+        "--json",
+        path.to_str().unwrap(),
+    ]);
+    let out = c.output().expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let js = std::fs::read_to_string(&path).expect("json report written");
+    assert!(js.contains("\"throughput_rps\""), "{js}");
+    assert!(js.contains("\"latency_ms\""), "{js}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn eval_digests_flag_appends_the_rollup() {
+    let out = cli()
+        .args([
+            "eval",
+            "--pipeline",
+            "zero",
+            "--model",
+            "gpt-4",
+            "--train",
+            "40",
+            "--dev",
+            "10",
+            "--digests",
+            "3",
+            "--canonical",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("EX:"), "summary still prints: {text}");
+    assert!(
+        text.contains("## Query digests (top 3 by rows scanned)"),
+        "{text}"
+    );
+}

@@ -113,6 +113,7 @@ impl<'a> ExperimentRunner<'a> {
         let opts = EvalOptions {
             threads: None,
             recorder: self.recorder.clone(),
+            digests: false,
         };
         evaluate_opts(
             self.bench,
@@ -776,6 +777,7 @@ impl ExperimentRunner<'_> {
             let opts = EvalOptions {
                 threads: None,
                 recorder: self.recorder.clone(),
+                digests: false,
             };
             let r = evaluate_opts(&truncated, &selector, &p, items, self.seed, false, &opts);
             // Selection-quality diagnostic on the truncated pool.

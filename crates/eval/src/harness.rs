@@ -2,7 +2,8 @@
 //! aggregate metrics.
 
 use crate::cost::CostTally;
-use crate::metrics::{score_item, ItemScore};
+use crate::digest::DigestAccumulator;
+use crate::metrics::{score_item, score_item_observed, ItemScore};
 use dail_core::{PredictCtx, Predictor};
 use promptkit::ExampleSelector;
 use spider_gen::{Benchmark, ExampleItem};
@@ -29,6 +30,10 @@ pub struct RunResult {
     pub ex_outcomes: Vec<bool>,
     /// Token/call accounting.
     pub cost: CostTally,
+    /// Query-digest rollup over executed predictions. `Some` only when
+    /// [`EvalOptions::digests`] was set; the default scoring path never
+    /// touches the analyzed executor.
+    pub digests: Option<DigestAccumulator>,
 }
 
 impl RunResult {
@@ -74,6 +79,10 @@ pub struct EvalOptions {
     /// counters are recorded here; pass [`obskit::Recorder::disabled`]
     /// (the default) for a zero-cost run.
     pub recorder: obskit::Recorder,
+    /// Score through the analyzed executor and build a query-digest rollup
+    /// in [`RunResult::digests`]. Off by default: scores are identical
+    /// either way, but the analyzed path pays per-operator bookkeeping.
+    pub digests: bool,
 }
 
 impl Default for EvalOptions {
@@ -81,6 +90,7 @@ impl Default for EvalOptions {
         EvalOptions {
             threads: None,
             recorder: obskit::Recorder::disabled(),
+            digests: false,
         }
     }
 }
@@ -163,8 +173,9 @@ pub fn evaluate_opts(
     let eval_span = rec.span("evaluate");
     rec.set_gauge("eval.threads", threads as f64);
 
+    let digests_on = opts.digests;
     type Scored = (ItemScore, Hardness, usize, usize, usize);
-    let scored: Vec<Scored> = std::thread::scope(|scope| {
+    let (scored, digests): (Vec<Scored>, Option<DigestAccumulator>) = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for part in items.chunks(chunk) {
             // Workers buffer trace events locally; the buffers are absorbed
@@ -189,7 +200,9 @@ pub fn evaluate_opts(
                         realistic,
                         trace: obskit::TraceContext::disabled(),
                     };
-                    part.iter()
+                    let mut acc = digests_on.then(DigestAccumulator::new);
+                    let part_scores = part
+                        .iter()
                         .map(|item| {
                             let item_span = wrec.span("item");
                             let pred = {
@@ -198,7 +211,17 @@ pub fn evaluate_opts(
                             };
                             let score = {
                                 let _s = item_span.child("score");
-                                score_item(bench.db(item), item, &pred.sql)
+                                match &mut acc {
+                                    Some(acc) => {
+                                        let (score, observed) =
+                                            score_item_observed(bench.db(item), item, &pred.sql);
+                                        if let Some((q, obs)) = observed {
+                                            acc.record(&q, obs, Some(score.ex));
+                                        }
+                                        score
+                                    }
+                                    None => score_item(bench.db(item), item, &pred.sql),
+                                }
                             };
                             wrec.add_counter("eval.items", 1);
                             wrec.add_counter("eval.prompt_tokens", pred.prompt_tokens as u64);
@@ -215,15 +238,24 @@ pub fn evaluate_opts(
                                 pred.api_calls,
                             )
                         })
-                        .collect::<Vec<_>>()
+                        .collect::<Vec<_>>();
+                    (part_scores, acc)
                 })
             };
             handles.push((handle, wrec, id_lo, id_hi));
         }
         let mut all = Vec::with_capacity(items.len());
+        // Merged in chunk order, though digest merging is order-independent
+        // anyway, so the rollup matches a single-threaded run.
+        let mut merged = digests_on.then(DigestAccumulator::new);
         for (handle, wrec, id_lo, id_hi) in handles {
             match handle.join() {
-                Ok(part) => all.extend(part),
+                Ok((part, acc)) => {
+                    all.extend(part);
+                    if let (Some(m), Some(a)) = (&mut merged, &acc) {
+                        m.merge(a);
+                    }
+                }
                 Err(payload) => {
                     let msg = payload
                         .downcast_ref::<String>()
@@ -235,7 +267,7 @@ pub fn evaluate_opts(
             }
             rec.absorb(&wrec, eval_span.id());
         }
-        all
+        (all, merged)
     });
 
     let mut out = RunResult {
@@ -247,6 +279,7 @@ pub fn evaluate_opts(
         ex_by_hardness: BTreeMap::new(),
         ex_outcomes: Vec::with_capacity(scored.len()),
         cost: CostTally::default(),
+        digests,
     };
     for (score, hardness, pt, ct, calls) in scored {
         out.valid += usize::from(score.valid);
@@ -382,6 +415,7 @@ mod tests {
         let opts = EvalOptions {
             threads: Some(2),
             recorder: obskit::Recorder::enabled(),
+            digests: false,
         };
         let r = evaluate_opts(&bench, &selector, &Oracle, items, 1, false, &opts);
         let m = opts.recorder.metrics();
@@ -414,6 +448,7 @@ mod tests {
             let opts = EvalOptions {
                 threads: Some(threads),
                 recorder: obskit::Recorder::enabled(),
+                digests: false,
             };
             evaluate_opts(&bench, &selector, &Oracle, items, 1, false, &opts);
             opts.recorder

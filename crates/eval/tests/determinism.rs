@@ -26,6 +26,7 @@ fn run(threads: usize) -> (RunResult, String) {
     let opts = EvalOptions {
         threads: Some(threads),
         recorder: obskit::Recorder::enabled(),
+        digests: false,
     };
     let result = evaluate_opts(&bench, &selector, &predictor, items, 2023, false, &opts);
     let events: Vec<obskit::Event> = opts

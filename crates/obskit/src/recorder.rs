@@ -153,6 +153,42 @@ impl Recorder {
             .record(value);
     }
 
+    /// Record a span whose duration was measured externally, emitting the
+    /// `SpanStart`/`SpanEnd` pair immediately with the supplied duration.
+    ///
+    /// Unlike [`Recorder::span`], the duration is *not* re-measured on drop:
+    /// callers that maintain their own exact time partition (the executor's
+    /// per-operator probe sums self-times to the whole statement) use this so
+    /// the emitted span equals their partition to the nanosecond. The span is
+    /// parented to the innermost open span on this thread, and its start time
+    /// is back-dated by `dur_ns`. Returns the span id (`None` when disabled).
+    pub fn record_span(&self, name: &str, dur_ns: u64) -> Option<u64> {
+        let inner = self.inner.as_ref()?;
+        let key = Arc::as_ptr(inner) as usize;
+        let parent = SPAN_STACK.with(|s| {
+            s.borrow()
+                .iter()
+                .rev()
+                .find(|(k, _)| *k == key)
+                .map(|(_, id)| *id)
+        });
+        let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let t_ns = inner.epoch.elapsed().as_nanos() as u64;
+        let mut events = inner.events.lock().unwrap();
+        events.push(Event::SpanStart {
+            id,
+            parent,
+            name: name.to_string(),
+            t_ns: t_ns.saturating_sub(dur_ns),
+        });
+        events.push(Event::SpanEnd {
+            id,
+            name: name.to_string(),
+            dur_ns,
+        });
+        Some(id)
+    }
+
     /// Attach a free-form key/value annotation event.
     pub fn meta(&self, name: &str, fields: &[(&str, String)]) {
         let Some(inner) = &self.inner else { return };
@@ -436,6 +472,26 @@ mod tests {
         }
         assert!(durs["outer"] >= durs["inner"], "{durs:?}");
         assert!(durs["inner"] > 0);
+    }
+
+    #[test]
+    fn record_span_emits_exact_duration_under_current_parent() {
+        let r = Recorder::enabled();
+        let outer = r.span("outer");
+        let outer_id = outer.id().unwrap();
+        let id = r.record_span("measured", 1234).unwrap();
+        drop(outer);
+        let ev = r.events();
+        assert!(ev.iter().any(|e| matches!(
+            e,
+            Event::SpanStart { id: i, parent, name, .. }
+                if *i == id && *parent == Some(outer_id) && name == "measured"
+        )));
+        assert!(ev.iter().any(|e| matches!(
+            e,
+            Event::SpanEnd { id: i, dur_ns: 1234, .. } if *i == id
+        )));
+        assert!(Recorder::disabled().record_span("x", 1).is_none());
     }
 
     #[test]

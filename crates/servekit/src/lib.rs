@@ -43,7 +43,7 @@ pub mod slo;
 pub use cache::{CacheStats, Lookup, PredictionCache, Slot};
 pub use loadgen::{generate, LoadConfig};
 pub use queue::BoundedQueue;
-pub use report::{render, ReportInput};
+pub use report::{render, render_json, ReportInput};
 pub use server::{
     cache_key, serve, AdmissionModel, Outcome, ServeConfig, ServeOutput, ServeReq, ServeStats,
 };

@@ -132,6 +132,89 @@ pub fn render(r: &ReportInput) -> String {
     out
 }
 
+fn json_ratio(num: u64, den: u64) -> String {
+    if den == 0 {
+        "null".to_string()
+    } else {
+        format!("{:.4}", num as f64 / den as f64)
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render the report as a machine-readable JSON object (the `--json` output
+/// of `serve-bench`). Quantiles come from the same [`obskit::Histogram`] as
+/// the markdown report, so the two can never disagree; ratios with a zero
+/// denominator render as `null` rather than a fake zero.
+pub fn render_json(r: &ReportInput) -> String {
+    let mut hist = obskit::Histogram::new();
+    for &ms in &r.latencies_ms {
+        hist.record(ms);
+    }
+    let throughput = if r.makespan_ms == 0 {
+        "null".to_string()
+    } else {
+        format!("{:.4}", r.admitted as f64 * 1000.0 / r.makespan_ms as f64)
+    };
+    format!(
+        concat!(
+            "{{\n",
+            "  \"seed\": {seed},\n",
+            "  \"predictor\": \"{predictor}\",\n",
+            "  \"requests\": {submitted},\n",
+            "  \"admitted\": {admitted},\n",
+            "  \"shed\": {shed},\n",
+            "  \"shed_rate\": {shed_rate},\n",
+            "  \"served_ok\": {ok},\n",
+            "  \"failed\": {failed},\n",
+            "  \"deadline_exceeded\": {deadline},\n",
+            "  \"retries\": {retries},\n",
+            "  \"panics\": {panics},\n",
+            "  \"cache\": {{\"served\": {cs}, \"misses\": {cm}, ",
+            "\"evictions\": {ce}, \"hit_ratio\": {hit}}},\n",
+            "  \"throughput_rps\": {tp},\n",
+            "  \"latency_ms\": {{\"p50\": {p50}, \"p99\": {p99}}},\n",
+            "  \"ex\": {{\"correct\": {exc}, \"scored\": {exs}, \"rate\": {exr}}}\n",
+            "}}\n"
+        ),
+        seed = r.seed,
+        predictor = json_escape(&r.predictor),
+        submitted = r.submitted,
+        admitted = r.admitted,
+        shed = r.shed,
+        shed_rate = json_ratio(r.shed, r.submitted),
+        ok = r.ok,
+        failed = r.failed,
+        deadline = r.deadline_exceeded,
+        retries = r.retries,
+        panics = r.panics,
+        cs = r.cache_served,
+        cm = r.cache_misses,
+        ce = r.cache_evictions,
+        hit = json_ratio(r.cache_served, r.cache_served + r.cache_misses),
+        tp = throughput,
+        p50 = hist.p50(),
+        p99 = hist.p99(),
+        exc = r.ex_correct,
+        exs = r.ex_scored,
+        exr = json_ratio(r.ex_correct, r.ex_scored),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -183,6 +266,47 @@ mod tests {
             ex_correct: 70,
             ex_scored: 85,
         }
+    }
+
+    #[test]
+    fn json_report_is_valid_and_matches_markdown() {
+        let r = report_fixture();
+        let js = render_json(&r);
+        for needle in [
+            "\"requests\": 100",
+            "\"shed_rate\": 0.1000",
+            "\"hit_ratio\": 0.3333",
+            "\"throughput_rps\": 30.0000",
+            "\"rate\": 0.8235",
+        ] {
+            assert!(js.contains(needle), "missing {needle:?} in:\n{js}");
+        }
+        // Quantiles agree with the markdown report's histogram.
+        let mut h = obskit::Histogram::new();
+        for &v in &r.latencies_ms {
+            h.record(v);
+        }
+        assert!(js.contains(&format!("\"p50\": {}, \"p99\": {}", h.p50(), h.p99())));
+        assert_eq!(render_json(&r), js, "deterministic");
+    }
+
+    #[test]
+    fn json_report_nulls_zero_denominators_and_escapes() {
+        let r = ReportInput {
+            predictor: "weird \"name\"\n".into(),
+            submitted: 0,
+            ex_scored: 0,
+            makespan_ms: 0,
+            cache_served: 0,
+            cache_misses: 0,
+            ..report_fixture()
+        };
+        let js = render_json(&r);
+        assert!(js.contains("\"shed_rate\": null"));
+        assert!(js.contains("\"throughput_rps\": null"));
+        assert!(js.contains("\"hit_ratio\": null"));
+        assert!(js.contains("\"rate\": null"));
+        assert!(js.contains("weird \\\"name\\\"\\n"));
     }
 
     #[test]

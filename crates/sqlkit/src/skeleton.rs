@@ -125,6 +125,32 @@ impl Skeleton {
         s
     }
 
+    /// Stable 64-bit structural fingerprint of the skeleton (FNV-1a over the
+    /// token sequence, including each token's payload such as the join arity
+    /// in `From(n)`). Equal skeletons always collide; the digest rollup in
+    /// `eval` uses this as its grouping key.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |byte: u8| {
+            h ^= byte as u64;
+            h = h.wrapping_mul(PRIME);
+        };
+        for t in &self.0 {
+            for b in t.as_str().bytes() {
+                eat(b);
+            }
+            // `as_str` collapses payload-carrying tokens (e.g. every `From(n)`
+            // renders "FROM"); fold the payload in explicitly.
+            if let SkelTok::From(n) = t {
+                eat(*n);
+            }
+            eat(0x1f); // token separator so "A","BC" != "AB","C"
+        }
+        h
+    }
+
     /// Similarity in `[0, 1]`: 1 − normalized Levenshtein distance over the
     /// token sequences. Identical skeletons score 1; disjoint ones approach 0.
     pub fn similarity(&self, other: &Skeleton) -> f64 {
@@ -412,6 +438,19 @@ mod tests {
         assert!(r.starts_with("SELECT"));
         assert!(r.contains("WHERE"));
         assert!(r.contains("LIMIT"));
+    }
+
+    #[test]
+    fn fingerprint_groups_by_structure() {
+        let a = skel("SELECT name FROM singer WHERE age > 20");
+        let b = skel("SELECT title FROM album WHERE year > 1999");
+        let c = skel("SELECT count(*) FROM singer GROUP BY country");
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        // Join arity is part of the structure even though both render "FROM".
+        let one = skel("SELECT a FROM t");
+        let two = skel("SELECT a FROM t JOIN u ON t.id = u.id");
+        assert_ne!(one.fingerprint(), two.fingerprint());
     }
 
     #[test]

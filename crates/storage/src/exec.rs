@@ -7,6 +7,7 @@
 
 use crate::db::Database;
 use crate::error::{ExecError, ExecResult};
+use crate::explain::{Plan, Probe, SelectIds};
 use crate::value::{Row, Value};
 use sqlkit::ast::*;
 use std::cmp::Ordering;
@@ -49,6 +50,7 @@ pub fn execute_query_with(db: &Database, q: &Query, opts: ExecOptions) -> ExecRe
         db,
         opts,
         rows_scanned: std::cell::Cell::new(0),
+        probe: None,
     };
     let out = ex.run(q);
     if obskit::enabled() {
@@ -60,6 +62,67 @@ pub fn execute_query_with(db: &Database, q: &Query, opts: ExecOptions) -> ExecRe
         }
     }
     out
+}
+
+/// Result of an analyzed execution: the rows plus the annotated plan tree.
+#[derive(Debug, Clone)]
+pub struct Analyzed {
+    /// The query result (identical to [`execute_query_with`] output).
+    pub result: ResultSet,
+    /// Plan tree with actual row counts, invocations and exact self-times.
+    pub plan: Plan,
+}
+
+/// Execute with per-operator instrumentation (EXPLAIN ANALYZE).
+///
+/// Rows are identical to [`execute_query_with`] by construction — same code
+/// path, plus probe bookkeeping. On success, the plan's operator self-times
+/// partition the statement's wall-clock exactly (`plan.total_self_ns()` *is*
+/// the measured total), and when global telemetry is enabled a
+/// `storage.exec` span is emitted with exactly that duration, plus
+/// per-operator observation metrics ([`Plan::record_observations`]).
+/// Pass [`crate::stats::DbStats`] to sharpen the plan's cardinality
+/// estimates.
+pub fn execute_query_analyzed(
+    db: &Database,
+    q: &Query,
+    opts: ExecOptions,
+    stats: Option<&crate::stats::DbStats>,
+) -> ExecResult<Analyzed> {
+    let (mut nodes, root, map) = crate::explain::build_plan(db, q, opts, stats);
+    let probe = Probe::new(map, nodes.len());
+    let (out, rows_scanned) = {
+        let ex = Executor {
+            db,
+            opts,
+            rows_scanned: std::cell::Cell::new(0),
+            probe: Some(&probe),
+        };
+        probe.enter(root);
+        let out = ex.run(q);
+        probe.exit();
+        if let Ok(rs) = &out {
+            // The synthetic root passes the final result through unchanged.
+            probe.rows(root, rs.rows.len() as u64, rs.rows.len() as u64);
+        }
+        (out, ex.rows_scanned.get())
+    };
+    for (node, st) in nodes.iter_mut().zip(probe.into_stats()) {
+        node.stats = st;
+    }
+    let plan = Plan { nodes, root };
+    if obskit::enabled() {
+        let g = obskit::global();
+        g.add_counter("storage.statements", 1);
+        g.add_counter("storage.rows_scanned", rows_scanned);
+        if out.is_err() {
+            g.add_counter("storage.errors", 1);
+        } else {
+            g.record_span("storage.exec", plan.total_self_ns());
+            plan.record_observations(g);
+        }
+    }
+    Ok(Analyzed { result: out?, plan })
 }
 
 /// An intermediate relation: labelled columns plus rows.
@@ -111,11 +174,67 @@ struct Executor<'a> {
     opts: ExecOptions,
     /// Base-table rows materialized by scans (telemetry only).
     rows_scanned: std::cell::Cell<u64>,
+    /// Per-operator probe for analyzed runs; `None` on the normal path, in
+    /// which case every probe hook is a single branch.
+    probe: Option<&'a Probe>,
+}
+
+/// RAII guard for a probe `enter`: exits on drop, so early `?` returns keep
+/// the probe stack balanced (the time partition stays exact even when a
+/// statement errors out mid-operator).
+struct ProbeGuard<'p>(Option<&'p Probe>);
+
+impl Drop for ProbeGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(p) = self.0 {
+            p.exit();
+        }
+    }
 }
 
 impl<'a> Executor<'a> {
     fn run(&self, q: &Query) -> ExecResult<ResultSet> {
         self.exec_query(q, &[])
+    }
+
+    // ---- probe hooks (no-ops unless this is an analyzed run) ----
+
+    fn pg(&self, id: Option<usize>) -> ProbeGuard<'a> {
+        match (self.probe, id) {
+            (Some(p), Some(id)) => {
+                p.enter(id);
+                ProbeGuard(Some(p))
+            }
+            _ => ProbeGuard(None),
+        }
+    }
+
+    fn prows(&self, id: Option<usize>, rows_in: usize, rows_out: usize) {
+        if let (Some(p), Some(id)) = (self.probe, id) {
+            p.rows(id, rows_in as u64, rows_out as u64);
+        }
+    }
+
+    fn sel_ids(&self, s: &Select) -> SelectIds {
+        self.probe
+            .and_then(|p| p.map.select_ids(s))
+            .unwrap_or_default()
+    }
+
+    fn scan_pid(&self, t: &TableRef) -> Option<usize> {
+        self.probe.and_then(|p| p.map.scan_id(t))
+    }
+
+    fn join_pid(&self, j: &Join) -> Option<usize> {
+        self.probe.and_then(|p| p.map.join_id(j))
+    }
+
+    fn setop_pid(&self, q: &Query) -> Option<usize> {
+        self.probe.and_then(|p| p.map.setop_id(q))
+    }
+
+    fn subq_pid(&self, q: &Query) -> Option<usize> {
+        self.probe.and_then(|p| p.map.subq_id(q))
     }
 
     fn exec_query(&self, q: &Query, outers: &[OuterScope<'_>]) -> ExecResult<ResultSet> {
@@ -127,12 +246,21 @@ impl<'a> Executor<'a> {
                 if l.columns.len() != r.columns.len() {
                     return Err(ExecError::SetOpArity(l.columns.len(), r.columns.len()));
                 }
-                Ok(apply_set_op(*op, l, r))
+                let pid = self.setop_pid(q);
+                let (lin, rin) = (l.rows.len(), r.rows.len());
+                let out = {
+                    let _g = self.pg(pid);
+                    apply_set_op(*op, l, r)
+                };
+                self.prows(pid, lin + rin, out.rows.len());
+                Ok(out)
             }
         }
     }
 
     fn exec_select(&self, s: &Select, outers: &[OuterScope<'_>]) -> ExecResult<ResultSet> {
+        let pids = self.sel_ids(s);
+
         // 1. FROM
         let rel = match &s.from {
             Some(from) => self.exec_from(from, outers)?,
@@ -146,6 +274,7 @@ impl<'a> Executor<'a> {
         let mut filtered: Vec<Row> = Vec::with_capacity(rel.rows.len());
         match &s.where_cond {
             Some(cond) => {
+                let g = self.pg(pids.filter);
                 for row in &rel.rows {
                     let ctx = Ctx::Row {
                         cols: &rel.cols,
@@ -155,6 +284,8 @@ impl<'a> Executor<'a> {
                         filtered.push(row.clone());
                     }
                 }
+                drop(g);
+                self.prows(pids.filter, rel.rows.len(), filtered.len());
             }
             None => filtered = rel.rows,
         }
@@ -170,25 +301,44 @@ impl<'a> Executor<'a> {
         let mut keyed: Vec<(Vec<Value>, Row)> = Vec::new();
 
         if is_aggregate {
-            let groups = self.build_groups(s, &rel.cols, filtered, outers)?;
+            let n_in = filtered.len();
+            let groups = {
+                let _g = self.pg(pids.group);
+                self.build_groups(s, &rel.cols, filtered, outers)?
+            };
+            self.prows(pids.group, n_in, groups.len());
+            let mut n_kept = 0usize;
             for group in &groups {
                 let ctx = Ctx::Group {
                     cols: &rel.cols,
                     rows: group,
                 };
                 if let Some(h) = &s.having {
-                    if self.eval_cond(h, &ctx, outers)? != Some(true) {
+                    let keep = {
+                        let _g = self.pg(pids.having);
+                        self.eval_cond(h, &ctx, outers)?
+                    };
+                    if keep != Some(true) {
                         continue;
                     }
                 }
-                let (names, row) = self.project(s, &ctx, outers)?;
+                n_kept += 1;
+                let (names, row) = {
+                    let _g = self.pg(pids.project);
+                    self.project(s, &ctx, outers)?
+                };
                 if first {
                     columns = names;
                     first = false;
                 }
-                let keys = self.sort_keys(s, &ctx, outers, &columns, &row)?;
+                let keys = {
+                    let _g = self.pg(pids.sort);
+                    self.sort_keys(s, &ctx, outers, &columns, &row)?
+                };
                 keyed.push((keys, row));
             }
+            self.prows(pids.having, groups.len(), n_kept);
+            self.prows(pids.project, n_kept, keyed.len());
             if first {
                 // No surviving groups: derive column names from a probe
                 // against an empty group so arity is still correct.
@@ -207,14 +357,21 @@ impl<'a> Executor<'a> {
                     cols: &rel.cols,
                     row,
                 };
-                let (names, prow) = self.project(s, &ctx, outers)?;
+                let (names, prow) = {
+                    let _g = self.pg(pids.project);
+                    self.project(s, &ctx, outers)?
+                };
                 if first {
                     columns = names;
                     first = false;
                 }
-                let keys = self.sort_keys(s, &ctx, outers, &columns, &prow)?;
+                let keys = {
+                    let _g = self.pg(pids.sort);
+                    self.sort_keys(s, &ctx, outers, &columns, &prow)?
+                };
                 keyed.push((keys, prow));
             }
+            self.prows(pids.project, filtered.len(), keyed.len());
             if first {
                 // Zero rows: probe column names on a row of NULLs.
                 let null_row: Row = vec![Value::Null; rel.cols.len()];
@@ -230,6 +387,8 @@ impl<'a> Executor<'a> {
 
         // 4. ORDER BY (stable sort; keys computed above).
         if !s.order_by.is_empty() {
+            let n = keyed.len();
+            let g = self.pg(pids.sort);
             let dirs: Vec<SortDir> = s.order_by.iter().map(|k| k.dir).collect();
             keyed.sort_by(|(ka, _), (kb, _)| {
                 for (i, dir) in dirs.iter().enumerate() {
@@ -244,19 +403,29 @@ impl<'a> Executor<'a> {
                 }
                 Ordering::Equal
             });
+            drop(g);
+            self.prows(pids.sort, n, n);
         }
 
         let mut rows: Vec<Row> = keyed.into_iter().map(|(_, r)| r).collect();
 
         // 5. DISTINCT
         if s.distinct {
+            let n = rows.len();
+            let g = self.pg(pids.distinct);
             let mut seen = std::collections::HashSet::new();
             rows.retain(|r| seen.insert(row_key(r)));
+            drop(g);
+            self.prows(pids.distinct, n, rows.len());
         }
 
         // 6. LIMIT
         if let Some(n) = s.limit {
+            let before = rows.len();
+            let g = self.pg(pids.limit);
             rows.truncate(n as usize);
+            drop(g);
+            self.prows(pids.limit, before, rows.len());
         }
 
         Ok(ResultSet { columns, rows })
@@ -268,12 +437,20 @@ impl<'a> Executor<'a> {
         let mut rel = self.scan(&from.base, outers)?;
         for join in &from.joins {
             let right = self.scan(&join.table, outers)?;
-            rel = self.join(rel, right, join.on.as_ref(), outers)?;
+            let pid = self.join_pid(join);
+            let (lin, rin) = (rel.rows.len(), right.rows.len());
+            rel = {
+                let _g = self.pg(pid);
+                self.join(rel, right, join.on.as_ref(), outers)?
+            };
+            self.prows(pid, lin + rin, rel.rows.len());
         }
         Ok(rel)
     }
 
     fn scan(&self, t: &TableRef, outers: &[OuterScope<'_>]) -> ExecResult<Relation> {
+        let pid = self.scan_pid(t);
+        let _g = self.pg(pid);
         match t {
             TableRef::Named { name, alias } => {
                 let schema = self
@@ -289,10 +466,14 @@ impl<'a> Executor<'a> {
                 let rows = self.db.rows(name).unwrap_or(&[]).to_vec();
                 self.rows_scanned
                     .set(self.rows_scanned.get() + rows.len() as u64);
+                self.prows(pid, 0, rows.len());
                 Ok(Relation { cols, rows })
             }
             TableRef::Derived { query, alias } => {
+                // The inner query's operators nest under this scan node on
+                // the probe stack and account for their own time.
                 let rs = self.exec_query(query, outers)?;
+                self.prows(pid, rs.rows.len(), rs.rows.len());
                 let binding = alias
                     .as_deref()
                     .map(str::to_lowercase)
@@ -555,7 +736,7 @@ impl<'a> Executor<'a> {
                         return Ok(scope.row[idx].clone());
                     }
                 }
-                Err(ExecError::UnknownColumn(format!("{c}")))
+                Err(unknown_column_error(c, ctx.cols(), outers))
             }
         }
     }
@@ -764,7 +945,11 @@ impl<'a> Executor<'a> {
                 row,
             });
         }
-        self.exec_query(q, &scopes)
+        let pid = self.subq_pid(q);
+        let _g = self.pg(pid);
+        let rs = self.exec_query(q, &scopes)?;
+        self.prows(pid, rs.rows.len(), rs.rows.len());
+        Ok(rs)
     }
 
     fn scalar_subquery(
@@ -778,6 +963,52 @@ impl<'a> Executor<'a> {
             return Err(ExecError::SubqueryArity(rs.columns.len()));
         }
         Ok(rs.rows.first().map(|r| r[0].clone()).unwrap_or(Value::Null))
+    }
+}
+
+/// Build an `UnknownColumn` error enriched with a near-miss suggestion.
+///
+/// Only called at the terminal failure site in [`Executor::eval_col`] (after
+/// outer scopes were exhausted), so the speculative `resolve` probes used by
+/// the hash-join fast path stay allocation-free. Candidates are drawn from the
+/// current relation and every outer scope; a wrong-table qualifier (exact
+/// column name under another binding) wins over a close spelling
+/// (edit distance at most 2 and strictly less than the name length).
+fn unknown_column_error(
+    c: &ColumnRef,
+    cols: &[(String, String)],
+    outers: &[OuterScope<'_>],
+) -> ExecError {
+    let name = c.column.to_lowercase();
+    let mut visible: Vec<&(String, String)> = cols.iter().collect();
+    for scope in outers {
+        visible.extend(scope.cols.iter());
+    }
+    // Wrong-table qualifier: the column exists, just under another binding.
+    if c.table.is_some() {
+        if let Some((b, n)) = visible.iter().find(|(_, n)| *n == name) {
+            return ExecError::UnknownColumn(format!("{c} (did you mean {b}.{n}?)"));
+        }
+    }
+    // Close spelling: best Levenshtein candidate, deterministic tie-break on
+    // (distance, binding, name).
+    let mut best: Option<(usize, &String, &String)> = None;
+    for (b, n) in &visible {
+        let d = textkit::edit_distance(&name, n);
+        if d == 0 || d > 2 || d >= name.chars().count() {
+            continue;
+        }
+        let better = match &best {
+            None => true,
+            Some((bd, bb, bn)) => (d, b, n) < (*bd, bb, bn),
+        };
+        if better {
+            best = Some((d, b, n));
+        }
+    }
+    match best {
+        Some((_, b, n)) => ExecError::UnknownColumn(format!("{c} (did you mean {b}.{n}?)")),
+        None => ExecError::UnknownColumn(format!("{c}")),
     }
 }
 
@@ -1461,5 +1692,147 @@ mod tests {
             "SELECT name FROM singer WHERE country IN (SELECT country FROM singer WHERE age > 50 UNION SELECT country FROM singer WHERE age < 28) ORDER BY name ASC",
         );
         assert_eq!(strs(&rs), vec!["Amy", "Bob", "Cleo", "Joe"]);
+    }
+
+    fn analyze(sql: &str) -> Analyzed {
+        let q = parse_query(sql).unwrap();
+        execute_query_analyzed(&db(), &q, ExecOptions::default(), None)
+            .unwrap_or_else(|e| panic!("analyze failed for {sql}: {e}"))
+    }
+
+    /// Assert the rows-flow invariant on every node: a parent's `rows_in`
+    /// equals the sum of `rows_out` over its leading `inputs` children.
+    fn assert_rows_flow(plan: &crate::explain::Plan) {
+        for (i, n) in plan.nodes.iter().enumerate() {
+            if n.inputs == 0 || i == plan.root {
+                continue;
+            }
+            let fed: u64 = n.children[..n.inputs]
+                .iter()
+                .map(|&c| plan.nodes[c].stats.rows_out)
+                .sum();
+            assert_eq!(
+                n.stats.rows_in, fed,
+                "node {i} ({}) rows_in != sum of input children rows_out",
+                n.label
+            );
+        }
+    }
+
+    #[test]
+    fn analyze_matches_plain_execution() {
+        for sql in [
+            "SELECT name FROM singer WHERE age > 40",
+            "SELECT country, count(*) FROM singer GROUP BY country HAVING count(*) > 1 ORDER BY count(*) DESC",
+            "SELECT T1.name FROM singer AS T1 JOIN song AS T2 ON T1.singer_id = T2.singer_id",
+            "SELECT DISTINCT country FROM singer ORDER BY country LIMIT 2",
+            "SELECT name FROM singer WHERE age > (SELECT avg(age) FROM singer)",
+            "SELECT country FROM singer UNION SELECT country FROM singer WHERE age < 30",
+        ] {
+            let q = parse_query(sql).unwrap();
+            let plain = execute_query(&db(), &q).unwrap();
+            let an = analyze(sql);
+            assert_eq!(an.result.columns, plain.columns, "{sql}");
+            assert_eq!(an.result.rows, plain.rows, "{sql}");
+            let root = &an.plan.nodes[an.plan.root];
+            assert_eq!(
+                root.stats.rows_out,
+                an.result.rows.len() as u64,
+                "root node reports the final result cardinality: {sql}"
+            );
+        }
+    }
+
+    #[test]
+    fn analyze_self_times_partition_the_run() {
+        let an = analyze(
+            "SELECT T1.country, count(*) FROM singer AS T1 JOIN song AS T2 ON T1.singer_id = T2.singer_id WHERE T2.sales > 10000 GROUP BY T1.country ORDER BY count(*) DESC",
+        );
+        let total: u64 = an.plan.nodes.iter().map(|n| n.stats.self_ns).sum();
+        assert_eq!(total, an.plan.total_self_ns());
+        // The synthetic exec root is entered for the whole run, so the sum is
+        // the full wall-clock partition, never zero for a non-trivial query.
+        assert!(an.plan.nodes[an.plan.root].stats.invocations == 1);
+    }
+
+    #[test]
+    fn analyze_rows_flow_invariant_holds() {
+        for sql in [
+            "SELECT name FROM singer WHERE age > 40",
+            "SELECT T1.name FROM singer AS T1 JOIN song AS T2 ON T1.singer_id = T2.singer_id",
+            "SELECT country, count(*) FROM singer GROUP BY country HAVING count(*) > 1",
+            "SELECT DISTINCT country FROM singer ORDER BY country LIMIT 2",
+            "SELECT country FROM singer INTERSECT SELECT country FROM singer WHERE age < 30",
+            "SELECT name FROM (SELECT name, age FROM singer WHERE age > 30) AS t WHERE age < 50",
+        ] {
+            let an = analyze(sql);
+            assert_rows_flow(&an.plan);
+        }
+    }
+
+    #[test]
+    fn analyze_counts_filter_rows() {
+        let an = analyze("SELECT name FROM singer WHERE age > 40");
+        let filter = an
+            .plan
+            .nodes
+            .iter()
+            .find(|n| n.kind == crate::explain::OpKind::Filter)
+            .expect("filter node");
+        assert_eq!(filter.stats.rows_in, 5);
+        assert_eq!(filter.stats.rows_out, 2);
+        let scan = an
+            .plan
+            .nodes
+            .iter()
+            .find(|n| n.kind == crate::explain::OpKind::Scan)
+            .expect("scan node");
+        assert_eq!(scan.stats.rows_out, 5);
+        assert_eq!(an.plan.rows_scanned(), 5);
+    }
+
+    #[test]
+    fn canonical_render_is_deterministic_and_timeless() {
+        let an1 = analyze("SELECT name FROM singer WHERE age > 40 ORDER BY name LIMIT 1");
+        let an2 = analyze("SELECT name FROM singer WHERE age > 40 ORDER BY name LIMIT 1");
+        let r1 = an1.plan.render(true, true);
+        assert_eq!(r1, an2.plan.render(true, true));
+        for line in r1.lines().filter(|l| l.contains("self=")) {
+            assert!(
+                line.contains("self=0ns"),
+                "canonical render must zero times: {line}"
+            );
+        }
+        assert!(r1.contains("act="), "analyze render keeps actual rows");
+        assert!(r1.contains("total self-time: 0ns"));
+    }
+
+    #[test]
+    fn unknown_column_suggests_wrong_table_qualifier() {
+        let e = run_err(
+            "SELECT T2.name FROM singer AS T1 JOIN song AS T2 ON T1.singer_id = T2.singer_id",
+        );
+        let msg = e.to_string();
+        assert!(
+            msg.contains("did you mean t1.name?"),
+            "message should point at the right binding: {msg}"
+        );
+    }
+
+    #[test]
+    fn unknown_column_suggests_close_spelling() {
+        let e = run_err("SELECT nmae FROM singer");
+        let msg = e.to_string();
+        assert!(
+            msg.contains("did you mean singer.name?"),
+            "message should suggest near-miss: {msg}"
+        );
+    }
+
+    #[test]
+    fn unknown_column_without_candidate_is_plain() {
+        let e = run_err("SELECT completely_unrelated FROM singer");
+        let msg = e.to_string();
+        assert!(!msg.contains("did you mean"), "{msg}");
     }
 }

@@ -41,14 +41,19 @@ pub mod compare;
 pub mod db;
 pub mod error;
 pub mod exec;
+pub mod explain;
 pub mod schema;
+pub mod stats;
 pub mod value;
 
 pub use compare::{results_match, value_eq};
 pub use db::Database;
 pub use error::{ExecError, ExecResult};
 pub use exec::{
-    execute_query, execute_query_with, like_match, ExecOptions, JoinStrategy, ResultSet,
+    execute_query, execute_query_analyzed, execute_query_with, like_match, Analyzed, ExecOptions,
+    JoinStrategy, ResultSet,
 };
+pub use explain::{explain_query, OpKind, OpStats, Plan, PlanNode};
 pub use schema::{ColType, ColumnDef, DbSchema, ForeignKey, TableSchema};
+pub use stats::{collect, ColumnStats, DbStats, TableStats};
 pub use value::{Row, Value};

@@ -24,5 +24,5 @@ pub mod tokenizer;
 
 pub use embed::{embed, embed_into, text_cosine, Embedding, DIM};
 pub use mask::{DomainMasker, MASK};
-pub use similar::{word_edit_similarity, word_jaccard};
+pub use similar::{edit_distance, word_edit_similarity, word_jaccard};
 pub use tokenizer::Tokenizer;

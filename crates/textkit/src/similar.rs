@@ -43,6 +43,15 @@ pub fn word_edit_similarity(a: &str, b: &str) -> f64 {
     1.0 - d as f64 / wa.len().max(wb.len()) as f64
 }
 
+/// Character-level Levenshtein distance, case-insensitive (both inputs are
+/// lowercased first). Used by the storage executor to suggest near-miss
+/// column names in unknown-column errors.
+pub fn edit_distance(a: &str, b: &str) -> usize {
+    let ca: Vec<char> = a.to_lowercase().chars().collect();
+    let cb: Vec<char> = b.to_lowercase().chars().collect();
+    levenshtein(&ca, &cb)
+}
+
 /// Levenshtein distance with one reused row: `row[j]` holds the previous
 /// row's value until the inner loop overwrites it, and `diag` carries the
 /// value that was at `row[j]` before the overwrite (the ↖ neighbor).
@@ -111,6 +120,14 @@ mod tests {
         assert_eq!(d("kitten", "sitting"), 3);
         assert_eq!(d("flaw", "lawn"), 2);
         assert_eq!(d("same", "same"), 0);
+    }
+
+    #[test]
+    fn char_edit_distance_matches_textbook_cases() {
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+        assert_eq!(edit_distance("Name", "name"), 0);
+        assert_eq!(edit_distance("", "ab"), 2);
+        assert_eq!(edit_distance("singer_id", "singerid"), 1);
     }
 
     #[test]

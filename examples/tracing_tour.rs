@@ -24,6 +24,7 @@ fn main() {
     let opts = EvalOptions {
         threads: None,
         recorder: recorder.clone(),
+        digests: false,
     };
     let items = &bench.dev[..12.min(bench.dev.len())];
     let result = evaluate_opts(&bench, &selector, &dail, items, 42, false, &opts);

@@ -90,16 +90,53 @@ if [ "$alerts" != "1" ]; then
     exit 1
 fi
 
+echo "==> explain golden plan (canonical ANALYZE rendering)"
+# The canonical (time-zeroed) ANALYZE plan for a fixed join+group query must
+# stay byte-stable — cardinalities, operator order, and estimate display all
+# included. Regenerate after an intended change with:
+#   DAIL_UPDATE_GOLDEN=1 cargo test -q -p bench --test cli
+$CLI explain concert_singer \
+    "SELECT T1.country, count(*) FROM singer AS T1 JOIN concert AS T2 ON T1.singer_id = T2.singer_id WHERE T2.year > 2015 GROUP BY T1.country ORDER BY count(*) DESC LIMIT 3" \
+    --analyze --canonical --train 40 --dev 10 > target/explain-plan.txt
+if ! cmp -s target/explain-plan.txt tests/golden/explain_plan.txt; then
+    echo "explain plan drifted from tests/golden/explain_plan.txt:" >&2
+    diff tests/golden/explain_plan.txt target/explain-plan.txt >&2 || true
+    echo "regenerate with: DAIL_UPDATE_GOLDEN=1 cargo test -q -p bench --test cli" >&2
+    exit 1
+fi
+
+echo "==> table/column statistics JSONL round-trip"
+# Collected statistics must survive serialize -> parse -> serialize
+# byte-identically (the CLI exits 1 on any mismatch).
+$CLI stats concert_singer --roundtrip --train 40 --dev 10 > target/db-stats.jsonl
+[ -s target/db-stats.jsonl ] || {
+    echo "stats subcommand produced no JSONL output" >&2
+    exit 1
+}
+
+echo "==> ANALYZE passivity (report bytes unchanged with stats collection on)"
+# With per-operator stats collection enabled (DAIL_ANALYZE=1), the
+# serve-bench report must stay byte-identical to the committed golden:
+# the observability layer is strictly passive.
+DAIL_ANALYZE=1 $CLI serve-bench --seed 7 --train 60 --dev 24 --requests 120 \
+    --mean-gap-ms 15 --queue 16 > target/serve-bench-analyzed.md
+if ! cmp -s target/serve-bench-analyzed.md tests/golden/serve_bench_report.md; then
+    echo "DAIL_ANALYZE=1 changed the serve-bench report bytes:" >&2
+    diff tests/golden/serve_bench_report.md target/serve-bench-analyzed.md >&2 || true
+    exit 1
+fi
+
 echo "==> telemetry overhead ceiling (1% head sampling)"
-# Tracing at a production-like 1% sample rate must not meaningfully slow
-# the serving layer. The bound is deliberately loose (2x + 1s slack) —
-# it catches pathological per-request overhead, not scheduler noise.
+# Tracing at a production-like 1% sample rate — with per-operator ANALYZE
+# stats collection enabled on top — must not meaningfully slow the serving
+# layer. The bound is deliberately loose (2x + 1s slack): it catches
+# pathological per-request overhead, not scheduler noise.
 t0=$(date +%s%N)
 $CLI serve-bench --seed 7 --train 60 --dev 24 --requests 120 \
     --mean-gap-ms 15 --queue 16 >/dev/null
 t_off=$(( ($(date +%s%N) - t0) / 1000000 ))
 t0=$(date +%s%N)
-DAIL_TRACE_SAMPLE=0.01 $CLI serve-bench --seed 7 --train 60 --dev 24 --requests 120 \
+DAIL_ANALYZE=1 DAIL_TRACE_SAMPLE=0.01 $CLI serve-bench --seed 7 --train 60 --dev 24 --requests 120 \
     --mean-gap-ms 15 --queue 16 --trace target/serve-sampled.jsonl >/dev/null 2>&1
 t_on=$(( ($(date +%s%N) - t0) / 1000000 ))
 ceiling=$(( t_off * 2 + 1000 ))
