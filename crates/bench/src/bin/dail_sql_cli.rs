@@ -61,6 +61,8 @@ fn main() {
         "slo-report" => slo_report(&flags),
         "select-bench" => select_bench(&flags),
         "run-experiments" => run_experiments(&flags),
+        "exec-diff" => exec_diff(&flags),
+        "exec-bench" => exec_bench(&flags),
         "profile" => profile_trace(&positional, &flags),
         "flame" => flame_trace(&positional, &flags),
         "metrics" => metrics_trace(&positional),
@@ -117,6 +119,17 @@ fn usage() {
          \u{20}\u{20}                                         reference; print a markdown report\n\
          \u{20}\u{20}                                         (byte-identical across DAIL_THREADS\n\
          \u{20}\u{20}                                         with --no-timing)\n\
+         \u{20}\u{20}exec-diff [--train N] [--dev N] [--seed N]\n\
+         \u{20}\u{20}                                         run every gold query through the\n\
+         \u{20}\u{20}                                         columnar engine AND the reference\n\
+         \u{20}\u{20}                                         interpreter (both join strategies);\n\
+         \u{20}\u{20}                                         exit 1 unless results are bit-identical\n\
+         \u{20}\u{20}exec-bench [--rows N] [--trace FILE.jsonl]\n\
+         \u{20}\u{20}                                         run a fixed scan/filter/join/aggregate\n\
+         \u{20}\u{20}                                         workload on a synthetic table through\n\
+         \u{20}\u{20}                                         the engine DAIL_EXEC selects\n\
+         \u{20}\u{20}                                         (columnar|oracle), recording\n\
+         \u{20}\u{20}                                         storage.exec spans for `profile`\n\
          \u{20}\u{20}run-experiments --experiment e1..e10|a1..a6 [--dev-cap N] [--seed N]\n\
          \u{20}\u{20}     [--full-grid] [--trace FILE.jsonl]   run one paper experiment, print its tables\n\
          \u{20}\u{20}profile TRACE.jsonl                      render a recorded trace as a\n\
@@ -346,6 +359,165 @@ fn stats_cmd(positional: &[&String], flags: &HashMap<String, String>) {
         }
         None => print!("{jsonl}"),
     }
+}
+
+/// Bit-exact result equality: stricter than `PartialEq` (NaN payloads and
+/// `-0.0` vs `0.0` both count) — the standard the differential gate holds
+/// the two engines to.
+fn results_bit_eq(a: &storage::ResultSet, b: &storage::ResultSet) -> bool {
+    use storage::Value;
+    fn cell(a: &Value, b: &Value) -> bool {
+        match (a, b) {
+            (Value::Float(x), Value::Float(y)) => x.to_bits() == y.to_bits(),
+            _ => a == b,
+        }
+    }
+    a.columns == b.columns
+        && a.rows.len() == b.rows.len()
+        && a.rows
+            .iter()
+            .zip(&b.rows)
+            .all(|(r, s)| r.len() == s.len() && r.iter().zip(s).all(|(x, y)| cell(x, y)))
+}
+
+/// `exec-diff`: the differential oracle gate over the benchmark's gold
+/// queries. Every gold query runs through the columnar engine and the
+/// reference interpreter under both join strategies; any non-bit-identical
+/// result (or mismatched error) exits 1.
+fn exec_diff(flags: &HashMap<String, String>) {
+    use storage::{
+        execute_query_oracle_with, execute_query_with, Engine, ExecOptions, JoinStrategy,
+    };
+    let bench = bench_from_flags(flags);
+    let mut n = 0usize;
+    for item in bench.train.iter().chain(bench.dev.iter()) {
+        let db = bench.db(item);
+        let q = match sqlkit::parse_query(&item.gold_sql) {
+            Ok(q) => q,
+            Err(e) => {
+                eprintln!("gold SQL failed to parse ({e}): {}", item.gold_sql);
+                std::process::exit(1);
+            }
+        };
+        for join in [JoinStrategy::Hash, JoinStrategy::NestedLoop] {
+            let opts = ExecOptions {
+                join,
+                engine: Engine::Columnar,
+            };
+            let oracle = execute_query_oracle_with(db, &q, opts);
+            let columnar = execute_query_with(db, &q, opts);
+            let agree = match (&oracle, &columnar) {
+                (Ok(a), Ok(b)) => results_bit_eq(a, b),
+                (Err(a), Err(b)) => a == b,
+                _ => false,
+            };
+            if !agree {
+                eprintln!(
+                    "ENGINE DIVERGENCE ({join:?}) on {}\n  oracle:   {oracle:?}\n  columnar: {columnar:?}",
+                    item.gold_sql
+                );
+                std::process::exit(1);
+            }
+        }
+        n += 1;
+    }
+    println!(
+        "exec-diff: {n} gold queries x 2 join strategies — columnar engine and \
+         reference interpreter agree bit-for-bit"
+    );
+}
+
+/// `exec-bench`: a fixed scan/filter/join/aggregate workload on a synthetic
+/// star schema (`--rows` fact rows), run through whichever engine
+/// `DAIL_EXEC` selects. The analyzed executor emits `storage.exec` spans,
+/// so two traced runs (columnar vs oracle) can be diffed with `profile` —
+/// that is the CI step-change gate. Result row counts go to stdout (the
+/// engines must agree on them); timing goes to stderr and the trace only.
+fn exec_bench(flags: &HashMap<String, String>) {
+    use storage::schema::{ColType, ColumnDef, DbSchema, TableSchema};
+    use storage::{Engine, Value};
+    let rows: usize = num_flag(flags, "rows", 50_000usize);
+    let (rec, trace_path) = setup_trace(flags);
+    let schema = DbSchema {
+        db_id: "exec_bench".into(),
+        tables: vec![
+            TableSchema {
+                name: "fact".into(),
+                columns: vec![
+                    ColumnDef::new("id", ColType::Int),
+                    ColumnDef::new("k", ColType::Int),
+                    ColumnDef::new("v", ColType::Float),
+                    ColumnDef::new("tag", ColType::Text),
+                ],
+                primary_key: vec![0],
+            },
+            TableSchema {
+                name: "dim".into(),
+                columns: vec![
+                    ColumnDef::new("k", ColType::Int),
+                    ColumnDef::new("label", ColType::Text),
+                ],
+                primary_key: vec![0],
+            },
+        ],
+        foreign_keys: vec![],
+    };
+    let mut db = storage::Database::new(schema);
+    for i in 0..rows {
+        db.insert(
+            "fact",
+            vec![
+                Value::Int(i as i64),
+                Value::Int((i % 97) as i64),
+                Value::Float((i % 1000) as f64 / 10.0),
+                Value::Str(format!("t{}", i % 7)),
+            ],
+        )
+        .unwrap();
+    }
+    for k in 0..97i64 {
+        db.insert("dim", vec![Value::Int(k), Value::Str(format!("label{k}"))])
+            .unwrap();
+    }
+    let queries = [
+        ("point", "SELECT count(*) FROM fact WHERE id = 12345"),
+        (
+            "range",
+            "SELECT count(*), sum(v) FROM fact WHERE id BETWEEN 1000 AND 2000",
+        ),
+        (
+            "filter",
+            "SELECT count(*) FROM fact WHERE k = 13 AND v > 50.0",
+        ),
+        ("like", "SELECT count(*) FROM fact WHERE tag LIKE 't1%'"),
+        (
+            "join",
+            "SELECT count(*) FROM fact AS F JOIN dim AS D ON F.k = D.k WHERE F.v < 25.0",
+        ),
+        (
+            "group",
+            "SELECT D.label, count(*), sum(F.v) FROM fact AS F JOIN dim AS D ON F.k = D.k \
+             GROUP BY D.label ORDER BY D.label ASC LIMIT 5",
+        ),
+    ];
+    let engine = match Engine::default() {
+        Engine::Columnar => "columnar",
+        Engine::Oracle => "oracle",
+    };
+    println!("# exec-bench: {rows} fact rows, engine {engine}");
+    let t0 = std::time::Instant::now();
+    for (name, sql) in queries {
+        let q = sqlkit::parse_query(sql).expect("workload SQL parses");
+        match storage::execute_query_analyzed(&db, &q, storage::ExecOptions::default(), None) {
+            Ok(an) => println!("{name}: {} rows", an.result.rows.len()),
+            Err(e) => {
+                eprintln!("exec-bench query {name} failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    eprintln!("exec-bench wall time: {:?}", t0.elapsed());
+    finish_trace(&rec, trace_path);
 }
 
 fn bench_from_flags(flags: &HashMap<String, String>) -> Benchmark {

@@ -1,15 +1,21 @@
 //! In-memory database: schema plus table contents.
 
+use crate::column::ColumnarTable;
 use crate::schema::{DbSchema, TableSchema};
 use crate::value::{Row, Value};
 use crate::ExecError;
 use std::collections::BTreeMap;
+use std::sync::OnceLock;
 
 /// A table's contents.
 #[derive(Debug, Clone, Default)]
 pub struct TableData {
     /// Rows in insertion order.
     pub rows: Vec<Row>,
+    /// Lazily built columnar view; invalidated on insert. The row store
+    /// above stays the source of truth — the columnar form only selects
+    /// rowids, never materializes output cells.
+    columnar: OnceLock<ColumnarTable>,
 }
 
 /// An in-memory database instance.
@@ -19,6 +25,8 @@ pub struct Database {
     pub schema: DbSchema,
     /// Lowercased table name → contents.
     tables: BTreeMap<String, TableData>,
+    /// Lazily collected exact statistics; invalidated on insert.
+    stats: OnceLock<crate::stats::DbStats>,
 }
 
 impl Database {
@@ -29,7 +37,11 @@ impl Database {
             .iter()
             .map(|t| (t.name.to_lowercase(), TableData::default()))
             .collect();
-        Database { schema, tables }
+        Database {
+            schema,
+            tables,
+            stats: OnceLock::new(),
+        }
     }
 
     /// Insert a row, validating arity against the schema.
@@ -46,11 +58,10 @@ impl Database {
                 got: row.len(),
             });
         }
-        self.tables
-            .get_mut(&key)
-            .expect("table map mirrors schema")
-            .rows
-            .push(row);
+        let td = self.tables.get_mut(&key).expect("table map mirrors schema");
+        td.rows.push(row);
+        td.columnar = OnceLock::new();
+        self.stats = OnceLock::new();
         Ok(())
     }
 
@@ -67,6 +78,25 @@ impl Database {
         self.tables
             .get(&table.to_lowercase())
             .map(|t| t.rows.as_slice())
+    }
+
+    /// The columnar view of a table, built on first use and cached until the
+    /// next insert. `None` for unknown tables.
+    pub(crate) fn columnar(&self, table: &str) -> Option<&ColumnarTable> {
+        let td = self.tables.get(&table.to_lowercase())?;
+        let n_cols = self.schema.table(table)?.columns.len();
+        Some(
+            td.columnar
+                .get_or_init(|| ColumnarTable::build(&td.rows, n_cols)),
+        )
+    }
+
+    /// Exact statistics for this database, collected on first use and cached
+    /// until the next insert. The columnar planner and `EXPLAIN` both resolve
+    /// their stats through here when the caller does not supply any, so plan
+    /// decisions are identical across entry points.
+    pub fn cached_stats(&self) -> &crate::stats::DbStats {
+        self.stats.get_or_init(|| crate::stats::collect(self))
     }
 
     /// Look up a table schema by name.

@@ -32,11 +32,41 @@ pub enum JoinStrategy {
     NestedLoop,
 }
 
+/// Execution engine choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// Vectorized columnar front-end with cost-based planning (default).
+    /// Falls back per-select to the reference interpreter whenever the
+    /// planner does not recognize the FROM/WHERE shape as statically safe.
+    Columnar,
+    /// The row-at-a-time reference interpreter, unconditionally. This is
+    /// the differential-testing oracle and the `DAIL_EXEC=oracle` escape
+    /// hatch; results are `value_eq`-identical to [`Engine::Columnar`] by
+    /// construction.
+    Oracle,
+}
+
+static DEFAULT_ENGINE: std::sync::OnceLock<Engine> = std::sync::OnceLock::new();
+
+impl Default for Engine {
+    /// `DAIL_EXEC=oracle` selects the reference interpreter process-wide;
+    /// anything else (including unset) selects the columnar engine. The
+    /// variable is read once and cached.
+    fn default() -> Engine {
+        *DEFAULT_ENGINE.get_or_init(|| match std::env::var("DAIL_EXEC").as_deref() {
+            Ok("oracle") => Engine::Oracle,
+            _ => Engine::Columnar,
+        })
+    }
+}
+
 /// Executor configuration.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ExecOptions {
     /// Join strategy.
     pub join: JoinStrategy,
+    /// Execution engine.
+    pub engine: Engine,
 }
 
 /// Execute a query against a database with default options.
@@ -49,6 +79,7 @@ pub fn execute_query_with(db: &Database, q: &Query, opts: ExecOptions) -> ExecRe
     let ex = Executor {
         db,
         opts,
+        stats: None,
         rows_scanned: std::cell::Cell::new(0),
         probe: None,
     };
@@ -89,12 +120,16 @@ pub fn execute_query_analyzed(
     opts: ExecOptions,
     stats: Option<&crate::stats::DbStats>,
 ) -> ExecResult<Analyzed> {
-    let (mut nodes, root, map) = crate::explain::build_plan(db, q, opts, stats);
+    // Resolve statistics once and hand the same reference to both the plan
+    // builder and the executor, so the plan shown is the plan run.
+    let stats = stats.unwrap_or_else(|| db.cached_stats());
+    let (mut nodes, root, map) = crate::explain::build_plan(db, q, opts, Some(stats));
     let probe = Probe::new(map, nodes.len());
     let (out, rows_scanned) = {
         let ex = Executor {
             db,
             opts,
+            stats: Some(stats),
             rows_scanned: std::cell::Cell::new(0),
             probe: Some(&probe),
         };
@@ -172,6 +207,10 @@ impl<'a> Ctx<'a> {
 struct Executor<'a> {
     db: &'a Database,
     opts: ExecOptions,
+    /// Pre-resolved statistics for analyzed runs (must match what the plan
+    /// builder saw); the columnar front-end falls back to
+    /// [`Database::cached_stats`] when absent.
+    stats: Option<&'a crate::stats::DbStats>,
     /// Base-table rows materialized by scans (telemetry only).
     rows_scanned: std::cell::Cell<u64>,
     /// Per-operator probe for analyzed runs; `None` on the normal path, in
@@ -261,34 +300,54 @@ impl<'a> Executor<'a> {
     fn exec_select(&self, s: &Select, outers: &[OuterScope<'_>]) -> ExecResult<ResultSet> {
         let pids = self.sel_ids(s);
 
-        // 1. FROM
-        let rel = match &s.from {
-            Some(from) => self.exec_from(from, outers)?,
-            None => Relation {
-                cols: Vec::new(),
-                rows: vec![Vec::new()],
-            },
-        };
-
-        // 2. WHERE
-        let mut filtered: Vec<Row> = Vec::with_capacity(rel.rows.len());
-        match &s.where_cond {
-            Some(cond) => {
-                let g = self.pg(pids.filter);
-                for row in &rel.rows {
-                    let ctx = Ctx::Row {
-                        cols: &rel.cols,
-                        row,
-                    };
-                    if self.eval_cond(cond, &ctx, outers)? == Some(true) {
-                        filtered.push(row.clone());
-                    }
-                }
-                drop(g);
-                self.prows(pids.filter, rel.rows.len(), filtered.len());
+        // 1. + 2. FROM and WHERE. The columnar front-end handles both at
+        // once when the cost-based planner recognizes the shape as
+        // statically safe; otherwise the reference scan → join → filter
+        // path runs. Both produce identical rows in identical order.
+        let front = match (&s.from, self.opts.engine) {
+            (Some(_), Engine::Columnar) => {
+                let stats = self.stats.unwrap_or_else(|| self.db.cached_stats());
+                crate::planner::plan_front(self.db, s, self.opts, stats)
             }
-            None => filtered = rel.rows,
-        }
+            _ => None,
+        };
+        let Relation {
+            cols: rel_cols,
+            rows: filtered,
+        } = match front {
+            Some(fp) => self.exec_front_columnar(fp, outers, &pids)?,
+            None => {
+                let rel = match &s.from {
+                    Some(from) => self.exec_from(from, outers)?,
+                    None => Relation {
+                        cols: Vec::new(),
+                        rows: vec![Vec::new()],
+                    },
+                };
+                let mut filtered: Vec<Row> = Vec::with_capacity(rel.rows.len());
+                match &s.where_cond {
+                    Some(cond) => {
+                        let g = self.pg(pids.filter);
+                        for row in &rel.rows {
+                            let ctx = Ctx::Row {
+                                cols: &rel.cols,
+                                row,
+                            };
+                            if self.eval_cond(cond, &ctx, outers)? == Some(true) {
+                                filtered.push(row.clone());
+                            }
+                        }
+                        drop(g);
+                        self.prows(pids.filter, rel.rows.len(), filtered.len());
+                    }
+                    None => filtered = rel.rows,
+                }
+                Relation {
+                    cols: rel.cols,
+                    rows: filtered,
+                }
+            }
+        };
 
         let is_aggregate = !s.group_by.is_empty()
             || s.items.iter().any(|i| i.expr.contains_aggregate())
@@ -304,13 +363,13 @@ impl<'a> Executor<'a> {
             let n_in = filtered.len();
             let groups = {
                 let _g = self.pg(pids.group);
-                self.build_groups(s, &rel.cols, filtered, outers)?
+                self.build_groups(s, &rel_cols, filtered, outers)?
             };
             self.prows(pids.group, n_in, groups.len());
             let mut n_kept = 0usize;
             for group in &groups {
                 let ctx = Ctx::Group {
-                    cols: &rel.cols,
+                    cols: &rel_cols,
                     rows: group,
                 };
                 if let Some(h) = &s.having {
@@ -344,7 +403,7 @@ impl<'a> Executor<'a> {
                 // against an empty group so arity is still correct.
                 let empty: Vec<Row> = Vec::new();
                 let ctx = Ctx::Group {
-                    cols: &rel.cols,
+                    cols: &rel_cols,
                     rows: &empty,
                 };
                 if let Ok((names, _)) = self.project(s, &ctx, outers) {
@@ -354,7 +413,7 @@ impl<'a> Executor<'a> {
         } else {
             for row in &filtered {
                 let ctx = Ctx::Row {
-                    cols: &rel.cols,
+                    cols: &rel_cols,
                     row,
                 };
                 let (names, prow) = {
@@ -374,9 +433,9 @@ impl<'a> Executor<'a> {
             self.prows(pids.project, filtered.len(), keyed.len());
             if first {
                 // Zero rows: probe column names on a row of NULLs.
-                let null_row: Row = vec![Value::Null; rel.cols.len()];
+                let null_row: Row = vec![Value::Null; rel_cols.len()];
                 let ctx = Ctx::Row {
-                    cols: &rel.cols,
+                    cols: &rel_cols,
                     row: &null_row,
                 };
                 if let Ok((names, _)) = self.project(s, &ctx, outers) {
@@ -446,6 +505,236 @@ impl<'a> Executor<'a> {
             self.prows(pid, lin + rin, rel.rows.len());
         }
         Ok(rel)
+    }
+
+    /// Columnar FROM + WHERE: per-table rowid selections via the planned
+    /// access path (index range or full scan) refined by pushed kernels,
+    /// flat rowid-tuple joins in planner order, restoration of reference row
+    /// order, then the residual WHERE over late-materialized rows. Output
+    /// rows are cloned from the row store, so they are bit-identical to the
+    /// reference `exec_from` + WHERE loop.
+    fn exec_front_columnar(
+        &self,
+        fp: crate::planner::FrontPlan<'_>,
+        outers: &[OuterScope<'_>],
+        pids: &SelectIds,
+    ) -> ExecResult<Relation> {
+        use crate::planner::{AccessPath, WhereMode};
+        let n_pos = fp.tables.len();
+
+        // Combined output labels, in FROM order (as the reference builds).
+        let mut cols: Vec<(String, String)> = Vec::new();
+        for t in &fp.tables {
+            let schema = self.db.table_schema(&t.name).expect("planned table");
+            cols.extend(
+                schema
+                    .columns
+                    .iter()
+                    .map(|c| (t.binding.clone(), c.name.to_lowercase())),
+            );
+        }
+
+        // Per-table selections (ascending rowids).
+        let mut cts: Vec<&crate::column::ColumnarTable> = Vec::with_capacity(n_pos);
+        let mut sels: Vec<Vec<u32>> = Vec::with_capacity(n_pos);
+        for t in &fp.tables {
+            let ct = self.db.columnar(&t.name).expect("planned table");
+            let pid = self.scan_pid(t.tref);
+            let g = self.pg(pid);
+            let mut sel: Vec<u32> = match &t.access {
+                AccessPath::Scan => (0..ct.n_rows as u32).collect(),
+                AccessPath::IndexRange { col, lo, hi, .. } => {
+                    let c = &ct.columns[*col];
+                    let idx = c.sorted_index().expect("planner excludes NaN columns");
+                    idx.range(
+                        c,
+                        lo.as_ref().map(|(v, inc)| (v, *inc)),
+                        hi.as_ref().map(|(v, inc)| (v, *inc)),
+                    )
+                }
+            };
+            for kp in &t.pushed {
+                sel = crate::kernels::filter(kp, ct, sel);
+            }
+            // Telemetry counts the whole table per scan, as the reference
+            // materializing scan does. The probe reports the physical size
+            // as rows_in (scans have no row-input children, so the
+            // rows-flow invariant is unaffected) and the selected count as
+            // rows_out, giving EXPLAIN a real est-vs-act comparison.
+            self.rows_scanned
+                .set(self.rows_scanned.get() + ct.n_rows as u64);
+            drop(g);
+            self.prows(pid, ct.n_rows, sel.len());
+            cts.push(ct);
+            sels.push(sel);
+        }
+
+        // Join in planner order over flat rowid tuples (stride `n_pos`,
+        // slot = FROM position; unintroduced slots stay 0 and are ignored).
+        let start = fp.order[0];
+        let mut acc: Vec<u32> = Vec::with_capacity(sels[start].len() * n_pos);
+        for &r in &sels[start] {
+            let base = acc.len();
+            acc.resize(base + n_pos, 0);
+            acc[base + start] = r;
+        }
+        let mut n_acc = sels[start].len();
+        for step in &fp.steps {
+            let q = step.introduces;
+            let sel_q = &sels[q];
+            let pid = self.join_pid(step.ast_join);
+            let g = self.pg(pid);
+            let rows_in = n_acc + sel_q.len();
+            let mut next: Vec<u32> = Vec::new();
+            if step.keys.is_empty() {
+                // Cross join.
+                for tup in acc.chunks_exact(n_pos) {
+                    for &r in sel_q {
+                        let base = next.len();
+                        next.extend_from_slice(tup);
+                        next[base + q] = r;
+                    }
+                }
+            } else if step.use_loop {
+                // Pairwise fallback: a NaN sits in an exact key column, and
+                // NaN `sql_cmp`-equals every number, so it cannot be hashed.
+                for tup in acc.chunks_exact(n_pos) {
+                    for &r in sel_q {
+                        if front_keys_match(&cts, step, tup, r) {
+                            let base = next.len();
+                            next.extend_from_slice(tup);
+                            next[base + q] = r;
+                        }
+                    }
+                }
+            } else {
+                // Hash join: bucket the introduced side, probe the
+                // accumulator. Exact keys are a prefilter (f64-bit classes
+                // collide for distinct ints beyond 2^53), so candidates are
+                // re-verified pairwise; class keys are exact by themselves.
+                let mut buckets: HashMap<Vec<crate::column::ValueKey<'_>>, Vec<u32>> =
+                    HashMap::new();
+                'row: for &r in sel_q {
+                    let mut key = Vec::with_capacity(step.keys.len());
+                    for k in &step.keys {
+                        match cell_key(&cts[q].columns[k.right_col], r as usize, k.exact) {
+                            Some(v) => key.push(v),
+                            None => continue 'row, // NULL never joins
+                        }
+                    }
+                    buckets.entry(key).or_default().push(r);
+                }
+                let mut probe_key = Vec::with_capacity(step.keys.len());
+                'tup: for tup in acc.chunks_exact(n_pos) {
+                    probe_key.clear();
+                    for k in &step.keys {
+                        let i = tup[k.left_pos] as usize;
+                        match cell_key(&cts[k.left_pos].columns[k.left_col], i, k.exact) {
+                            Some(v) => probe_key.push(v),
+                            None => continue 'tup,
+                        }
+                    }
+                    let Some(cands) = buckets.get(&probe_key) else {
+                        continue;
+                    };
+                    for &r in cands {
+                        let verified = step.keys.iter().all(|k| {
+                            !k.exact
+                                || crate::column::cells_sql_eq(
+                                    &cts[k.left_pos].columns[k.left_col],
+                                    tup[k.left_pos] as usize,
+                                    &cts[q].columns[k.right_col],
+                                    r as usize,
+                                )
+                        });
+                        if verified {
+                            let base = next.len();
+                            next.extend_from_slice(tup);
+                            next[base + q] = r;
+                        }
+                    }
+                }
+            }
+            acc = next;
+            n_acc = acc.len() / n_pos;
+            drop(g);
+            self.prows(pid, rows_in, n_acc);
+        }
+
+        // Restore reference row order. The reference's join output is
+        // lexicographic in the FROM-position rowid tuple (left-to-right
+        // joins preserve build order, and bucket/scan order is ascending),
+        // and surviving tuples form a subset of distinct tuples — so a
+        // lexicographic sort reproduces the reference order exactly.
+        let mut tuples: Vec<&[u32]> = acc.chunks_exact(n_pos).collect();
+        tuples.sort_unstable();
+
+        // Late materialization: output cells are always cloned from the
+        // row store, never reconstructed from column vectors.
+        let base_rows: Vec<&[Row]> = fp
+            .tables
+            .iter()
+            .map(|t| self.db.rows(&t.name).expect("planned table"))
+            .collect();
+        let width = cols.len();
+        let materialize = |tup: &[u32]| -> Row {
+            let mut row: Row = Vec::with_capacity(width);
+            for (p, rows) in base_rows.iter().enumerate() {
+                row.extend(rows[tup[p] as usize].iter().cloned());
+            }
+            row
+        };
+
+        // Residual WHERE. `Residual` conjuncts are statically safe (they
+        // cannot error); `RowWise` replays the whole original WHERE in
+        // reference order, reproducing its lazy-error behavior exactly.
+        let rows: Vec<Row> = match &fp.where_mode {
+            WhereMode::None => tuples.iter().map(|t| materialize(t)).collect(),
+            WhereMode::Residual(conds) => {
+                let n_in = tuples.len();
+                let g = self.pg(pids.filter);
+                let mut out = Vec::new();
+                for tup in &tuples {
+                    let row = materialize(tup);
+                    let ctx = Ctx::Row {
+                        cols: &cols,
+                        row: &row,
+                    };
+                    let mut keep = true;
+                    for c in conds {
+                        if self.eval_cond(c, &ctx, outers)? != Some(true) {
+                            keep = false;
+                            break;
+                        }
+                    }
+                    if keep {
+                        out.push(row);
+                    }
+                }
+                drop(g);
+                self.prows(pids.filter, n_in, out.len());
+                out
+            }
+            WhereMode::RowWise(cond) => {
+                let n_in = tuples.len();
+                let g = self.pg(pids.filter);
+                let mut out = Vec::new();
+                for tup in &tuples {
+                    let row = materialize(tup);
+                    let ctx = Ctx::Row {
+                        cols: &cols,
+                        row: &row,
+                    };
+                    if self.eval_cond(cond, &ctx, outers)? == Some(true) {
+                        out.push(row);
+                    }
+                }
+                drop(g);
+                self.prows(pids.filter, n_in, out.len());
+                out
+            }
+        };
+        Ok(Relation { cols, rows })
     }
 
     fn scan(&self, t: &TableRef, outers: &[OuterScope<'_>]) -> ExecResult<Relation> {
@@ -1013,6 +1302,43 @@ fn unknown_column_error(
 }
 
 /// Resolve a column reference against relation labels.
+/// The hash-join key of one cell under the edge's equality semantics
+/// (`None` = NULL, never joinable).
+fn cell_key(
+    col: &crate::column::Column,
+    i: usize,
+    exact: bool,
+) -> Option<crate::column::ValueKey<'_>> {
+    if exact {
+        col.cell_exact_key(i)
+    } else {
+        col.cell_class_key(i)
+    }
+}
+
+/// Pairwise key check for the loop-join fallback (NaN-safe: exact keys use
+/// `sql_cmp` equality directly, class keys compare canonicalized classes).
+fn front_keys_match(
+    cts: &[&crate::column::ColumnarTable],
+    step: &crate::planner::JoinStep<'_>,
+    tup: &[u32],
+    r: u32,
+) -> bool {
+    step.keys.iter().all(|k| {
+        let lc = &cts[k.left_pos].columns[k.left_col];
+        let rc = &cts[step.introduces].columns[k.right_col];
+        let (i, j) = (tup[k.left_pos] as usize, r as usize);
+        if !lc.is_valid(i) || !rc.is_valid(j) {
+            return false;
+        }
+        if k.exact {
+            crate::column::cells_sql_eq(lc, i, rc, j)
+        } else {
+            lc.cell_class_key(i) == rc.cell_class_key(j)
+        }
+    })
+}
+
 fn resolve(cols: &[(String, String)], c: &ColumnRef) -> ExecResult<usize> {
     let name = c.column.to_lowercase();
     match &c.table {
@@ -1417,6 +1743,7 @@ mod tests {
             &q,
             ExecOptions {
                 join: JoinStrategy::Hash,
+                ..ExecOptions::default()
             },
         )
         .unwrap();
@@ -1425,6 +1752,7 @@ mod tests {
             &q,
             ExecOptions {
                 join: JoinStrategy::NestedLoop,
+                ..ExecOptions::default()
             },
         )
         .unwrap();
@@ -1772,7 +2100,40 @@ mod tests {
 
     #[test]
     fn analyze_counts_filter_rows() {
+        // Columnar engine: the predicate is pushed into the scan, which
+        // reports the physical table size as rows_in and the post-pushdown
+        // selection as rows_out; no filter node remains.
         let an = analyze("SELECT name FROM singer WHERE age > 40");
+        assert!(
+            !an.plan
+                .nodes
+                .iter()
+                .any(|n| n.kind == crate::explain::OpKind::Filter),
+            "pushed predicate must not leave a filter node"
+        );
+        let scan = an
+            .plan
+            .nodes
+            .iter()
+            .find(|n| n.kind == crate::explain::OpKind::Scan)
+            .expect("scan node");
+        assert!(scan.label.contains("[age > 40]"), "{}", scan.label);
+        assert_eq!(scan.stats.rows_in, 5);
+        assert_eq!(scan.stats.rows_out, 2);
+        assert_eq!(an.plan.rows_scanned(), 5);
+
+        // Oracle engine: the reference accounting is unchanged.
+        let q = parse_query("SELECT name FROM singer WHERE age > 40").unwrap();
+        let an = execute_query_analyzed(
+            &db(),
+            &q,
+            ExecOptions {
+                engine: Engine::Oracle,
+                ..ExecOptions::default()
+            },
+            None,
+        )
+        .unwrap();
         let filter = an
             .plan
             .nodes

@@ -1,0 +1,165 @@
+//! Sorted-key secondary indexes over columnar tables.
+//!
+//! An index is the column's non-null rowids sorted by cell value (ties
+//! broken by rowid, so builds are deterministic). Range and equality
+//! predicates become two binary searches plus a slice copy; the matched
+//! rowids are then re-sorted ascending so downstream kernels and joins see
+//! rows in the same scan order as a full table scan — order preservation is
+//! what keeps the columnar engine bit-identical to the row-at-a-time
+//! reference.
+//!
+//! Columns containing NaN never get an index ([`crate::column::Column`]
+//! refuses to build one): NaN compares `Equal` to every number under the
+//! shared comparator, which is not a total order, so a sort over it would
+//! place NaN rows arbitrarily and range probes would be wrong.
+
+use crate::column::{Column, ColumnData};
+use crate::value::{float_total_cmp, Value};
+use std::cmp::Ordering;
+
+/// One bound of a range probe: the literal plus whether it is inclusive.
+pub(crate) type Bound<'a> = Option<(&'a Value, bool)>;
+
+/// Non-null rowids sorted by (cell value, rowid).
+#[derive(Debug, Clone)]
+pub(crate) struct SortedIndex {
+    order: Vec<u32>,
+}
+
+impl SortedIndex {
+    /// Build the index for a column. The caller guarantees `!col.has_nan`.
+    pub fn build(col: &Column) -> SortedIndex {
+        debug_assert!(!col.has_nan);
+        let n = match &col.data {
+            ColumnData::Int(xs) => xs.len(),
+            ColumnData::Float(xs) => xs.len(),
+            ColumnData::Str(xs) => xs.len(),
+            ColumnData::Mixed(xs) => xs.len(),
+        };
+        let mut order: Vec<u32> = (0..n as u32)
+            .filter(|&i| col.is_valid(i as usize))
+            .collect();
+        match &col.data {
+            ColumnData::Int(xs) => {
+                order.sort_unstable_by(|&a, &b| xs[a as usize].cmp(&xs[b as usize]).then(a.cmp(&b)))
+            }
+            ColumnData::Float(xs) => order.sort_unstable_by(|&a, &b| {
+                float_total_cmp(xs[a as usize], xs[b as usize]).then(a.cmp(&b))
+            }),
+            ColumnData::Str(xs) => {
+                order.sort_unstable_by(|&a, &b| xs[a as usize].cmp(&xs[b as usize]).then(a.cmp(&b)))
+            }
+            ColumnData::Mixed(xs) => order.sort_unstable_by(|&a, &b| {
+                xs[a as usize].total_cmp(&xs[b as usize]).then(a.cmp(&b))
+            }),
+        }
+        SortedIndex { order }
+    }
+
+    /// Rowids whose cell lies within `[lo, hi]` (each bound optional and
+    /// independently inclusive/exclusive), returned ascending by rowid.
+    /// Bounds must be non-null literals.
+    pub fn range(&self, col: &Column, lo: Bound<'_>, hi: Bound<'_>) -> Vec<u32> {
+        let start = match lo {
+            None => 0,
+            Some((v, inclusive)) => self.order.partition_point(|&i| {
+                let ord = col.cmp_cell_lit(i as usize, v);
+                if inclusive {
+                    ord == Ordering::Less
+                } else {
+                    ord != Ordering::Greater
+                }
+            }),
+        };
+        let end = match hi {
+            None => self.order.len(),
+            Some((v, inclusive)) => self.order.partition_point(|&i| {
+                let ord = col.cmp_cell_lit(i as usize, v);
+                if inclusive {
+                    ord != Ordering::Greater
+                } else {
+                    ord == Ordering::Less
+                }
+            }),
+        };
+        if start >= end {
+            return Vec::new();
+        }
+        let mut out = self.order[start..end].to_vec();
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Row;
+
+    fn col(vals: Vec<Value>) -> Column {
+        let rows: Vec<Row> = vals.into_iter().map(|v| vec![v]).collect();
+        let t = crate::column::ColumnarTable::build(&rows, 1);
+        t.columns.into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn range_scan_matches_linear_scan() {
+        let vals = vec![
+            Value::Int(5),
+            Value::Null,
+            Value::Int(2),
+            Value::Int(9),
+            Value::Int(2),
+            Value::Int(7),
+        ];
+        let c = col(vals.clone());
+        let idx = c.sorted_index().expect("no NaN");
+        let lo = Value::Int(2);
+        let hi = Value::Int(7);
+        let got = idx.range(&c, Some((&lo, true)), Some((&hi, false)));
+        let want: Vec<u32> = vals
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| {
+                !v.is_null()
+                    && v.total_cmp(&lo) != Ordering::Less
+                    && v.total_cmp(&hi) == Ordering::Less
+            })
+            .map(|(i, _)| i as u32)
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn equality_probe_is_a_closed_range() {
+        let c = col(vec![
+            Value::Float(1.0),
+            Value::Float(-0.0),
+            Value::Float(0.0),
+            Value::Float(2.5),
+        ]);
+        let idx = c.sorted_index().unwrap();
+        let zero = Value::Int(0);
+        // -0.0 and 0.0 both equal integer 0 under the shared comparator.
+        assert_eq!(
+            idx.range(&c, Some((&zero, true)), Some((&zero, true))),
+            vec![1, 2]
+        );
+    }
+
+    #[test]
+    fn nan_columns_refuse_an_index() {
+        let c = col(vec![Value::Float(1.0), Value::Float(f64::NAN)]);
+        assert!(c.sorted_index().is_none());
+    }
+
+    #[test]
+    fn open_bounds() {
+        let c = col(vec![Value::Int(3), Value::Int(1), Value::Int(2)]);
+        let idx = c.sorted_index().unwrap();
+        let two = Value::Int(2);
+        assert_eq!(idx.range(&c, Some((&two, true)), None), vec![0, 2]);
+        assert_eq!(idx.range(&c, None, Some((&two, false))), vec![1]);
+        assert_eq!(idx.range(&c, None, None), vec![0, 1, 2]);
+    }
+}

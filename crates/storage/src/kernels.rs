@@ -1,0 +1,367 @@
+//! Vectorized predicate kernels over columnar data.
+//!
+//! Each kernel refines a selection vector (ascending rowids) in place:
+//! a row survives iff the predicate evaluates to three-valued `TRUE` for it,
+//! which is exactly the row-at-a-time interpreter's keep test — `FALSE` and
+//! `NULL` both drop. The type dispatch happens once per (column, literal)
+//! pair, so the inner loops run over typed vectors with no per-row
+//! expression-tree walk; every float comparison goes through the single
+//! shared [`crate::value::float_total_cmp`], so kernels and the scalar
+//! interpreter cannot disagree on `-0.0`/NaN/near-epsilon cases.
+
+use crate::column::{Column, ColumnData, ColumnarTable};
+use crate::exec::like_match;
+use crate::value::{float_total_cmp, Value};
+use sqlkit::ast::CmpOp;
+use std::cmp::Ordering;
+
+/// A pushed single-column predicate in kernel-executable form. `col` is the
+/// column index within the owning table; literals are pre-converted.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum KernelPred {
+    /// `col OP lit` (a literal on the left has been flipped onto the right).
+    Cmp { col: usize, op: CmpOp, lit: Value },
+    /// `col [NOT] BETWEEN lo AND hi`.
+    Between {
+        col: usize,
+        lo: Value,
+        hi: Value,
+        negated: bool,
+    },
+    /// `col [NOT] IN (literals…)`.
+    InList {
+        col: usize,
+        list: Vec<Value>,
+        negated: bool,
+    },
+    /// `col [NOT] LIKE pattern`.
+    Like {
+        col: usize,
+        pattern: String,
+        negated: bool,
+    },
+    /// `col IS [NOT] NULL`.
+    IsNull { col: usize, negated: bool },
+}
+
+impl KernelPred {
+    /// The column this predicate reads.
+    pub fn col(&self) -> usize {
+        match self {
+            KernelPred::Cmp { col, .. }
+            | KernelPred::Between { col, .. }
+            | KernelPred::InList { col, .. }
+            | KernelPred::Like { col, .. }
+            | KernelPred::IsNull { col, .. } => *col,
+        }
+    }
+}
+
+#[inline]
+fn cmp_keep(op: CmpOp, ord: Ordering) -> bool {
+    match op {
+        CmpOp::Eq => ord == Ordering::Equal,
+        CmpOp::Neq => ord != Ordering::Equal,
+        CmpOp::Lt => ord == Ordering::Less,
+        CmpOp::Le => ord != Ordering::Greater,
+        CmpOp::Gt => ord == Ordering::Greater,
+        CmpOp::Ge => ord != Ordering::Less,
+    }
+}
+
+/// Refine `sel` (ascending rowids) to the rows where `pred` is TRUE.
+pub(crate) fn filter(pred: &KernelPred, t: &ColumnarTable, mut sel: Vec<u32>) -> Vec<u32> {
+    match pred {
+        KernelPred::Cmp { col, op, lit } => {
+            let c = &t.columns[*col];
+            if lit.is_null() {
+                // `x OP NULL` is NULL for every row: nothing survives.
+                sel.clear();
+                return sel;
+            }
+            cmp_filter(c, *op, lit, &mut sel);
+            sel
+        }
+        KernelPred::Between {
+            col,
+            lo,
+            hi,
+            negated,
+        } => {
+            let c = &t.columns[*col];
+            if lo.is_null() || hi.is_null() {
+                // Either bound NULL ⇒ the whole BETWEEN is NULL (negation
+                // included: NOT NULL is still NULL).
+                sel.clear();
+                return sel;
+            }
+            sel.retain(|&i| {
+                let i = i as usize;
+                if !c.is_valid(i) {
+                    return false;
+                }
+                let inside = c.cmp_cell_lit(i, lo) != Ordering::Less
+                    && c.cmp_cell_lit(i, hi) != Ordering::Greater;
+                inside != *negated
+            });
+            sel
+        }
+        KernelPred::InList { col, list, negated } => {
+            let c = &t.columns[*col];
+            let has_null_cand = list.iter().any(Value::is_null);
+            sel.retain(|&i| {
+                let i = i as usize;
+                if !c.is_valid(i) {
+                    return false;
+                }
+                let found = list
+                    .iter()
+                    .filter(|l| !l.is_null())
+                    .any(|l| c.cmp_cell_lit(i, l) == Ordering::Equal);
+                if found {
+                    !*negated
+                } else if has_null_cand {
+                    // Not found but a NULL candidate ⇒ result NULL ⇒ drop.
+                    false
+                } else {
+                    *negated
+                }
+            });
+            sel
+        }
+        KernelPred::Like {
+            col,
+            pattern,
+            negated,
+        } => {
+            let c = &t.columns[*col];
+            match &c.data {
+                ColumnData::Str(xs) => sel.retain(|&i| {
+                    let i = i as usize;
+                    c.is_valid(i) && (like_match(pattern, &xs[i]) != *negated)
+                }),
+                ColumnData::Int(xs) => sel.retain(|&i| {
+                    let i = i as usize;
+                    c.is_valid(i) && (like_match(pattern, &xs[i].to_string()) != *negated)
+                }),
+                ColumnData::Float(xs) => sel.retain(|&i| {
+                    let i = i as usize;
+                    c.is_valid(i) && (like_match(pattern, &format!("{}", xs[i])) != *negated)
+                }),
+                ColumnData::Mixed(xs) => sel.retain(|&i| {
+                    let i = i as usize;
+                    if !c.is_valid(i) {
+                        return false;
+                    }
+                    like_match(pattern, &xs[i].to_string()) != *negated
+                }),
+            }
+            sel
+        }
+        KernelPred::IsNull { col, negated } => {
+            let c = &t.columns[*col];
+            // Null-free fast path: IS NULL keeps nothing, IS NOT NULL
+            // keeps everything.
+            if c.n_nulls == 0 {
+                if !*negated {
+                    sel.clear();
+                }
+                return sel;
+            }
+            sel.retain(|&i| c.is_valid(i as usize) == *negated);
+            sel
+        }
+    }
+}
+
+/// Type-dispatched comparison loop: one match, then a tight typed pass.
+fn cmp_filter(c: &Column, op: CmpOp, lit: &Value, sel: &mut Vec<u32>) {
+    match (&c.data, lit) {
+        (ColumnData::Int(xs), Value::Int(l)) => {
+            sel.retain(|&i| c.is_valid(i as usize) && cmp_keep(op, xs[i as usize].cmp(l)));
+        }
+        (ColumnData::Int(xs), Value::Float(l)) => {
+            sel.retain(|&i| {
+                c.is_valid(i as usize) && cmp_keep(op, float_total_cmp(xs[i as usize] as f64, *l))
+            });
+        }
+        (ColumnData::Float(xs), lit @ (Value::Int(_) | Value::Float(_))) => {
+            let l = lit.as_f64().expect("numeric literal");
+            sel.retain(|&i| {
+                c.is_valid(i as usize) && cmp_keep(op, float_total_cmp(xs[i as usize], l))
+            });
+        }
+        (ColumnData::Str(xs), Value::Str(l)) => {
+            sel.retain(|&i| c.is_valid(i as usize) && cmp_keep(op, xs[i as usize].as_str().cmp(l)));
+        }
+        // Cross-class comparisons are constant per (class, literal):
+        // numbers sort before text.
+        (ColumnData::Int(_) | ColumnData::Float(_), Value::Str(_)) => {
+            if cmp_keep(op, Ordering::Less) {
+                sel.retain(|&i| c.is_valid(i as usize));
+            } else {
+                sel.clear();
+            }
+        }
+        (ColumnData::Str(_), Value::Int(_) | Value::Float(_)) => {
+            if cmp_keep(op, Ordering::Greater) {
+                sel.retain(|&i| c.is_valid(i as usize));
+            } else {
+                sel.clear();
+            }
+        }
+        (ColumnData::Mixed(_), _) => {
+            sel.retain(|&i| {
+                c.is_valid(i as usize) && cmp_keep(op, c.cmp_cell_lit(i as usize, lit))
+            });
+        }
+        (_, Value::Null) => unreachable!("NULL literal handled by caller"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Row;
+
+    fn table(vals: Vec<Value>) -> (ColumnarTable, Vec<Row>) {
+        let rows: Vec<Row> = vals.into_iter().map(|v| vec![v]).collect();
+        let t = ColumnarTable::build(&rows, 1);
+        (t, rows)
+    }
+
+    /// Scalar reference: the row-at-a-time keep decision for `col OP lit`.
+    fn scalar_cmp_keep(v: &Value, op: CmpOp, lit: &Value) -> bool {
+        matches!(v.sql_cmp(lit), Some(ord) if cmp_keep(op, ord))
+    }
+
+    #[test]
+    fn cmp_kernel_matches_scalar_on_adversarial_floats() {
+        let vals = vec![
+            Value::Float(-0.0),
+            Value::Float(0.0),
+            Value::Float(f64::NAN),
+            Value::Float(1.0),
+            Value::Float(1.0 + 1e-7),
+            Value::Null,
+            Value::Float(-1e-12),
+        ];
+        let (t, rows) = table(vals);
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Neq,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
+            for lit in [Value::Float(0.0), Value::Float(-0.0), Value::Int(1)] {
+                let pred = KernelPred::Cmp {
+                    col: 0,
+                    op,
+                    lit: lit.clone(),
+                };
+                let got = filter(&pred, &t, (0..rows.len() as u32).collect());
+                let want: Vec<u32> = rows
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, r)| scalar_cmp_keep(&r[0], op, &lit))
+                    .map(|(i, _)| i as u32)
+                    .collect();
+                assert_eq!(got, want, "op={op:?} lit={lit:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn cross_class_comparison_is_constant() {
+        let (t, _) = table(vec![Value::Int(5), Value::Null, Value::Int(-3)]);
+        let pred = KernelPred::Cmp {
+            col: 0,
+            op: CmpOp::Lt,
+            lit: Value::Str("a".into()),
+        };
+        // Every non-null number is less than any string.
+        assert_eq!(filter(&pred, &t, vec![0, 1, 2]), vec![0, 2]);
+    }
+
+    #[test]
+    fn null_literal_drops_everything() {
+        let (t, _) = table(vec![Value::Int(1)]);
+        let pred = KernelPred::Cmp {
+            col: 0,
+            op: CmpOp::Eq,
+            lit: Value::Null,
+        };
+        assert!(filter(&pred, &t, vec![0]).is_empty());
+    }
+
+    #[test]
+    fn in_list_null_candidate_semantics() {
+        let (t, _) = table(vec![Value::Int(1), Value::Int(2), Value::Null]);
+        let base: Vec<u32> = vec![0, 1, 2];
+        let pred = KernelPred::InList {
+            col: 0,
+            list: vec![Value::Int(1), Value::Null],
+            negated: false,
+        };
+        assert_eq!(filter(&pred, &t, base.clone()), vec![0]);
+        // NOT IN with a NULL candidate: non-matching rows become NULL → drop.
+        let pred = KernelPred::InList {
+            col: 0,
+            list: vec![Value::Int(1), Value::Null],
+            negated: true,
+        };
+        assert!(filter(&pred, &t, base).is_empty());
+    }
+
+    #[test]
+    fn between_and_isnull_and_like() {
+        let (t, _) = table(vec![
+            Value::Int(1),
+            Value::Int(5),
+            Value::Null,
+            Value::Int(9),
+        ]);
+        let pred = KernelPred::Between {
+            col: 0,
+            lo: Value::Int(2),
+            hi: Value::Int(9),
+            negated: false,
+        };
+        assert_eq!(filter(&pred, &t, vec![0, 1, 2, 3]), vec![1, 3]);
+        let pred = KernelPred::Between {
+            col: 0,
+            lo: Value::Int(2),
+            hi: Value::Int(9),
+            negated: true,
+        };
+        assert_eq!(filter(&pred, &t, vec![0, 1, 2, 3]), vec![0]);
+        let pred = KernelPred::IsNull {
+            col: 0,
+            negated: false,
+        };
+        assert_eq!(filter(&pred, &t, vec![0, 1, 2, 3]), vec![2]);
+
+        let (t, _) = table(vec![
+            Value::Str("alpha".into()),
+            Value::Str("beta".into()),
+            Value::Int(42),
+            Value::Null,
+        ]);
+        let pred = KernelPred::Like {
+            col: 0,
+            pattern: "%a".into(),
+            negated: false,
+        };
+        assert_eq!(filter(&pred, &t, vec![0, 1, 2, 3]), vec![0, 1]);
+        // Numbers LIKE-match against their decimal rendering, as in the
+        // reference interpreter.
+        let pred = KernelPred::Like {
+            col: 0,
+            pattern: "4_".into(),
+            negated: false,
+        };
+        assert_eq!(filter(&pred, &t, vec![0, 1, 2, 3]), vec![2]);
+    }
+}

@@ -37,11 +37,16 @@
 
 #![warn(missing_docs)]
 
+mod column;
 pub mod compare;
 pub mod db;
 pub mod error;
 pub mod exec;
 pub mod explain;
+mod index;
+mod kernels;
+pub mod oracle;
+mod planner;
 pub mod schema;
 pub mod stats;
 pub mod value;
@@ -50,10 +55,11 @@ pub use compare::{results_match, value_eq};
 pub use db::Database;
 pub use error::{ExecError, ExecResult};
 pub use exec::{
-    execute_query, execute_query_analyzed, execute_query_with, like_match, Analyzed, ExecOptions,
-    JoinStrategy, ResultSet,
+    execute_query, execute_query_analyzed, execute_query_with, like_match, Analyzed, Engine,
+    ExecOptions, JoinStrategy, ResultSet,
 };
 pub use explain::{explain_query, OpKind, OpStats, Plan, PlanNode};
+pub use oracle::{execute_query_oracle, execute_query_oracle_with};
 pub use schema::{ColType, ColumnDef, DbSchema, ForeignKey, TableSchema};
 pub use stats::{collect, ColumnStats, DbStats, TableStats};
 pub use value::{Row, Value};

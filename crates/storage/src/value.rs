@@ -72,7 +72,7 @@ impl Value {
             (a, b) if class(a) == 1 && class(b) == 1 => {
                 let fa = a.as_f64().expect("numeric");
                 let fb = b.as_f64().expect("numeric");
-                fa.partial_cmp(&fb).unwrap_or(Ordering::Equal)
+                float_total_cmp(fa, fb)
             }
             (a, b) => class(a).cmp(&class(b)),
         }
@@ -111,6 +111,20 @@ impl fmt::Display for Value {
             Value::Str(s) => write!(f, "{s}"),
         }
     }
+}
+
+/// The one total order over `f64` used by every comparison path in the
+/// engine: `Value::total_cmp`, the vectorized kernels in [`crate::kernels`],
+/// and the sorted secondary indexes.
+///
+/// Semantics are inherited from `partial_cmp` with a deliberate NaN rule:
+/// `-0.0 == 0.0` (IEEE equality) and any comparison involving NaN collapses
+/// to `Equal`. That NaN rule is historical (`total_cmp` has always used
+/// `partial_cmp(..).unwrap_or(Equal)`); keeping the scalar interpreter and
+/// the columnar kernels on this single function is what guarantees they
+/// cannot drift bit-for-bit on `-0.0`/NaN/near-epsilon floats.
+pub fn float_total_cmp(a: f64, b: f64) -> Ordering {
+    a.partial_cmp(&b).unwrap_or(Ordering::Equal)
 }
 
 /// A row of values.

@@ -183,6 +183,36 @@ if ! awk -v s="$speedup" 'BEGIN { exit !(s >= 3.0) }'; then
 fi
 echo "    speedup_vs_naive: ${speedup}x"
 
+echo "==> columnar executor: differential oracle gate"
+# Every gold query must produce bit-identical results through the columnar
+# engine and the reference interpreter, under both join strategies
+# (exec-diff exits 1 on any divergence). DAIL_EXEC=oracle remains the
+# process-wide escape hatch to route all execution through the interpreter.
+$CLI exec-diff --train 60 --dev 24 >/dev/null
+
+echo "==> columnar executor: step-change perf gate"
+# Trace the same fixed workload through both engines and require the
+# INVERTED profile gate to flag the oracle run as a regression against the
+# columnar baseline: if `profile --fail-on-regress 25` passes here, the
+# rebuilt executor is no longer meaningfully faster than the interpreter
+# it replaced. Engines must also agree on every workload row count.
+$CLI_REL exec-bench --rows 50000 --trace target/exec-columnar.jsonl \
+    > target/exec-bench-columnar.txt 2>/dev/null
+DAIL_EXEC=oracle $CLI_REL exec-bench --rows 50000 --trace target/exec-oracle.jsonl \
+    > target/exec-bench-oracle.txt 2>/dev/null
+if ! cmp -s <(tail -n +2 target/exec-bench-columnar.txt) \
+    <(tail -n +2 target/exec-bench-oracle.txt); then
+    echo "exec-bench row counts differ between engines:" >&2
+    diff target/exec-bench-columnar.txt target/exec-bench-oracle.txt >&2 || true
+    exit 1
+fi
+if $CLI_REL profile target/exec-columnar.jsonl target/exec-oracle.jsonl \
+    --fail-on-regress 25 >/dev/null 2>&1; then
+    echo "columnar executor is not a step-change over the oracle interpreter" >&2
+    echo "(storage.exec self-time vs DAIL_EXEC=oracle is within 25%)" >&2
+    exit 1
+fi
+
 echo "==> LIKE pathology timing guard"
 # The iterative LIKE matcher must answer adversarial many-% patterns
 # quickly; the old recursive matcher effectively hung here. 60s is a hard
