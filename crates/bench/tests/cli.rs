@@ -1231,3 +1231,238 @@ fn eval_digests_flag_appends_the_rollup() {
         "{text}"
     );
 }
+
+// --- persistence: persist / recover / warm-start-bench / --store ---------
+
+#[test]
+fn persist_then_recover_round_trips() {
+    let dir = std::env::temp_dir().join("dail_cli_persist_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = cli()
+        .args([
+            "persist",
+            "--out",
+            dir.to_str().unwrap(),
+            "--train",
+            "40",
+            "--dev",
+            "10",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(dir.join("pool.emb").exists());
+    assert!(dir.read_dir().unwrap().count() > 1, "page stores written");
+
+    let out = cli()
+        .args(["recover", dir.to_str().unwrap(), "--verify"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("0 incomplete, 0 corrupt"), "{text}");
+    assert!(text.contains("data-checksum=ok"), "{text}");
+
+    // A resumed persist over a complete store skips every database.
+    let out = cli()
+        .args([
+            "persist",
+            "--out",
+            dir.to_str().unwrap(),
+            "--train",
+            "40",
+            "--dev",
+            "10",
+            "--resume",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("0 databases"), "nothing rewritten: {text}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn eval_with_store_matches_eval_without() {
+    let dir = std::env::temp_dir().join("dail_cli_store_eval_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    let common = ["--train", "40", "--dev", "10"];
+    let out = cli()
+        .args(["persist", "--out", dir.to_str().unwrap()])
+        .args(common)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let run = |extra: &[&str]| {
+        let out = cli()
+            .args(["eval", "--pipeline", "dail", "--model", "gpt-4"])
+            .args(common)
+            .args(extra)
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out.stdout
+    };
+    let generated = run(&[]);
+    let from_disk = run(&["--store", dir.to_str().unwrap()]);
+    assert_eq!(
+        String::from_utf8_lossy(&generated),
+        String::from_utf8_lossy(&from_disk),
+        "evaluating against disk-loaded databases must be byte-identical"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn recover_missing_dir_exits_2() {
+    let out = cli()
+        .args(["recover", "/definitely/not/a/store"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("not a directory"), "{err}");
+}
+
+#[test]
+fn persist_without_out_exits_2() {
+    let out = cli().arg("persist").output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn warm_start_bench_without_store_exits_2() {
+    let out = cli().arg("warm-start-bench").output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn store_flag_with_missing_dir_exits_2() {
+    let out = cli()
+        .args([
+            "eval",
+            "--pipeline",
+            "zero",
+            "--model",
+            "gpt-4",
+            "--train",
+            "40",
+            "--dev",
+            "10",
+            "--store",
+            "/definitely/not/a/store",
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn exec_diff_corpus_missing_file_exits_2() {
+    let out = cli()
+        .args(["exec-diff", "--corpus", "/definitely/not/a/corpus.sql"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn exec_diff_replays_committed_corpora() {
+    for corpus in ["nulls_nan_zeros.sql", "joins_and_planner.sql"] {
+        let path = format!(
+            "{}/../../tests/golden/exec_diff/{corpus}",
+            env!("CARGO_MANIFEST_DIR")
+        );
+        let out = cli()
+            .args(["exec-diff", "--corpus", &path])
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{corpus}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains("corpus queries"), "{text}");
+        assert!(text.contains("agree bit-for-bit"), "{text}");
+    }
+}
+
+#[test]
+fn crash_injected_persist_recovers_to_identical_store() {
+    let dir = std::env::temp_dir().join("dail_cli_crash_test");
+    let clean = std::env::temp_dir().join("dail_cli_crash_clean");
+    for d in [&dir, &clean] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+    let common = ["--train", "40", "--dev", "10"];
+
+    // Injected crash: the process must die mid-commit, not exit cleanly.
+    let out = cli()
+        .args(["persist", "--out", dir.to_str().unwrap()])
+        .args(common)
+        .env("DAIL_CRASH_POINT", "mid-commit@2")
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success(), "crash point did not fire");
+
+    // Recovery reports the torn store without failing.
+    let out = cli()
+        .args(["recover", dir.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Resume, then demand byte-identical page files vs an uninterrupted run.
+    for (target, resume) in [(&dir, true), (&clean, false)] {
+        let mut c = cli();
+        c.args(["persist", "--out", target.to_str().unwrap()]);
+        c.args(common);
+        if resume {
+            c.arg("--resume");
+        }
+        let out = c.output().expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    let mut names: Vec<String> = dir
+        .read_dir()
+        .unwrap()
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .filter(|n| n.ends_with(".pg"))
+        .collect();
+    names.sort();
+    assert!(!names.is_empty());
+    for name in names {
+        let a = std::fs::read(dir.join(&name)).unwrap();
+        let b = std::fs::read(clean.join(&name)).unwrap();
+        assert_eq!(a, b, "{name} differs between recovered and clean persist");
+    }
+    for d in [&dir, &clean] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+}

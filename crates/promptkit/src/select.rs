@@ -23,7 +23,7 @@
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use retrievekit::{top_k, top_k_cosine_traced, EmbeddingMatrix, FeatureCache};
+use retrievekit::{top_k, top_k_cosine_traced, EmbeddingMatrix, FeatureCache, SnapshotError};
 use spider_gen::{Benchmark, ExampleItem};
 use sqlkit::{Query, Skeleton};
 use textkit::{embed_into, DomainMasker, DIM};
@@ -357,6 +357,127 @@ impl<'a> ExampleSelector<'a> {
             .into_iter()
             .map(|(_, i)| &self.pool[i as usize])
             .collect()
+    }
+
+    /// Persist the selector's derived state — both embedding matrices and
+    /// every gold skeleton — to a [`retrievekit::snapshot`] file. The aux
+    /// blob catalogs the pool (`u32` question length + UTF-8 bytes, `u16`
+    /// token count + `u16` [`sqlkit::SkelTok`] codes per row) so a later
+    /// load can prove the snapshot belongs to the benchmark it is asked to
+    /// serve.
+    pub fn save_snapshot(&self, path: &std::path::Path) -> Result<(), SnapshotError> {
+        let mut aux = Vec::new();
+        for (ex, sk) in self.pool.iter().zip(&self.skeletons) {
+            let q = ex.question.as_bytes();
+            aux.extend_from_slice(&(q.len() as u32).to_le_bytes());
+            aux.extend_from_slice(q);
+            let n = u16::try_from(sk.0.len()).map_err(|_| {
+                SnapshotError::Corrupt(format!("skeleton of {} tokens exceeds u16", sk.0.len()))
+            })?;
+            aux.extend_from_slice(&n.to_le_bytes());
+            for t in &sk.0 {
+                aux.extend_from_slice(&t.to_code().to_le_bytes());
+            }
+        }
+        retrievekit::save_snapshot(path, &[&self.raw, &self.masked], &aux)
+    }
+
+    /// Rebuild a selector from a snapshot written by
+    /// [`ExampleSelector::save_snapshot`] — the warm-start path. No
+    /// masking, embedding, or AST walk runs: matrices come back
+    /// bit-identical from disk and skeletons decode from their token
+    /// codes, so every subsequent selection matches the cold-built
+    /// selector exactly.
+    ///
+    /// The snapshot is validated against `bench`: matrix shape, row
+    /// count, and every stored question must match the training pool, so
+    /// a snapshot from a different (or regenerated) benchmark is rejected
+    /// rather than silently served. `verify_data` additionally checksums
+    /// the f32 blocks (slower; meant for integrity audits, not the warm
+    /// path).
+    pub fn load_snapshot(
+        bench: &'a Benchmark,
+        path: &std::path::Path,
+        verify_data: bool,
+    ) -> Result<Self, SnapshotError> {
+        let corrupt = |m: String| SnapshotError::Corrupt(m);
+        let snap = retrievekit::load_snapshot(path, verify_data)?;
+        if snap.matrices.len() != 2 {
+            return Err(corrupt(format!(
+                "expected 2 matrices (raw, masked), found {}",
+                snap.matrices.len()
+            )));
+        }
+        let mut mats = snap.matrices.into_iter();
+        let raw = mats.next().expect("checked len");
+        let masked = mats.next().expect("checked len");
+        let n = bench.train.len();
+        if raw.dim() != DIM || raw.len() != n || masked.dim() != DIM || masked.len() != n {
+            return Err(corrupt(format!(
+                "snapshot shape {}x{} + {}x{} does not fit pool of {n} rows at dim {DIM}",
+                raw.len(),
+                raw.dim(),
+                masked.len(),
+                masked.dim()
+            )));
+        }
+
+        let aux = &snap.aux;
+        let mut off = 0usize;
+        let mut skeletons = Vec::with_capacity(n);
+        for (i, ex) in bench.train.iter().enumerate() {
+            let need = |off: usize, len: usize| -> Result<(), SnapshotError> {
+                if off + len > aux.len() {
+                    Err(SnapshotError::Corrupt(format!(
+                        "pool catalog truncated at row {i}"
+                    )))
+                } else {
+                    Ok(())
+                }
+            };
+            need(off, 4)?;
+            let qlen = u32::from_le_bytes(aux[off..off + 4].try_into().expect("4 bytes")) as usize;
+            off += 4;
+            need(off, qlen)?;
+            if &aux[off..off + qlen] != ex.question.as_bytes() {
+                return Err(corrupt(format!(
+                    "snapshot question at row {i} does not match the benchmark pool"
+                )));
+            }
+            off += qlen;
+            need(off, 2)?;
+            let n_toks =
+                u16::from_le_bytes(aux[off..off + 2].try_into().expect("2 bytes")) as usize;
+            off += 2;
+            need(off, n_toks * 2)?;
+            let mut toks = Vec::with_capacity(n_toks);
+            for t in 0..n_toks {
+                let code =
+                    u16::from_le_bytes(aux[off + t * 2..off + t * 2 + 2].try_into().expect("2"));
+                toks.push(sqlkit::SkelTok::from_code(code).ok_or_else(|| {
+                    SnapshotError::Corrupt(format!(
+                        "unknown skeleton token code {code:#06x} at row {i}"
+                    ))
+                })?);
+            }
+            off += n_toks * 2;
+            skeletons.push(Skeleton(toks));
+        }
+        if off != aux.len() {
+            return Err(corrupt(format!(
+                "{} trailing bytes after the pool catalog",
+                aux.len() - off
+            )));
+        }
+
+        Ok(ExampleSelector {
+            pool: &bench.train,
+            raw,
+            masked,
+            skeletons,
+            features: FeatureCache::new(FEATURE_CACHE_CAPACITY),
+            masked_targets: FeatureCache::new(FEATURE_CACHE_CAPACITY),
+        })
     }
 }
 
@@ -700,6 +821,73 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn warm_start_matches_cold_selector_exactly() {
+        let b = bench();
+        let cold = ExampleSelector::new(&b);
+        let path = std::env::temp_dir().join(format!("dail_sel_{}_warm.emb", std::process::id()));
+        cold.save_snapshot(&path).unwrap();
+        let warm = ExampleSelector::load_snapshot(&b, &path, true).unwrap();
+
+        let bits = |xs: &[f32]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(cold.raw.data()), bits(warm.raw.data()));
+        assert_eq!(bits(cold.raw.norms()), bits(warm.raw.norms()));
+        assert_eq!(bits(cold.masked.data()), bits(warm.masked.data()));
+        assert_eq!(bits(cold.masked.norms()), bits(warm.masked.norms()));
+        assert_eq!(cold.skeletons, warm.skeletons);
+
+        let draft = sqlkit::parse_query("SELECT count(*) FROM t").unwrap();
+        for strat in SelectionStrategy::ALL {
+            for prelim in [None, Some(&draft)] {
+                let a: Vec<usize> = cold
+                    .select(
+                        strat,
+                        "How many gadgets are there?",
+                        "how many <mask> are there",
+                        prelim,
+                        5,
+                        7,
+                    )
+                    .iter()
+                    .map(|e| e.id)
+                    .collect();
+                let c: Vec<usize> = warm
+                    .select(
+                        strat,
+                        "How many gadgets are there?",
+                        "how many <mask> are there",
+                        prelim,
+                        5,
+                        7,
+                    )
+                    .iter()
+                    .map(|e| e.id)
+                    .collect();
+                assert_eq!(a, c, "{strat:?} prelim={}", prelim.is_some());
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn snapshot_for_a_different_pool_is_rejected() {
+        let b = bench();
+        let sel = ExampleSelector::new(&b);
+        let path = std::env::temp_dir().join(format!("dail_sel_{}_reject.emb", std::process::id()));
+        sel.save_snapshot(&path).unwrap();
+        // Same shapes, different questions: a regenerated benchmark with
+        // another seed must not accept this snapshot.
+        let mut cfg = spider_gen::BenchmarkConfig::tiny();
+        cfg.seed ^= 0xdead_beef;
+        let other = Benchmark::generate(cfg);
+        match ExampleSelector::load_snapshot(&other, &path, false) {
+            Err(SnapshotError::Corrupt(_)) => {}
+            Err(e) => panic!("expected Corrupt, got {e}"),
+            Ok(_) => panic!("snapshot for a different pool was accepted"),
+        }
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -30,9 +30,11 @@
 pub mod cache;
 pub mod matrix;
 pub mod shard;
+pub mod snapshot;
 pub mod topk;
 
 pub use cache::FeatureCache;
 pub use matrix::{dot, EmbeddingMatrix};
 pub use shard::{resolve_threads, top_k_cosine, top_k_cosine_traced, PARALLEL_THRESHOLD};
+pub use snapshot::{load_snapshot, save_snapshot, Snapshot, SnapshotError};
 pub use topk::{full_sort, merge_top_k, top_k, TopK};

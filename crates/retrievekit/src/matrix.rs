@@ -70,6 +70,31 @@ impl EmbeddingMatrix {
         &self.data[i * self.dim..(i + 1) * self.dim]
     }
 
+    /// The whole row-major backing buffer (`len() * dim()` lanes) — the
+    /// block the on-disk snapshot format serializes verbatim.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// All precomputed L2 norms, one per row.
+    pub fn norms(&self) -> &[f32] {
+        &self.norms
+    }
+
+    /// Reassemble a matrix from its serialized parts (the inverse of
+    /// [`Self::data`] + [`Self::norms`]). Norms are trusted as stored, not
+    /// recomputed — a warm start must reproduce the cold matrix
+    /// bit-identically, including any rounding baked into the norms.
+    pub fn from_parts(dim: usize, data: Vec<f32>, norms: Vec<f32>) -> EmbeddingMatrix {
+        assert!(dim > 0, "embedding dimension must be positive");
+        assert_eq!(
+            data.len(),
+            norms.len() * dim,
+            "data length must be rows * dim"
+        );
+        EmbeddingMatrix { dim, data, norms }
+    }
+
     /// Precomputed L2 norm of row `i`.
     pub fn norm(&self, i: usize) -> f32 {
         self.norms[i]

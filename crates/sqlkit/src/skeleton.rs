@@ -67,6 +67,125 @@ pub enum SkelTok {
 }
 
 impl SkelTok {
+    /// Encode the token as a `u16` for compact on-disk storage: the high
+    /// byte is the variant tag, the low byte the payload (aggregate
+    /// function, join arity, comparison operator, or set operation).
+    /// [`SkelTok::from_code`] is the exact inverse.
+    pub fn to_code(self) -> u16 {
+        match self {
+            SkelTok::Select => 0x0000,
+            SkelTok::Distinct => 0x0001,
+            SkelTok::Col => 0x0002,
+            SkelTok::Star => 0x0003,
+            SkelTok::Arith => 0x0004,
+            SkelTok::Where => 0x0005,
+            SkelTok::Between => 0x0006,
+            SkelTok::In => 0x0007,
+            SkelTok::Like => 0x0008,
+            SkelTok::IsNull => 0x0009,
+            SkelTok::Exists => 0x000a,
+            SkelTok::Not => 0x000b,
+            SkelTok::And => 0x000c,
+            SkelTok::Or => 0x000d,
+            SkelTok::SubqOpen => 0x000e,
+            SkelTok::SubqClose => 0x000f,
+            SkelTok::GroupBy => 0x0010,
+            SkelTok::Having => 0x0011,
+            SkelTok::OrderBy => 0x0012,
+            SkelTok::Asc => 0x0013,
+            SkelTok::Desc => 0x0014,
+            SkelTok::Limit => 0x0015,
+            SkelTok::Agg(f) => {
+                0x0100
+                    | match f {
+                        AggFunc::Count => 0,
+                        AggFunc::Sum => 1,
+                        AggFunc::Avg => 2,
+                        AggFunc::Min => 3,
+                        AggFunc::Max => 4,
+                    }
+            }
+            SkelTok::From(n) => 0x0200 | n as u16,
+            SkelTok::Cmp(op) => {
+                0x0300
+                    | match op {
+                        CmpOp::Eq => 0,
+                        CmpOp::Neq => 1,
+                        CmpOp::Lt => 2,
+                        CmpOp::Le => 3,
+                        CmpOp::Gt => 4,
+                        CmpOp::Ge => 5,
+                    }
+            }
+            SkelTok::Set(op) => {
+                0x0400
+                    | match op {
+                        SetOp::Union => 0,
+                        SetOp::Intersect => 1,
+                        SetOp::Except => 2,
+                    }
+            }
+        }
+    }
+
+    /// Decode a code produced by [`SkelTok::to_code`]; `None` for codes no
+    /// variant produces (the decoder treats those as corruption).
+    pub fn from_code(code: u16) -> Option<SkelTok> {
+        let payload = (code & 0x00ff) as u8;
+        Some(match code >> 8 {
+            0x00 => match payload {
+                0x00 => SkelTok::Select,
+                0x01 => SkelTok::Distinct,
+                0x02 => SkelTok::Col,
+                0x03 => SkelTok::Star,
+                0x04 => SkelTok::Arith,
+                0x05 => SkelTok::Where,
+                0x06 => SkelTok::Between,
+                0x07 => SkelTok::In,
+                0x08 => SkelTok::Like,
+                0x09 => SkelTok::IsNull,
+                0x0a => SkelTok::Exists,
+                0x0b => SkelTok::Not,
+                0x0c => SkelTok::And,
+                0x0d => SkelTok::Or,
+                0x0e => SkelTok::SubqOpen,
+                0x0f => SkelTok::SubqClose,
+                0x10 => SkelTok::GroupBy,
+                0x11 => SkelTok::Having,
+                0x12 => SkelTok::OrderBy,
+                0x13 => SkelTok::Asc,
+                0x14 => SkelTok::Desc,
+                0x15 => SkelTok::Limit,
+                _ => return None,
+            },
+            0x01 => SkelTok::Agg(match payload {
+                0 => AggFunc::Count,
+                1 => AggFunc::Sum,
+                2 => AggFunc::Avg,
+                3 => AggFunc::Min,
+                4 => AggFunc::Max,
+                _ => return None,
+            }),
+            0x02 => SkelTok::From(payload),
+            0x03 => SkelTok::Cmp(match payload {
+                0 => CmpOp::Eq,
+                1 => CmpOp::Neq,
+                2 => CmpOp::Lt,
+                3 => CmpOp::Le,
+                4 => CmpOp::Gt,
+                5 => CmpOp::Ge,
+                _ => return None,
+            }),
+            0x04 => SkelTok::Set(match payload {
+                0 => SetOp::Union,
+                1 => SetOp::Intersect,
+                2 => SetOp::Except,
+                _ => return None,
+            }),
+            _ => return None,
+        })
+    }
+
     /// Render the token for human-readable skeleton strings.
     pub fn as_str(self) -> &'static str {
         match self {
@@ -451,6 +570,69 @@ mod tests {
         let one = skel("SELECT a FROM t");
         let two = skel("SELECT a FROM t JOIN u ON t.id = u.id");
         assert_ne!(one.fingerprint(), two.fingerprint());
+    }
+
+    #[test]
+    fn token_codes_round_trip_every_variant() {
+        let mut all = vec![
+            SkelTok::Select,
+            SkelTok::Distinct,
+            SkelTok::Col,
+            SkelTok::Star,
+            SkelTok::Arith,
+            SkelTok::Where,
+            SkelTok::Between,
+            SkelTok::In,
+            SkelTok::Like,
+            SkelTok::IsNull,
+            SkelTok::Exists,
+            SkelTok::Not,
+            SkelTok::And,
+            SkelTok::Or,
+            SkelTok::SubqOpen,
+            SkelTok::SubqClose,
+            SkelTok::GroupBy,
+            SkelTok::Having,
+            SkelTok::OrderBy,
+            SkelTok::Asc,
+            SkelTok::Desc,
+            SkelTok::Limit,
+        ];
+        for f in [
+            AggFunc::Count,
+            AggFunc::Sum,
+            AggFunc::Avg,
+            AggFunc::Min,
+            AggFunc::Max,
+        ] {
+            all.push(SkelTok::Agg(f));
+        }
+        for n in [0u8, 1, 2, 17, u8::MAX] {
+            all.push(SkelTok::From(n));
+        }
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Neq,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
+            all.push(SkelTok::Cmp(op));
+        }
+        for op in [SetOp::Union, SetOp::Intersect, SetOp::Except] {
+            all.push(SkelTok::Set(op));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for t in all {
+            let code = t.to_code();
+            assert!(seen.insert(code), "code collision at {t:?}");
+            assert_eq!(SkelTok::from_code(code), Some(t));
+        }
+        // Codes nothing produces decode to None, not to a wrong token.
+        for bad in [0x0016u16, 0x0105, 0x0306, 0x0403, 0x0500, 0xffff] {
+            assert_eq!(SkelTok::from_code(bad), None);
+        }
     }
 
     #[test]

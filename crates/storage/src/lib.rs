@@ -46,6 +46,7 @@ pub mod explain;
 mod index;
 mod kernels;
 pub mod oracle;
+pub mod pagestore;
 mod planner;
 pub mod schema;
 pub mod stats;
@@ -60,6 +61,9 @@ pub use exec::{
 };
 pub use explain::{explain_query, OpKind, OpStats, Plan, PlanNode};
 pub use oracle::{execute_query_oracle, execute_query_oracle_with};
+pub use pagestore::{
+    load_database, persist_database, recover_store, StoreError, StoreInfo, StoreResult,
+};
 pub use schema::{ColType, ColumnDef, DbSchema, ForeignKey, TableSchema};
 pub use stats::{collect, ColumnStats, DbStats, TableStats};
 pub use value::{Row, Value};

@@ -316,12 +316,13 @@ pub(crate) fn plan_front<'q>(
         tables[pos].est_rows = est_mul(t_rows, sel_prod);
         tables[pos].pushed_displays = preds.iter().map(|(_, d)| d.clone()).collect();
         // Index choice: best eligible range/eq predicate on an indexable
-        // (NaN-free) column, below the selectivity threshold.
+        // column (no NaN, no lossy int/float mix — see `Column::indexable`),
+        // below the selectivity threshold.
         let ct = db.columnar(&tables[pos].name).expect("planned table");
         let mut best: Option<(f64, usize)> = None;
         if t_rows >= INDEX_MIN_ROWS {
             for (i, (kp, _)) in preds.iter().enumerate() {
-                if index_bounds(kp).is_none() || ct.columns[kp.col()].has_nan {
+                if index_bounds(kp).is_none() || !ct.columns[kp.col()].indexable() {
                     continue;
                 }
                 let sel = pred_selectivity(kp, col_stats(pos, kp.col()), t_rows);
@@ -610,9 +611,27 @@ fn cond_is_safe(c: &Cond, resolve: &impl Fn(&ColumnRef) -> Option<(usize, usize)
     }
 }
 
-/// Multiply a cardinality by a selectivity, rounding up and clamping.
+/// Multiply a cardinality by a selectivity, rounding up and clamping. A
+/// non-finite selectivity (degenerate stats that slipped every other
+/// guard) estimates conservatively as "no reduction" rather than letting a
+/// NaN→u64 cast collapse the estimate to 0 and silently reorder joins.
 fn est_mul(rows: u64, sel: f64) -> u64 {
-    ((rows as f64 * sel).ceil() as u64).min(rows)
+    if !sel.is_finite() {
+        return rows;
+    }
+    ((rows as f64 * sel.clamp(0.0, 1.0)).ceil() as u64).min(rows)
+}
+
+/// Final guard on every selectivity estimate: stats over adversarial data
+/// (NaN min/max from NaN-bearing columns, ±inf spans, NDV 0 on empty or
+/// all-NULL tables) must never leak a non-finite or out-of-range factor
+/// into plan costs — plans must stay deterministic on any database.
+fn sane_sel(s: f64) -> f64 {
+    if s.is_finite() {
+        s.clamp(0.0, 1.0)
+    } else {
+        0.1
+    }
 }
 
 fn flip(s: f64, negated: bool) -> f64 {
@@ -629,6 +648,13 @@ fn range_fraction(cs: Option<&ColumnStats>, lit: &Value) -> Option<f64> {
     let cs = cs?;
     let (min, max) = (cs.min.as_ref()?.as_f64()?, cs.max.as_ref()?.as_f64()?);
     let v = lit.as_f64()?;
+    // NaN min/max (a NaN-bearing column) fails every comparison, so the
+    // degenerate-span check below would pass NaN straight into the
+    // division; ±inf spans likewise yield inf/NaN fractions. Bail to the
+    // textbook fallback for any non-finite ingredient.
+    if !min.is_finite() || !max.is_finite() || !v.is_finite() {
+        return None;
+    }
     if max <= min {
         return None;
     }
@@ -643,7 +669,7 @@ fn pred_selectivity(kp: &KernelPred, cs: Option<&ColumnStats>, _rows: u64) -> f6
         Some(ndv) if ndv > 0 => 1.0 / ndv as f64,
         _ => 0.1,
     };
-    match kp {
+    sane_sel(match kp {
         KernelPred::Cmp { op, lit, .. } => match op {
             CmpOp::Eq => eq_sel(),
             CmpOp::Neq => 1.0 - eq_sel(),
@@ -677,7 +703,7 @@ fn pred_selectivity(kp: &KernelPred, cs: Option<&ColumnStats>, _rows: u64) -> f6
                 .unwrap_or(0.05);
             flip(frac, *negated)
         }
-    }
+    })
 }
 
 /// One end of a sorted-index probe range: the bound value plus whether it
@@ -909,5 +935,146 @@ mod tests {
             _ => panic!("expected a residual"),
         }
         assert!(matches!(fp.tables[0].access, AccessPath::IndexRange { .. }));
+    }
+
+    // ---- degenerate-stats guards ----
+
+    fn cstats(min: Value, max: Value, ndv: u64) -> ColumnStats {
+        ColumnStats {
+            name: "c".into(),
+            ndv,
+            nulls: 0,
+            min: Some(min),
+            max: Some(max),
+            width: obskit::Histogram::default(),
+        }
+    }
+
+    #[test]
+    fn range_fraction_refuses_non_finite_spans() {
+        // An all-NaN column collects NaN min/max; `max <= min` is false for
+        // NaN, so without the finite guard the division would yield NaN.
+        let nan = cstats(Value::Float(f64::NAN), Value::Float(f64::NAN), 1);
+        assert_eq!(range_fraction(Some(&nan), &Value::Float(1.0)), None);
+        let inf = cstats(
+            Value::Float(f64::NEG_INFINITY),
+            Value::Float(f64::INFINITY),
+            3,
+        );
+        assert_eq!(range_fraction(Some(&inf), &Value::Float(0.0)), None);
+        let ok = cstats(Value::Int(0), Value::Int(10), 10);
+        assert_eq!(range_fraction(Some(&ok), &Value::Float(f64::NAN)), None);
+        assert_eq!(range_fraction(Some(&ok), &Value::Int(5)), Some(0.5));
+    }
+
+    #[test]
+    fn est_mul_survives_nan_and_out_of_range_selectivity() {
+        assert_eq!(est_mul(100, f64::NAN), 100);
+        assert_eq!(est_mul(100, f64::INFINITY), 100);
+        assert_eq!(est_mul(100, -0.5), 0);
+        assert_eq!(est_mul(100, 7.0), 100);
+        assert_eq!(est_mul(0, f64::NAN), 0);
+        assert_eq!(sane_sel(f64::NAN), 0.1);
+        assert_eq!(sane_sel(f64::NEG_INFINITY), 0.1);
+        assert_eq!(sane_sel(2.0), 1.0);
+    }
+
+    /// `dead` (empty), `ghost` (all-NULL column), `haze` (all-NaN column):
+    /// the degenerate shapes spider-gen can emit.
+    fn degenerate_db() -> Database {
+        let schema = DbSchema {
+            db_id: "degenerate".into(),
+            tables: vec![
+                TableSchema {
+                    name: "dead".into(),
+                    columns: vec![
+                        ColumnDef::new("id", ColType::Int),
+                        ColumnDef::new("x", ColType::Float),
+                    ],
+                    primary_key: vec![0],
+                },
+                TableSchema {
+                    name: "ghost".into(),
+                    columns: vec![
+                        ColumnDef::new("id", ColType::Int),
+                        ColumnDef::new("x", ColType::Float),
+                    ],
+                    primary_key: vec![0],
+                },
+                TableSchema {
+                    name: "haze".into(),
+                    columns: vec![
+                        ColumnDef::new("id", ColType::Int),
+                        ColumnDef::new("x", ColType::Float),
+                    ],
+                    primary_key: vec![0],
+                },
+            ],
+            foreign_keys: vec![],
+        };
+        let mut d = Database::new(schema);
+        for i in 0..50 {
+            d.insert("ghost", vec![Value::Int(i), Value::Null]).unwrap();
+            d.insert("haze", vec![Value::Int(i), Value::Float(f64::NAN)])
+                .unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn nan_minmax_stats_fall_back_instead_of_poisoning_estimates() {
+        let d = degenerate_db();
+        // haze.x collects NaN min/max; before the guards this estimated
+        // NaN·rows → 0 rows via the saturating cast.
+        let q = parse("SELECT * FROM haze WHERE x < 1.0");
+        let fp = plan(&d, &q).unwrap();
+        assert!(matches!(fp.tables[0].access, AccessPath::Scan));
+        // Textbook 1/3 fallback: ceil(50/3) = 17, not 0 and not 50.
+        assert_eq!(fp.tables[0].est_rows, 17);
+    }
+
+    #[test]
+    fn empty_and_all_null_tables_plan_deterministically() {
+        let d = degenerate_db();
+        let q = parse("SELECT * FROM dead WHERE x > 2.5 AND id = 1");
+        let fp = plan(&d, &q).unwrap();
+        assert_eq!(fp.tables[0].est_rows, 0);
+        // All-NULL column: NDV 0 (eq fallback) and min/max None (range
+        // fallback); the IS NULL fraction is exact.
+        let q = parse("SELECT * FROM ghost WHERE x = 1.0");
+        let fp = plan(&d, &q).unwrap();
+        assert_eq!(fp.tables[0].est_rows, 5); // 50 · 0.1 NDV fallback
+        let q = parse("SELECT * FROM ghost WHERE x IS NULL");
+        let fp = plan(&d, &q).unwrap();
+        assert_eq!(fp.tables[0].est_rows, 50);
+        let q = parse("SELECT * FROM ghost WHERE x IS NOT NULL");
+        let fp = plan(&d, &q).unwrap();
+        assert_eq!(fp.tables[0].est_rows, 0);
+    }
+
+    #[test]
+    fn joins_over_degenerate_tables_keep_finite_costs() {
+        let d = degenerate_db();
+        let q = parse(
+            "SELECT * FROM ghost AS g JOIN haze AS h ON g.id = h.id \
+             WHERE g.x < 3.0 AND h.x < 3.0",
+        );
+        let fp = plan(&d, &q).unwrap();
+        // Both sides fall back to 1/3; join est divides by ndv(id) = 50.
+        for step in &fp.steps {
+            assert!(step.est_out <= 50 * 50, "estimate must stay clamped");
+        }
+        // Planning twice yields the identical order: determinism survives
+        // degenerate stats.
+        let q2 = parse(
+            "SELECT * FROM ghost AS g JOIN haze AS h ON g.id = h.id \
+             WHERE g.x < 3.0 AND h.x < 3.0",
+        );
+        let fp2 = plan(&d, &q2).unwrap();
+        assert_eq!(fp.order, fp2.order);
+        assert_eq!(
+            fp.steps.iter().map(|s| s.est_out).collect::<Vec<_>>(),
+            fp2.steps.iter().map(|s| s.est_out).collect::<Vec<_>>()
+        );
     }
 }

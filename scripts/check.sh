@@ -213,6 +213,70 @@ if $CLI_REL profile target/exec-columnar.jsonl target/exec-oracle.jsonl \
     exit 1
 fi
 
+echo "==> kill-and-recover determinism gate (crash-injected persist)"
+# Persist the golden benchmark's databases to disk with a crash injected
+# mid-commit (the process must die, not error out cleanly), recover the
+# torn store, resume persistence, and serve the golden load from disk.
+# The report must be byte-identical to the committed golden: a crash plus
+# recovery may not change a single result bit.
+rm -rf target/crash-store
+# (the nested bash keeps its own "Aborted" job notice off our stderr; the
+# trailing exit stops it exec-ing persist directly and dying by the signal)
+if bash -c "DAIL_CRASH_POINT=mid-commit@2 $CLI_REL persist --seed 7 --train 60 --dev 24 \
+    --out target/crash-store; exit \$?" >/dev/null 2>&1; then
+    echo "crash injector did not fire: persist survived DAIL_CRASH_POINT" >&2
+    exit 1
+fi
+$CLI_REL recover target/crash-store >/dev/null
+$CLI_REL persist --seed 7 --train 60 --dev 24 --out target/crash-store --resume >/dev/null
+$CLI_REL recover target/crash-store --verify >/dev/null
+$CLI_REL serve-bench --store target/crash-store --seed 7 --train 60 --dev 24 \
+    --requests 120 --mean-gap-ms 15 --queue 16 > target/serve-bench-recovered.md
+if ! cmp -s target/serve-bench-recovered.md tests/golden/serve_bench_report.md; then
+    echo "serve-bench from a crash-recovered store drifted from the golden:" >&2
+    diff tests/golden/serve_bench_report.md target/serve-bench-recovered.md >&2 || true
+    exit 1
+fi
+
+echo "==> recover/exec-diff exit-code contract (2 = usage/missing input)"
+# Missing or unreadable inputs are caller errors (exit 2), distinct from
+# corruption findings (exit 1).
+set +e
+$CLI_REL recover target/definitely-not-a-store >/dev/null 2>&1
+rc_recover=$?
+$CLI_REL exec-diff --corpus target/definitely-not-a-corpus.sql >/dev/null 2>&1
+rc_corpus=$?
+set -e
+if [ "$rc_recover" != "2" ] || [ "$rc_corpus" != "2" ]; then
+    echo "expected exit 2 for missing inputs, got recover=${rc_recover} exec-diff=${rc_corpus}" >&2
+    exit 1
+fi
+
+echo "==> exec-diff corpus replay (committed edge-case statements)"
+# Every committed regression statement must execute bit-identically through
+# the columnar engine and the oracle under both join strategies.
+for corpus in tests/golden/exec_diff/*.sql; do
+    $CLI exec-diff --corpus "$corpus" >/dev/null
+done
+
+echo "==> warm-start perf floor (snapshot load >= 10x cold pool build)"
+# Loading the example pool from a binary snapshot must be at least 10x
+# faster than re-embedding it from scratch, with the loaded selector
+# producing identical selections under every strategy (the subcommand
+# exits 1 on divergence). Numbers land in target/BENCH_persist.json.
+$CLI_REL warm-start-bench --store target/warm-store \
+    --json target/BENCH_persist.json >/dev/null
+warm_speedup=$(sed -n 's/.*"speedup":\([0-9.]*\).*/\1/p' target/BENCH_persist.json)
+if [ -z "$warm_speedup" ]; then
+    echo "could not parse speedup from target/BENCH_persist.json" >&2
+    exit 1
+fi
+if ! awk -v s="$warm_speedup" 'BEGIN { exit !(s >= 10.0) }'; then
+    echo "warm start is only ${warm_speedup}x the cold build (floor: 10.0x)" >&2
+    exit 1
+fi
+echo "    warm-start speedup: ${warm_speedup}x"
+
 echo "==> LIKE pathology timing guard"
 # The iterative LIKE matcher must answer adversarial many-% patterns
 # quickly; the old recursive matcher effectively hung here. 60s is a hard
