@@ -7,7 +7,10 @@ use bench::small_benchmark;
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use retrievekit::{full_sort, top_k, top_k_cosine, EmbeddingMatrix, TopK};
+use retrievekit::{
+    dot_i8, full_sort, quantize_query, top_k, top_k_cosine, EmbeddingMatrix, IvfIndex, IvfParams,
+    QuantizedMatrix, TopK,
+};
 use std::hint::black_box;
 use textkit::{embed, embed_into, Embedding, DIM};
 
@@ -124,5 +127,69 @@ fn end_to_end(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, embedder, kernel, topk, end_to_end);
+fn int8_kernel(c: &mut Criterion) {
+    // The int8 dot against the f32 matrix kernel at the embedding width:
+    // the quantized kernel trades per-lane precision for i32 accumulation,
+    // so its win here is what pays for the rerank in ivf-int8 mode.
+    let a = embed("how many singers are there in each stadium");
+    let b_ = embed("list the names of all concerts ordered by year");
+    let mut m = EmbeddingMatrix::with_capacity(DIM, 1);
+    m.push_row(&a.0);
+    let quant = QuantizedMatrix::from_matrix(&m);
+    let qq = quantize_query(&b_.0);
+
+    c.bench_function("dot_f32_kernel_512", |b| {
+        b.iter(|| black_box(m.cosine(0, black_box(&b_.0))))
+    });
+
+    c.bench_function("dot_i8_kernel_512", |b| {
+        b.iter(|| black_box(dot_i8(quant.row(0), black_box(&qq.q))))
+    });
+}
+
+fn ivf_probe(c: &mut Criterion) {
+    // IVF probe-width sweep on a 10k pool with the near-duplicate question
+    // distribution: cost should scale with the probed fraction of the pool
+    // while p = n_clusters degenerates to the exact scan.
+    let stems = [
+        "how many singers are there",
+        "list the names of all stadiums",
+        "what is the average capacity",
+        "count the concerts for each year",
+        "which students are older than 20",
+        "show the products ordered by price",
+    ];
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut matrix = EmbeddingMatrix::with_capacity(DIM, POOL);
+    let mut row = vec![0f32; DIM];
+    for i in 0..POOL {
+        let q = format!(
+            "{} in region {}",
+            stems[rng.gen_range(0..stems.len())],
+            i % 97
+        );
+        embed_into(&q, &mut row);
+        matrix.push_row(&row);
+    }
+    let index = IvfIndex::train(&matrix, POOL, &IvfParams::default());
+    let target = embed("how many stadiums are there in each region");
+
+    for p in [1usize, 4, 16] {
+        c.bench_function(format!("ivf_probe_p{p}_10k"), |b| {
+            b.iter(|| {
+                black_box(index.search_with_probe(black_box(&matrix), black_box(&target.0), K, p))
+            })
+        });
+    }
+}
+
+criterion_group!(
+    benches,
+    embedder,
+    kernel,
+    topk,
+    end_to_end,
+    int8_kernel,
+    ivf_probe
+);
 criterion_main!(benches);

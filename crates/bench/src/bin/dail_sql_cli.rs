@@ -136,6 +136,11 @@ fn usage() {
          \u{20}\u{20}                                         reference; print a markdown report\n\
          \u{20}\u{20}                                         (byte-identical across DAIL_THREADS\n\
          \u{20}\u{20}                                         with --no-timing)\n\
+         \u{20}\u{20}select-bench --pool-rows N[,N...] [--queries M] [--seed S] [--k K]\n\
+         \u{20}\u{20}     [--json FILE] [--no-timing]         ANN sweep instead: per pool size,\n\
+         \u{20}\u{20}                                         exact scan vs ivf and ivf-int8\n\
+         \u{20}\u{20}                                         retrieval with recall@k, training\n\
+         \u{20}\u{20}                                         cost, and throughput per point\n\
          \u{20}\u{20}exec-diff [--train N] [--dev N] [--seed N] [--corpus FILE.sql]\n\
          \u{20}\u{20}                                         run every gold query through the\n\
          \u{20}\u{20}                                         columnar engine AND the reference\n\
@@ -1464,6 +1469,14 @@ fn select_bench(flags: &HashMap<String, String>) {
     use std::fmt::Write as _;
     use textkit::{embed, embed_into, DIM};
 
+    if flags.contains_key("pool-rows") {
+        // The ANN sweep is a separate report: it measures approximate
+        // retrieval against the exact scan, while this legacy path gates
+        // the exact fast path against the committed naive reference and
+        // must stay byte-identical to pre-IVF builds.
+        return select_bench_sweep(flags);
+    }
+
     let pool_n: usize = num_flag(flags, "pool", 10_000usize).max(1);
     let queries_n: usize = num_flag(flags, "queries", 50usize).max(1);
     let k: usize = num_flag(flags, "k", 8usize).max(1);
@@ -1615,6 +1628,235 @@ fn select_bench(flags: &HashMap<String, String>) {
             std::process::exit(2);
         }
         eprintln!("throughput points written to {path}");
+    }
+}
+
+/// Question generator for the ANN sweep. The legacy `sb_question`
+/// vocabulary yields only 8×24×10 = 1,920 distinct strings, so a
+/// million-row pool would hold ~520 exact copies of every question and
+/// recall@k would be trivially 1.0. Suffixing one of 97 regions multiplies
+/// the distinct count to ~186k while keeping the distribution realistic
+/// for ANN: questions sharing a base differ only in the region trigrams,
+/// giving dense near-duplicate neighborhoods instead of orthogonal rows.
+fn sb_question_region(rng: &mut rand::rngs::StdRng) -> String {
+    use rand::Rng;
+    let base = sb_question(rng);
+    format!("{base} in region {}", rng.gen_range(0u32..97))
+}
+
+/// ANN retrieval sweep (`select-bench --pool-rows N[,N...]`): for each
+/// pool size, measure the exact sharded scan, then IVF (f32) and IVF+int8
+/// retrieval — recall@k against the exact oracle, training cost, and
+/// throughput. `scripts/check.sh` gates recall ≥ 0.99 and a ≥5× speedup
+/// at the 1M-row point from the `--json` output. With `--no-timing` the
+/// report carries no wall-clock numbers and is byte-identical across
+/// machines and `DAIL_THREADS` settings (the determinism gate).
+fn select_bench_sweep(flags: &HashMap<String, String>) {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use retrievekit::{top_k_cosine, EmbeddingMatrix, IvfIndex, IvfParams, QuantizedMatrix};
+    use std::fmt::Write as _;
+    use textkit::{embed_into, DIM};
+
+    let raw_sizes = flags.get("pool-rows").expect("dispatch checked the flag");
+    let mut sizes: Vec<usize> = Vec::new();
+    for part in raw_sizes.split(',') {
+        match part.trim().parse::<usize>() {
+            Ok(n) if n > 0 => sizes.push(n),
+            _ => {
+                eprintln!("--pool-rows wants positive integers (comma-separated), got {part:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let queries_n: usize = num_flag(flags, "queries", 20usize).max(1);
+    let k: usize = num_flag(flags, "k", 8usize).max(1);
+    let seed: u64 = num_flag(flags, "seed", 2023u64);
+    let timing = !flags.contains_key("no-timing");
+    let json_path = flags.get("json");
+    if json_path.is_some() && !timing {
+        eprintln!("--json needs wall-clock numbers; drop --no-timing");
+        std::process::exit(2);
+    }
+
+    let max_n = *sizes.iter().max().expect("sizes is non-empty");
+    let mut rng = StdRng::seed_from_u64(seed);
+    eprintln!("building {max_n}-row pool...");
+    let mut matrix = EmbeddingMatrix::with_capacity(DIM, max_n);
+    let mut row = vec![0f32; DIM];
+    for _ in 0..max_n {
+        embed_into(&sb_question_region(&mut rng), &mut row);
+        matrix.push_row(&row);
+    }
+    let targets: Vec<String> = (0..queries_n)
+        .map(|_| sb_question_region(&mut rng))
+        .collect();
+    let mut target_rows = vec![0f32; queries_n * DIM];
+    for (t, chunk) in targets.iter().zip(target_rows.chunks_exact_mut(DIM)) {
+        embed_into(t, chunk);
+    }
+    // int8 mirror of the full pool; a size-n prefix scan only ever touches
+    // rows < n, so one quantization pass serves every sweep point.
+    let quant = QuantizedMatrix::from_matrix(&matrix);
+
+    struct Point {
+        pool: usize,
+        mode: &'static str,
+        clusters: Option<usize>,
+        probe: Option<usize>,
+        recall: Option<f64>,
+        train_ms: Option<f64>,
+        qps: Option<f64>,
+        speedup: Option<f64>,
+        checksum: u64,
+    }
+    let mut points: Vec<Point> = Vec::new();
+
+    for &n in &sizes {
+        let k_eff = k.min(n);
+        eprintln!("pool {n}: exact baseline...");
+        let t0 = std::time::Instant::now();
+        let exact: Vec<Vec<(f32, u32)>> = target_rows
+            .chunks_exact(DIM)
+            .map(|q| top_k_cosine(&matrix, q, n, k))
+            .collect();
+        let exact_s = t0.elapsed().as_secs_f64();
+        let exact_qps = queries_n as f64 / exact_s.max(1e-9);
+        let mut checksum = 0xcbf29ce484222325u64;
+        for picks in &exact {
+            checksum = sb_checksum(checksum, picks);
+        }
+        points.push(Point {
+            pool: n,
+            mode: "exact",
+            clusters: None,
+            probe: None,
+            recall: None,
+            train_ms: None,
+            qps: timing.then_some(exact_qps),
+            speedup: None,
+            checksum,
+        });
+
+        eprintln!("pool {n}: training ivf index...");
+        let t0 = std::time::Instant::now();
+        let index = IvfIndex::train(&matrix, n, &IvfParams::default());
+        let train_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        for mode in ["ivf", "ivf-int8"] {
+            let t0 = std::time::Instant::now();
+            let approx: Vec<Vec<(f32, u32)>> = target_rows
+                .chunks_exact(DIM)
+                .map(|q| {
+                    if mode == "ivf" {
+                        index.search(&matrix, q, k)
+                    } else {
+                        index.search_quantized(&matrix, &quant, q, k)
+                    }
+                })
+                .collect();
+            let approx_s = t0.elapsed().as_secs_f64();
+            let qps = queries_n as f64 / approx_s.max(1e-9);
+            let mut hit = 0usize;
+            let mut checksum = 0xcbf29ce484222325u64;
+            for (got, want) in approx.iter().zip(&exact) {
+                hit += got
+                    .iter()
+                    .filter(|(_, id)| want.iter().any(|&(_, w)| w == *id))
+                    .count();
+                checksum = sb_checksum(checksum, got);
+            }
+            let recall = hit as f64 / (queries_n * k_eff) as f64;
+            points.push(Point {
+                pool: n,
+                mode,
+                clusters: Some(index.n_clusters()),
+                probe: Some(index.n_probe()),
+                recall: Some(recall),
+                train_ms: timing.then_some(train_ms),
+                qps: timing.then_some(qps),
+                speedup: timing.then_some(qps / exact_qps.max(1e-9)),
+                checksum,
+            });
+        }
+    }
+
+    let opt = |v: Option<f64>, fmt: fn(f64) -> String| match v {
+        Some(x) => fmt(x),
+        None => "-".to_string(),
+    };
+    let mut md = String::new();
+    let _ = writeln!(md, "# select-bench report (ANN sweep)\n");
+    let _ = writeln!(md, "| param | value |");
+    let _ = writeln!(md, "|---|---|");
+    let _ = writeln!(md, "| pool rows | {raw_sizes} |");
+    let _ = writeln!(md, "| queries | {queries_n} |");
+    let _ = writeln!(md, "| k | {k} |");
+    let _ = writeln!(md, "| seed | {seed} |");
+    let _ = writeln!(md, "| dim | {DIM} |");
+    let _ = writeln!(md);
+    let _ = writeln!(md, "## ann trajectory\n");
+    let _ = writeln!(
+        md,
+        "| pool rows | mode | clusters | probe | recall@k | train ms | q/s | speedup vs exact |"
+    );
+    let _ = writeln!(md, "|---|---|---|---|---|---|---|---|");
+    for p in &points {
+        let _ = writeln!(
+            md,
+            "| {} | {} | {} | {} | {} | {} | {} | {} |",
+            p.pool,
+            p.mode,
+            p.clusters.map_or("-".into(), |c: usize| c.to_string()),
+            p.probe.map_or("-".into(), |c: usize| c.to_string()),
+            p.recall
+                .map_or("1.0000 (oracle)".into(), |r| format!("{r:.4}")),
+            opt(p.train_ms, |x| format!("{x:.1}")),
+            opt(p.qps, |x| format!("{x:.1}")),
+            opt(p.speedup, |x| format!("{x:.2}x")),
+        );
+    }
+    let _ = writeln!(md);
+    let _ = writeln!(md, "## selection checksums\n");
+    let _ = writeln!(md, "| pool rows | mode | checksum |");
+    let _ = writeln!(md, "|---|---|---|");
+    for p in &points {
+        let _ = writeln!(md, "| {} | {} | {:#018x} |", p.pool, p.mode, p.checksum);
+    }
+    print!("{md}");
+
+    if let Some(path) = json_path {
+        // One point per line so shell gates can grep a mode's fields
+        // without a JSON parser.
+        let mut json = String::new();
+        let _ = writeln!(
+            json,
+            "{{\"queries\":{queries_n},\"k\":{k},\"seed\":{seed},\"dim\":{DIM},\"points\":["
+        );
+        for (i, p) in points.iter().enumerate() {
+            let sep = if i + 1 == points.len() { "" } else { "," };
+            let mut line = format!("{{\"pool\":{},\"mode\":\"{}\"", p.pool, p.mode);
+            if let Some(r) = p.recall {
+                let _ = write!(line, ",\"recall_at_k\":{r:.4}");
+            }
+            if let Some(t) = p.train_ms {
+                let _ = write!(line, ",\"train_ms\":{t:.1}");
+            }
+            if let Some(q) = p.qps {
+                let _ = write!(line, ",\"qps\":{q:.1}");
+            }
+            if let Some(s) = p.speedup {
+                let _ = write!(line, ",\"speedup_vs_exact\":{s:.3}");
+            }
+            let _ = write!(line, ",\"checksum\":\"{:#018x}\"}}", p.checksum);
+            let _ = writeln!(json, "{line}{sep}");
+        }
+        let _ = writeln!(json, "]}}");
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("ann sweep points written to {path}");
     }
 }
 

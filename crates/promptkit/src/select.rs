@@ -23,7 +23,10 @@
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use retrievekit::{top_k, top_k_cosine_traced, EmbeddingMatrix, FeatureCache, SnapshotError};
+use retrievekit::{
+    top_k, top_k_cosine_traced, EmbeddingMatrix, FeatureCache, IvfIndex, IvfParams,
+    QuantizedMatrix, RetrievalMode, SnapshotError, SnapshotSection, SECTION_IVF,
+};
 use spider_gen::{Benchmark, ExampleItem};
 use sqlkit::{Query, Skeleton};
 use textkit::{embed_into, DomainMasker, DIM};
@@ -82,6 +85,32 @@ struct QueryFeatures {
 /// so even the full experiment grid stays far below this.
 const FEATURE_CACHE_CAPACITY: usize = 8192;
 
+/// Approximate-retrieval state for one embedding matrix: the trained IVF
+/// index, plus the int8 scan mirror when the mode asks for it. The
+/// quantized matrix is never persisted — rebuilding it is a cheap,
+/// deterministic function of the f32 matrix.
+struct AnnState {
+    index: IvfIndex,
+    quant: Option<QuantizedMatrix>,
+}
+
+impl AnnState {
+    /// Train (or adopt a pre-trained index for) one matrix under `mode`.
+    fn build(
+        mode: RetrievalMode,
+        matrix: &EmbeddingMatrix,
+        index: Option<IvfIndex>,
+    ) -> Option<AnnState> {
+        if mode == RetrievalMode::Exact {
+            return None;
+        }
+        let index =
+            index.unwrap_or_else(|| IvfIndex::train(matrix, matrix.len(), &IvfParams::default()));
+        let quant = (mode == RetrievalMode::IvfInt8).then(|| QuantizedMatrix::from_matrix(matrix));
+        Some(AnnState { index, quant })
+    }
+}
+
 /// Precomputed selector over a benchmark's training pool.
 pub struct ExampleSelector<'a> {
     pool: &'a [ExampleItem],
@@ -90,13 +119,25 @@ pub struct ExampleSelector<'a> {
     skeletons: Vec<Skeleton>,
     features: FeatureCache<QueryFeatures>,
     masked_targets: FeatureCache<String>,
+    raw_ann: Option<AnnState>,
+    masked_ann: Option<AnnState>,
 }
 
 impl<'a> ExampleSelector<'a> {
     /// Build the selector: embeds every training question (raw and masked
     /// with its own domain vocabulary) into contiguous matrix rows and
-    /// extracts gold skeletons.
+    /// extracts gold skeletons. The retrieval mode comes from
+    /// `DAIL_RETRIEVAL` ([`RetrievalMode::from_env`]); the default `exact`
+    /// is the committed oracle and leaves selections byte-identical to
+    /// pre-IVF builds.
     pub fn new(bench: &'a Benchmark) -> Self {
+        Self::with_retrieval(bench, RetrievalMode::from_env())
+    }
+
+    /// [`ExampleSelector::new`] with an explicit retrieval mode — the
+    /// programmatic form tests and benches use to avoid racing on the
+    /// environment.
+    pub fn with_retrieval(bench: &'a Benchmark, mode: RetrievalMode) -> Self {
         let n = bench.train.len();
         let mut raw = EmbeddingMatrix::with_capacity(DIM, n);
         let mut masked = EmbeddingMatrix::with_capacity(DIM, n);
@@ -114,6 +155,8 @@ impl<'a> ExampleSelector<'a> {
             masked.push_row(&row);
             skeletons.push(Skeleton::of(&ex.gold));
         }
+        let raw_ann = AnnState::build(mode, &raw, None);
+        let masked_ann = AnnState::build(mode, &masked, None);
         ExampleSelector {
             pool: &bench.train,
             raw,
@@ -121,6 +164,33 @@ impl<'a> ExampleSelector<'a> {
             skeletons,
             features: FeatureCache::new(FEATURE_CACHE_CAPACITY),
             masked_targets: FeatureCache::new(FEATURE_CACHE_CAPACITY),
+            raw_ann,
+            masked_ann,
+        }
+    }
+
+    /// Top-k over one matrix under the active retrieval mode: the exact
+    /// sharded scan when no ANN state exists, else the IVF probe (with
+    /// int8 candidate generation and exact rerank in `ivf-int8` mode).
+    /// Every path ends in full-precision f32 scores with score-desc /
+    /// index-asc tie-breaking.
+    fn retrieve(
+        &self,
+        matrix: &EmbeddingMatrix,
+        ann: &Option<AnnState>,
+        query: &[f32],
+        k: usize,
+        trace: obskit::TraceContext,
+    ) -> Vec<(f32, u32)> {
+        match ann {
+            None => top_k_cosine_traced(matrix, query, matrix.len(), k, trace),
+            Some(a) => {
+                let (_span, _) = trace.span("retrievekit.score");
+                match &a.quant {
+                    Some(qm) => a.index.search_quantized(matrix, qm, query, k),
+                    None => a.index.search(matrix, query, k),
+                }
+            }
         }
     }
 
@@ -252,23 +322,11 @@ impl<'a> ExampleSelector<'a> {
             }
             SelectionStrategy::QuestionSimilarity => {
                 let f = self.target_features(target_question, masked_target);
-                self.take(top_k_cosine_traced(
-                    &self.raw,
-                    &f.raw,
-                    self.raw.len(),
-                    k,
-                    trace,
-                ))
+                self.take(self.retrieve(&self.raw, &self.raw_ann, &f.raw, k, trace))
             }
             SelectionStrategy::MaskedQuestionSimilarity => {
                 let f = self.target_features(target_question, masked_target);
-                self.take(top_k_cosine_traced(
-                    &self.masked,
-                    &f.masked,
-                    self.masked.len(),
-                    k,
-                    trace,
-                ))
+                self.take(self.retrieve(&self.masked, &self.masked_ann, &f.masked, k, trace))
             }
             SelectionStrategy::QuerySimilarity => {
                 let Some(pq) = preliminary else {
@@ -305,13 +363,8 @@ impl<'a> ExampleSelector<'a> {
                         // a question — it only computes `pool_k` skeleton
                         // similarities.
                         let pool_k = (4 * k).max(16).min(self.pool.len());
-                        let by_q = top_k_cosine_traced(
-                            &self.masked,
-                            &f.masked,
-                            self.masked.len(),
-                            pool_k,
-                            trace,
-                        );
+                        let by_q =
+                            self.retrieve(&self.masked, &self.masked_ann, &f.masked, pool_k, trace);
                         if obskit::enabled() {
                             // The skeleton re-ranking stage scores each
                             // shortlisted candidate once more.
@@ -339,10 +392,10 @@ impl<'a> ExampleSelector<'a> {
                             .map(|(_, _, i)| &self.pool[i as usize])
                             .collect()
                     }
-                    None => self.take(top_k_cosine_traced(
+                    None => self.take(self.retrieve(
                         &self.masked,
+                        &self.masked_ann,
                         &f.masked,
-                        self.masked.len(),
                         k,
                         trace,
                     )),
@@ -365,6 +418,12 @@ impl<'a> ExampleSelector<'a> {
     /// token count + `u16` [`sqlkit::SkelTok`] codes per row) so a later
     /// load can prove the snapshot belongs to the benchmark it is asked to
     /// serve.
+    ///
+    /// Under an IVF retrieval mode the trained indexes ride along as
+    /// `IVFIDX01` sections (payload: one role byte — 0 raw, 1 masked —
+    /// then [`IvfIndex::to_bytes`]) so warm starts skip k-means. In exact
+    /// mode no sections are written and the file is byte-identical to
+    /// pre-IVF builds.
     pub fn save_snapshot(&self, path: &std::path::Path) -> Result<(), SnapshotError> {
         let mut aux = Vec::new();
         for (ex, sk) in self.pool.iter().zip(&self.skeletons) {
@@ -379,7 +438,18 @@ impl<'a> ExampleSelector<'a> {
                 aux.extend_from_slice(&t.to_code().to_le_bytes());
             }
         }
-        retrievekit::save_snapshot(path, &[&self.raw, &self.masked], &aux)
+        let mut sections = Vec::new();
+        for (role, ann) in [(0u8, &self.raw_ann), (1u8, &self.masked_ann)] {
+            if let Some(a) = ann {
+                let mut payload = vec![role];
+                payload.extend_from_slice(&a.index.to_bytes());
+                sections.push(SnapshotSection {
+                    tag: SECTION_IVF,
+                    payload,
+                });
+            }
+        }
+        retrievekit::save_snapshot_with_sections(path, &[&self.raw, &self.masked], &aux, &sections)
     }
 
     /// Rebuild a selector from a snapshot written by
@@ -399,6 +469,22 @@ impl<'a> ExampleSelector<'a> {
         bench: &'a Benchmark,
         path: &std::path::Path,
         verify_data: bool,
+    ) -> Result<Self, SnapshotError> {
+        Self::load_snapshot_with_retrieval(bench, path, verify_data, RetrievalMode::from_env())
+    }
+
+    /// [`ExampleSelector::load_snapshot`] with an explicit retrieval mode.
+    ///
+    /// Under an IVF mode, persisted `IVFIDX01` sections whose shape
+    /// matches the pool are adopted; a snapshot without a usable index
+    /// (e.g. one written by an exact-mode run) falls back to retraining —
+    /// and since training is deterministic, the retrained index (and every
+    /// selection) is identical to what a cold build produces.
+    pub fn load_snapshot_with_retrieval(
+        bench: &'a Benchmark,
+        path: &std::path::Path,
+        verify_data: bool,
+        mode: RetrievalMode,
     ) -> Result<Self, SnapshotError> {
         let corrupt = |m: String| SnapshotError::Corrupt(m);
         let snap = retrievekit::load_snapshot(path, verify_data)?;
@@ -470,6 +556,30 @@ impl<'a> ExampleSelector<'a> {
             )));
         }
 
+        // Recover persisted IVF indexes by role byte. A malformed section
+        // payload is a hard error (the section checksum already passed, so
+        // this is a format skew, not bit rot); a merely *missing* or
+        // wrong-shape index falls back to retraining below.
+        let mut stored: [Option<IvfIndex>; 2] = [None, None];
+        for s in &snap.sections {
+            if s.tag != SECTION_IVF {
+                continue;
+            }
+            let Some((&role, body)) = s.payload.split_first() else {
+                return Err(corrupt("empty IVFIDX01 section payload".into()));
+            };
+            if role > 1 {
+                return Err(corrupt(format!("unknown IVFIDX01 role byte {role}")));
+            }
+            let idx = IvfIndex::from_bytes(body).map_err(&corrupt)?;
+            if idx.rows() == n && idx.dim() == DIM {
+                stored[role as usize] = Some(idx);
+            }
+        }
+        let [stored_raw, stored_masked] = stored;
+        let raw_ann = AnnState::build(mode, &raw, stored_raw);
+        let masked_ann = AnnState::build(mode, &masked, stored_masked);
+
         Ok(ExampleSelector {
             pool: &bench.train,
             raw,
@@ -477,6 +587,8 @@ impl<'a> ExampleSelector<'a> {
             skeletons,
             features: FeatureCache::new(FEATURE_CACHE_CAPACITY),
             masked_targets: FeatureCache::new(FEATURE_CACHE_CAPACITY),
+            raw_ann,
+            masked_ann,
         })
     }
 }
@@ -869,6 +981,86 @@ mod tests {
             }
         }
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn ivf_modes_select_k_and_find_exact_duplicates() {
+        let b = bench();
+        for mode in [RetrievalMode::Ivf, RetrievalMode::IvfInt8] {
+            let sel = ExampleSelector::with_retrieval(&b, mode);
+            // Query a pool question verbatim: its embedding is an exact
+            // duplicate of a pool row, the probe lands in that row's own
+            // cluster, so top-1 must share the question text.
+            let target = &b.train[b.train.len() / 2];
+            let picked = sel.select(
+                SelectionStrategy::QuestionSimilarity,
+                &target.question,
+                &target.question,
+                None,
+                5,
+                1,
+            );
+            assert_eq!(picked.len(), 5, "{mode:?}");
+            assert_eq!(picked[0].question, target.question, "{mode:?}");
+            for strat in SelectionStrategy::ALL {
+                let got = sel.select(
+                    strat,
+                    "how many things are there",
+                    "how many <mask> are there",
+                    None,
+                    4,
+                    9,
+                );
+                assert_eq!(got.len(), 4, "{mode:?} {strat:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn ivf_warm_start_and_retrain_fallback_match_cold_selections() {
+        let b = bench();
+        let mode = RetrievalMode::IvfInt8;
+        let cold = ExampleSelector::with_retrieval(&b, mode);
+        let dir = std::env::temp_dir();
+        let with_index = dir.join(format!("dail_sel_{}_ivf.emb", std::process::id()));
+        let without_index = dir.join(format!("dail_sel_{}_noivf.emb", std::process::id()));
+        cold.save_snapshot(&with_index).unwrap();
+        // An exact-mode selector writes the section-free version-1 format —
+        // the "old snapshot" a later IVF run must fall back from.
+        ExampleSelector::with_retrieval(&b, RetrievalMode::Exact)
+            .save_snapshot(&without_index)
+            .unwrap();
+        let warm =
+            ExampleSelector::load_snapshot_with_retrieval(&b, &with_index, true, mode).unwrap();
+        let retrained =
+            ExampleSelector::load_snapshot_with_retrieval(&b, &without_index, true, mode).unwrap();
+        assert!(warm.raw_ann.is_some() && retrained.raw_ann.is_some());
+        let draft = sqlkit::parse_query("SELECT count(*) FROM t").unwrap();
+        for strat in SelectionStrategy::ALL {
+            for prelim in [None, Some(&draft)] {
+                let pick = |sel: &ExampleSelector| -> Vec<usize> {
+                    sel.select(
+                        strat,
+                        "How many gadgets are there?",
+                        "how many <mask> are there",
+                        prelim,
+                        5,
+                        7,
+                    )
+                    .iter()
+                    .map(|e| e.id)
+                    .collect()
+                };
+                let want = pick(&cold);
+                // Warm start adopts the persisted index; the fallback
+                // retrains — both must reproduce the cold selector exactly
+                // because training is deterministic.
+                assert_eq!(pick(&warm), want, "warm {strat:?}");
+                assert_eq!(pick(&retrained), want, "retrained {strat:?}");
+            }
+        }
+        let _ = std::fs::remove_file(&with_index);
+        let _ = std::fs::remove_file(&without_index);
     }
 
     #[test]

@@ -15,7 +15,11 @@
 //! * single-threaded scans of large pools → sharded scoring across
 //!   `DAIL_THREADS` workers ([`top_k_cosine`]), merged via a k-way heap,
 //!   identical output for any worker count;
-//! * per-strategy re-embedding of targets → a shared [`FeatureCache`].
+//! * per-strategy re-embedding of targets → a shared [`FeatureCache`];
+//! * full-pool scans at million-row scale → an optional [`IvfIndex`]
+//!   (deterministic k-means, probed inverted lists, exact f32 rerank) with
+//!   an int8 [`QuantizedMatrix`] scan for candidate generation, selected
+//!   via `DAIL_RETRIEVAL={exact|ivf|ivf-int8}` — exact stays the oracle.
 //!
 //! Instrumentation: `retrievekit.scored` counts candidates scored,
 //! `retrievekit.feature_cache_{hits,misses}` track target reuse, and
@@ -28,13 +32,20 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod ivf;
 pub mod matrix;
+pub mod quant;
 pub mod shard;
 pub mod snapshot;
 pub mod topk;
 
 pub use cache::FeatureCache;
+pub use ivf::{IvfIndex, IvfParams, RetrievalMode};
 pub use matrix::{dot, EmbeddingMatrix};
+pub use quant::{dot_i8, quantize_query, QuantizedMatrix, QuantizedQuery};
 pub use shard::{resolve_threads, top_k_cosine, top_k_cosine_traced, PARALLEL_THRESHOLD};
-pub use snapshot::{load_snapshot, save_snapshot, Snapshot, SnapshotError};
+pub use snapshot::{
+    load_snapshot, save_snapshot, save_snapshot_with_sections, Snapshot, SnapshotError,
+    SnapshotSection, SECTION_IVF,
+};
 pub use topk::{full_sort, merge_top_k, top_k, TopK};

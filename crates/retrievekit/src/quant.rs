@@ -1,0 +1,221 @@
+//! Int8 symmetric quantization of the embedding matrix — a 4× smaller
+//! scan representation for candidate generation.
+//!
+//! Each row is quantized independently: `scale = max|x| / 127`,
+//! `q = round(x / scale)` clamped to `[-127, 127]`. The dot product of two
+//! quantized vectors accumulates in `i32` (a lane product of two `i8`
+//! values fits in `i16`; 512 of them fit in `i32` with headroom to spare),
+//! then one multiply by both scales recovers the approximate `f32` value.
+//!
+//! Quantization is *lossy by design* and therefore only ever used to rank
+//! candidates for a shortlist — the [`crate::ivf`] search paths re-score
+//! every shortlisted row with the full-precision `f32` kernel before the
+//! final top-k, so selections remain a function of exact scores. Two lane
+//! classes survive quantization exactly: `0.0` and `-0.0` both map to
+//! `q = 0` and contribute exactly zero to the dot, and an all-zero row
+//! keeps its zero norm, so its approximate cosine is exactly `0.0` — the
+//! same answer the `f32` path gives (see `proptest_ivf.rs`).
+
+use crate::matrix::EmbeddingMatrix;
+
+/// A row-major `i8` mirror of an [`EmbeddingMatrix`] with per-row
+/// dequantization scales and the original `f32` norms (needed for cosine
+/// denominators, and kept bit-identical to the source matrix so the
+/// approximate score of a zero row is exactly zero).
+#[derive(Debug, Clone)]
+pub struct QuantizedMatrix {
+    dim: usize,
+    data: Vec<i8>,
+    scales: Vec<f32>,
+    norms: Vec<f32>,
+}
+
+/// A query quantized with its own symmetric scale, built once per search
+/// via [`quantize_query`] and scored against many rows.
+#[derive(Debug, Clone)]
+pub struct QuantizedQuery {
+    /// Quantized lanes (`round(x / scale)` in `[-127, 127]`).
+    pub q: Vec<i8>,
+    /// Dequantization scale (`max|x| / 127`; `0.0` for an all-zero query).
+    pub scale: f32,
+}
+
+/// Quantize one `f32` slice symmetrically into `out`, returning the scale.
+fn quantize_into(row: &[f32], out: &mut [i8]) -> f32 {
+    let amax = row.iter().fold(0f32, |m, x| m.max(x.abs()));
+    if amax == 0.0 {
+        out.fill(0);
+        return 0.0;
+    }
+    let scale = amax / 127.0;
+    for (o, x) in out.iter_mut().zip(row) {
+        // `x / scale` is within ±127 by construction; round() can land
+        // exactly on ±127 but never beyond, so the clamp is belt-and-braces
+        // for subnormal scales only.
+        *o = (x / scale).round().clamp(-127.0, 127.0) as i8;
+    }
+    scale
+}
+
+impl QuantizedMatrix {
+    /// Quantize every row of `m` (symmetric per-row scales).
+    pub fn from_matrix(m: &EmbeddingMatrix) -> QuantizedMatrix {
+        let dim = m.dim();
+        let mut data = vec![0i8; m.len() * dim];
+        let mut scales = Vec::with_capacity(m.len());
+        for (i, chunk) in data.chunks_exact_mut(dim).enumerate() {
+            scales.push(quantize_into(m.row(i), chunk));
+        }
+        QuantizedMatrix {
+            dim,
+            data,
+            scales,
+            norms: m.norms().to_vec(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.scales.len()
+    }
+
+    /// Whether the matrix has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.scales.is_empty()
+    }
+
+    /// Row dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Borrow quantized row `i`.
+    pub fn row(&self, i: usize) -> &[i8] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Dequantization scale of row `i`.
+    pub fn scale(&self, i: usize) -> f32 {
+        self.scales[i]
+    }
+
+    /// Approximate score between row `i` and a quantized query, with the
+    /// same semantics as [`EmbeddingMatrix::cosine`]: the dot divided by
+    /// the *row* norm only (pool queries are unit-norm embeddings, and for
+    /// ranking a constant query-norm factor is irrelevant anyway). Zero
+    /// rows and zero queries score exactly `0.0`, matching the `f32` path.
+    #[inline]
+    pub fn approx_cosine(&self, i: usize, q: &QuantizedQuery) -> f32 {
+        let n = self.norms[i];
+        if n == 0.0 {
+            return 0.0;
+        }
+        dot_i8(self.row(i), &q.q) as f32 * (self.scales[i] * q.scale) / n
+    }
+}
+
+/// Quantize a query vector for scanning a [`QuantizedMatrix`].
+pub fn quantize_query(query: &[f32]) -> QuantizedQuery {
+    let mut q = vec![0i8; query.len()];
+    let scale = quantize_into(query, &mut q);
+    QuantizedQuery { q, scale }
+}
+
+/// `i8 × i8 → i32` dot product with four independent accumulators — the
+/// integer twin of [`crate::matrix::dot`]. Integer addition is associative,
+/// so unlike the `f32` kernel this one is exact regardless of summation
+/// order; the 4-way split exists purely to pipeline the multiplies.
+#[inline]
+pub fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut ca = a.chunks_exact(4);
+    let mut cb = b.chunks_exact(4);
+    let (mut s0, mut s1, mut s2, mut s3) = (0i32, 0i32, 0i32, 0i32);
+    for (xa, xb) in ca.by_ref().zip(cb.by_ref()) {
+        s0 += xa[0] as i32 * xb[0] as i32;
+        s1 += xa[1] as i32 * xb[1] as i32;
+        s2 += xa[2] as i32 * xb[2] as i32;
+        s3 += xa[3] as i32 * xb[3] as i32;
+    }
+    let mut tail = 0i32;
+    for (xa, xb) in ca.remainder().iter().zip(cb.remainder()) {
+        tail += *xa as i32 * *xb as i32;
+    }
+    (s0 + s1) + (s2 + s3) + tail
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::dot;
+
+    fn sample_matrix(rows: usize, dim: usize) -> EmbeddingMatrix {
+        let mut m = EmbeddingMatrix::with_capacity(dim, rows);
+        let mut row = vec![0f32; dim];
+        for i in 0..rows {
+            for (j, x) in row.iter_mut().enumerate() {
+                *x = ((i * 31 + j * 7) as f32 * 0.13).sin();
+            }
+            m.push_row(&row);
+        }
+        m
+    }
+
+    #[test]
+    fn dot_i8_matches_scalar_on_odd_lengths() {
+        for len in [0usize, 1, 3, 4, 5, 7, 17, 512] {
+            let a: Vec<i8> = (0..len).map(|i| ((i * 37) % 255) as i8).collect();
+            let b: Vec<i8> = (0..len).map(|i| ((i * 91 + 13) % 255) as i8).collect();
+            let want: i32 = a.iter().zip(&b).map(|(&x, &y)| x as i32 * y as i32).sum();
+            assert_eq!(dot_i8(&a, &b), want, "len {len}");
+        }
+    }
+
+    #[test]
+    fn approx_cosine_tracks_exact_cosine() {
+        let m = sample_matrix(40, 64);
+        let qm = QuantizedMatrix::from_matrix(&m);
+        // Unit-norm query, like real textkit embeddings.
+        let mut query: Vec<f32> = (0..64).map(|j| (j as f32 * 0.29).cos()).collect();
+        let qn = dot(&query, &query).sqrt();
+        query.iter_mut().for_each(|x| *x /= qn);
+        let qq = quantize_query(&query);
+        for i in 0..m.len() {
+            let exact = m.cosine(i, &query);
+            let approx = qm.approx_cosine(i, &qq);
+            assert!(
+                (exact - approx).abs() < 0.02,
+                "row {i}: exact {exact} vs approx {approx}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_rows_and_queries_score_exactly_zero() {
+        let mut m = EmbeddingMatrix::with_dim(8);
+        m.push_row(&[0.0; 8]);
+        m.push_row(&[-0.0; 8]);
+        m.push_row(&[1.0, 0.0, -0.0, 0.5, 0.0, 0.0, 0.0, 0.0]);
+        let qm = QuantizedMatrix::from_matrix(&m);
+        let qq = quantize_query(&[1.0; 8]);
+        assert_eq!(qm.approx_cosine(0, &qq), 0.0);
+        assert_eq!(qm.approx_cosine(1, &qq), 0.0);
+        // Zero and negative-zero lanes quantize to 0 and contribute nothing.
+        assert_eq!(qm.row(2)[1], 0);
+        assert_eq!(qm.row(2)[2], 0);
+        let zq = quantize_query(&[0.0; 8]);
+        assert_eq!(zq.scale, 0.0);
+        assert_eq!(qm.approx_cosine(2, &zq), 0.0);
+    }
+
+    #[test]
+    fn extreme_lanes_hit_exactly_127() {
+        let mut m = EmbeddingMatrix::with_dim(4);
+        m.push_row(&[2.0, -2.0, 1.0, 0.0]);
+        let qm = QuantizedMatrix::from_matrix(&m);
+        assert_eq!(qm.row(0)[0], 127);
+        assert_eq!(qm.row(0)[1], -127);
+        assert_eq!(qm.row(0)[3], 0);
+        assert!((qm.scale(0) - 2.0 / 127.0).abs() < 1e-9);
+    }
+}

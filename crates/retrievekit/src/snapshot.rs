@@ -15,7 +15,19 @@
 //!   per-matrix norms blocks (rows_i × f32 each, matrix order)
 //!   per-matrix data blocks  (block_len_i bytes each, matrix order)
 //!   aux blob                (aux_len bytes, opaque to this crate)
+//! sections (version 2 only, zero or more after the aux blob):
+//!   [tag: 8] [payload_len: u64] [payload_crc: u64] [payload bytes]
 //! ```
+//!
+//! Sections carry optional derived artifacts — today the trained IVF index
+//! (tag `IVFIDX01`, see [`SECTION_IVF`]) so warm starts skip k-means. A
+//! file with no sections is written as **version 1, byte-identical to the
+//! pre-section format**; sections bump the header version to 2 so a
+//! pre-section reader fails loudly ("unsupported version") instead of
+//! misparsing trailing bytes. The current reader accepts both versions,
+//! returns version-1 files with an empty section list (callers fall back
+//! to retraining), and rejects unknown section tags, bad per-section
+//! checksums, and truncated section headers with clear errors.
 //!
 //! A data block is either **dense** (encoding 0: `rows × dim × f32`,
 //! row-major) or **sparse** (encoding 1: per row `[nnz: u16]` then `nnz ×
@@ -43,10 +55,33 @@ use std::path::{Path, PathBuf};
 
 const MAGIC: &[u8; 8] = b"DAILEMB1";
 const VERSION: u32 = 1;
+const VERSION_SECTIONS: u32 = 2;
 const HEADER_LEN: usize = 64;
 const MAT_ENTRY_LEN: usize = 24;
+const SECTION_HEADER_LEN: usize = 24;
 const ENC_DENSE: u8 = 0;
 const ENC_SPARSE: u8 = 1;
+
+/// Section tag for a serialized [`crate::ivf::IvfIndex`]
+/// (`IvfIndex::to_bytes` payload).
+pub const SECTION_IVF: [u8; 8] = *b"IVFIDX01";
+
+/// Every tag this reader understands. An unknown tag is a hard error: a
+/// section is a derived artifact some writer thought mattered, and
+/// skipping it silently would turn a format skew into a silent retrain or
+/// worse.
+const KNOWN_SECTIONS: &[[u8; 8]] = &[SECTION_IVF];
+
+/// One optional trailing section: an 8-byte ASCII tag naming the payload
+/// format plus the payload itself (opaque at this layer, checksummed
+/// individually on disk).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotSection {
+    /// Format tag (must be one of the known tags, e.g. [`SECTION_IVF`]).
+    pub tag: [u8; 8],
+    /// Payload bytes, verbatim.
+    pub payload: Vec<u8>,
+}
 
 /// Errors from snapshot save/load.
 #[derive(Debug)]
@@ -82,6 +117,8 @@ pub struct Snapshot {
     pub matrices: Vec<EmbeddingMatrix>,
     /// Opaque auxiliary payload (promptkit stores its pool catalog here).
     pub aux: Vec<u8>,
+    /// Optional trailing sections (empty for version-1 files).
+    pub sections: Vec<SnapshotSection>,
 }
 
 /// FNV-1a 64 processed a u64 word at a time — one xor/multiply per eight
@@ -222,13 +259,32 @@ fn decode_sparse(bytes: &[u8], rows: usize, dim: usize) -> Result<Vec<f32>, Stri
 
 /// Save matrices plus an opaque `aux` blob to `path`, atomically (write to
 /// a sibling temp file, fsync, rename). All matrices must share one
-/// dimension.
+/// dimension. Writes the version-1 format — byte-identical to pre-section
+/// builds.
 pub fn save_snapshot(
     path: &Path,
     matrices: &[&EmbeddingMatrix],
     aux: &[u8],
 ) -> Result<(), SnapshotError> {
+    save_snapshot_with_sections(path, matrices, aux, &[])
+}
+
+/// [`save_snapshot`] plus trailing sections. With an empty `sections`
+/// slice the output is the version-1 format, bit-for-bit; any section
+/// bumps the header version to 2 so old readers reject the file loudly.
+pub fn save_snapshot_with_sections(
+    path: &Path,
+    matrices: &[&EmbeddingMatrix],
+    aux: &[u8],
+    sections: &[SnapshotSection],
+) -> Result<(), SnapshotError> {
     let dim = matrices.first().map(|m| m.dim()).unwrap_or(1);
+    if let Some(s) = sections.iter().find(|s| !KNOWN_SECTIONS.contains(&s.tag)) {
+        return Err(SnapshotError::Corrupt(format!(
+            "refusing to write unknown section tag {:?}",
+            s.tag
+        )));
+    }
     if matrices.iter().any(|m| m.dim() != dim) {
         return Err(SnapshotError::Corrupt(
             "matrices in one snapshot must share a dimension".into(),
@@ -258,9 +314,19 @@ pub fn save_snapshot(
     };
     let data_crc = fnv1a64_words(&data);
 
-    let mut out = Vec::with_capacity(HEADER_LEN + meta.len() + data.len() + aux.len());
+    let version = if sections.is_empty() {
+        VERSION
+    } else {
+        VERSION_SECTIONS
+    };
+    let sections_len: usize = sections
+        .iter()
+        .map(|s| SECTION_HEADER_LEN + s.payload.len())
+        .sum();
+    let mut out =
+        Vec::with_capacity(HEADER_LEN + meta.len() + data.len() + aux.len() + sections_len);
     out.extend_from_slice(MAGIC);
-    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&version.to_le_bytes());
     out.extend_from_slice(&(dim as u32).to_le_bytes());
     out.extend_from_slice(&total_rows.to_le_bytes());
     out.extend_from_slice(&(matrices.len() as u32).to_le_bytes());
@@ -272,6 +338,12 @@ pub fn save_snapshot(
     out.extend_from_slice(&meta);
     out.extend_from_slice(&data);
     out.extend_from_slice(aux);
+    for s in sections {
+        out.extend_from_slice(&s.tag);
+        out.extend_from_slice(&(s.payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&fnv1a64_words(&s.payload).to_le_bytes());
+        out.extend_from_slice(&s.payload);
+    }
 
     let tmp = tmp_path(path);
     {
@@ -302,8 +374,10 @@ pub fn load_snapshot(path: &Path, verify_data: bool) -> Result<Snapshot, Snapsho
     let u32_at = |o: usize| u32::from_le_bytes(bytes[o..o + 4].try_into().expect("4 bytes"));
     let u64_at = |o: usize| u64::from_le_bytes(bytes[o..o + 8].try_into().expect("8 bytes"));
     let version = u32_at(8);
-    if version != VERSION {
-        return Err(corrupt(format!("unsupported version {version}")));
+    if version != VERSION && version != VERSION_SECTIONS {
+        return Err(corrupt(format!(
+            "unsupported version {version} (this reader knows 1 and 2)"
+        )));
     }
     let dim = u32_at(12) as usize;
     let total_rows = u64_at(16) as usize;
@@ -341,17 +415,26 @@ pub fn load_snapshot(path: &Path, verify_data: bool) -> Result<Snapshot, Snapsho
     }
     let data_len: usize = block_lens.iter().sum();
     let aux_at = data_at + data_len;
-    if bytes.len() != aux_at + aux_len {
+    let sections_at = aux_at + aux_len;
+    if version == VERSION && bytes.len() != sections_at {
         return Err(corrupt(format!(
             "file is {} bytes, header implies {}",
             bytes.len(),
-            aux_at + aux_len
+            sections_at
         )));
     }
+    if bytes.len() < sections_at {
+        return Err(corrupt(format!(
+            "file is {} bytes, header implies at least {}",
+            bytes.len(),
+            sections_at
+        )));
+    }
+    let sections = parse_sections(&bytes[sections_at..]).map_err(&corrupt)?;
 
     let meta_got = {
         let mut joined = bytes[table_at..data_at].to_vec();
-        joined.extend_from_slice(&bytes[aux_at..]);
+        joined.extend_from_slice(&bytes[aux_at..sections_at]);
         fnv1a64_words(&joined)
     };
     if meta_got != meta_crc {
@@ -385,8 +468,53 @@ pub fn load_snapshot(path: &Path, verify_data: bool) -> Result<Snapshot, Snapsho
     }
     Ok(Snapshot {
         matrices,
-        aux: bytes[aux_at..].to_vec(),
+        aux: bytes[aux_at..sections_at].to_vec(),
+        sections,
     })
+}
+
+/// Parse the trailing section region (empty for version-1 files — the
+/// exact-length check above guarantees `tail` is empty there).
+fn parse_sections(mut tail: &[u8]) -> Result<Vec<SnapshotSection>, String> {
+    let mut sections = Vec::new();
+    while !tail.is_empty() {
+        if tail.len() < SECTION_HEADER_LEN {
+            return Err(format!(
+                "truncated section header ({} trailing bytes)",
+                tail.len()
+            ));
+        }
+        let tag: [u8; 8] = tail[..8].try_into().expect("8-byte tag");
+        let len = u64::from_le_bytes(tail[8..16].try_into().expect("8 bytes")) as usize;
+        let crc = u64::from_le_bytes(tail[16..24].try_into().expect("8 bytes"));
+        if !KNOWN_SECTIONS.contains(&tag) {
+            return Err(format!(
+                "unknown section tag {:?} ({})",
+                tag,
+                String::from_utf8_lossy(&tag)
+            ));
+        }
+        if tail.len() < SECTION_HEADER_LEN + len {
+            return Err(format!(
+                "section {} payload truncated ({} of {len} bytes present)",
+                String::from_utf8_lossy(&tag),
+                tail.len() - SECTION_HEADER_LEN
+            ));
+        }
+        let payload = &tail[SECTION_HEADER_LEN..SECTION_HEADER_LEN + len];
+        if fnv1a64_words(payload) != crc {
+            return Err(format!(
+                "section {} checksum mismatch",
+                String::from_utf8_lossy(&tag)
+            ));
+        }
+        sections.push(SnapshotSection {
+            tag,
+            payload: payload.to_vec(),
+        });
+        tail = &tail[SECTION_HEADER_LEN + len..];
+    }
+    Ok(sections)
 }
 
 #[cfg(test)]
@@ -539,6 +667,104 @@ mod tests {
             load_snapshot(&path, false),
             Err(SnapshotError::Corrupt(_))
         ));
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sections_round_trip_and_plain_saves_stay_version_1() {
+        let path = tmp("sections");
+        let m = sparse_sample(6, 64, 3);
+        let ivf = SnapshotSection {
+            tag: SECTION_IVF,
+            payload: vec![7u8; 133],
+        };
+        save_snapshot_with_sections(&path, &[&m], b"aux", std::slice::from_ref(&ivf)).unwrap();
+        let bytes = fs::read(&path).unwrap();
+        assert_eq!(u32::from_le_bytes(bytes[8..12].try_into().unwrap()), 2);
+        let snap = load_snapshot(&path, true).unwrap();
+        assert_eq!(snap.aux, b"aux");
+        assert_eq!(snap.sections, vec![ivf]);
+        assert_bits_eq(&m, &snap.matrices[0]);
+
+        // No sections → version-1 header, empty section list on load.
+        save_snapshot(&path, &[&m], b"aux").unwrap();
+        let bytes = fs::read(&path).unwrap();
+        assert_eq!(u32::from_le_bytes(bytes[8..12].try_into().unwrap()), 1);
+        assert!(load_snapshot(&path, true).unwrap().sections.is_empty());
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn unknown_section_tags_and_versions_are_rejected() {
+        let path = tmp("sections_bad");
+        let m = dense_sample(3, 8, 0.9);
+        // Writer refuses tags it does not know.
+        let alien = SnapshotSection {
+            tag: *b"WHATISIT",
+            payload: vec![1, 2, 3],
+        };
+        assert!(matches!(
+            save_snapshot_with_sections(&path, &[&m], &[], &[alien]),
+            Err(SnapshotError::Corrupt(_))
+        ));
+        // Reader refuses an on-disk unknown tag.
+        let good = SnapshotSection {
+            tag: SECTION_IVF,
+            payload: vec![9u8; 40],
+        };
+        save_snapshot_with_sections(&path, &[&m], &[], &[good]).unwrap();
+        let base = fs::read(&path).unwrap();
+        let sec_at = base.len() - SECTION_HEADER_LEN - 40;
+        let mut bad_tag = base.clone();
+        bad_tag[sec_at..sec_at + 8].copy_from_slice(b"WHATISIT");
+        fs::write(&path, &bad_tag).unwrap();
+        let err = load_snapshot(&path, false).unwrap_err().to_string();
+        assert!(err.contains("unknown section tag"), "{err}");
+        // Reader refuses a corrupted payload.
+        let mut bad_crc = base.clone();
+        *bad_crc.last_mut().unwrap() ^= 0x10;
+        fs::write(&path, &bad_crc).unwrap();
+        let err = load_snapshot(&path, false).unwrap_err().to_string();
+        assert!(err.contains("checksum mismatch"), "{err}");
+        // Reader refuses a truncated section header.
+        let mut short = base.clone();
+        short.truncate(sec_at + 10);
+        fs::write(&path, &short).unwrap();
+        let err = load_snapshot(&path, false).unwrap_err().to_string();
+        assert!(err.contains("truncated"), "{err}");
+        // Reader refuses a future header version.
+        let mut v3 = base.clone();
+        v3[8..12].copy_from_slice(&3u32.to_le_bytes());
+        fs::write(&path, &v3).unwrap();
+        let err = load_snapshot(&path, false).unwrap_err().to_string();
+        assert!(err.contains("unsupported version 3"), "{err}");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn ivf_index_section_round_trips_through_snapshot() {
+        use crate::ivf::{IvfIndex, IvfParams};
+        let path = tmp("ivf_section");
+        let m = sparse_sample(200, 64, 17);
+        let idx = IvfIndex::train(
+            &m,
+            m.len(),
+            &IvfParams {
+                n_clusters: Some(4),
+                threads: Some(1),
+                ..IvfParams::default()
+            },
+        );
+        let section = SnapshotSection {
+            tag: SECTION_IVF,
+            payload: idx.to_bytes(),
+        };
+        save_snapshot_with_sections(&path, &[&m], b"catalog", &[section]).unwrap();
+        let snap = load_snapshot(&path, true).unwrap();
+        assert_eq!(snap.sections.len(), 1);
+        assert_eq!(snap.sections[0].tag, SECTION_IVF);
+        let back = IvfIndex::from_bytes(&snap.sections[0].payload).unwrap();
+        assert_eq!(back, idx);
         let _ = fs::remove_file(&path);
     }
 

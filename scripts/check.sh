@@ -161,6 +161,25 @@ if ! cmp -s target/select-bench-t1.md target/select-bench-t4.md; then
     exit 1
 fi
 
+echo "==> exact-retrieval passivity gate (DAIL_RETRIEVAL=exact is the pre-ANN oracle)"
+# With DAIL_RETRIEVAL=exact (and with the variable unset, its default), the
+# selector must take the pre-ANN scan path: report bytes identical between
+# the two runs, and the selection checksum pinned to the pre-IVF golden.
+$CLI select-bench --pool 6000 --queries 12 --seed 11 --no-timing \
+    > target/select-bench-default.md
+DAIL_RETRIEVAL=exact $CLI select-bench --pool 6000 --queries 12 --seed 11 --no-timing \
+    > target/select-bench-exact.md
+if ! cmp -s target/select-bench-default.md target/select-bench-exact.md; then
+    echo "DAIL_RETRIEVAL=exact changed the select-bench report bytes:" >&2
+    diff target/select-bench-default.md target/select-bench-exact.md >&2 || true
+    exit 1
+fi
+if ! grep -q '0x125a29265b97d94a' target/select-bench-exact.md; then
+    echo "exact-mode selection checksum drifted from the pre-IVF golden 0x125a29265b97d94a:" >&2
+    grep -i checksum target/select-bench-exact.md >&2 || true
+    exit 1
+fi
+
 echo "==> select-bench perf floor (fast path >= 3x naive reference at 10k rows)"
 # The retrievekit fast path (contiguous f32 matrix + bounded-heap top-k)
 # must stay at least 3x the committed naive reference (per-row f64 cosine
@@ -170,10 +189,10 @@ echo "==> select-bench perf floor (fast path >= 3x naive reference at 10k rows)"
 # emits the pool-size/throughput trajectory as target/BENCH_select.json.
 CLI_REL="cargo run -q --offline --release -p bench --bin dail_sql_cli --"
 $CLI_REL select-bench --pool 10000 --queries 50 --seed 2023 \
-    --json target/BENCH_select.json > target/select-bench-report.md 2>/dev/null
-speedup=$(sed -n 's/.*"speedup_vs_naive":\([0-9.]*\).*/\1/p' target/BENCH_select.json)
+    --json target/BENCH_select_naive.json > target/select-bench-report.md 2>/dev/null
+speedup=$(sed -n 's/.*"speedup_vs_naive":\([0-9.]*\).*/\1/p' target/BENCH_select_naive.json)
 if [ -z "$speedup" ]; then
-    echo "could not parse speedup_vs_naive from target/BENCH_select.json" >&2
+    echo "could not parse speedup_vs_naive from target/BENCH_select_naive.json" >&2
     exit 1
 fi
 if ! awk -v s="$speedup" 'BEGIN { exit !(s >= 3.0) }'; then
@@ -182,6 +201,51 @@ if ! awk -v s="$speedup" 'BEGIN { exit !(s >= 3.0) }'; then
     exit 1
 fi
 echo "    speedup_vs_naive: ${speedup}x"
+
+echo "==> ANN sweep determinism gate (IVF training invariant across DAIL_THREADS)"
+# k-means training parallelizes the assignment step above the 4096-row
+# threshold; centroid accumulation stays sequential in row order, so the
+# sweep report (recall, checksums) must be byte-identical across worker
+# counts. 20k rows makes DAIL_THREADS=4 actually shard the training scan.
+DAIL_THREADS=1 $CLI_REL select-bench --pool-rows 20000 --queries 12 --seed 11 \
+    --no-timing > target/select-sweep-t1.md 2>/dev/null
+DAIL_THREADS=4 $CLI_REL select-bench --pool-rows 20000 --queries 12 --seed 11 \
+    --no-timing > target/select-sweep-t4.md 2>/dev/null
+if ! cmp -s target/select-sweep-t1.md target/select-sweep-t4.md; then
+    echo "ANN sweep report differs between DAIL_THREADS=1 and =4:" >&2
+    diff target/select-sweep-t1.md target/select-sweep-t4.md >&2 || true
+    exit 1
+fi
+
+echo "==> ANN retrieval gate (1M rows: recall >= 0.99, int8 scan >= 5x exact)"
+# The IVF+int8 path must hold recall@k >= 0.99 against the exact oracle at
+# the default probe setting and clear a 5x throughput floor over the exact
+# scan on a million-row pool. Numbers land in target/BENCH_select.json
+# (one point per line: exact baseline, then ivf and ivf-int8).
+$CLI_REL select-bench --pool-rows 1000000 --queries 20 --seed 2023 \
+    --json target/BENCH_select.json > target/select-ann-report.md 2>/dev/null
+recall_ivf=$(sed -n 's/.*"mode":"ivf",.*"recall_at_k":\([0-9.]*\).*/\1/p' target/BENCH_select.json)
+recall_int8=$(sed -n 's/.*"mode":"ivf-int8",.*"recall_at_k":\([0-9.]*\).*/\1/p' target/BENCH_select.json)
+speedup_ivf=$(sed -n 's/.*"mode":"ivf",.*"speedup_vs_exact":\([0-9.]*\).*/\1/p' target/BENCH_select.json)
+speedup_int8=$(sed -n 's/.*"mode":"ivf-int8",.*"speedup_vs_exact":\([0-9.]*\).*/\1/p' target/BENCH_select.json)
+if [ -z "$recall_ivf" ] || [ -z "$recall_int8" ] \
+    || [ -z "$speedup_ivf" ] || [ -z "$speedup_int8" ]; then
+    echo "could not parse ANN metrics from target/BENCH_select.json" >&2
+    cat target/BENCH_select.json >&2
+    exit 1
+fi
+if ! awk -v a="$recall_ivf" -v b="$recall_int8" 'BEGIN { exit !(a >= 0.99 && b >= 0.99) }'; then
+    echo "ANN recall below floor 0.99: ivf=${recall_ivf} ivf-int8=${recall_int8}" >&2
+    cat target/select-ann-report.md >&2
+    exit 1
+fi
+if ! awk -v a="$speedup_ivf" -v b="$speedup_int8" 'BEGIN { exit !(a >= 5.0 && b >= 5.0) }'; then
+    echo "ANN speedup below floor 5.0x: ivf=${speedup_ivf}x ivf-int8=${speedup_int8}x" >&2
+    cat target/select-ann-report.md >&2
+    exit 1
+fi
+echo "    1M-row recall@k: ivf ${recall_ivf}, ivf-int8 ${recall_int8}"
+echo "    1M-row speedup vs exact: ivf ${speedup_ivf}x, ivf-int8 ${speedup_int8}x"
 
 echo "==> columnar executor: differential oracle gate"
 # Every gold query must produce bit-identical results through the columnar
