@@ -12,6 +12,9 @@
 //!                                                 burn-rate report
 //! dail_sql_cli metrics TRACE.jsonl                render a trace's counters, gauges and
 //!                                                 histograms as Prometheus text exposition
+//! dail_sql_cli dashboard TRACE.jsonl [--window N] [--tenant T] [--json FILE]
+//!                                                 render the trace's windowed time-series
+//!                                                 as a markdown dashboard
 //! dail_sql_cli select-bench --pool N --queries M --seed S
 //!                                                 benchmark example-selection retrieval,
 //!                                                 print a deterministic markdown report
@@ -69,6 +72,7 @@ fn main() {
         "profile" => profile_trace(&positional, &flags),
         "flame" => flame_trace(&positional, &flags),
         "metrics" => metrics_trace(&positional),
+        "dashboard" => dashboard_cmd(&positional, &flags),
         "--help" | "-h" | "help" => usage(),
         other => {
             eprintln!("unknown command: {other}\n");
@@ -130,6 +134,12 @@ fn usage() {
          \u{20}\u{20}                                         deterministic SLO / burn-rate report\n\
          \u{20}\u{20}metrics TRACE.jsonl                      render a recorded trace's metrics as\n\
          \u{20}\u{20}                                         Prometheus text exposition\n\
+         \u{20}\u{20}dashboard TRACE.jsonl [--window N] [--tenant T] [--json FILE]\n\
+         \u{20}\u{20}                                         render the trace's windowed time-series\n\
+         \u{20}\u{20}                                         (rates, p50/p99, sparklines, exemplars)\n\
+         \u{20}\u{20}                                         as a deterministic markdown dashboard;\n\
+         \u{20}\u{20}                                         --window sets the trailing stats window\n\
+         \u{20}\u{20}                                         (default 8), --tenant filters series\n\
          \u{20}\u{20}select-bench [--pool N] [--queries M] [--seed S] [--k K] [--json FILE]\n\
          \u{20}\u{20}     [--no-timing]                       score a synthetic pool with the\n\
          \u{20}\u{20}                                         retrievekit fast path vs the naive\n\
@@ -215,11 +225,31 @@ fn rate_flag(flags: &HashMap<String, String>, key: &str, default: f64) -> f64 {
 
 /// Install a global trace recorder when `--trace FILE` was given.
 /// Returns the recorder (enabled or disabled) plus the output path.
+///
+/// Tracing also installs the global [`obskit::tsdb`] store (windowed
+/// labelled series; drained into the trace by [`finish_trace`]) unless
+/// `DAIL_TSDB=0`. `DAIL_TSDB_STEP_MS` and `DAIL_TSDB_MAX_SERIES`
+/// override the window step and the hard cardinality bound.
 fn setup_trace(flags: &HashMap<String, String>) -> (obskit::Recorder, Option<PathBuf>) {
     match flags.get("trace") {
         Some(path) => {
             let rec = obskit::Recorder::enabled();
             obskit::set_global(rec.clone());
+            if std::env::var("DAIL_TSDB").as_deref() != Ok("0") {
+                let env_num = |key: &str, default: u64| {
+                    std::env::var(key)
+                        .ok()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or(default)
+                };
+                let defaults = obskit::tsdb::TsdbConfig::default();
+                obskit::tsdb::install(obskit::tsdb::Tsdb::new(obskit::tsdb::TsdbConfig {
+                    step_ms: env_num("DAIL_TSDB_STEP_MS", defaults.step_ms).max(1),
+                    max_series: env_num("DAIL_TSDB_MAX_SERIES", defaults.max_series as u64).max(1)
+                        as usize,
+                    ..defaults
+                }));
+            }
             (rec, Some(PathBuf::from(path)))
         }
         None => (obskit::Recorder::disabled(), None),
@@ -229,6 +259,7 @@ fn setup_trace(flags: &HashMap<String, String>) -> (obskit::Recorder, Option<Pat
 /// Write the trace out (if tracing was requested) and tell the user.
 fn finish_trace(rec: &obskit::Recorder, path: Option<PathBuf>) {
     let Some(path) = path else { return };
+    obskit::tsdb::with(|t| t.drain_into(rec));
     match rec.write_jsonl(&path) {
         Ok(()) => eprintln!(
             "trace written to {} ({} events); replay with `dail_sql_cli profile {}`",
@@ -1217,7 +1248,10 @@ fn run_serve(flags: &HashMap<String, String>) -> ServeRun {
     let mut digests = analyze.then(eval::DigestAccumulator::new);
     let mut ex: Vec<Option<bool>> = Vec::with_capacity(reqs.len());
     for (i, (req, outcome)) in reqs.iter().zip(&out.outcomes).enumerate() {
-        if let servekit::Outcome::Ok { sql, .. } = outcome {
+        if let servekit::Outcome::Ok {
+            sql, latency_ms, ..
+        } = outcome
+        {
             let item = &bench.dev[req.item_idx];
             let score = match &mut digests {
                 Some(acc) => {
@@ -1229,6 +1263,19 @@ fn run_serve(flags: &HashMap<String, String>) -> ServeRun {
                 }
                 None => eval::score_item_traced(bench.db(item), item, sql, out.traces[i]),
             };
+            if obskit::tsdb::installed() {
+                let tenant = format!("t{}", req.tenant);
+                obskit::tsdb::counter(
+                    "eval.ex_verdicts",
+                    &[
+                        ("db", item.db_id.as_str()),
+                        ("tenant", &tenant),
+                        ("verdict", if score.ex { "correct" } else { "wrong" }),
+                    ],
+                    req.arrival_ms + latency_ms,
+                    1,
+                );
+            }
             ex.push(Some(score.ex));
         } else {
             ex.push(None);
@@ -1359,6 +1406,188 @@ fn metrics_trace(positional: &[&String]) {
         std::process::exit(2);
     };
     print!("{}", obskit::expo::render_events(&load_trace(path)));
+}
+
+/// `dashboard`: rebuild the windowed time-series store a traced run
+/// drained into its JSONL and render it as markdown. Every number
+/// derives from drain-time `tsdb.*` events on the virtual clock, so the
+/// output is byte-identical across runs and thread counts.
+fn dashboard_cmd(positional: &[&String], flags: &HashMap<String, String>) {
+    let [path] = positional else {
+        eprintln!("dashboard requires a trace file: dail_sql_cli dashboard TRACE.jsonl");
+        std::process::exit(2);
+    };
+    let events = load_trace(path);
+    let tsdb = obskit::tsdb::Tsdb::from_events(&events);
+    if tsdb.series_count() == 0 {
+        eprintln!("no tsdb series in {path} (recorded with DAIL_TSDB=0 or by an older build?)");
+        std::process::exit(2);
+    }
+    let window: u64 = num_flag(flags, "window", 8u64).max(1);
+    let tenant = flags.get("tenant").map(String::as_str);
+    print!("{}", render_dashboard(&tsdb, window, tenant));
+    if let Some(json_path) = flags.get("json") {
+        if let Err(e) = std::fs::write(json_path, dashboard_json(&tsdb, window, tenant)) {
+            eprintln!("cannot write {json_path}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("json dashboard written to {json_path}");
+    }
+}
+
+/// How many trailing windows a sparkline covers.
+const SPARK_WINDOWS: u64 = 24;
+
+/// Sparkline over the last [`SPARK_WINDOWS`] windows ending at `latest`:
+/// `·` for an empty window, otherwise one of eight block heights scaled
+/// against the series' own maximum in the shown range.
+fn sparkline(series: &obskit::tsdb::Series, latest: u64) -> String {
+    const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let lo = (latest + 1).saturating_sub(SPARK_WINDOWS);
+    let mut counts = vec![0u64; (latest - lo + 1) as usize];
+    for w in series.windows() {
+        if w.win >= lo && w.win <= latest {
+            counts[(w.win - lo) as usize] = w.count;
+        }
+    }
+    let max = counts.iter().copied().max().unwrap_or(0);
+    counts
+        .iter()
+        .map(|&c| {
+            if c == 0 {
+                '·'
+            } else {
+                // 1..=max scales to block 0..=7, top value always full.
+                BLOCKS[((c * 8).div_ceil(max.max(1)).max(1) - 1).min(7) as usize]
+            }
+        })
+        .collect()
+}
+
+/// Rows the dashboard shows: top-k series ranked by a deliberately
+/// time-free key (total observations over all retained windows, then
+/// name) so the ranking never flaps with the clock.
+fn dashboard_rows<'a>(
+    tsdb: &'a obskit::tsdb::Tsdb,
+    tenant: Option<&str>,
+) -> Vec<&'a obskit::tsdb::Series> {
+    let mut rows: Vec<&obskit::tsdb::Series> = tsdb
+        .series()
+        .filter(|s| tenant.is_none_or(|t| s.label("tenant") == Some(t)))
+        .collect();
+    rows.sort_by(|a, b| b.total().cmp(&a.total()).then(a.name().cmp(b.name())));
+    rows.truncate(20);
+    rows
+}
+
+fn render_dashboard(tsdb: &obskit::tsdb::Tsdb, window: u64, tenant: Option<&str>) -> String {
+    use std::fmt::Write as _;
+    let cfg = tsdb.config();
+    let latest = tsdb.latest_window().unwrap_or(0);
+    let earliest = tsdb.earliest_window().unwrap_or(latest);
+    let mut out = String::new();
+    out.push_str("# tsdb dashboard\n\n");
+    out.push_str("| param | value |\n|---|---|\n");
+    let _ = writeln!(out, "| step | {} ms |", cfg.step_ms);
+    let _ = writeln!(out, "| series | {} |", tsdb.series_count());
+    let _ = writeln!(
+        out,
+        "| windows | {}..{} (span {} ms) |",
+        earliest,
+        latest,
+        (latest - earliest + 1) * cfg.step_ms
+    );
+    let _ = writeln!(
+        out,
+        "| stats window | last {} windows ({} ms) |",
+        window,
+        window * cfg.step_ms
+    );
+    if let Some(t) = tenant {
+        let _ = writeln!(out, "| tenant filter | {t} |");
+    }
+    let _ = writeln!(out, "| overflow | {} |", tsdb.overflow());
+    let _ = writeln!(out, "| dropped late | {} |", tsdb.dropped_late());
+    out.push('\n');
+    out.push_str("## top series (by total over all retained windows)\n\n");
+    let _ = writeln!(
+        out,
+        "| series | total | rate/s | p50 | p99 | last {SPARK_WINDOWS} windows | exemplar |"
+    );
+    out.push_str("|---|---|---|---|---|---|---|\n");
+    for s in dashboard_rows(tsdb, tenant) {
+        let rate =
+            s.windowed_count(window, latest) as f64 / (window as f64 * cfg.step_ms as f64 / 1000.0);
+        let (p50, p99) = if s.is_hist() {
+            let h = s.merged(window, latest);
+            if h.count() > 0 {
+                (h.p50().to_string(), h.p99().to_string())
+            } else {
+                ("-".to_string(), "-".to_string())
+            }
+        } else {
+            ("-".to_string(), "-".to_string())
+        };
+        let ex = s
+            .exemplar(window, latest)
+            .or_else(|| s.best_exemplar())
+            .map(|e| format!("req={} ({})", e.request_id, e.value))
+            .unwrap_or_else(|| "-".to_string());
+        let _ = writeln!(
+            out,
+            "| `{}` | {} | {rate:.2} | {p50} | {p99} | {} | {ex} |",
+            s.name(),
+            s.total(),
+            sparkline(s, latest)
+        );
+    }
+    out
+}
+
+fn dashboard_json(tsdb: &obskit::tsdb::Tsdb, window: u64, tenant: Option<&str>) -> String {
+    use spider_gen::export::json_escape;
+    use std::fmt::Write as _;
+    let cfg = tsdb.config();
+    let latest = tsdb.latest_window().unwrap_or(0);
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"step_ms\":{},\"series\":{},\"window\":{},\"overflow\":{},\"dropped_late\":{},\"rows\":[",
+        cfg.step_ms,
+        tsdb.series_count(),
+        window,
+        tsdb.overflow(),
+        tsdb.dropped_late()
+    );
+    for (i, s) in dashboard_rows(tsdb, tenant).iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let rate =
+            s.windowed_count(window, latest) as f64 / (window as f64 * cfg.step_ms as f64 / 1000.0);
+        let _ = write!(
+            out,
+            "{{\"series\":\"{}\",\"total\":{},\"rate_per_s\":{rate:.4}",
+            json_escape(s.name()),
+            s.total()
+        );
+        if s.is_hist() {
+            let h = s.merged(window, latest);
+            if h.count() > 0 {
+                let _ = write!(out, ",\"p50\":{},\"p99\":{}", h.p50(), h.p99());
+            }
+        }
+        if let Some(e) = s.exemplar(window, latest).or_else(|| s.best_exemplar()) {
+            let _ = write!(
+                out,
+                ",\"exemplar\":{{\"request_id\":{},\"value\":{}}}",
+                e.request_id, e.value
+            );
+        }
+        out.push('}');
+    }
+    out.push_str("]}\n");
+    out
 }
 
 // ---- select-bench: retrieval fast path vs naive reference ----

@@ -888,6 +888,179 @@ fn metrics_requires_a_trace_file() {
     assert_eq!(out.status.code(), Some(2));
 }
 
+// ---- dashboard: windowed time-series over a recorded trace ----
+
+/// Run the golden traced serve-bench (full sampling so every request can
+/// carry exemplars) and leave the trace at `trace`.
+fn traced_serve_for_dashboard(trace: &std::path::Path, threads: &str, workers: &str) {
+    let _ = std::fs::remove_file(trace);
+    let out = serve_bench_cmd(&["--workers", workers, "--trace", trace.to_str().unwrap()])
+        .env("DAIL_THREADS", threads)
+        .env("DAIL_TRACE_SAMPLE", "1.0")
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+fn dashboard_output(trace: &std::path::Path, extra: &[&str]) -> String {
+    let out = cli()
+        .arg("dashboard")
+        .arg(trace)
+        .args(extra)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).to_string()
+}
+
+#[test]
+fn dashboard_is_deterministic_and_matches_golden() {
+    let t1 = std::env::temp_dir().join("dail_cli_dash_t1.jsonl");
+    let t4 = std::env::temp_dir().join("dail_cli_dash_t4.jsonl");
+    traced_serve_for_dashboard(&t1, "1", "1");
+    traced_serve_for_dashboard(&t4, "4", "6");
+    let a = dashboard_output(&t1, &[]);
+    let b = dashboard_output(&t4, &[]);
+    assert_eq!(
+        a, b,
+        "dashboard must be byte-identical across DAIL_THREADS and workers"
+    );
+    let _ = std::fs::remove_file(&t4);
+
+    for needle in [
+        "# tsdb dashboard",
+        "| step | 250 ms |",
+        "| overflow | 0 |",
+        "| dropped late | 0 |",
+        "## top series (by total over all retained windows)",
+        "servekit.latency_ms{db=",
+        "eval.ex_verdicts{db=",
+        "req=",
+    ] {
+        assert!(a.contains(needle), "missing {needle:?} in:\n{a}");
+    }
+
+    // Tenant filtering keeps only that tenant's series.
+    let filtered = dashboard_output(&t1, &["--tenant", "t0"]);
+    assert!(filtered.contains("| tenant filter | t0 |"), "{filtered}");
+    for line in filtered.lines().filter(|l| l.starts_with("| `")) {
+        assert!(line.contains("tenant=\"t0\""), "foreign series: {line}");
+    }
+
+    // JSON twin parses the same rows.
+    let json_path = std::env::temp_dir().join("dail_cli_dash.json");
+    let _ = dashboard_output(&t1, &["--json", json_path.to_str().unwrap()]);
+    let json = std::fs::read_to_string(&json_path).unwrap();
+    let _ = std::fs::remove_file(&json_path);
+    assert!(json.starts_with("{\"step_ms\":250,"), "{json}");
+    assert!(json.contains("\"exemplar\":{\"request_id\":"), "{json}");
+    let _ = std::fs::remove_file(&t1);
+
+    let golden = fixture("dashboard.md");
+    if std::env::var("DAIL_UPDATE_GOLDEN").is_ok() {
+        std::fs::write(&golden, &a).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&golden)
+        .expect("golden dashboard committed; regenerate with DAIL_UPDATE_GOLDEN=1");
+    assert_eq!(
+        a, expected,
+        "dashboard drifted from tests/golden/dashboard.md; \
+         if intended, regenerate with DAIL_UPDATE_GOLDEN=1 cargo test -p bench"
+    );
+}
+
+#[test]
+fn dashboard_exemplar_resolves_to_a_real_request_in_the_trace() {
+    let trace = std::env::temp_dir().join("dail_cli_dash_exemplar.jsonl");
+    traced_serve_for_dashboard(&trace, "2", "4");
+    let text = dashboard_output(&trace, &[]);
+
+    // Pull the first latency exemplar's request id off the dashboard.
+    let req_id: u64 = text
+        .lines()
+        .find(|l| l.contains("servekit.latency_ms{") && l.contains("req="))
+        .and_then(|l| {
+            let rest = &l[l.find("req=").unwrap() + 4..];
+            rest[..rest.find(' ').unwrap()].parse().ok()
+        })
+        .expect("dashboard shows a latency exemplar");
+
+    // The id must belong to an admitted request in the same trace: find
+    // its admission decision and walk the span tree around it.
+    let events =
+        obskit::parse_jsonl(&std::fs::read_to_string(&trace).unwrap()).expect("trace parses");
+    let _ = std::fs::remove_file(&trace);
+    let idx = span_index(&events);
+    let mut last_admission_span = None;
+    let mut admission_span_of_req = None;
+    for e in &events {
+        match e {
+            obskit::Event::SpanStart { id, name, .. } if name == "servekit.admission" => {
+                last_admission_span = Some(*id);
+            }
+            obskit::Event::Meta { name, fields } if name == "servekit.admission.decision" => {
+                let field = |k: &str| {
+                    fields
+                        .iter()
+                        .find(|(fk, _)| fk == k)
+                        .map(|(_, v)| v.as_str())
+                };
+                if field("request") == Some(req_id.to_string().as_str()) {
+                    assert_eq!(
+                        field("decision"),
+                        Some("admit"),
+                        "exemplar request {req_id} must have been admitted"
+                    );
+                    admission_span_of_req = last_admission_span;
+                }
+            }
+            _ => {}
+        }
+    }
+    let admission = admission_span_of_req
+        .unwrap_or_else(|| panic!("no admission decision for exemplar request {req_id}"));
+    // The admission span sits inside that request's tree, under the batch.
+    assert!(
+        ancestor_named(&idx, admission, "servekit.request").is_some(),
+        "admission span {admission} not under a servekit.request span"
+    );
+    assert!(
+        ancestor_named(&idx, admission, "servekit.serve").is_some(),
+        "admission span {admission} not under the servekit.serve batch span"
+    );
+}
+
+#[test]
+fn dashboard_requires_a_trace_with_tsdb_events() {
+    let out = cli().arg("dashboard").output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let out = cli()
+        .args(["dashboard", "/nonexistent/trace.jsonl"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    // A valid trace without tsdb events (pre-tsdb fixture) is also exit 2.
+    let out = cli()
+        .args(["dashboard", &fixture("baseline_trace.jsonl")])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("no tsdb series"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
 #[test]
 fn serve_bench_rejects_out_of_range_rate() {
     let out = cli()

@@ -13,14 +13,25 @@
 //! order, so expositions of the same metrics are byte-identical — which
 //! is what lets `scripts/check.sh` golden-gate them.
 //!
+//! Traces that carry windowed [`crate::tsdb`] series additionally render
+//! OpenMetrics-style *labelled* families — one sample per label set for
+//! counters, per-label-set `_bucket`/`_sum`/`_count` series for
+//! histograms — plus `# exemplar` comment lines tying a histogram label
+//! set to the request id of its largest sampled observation.
+//!
+//! Label values are escaped per the Prometheus text format (`\\`, `\"`,
+//! `\n`); see [`escape_label_value`].
+//!
 //! [`parse`] is a small validating parser for the same format, used by
-//! tests to prove CLI output is well-formed (names, label syntax,
-//! family/sample agreement, cumulative non-decreasing buckets ending in
-//! `+Inf`, `_count` == `+Inf` bucket).
+//! tests to prove CLI output is well-formed (names, label syntax and
+//! escapes, family/sample agreement, per-label-set cumulative
+//! non-decreasing buckets ending in `+Inf`, `_count` == `+Inf` bucket,
+//! well-formed exemplar lines).
 
 use crate::event::Event;
 use crate::hist::{bucket_high, Histogram};
 use crate::recorder::MetricsSnapshot;
+use crate::tsdb::Tsdb;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -42,6 +53,22 @@ pub fn sanitize_name(name: &str) -> String {
     }
     if out.is_empty() {
         out.push('_');
+    }
+    out
+}
+
+/// Escape a label value per the Prometheus text format: backslash,
+/// double-quote and newline become `\\`, `\"` and `\n`. Everything else
+/// passes through unchanged.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
     }
     out
 }
@@ -96,9 +123,87 @@ pub fn render(snap: &MetricsSnapshot) -> String {
     out
 }
 
+/// `{k="v",...}` suffix for a rendered label set (empty when unlabelled).
+fn labels_suffix(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", crate::tsdb::render_label_set(labels))
+    }
+}
+
+/// Render the windowed series of a [`Tsdb`] as labelled OpenMetrics-style
+/// families: one sample per label set for counter metrics, per-label-set
+/// `_bucket`/`_sum`/`_count` series (merged across retained windows) for
+/// histogram metrics, plus a `# exemplar` line per histogram label set
+/// carrying the request id of its largest sampled observation. `used`
+/// holds already-declared family names; colliding metric names get `_`
+/// appended until unique, so the exposition never redeclares a family.
+fn render_tsdb(out: &mut String, db: &Tsdb, used: &mut BTreeMap<String, ()>) {
+    let mut by_metric: BTreeMap<&str, Vec<&crate::tsdb::Series>> = BTreeMap::new();
+    for s in db.series() {
+        by_metric.entry(s.metric()).or_default().push(s);
+    }
+    for (metric, group) in by_metric {
+        let mut fam = sanitize_name(metric);
+        while used.insert(fam.clone(), ()).is_some() {
+            fam.push('_');
+        }
+        let is_hist = group[0].is_hist();
+        if is_hist {
+            let _ = writeln!(out, "# TYPE {fam} histogram");
+        } else {
+            let _ = writeln!(out, "# TYPE {fam} counter");
+        }
+        for s in group {
+            if s.is_hist() != is_hist {
+                continue; // a metric never mixes kinds via the tsdb API
+            }
+            if !is_hist {
+                let _ = writeln!(out, "{fam}{} {}", labels_suffix(s.labels()), s.total());
+                continue;
+            }
+            let mut h = Histogram::new();
+            for w in s.windows() {
+                if let Some(wh) = w.hist {
+                    h.merge(wh);
+                }
+            }
+            let ls = crate::tsdb::render_label_set(s.labels());
+            let sep = if ls.is_empty() { "" } else { "," };
+            let mut cumulative = 0u64;
+            for (i, n) in h.occupied() {
+                cumulative += n;
+                let _ = writeln!(
+                    out,
+                    "{fam}_bucket{{{ls}{sep}le=\"{}\"}} {cumulative}",
+                    bucket_high(i as usize)
+                );
+            }
+            let _ = writeln!(out, "{fam}_bucket{{{ls}{sep}le=\"+Inf\"}} {}", h.count());
+            if let Some(e) = s.best_exemplar() {
+                let _ = writeln!(
+                    out,
+                    "# exemplar {fam}{{{ls}{sep}request_id=\"{}\"}} {}",
+                    e.request_id, e.value
+                );
+            }
+            let _ = writeln!(out, "{fam}_sum{} {}", labels_suffix(s.labels()), h.sum());
+            let _ = writeln!(
+                out,
+                "{fam}_count{} {}",
+                labels_suffix(s.labels()),
+                h.count()
+            );
+        }
+    }
+}
+
 /// Fold the metric-summary events of a trace into a snapshot and render
 /// it. Counter events with the same name are summed, gauges keep the
-/// last value, histograms are merged. Span and meta events are ignored.
+/// last value, histograms are merged. Span and meta events are ignored —
+/// except `tsdb.*` meta events, whose windowed series render as labelled
+/// families (with `# exemplar` lines) after the plain ones.
 pub fn render_events(events: &[Event]) -> String {
     let mut snap = MetricsSnapshot::default();
     for ev in events {
@@ -123,7 +228,21 @@ pub fn render_events(events: &[Event]) -> String {
             _ => {}
         }
     }
-    render(&snap)
+    let mut out = render(&snap);
+    let db = Tsdb::from_events(events);
+    if db.series_count() > 0 {
+        let mut used: BTreeMap<String, ()> = BTreeMap::new();
+        for name in snap
+            .counters
+            .keys()
+            .chain(snap.gauges.keys())
+            .chain(snap.histograms.keys())
+        {
+            used.insert(sanitize_name(name), ());
+        }
+        render_tsdb(&mut out, &db, &mut used);
+    }
+    out
 }
 
 /// Kind of a metric family, from its `# TYPE` line.
@@ -157,6 +276,9 @@ pub struct Family {
     pub kind: FamilyKind,
     /// Samples belonging to this family.
     pub samples: Vec<Sample>,
+    /// Parsed `# exemplar` lines of this (histogram) family; each
+    /// carries a `request_id` label alongside the series labels.
+    pub exemplars: Vec<Sample>,
 }
 
 fn valid_name(s: &str) -> bool {
@@ -177,6 +299,29 @@ fn parse_value(s: &str) -> Option<f64> {
     }
 }
 
+/// Scan one quoted label value starting just *after* the opening quote,
+/// resolving `\\`/`\"`/`\n` escapes. Returns the unescaped value and
+/// the remainder after the closing quote. Any other backslash sequence
+/// is rejected — an unescaped backslash is not a valid label value.
+fn scan_label_value(rest: &str) -> Result<(String, &str), String> {
+    let mut value = String::new();
+    let mut chars = rest.char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Ok((value, &rest[i + 1..])),
+            '\\' => match chars.next() {
+                Some((_, '\\')) => value.push('\\'),
+                Some((_, '"')) => value.push('"'),
+                Some((_, 'n')) => value.push('\n'),
+                Some((_, other)) => return Err(format!("invalid escape \\{other} in label value")),
+                None => return Err("unterminated escape in label value".to_string()),
+            },
+            other => value.push(other),
+        }
+    }
+    Err(format!("unterminated label value: {rest:?}"))
+}
+
 fn parse_labels(s: &str) -> Result<Vec<(String, String)>, String> {
     let mut labels = Vec::new();
     let mut rest = s;
@@ -192,11 +337,9 @@ fn parse_labels(s: &str) -> Result<Vec<(String, String)>, String> {
         if !rest.starts_with('"') {
             return Err(format!("label value must be quoted: {rest:?}"));
         }
-        let close = rest[1..]
-            .find('"')
-            .ok_or_else(|| format!("unterminated label value: {rest:?}"))?;
-        labels.push((key.to_string(), rest[1..1 + close].to_string()));
-        rest = &rest[close + 2..];
+        let (value, after) = scan_label_value(&rest[1..])?;
+        labels.push((key.to_string(), value));
+        rest = after;
         if let Some(r) = rest.strip_prefix(',') {
             rest = r;
         } else if !rest.is_empty() {
@@ -206,10 +349,34 @@ fn parse_labels(s: &str) -> Result<Vec<(String, String)>, String> {
     Ok(labels)
 }
 
+/// Parse a `k="v",...` label set (escape-aware) into pairs. Public for
+/// [`crate::tsdb`]'s serialized-label round trip and for tests.
+pub fn parse_label_set(s: &str) -> Result<Vec<(String, String)>, String> {
+    parse_labels(s)
+}
+
+/// Canonical grouping key of a label set: sorted, rendered, optionally
+/// dropping one label name (`le` for buckets, `request_id` for
+/// exemplars).
+fn label_group_key(labels: &[(String, String)], drop: &str) -> String {
+    let mut ls: Vec<(String, String)> = labels.iter().filter(|(k, _)| k != drop).cloned().collect();
+    ls.sort();
+    crate::tsdb::render_label_set(&ls)
+}
+
+/// Validate one histogram family, grouping its samples by label set
+/// (minus `le`): each label set must carry a complete cumulative bucket
+/// series ending in `+Inf` plus matching `_sum`/`_count`, and each
+/// exemplar must name an existing label set.
 fn check_histogram(fam: &Family) -> Result<(), String> {
     let name = &fam.name;
-    let mut buckets: Vec<(f64, f64)> = Vec::new();
-    let (mut count, mut sum) = (None, None);
+    #[derive(Default)]
+    struct Group {
+        buckets: Vec<(f64, f64)>,
+        count: Option<f64>,
+        sum: Option<f64>,
+    }
+    let mut groups: BTreeMap<String, Group> = BTreeMap::new();
     for s in &fam.samples {
         if s.name == format!("{name}_bucket") {
             let le = s
@@ -219,43 +386,102 @@ fn check_histogram(fam: &Family) -> Result<(), String> {
                 .ok_or_else(|| format!("{name}: bucket sample without le label"))?;
             let bound = parse_value(&le.1)
                 .ok_or_else(|| format!("{name}: unparsable le bound {:?}", le.1))?;
-            buckets.push((bound, s.value));
+            groups
+                .entry(label_group_key(&s.labels, "le"))
+                .or_default()
+                .buckets
+                .push((bound, s.value));
         } else if s.name == format!("{name}_count") {
-            count = Some(s.value);
+            groups
+                .entry(label_group_key(&s.labels, "le"))
+                .or_default()
+                .count = Some(s.value);
         } else if s.name == format!("{name}_sum") {
-            sum = Some(s.value);
+            groups
+                .entry(label_group_key(&s.labels, "le"))
+                .or_default()
+                .sum = Some(s.value);
         }
     }
-    if buckets.is_empty() {
-        return Err(format!("{name}: histogram without buckets"));
-    }
-    for w in buckets.windows(2) {
-        if w[1].0 <= w[0].0 {
-            return Err(format!("{name}: le bounds not increasing"));
+    for (key, g) in &groups {
+        let ctx = if key.is_empty() {
+            name.to_string()
+        } else {
+            format!("{name}{{{key}}}")
+        };
+        if g.buckets.is_empty() {
+            return Err(format!("{ctx}: histogram without buckets"));
         }
-        if w[1].1 < w[0].1 {
-            return Err(format!("{name}: bucket counts not cumulative"));
+        for w in g.buckets.windows(2) {
+            if w[1].0 <= w[0].0 {
+                return Err(format!("{ctx}: le bounds not increasing"));
+            }
+            if w[1].1 < w[0].1 {
+                return Err(format!("{ctx}: bucket counts not cumulative"));
+            }
+        }
+        let last = g.buckets.last().unwrap();
+        if !last.0.is_infinite() {
+            return Err(format!("{ctx}: last bucket must be +Inf"));
+        }
+        let count = g.count.ok_or_else(|| format!("{ctx}: missing _count"))?;
+        g.sum.ok_or_else(|| format!("{ctx}: missing _sum"))?;
+        if count != last.1 {
+            return Err(format!("{ctx}: _count != +Inf bucket"));
         }
     }
-    let last = buckets.last().unwrap();
-    if !last.0.is_infinite() {
-        return Err(format!("{name}: last bucket must be +Inf"));
-    }
-    let count = count.ok_or_else(|| format!("{name}: missing _count"))?;
-    sum.ok_or_else(|| format!("{name}: missing _sum"))?;
-    if count != last.1 {
-        return Err(format!("{name}: _count != +Inf bucket"));
+    for e in &fam.exemplars {
+        let key = label_group_key(&e.labels, "request_id");
+        if !groups.contains_key(&key) {
+            return Err(format!(
+                "{name}: exemplar names unknown label set {{{key}}}"
+            ));
+        }
     }
     Ok(())
 }
 
+/// Parse one `name{labels} value` line (shared by samples and
+/// `# exemplar` payloads).
+fn parse_sample_line(line: &str, n: usize) -> Result<Sample, String> {
+    let (name_labels, value) = line
+        .rsplit_once(' ')
+        .ok_or_else(|| format!("line {n}: sample without value"))?;
+    let value = parse_value(value).ok_or_else(|| format!("line {n}: bad value {value:?}"))?;
+    let (name, labels) = match name_labels.split_once('{') {
+        Some((name, rest)) => {
+            let body = rest
+                .strip_suffix('}')
+                .ok_or_else(|| format!("line {n}: unterminated label set"))?;
+            (
+                name,
+                parse_labels(body).map_err(|e| format!("line {n}: {e}"))?,
+            )
+        }
+        None => (name_labels, Vec::new()),
+    };
+    if !valid_name(name) {
+        return Err(format!("line {n}: bad sample name {name:?}"));
+    }
+    Ok(Sample {
+        name: name.to_string(),
+        labels,
+        value,
+    })
+}
+
 /// Parse and validate a Prometheus text exposition.
 ///
-/// Checks metric/label name charsets, that every sample belongs to the
-/// family declared immediately above it, that families are not
-/// redeclared, and that histogram series are complete (cumulative
-/// non-decreasing `_bucket`s ending in `+Inf`, with `_sum` and a
-/// `_count` equal to the `+Inf` bucket).
+/// Checks metric/label name charsets (label values must use `\\`/`\"`/
+/// `\n` escapes — anything else after a backslash is rejected), that
+/// every sample belongs to the family declared immediately above it,
+/// that families are not redeclared, that counter/gauge families have
+/// at least one sample with no duplicated label set, and that histogram
+/// series are complete *per label set* (cumulative non-decreasing
+/// `_bucket`s ending in `+Inf`, with `_sum` and a `_count` equal to the
+/// `+Inf` bucket). `# exemplar` lines are parsed, must follow a
+/// histogram family, carry a `request_id` label, and name one of the
+/// family's label sets.
 pub fn parse(text: &str) -> Result<Vec<Family>, String> {
     let mut families: Vec<Family> = Vec::new();
     let mut seen: BTreeMap<String, ()> = BTreeMap::new();
@@ -286,31 +512,35 @@ pub fn parse(text: &str) -> Result<Vec<Family>, String> {
                 name: name.to_string(),
                 kind,
                 samples: Vec::new(),
+                exemplars: Vec::new(),
             });
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# exemplar ") {
+            let ex = parse_sample_line(rest, n)?;
+            let fam = families
+                .last_mut()
+                .ok_or_else(|| format!("line {n}: exemplar before any TYPE line"))?;
+            if fam.kind != FamilyKind::Histogram {
+                return Err(format!("line {n}: exemplar on non-histogram family"));
+            }
+            if ex.name != fam.name {
+                return Err(format!(
+                    "line {n}: exemplar {:?} does not belong to family {:?}",
+                    ex.name, fam.name
+                ));
+            }
+            if !ex.labels.iter().any(|(k, _)| k == "request_id") {
+                return Err(format!("line {n}: exemplar without request_id label"));
+            }
+            fam.exemplars.push(ex);
             continue;
         }
         if line.starts_with('#') {
             continue; // HELP or free-form comment
         }
-        let (name_labels, value) = line
-            .rsplit_once(' ')
-            .ok_or_else(|| format!("line {n}: sample without value"))?;
-        let value = parse_value(value).ok_or_else(|| format!("line {n}: bad value {value:?}"))?;
-        let (name, labels) = match name_labels.split_once('{') {
-            Some((name, rest)) => {
-                let body = rest
-                    .strip_suffix('}')
-                    .ok_or_else(|| format!("line {n}: unterminated label set"))?;
-                (
-                    name,
-                    parse_labels(body).map_err(|e| format!("line {n}: {e}"))?,
-                )
-            }
-            None => (name_labels, Vec::new()),
-        };
-        if !valid_name(name) {
-            return Err(format!("line {n}: bad sample name {name:?}"));
-        }
+        let sample = parse_sample_line(line, n)?;
+        let name = sample.name.as_str();
         let fam = families
             .last_mut()
             .ok_or_else(|| format!("line {n}: sample before any TYPE line"))?;
@@ -328,22 +558,24 @@ pub fn parse(text: &str) -> Result<Vec<Family>, String> {
                 fam.name
             ));
         }
-        fam.samples.push(Sample {
-            name: name.to_string(),
-            labels,
-            value,
-        });
+        fam.samples.push(sample);
     }
     for fam in &families {
         match fam.kind {
             FamilyKind::Histogram => check_histogram(fam)?,
             _ => {
-                if fam.samples.len() != 1 {
-                    return Err(format!(
-                        "{}: expected exactly one sample, got {}",
-                        fam.name,
-                        fam.samples.len()
-                    ));
+                if fam.samples.is_empty() {
+                    return Err(format!("{}: family without samples", fam.name));
+                }
+                let mut sets: BTreeMap<String, ()> = BTreeMap::new();
+                for s in &fam.samples {
+                    let key = label_group_key(&s.labels, "");
+                    if sets.insert(key.clone(), ()).is_some() {
+                        return Err(format!(
+                            "{}: duplicate sample for label set {{{key}}}",
+                            fam.name
+                        ));
+                    }
                 }
             }
         }
@@ -471,5 +703,122 @@ mod tests {
         assert_eq!(fmt_value(61.5), "61.5");
         assert_eq!(fmt_value(f64::INFINITY), "+Inf");
         assert_eq!(fmt_value(f64::NAN), "NaN");
+    }
+
+    #[test]
+    fn label_values_escape_and_round_trip() {
+        let raw = "a\"b\\c\nd";
+        let escaped = escape_label_value(raw);
+        assert_eq!(escaped, "a\\\"b\\\\c\\nd");
+        let labels = parse_label_set(&format!("k=\"{escaped}\",plain=\"x\"")).unwrap();
+        assert_eq!(
+            labels,
+            vec![
+                ("k".to_string(), raw.to_string()),
+                ("plain".to_string(), "x".to_string())
+            ]
+        );
+    }
+
+    #[test]
+    fn parser_rejects_unescaped_label_values() {
+        // Raw quote inside the value: terminates early, junk follows.
+        assert!(parse("# TYPE c counter\nc{l=\"a\"b\"} 1\n").is_err());
+        // Invalid escape sequence.
+        assert!(parse("# TYPE c counter\nc{l=\"a\\x\"} 1\n").is_err());
+        // Trailing lone backslash.
+        assert!(parse("# TYPE c counter\nc{l=\"a\\\"} 1\n").is_err());
+        // Properly escaped forms parse.
+        let fams = parse("# TYPE c counter\nc{l=\"a\\\\b\\\"c\\nd\"} 1\n").unwrap();
+        assert_eq!(fams[0].samples[0].labels[0].1, "a\\b\"c\nd");
+    }
+
+    #[test]
+    fn labelled_counter_families_allow_distinct_label_sets_only() {
+        let ok = "# TYPE c counter\nc{t=\"a\"} 1\nc{t=\"b\"} 2\n";
+        let fams = parse(ok).unwrap();
+        assert_eq!(fams[0].samples.len(), 2);
+        // Same label set twice (even reordered) is a duplicate.
+        let dup = "# TYPE c counter\nc{a=\"1\",b=\"2\"} 1\nc{b=\"2\",a=\"1\"} 2\n";
+        assert!(parse(dup).is_err());
+        // A family with zero samples is still rejected.
+        assert!(parse("# TYPE c counter\n").is_err());
+    }
+
+    #[test]
+    fn labelled_histograms_validate_per_label_set() {
+        let ok = "# TYPE h histogram\n\
+                  h_bucket{t=\"a\",le=\"1\"} 1\nh_bucket{t=\"a\",le=\"+Inf\"} 2\n\
+                  h_sum{t=\"a\"} 3\nh_count{t=\"a\"} 2\n\
+                  h_bucket{t=\"b\",le=\"+Inf\"} 1\nh_sum{t=\"b\"} 9\nh_count{t=\"b\"} 1\n";
+        parse(ok).unwrap();
+        // One label set's _count disagrees with its +Inf bucket.
+        let bad = ok.replace("h_count{t=\"b\"} 1", "h_count{t=\"b\"} 5");
+        assert!(parse(&bad).is_err());
+    }
+
+    #[test]
+    fn exemplar_lines_round_trip_and_validate() {
+        let ok = "# TYPE h histogram\n\
+                  h_bucket{t=\"a\",le=\"+Inf\"} 2\n\
+                  # exemplar h{t=\"a\",request_id=\"17\"} 42\n\
+                  h_sum{t=\"a\"} 3\nh_count{t=\"a\"} 2\n";
+        let fams = parse(ok).unwrap();
+        assert_eq!(fams[0].exemplars.len(), 1);
+        assert_eq!(fams[0].exemplars[0].value, 42.0);
+        assert_eq!(
+            fams[0].exemplars[0].labels,
+            vec![
+                ("t".to_string(), "a".to_string()),
+                ("request_id".to_string(), "17".to_string())
+            ]
+        );
+        // Missing request_id label.
+        assert!(parse(&ok.replace("request_id=\"17\"", "req=\"17\"")).is_err());
+        // Exemplar naming a label set the family does not have.
+        assert!(parse(&ok.replace("# exemplar h{t=\"a\"", "# exemplar h{t=\"z\"")).is_err());
+        // Exemplar on a counter family.
+        assert!(parse("# TYPE c counter\nc 1\n# exemplar c{request_id=\"1\"} 2\n").is_err());
+    }
+
+    #[test]
+    fn render_events_includes_tsdb_series_with_exemplars() {
+        use crate::tsdb::{Tsdb, TsdbConfig};
+        let mut db = Tsdb::new(TsdbConfig::default());
+        db.counter("req.count", &[("tenant", "t0")], 10, 3);
+        db.counter("req.count", &[("tenant", "t1")], 300, 1);
+        db.observe("lat.ms", &[("tenant", "t0")], 10, 64, Some(7));
+        let rec = crate::Recorder::enabled();
+        rec.add_counter("plain.counter", 5);
+        db.drain_into(&rec);
+        let text = render_events(&rec.drain_trace());
+        assert!(text.contains("# TYPE req_count counter"), "{text}");
+        assert!(text.contains("req_count{tenant=\"t0\"} 3"), "{text}");
+        assert!(text.contains("req_count{tenant=\"t1\"} 1"), "{text}");
+        assert!(text.contains("# TYPE lat_ms histogram"), "{text}");
+        assert!(
+            text.contains("# exemplar lat_ms{tenant=\"t0\",request_id=\"7\"} 64"),
+            "{text}"
+        );
+        assert!(text.contains("lat_ms_count{tenant=\"t0\"} 1"), "{text}");
+        // The whole exposition round-trips through the mini-parser.
+        let fams = parse(&text).unwrap();
+        let lat = fams.iter().find(|f| f.name == "lat_ms").unwrap();
+        assert_eq!(lat.exemplars.len(), 1);
+    }
+
+    #[test]
+    fn tsdb_family_name_collisions_get_suffixed() {
+        use crate::tsdb::{Tsdb, TsdbConfig};
+        let mut db = Tsdb::new(TsdbConfig::default());
+        db.counter("plain.counter", &[("t", "a")], 0, 1);
+        let rec = crate::Recorder::enabled();
+        rec.add_counter("plain.counter", 5);
+        db.drain_into(&rec);
+        let text = render_events(&rec.drain_trace());
+        assert!(text.contains("# TYPE plain_counter counter\nplain_counter 5"));
+        assert!(text.contains("# TYPE plain_counter_ counter"), "{text}");
+        assert!(text.contains("plain_counter_{t=\"a\"} 1"), "{text}");
+        parse(&text).unwrap();
     }
 }

@@ -121,11 +121,17 @@ impl Histogram {
     /// true quantile is ≤ the returned value, and within 2× of it (one
     /// power-of-two bucket). Exact when every observation in the target
     /// bucket equals the clamp bound (e.g. single-value histograms).
-    /// Returns 0 when empty.
+    ///
+    /// Edge semantics (pinned by unit tests): returns 0 when empty,
+    /// whatever `q`; `q` outside `[0, 1]` is clamped; `q = 0.0` reports
+    /// the minimum's bucket (rank 1) and `q = 1.0` the maximum's; a NaN
+    /// `q` is rejected — it behaves as `q = 0.0` instead of poisoning
+    /// the rank arithmetic.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
+        let q = if q.is_nan() { 0.0 } else { q };
         let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0;
         for (i, &n) in self.buckets.iter().enumerate() {
@@ -317,5 +323,47 @@ mod tests {
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.quantile(0.99), 0);
         assert!(h.occupied().is_empty());
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero_for_every_q() {
+        let h = Histogram::new();
+        for q in [f64::NAN, -1.0, 0.0, 0.5, 1.0, 2.0] {
+            assert_eq!(h.quantile(q), 0, "q = {q}");
+        }
+    }
+
+    #[test]
+    fn single_bucket_quantile_is_exact_for_every_q() {
+        // All observations share one bucket and equal the clamp bound, so
+        // every quantile — including out-of-range and NaN q — is exact.
+        let mut h = Histogram::new();
+        for _ in 0..3 {
+            h.record(42);
+        }
+        for q in [0.0, 0.5, 0.99, 1.0, -3.0, 7.0, f64::NAN] {
+            assert_eq!(h.quantile(q), 42, "q = {q}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_q_clamps_to_min_and_max() {
+        let mut h = Histogram::new();
+        h.record(1);
+        h.record(1 << 20);
+        assert_eq!(h.quantile(-0.5), h.quantile(0.0));
+        assert_eq!(h.quantile(1.5), h.quantile(1.0));
+        assert_eq!(h.quantile(0.0), 1);
+        assert_eq!(h.quantile(1.0), 1 << 20);
+    }
+
+    #[test]
+    fn nan_q_is_rejected_as_rank_one() {
+        let mut h = Histogram::new();
+        h.record(2);
+        h.record(4096);
+        let got = h.quantile(f64::NAN);
+        assert_eq!(got, h.quantile(0.0));
+        assert_eq!(got, 3); // upper bound of bucket [2, 3] holding the minimum
     }
 }

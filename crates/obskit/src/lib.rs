@@ -21,7 +21,12 @@
 //!   and a deterministic head-sampling decision) for explicit
 //!   cross-thread span parenting; one connected tree per served request.
 //! * [`expo`] — Prometheus text exposition of the counters/gauges/log₂
-//!   histograms, plus a validating mini-parser for tests.
+//!   histograms (and labelled [`tsdb`] series with `# exemplar` lines),
+//!   plus a validating mini-parser for tests.
+//! * [`tsdb`] — windowed time series: labelled series with a hard
+//!   cardinality bound, fixed-step ring-buffer windows (rates, windowed
+//!   quantiles), and per-window exemplars linking back to sampled
+//!   request traces. All on the virtual clock.
 //! * A process-global recorder ([`set_global`]/[`global`]) so deep layers
 //!   (`simllm`, `storage`, `promptkit`, …) can emit metrics without
 //!   threading a handle through every signature. The disabled path is a
@@ -42,6 +47,7 @@ mod jsonl;
 mod profile;
 mod recorder;
 pub mod trace;
+pub mod tsdb;
 
 pub use event::Event;
 pub use flame::{Flame, FlameNode};

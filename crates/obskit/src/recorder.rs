@@ -161,7 +161,12 @@ impl Recorder {
     /// per-operator probe sums self-times to the whole statement) use this so
     /// the emitted span equals their partition to the nanosecond. The span is
     /// parented to the innermost open span on this thread, and its start time
-    /// is back-dated by `dur_ns`. Returns the span id (`None` when disabled).
+    /// is back-dated by `dur_ns`. A duration longer than the recorder's own
+    /// lifetime would back-date the start *before the epoch* (a caller bug or
+    /// clock skew); instead of letting the subtraction clamp silently, the
+    /// span is recorded at now with zero duration and the
+    /// `obskit.span.clamped` counter is incremented. Returns the span id
+    /// (`None` when disabled).
     pub fn record_span(&self, name: &str, dur_ns: u64) -> Option<u64> {
         let inner = self.inner.as_ref()?;
         let key = Arc::as_ptr(inner) as usize;
@@ -174,12 +179,18 @@ impl Recorder {
         });
         let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
         let t_ns = inner.epoch.elapsed().as_nanos() as u64;
+        let (start_ns, dur_ns) = if dur_ns > t_ns {
+            self.add_counter("obskit.span.clamped", 1);
+            (t_ns, 0)
+        } else {
+            (t_ns - dur_ns, dur_ns)
+        };
         let mut events = inner.events.lock().unwrap();
         events.push(Event::SpanStart {
             id,
             parent,
             name: name.to_string(),
-            t_ns: t_ns.saturating_sub(dur_ns),
+            t_ns: start_ns,
         });
         events.push(Event::SpanEnd {
             id,
@@ -492,6 +503,24 @@ mod tests {
             Event::SpanEnd { id: i, dur_ns: 1234, .. } if *i == id
         )));
         assert!(Recorder::disabled().record_span("x", 1).is_none());
+    }
+
+    #[test]
+    fn record_span_clamps_durations_longer_than_the_epoch() {
+        let r = Recorder::enabled();
+        // A duration no process could have measured: would back-date the
+        // start before the recorder existed.
+        let id = r.record_span("bogus", u64::MAX).unwrap();
+        let ev = r.events();
+        assert!(ev.iter().any(|e| matches!(
+            e,
+            Event::SpanEnd { id: i, dur_ns: 0, .. } if *i == id
+        )));
+        assert_eq!(r.metrics().counters["obskit.span.clamped"], 1);
+        // A sane duration is untouched and does not count.
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        r.record_span("fine", 1_000).unwrap();
+        assert_eq!(r.metrics().counters["obskit.span.clamped"], 1);
     }
 
     #[test]

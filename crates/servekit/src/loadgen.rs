@@ -42,7 +42,7 @@ pub fn generate(cfg: &LoadConfig, n_items: usize) -> Vec<ServeReq> {
     let mut reqs = Vec::with_capacity(cfg.requests);
     let mut used: Vec<usize> = Vec::new();
     let mut clock = 0u64;
-    for _ in 0..cfg.requests {
+    for i in 0..cfg.requests {
         clock += rng.gen_range(0..=cfg.mean_gap_ms * 2);
         let item_idx = if !used.is_empty() && rng.gen_bool(cfg.dup_rate.clamp(0.0, 1.0)) {
             used[rng.gen_range(0..used.len())]
@@ -54,9 +54,19 @@ pub fn generate(cfg: &LoadConfig, n_items: usize) -> Vec<ServeReq> {
         reqs.push(ServeReq {
             item_idx,
             arrival_ms: clock,
+            tenant: tenant_of(i),
         });
     }
     reqs
+}
+
+/// Deterministic tenant assignment for request index `i` (four tenants).
+///
+/// A pure hash of the index — deliberately *not* drawn from the load
+/// rng, so adding tenants did not shift the arrival/item stream and
+/// every pre-existing golden stayed byte-identical.
+pub fn tenant_of(i: usize) -> u32 {
+    ((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 62) as u32
 }
 
 #[cfg(test)]
@@ -87,6 +97,16 @@ mod tests {
             unique.len() < reqs.len(),
             "dup_rate must produce repeated items"
         );
+    }
+
+    #[test]
+    fn tenants_cover_all_four_and_are_index_determined() {
+        let reqs = generate(&LoadConfig::default(), 50);
+        let seen: std::collections::HashSet<u32> = reqs.iter().map(|r| r.tenant).collect();
+        assert_eq!(seen, (0..4).collect());
+        for (i, r) in reqs.iter().enumerate() {
+            assert_eq!(r.tenant, tenant_of(i));
+        }
     }
 
     #[test]

@@ -130,6 +130,10 @@ pub struct ServeReq {
     pub item_idx: usize,
     /// Arrival time on the virtual clock, in ms.
     pub arrival_ms: u64,
+    /// Tenant id for per-tenant metrics slicing (rendered `t{n}` in
+    /// [`obskit::tsdb`] labels). Purely an observability dimension: it
+    /// never affects admission, scheduling or the served result.
+    pub tenant: u32,
 }
 
 /// Aggregate counters for one [`serve`] batch.
@@ -434,6 +438,19 @@ pub fn serve(
                 );
                 offered
             };
+            if obskit::tsdb::installed() {
+                let tenant = format!("t{}", req.tenant);
+                obskit::tsdb::counter(
+                    "servekit.requests",
+                    &[
+                        ("db", items[req.item_idx].db_id.as_str()),
+                        ("outcome", if offered.is_some() { "admit" } else { "shed" }),
+                        ("tenant", &tenant),
+                    ],
+                    req.arrival_ms,
+                    1,
+                );
+            }
             let Some(wait_ms) = offered else {
                 stats.shed += 1;
                 routes.push(Route::Shed);
@@ -498,7 +515,7 @@ pub fn serve(
     // All workers have joined, so every slot is filled; assemble outcomes.
     let mut outcomes = Vec::with_capacity(reqs.len());
     let mut admitted_idx = 0usize;
-    for route in &routes {
+    for (i, route) in routes.iter().enumerate() {
         match route {
             Route::Shed => outcomes.push(Outcome::Overloaded),
             Route::Cached(slot) => {
@@ -528,6 +545,37 @@ pub fn serve(
                         }
                     }
                 };
+                if obskit::tsdb::installed() {
+                    let req = &reqs[i];
+                    let tenant = format!("t{}", req.tenant);
+                    // Completion time on the virtual clock: arrival plus
+                    // the simulated end-to-end latency.
+                    let done_ms = req.arrival_ms + latency_ms;
+                    obskit::tsdb::observe(
+                        "servekit.latency_ms",
+                        &[
+                            ("db", items[req.item_idx].db_id.as_str()),
+                            ("tenant", &tenant),
+                        ],
+                        done_ms,
+                        latency_ms,
+                        traces[i].is_recording().then_some(i as u64),
+                    );
+                    let attempts = match &outcome {
+                        Outcome::Ok { attempts, .. }
+                        | Outcome::Failed { attempts, .. }
+                        | Outcome::DeadlineExceeded { attempts, .. } => *attempts,
+                        Outcome::Overloaded => 1,
+                    };
+                    if attempts > 1 {
+                        obskit::tsdb::counter(
+                            "servekit.retry",
+                            &[("tenant", &tenant)],
+                            done_ms,
+                            u64::from(attempts - 1),
+                        );
+                    }
+                }
                 outcomes.push(outcome);
             }
         }

@@ -20,7 +20,10 @@
 //! window drops back below it.
 //!
 //! Everything runs on virtual milliseconds carried by the outcomes, so a
-//! rendered report is byte-identical across runs and worker counts.
+//! rendered report is byte-identical across runs and worker counts. The
+//! window bookkeeping itself is [`obskit::tsdb::SlidingCounts`] — the
+//! same sliding-window primitive the time-series store uses — rather
+//! than ad-hoc per-step rescans.
 
 /// Configuration of the SLO tracker.
 #[derive(Debug, Clone, Copy)]
@@ -140,29 +143,16 @@ fn events_for(slo: &'static str, cfg: &SloConfig, outcomes: &[RequestOutcome]) -
     ev
 }
 
-/// Burn rate of the window `(end - window, end]` of `events`.
-fn burn(events: &[(u64, bool)], end: u64, window: u64, budget: f64) -> f64 {
-    let start = end.saturating_sub(window);
-    let mut total = 0u64;
-    let mut bad = 0u64;
-    for &(t, good) in events {
-        if t > start && t <= end {
-            total += 1;
-            bad += u64::from(!good);
-        }
-        if t > end {
-            break;
-        }
-    }
-    if total == 0 || budget <= 0.0 {
-        0.0
-    } else {
-        (bad as f64 / total as f64) / budget
-    }
-}
-
 /// Evaluate one SLO: sweep the virtual clock across event times and
 /// record edge-triggered multi-window burn-rate alert transitions.
+///
+/// The sweep maintains the short and long windows as incremental
+/// [`obskit::tsdb::SlidingCounts`] (window `(t - w, t]`) instead of
+/// rescanning the event list at every step, so it is `O(events)` per
+/// window. Ties are pushed as a group before evaluating: the burn at
+/// time `t` sees *every* event completing at `t`, and the edge trigger
+/// transitions at most once per distinct timestamp — exactly the
+/// semantics the old full-rescan sweep had.
 pub fn evaluate_slo(slo: &'static str, cfg: &SloConfig, outcomes: &[RequestOutcome]) -> SloEval {
     let objective = match slo {
         "latency" => cfg.latency_objective,
@@ -175,9 +165,18 @@ pub fn evaluate_slo(slo: &'static str, cfg: &SloConfig, outcomes: &[RequestOutco
     let mut alerts = Vec::new();
     let mut firing = false;
     let mut last_burn = (0.0, 0.0);
-    for &(t, _) in &events {
-        let short = burn(&events, t, cfg.short_window_ms, budget);
-        let long = burn(&events, t, cfg.long_window_ms, budget);
+    let mut short_w = obskit::tsdb::SlidingCounts::new(cfg.short_window_ms);
+    let mut long_w = obskit::tsdb::SlidingCounts::new(cfg.long_window_ms);
+    let mut i = 0;
+    while i < events.len() {
+        let t = events[i].0;
+        while i < events.len() && events[i].0 == t {
+            short_w.push(t, events[i].1);
+            long_w.push(t, events[i].1);
+            i += 1;
+        }
+        let short = short_w.burn(budget);
+        let long = long_w.burn(budget);
         last_burn = (short, long);
         if !firing && short >= cfg.burn_alert && long >= cfg.burn_alert {
             firing = true;
@@ -377,6 +376,32 @@ mod tests {
             eval.alerts.is_empty(),
             "long window must gate the blip: {:?}",
             eval.alerts
+        );
+    }
+
+    #[test]
+    fn simultaneous_completions_evaluate_as_one_group() {
+        let cfg = SloConfig {
+            latency_threshold_ms: 100,
+            latency_objective: 0.9,
+            short_window_ms: 1_000,
+            long_window_ms: 1_000,
+            burn_alert: 2.0,
+            ..SloConfig::default()
+        };
+        // Five bad completions at the same instant: the burn at t=500
+        // must see all five (the whole tie group), and the edge trigger
+        // fires exactly once, not once per tied event.
+        let outcomes: Vec<_> = (0..5).map(|_| shed(500)).collect();
+        let eval = evaluate_slo("latency", &cfg, &outcomes);
+        assert_eq!(eval.alerts.len(), 1, "{:?}", eval.alerts);
+        assert!(eval.alerts[0].fired);
+        assert_eq!(eval.alerts[0].t_ms, 500);
+        // All five in-window and bad: burn = (5/5) / 0.1 = 10.
+        assert!(
+            (eval.final_burn.0 - 10.0).abs() < 1e-9,
+            "{:?}",
+            eval.final_burn
         );
     }
 

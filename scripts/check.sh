@@ -126,17 +126,19 @@ if ! cmp -s target/serve-bench-analyzed.md tests/golden/serve_bench_report.md; t
     exit 1
 fi
 
-echo "==> telemetry overhead ceiling (1% head sampling)"
+echo "==> telemetry overhead ceiling (1% head sampling, tsdb on)"
 # Tracing at a production-like 1% sample rate — with per-operator ANALYZE
-# stats collection enabled on top — must not meaningfully slow the serving
-# layer. The bound is deliberately loose (2x + 1s slack): it catches
-# pathological per-request overhead, not scheduler noise.
+# stats collection AND the windowed time-series store enabled on top —
+# must not meaningfully slow the serving layer. The bound is deliberately
+# loose (2x + 1s slack): it catches pathological per-request overhead,
+# not scheduler noise.
 t0=$(date +%s%N)
 $CLI serve-bench --seed 7 --train 60 --dev 24 --requests 120 \
     --mean-gap-ms 15 --queue 16 >/dev/null
 t_off=$(( ($(date +%s%N) - t0) / 1000000 ))
 t0=$(date +%s%N)
-DAIL_ANALYZE=1 DAIL_TRACE_SAMPLE=0.01 $CLI serve-bench --seed 7 --train 60 --dev 24 --requests 120 \
+DAIL_ANALYZE=1 DAIL_TSDB=1 DAIL_TRACE_SAMPLE=0.01 \
+    $CLI serve-bench --seed 7 --train 60 --dev 24 --requests 120 \
     --mean-gap-ms 15 --queue 16 --trace target/serve-sampled.jsonl >/dev/null 2>&1
 t_on=$(( ($(date +%s%N) - t0) / 1000000 ))
 ceiling=$(( t_off * 2 + 1000 ))
@@ -145,6 +147,78 @@ if [ "$t_on" -gt "$ceiling" ]; then
     exit 1
 fi
 echo "    untraced ${t_off}ms, 1%-sampled ${t_on}ms (ceiling ${ceiling}ms)"
+
+echo "==> tsdb passivity gate (report bytes unchanged with tsdb off/sampled/on)"
+# The windowed time-series store installs whenever tracing is on; it must
+# never change a reported number. serve-bench and slo-report must match
+# their goldens byte-for-byte with tsdb disabled, head-sampled, and fully
+# sampled.
+for env_combo in "DAIL_TSDB=0" "DAIL_TRACE_SAMPLE=0.01" "DAIL_TRACE_SAMPLE=1.0"; do
+    env "$env_combo" $CLI serve-bench --seed 7 --train 60 --dev 24 --requests 120 \
+        --mean-gap-ms 15 --queue 16 --trace target/tsdb-passivity.jsonl \
+        > target/serve-bench-tsdb.md 2>/dev/null
+    if ! cmp -s target/serve-bench-tsdb.md tests/golden/serve_bench_report.md; then
+        echo "serve-bench report changed under ${env_combo}:" >&2
+        diff tests/golden/serve_bench_report.md target/serve-bench-tsdb.md >&2 || true
+        exit 1
+    fi
+    env "$env_combo" $CLI slo-report --seed 7 --train 60 --dev 24 --requests 120 \
+        --mean-gap-ms 15 --queue 16 --burn-alert 4 --trace target/tsdb-passivity.jsonl \
+        > target/slo-report-tsdb.md 2>/dev/null
+    if ! cmp -s target/slo-report-tsdb.md tests/golden/slo_report.md; then
+        echo "slo-report changed under ${env_combo}:" >&2
+        diff tests/golden/slo_report.md target/slo-report-tsdb.md >&2 || true
+        exit 1
+    fi
+done
+
+echo "==> dashboard golden (byte-stable across DAIL_THREADS 1 vs 4)"
+# The dashboard reads only drain-time tsdb events on the virtual clock,
+# so its bytes must not depend on thread count or worker scheduling.
+# Regenerate with: DAIL_UPDATE_GOLDEN=1 cargo test -q -p bench --test cli
+DAIL_THREADS=1 DAIL_TRACE_SAMPLE=1.0 $CLI serve-bench --seed 7 --train 60 --dev 24 \
+    --requests 120 --mean-gap-ms 15 --queue 16 --workers 1 \
+    --trace target/dash-t1.jsonl >/dev/null 2>&1
+DAIL_THREADS=4 DAIL_TRACE_SAMPLE=1.0 $CLI serve-bench --seed 7 --train 60 --dev 24 \
+    --requests 120 --mean-gap-ms 15 --queue 16 --workers 6 \
+    --trace target/dash-t4.jsonl >/dev/null 2>&1
+$CLI dashboard target/dash-t1.jsonl > target/dashboard-t1.md
+$CLI dashboard target/dash-t4.jsonl > target/dashboard-t4.md
+if ! cmp -s target/dashboard-t1.md target/dashboard-t4.md; then
+    echo "dashboard differs between DAIL_THREADS=1 and =4:" >&2
+    diff target/dashboard-t1.md target/dashboard-t4.md >&2 || true
+    exit 1
+fi
+if ! cmp -s target/dashboard-t1.md tests/golden/dashboard.md; then
+    echo "dashboard drifted from tests/golden/dashboard.md:" >&2
+    diff tests/golden/dashboard.md target/dashboard-t1.md >&2 || true
+    echo "regenerate with: DAIL_UPDATE_GOLDEN=1 cargo test -q -p bench --test cli" >&2
+    exit 1
+fi
+
+echo "==> tsdb cardinality-bound trip gate (overflow series + counter fire)"
+# With the series bound squeezed to 2, excess label sets must reroute to
+# the __overflow__ series and the overflow counter must fire — loudly
+# visible in both the dashboard and the Prometheus exposition.
+DAIL_TSDB_MAX_SERIES=2 DAIL_TRACE_SAMPLE=1.0 $CLI serve-bench --seed 7 --train 60 \
+    --dev 24 --requests 120 --mean-gap-ms 15 --queue 16 \
+    --trace target/dash-overflow.jsonl >/dev/null 2>&1
+$CLI dashboard target/dash-overflow.jsonl > target/dashboard-overflow.md
+if ! grep -q '__overflow__' target/dashboard-overflow.md; then
+    echo "cardinality trip left no __overflow__ series in the dashboard" >&2
+    exit 1
+fi
+if grep -q '| overflow | 0 |' target/dashboard-overflow.md; then
+    echo "cardinality trip did not raise the dashboard overflow count" >&2
+    exit 1
+fi
+$CLI metrics target/dash-overflow.jsonl > target/metrics-overflow.txt
+overflow_count=$(sed -n 's/^obskit_tsdb_overflow \([0-9]*\)$/\1/p' target/metrics-overflow.txt)
+if [ -z "$overflow_count" ] || [ "$overflow_count" = "0" ]; then
+    echo "obskit_tsdb_overflow counter missing or zero in the exposition" >&2
+    exit 1
+fi
+echo "    overflow observations rerouted: ${overflow_count}"
 
 echo "==> select-bench determinism gate (byte-identical across DAIL_THREADS)"
 # Selection results must not depend on the worker count: the sharded scan
